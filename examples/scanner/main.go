@@ -1,0 +1,147 @@
+// Scanner: generate a small document corpus on disk, then scan the whole
+// directory with a worker pool — the "mail-gateway batch scan" scenario
+// from the paper's introduction (73.2% of malicious e-mail attachments
+// were Office documents).
+//
+// Usage: go run ./examples/scanner [-dir DIR] [-workers 4]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/vbadetect"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory of .doc/.xls/.docm/.xlsm to scan (default: generate a demo corpus in a temp dir)")
+	workers := flag.Int("workers", 4, "concurrent scanners")
+	flag.Parse()
+	if err := run(*dir, *workers); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(dir string, workers int) error {
+	// Train.
+	fmt.Println("training RF detector...")
+	spec := corpus.SmallSpec()
+	dataset := corpus.GenerateMacros(spec)
+	det, err := vbadetect.NewDetector(vbadetect.AlgoRF, vbadetect.FeatureSetV, 1)
+	if err != nil {
+		return err
+	}
+	if err := det.Train(dataset.Sources(), dataset.Labels()); err != nil {
+		return err
+	}
+
+	// Generate a demo corpus when no directory was given.
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "vbascan")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+		demoSpec := corpus.SmallSpec()
+		demoSpec.Seed = 99 // different seed than the training corpus
+		demoSpec.BenignFiles, demoSpec.BenignWordFiles = 20, 5
+		demoSpec.MaliciousFiles, demoSpec.MaliciousWordFiles = 20, 15
+		demoSpec.BenignMacros, demoSpec.BenignObfuscated = 40, 1
+		demoSpec.MaliciousMacros, demoSpec.MaliciousObfuscated = 15, 14
+		demo := corpus.GenerateMacros(demoSpec)
+		files, err := demo.BuildFiles()
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			if err := os.WriteFile(filepath.Join(dir, f.Name), f.Data, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("generated %d demo documents in %s\n", len(files), dir)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var paths []string
+	for _, e := range entries {
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".doc", ".xls", ".docm", ".xlsm", ".docx", ".bin":
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+
+	type result struct {
+		path    string
+		verdict string
+		macros  int
+		err     error
+	}
+	jobs := make(chan string)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range jobs {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					results <- result{path: path, err: err}
+					continue
+				}
+				report, err := det.ScanFile(data)
+				if err != nil {
+					if errors.Is(err, vbadetect.ErrNoMacros) {
+						results <- result{path: path, verdict: "no macros"}
+					} else {
+						results <- result{path: path, err: err}
+					}
+					continue
+				}
+				verdict := "clean"
+				if report.Obfuscated() {
+					verdict = "OBFUSCATED"
+				}
+				results <- result{path: path, verdict: verdict, macros: len(report.Macros)}
+			}
+		}()
+	}
+	go func() {
+		for _, p := range paths {
+			jobs <- p
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	flagged, clean, failed := 0, 0, 0
+	for r := range results {
+		switch {
+		case r.err != nil:
+			failed++
+			fmt.Printf("  ERROR %-28s %v\n", filepath.Base(r.path), r.err)
+		case r.verdict == "OBFUSCATED":
+			flagged++
+			fmt.Printf("  FLAG  %-28s %d macros\n", filepath.Base(r.path), r.macros)
+		default:
+			clean++
+		}
+	}
+	fmt.Printf("\nscanned %d files: %d flagged, %d clean, %d errors\n",
+		len(paths), flagged, clean, failed)
+	return nil
+}

@@ -1,0 +1,355 @@
+// Package analysis provides olevba-style triage of macro source: it
+// detects auto-execution entry points, suspicious capability keywords, and
+// indicators of compromise (URLs, IPv4 addresses, executable names,
+// filesystem paths). Combined with deob, it recovers the signal that
+// obfuscation hides — the workflow the paper describes AV analysts using.
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/deob"
+	"repro/internal/vba"
+)
+
+// Kind classifies a finding.
+type Kind int
+
+// Finding kinds.
+const (
+	// KindAutoExec marks an auto-execution entry point (AutoOpen,
+	// Document_Open, ...).
+	KindAutoExec Kind = iota + 1
+	// KindSuspicious marks a capability keyword (Shell, CreateObject,
+	// URLDownloadToFile, ...).
+	KindSuspicious
+	// KindIOCURL marks a URL.
+	KindIOCURL
+	// KindIOCIP marks an IPv4 address.
+	KindIOCIP
+	// KindIOCExecutable marks an executable or script file name.
+	KindIOCExecutable
+	// KindIOCPath marks a Windows filesystem path.
+	KindIOCPath
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindAutoExec:
+		return "autoexec"
+	case KindSuspicious:
+		return "suspicious"
+	case KindIOCURL:
+		return "ioc-url"
+	case KindIOCIP:
+		return "ioc-ip"
+	case KindIOCExecutable:
+		return "ioc-executable"
+	case KindIOCPath:
+		return "ioc-path"
+	default:
+		return "unknown"
+	}
+}
+
+// Finding is one triage result.
+type Finding struct {
+	Kind Kind
+	// Value is the matched identifier, keyword or indicator.
+	Value string
+	// FromDeobfuscation reports that the finding only appeared after
+	// constant folding — i.e. obfuscation was hiding it.
+	FromDeobfuscation bool
+}
+
+// Report is the triage outcome for one macro.
+type Report struct {
+	Findings []Finding
+	// Folds is the number of constant expressions the deobfuscation pass
+	// resolved.
+	Folds int
+}
+
+// HasAutoExec reports whether any auto-execution entry point was found.
+func (r *Report) HasAutoExec() bool { return r.count(KindAutoExec) > 0 }
+
+// Suspicious reports whether any capability keyword was found.
+func (r *Report) Suspicious() bool { return r.count(KindSuspicious) > 0 }
+
+// IOCs returns only the indicator findings.
+func (r *Report) IOCs() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		switch f.Kind {
+		case KindIOCURL, KindIOCIP, KindIOCExecutable, KindIOCPath:
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (r *Report) count(k Kind) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// autoExecNames per [MS-OVBA]/olevba: procedures run on open/close events.
+var autoExecNames = []string{
+	"autoopen", "autoclose", "autoexec", "autoexit", "autonew",
+	"auto_open", "auto_close", "document_open", "document_close",
+	"document_new", "workbook_open", "workbook_close",
+	"workbook_beforeclose",
+}
+
+// suspiciousKeywords are the capability markers olevba reports.
+var suspiciousKeywords = []string{
+	"Shell", "ShellExecute", "CreateObject", "GetObject", "CallByName",
+	"URLDownloadToFile", "WScript.Shell", "powershell", "cmd.exe",
+	"ADODB.Stream", "MSXML2.XMLHTTP", "Microsoft.XMLHTTP", "SendKeys",
+	"CreateThread", "VirtualAlloc", "RtlMoveMemory", "Environ",
+	"Kill", "FileCopy", "SaveToFile", "responseBody", "ExecuteExcel4Macro",
+	"RegWrite", "ShowWindow", "vbHide",
+}
+
+// executableExtensions flag IOC file names.
+var executableExtensions = []string{
+	".exe", ".scr", ".dll", ".bat", ".cmd", ".vbs", ".js", ".ps1",
+	".jar", ".pif",
+}
+
+// Analyze triages src: it scans the raw source, then deobfuscates and
+// scans again, marking findings that only the folded text reveals.
+func Analyze(src string) *Report {
+	rep := &Report{}
+	base := scan(src)
+	dres := deob.Deobfuscate(src)
+	rep.Folds = dres.Folds
+	after := scan(dres.Source)
+	// Recovered strings may hold IOCs that never appear as whole tokens
+	// in either text (e.g. hidden URLs recovered from decoders).
+	for _, s := range dres.Recovered {
+		for _, f := range scanText(s) {
+			after[key(f)] = f
+		}
+	}
+
+	var keys []string
+	for k := range after {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f := after[k]
+		if _, inBase := base[k]; !inBase {
+			f.FromDeobfuscation = true
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+	return rep
+}
+
+func key(f Finding) string { return f.Kind.String() + "\x00" + strings.ToLower(f.Value) }
+
+// scan extracts findings from macro source: procedure names for autoexec,
+// keywords anywhere, and IOC patterns in string literals and raw text.
+func scan(src string) map[string]Finding {
+	out := map[string]Finding{}
+	m := vba.Parse(src)
+	for _, p := range m.Procedures {
+		lower := strings.ToLower(p.Name)
+		for _, name := range autoExecNames {
+			if lower == name {
+				add(out, Finding{Kind: KindAutoExec, Value: p.Name})
+			}
+		}
+	}
+	lowerSrc := strings.ToLower(src)
+	for _, kw := range suspiciousKeywords {
+		if strings.Contains(lowerSrc, strings.ToLower(kw)) {
+			add(out, Finding{Kind: KindSuspicious, Value: kw})
+		}
+	}
+	for _, f := range scanText(src) {
+		add(out, f)
+	}
+	return out
+}
+
+func add(m map[string]Finding, f Finding) { m[key(f)] = f }
+
+// scanText extracts IOC patterns from arbitrary text.
+func scanText(text string) []Finding {
+	var out []Finding
+	for _, u := range findURLs(text) {
+		out = append(out, Finding{Kind: KindIOCURL, Value: u})
+	}
+	for _, ip := range findIPs(text) {
+		out = append(out, Finding{Kind: KindIOCIP, Value: ip})
+	}
+	for _, e := range findExecutables(text) {
+		out = append(out, Finding{Kind: KindIOCExecutable, Value: e})
+	}
+	for _, p := range findPaths(text) {
+		out = append(out, Finding{Kind: KindIOCPath, Value: p})
+	}
+	return out
+}
+
+// findURLs locates http(s):// and ftp:// URLs.
+func findURLs(text string) []string {
+	var out []string
+	lower := strings.ToLower(text)
+	for _, scheme := range []string{"http://", "https://", "ftp://"} {
+		from := 0
+		for {
+			i := strings.Index(lower[from:], scheme)
+			if i < 0 {
+				break
+			}
+			start := from + i
+			end := start
+			for end < len(text) && isURLChar(text[end]) {
+				end++
+			}
+			if end > start+len(scheme) {
+				out = append(out, text[start:end])
+			}
+			from = end
+		}
+	}
+	return out
+}
+
+func isURLChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	}
+	return strings.IndexByte(":/.?&=%-_+#~@!$,;()[]*'", c) >= 0
+}
+
+// findIPs locates dotted-quad IPv4 addresses.
+func findIPs(text string) []string {
+	var out []string
+	for i := 0; i < len(text); i++ {
+		if text[i] < '0' || text[i] > '9' {
+			continue
+		}
+		if i > 0 && (isDigit(text[i-1]) || text[i-1] == '.') {
+			continue
+		}
+		candidate, ok := parseIPv4At(text, i)
+		if ok {
+			out = append(out, candidate)
+			i += len(candidate) - 1
+		}
+	}
+	return out
+}
+
+func parseIPv4At(text string, i int) (string, bool) {
+	start := i
+	for octet := 0; octet < 4; octet++ {
+		j := i
+		val := 0
+		for j < len(text) && isDigit(text[j]) && j-i < 3 {
+			val = val*10 + int(text[j]-'0')
+			j++
+		}
+		if j == i || val > 255 {
+			return "", false
+		}
+		i = j
+		if octet < 3 {
+			if i >= len(text) || text[i] != '.' {
+				return "", false
+			}
+			i++
+		}
+	}
+	// Reject trailing digits/dots (versions like 1.2.3.4.5).
+	if i < len(text) && (isDigit(text[i]) || text[i] == '.') {
+		return "", false
+	}
+	return text[start:i], true
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// findExecutables locates names with executable extensions.
+func findExecutables(text string) []string {
+	var out []string
+	lower := strings.ToLower(text)
+	for _, ext := range executableExtensions {
+		from := 0
+		for {
+			i := strings.Index(lower[from:], ext)
+			if i < 0 {
+				break
+			}
+			pos := from + i
+			end := pos + len(ext)
+			// Extension must terminate the name.
+			if end < len(text) && isNameChar(text[end]) {
+				from = end
+				continue
+			}
+			start := pos
+			for start > 0 && isNameChar(text[start-1]) {
+				start--
+			}
+			if start < pos {
+				out = append(out, text[start:end])
+			}
+			from = end
+		}
+	}
+	return out
+}
+
+func isNameChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_' || c == '-' || c == '.':
+		return true
+	}
+	return false
+}
+
+// findPaths locates Windows paths (drive-letter and UNC).
+func findPaths(text string) []string {
+	var out []string
+	for i := 0; i+2 < len(text); i++ {
+		isDrive := (text[i] >= 'A' && text[i] <= 'Z' || text[i] >= 'a' && text[i] <= 'z') &&
+			text[i+1] == ':' && text[i+2] == '\\'
+		isUNC := text[i] == '\\' && text[i+1] == '\\' && isNameChar(text[i+2]) &&
+			(i == 0 || text[i-1] != '\\')
+		if !isDrive && !isUNC {
+			continue
+		}
+		end := i + 3
+		for end < len(text) && (isNameChar(text[end]) || text[end] == '\\' || text[end] == ' ' && end+1 < len(text) && isNameChar(text[end+1])) {
+			end++
+		}
+		if end > i+3 {
+			out = append(out, strings.TrimRight(text[i:end], " "))
+			i = end
+		}
+	}
+	return out
+}
+
+// ScanIndicators extracts IOC findings from arbitrary text — used for
+// strings recovered from document storage (form captions, document
+// variables), where hidden-string anti-analysis parks its payloads.
+func ScanIndicators(text string) []Finding {
+	return scanText(text)
+}

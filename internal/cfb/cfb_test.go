@@ -1,0 +1,413 @@
+package cfb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildAndParse(t *testing.T, streams map[string][]byte) *File {
+	t.Helper()
+	b := NewBuilder()
+	for path, data := range streams {
+		if err := b.AddStream(path, data); err != nil {
+			t.Fatalf("AddStream(%q): %v", path, err)
+		}
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	f, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestRoundTripSmallStream(t *testing.T) {
+	f := buildAndParse(t, map[string][]byte{"hello": []byte("world")})
+	got, err := f.ReadStream("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "world" {
+		t.Errorf("stream = %q", got)
+	}
+}
+
+func TestRoundTripNestedStorages(t *testing.T) {
+	streams := map[string][]byte{
+		"Macros/VBA/dir":          []byte("dir-data"),
+		"Macros/VBA/Module1":      bytes.Repeat([]byte{0xAB}, 100),
+		"Macros/VBA/_VBA_PROJECT": {1, 2, 3},
+		"WordDocument":            bytes.Repeat([]byte("doc"), 2000), // > 4096: large stream
+		"\x05SummaryInformation":  []byte("summary"),
+	}
+	f := buildAndParse(t, streams)
+	for path, want := range streams {
+		got, err := f.ReadStream(path)
+		if err != nil {
+			t.Errorf("ReadStream(%q): %v", path, err)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("ReadStream(%q) = %d bytes, want %d", path, len(got), len(want))
+		}
+	}
+}
+
+func TestRoundTripEmptyStream(t *testing.T) {
+	f := buildAndParse(t, map[string][]byte{"empty": nil})
+	got, err := f.ReadStream("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty stream = %d bytes", len(got))
+	}
+}
+
+func TestRoundTripExactSectorBoundaries(t *testing.T) {
+	for _, n := range []int{63, 64, 65, 512, 4095, 4096, 4097, 8192, 10000} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		f := buildAndParse(t, map[string][]byte{"s": data})
+		got, err := f.ReadStream("s")
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("n=%d: data mismatch", n)
+		}
+	}
+}
+
+func TestRoundTripManyStreams(t *testing.T) {
+	streams := map[string][]byte{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		data := make([]byte, rng.Intn(9000))
+		rng.Read(data)
+		streams[fmt.Sprintf("dir%d/stream%d", i%5, i)] = data
+	}
+	f := buildAndParse(t, streams)
+	for path, want := range streams {
+		got, err := f.ReadStream(path)
+		if err != nil {
+			t.Fatalf("ReadStream(%q): %v", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("stream %q mismatch", path)
+		}
+	}
+}
+
+func TestWalkVisitsAllStreams(t *testing.T) {
+	f := buildAndParse(t, map[string][]byte{
+		"a":     {1},
+		"d/b":   {2},
+		"d/e/c": {3},
+	})
+	seen := map[string]bool{}
+	f.Walk(func(path string, s *Stream) { seen[path] = true })
+	for _, want := range []string{"a", "d/b", "d/e/c"} {
+		if !seen[want] {
+			t.Errorf("Walk missed %q (saw %v)", want, seen)
+		}
+	}
+}
+
+func TestCaseInsensitiveLookup(t *testing.T) {
+	f := buildAndParse(t, map[string][]byte{"Macros/VBA/Dir": []byte("x")})
+	if _, err := f.ReadStream("macros/vba/dir"); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("not a compound file")); err == nil {
+		t.Error("Parse accepted short garbage")
+	}
+	long := make([]byte, 1024)
+	if _, err := Parse(long); err == nil {
+		t.Error("Parse accepted zero-filled data")
+	}
+}
+
+func TestParseRejectsTruncated(t *testing.T) {
+	b := NewBuilder()
+	if err := b.AddStream("s", bytes.Repeat([]byte{1}, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(raw[:len(raw)/2]); err == nil {
+		t.Error("Parse accepted truncated file")
+	}
+}
+
+func TestParseRejectsFATCycle(t *testing.T) {
+	b := NewBuilder()
+	if err := b.AddStream("s", bytes.Repeat([]byte{1}, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+	// Corrupt: make every FAT entry point at sector 0 to form cycles.
+	// FAT sectors are last; find them via the header DIFAT entry 0.
+	fatSector := uint32(raw[76]) | uint32(raw[77])<<8 | uint32(raw[78])<<16 | uint32(raw[79])<<24
+	off := 512 + int(fatSector)*512
+	for i := 0; i < 512; i += 4 {
+		raw[off+i] = 0
+		raw[off+i+1] = 0
+		raw[off+i+2] = 0
+		raw[off+i+3] = 0
+	}
+	if _, err := Parse(raw); err == nil {
+		t.Error("Parse accepted FAT cycle")
+	}
+}
+
+func TestBuilderRejectsLongNames(t *testing.T) {
+	b := NewBuilder()
+	long := strings.Repeat("x", 40)
+	if err := b.AddStream(long, nil); err == nil {
+		t.Error("AddStream accepted 40-char name")
+	}
+}
+
+func TestBuilderStreamStorageConflicts(t *testing.T) {
+	b := NewBuilder()
+	if err := b.AddStream("a/b", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddStream("a", []byte("2")); err == nil {
+		t.Error("stream over existing storage accepted")
+	}
+	if err := b.AddStream("a/b/c", []byte("3")); err == nil {
+		t.Error("storage over existing stream accepted")
+	}
+}
+
+func TestBuilderReplaceStream(t *testing.T) {
+	b := NewBuilder()
+	if err := b.AddStream("s", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddStream("s", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.ReadStream("s")
+	if string(got) != "new" {
+		t.Errorf("stream = %q, want new", got)
+	}
+}
+
+func TestSetCLSID(t *testing.T) {
+	b := NewBuilder()
+	clsid := [16]byte{0x01, 0x02, 0x03}
+	if err := b.AddStream("Macros/VBA/dir", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetCLSID("Macros", clsid); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Root.Storage("Macros")
+	if st == nil {
+		t.Fatal("Macros storage missing")
+	}
+	if st.CLSID != clsid {
+		t.Errorf("CLSID = %v", st.CLSID)
+	}
+}
+
+func TestReadStreamErrors(t *testing.T) {
+	f := buildAndParse(t, map[string][]byte{"a/b": {1}})
+	for _, path := range []string{"nope", "a/nope", "nope/b", "a/b/c"} {
+		if _, err := f.ReadStream(path); err == nil {
+			t.Errorf("ReadStream(%q) succeeded", path)
+		}
+	}
+}
+
+func TestNameLessOrdering(t *testing.T) {
+	// Shorter names sort first regardless of content; ties by uppercase.
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"zz", "aaa", true},   // shorter first
+		{"aaa", "zz", false},  // longer second
+		{"abc", "ABD", true},  // case-insensitive compare
+		{"ABD", "abc", false}, //
+		{"a", "a", false},     // equal
+	}
+	for _, c := range cases {
+		if got := nameLess(c.a, c.b); got != c.want {
+			t.Errorf("nameLess(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: any set of (name, payload) pairs survives a build/parse
+	// round trip.
+	type spec struct {
+		Names []string
+		Sizes []uint16
+	}
+	f := func(s spec) bool {
+		b := NewBuilder()
+		want := map[string][]byte{}
+		rng := rand.New(rand.NewSource(42))
+		for i, raw := range s.Names {
+			name := sanitizeName(raw, i)
+			size := 0
+			if i < len(s.Sizes) {
+				size = int(s.Sizes[i]) % 9001
+			}
+			data := make([]byte, size)
+			rng.Read(data)
+			if err := b.AddStream(name, data); err != nil {
+				return false
+			}
+			want[name] = data
+		}
+		out, err := b.Bytes()
+		if err != nil {
+			return false
+		}
+		file, err := Parse(out)
+		if err != nil {
+			return false
+		}
+		for name, data := range want {
+			got, err := file.ReadStream(name)
+			if err != nil || !bytes.Equal(got, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitizeName maps arbitrary fuzz strings to valid unique CFB names.
+func sanitizeName(raw string, i int) string {
+	var sb strings.Builder
+	for _, r := range raw {
+		if r > 0x20 && r < 0x7F && r != '/' && r != '\\' && r != ':' && r != '!' {
+			sb.WriteRune(r)
+		}
+		if sb.Len() >= 20 {
+			break
+		}
+	}
+	return fmt.Sprintf("s%d_%s", i, sb.String())
+}
+
+func BenchmarkBuild(b *testing.B) {
+	data := bytes.Repeat([]byte("vba"), 3000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd := NewBuilder()
+		_ = bd.AddStream("Macros/VBA/dir", data[:500])
+		_ = bd.AddStream("Macros/VBA/Module1", data)
+		_ = bd.AddStream("WordDocument", data)
+		if _, err := bd.Bytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	bd := NewBuilder()
+	data := bytes.Repeat([]byte("vba"), 3000)
+	_ = bd.AddStream("Macros/VBA/dir", data[:500])
+	_ = bd.AddStream("Macros/VBA/Module1", data)
+	_ = bd.AddStream("WordDocument", data)
+	raw, err := bd.Bytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRoundTripLargeFileWithDIFAT(t *testing.T) {
+	// > 109 FAT sectors (~7 MB of payload) forces DIFAT sector emission.
+	if testing.Short() {
+		t.Skip("large-file round trip")
+	}
+	b := NewBuilder()
+	big := make([]byte, 10<<20)
+	for i := range big {
+		big[i] = byte(i * 2654435761)
+	}
+	if err := b.AddStream("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddStream("dir/small", []byte("alongside")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadStream("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("large stream mismatch")
+	}
+	small, err := f.ReadStream("dir/small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(small) != "alongside" {
+		t.Fatalf("small stream = %q", small)
+	}
+}

@@ -1,0 +1,32 @@
+package cfb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse drives the reader with mutated container bytes; it must never
+// panic and, when it succeeds on a mutant of a valid file, must return
+// internally consistent storages.
+func FuzzParse(f *testing.F) {
+	b := NewBuilder()
+	_ = b.AddStream("Macros/VBA/dir", []byte("dir"))
+	_ = b.AddStream("Macros/VBA/Module1", bytes.Repeat([]byte{0xAB}, 300))
+	_ = b.AddStream("WordDocument", bytes.Repeat([]byte("w"), 5000))
+	seed, err := b.Bytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:600])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse(data)
+		if err != nil {
+			return
+		}
+		file.Walk(func(path string, s *Stream) {
+			_ = len(s.Data)
+		})
+	})
+}

@@ -1,0 +1,283 @@
+package cfb
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Parse reads a compound file from data and returns its storage tree.
+//
+// The parser is defensive: chain cycles, out-of-range sector numbers and
+// truncated sectors return ErrCorrupt-wrapped errors instead of panicking,
+// because the malicious corpus deliberately includes malformed files.
+func Parse(data []byte) (*File, error) {
+	if len(data) < 512 {
+		return nil, fmt.Errorf("%w: file shorter than header", ErrNotCompoundFile)
+	}
+	for i, b := range Signature {
+		if data[i] != b {
+			return nil, ErrNotCompoundFile
+		}
+	}
+	le := binary.LittleEndian
+	majorVersion := le.Uint16(data[26:])
+	sectorShift := le.Uint16(data[30:])
+	var sectorSize int
+	switch {
+	case majorVersion == 3 && sectorShift == 9:
+		sectorSize = 512
+	case majorVersion == 4 && sectorShift == 12:
+		sectorSize = 4096
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d / sector shift %d",
+			ErrCorrupt, majorVersion, sectorShift)
+	}
+
+	numFATSectors := le.Uint32(data[44:])
+	firstDirSector := le.Uint32(data[48:])
+	firstMiniFATSector := le.Uint32(data[60:])
+	numMiniFATSectors := le.Uint32(data[64:])
+	firstDIFATSector := le.Uint32(data[68:])
+	numDIFATSectors := le.Uint32(data[72:])
+
+	// Sector counts from the header bound allocations below; a corrupted
+	// header must not drive them past what the file can actually hold.
+	maxSectors := uint32(len(data)/sectorSize + 1)
+	if numFATSectors > maxSectors || numMiniFATSectors > maxSectors || numDIFATSectors > maxSectors {
+		return nil, fmt.Errorf("%w: header sector counts exceed file size", ErrCorrupt)
+	}
+
+	r := &reader{data: data, sectorSize: sectorSize}
+
+	// DIFAT: 109 entries in the header, then a chain of DIFAT sectors.
+	difat := make([]uint32, 0, 109+int(numDIFATSectors)*(sectorSize/4-1))
+	for i := 0; i < 109; i++ {
+		difat = append(difat, le.Uint32(data[76+4*i:]))
+	}
+	sect := firstDIFATSector
+	for i := uint32(0); i < numDIFATSectors && sect != endOfChain && sect != freeSect; i++ {
+		body, err := r.sector(sect)
+		if err != nil {
+			return nil, fmt.Errorf("DIFAT sector %d: %w", sect, err)
+		}
+		n := sectorSize/4 - 1
+		for j := 0; j < n; j++ {
+			difat = append(difat, le.Uint32(body[4*j:]))
+		}
+		sect = le.Uint32(body[4*n:])
+	}
+
+	// FAT: concatenation of the sectors listed in the DIFAT.
+	fat := make([]uint32, 0, int(numFATSectors)*sectorSize/4)
+	count := uint32(0)
+	for _, fs := range difat {
+		if fs == freeSect || count >= numFATSectors {
+			continue
+		}
+		count++
+		body, err := r.sector(fs)
+		if err != nil {
+			return nil, fmt.Errorf("FAT sector %d: %w", fs, err)
+		}
+		for j := 0; j < sectorSize/4; j++ {
+			fat = append(fat, le.Uint32(body[4*j:]))
+		}
+	}
+	r.fat = fat
+
+	// MiniFAT.
+	miniFATBytes, err := r.readChain(firstMiniFATSector, int(numMiniFATSectors)*sectorSize)
+	if err != nil {
+		return nil, fmt.Errorf("miniFAT: %w", err)
+	}
+	r.miniFAT = make([]uint32, len(miniFATBytes)/4)
+	for i := range r.miniFAT {
+		r.miniFAT[i] = le.Uint32(miniFATBytes[4*i:])
+	}
+
+	// Directory.
+	dirBytes, err := r.readChain(firstDirSector, -1)
+	if err != nil {
+		return nil, fmt.Errorf("directory: %w", err)
+	}
+	entries := parseDirEntries(dirBytes)
+	if len(entries) == 0 || entries[0].objType != typeRoot {
+		return nil, fmt.Errorf("%w: missing root directory entry", ErrCorrupt)
+	}
+
+	// Mini stream: the root entry's chain in the regular FAT.
+	r.miniStream, err = r.readChain(entries[0].startSector, int(entries[0].size))
+	if err != nil {
+		return nil, fmt.Errorf("mini stream: %w", err)
+	}
+
+	root := &Storage{Name: entries[0].name, CLSID: entries[0].clsid}
+	if err := r.buildTree(entries, entries[0].childID, root, make(map[uint32]bool)); err != nil {
+		return nil, err
+	}
+	return &File{Root: root, SectorSize: sectorSize}, nil
+}
+
+type dirEntry struct {
+	name        string
+	objType     byte
+	leftID      uint32
+	rightID     uint32
+	childID     uint32
+	clsid       [16]byte
+	startSector uint32
+	size        uint64
+}
+
+func parseDirEntries(dir []byte) []dirEntry {
+	le := binary.LittleEndian
+	n := len(dir) / 128
+	entries := make([]dirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		e := dir[i*128 : (i+1)*128]
+		nameLen := int(le.Uint16(e[64:]))
+		d := dirEntry{
+			name:        decodeName(e[:64], nameLen),
+			objType:     e[66],
+			leftID:      le.Uint32(e[68:]),
+			rightID:     le.Uint32(e[72:]),
+			childID:     le.Uint32(e[76:]),
+			startSector: le.Uint32(e[116:]),
+			size:        le.Uint64(e[120:]),
+		}
+		copy(d.clsid[:], e[80:96])
+		entries = append(entries, d)
+	}
+	return entries
+}
+
+// buildTree walks the red-black sibling tree rooted at id and attaches the
+// children to parent. visited guards against cycles in corrupt files.
+func (r *reader) buildTree(entries []dirEntry, id uint32, parent *Storage, visited map[uint32]bool) error {
+	if id == noStream {
+		return nil
+	}
+	if int(id) >= len(entries) {
+		return fmt.Errorf("%w: directory id %d out of range", ErrCorrupt, id)
+	}
+	if visited[id] {
+		return fmt.Errorf("%w: directory sibling cycle at id %d", ErrCorrupt, id)
+	}
+	visited[id] = true
+	e := entries[id]
+	if err := r.buildTree(entries, e.leftID, parent, visited); err != nil {
+		return err
+	}
+	switch e.objType {
+	case typeStorage:
+		st := &Storage{Name: e.name, CLSID: e.clsid}
+		parent.Storages = append(parent.Storages, st)
+		if err := r.buildTree(entries, e.childID, st, visited); err != nil {
+			return err
+		}
+	case typeStream:
+		data, err := r.readStreamData(e)
+		if err != nil {
+			return fmt.Errorf("stream %q: %w", e.name, err)
+		}
+		parent.Streams = append(parent.Streams, &Stream{Name: e.name, Data: data})
+	}
+	return r.buildTree(entries, e.rightID, parent, visited)
+}
+
+func (r *reader) readStreamData(e dirEntry) ([]byte, error) {
+	if e.size < miniStreamCutoff {
+		return r.readMiniChain(e.startSector, int(e.size))
+	}
+	return r.readChain(e.startSector, int(e.size))
+}
+
+type reader struct {
+	data       []byte
+	sectorSize int
+	fat        []uint32
+	miniFAT    []uint32
+	miniStream []byte
+}
+
+// sector returns the body of regular sector n. Sector 0 begins immediately
+// after the 512-byte header for v3; for v4 the header occupies a whole
+// 4096-byte sector.
+func (r *reader) sector(n uint32) ([]byte, error) {
+	if n > maxRegSect {
+		return nil, fmt.Errorf("%w: special sector number %#x used as data", ErrCorrupt, n)
+	}
+	start := (int(n) + 1) * r.sectorSize
+	end := start + r.sectorSize
+	if start < 0 || end > len(r.data) {
+		return nil, fmt.Errorf("%w: sector %d beyond file end", ErrCorrupt, n)
+	}
+	return r.data[start:end], nil
+}
+
+// readChain follows a FAT chain starting at sect and returns up to size
+// bytes (size < 0 means read the whole chain).
+func (r *reader) readChain(sect uint32, size int) ([]byte, error) {
+	if sect == endOfChain || sect == freeSect || size == 0 {
+		return nil, nil
+	}
+	var out []byte
+	seen := make(map[uint32]bool)
+	for sect != endOfChain {
+		if seen[sect] {
+			return nil, fmt.Errorf("%w: FAT chain cycle at sector %d", ErrCorrupt, sect)
+		}
+		seen[sect] = true
+		body, err := r.sector(sect)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, body...)
+		if size >= 0 && len(out) >= size {
+			return out[:size], nil
+		}
+		if int(sect) >= len(r.fat) {
+			return nil, fmt.Errorf("%w: sector %d not covered by FAT", ErrCorrupt, sect)
+		}
+		sect = r.fat[sect]
+	}
+	if size >= 0 {
+		if len(out) < size {
+			return nil, fmt.Errorf("%w: chain shorter (%d) than stream size (%d)", ErrCorrupt, len(out), size)
+		}
+		out = out[:size]
+	}
+	return out, nil
+}
+
+// readMiniChain follows a miniFAT chain through the mini stream.
+func (r *reader) readMiniChain(sect uint32, size int) ([]byte, error) {
+	if sect == endOfChain || sect == freeSect || size == 0 {
+		return nil, nil
+	}
+	var out []byte
+	seen := make(map[uint32]bool)
+	for sect != endOfChain {
+		if seen[sect] {
+			return nil, fmt.Errorf("%w: miniFAT chain cycle at sector %d", ErrCorrupt, sect)
+		}
+		seen[sect] = true
+		start := int(sect) * miniSectorSize
+		end := start + miniSectorSize
+		if start < 0 || end > len(r.miniStream) {
+			return nil, fmt.Errorf("%w: mini sector %d beyond mini stream", ErrCorrupt, sect)
+		}
+		out = append(out, r.miniStream[start:end]...)
+		if len(out) >= size {
+			return out[:size], nil
+		}
+		if int(sect) >= len(r.miniFAT) {
+			return nil, fmt.Errorf("%w: mini sector %d not covered by miniFAT", ErrCorrupt, sect)
+		}
+		sect = r.miniFAT[sect]
+	}
+	if len(out) < size {
+		return nil, fmt.Errorf("%w: mini chain shorter (%d) than stream size (%d)", ErrCorrupt, len(out), size)
+	}
+	return out[:size], nil
+}

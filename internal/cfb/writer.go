@@ -1,0 +1,407 @@
+package cfb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Builder assembles a version-3 compound file (512-byte sectors).
+//
+// Usage:
+//
+//	b := cfb.NewBuilder()
+//	b.AddStream("Macros/VBA/dir", dirBytes)
+//	data, err := b.Bytes()
+//
+// Intermediate storages are created on demand. The zero Builder is not
+// usable; call NewBuilder.
+type Builder struct {
+	root *buildNode
+}
+
+type buildNode struct {
+	name     string
+	isStream bool
+	data     []byte
+	clsid    [16]byte
+	children map[string]*buildNode // storages only; key is lower-cased name
+}
+
+// NewBuilder returns an empty Builder whose root storage is "Root Entry".
+func NewBuilder() *Builder {
+	return &Builder{root: &buildNode{name: "Root Entry", children: map[string]*buildNode{}}}
+}
+
+// AddStorage ensures the /-separated storage path exists.
+func (b *Builder) AddStorage(path string) error {
+	_, err := b.ensure(strings.Split(path, "/"))
+	return err
+}
+
+// SetCLSID sets the class ID of the storage at path ("" for the root).
+func (b *Builder) SetCLSID(path string, clsid [16]byte) error {
+	node := b.root
+	if path != "" {
+		var err error
+		node, err = b.ensure(strings.Split(path, "/"))
+		if err != nil {
+			return err
+		}
+	}
+	node.clsid = clsid
+	return nil
+}
+
+// AddStream adds a stream at the /-separated path; the last component is
+// the stream name. Adding a stream that already exists replaces its data.
+func (b *Builder) AddStream(path string, data []byte) error {
+	parts := strings.Split(path, "/")
+	if len(parts) == 0 || parts[len(parts)-1] == "" {
+		return fmt.Errorf("cfb: empty stream name in path %q", path)
+	}
+	parent, err := b.ensure(parts[:len(parts)-1])
+	if err != nil {
+		return err
+	}
+	name := parts[len(parts)-1]
+	if _, _, err := encodeName(name); err != nil {
+		return err
+	}
+	key := strings.ToLower(name)
+	if existing, ok := parent.children[key]; ok {
+		if !existing.isStream {
+			return fmt.Errorf("cfb: %q already exists as a storage", path)
+		}
+		existing.data = append([]byte(nil), data...)
+		return nil
+	}
+	parent.children[key] = &buildNode{
+		name:     name,
+		isStream: true,
+		data:     append([]byte(nil), data...),
+	}
+	return nil
+}
+
+func (b *Builder) ensure(parts []string) (*buildNode, error) {
+	cur := b.root
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if _, _, err := encodeName(p); err != nil {
+			return nil, err
+		}
+		key := strings.ToLower(p)
+		next, ok := cur.children[key]
+		if !ok {
+			next = &buildNode{name: p, children: map[string]*buildNode{}}
+			cur.children[key] = next
+		} else if next.isStream {
+			return nil, fmt.Errorf("cfb: %q already exists as a stream", p)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// writeEntry is one flattened directory entry during layout.
+type writeEntry struct {
+	node        *buildNode
+	objType     byte
+	left, right uint32
+	child       uint32
+	startSector uint32
+	size        uint64
+}
+
+// Bytes lays out and serializes the compound file.
+func (b *Builder) Bytes() ([]byte, error) {
+	const sectorSize = 512
+	const entriesPerSector = sectorSize / 128
+	const fatEntriesPerSector = sectorSize / 4
+
+	// 1. Flatten the tree into directory entries, parent before children.
+	entries := []*writeEntry{{node: b.root, objType: typeRoot, left: noStream, right: noStream, child: noStream}}
+	ids := map[*buildNode]uint32{b.root: 0}
+	var flatten func(n *buildNode) error
+	flatten = func(n *buildNode) error {
+		kids := sortedChildren(n)
+		for _, k := range kids {
+			t := byte(typeStorage)
+			if k.isStream {
+				t = typeStream
+			}
+			ids[k] = uint32(len(entries))
+			entries = append(entries, &writeEntry{node: k, objType: t, left: noStream, right: noStream, child: noStream})
+		}
+		// Balanced BST over the sorted children gives the sibling tree.
+		entries[ids[n]].child = buildBST(kids, ids, entries)
+		for _, k := range kids {
+			if !k.isStream {
+				if err := flatten(k); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := flatten(b.root); err != nil {
+		return nil, err
+	}
+
+	// 2. Assemble the mini stream (streams under the 4096-byte cutoff) and
+	// its miniFAT, chaining each stream's mini sectors sequentially.
+	var miniStream []byte
+	var miniFAT []uint32
+	for _, e := range entries {
+		if e.objType != typeStream {
+			continue
+		}
+		n := len(e.node.data)
+		e.size = uint64(n)
+		if n == 0 {
+			e.startSector = endOfChain
+			continue
+		}
+		if n >= miniStreamCutoff {
+			continue // laid out in regular sectors below
+		}
+		e.startSector = uint32(len(miniFAT))
+		nSect := (n + miniSectorSize - 1) / miniSectorSize
+		for i := 0; i < nSect-1; i++ {
+			miniFAT = append(miniFAT, uint32(len(miniFAT))+1)
+		}
+		miniFAT = append(miniFAT, endOfChain)
+		miniStream = append(miniStream, e.node.data...)
+		if pad := nSect*miniSectorSize - n; pad > 0 {
+			miniStream = append(miniStream, make([]byte, pad)...)
+		}
+	}
+
+	// 3. Count regular sectors: directory, miniFAT, mini stream, large
+	// streams. FAT sectors are appended last; their count is found by
+	// fixed-point iteration since the FAT covers itself.
+	nDirSectors := (len(entries) + entriesPerSector - 1) / entriesPerSector
+	if nDirSectors == 0 {
+		nDirSectors = 1
+	}
+	nMiniFATSectors := (len(miniFAT) + fatEntriesPerSector - 1) / fatEntriesPerSector
+	nMiniStreamSectors := (len(miniStream) + sectorSize - 1) / sectorSize
+	nLargeSectors := 0
+	for _, e := range entries {
+		if e.objType == typeStream && len(e.node.data) >= miniStreamCutoff {
+			nLargeSectors += (len(e.node.data) + sectorSize - 1) / sectorSize
+		}
+	}
+	// FAT and DIFAT sizes are mutually recursive (the FAT covers itself
+	// and the DIFAT sectors; DIFAT sectors list FAT sectors beyond the
+	// header's 109 slots). Iterate to the fixed point.
+	const difatEntriesPerSector = fatEntriesPerSector - 1 // last slot chains
+	dataSectors := nDirSectors + nMiniFATSectors + nMiniStreamSectors + nLargeSectors
+	nFATSectors, nDIFATSectors := 0, 0
+	for {
+		needFAT := (dataSectors + nFATSectors + nDIFATSectors + fatEntriesPerSector - 1) / fatEntriesPerSector
+		needDIFAT := 0
+		if needFAT > 109 {
+			needDIFAT = (needFAT - 109 + difatEntriesPerSector - 1) / difatEntriesPerSector
+		}
+		if needFAT == nFATSectors && needDIFAT == nDIFATSectors {
+			break
+		}
+		nFATSectors, nDIFATSectors = needFAT, needDIFAT
+	}
+	totalSectors := dataSectors + nFATSectors + nDIFATSectors
+
+	// 4. Assign sector ranges in layout order.
+	next := uint32(0)
+	alloc := func(n int) uint32 {
+		s := next
+		next += uint32(n)
+		return s
+	}
+	dirStart := alloc(nDirSectors)
+	miniFATStart := uint32(endOfChain)
+	if nMiniFATSectors > 0 {
+		miniFATStart = alloc(nMiniFATSectors)
+	}
+	miniStreamStart := uint32(endOfChain)
+	if nMiniStreamSectors > 0 {
+		miniStreamStart = alloc(nMiniStreamSectors)
+	}
+	for _, e := range entries {
+		if e.objType == typeStream && len(e.node.data) >= miniStreamCutoff {
+			e.startSector = alloc((len(e.node.data) + sectorSize - 1) / sectorSize)
+		}
+	}
+	// Root entry describes the mini stream.
+	entries[0].startSector = miniStreamStart
+	entries[0].size = uint64(len(miniStream))
+	fatStart := alloc(nFATSectors)
+	difatStart := uint32(endOfChain)
+	if nDIFATSectors > 0 {
+		difatStart = alloc(nDIFATSectors)
+	}
+
+	// 5. Build the FAT: sequential chains for every allocated range.
+	fat := make([]uint32, nFATSectors*fatEntriesPerSector)
+	for i := range fat {
+		fat[i] = freeSect
+	}
+	chain := func(start uint32, n int) {
+		for i := 0; i < n; i++ {
+			if i == n-1 {
+				fat[start+uint32(i)] = endOfChain
+			} else {
+				fat[start+uint32(i)] = start + uint32(i) + 1
+			}
+		}
+	}
+	chain(dirStart, nDirSectors)
+	if nMiniFATSectors > 0 {
+		chain(miniFATStart, nMiniFATSectors)
+	}
+	if nMiniStreamSectors > 0 {
+		chain(miniStreamStart, nMiniStreamSectors)
+	}
+	for _, e := range entries {
+		if e.objType == typeStream && len(e.node.data) >= miniStreamCutoff {
+			chain(e.startSector, (len(e.node.data)+sectorSize-1)/sectorSize)
+		}
+	}
+	for i := 0; i < nFATSectors; i++ {
+		fat[fatStart+uint32(i)] = fatSect
+	}
+	for i := 0; i < nDIFATSectors; i++ {
+		fat[difatStart+uint32(i)] = difSect
+	}
+
+	// 6. Serialize: header, then sectors in layout order.
+	le := binary.LittleEndian
+	out := make([]byte, 512+totalSectors*sectorSize)
+	copy(out, Signature[:])
+	le.PutUint16(out[26:], 3)      // major version
+	le.PutUint16(out[24:], 0x3E)   // minor version
+	le.PutUint16(out[28:], 0xFFFE) // byte order
+	le.PutUint16(out[30:], 9)      // sector shift
+	le.PutUint16(out[32:], 6)      // mini sector shift
+	le.PutUint32(out[44:], uint32(nFATSectors))
+	le.PutUint32(out[48:], dirStart)
+	le.PutUint32(out[56:], miniStreamCutoff)
+	le.PutUint32(out[60:], miniFATStart)
+	le.PutUint32(out[64:], uint32(nMiniFATSectors))
+	le.PutUint32(out[68:], difatStart)
+	le.PutUint32(out[72:], uint32(nDIFATSectors))
+	for i := 0; i < 109; i++ {
+		v := uint32(freeSect)
+		if i < nFATSectors {
+			v = fatStart + uint32(i)
+		}
+		le.PutUint32(out[76+4*i:], v)
+	}
+
+	sectorOff := func(s uint32) int { return 512 + int(s)*sectorSize }
+
+	// Directory sectors.
+	dirBytes := make([]byte, nDirSectors*sectorSize)
+	for i, e := range entries {
+		off := i * 128
+		field, nameLen, err := encodeName(e.node.name)
+		if err != nil {
+			return nil, err
+		}
+		copy(dirBytes[off:], field[:])
+		le.PutUint16(dirBytes[off+64:], uint16(nameLen))
+		dirBytes[off+66] = e.objType
+		dirBytes[off+67] = 1 // black
+		le.PutUint32(dirBytes[off+68:], e.left)
+		le.PutUint32(dirBytes[off+72:], e.right)
+		le.PutUint32(dirBytes[off+76:], e.child)
+		copy(dirBytes[off+80:], e.node.clsid[:])
+		le.PutUint32(dirBytes[off+116:], e.startSector)
+		le.PutUint64(dirBytes[off+120:], e.size)
+	}
+	// Unused trailing entries must carry noStream sibling pointers.
+	for i := len(entries); i < nDirSectors*entriesPerSector; i++ {
+		off := i * 128
+		le.PutUint32(dirBytes[off+68:], noStream)
+		le.PutUint32(dirBytes[off+72:], noStream)
+		le.PutUint32(dirBytes[off+76:], noStream)
+	}
+	copy(out[sectorOff(dirStart):], dirBytes)
+
+	// MiniFAT sectors.
+	if nMiniFATSectors > 0 {
+		miniFATBytes := make([]byte, nMiniFATSectors*sectorSize)
+		for i := 0; i < nMiniFATSectors*fatEntriesPerSector; i++ {
+			v := uint32(freeSect)
+			if i < len(miniFAT) {
+				v = miniFAT[i]
+			}
+			le.PutUint32(miniFATBytes[4*i:], v)
+		}
+		copy(out[sectorOff(miniFATStart):], miniFATBytes)
+	}
+
+	// Mini stream sectors.
+	if nMiniStreamSectors > 0 {
+		copy(out[sectorOff(miniStreamStart):], miniStream)
+	}
+
+	// Large streams.
+	for _, e := range entries {
+		if e.objType == typeStream && len(e.node.data) >= miniStreamCutoff {
+			copy(out[sectorOff(e.startSector):], e.node.data)
+		}
+	}
+
+	// FAT sectors.
+	for i, v := range fat {
+		le.PutUint32(out[sectorOff(fatStart)+4*i:], v)
+	}
+
+	// DIFAT sectors: FAT sector numbers beyond the header's 109, chained
+	// through each sector's final slot.
+	for s := 0; s < nDIFATSectors; s++ {
+		off := sectorOff(difatStart + uint32(s))
+		for slot := 0; slot < difatEntriesPerSector; slot++ {
+			idx := 109 + s*difatEntriesPerSector + slot
+			v := uint32(freeSect)
+			if idx < nFATSectors {
+				v = fatStart + uint32(idx)
+			}
+			le.PutUint32(out[off+4*slot:], v)
+		}
+		next := uint32(endOfChain)
+		if s+1 < nDIFATSectors {
+			next = difatStart + uint32(s) + 1
+		}
+		le.PutUint32(out[off+4*difatEntriesPerSector:], next)
+	}
+	return out, nil
+}
+
+// sortedChildren returns the children of n in CFB directory order.
+func sortedChildren(n *buildNode) []*buildNode {
+	kids := make([]*buildNode, 0, len(n.children))
+	for _, c := range n.children {
+		kids = append(kids, c)
+	}
+	sort.Slice(kids, func(i, j int) bool { return nameLess(kids[i].name, kids[j].name) })
+	return kids
+}
+
+// buildBST links the sorted children into a balanced sibling tree and
+// returns the id of the subtree root (noStream for an empty list).
+func buildBST(kids []*buildNode, ids map[*buildNode]uint32, entries []*writeEntry) uint32 {
+	if len(kids) == 0 {
+		return noStream
+	}
+	mid := len(kids) / 2
+	root := ids[kids[mid]]
+	entries[root].left = buildBST(kids[:mid], ids, entries)
+	entries[root].right = buildBST(kids[mid+1:], ids, entries)
+	return root
+}

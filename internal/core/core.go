@@ -1,0 +1,270 @@
+// Package core assembles the paper's contribution into a usable library:
+// a Detector that extracts VBA macros from Office documents, computes the
+// V1–V15 (or J1–J20) static features, and classifies each macro as
+// obfuscated or not with one of the five supported classifiers.
+//
+// The pipeline mirrors §IV: extraction (oletools equivalent) →
+// preprocessing (dedup, significance filter) → feature extraction →
+// classification, with 10-fold cross-validated training provided by
+// package eval.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/extract"
+	"repro/internal/features"
+	"repro/internal/ml"
+)
+
+// FeatureSet selects which static feature vector the detector uses.
+type FeatureSet int
+
+// Feature sets from the paper's evaluation.
+const (
+	// FeatureSetV is the proposed 15-feature set (Table IV).
+	FeatureSetV FeatureSet = iota + 1
+	// FeatureSetJ is the 20-feature comparison set from the JavaScript
+	// obfuscation literature (Table VI).
+	FeatureSetJ
+)
+
+// String names the feature set.
+func (f FeatureSet) String() string {
+	switch f {
+	case FeatureSetV:
+		return "V"
+	case FeatureSetJ:
+		return "J"
+	default:
+		return fmt.Sprintf("FeatureSet(%d)", int(f))
+	}
+}
+
+// Extract computes the feature vector of the set for one macro source.
+func (f FeatureSet) Extract(src string) []float64 {
+	if f == FeatureSetJ {
+		return features.ExtractJ(src)
+	}
+	return features.ExtractV(src)
+}
+
+// Dim is the feature vector length.
+func (f FeatureSet) Dim() int {
+	if f == FeatureSetJ {
+		return features.JDim
+	}
+	return features.VDim
+}
+
+// Algorithm identifies one of the five classifiers of §IV.D.
+type Algorithm string
+
+// Supported algorithms.
+const (
+	AlgoSVM Algorithm = "svm"
+	AlgoRF  Algorithm = "rf"
+	AlgoMLP Algorithm = "mlp"
+	AlgoLDA Algorithm = "lda"
+	AlgoBNB Algorithm = "bnb"
+)
+
+// Algorithms lists all supported algorithms in the paper's order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoSVM, AlgoRF, AlgoMLP, AlgoLDA, AlgoBNB}
+}
+
+// NewClassifier constructs a fresh classifier for the algorithm with the
+// paper's hyperparameters (SVM C=150 γ=0.03; RF 100 trees; MLP 100 hidden
+// units with Adam). SVM, MLP and LDA are wrapped with standardization.
+func NewClassifier(algo Algorithm, seed int64) (ml.Classifier, error) {
+	switch algo {
+	case AlgoSVM:
+		return ml.NewScaled(ml.NewSVM(seed)), nil
+	case AlgoRF:
+		return ml.NewRandomForest(seed), nil
+	case AlgoMLP:
+		return ml.NewScaled(ml.NewMLP(seed)), nil
+	case AlgoLDA:
+		return ml.NewScaled(ml.NewLDA()), nil
+	case AlgoBNB:
+		return ml.NewBernoulliNB(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+}
+
+// ErrNotTrained is returned when classifying before Train/LoadModel.
+var ErrNotTrained = errors.New("core: detector is not trained")
+
+// Detector is the end-to-end obfuscation detector.
+type Detector struct {
+	featureSet FeatureSet
+	algo       Algorithm
+	clf        ml.Classifier
+	trained    bool
+}
+
+// NewDetector creates an untrained detector.
+func NewDetector(algo Algorithm, fs FeatureSet, seed int64) (*Detector, error) {
+	clf, err := NewClassifier(algo, seed)
+	if err != nil {
+		return nil, err
+	}
+	if fs != FeatureSetV && fs != FeatureSetJ {
+		return nil, fmt.Errorf("core: unknown feature set %d", int(fs))
+	}
+	return &Detector{featureSet: fs, algo: algo, clf: clf}, nil
+}
+
+// FeatureSet reports the detector's feature set.
+func (d *Detector) FeatureSet() FeatureSet { return d.featureSet }
+
+// Algorithm reports the detector's classifier algorithm.
+func (d *Detector) Algorithm() Algorithm { return d.algo }
+
+// Train fits the detector on macro sources with obfuscation labels
+// (1 = obfuscated).
+func (d *Detector) Train(sources []string, labels []int) error {
+	if len(sources) != len(labels) {
+		return fmt.Errorf("core: %d sources vs %d labels", len(sources), len(labels))
+	}
+	X := make([][]float64, len(sources))
+	for i, src := range sources {
+		X[i] = d.featureSet.Extract(src)
+	}
+	if err := d.clf.Fit(X, labels); err != nil {
+		return fmt.Errorf("core: train: %w", err)
+	}
+	d.trained = true
+	return nil
+}
+
+// MacroVerdict is the per-macro classification outcome.
+type MacroVerdict struct {
+	// Module is the VBA module name.
+	Module string
+	// Obfuscated is the predicted label.
+	Obfuscated bool
+	// Score is the classifier's decision score (higher = more likely
+	// obfuscated; the decision threshold depends on the algorithm).
+	Score float64
+	// Source is the macro text.
+	Source string
+}
+
+// FileReport is the outcome of scanning one document.
+type FileReport struct {
+	// Format is the detected container format ("ole" or "ooxml").
+	Format string
+	// Project is the VBA project name.
+	Project string
+	// Macros holds one verdict per significant extracted macro.
+	Macros []MacroVerdict
+	// Skipped counts extracted macros below the significance threshold.
+	Skipped int
+	// StorageStrings are printable strings recovered from document
+	// storage outside the macro code (UserForm captions, document
+	// variables) — where hidden-string anti-analysis parks payloads.
+	StorageStrings []string
+}
+
+// Obfuscated reports whether any macro in the file was classified as
+// obfuscated.
+func (r *FileReport) Obfuscated() bool {
+	for _, m := range r.Macros {
+		if m.Obfuscated {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassifySource classifies a single macro source.
+func (d *Detector) ClassifySource(src string) (MacroVerdict, error) {
+	if !d.trained {
+		return MacroVerdict{}, ErrNotTrained
+	}
+	x := d.featureSet.Extract(src)
+	return MacroVerdict{
+		Obfuscated: d.clf.Predict(x) == ml.Positive,
+		Score:      d.clf.Score(x),
+		Source:     src,
+	}, nil
+}
+
+// ScanFile extracts all macros from an Office document (.doc, .xls,
+// .docm, .xlsm or a raw vbaProject.bin) and classifies each significant
+// one. Returns extract.ErrNoMacros for macro-free documents.
+func (d *Detector) ScanFile(data []byte) (*FileReport, error) {
+	if !d.trained {
+		return nil, ErrNotTrained
+	}
+	res, err := extract.File(data)
+	if err != nil {
+		return nil, err
+	}
+	report := &FileReport{
+		Format:         res.Format.String(),
+		Project:        res.Project,
+		StorageStrings: res.StorageStrings,
+	}
+	for _, m := range res.Macros {
+		if len(extract.NormalizeSource(m.Source)) < extract.MinSignificantBytes {
+			report.Skipped++
+			continue
+		}
+		v, err := d.ClassifySource(m.Source)
+		if err != nil {
+			return nil, err
+		}
+		v.Module = m.Module
+		report.Macros = append(report.Macros, v)
+	}
+	return report, nil
+}
+
+// SaveModel serializes the trained detector (feature set + classifier).
+func (d *Detector) SaveModel() ([]byte, error) {
+	if !d.trained {
+		return nil, ErrNotTrained
+	}
+	blob, err := ml.Save(d.clf)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fmt.Sprintf(`{"featureSet":%q,"algorithm":%q,"model":%s}`,
+		d.featureSet.String(), string(d.algo), blob)), nil
+}
+
+// LoadModel restores a detector saved with SaveModel.
+func LoadModel(data []byte) (*Detector, error) {
+	var head struct {
+		FeatureSet string `json:"featureSet"`
+		Algorithm  string `json:"algorithm"`
+	}
+	if err := jsonUnmarshal(data, &head); err != nil {
+		return nil, fmt.Errorf("core: bad model: %w", err)
+	}
+	var raw struct {
+		Model jsonRaw `json:"model"`
+	}
+	if err := jsonUnmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("core: bad model: %w", err)
+	}
+	clf, err := ml.Load(raw.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad model: %w", err)
+	}
+	fs := FeatureSetV
+	if head.FeatureSet == "J" {
+		fs = FeatureSetJ
+	}
+	return &Detector{
+		featureSet: fs,
+		algo:       Algorithm(head.Algorithm),
+		clf:        clf,
+		trained:    true,
+	}, nil
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cfb"
+	"repro/internal/corpus"
+	"repro/internal/extract"
+	"repro/internal/ovba"
+)
+
+// trainSmall trains a detector on a small deterministic corpus.
+func trainSmall(t testing.TB, algo Algorithm, fs FeatureSet) *Detector {
+	t.Helper()
+	spec := corpus.SmallSpec()
+	spec.BenignMacros, spec.BenignObfuscated = 120, 20
+	spec.MaliciousMacros, spec.MaliciousObfuscated = 60, 55
+	spec.BenignMaxLen = 4000
+	d := corpus.GenerateMacros(spec)
+	det, err := NewDetector(algo, fs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Train(d.Sources(), d.Labels()); err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestDetectorTrainAndClassify(t *testing.T) {
+	det := trainSmall(t, AlgoRF, FeatureSetV)
+	// A plainly obfuscated macro.
+	obf := `Sub ljkwejrkqw()
+Dim zxqwkejhqs As String
+zxqwkejhqs = Chr(104) & Chr(116) & Chr(116) & Chr(112) & Chr(58) & Chr(47) & Chr(47) & Chr(101) & Chr(120)
+qqwlkejqwe = Replace("savteRKtofilteRK", "teRK", "e")
+CreateObject("WScr" + "ipt.Sh" + "ell").Run zxqwkejhqs, 0
+Dim wqlekjqwlke As Integer
+wqlekjqwlke = 2
+Do While wqlekjqwlke < 45
+DoEvents: wqlekjqwlke = wqlekjqwlke + 1
+Loop
+End Sub
+`
+	v, err := det.ClassifySource(obf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Obfuscated {
+		t.Errorf("obfuscated macro classified as clean (score %v)", v.Score)
+	}
+	// A plainly benign macro.
+	benign := `Sub UpdateReport()
+    ' update the summary sheet
+    Dim totalAmount As Long
+    Dim rowIndex As Long
+    For rowIndex = 1 To 50
+        totalAmount = totalAmount + Cells(rowIndex, 2).Value
+    Next rowIndex
+    Worksheets("Summary").Range("B1").Value = totalAmount
+    MsgBox "Report updated successfully"
+End Sub
+`
+	v, err = det.ClassifySource(benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Obfuscated {
+		t.Errorf("benign macro classified as obfuscated (score %v)", v.Score)
+	}
+}
+
+func TestDetectorUntrained(t *testing.T) {
+	det, err := NewDetector(AlgoRF, FeatureSetV, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.ClassifySource("Sub A()\nEnd Sub"); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+	if _, err := det.ScanFile(nil); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector("nope", FeatureSetV, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := NewDetector(AlgoRF, FeatureSet(99), 1); err == nil {
+		t.Error("unknown feature set accepted")
+	}
+}
+
+func TestAllAlgorithmsConstructAndTrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, algo := range Algorithms() {
+		det := trainSmall(t, algo, FeatureSetV)
+		if _, err := det.ClassifySource("Sub A()\nDim x As Long\nx = 1\nEnd Sub"); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestScanFile(t *testing.T) {
+	det := trainSmall(t, AlgoRF, FeatureSetV)
+
+	// Build a document with one long benign macro and one tiny one.
+	longSrc := "Sub KeepMe()\n"
+	for i := 0; i < 20; i++ {
+		longSrc += "    totalValue = totalValue + Cells(1, 1).Value\n"
+	}
+	longSrc += "End Sub\n"
+	p := &ovba.Project{Name: "P", Modules: []ovba.Module{
+		{Name: "Module1", Source: longSrc},
+		{Name: "Tiny", Source: "' nothing\n"},
+	}}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, "Macros"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := det.ScanFile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Format != "ole" {
+		t.Errorf("format = %q", report.Format)
+	}
+	if len(report.Macros) != 1 {
+		t.Fatalf("macros = %d, want 1 (tiny one filtered): %+v", len(report.Macros), report.Macros)
+	}
+	if report.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1", report.Skipped)
+	}
+	if report.Macros[0].Module != "Module1" {
+		t.Errorf("module = %q", report.Macros[0].Module)
+	}
+	if report.Obfuscated() {
+		t.Error("benign file reported obfuscated")
+	}
+}
+
+func TestScanFileNoMacros(t *testing.T) {
+	det := trainSmall(t, AlgoRF, FeatureSetV)
+	b := cfb.NewBuilder()
+	if err := b.AddStream("WordDocument", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.ScanFile(raw); !errors.Is(err, extract.ErrNoMacros) {
+		t.Errorf("err = %v, want ErrNoMacros", err)
+	}
+}
+
+func TestSaveLoadModel(t *testing.T) {
+	det := trainSmall(t, AlgoRF, FeatureSetJ)
+	blob, err := det.SaveModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.FeatureSet() != FeatureSetJ {
+		t.Errorf("feature set = %v", restored.FeatureSet())
+	}
+	if restored.Algorithm() != AlgoRF {
+		t.Errorf("algorithm = %v", restored.Algorithm())
+	}
+	src := "Sub qlwkejqlkwe()\nx = Chr(1) & Chr(2) & Chr(3) & Chr(4)\nEnd Sub\n" + strings.Repeat("' pad\n", 30)
+	a, err := det.ClassifySource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.ClassifySource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score || a.Obfuscated != b.Obfuscated {
+		t.Errorf("verdicts differ after model round trip: %+v vs %+v", a, b)
+	}
+}
+
+func TestSaveModelUntrained(t *testing.T) {
+	det, err := NewDetector(AlgoRF, FeatureSetV, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.SaveModel(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	for _, blob := range []string{"", "garbage", `{"featureSet":"V","algorithm":"rf","model":{"kind":"alien","body":{}}}`} {
+		if _, err := LoadModel([]byte(blob)); err == nil {
+			t.Errorf("LoadModel(%q) succeeded", blob)
+		}
+	}
+}
+
+func TestFeatureSetMeta(t *testing.T) {
+	if FeatureSetV.String() != "V" || FeatureSetJ.String() != "J" {
+		t.Error("names")
+	}
+	if FeatureSetV.Dim() != 15 || FeatureSetJ.Dim() != 20 {
+		t.Error("dims")
+	}
+	if len(FeatureSetV.Extract("Sub A()\nEnd Sub")) != 15 {
+		t.Error("extract V")
+	}
+	if len(FeatureSetJ.Extract("Sub A()\nEnd Sub")) != 20 {
+		t.Error("extract J")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	det, err := NewDetector(AlgoRF, FeatureSetV, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Train([]string{"a"}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := det.Train(nil, nil); err == nil {
+		t.Error("empty training accepted")
+	}
+}

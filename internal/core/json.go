@@ -1,0 +1,9 @@
+package core
+
+import "encoding/json"
+
+// Thin aliases keep core.go's model (de)serialization readable.
+
+type jsonRaw = json.RawMessage
+
+func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }

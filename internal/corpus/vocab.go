@@ -1,0 +1,141 @@
+// Package corpus generates the synthetic evaluation dataset that stands in
+// for the paper's 2,537 real-world Office documents (see the substitution
+// table in DESIGN.md): realistic benign VBA macros in several authoring
+// styles, malicious downloader/dropper macros, obfuscation via the
+// obfuscate package, document packaging through cfb/ovba/ooxml, and the
+// AV-vote labeling simulation of §IV.A.
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Word pools for meaningful identifier synthesis. Benign macros use
+// human-readable camel-case names assembled from these, which is what the
+// V14/V15 and J5 features key on.
+var (
+	verbs = []string{
+		"Update", "Calculate", "Load", "Save", "Send", "Build", "Format",
+		"Export", "Import", "Check", "Apply", "Refresh", "Clear", "Print",
+		"Create", "Delete", "Copy", "Merge", "Sort", "Filter", "Validate",
+		"Process", "Generate", "Archive", "Sync", "Prepare",
+	}
+	nouns = []string{
+		"Report", "Invoice", "Budget", "Sheet", "Customer", "Order",
+		"Total", "Range", "Table", "Chart", "Summary", "Record", "Row",
+		"Column", "File", "Backup", "Header", "Footer", "Cell", "Value",
+		"Entry", "Account", "Balance", "Payment", "Schedule", "Contact",
+		"Document", "Template", "Message", "Project",
+	}
+	adjectives = []string{
+		"total", "current", "last", "next", "first", "final", "temp",
+		"max", "min", "active", "selected", "new", "old", "base",
+		"gross", "net", "daily", "monthly", "yearly", "weekly",
+	}
+	commentPhrases = []string{
+		"update the summary sheet",
+		"loop over all data rows",
+		"skip empty cells",
+		"format the header row",
+		"send the report via Outlook",
+		"save a backup copy first",
+		"calculate the running total",
+		"validate the user input",
+		"clear previous results",
+		"load settings from the config sheet",
+		"append the record to the log",
+		"export the table as CSV",
+		"check the date range",
+		"apply the corporate style",
+		"archive last month's figures",
+	}
+	sheetNames = []string{
+		"Data", "Summary", "Config", "Report", "Input", "Results",
+		"Archive", "Budget", "Q1", "Q2", "Raw", "Log",
+	}
+	filePathsBenign = []string{
+		`C:\Reports\summary.xlsx`, `C:\Data\export.csv`,
+		`\\share\finance\budget.xls`, `C:\Temp\backup.doc`,
+		`C:\Users\Public\Documents\log.txt`, `D:\Archive\monthly.xlsm`,
+	}
+)
+
+// Non-English naming material: real-world benign corpora are full of
+// Hungarian-notation prefixes and romanized non-English words, which is
+// precisely why dictionary/readability features (J5) generalize poorly.
+var (
+	hungarianPrefixes = []string{
+		"str", "int", "lng", "obj", "btn", "cmd", "txt", "frm", "chk",
+		"lst", "rng", "wks", "dbl", "var",
+	}
+	romanizedWords = []string{
+		"hwakin", "jeochook", "geumaek", "hapgye", "naeyong", "mokrok",
+		"jaryo", "ilja", "sujung", "chogi", "gyesan", "bogoseo",
+		"summe", "betrag", "rechnung", "kunde", "datum", "pruefung",
+		"anzahl", "spalte", "zeile", "blatt", "gesamt", "inhalt",
+	}
+)
+
+// foreignName builds identifiers in the Hungarian/romanized style, e.g.
+// "cmdHwakin" or "gesamtGeumaek". Such names are legitimate yet fail
+// naive human-readability heuristics.
+func foreignName(rng *rand.Rand) string {
+	w := romanizedWords[rng.Intn(len(romanizedWords))]
+	capped := strings.ToUpper(w[:1]) + w[1:]
+	switch rng.Intn(3) {
+	case 0:
+		return hungarianPrefixes[rng.Intn(len(hungarianPrefixes))] + capped
+	case 1:
+		w2 := romanizedWords[rng.Intn(len(romanizedWords))]
+		return w2 + capped
+	default:
+		return w
+	}
+}
+
+// pick returns a uniformly random element of pool.
+func pick(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}
+
+// procName builds a VerbNoun procedure name, e.g. "UpdateReport".
+func procName(rng *rand.Rand) string {
+	return pick(rng, verbs) + pick(rng, nouns)
+}
+
+// varName builds an adjectiveNoun variable name, e.g. "totalBalance".
+func varName(rng *rand.Rand) string {
+	return pick(rng, adjectives) + pick(rng, nouns)
+}
+
+// uniqueNames yields n distinct variable names.
+func uniqueNames(rng *rand.Rand, n int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for len(out) < n {
+		name := varName(rng)
+		if seen[strings.ToLower(name)] {
+			name = name + pick(rng, nouns)
+		}
+		if seen[strings.ToLower(name)] {
+			continue
+		}
+		seen[strings.ToLower(name)] = true
+		out = append(out, name)
+	}
+	return out
+}
+
+// opaqueToken builds a base64-alphabet blob of length n: license keys,
+// API tokens and session ids that legitimately appear in benign macros
+// and carry near-random byte entropy.
+func opaqueToken(rng *rand.Rand, n int) string {
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return sb.String()
+}

@@ -1,0 +1,418 @@
+// Package deob statically reverses the string-level obfuscation families
+// O2 (split) and O3 (encoding) by constant-folding VBA expressions:
+// concatenations of literals, Chr()/ChrW() of constant codes, Replace()
+// with literal arguments, StrReverse(), and calls to self-contained
+// user-defined decoder functions over Array(...) payloads.
+//
+// This is the deobfuscation direction the paper surveys through JSDES
+// (§II.B): recovering the hidden keywords ("URLDownloadToFile",
+// "powershell", URLs, paths) that signature scanners need. The package
+// does not execute macros — folding is purely syntactic and only fires on
+// provably constant expressions.
+package deob
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/vba"
+)
+
+// Result is the outcome of deobfuscating one macro.
+type Result struct {
+	// Source is the rewritten macro text.
+	Source string
+	// Folds counts how many constant expressions were replaced.
+	Folds int
+	// Recovered lists the distinct string values materialized by folding,
+	// in first-recovery order — the payload strings an analyst wants.
+	Recovered []string
+}
+
+// Deobfuscate rewrites src with all provably-constant string expressions
+// folded to their literal values. It iterates to a fixed point (a folded
+// Replace() argument may enable an outer fold) with a small round cap.
+func Deobfuscate(src string) Result {
+	res := Result{Source: src}
+	seen := map[string]bool{}
+	for round := 0; round < 8; round++ {
+		out, folds, recovered := foldOnce(res.Source)
+		if folds == 0 {
+			break
+		}
+		res.Source = out
+		res.Folds += folds
+		for _, s := range recovered {
+			if !seen[s] {
+				seen[s] = true
+				res.Recovered = append(res.Recovered, s)
+			}
+		}
+	}
+	return res
+}
+
+// foldOnce performs one folding pass over every logical line.
+func foldOnce(src string) (out string, folds int, recovered []string) {
+	decoders := findDecoders(src)
+	toks := vba.Lex(src)
+	starts := lineStartOffsets(src)
+
+	type edit struct {
+		start, end int
+		text       string
+	}
+	var edits []edit
+
+	// Scan expression spans: for every token position, try to parse the
+	// longest constant string expression starting there.
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		if t.Kind == vba.KindEOL || t.Kind == vba.KindComment {
+			i++
+			continue
+		}
+		val, end, ok := parseConstExpr(toks, i, decoders)
+		// Only rewrite when folding actually simplifies: more than one
+		// token consumed, or a single call folded.
+		if ok && end > i+1 && isFoldWorthy(toks[i:end]) {
+			startOff := tokenOffset(starts, toks[i])
+			last := toks[end-1]
+			endOff := tokenOffset(starts, last) + len(last.Text)
+			if startOff >= 0 && endOff <= len(src) && startOff < endOff {
+				edits = append(edits, edit{start: startOff, end: endOff, text: quote(val)})
+				folds++
+				recovered = append(recovered, val)
+				i = end
+				continue
+			}
+		}
+		i++
+	}
+	if folds == 0 {
+		return src, 0, nil
+	}
+	var sb strings.Builder
+	prev := 0
+	for _, e := range edits {
+		if e.start < prev {
+			continue
+		}
+		sb.WriteString(src[prev:e.start])
+		sb.WriteString(e.text)
+		prev = e.end
+	}
+	sb.WriteString(src[prev:])
+	return sb.String(), folds, recovered
+}
+
+// isFoldWorthy reports whether folding the token span is a simplification
+// (skips bare string literals, which are already folded).
+func isFoldWorthy(span []vba.Token) bool {
+	if len(span) == 1 && span[0].Kind == vba.KindString {
+		return false
+	}
+	return true
+}
+
+// parseConstExpr parses the longest constant string expression starting at
+// toks[i]: term (('&'|'+') term)* where each term is itself constant.
+func parseConstExpr(toks []vba.Token, i int, decoders map[string]decoder) (string, int, bool) {
+	val, end, ok := parseConstTerm(toks, i, decoders)
+	if !ok {
+		return "", i, false
+	}
+	for {
+		// Optional continuation: (& | +) term — the lexer has already
+		// fused line continuations, so chains spanning lines work too.
+		if end < len(toks) && toks[end].Kind == vba.KindOperator &&
+			(toks[end].Text == "&" || toks[end].Text == "+") {
+			next, nend, ok := parseConstTerm(toks, end+1, decoders)
+			if !ok {
+				break
+			}
+			val += next
+			end = nend
+			continue
+		}
+		break
+	}
+	return val, end, true
+}
+
+// parseConstTerm parses one constant term: a string literal, Chr(n),
+// ChrW(n), StrReverse(expr), Replace(expr, lit, lit), or decoder(Array(...)).
+func parseConstTerm(toks []vba.Token, i int, decoders map[string]decoder) (string, int, bool) {
+	if i >= len(toks) {
+		return "", i, false
+	}
+	t := toks[i]
+	switch t.Kind {
+	case vba.KindString:
+		return t.StringValue(), i + 1, true
+	case vba.KindIdent, vba.KindKeyword:
+		name := strings.ToLower(strings.TrimSuffix(t.Text, "$"))
+		switch name {
+		case "chr", "chrw", "chrb":
+			if code, end, ok := parseIntCall(toks, i+1); ok {
+				if code >= 0 && code <= 0x10FFFF {
+					return string(rune(code)), end, true
+				}
+			}
+		case "strreverse":
+			if args, end, ok := parseArgs(toks, i+1, decoders, 1); ok {
+				return reverse(args[0]), end, true
+			}
+		case "ucase":
+			if args, end, ok := parseArgs(toks, i+1, decoders, 1); ok {
+				return strings.ToUpper(args[0]), end, true
+			}
+		case "lcase":
+			if args, end, ok := parseArgs(toks, i+1, decoders, 1); ok {
+				return strings.ToLower(args[0]), end, true
+			}
+		case "replace":
+			if args, end, ok := parseArgs(toks, i+1, decoders, 3); ok {
+				return strings.ReplaceAll(args[0], args[1], args[2]), end, true
+			}
+		default:
+			if dec, isDecoder := decoders[name]; isDecoder {
+				if codes, end, ok := parseArrayCall(toks, i+1); ok {
+					return dec.decode(codes), end, true
+				}
+			}
+		}
+	}
+	return "", i, false
+}
+
+// parseIntCall parses "( <integer> )" starting at toks[i] and returns the
+// integer value.
+func parseIntCall(toks []vba.Token, i int) (int, int, bool) {
+	if i+2 >= len(toks) ||
+		toks[i].Kind != vba.KindPunct || toks[i].Text != "(" ||
+		toks[i+1].Kind != vba.KindNumber ||
+		toks[i+2].Kind != vba.KindPunct || toks[i+2].Text != ")" {
+		return 0, i, false
+	}
+	n, err := parseVBANumber(toks[i+1].Text)
+	if err != nil {
+		return 0, i, false
+	}
+	return n, i + 3, true
+}
+
+// parseArgs parses "( expr {, expr} )" where each argument must be a
+// constant string expression; exactly want arguments are required.
+func parseArgs(toks []vba.Token, i int, decoders map[string]decoder, want int) ([]string, int, bool) {
+	if i >= len(toks) || toks[i].Kind != vba.KindPunct || toks[i].Text != "(" {
+		return nil, i, false
+	}
+	pos := i + 1
+	var args []string
+	for {
+		val, end, ok := parseConstExpr(toks, pos, decoders)
+		if !ok {
+			return nil, i, false
+		}
+		args = append(args, val)
+		pos = end
+		if pos >= len(toks) || toks[pos].Kind != vba.KindPunct {
+			return nil, i, false
+		}
+		switch toks[pos].Text {
+		case ",":
+			pos++
+		case ")":
+			if len(args) != want {
+				return nil, i, false
+			}
+			return args, pos + 1, true
+		default:
+			return nil, i, false
+		}
+	}
+}
+
+// parseArrayCall parses "( Array( n {, n} ) )" and returns the codes.
+func parseArrayCall(toks []vba.Token, i int) ([]int, int, bool) {
+	if i+1 >= len(toks) ||
+		toks[i].Kind != vba.KindPunct || toks[i].Text != "(" ||
+		!(toks[i+1].Kind == vba.KindIdent || toks[i+1].Kind == vba.KindKeyword) ||
+		!strings.EqualFold(toks[i+1].Text, "Array") {
+		return nil, i, false
+	}
+	pos := i + 2
+	if pos >= len(toks) || toks[pos].Text != "(" {
+		return nil, i, false
+	}
+	pos++
+	var codes []int
+	for {
+		if pos >= len(toks) {
+			return nil, i, false
+		}
+		if toks[pos].Kind != vba.KindNumber {
+			return nil, i, false
+		}
+		n, err := parseVBANumber(toks[pos].Text)
+		if err != nil {
+			return nil, i, false
+		}
+		codes = append(codes, n)
+		pos++
+		if pos >= len(toks) || toks[pos].Kind != vba.KindPunct {
+			return nil, i, false
+		}
+		switch toks[pos].Text {
+		case ",":
+			pos++
+		case ")":
+			// Expect the closing paren of the call too.
+			if pos+1 < len(toks) && toks[pos+1].Kind == vba.KindPunct && toks[pos+1].Text == ")" {
+				return codes, pos + 2, true
+			}
+			return nil, i, false
+		default:
+			return nil, i, false
+		}
+	}
+}
+
+// parseVBANumber parses decimal and &H/&O radix literals with optional
+// type suffix.
+func parseVBANumber(text string) (int, error) {
+	s := strings.TrimRight(text, "%&!#@^")
+	switch {
+	case strings.HasPrefix(s, "&H"), strings.HasPrefix(s, "&h"):
+		v, err := strconv.ParseInt(s[2:], 16, 64)
+		return int(v), err
+	case strings.HasPrefix(s, "&O"), strings.HasPrefix(s, "&o"):
+		v, err := strconv.ParseInt(s[2:], 8, 64)
+		return int(v), err
+	default:
+		v, err := strconv.ParseInt(s, 10, 64)
+		return int(v), err
+	}
+}
+
+func reverse(s string) string {
+	runes := []rune(s)
+	for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
+		runes[i], runes[j] = runes[j], runes[i]
+	}
+	return string(runes)
+}
+
+// quote renders a folded value as a VBA string literal.
+func quote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func lineStartOffsets(src string) []int {
+	starts := []int{0}
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			starts = append(starts, i+1)
+		}
+	}
+	return starts
+}
+
+func tokenOffset(starts []int, t vba.Token) int {
+	if t.Line-1 >= len(starts) {
+		return -1
+	}
+	return starts[t.Line-1] + t.Col - 1
+}
+
+// decoder is a recognized self-contained numeric decoder function:
+// For i = LBound..UBound: acc = acc & Chr(arr(i) - key).
+type decoder struct {
+	key int
+	op  byte // '-' or '+': Chr(arr(i) op key)
+}
+
+func (d decoder) decode(codes []int) string {
+	var sb strings.Builder
+	for _, c := range codes {
+		v := c
+		if d.op == '-' {
+			v = c - d.key
+		} else {
+			v = c + d.key
+		}
+		if v >= 0 && v <= 0x10FFFF {
+			sb.WriteRune(rune(v))
+		}
+	}
+	return sb.String()
+}
+
+// findDecoders scans the module for user-defined decoder functions of the
+// shape produced by O3 EncodeDecoder obfuscation (and common in real
+// malware): a loop appending Chr(arr(i) ± key).
+func findDecoders(src string) map[string]decoder {
+	out := map[string]decoder{}
+	m := vba.Parse(src)
+	lines := strings.Split(src, "\n")
+	for _, p := range m.Procedures {
+		if p.Kind != "Function" {
+			continue
+		}
+		if p.StartLine < 1 || p.EndLine > len(lines) {
+			continue
+		}
+		body := strings.Join(lines[p.StartLine-1:p.EndLine], "\n")
+		if !strings.Contains(body, "UBound") || !strings.Contains(body, "Chr") {
+			continue
+		}
+		key, op, ok := extractDecoderKey(body)
+		if !ok {
+			continue
+		}
+		out[strings.ToLower(p.Name)] = decoder{key: key, op: op}
+	}
+	return out
+}
+
+// extractDecoderKey finds the `Chr(x(i) - NNN)` (or +) pattern in a
+// decoder body and returns the key and operator.
+func extractDecoderKey(body string) (int, byte, bool) {
+	toks := vba.Lex(body)
+	for i := 0; i+6 < len(toks); i++ {
+		// Chr ( ident ( ident ) OP number )
+		if !(toks[i].Kind == vba.KindIdent || toks[i].Kind == vba.KindKeyword) ||
+			!strings.EqualFold(strings.TrimSuffix(toks[i].Text, "$"), "Chr") {
+			continue
+		}
+		j := i + 1
+		if j >= len(toks) || toks[j].Text != "(" {
+			continue
+		}
+		// Skip the inner array indexing: ident ( ident )
+		j++
+		if j+3 >= len(toks) || toks[j].Kind != vba.KindIdent ||
+			toks[j+1].Text != "(" || toks[j+2].Kind != vba.KindIdent || toks[j+3].Text != ")" {
+			continue
+		}
+		j += 4
+		if j+1 >= len(toks) || toks[j].Kind != vba.KindOperator {
+			continue
+		}
+		op := toks[j].Text
+		if op != "-" && op != "+" {
+			continue
+		}
+		if toks[j+1].Kind != vba.KindNumber {
+			continue
+		}
+		key, err := parseVBANumber(toks[j+1].Text)
+		if err != nil {
+			continue
+		}
+		return key, op[0], true
+	}
+	return 0, 0, false
+}

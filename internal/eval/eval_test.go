@@ -1,0 +1,291 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, TN: 85, FN: 5}
+	if got := c.Accuracy(); math.Abs(got-0.93) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-8.0/13) > 1e-12 {
+		t.Errorf("Recall = %v", got)
+	}
+	// F1 = harmonic mean.
+	p, r := 0.8, 8.0/13
+	f1 := 2 * p * r / (p + r)
+	if got := c.FBeta(1); math.Abs(got-f1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, f1)
+	}
+	f2 := 5 * p * r / (4*p + r)
+	if got := c.F2(); math.Abs(got-f2) > 1e-12 {
+		t.Errorf("F2 = %v, want %v", got, f2)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F2() != 0 {
+		t.Error("empty confusion must yield zeros, not NaN")
+	}
+}
+
+func TestConfusionAddAndMerge(t *testing.T) {
+	var c Confusion
+	c.Add(ml.Positive, ml.Positive)
+	c.Add(ml.Positive, ml.Negative)
+	c.Add(ml.Negative, ml.Negative)
+	c.Add(ml.Negative, ml.Positive)
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+	var d Confusion
+	d.Merge(c)
+	d.Merge(c)
+	if d.Total() != 8 {
+		t.Errorf("merged total = %d", d.Total())
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	roc := ROC(scores, labels)
+	if auc := AUC(roc); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+}
+
+func TestROCRandomClassifierHalfAUC(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2)
+	}
+	auc := AUC(ROC(scores, labels))
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Errorf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCInvertedClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []int{1, 1, 0, 0}
+	if auc := AUC(ROC(scores, labels)); math.Abs(auc) > 1e-12 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCTiedScores(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []int{1, 0, 1, 0}
+	roc := ROC(scores, labels)
+	// All ties collapse into one diagonal step: AUC must be 0.5 exactly.
+	if auc := AUC(roc); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+	if len(roc) != 2 {
+		t.Errorf("tied ROC has %d points, want 2", len(roc))
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		labels[0], labels[1] = 0, 1 // both classes present
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			if i >= 2 {
+				labels[i] = rng.Intn(2)
+			}
+		}
+		roc := ROC(scores, labels)
+		first, last := roc[0], roc[len(roc)-1]
+		return first.FPR == 0 && first.TPR == 0 && last.FPR == 1 && last.TPR == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStratifiedKFold(t *testing.T) {
+	// 100 samples, 20% positive.
+	y := make([]int, 100)
+	for i := 0; i < 20; i++ {
+		y[i] = 1
+	}
+	folds := StratifiedKFold(y, 10, 1)
+	if len(folds) != 10 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]int{}
+	for _, fold := range folds {
+		pos := 0
+		for _, i := range fold {
+			seen[i]++
+			pos += y[i]
+		}
+		if pos != 2 {
+			t.Errorf("fold has %d positives, want 2", pos)
+		}
+		if len(fold) != 10 {
+			t.Errorf("fold size = %d, want 10", len(fold))
+		}
+	}
+	if len(seen) != 100 {
+		t.Errorf("folds cover %d samples, want 100", len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("sample %d appears %d times", i, n)
+		}
+	}
+}
+
+func TestStratifiedKFoldDeterministic(t *testing.T) {
+	y := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	a := StratifiedKFold(y, 4, 9)
+	b := StratifiedKFold(y, 4, 9)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("fold sizes differ")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("folds differ for equal seeds")
+			}
+		}
+	}
+}
+
+// stumpClassifier is a deterministic test double: positive iff x[0] > 0.
+type stumpClassifier struct{ fitted bool }
+
+func (s *stumpClassifier) Name() string                     { return "stump" }
+func (s *stumpClassifier) Fit(X [][]float64, y []int) error { s.fitted = true; return nil }
+func (s *stumpClassifier) Predict(x []float64) int {
+	if x[0] > 0 {
+		return ml.Positive
+	}
+	return ml.Negative
+}
+func (s *stumpClassifier) Score(x []float64) float64 { return x[0] }
+
+func TestCrossValidate(t *testing.T) {
+	// Perfectly separable by the stump.
+	n := 60
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		if i%2 == 0 {
+			X[i] = []float64{1}
+			y[i] = 1
+		} else {
+			X[i] = []float64{-1}
+		}
+	}
+	res, err := CrossValidate(func(int) ml.Classifier { return &stumpClassifier{} }, X, y, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Accuracy() != 1 {
+		t.Errorf("accuracy = %v", res.Confusion.Accuracy())
+	}
+	if auc := res.AUC(); auc != 1 {
+		t.Errorf("AUC = %v", auc)
+	}
+	if len(res.FoldAccuracy) != 10 {
+		t.Errorf("fold accuracies = %d", len(res.FoldAccuracy))
+	}
+	if res.Confusion.Total() != n {
+		t.Errorf("total = %d, want %d", res.Confusion.Total(), n)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	y := []int{0, 1}
+	if _, err := CrossValidate(func(int) ml.Classifier { return &stumpClassifier{} }, X, y, 5, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := CrossValidate(func(int) ml.Classifier { return &stumpClassifier{} }, X, nil, 2, 1); err == nil {
+		t.Error("label mismatch accepted")
+	}
+}
+
+func TestCrossValidateRealClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 200
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		X[i] = []float64{float64(c)*3 - 1.5 + rng.NormFloat64()*0.4, rng.NormFloat64()}
+		y[i] = c
+	}
+	res, err := CrossValidate(func(fold int) ml.Classifier {
+		return ml.NewScaled(ml.NewLDA())
+	}, X, y, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Confusion.Accuracy(); acc < 0.9 {
+		t.Errorf("LDA CV accuracy = %v", acc)
+	}
+	if auc := res.AUC(); auc < 0.95 {
+		t.Errorf("LDA CV AUC = %v", auc)
+	}
+}
+
+func TestPRPerfectClassifier(t *testing.T) {
+	pr := PR([]float64{0.9, 0.8, 0.2, 0.1}, []int{1, 1, 0, 0})
+	if ap := AveragePrecision(pr); math.Abs(ap-1) > 1e-12 {
+		t.Errorf("AP = %v, want 1", ap)
+	}
+	// First point: recall 0.5 at precision 1.
+	if pr[0].Recall != 0.5 || pr[0].Precision != 1 {
+		t.Errorf("first point = %+v", pr[0])
+	}
+}
+
+func TestPRRandomClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	posFrac := 0.2
+	for i := range scores {
+		scores[i] = rng.Float64()
+		if rng.Float64() < posFrac {
+			labels[i] = 1
+		}
+	}
+	ap := AveragePrecision(PR(scores, labels))
+	// Random ranking yields AP ≈ positive prevalence.
+	if math.Abs(ap-posFrac) > 0.05 {
+		t.Errorf("random AP = %v, want ~%v", ap, posFrac)
+	}
+}
+
+func TestPREndsAtFullRecall(t *testing.T) {
+	pr := PR([]float64{3, 2, 1}, []int{0, 1, 1})
+	last := pr[len(pr)-1]
+	if last.Recall != 1 {
+		t.Errorf("last recall = %v", last.Recall)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/features"
+	"repro/internal/ml"
+)
+
+// RunAblation evaluates the V feature set with the given feature indices
+// removed, using the Random Forest classifier (robust to unscaled inputs)
+// under stratified k-fold cross-validation. dropIdx holds zero-based V
+// indices; nil runs the full set.
+func RunAblation(d *corpus.Dataset, dropIdx []int, folds int, seed int64) (*eval.CVResult, error) {
+	drop := make(map[int]bool, len(dropIdx))
+	for _, i := range dropIdx {
+		drop[i] = true
+	}
+	X := make([][]float64, len(d.Macros))
+	for i, m := range d.Macros {
+		full := features.ExtractV(m.Source)
+		row := make([]float64, 0, len(full)-len(dropIdx))
+		for j, v := range full {
+			if !drop[j] {
+				row = append(row, v)
+			}
+		}
+		X[i] = row
+	}
+	return eval.CrossValidate(func(fold int) ml.Classifier {
+		clf, err := core.NewClassifier(core.AlgoRF, seed+int64(fold))
+		if err != nil {
+			panic(err) // AlgoRF is always valid
+		}
+		return clf
+	}, X, d.Labels(), folds, seed)
+}
+
+// RunNormalizationAblation compares the paper's §IV.C normalization (count
+// features divided by V1) against raw counts: it recomputes V5 as an
+// absolute operator count instead of a frequency and re-evaluates.
+func RunNormalizationAblation(d *corpus.Dataset, folds int, seed int64) (normalized, raw *eval.CVResult, err error) {
+	labels := d.Labels()
+	Xn := make([][]float64, len(d.Macros))
+	Xr := make([][]float64, len(d.Macros))
+	for i, m := range d.Macros {
+		v := features.ExtractV(m.Source)
+		Xn[i] = v
+		rawRow := append([]float64(nil), v...)
+		// De-normalize the frequency features back to counts (multiply by
+		// the V1 code length).
+		rawRow[4] = v[4] * v[0]
+		rawRow[5] = v[5] * v[0]
+		Xr[i] = rawRow
+	}
+	factory := func(fold int) ml.Classifier {
+		clf, err := core.NewClassifier(core.AlgoRF, seed+int64(fold))
+		if err != nil {
+			panic(err)
+		}
+		return clf
+	}
+	normalized, err = eval.CrossValidate(factory, Xn, labels, folds, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err = eval.CrossValidate(factory, Xr, labels, folds, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return normalized, raw, nil
+}

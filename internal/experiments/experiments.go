@@ -1,0 +1,319 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the synthetic corpus: Table II (dataset summary),
+// Table III (extraction summary), Figure 5 (code-length distributions),
+// Table V (accuracy/precision/recall for five classifiers × two feature
+// sets), Figure 6 (F2 scores), and Figure 7 (ROC curves / AUC). It also
+// hosts the ablation studies DESIGN.md calls out.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/extract"
+	"repro/internal/ml"
+)
+
+// Table2Row is one row of the paper's Table II.
+type Table2Row struct {
+	Group   string
+	Word    int
+	Excel   int
+	AvgSize int // bytes
+}
+
+// Table2 summarizes generated files as in Table II.
+func Table2(files []corpus.File) []Table2Row {
+	var rows [2]Table2Row
+	rows[0].Group = "Benign"
+	rows[1].Group = "Malicious"
+	var sizes [2]int
+	var counts [2]int
+	for _, f := range files {
+		i := 0
+		if f.Malicious {
+			i = 1
+		}
+		if f.Word {
+			rows[i].Word++
+		} else {
+			rows[i].Excel++
+		}
+		sizes[i] += len(f.Data)
+		counts[i]++
+	}
+	for i := range rows {
+		if counts[i] > 0 {
+			rows[i].AvgSize = sizes[i] / counts[i]
+		}
+	}
+	return rows[:]
+}
+
+// Table3Row is one row of the paper's Table III.
+type Table3Row struct {
+	Group      string
+	Files      int
+	Macros     int
+	Obfuscated int
+}
+
+// ObfuscationRate is Obfuscated/Macros.
+func (r Table3Row) ObfuscationRate() float64 {
+	if r.Macros == 0 {
+		return 0
+	}
+	return float64(r.Obfuscated) / float64(r.Macros)
+}
+
+// Table3 runs the real extraction pipeline over the generated files —
+// extract, deduplicate, drop insignificant macros — and counts obfuscated
+// macros per group using the dataset's ground truth, as the paper's
+// manual labeling did.
+func Table3(d *corpus.Dataset, files []corpus.File) ([]Table3Row, error) {
+	// Ground-truth obfuscation by normalized fingerprint.
+	truth := make(map[[32]byte]bool, len(d.Macros))
+	for _, m := range d.Macros {
+		truth[extract.Fingerprint(m.Source)] = m.Obfuscated
+	}
+	rows := []Table3Row{{Group: "Benign"}, {Group: "Malicious"}}
+	var pools [2][]extract.Macro
+	for _, f := range files {
+		i := 0
+		if f.Malicious {
+			i = 1
+		}
+		rows[i].Files++
+		res, err := extract.File(f.Data)
+		if err != nil {
+			return nil, fmt.Errorf("extract %s: %w", f.Name, err)
+		}
+		pools[i] = append(pools[i], res.Macros...)
+	}
+	for i := range pools {
+		macros := extract.FilterSignificant(extract.Dedup(pools[i]), extract.MinSignificantBytes)
+		rows[i].Macros = len(macros)
+		for _, m := range macros {
+			if truth[extract.Fingerprint(m.Source)] {
+				rows[i].Obfuscated++
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Figure5 holds the two code-length distributions of Figure 5. Each slice
+// has one entry per sampled macro, in generation order (the paper's
+// x-axis is "arbitrary sample").
+type Figure5 struct {
+	NonObfuscated []int
+	Obfuscated    []int
+}
+
+// RunFigure5 samples equal-sized groups (the paper uses 877 and 877) from
+// the dataset and records code lengths.
+func RunFigure5(d *corpus.Dataset) Figure5 {
+	var fig Figure5
+	for _, m := range d.Macros {
+		if m.Obfuscated {
+			fig.Obfuscated = append(fig.Obfuscated, len(m.Source))
+		}
+	}
+	// Sample an equal number of non-obfuscated macros, spread evenly.
+	var nonObf []int
+	for _, m := range d.Macros {
+		if !m.Obfuscated {
+			nonObf = append(nonObf, len(m.Source))
+		}
+	}
+	want := len(fig.Obfuscated)
+	if want == 0 || len(nonObf) <= want {
+		fig.NonObfuscated = nonObf
+		return fig
+	}
+	step := float64(len(nonObf)) / float64(want)
+	for i := 0; i < want; i++ {
+		fig.NonObfuscated = append(fig.NonObfuscated, nonObf[int(float64(i)*step)])
+	}
+	return fig
+}
+
+// Clusters reports how many obfuscated lengths fall within ±20% of each
+// center — the Figure 5(b) horizontal bands.
+func (f Figure5) Clusters(centers []int) map[int]int {
+	out := make(map[int]int, len(centers))
+	for _, n := range f.Obfuscated {
+		for _, c := range centers {
+			if n > c*8/10 && n < c*12/10 {
+				out[c]++
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ClassifierResult is one Table V / Figure 6 / Figure 7 cell: a classifier
+// evaluated on a feature set with 10-fold cross-validation.
+type ClassifierResult struct {
+	Algorithm  core.Algorithm
+	FeatureSet core.FeatureSet
+	Accuracy   float64
+	Precision  float64
+	Recall     float64
+	F2         float64
+	AUC        float64
+	ROC        []eval.ROCPoint
+}
+
+// ClassificationConfig parameterizes RunClassification.
+type ClassificationConfig struct {
+	Folds      int // 10 in the paper
+	Seed       int64
+	Algorithms []core.Algorithm  // default: all five
+	Sets       []core.FeatureSet // default: V and J
+	// KeepROC retains the full ROC curve on each result (Figure 7).
+	KeepROC bool
+}
+
+// RunClassification evaluates every (algorithm, feature set) pair on the
+// dataset with stratified k-fold cross-validation: the data behind
+// Table V, Figure 6 and Figure 7.
+func RunClassification(d *corpus.Dataset, cfg ClassificationConfig) ([]ClassifierResult, error) {
+	if cfg.Folds == 0 {
+		cfg.Folds = 10
+	}
+	if len(cfg.Algorithms) == 0 {
+		cfg.Algorithms = core.Algorithms()
+	}
+	if len(cfg.Sets) == 0 {
+		cfg.Sets = []core.FeatureSet{core.FeatureSetV, core.FeatureSetJ}
+	}
+	labels := d.Labels()
+	var results []ClassifierResult
+	for _, fs := range cfg.Sets {
+		X := make([][]float64, len(d.Macros))
+		for i, m := range d.Macros {
+			X[i] = fs.Extract(m.Source)
+		}
+		for _, algo := range cfg.Algorithms {
+			res, err := eval.CrossValidate(func(fold int) ml.Classifier {
+				clf, err := core.NewClassifier(algo, cfg.Seed+int64(fold))
+				if err != nil {
+					panic(err) // algorithms are validated above
+				}
+				return clf
+			}, X, labels, cfg.Folds, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", algo, fs, err)
+			}
+			r := ClassifierResult{
+				Algorithm:  algo,
+				FeatureSet: fs,
+				Accuracy:   res.Confusion.Accuracy(),
+				Precision:  res.Confusion.Precision(),
+				Recall:     res.Confusion.Recall(),
+				F2:         res.Confusion.F2(),
+				AUC:        res.AUC(),
+			}
+			if cfg.KeepROC {
+				r.ROC = eval.ROC(res.Scores, res.Labels)
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+// BestF2 returns the result with the highest F2 among those matching the
+// feature set (nil if none).
+func BestF2(results []ClassifierResult, fs core.FeatureSet) *ClassifierResult {
+	var best *ClassifierResult
+	for i := range results {
+		if results[i].FeatureSet != fs {
+			continue
+		}
+		if best == nil || results[i].F2 > best.F2 {
+			best = &results[i]
+		}
+	}
+	return best
+}
+
+// FormatTable2 renders Table II rows as aligned text.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %6s %6s %12s\n", "Group", "Word", "Excel", "AvgSize(B)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %6d %6d %12d\n", r.Group, r.Word, r.Excel, r.AvgSize)
+	}
+	return sb.String()
+}
+
+// FormatTable3 renders Table III rows as aligned text.
+func FormatTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %7s %8s %12s %8s\n", "Group", "Files", "Macros", "Obfuscated", "Rate")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %7d %8d %12d %7.1f%%\n",
+			r.Group, r.Files, r.Macros, r.Obfuscated, 100*r.ObfuscationRate())
+	}
+	return sb.String()
+}
+
+// FormatTable5 renders classification results as the paper's Table V.
+func FormatTable5(results []ClassifierResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-6s %9s %10s %8s\n", "FeatureSet", "Clf", "Accuracy", "Precision", "Recall")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-12s %-6s %9.3f %10.3f %8.3f\n",
+			r.FeatureSet, strings.ToUpper(string(r.Algorithm)), r.Accuracy, r.Precision, r.Recall)
+	}
+	return sb.String()
+}
+
+// FormatFigure6 renders per-classifier F2 scores (Figure 6).
+func FormatFigure6(results []ClassifierResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-6s %6s\n", "FeatureSet", "Clf", "F2")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-12s %-6s %6.3f\n", r.FeatureSet, strings.ToUpper(string(r.Algorithm)), r.F2)
+	}
+	return sb.String()
+}
+
+// FormatFigure7 renders the two headline ROC summaries (Figure 7): the
+// best-F2 configuration of each feature set with its AUC and a coarse
+// curve.
+func FormatFigure7(results []ClassifierResult) string {
+	var sb strings.Builder
+	for _, fs := range []core.FeatureSet{core.FeatureSetV, core.FeatureSetJ} {
+		best := BestF2(results, fs)
+		if best == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s feature set: %s, AUC = %.3f\n",
+			fs, strings.ToUpper(string(best.Algorithm)), best.AUC)
+		if len(best.ROC) > 0 {
+			fmt.Fprintf(&sb, "  FPR:TPR samples:")
+			for _, fpr := range []float64{0.01, 0.05, 0.1, 0.2, 0.5} {
+				fmt.Fprintf(&sb, " %.2f:%.3f", fpr, tprAt(best.ROC, fpr))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// tprAt interpolates the TPR at a given FPR on a ROC curve.
+func tprAt(roc []eval.ROCPoint, fpr float64) float64 {
+	idx := sort.Search(len(roc), func(i int) bool { return roc[i].FPR >= fpr })
+	if idx >= len(roc) {
+		return 1
+	}
+	return roc[idx].TPR
+}

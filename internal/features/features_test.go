@@ -1,0 +1,291 @@
+package features
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const normalMacro = `Sub SendReport()
+    ' Send the weekly report via Outlook
+    Dim OutlookApp As Object
+    Dim MailItem As Object
+    Set OutlookApp = CreateObject("Outlook.Application")
+    Set MailItem = OutlookApp.CreateItem(0)
+    MailItem.Subject = "Weekly report"
+    MailItem.Body = "Please find the report attached."
+    MailItem.Display
+End Sub
+`
+
+const obfuscatedMacro = `Sub ueiwjfdjkfdsv()
+    Dim yruuehdjdnnz As String
+    Dim qpwxkjvbnmzz As String
+    yruuehdjdnnz = Chr(104) & Chr(116) & Chr(116) & Chr(112) & Chr(58) & Chr(47) & Chr(47)
+    qpwxkjvbnmzz = Replace("savteRKtofilteRK", "teRK", "e")
+    xkjwqpmvnbzl = "WScr" + "ipt.Sh" + "ell"
+    CreateObject(xkjwqpmvnbzl).Run yruuehdjdnnz & qpwxkjvbnmzz, 0
+End Sub
+`
+
+func TestVDimensions(t *testing.T) {
+	v := ExtractV(normalMacro)
+	if len(v) != VDim || len(VNames) != VDim {
+		t.Fatalf("V len = %d, names = %d, want %d", len(v), len(VNames), VDim)
+	}
+	j := ExtractJ(normalMacro)
+	if len(j) != JDim || len(JNames) != JDim {
+		t.Fatalf("J len = %d, names = %d, want %d", len(j), len(JNames), JDim)
+	}
+}
+
+func TestVCodeAndCommentChars(t *testing.T) {
+	src := "x = 1 ' note\n"
+	v := ExtractV(src)
+	if v[1] != float64(len("' note")) {
+		t.Errorf("V2 = %v, want %d", v[1], len("' note"))
+	}
+	if v[0] != float64(len(src)-len("' note")) {
+		t.Errorf("V1 = %v", v[0])
+	}
+	if v[0]+v[1] != float64(len(src)) {
+		t.Errorf("V1+V2 = %v, want %d", v[0]+v[1], len(src))
+	}
+}
+
+func TestVStringFeatures(t *testing.T) {
+	src := "a = \"hello\" & \"hi\" + b\n"
+	v := ExtractV(src)
+	// V5: '&', '+', '=' → 3 operators / code chars.
+	wantFreq := 3.0 / float64(len(src))
+	if math.Abs(v[4]-wantFreq) > 1e-12 {
+		t.Errorf("V5 = %v, want %v", v[4], wantFreq)
+	}
+	// V6: 7 string chars / total.
+	if math.Abs(v[5]-7.0/float64(len(src))) > 1e-12 {
+		t.Errorf("V6 = %v", v[5])
+	}
+	// V7: avg string length = (5+2)/2.
+	if v[6] != 3.5 {
+		t.Errorf("V7 = %v, want 3.5", v[6])
+	}
+}
+
+func TestVCallClassPercentages(t *testing.T) {
+	src := "x = Chr(65) & Replace(s, a, b)\ny = Abs(-1)\nz = CStr(5)\nw = DDB(1, 2, 3, 4)\nShell cmd, 1\n"
+	v := ExtractV(src)
+	// 6 calls: Chr, Replace (text), Abs (arith), CStr (conv), DDB (fin), Shell (rich).
+	if math.Abs(v[7]-2.0/6) > 1e-9 { // V8 text
+		t.Errorf("V8 = %v, want %v", v[7], 2.0/6)
+	}
+	for i, want := range []float64{1.0 / 6, 1.0 / 6, 1.0 / 6, 1.0 / 6} {
+		if math.Abs(v[8+i]-want) > 1e-9 {
+			t.Errorf("V%d = %v, want %v", 9+i, v[8+i], want)
+		}
+	}
+}
+
+func TestVIdentifierStats(t *testing.T) {
+	src := "Sub ab()\nDim abcd As Long\nEnd Sub\n"
+	v := ExtractV(src)
+	// identifiers: "ab" (2), "abcd" (4): mean 3, var 1.
+	if v[13] != 3 || v[14] != 1 {
+		t.Errorf("V14, V15 = %v, %v, want 3, 1", v[13], v[14])
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := ShannonEntropy([]byte{}); e != 0 {
+		t.Errorf("entropy(empty) = %v", e)
+	}
+	if e := ShannonEntropy([]byte("aaaa")); e != 0 {
+		t.Errorf("entropy(aaaa) = %v", e)
+	}
+	if e := ShannonEntropy([]byte("ab")); math.Abs(e-1) > 1e-12 {
+		t.Errorf("entropy(ab) = %v, want 1", e)
+	}
+	// 256 distinct bytes: 8 bits.
+	all := make([]byte, 256)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	if e := ShannonEntropy(all); math.Abs(e-8) > 1e-12 {
+		t.Errorf("entropy(all bytes) = %v, want 8", e)
+	}
+}
+
+func TestObfuscationShiftsV(t *testing.T) {
+	vn := ExtractV(normalMacro)
+	vo := ExtractV(obfuscatedMacro)
+	// O1 channel: random identifiers push entropy and identifier length up.
+	if vo[13] <= vn[13] {
+		t.Errorf("V14 ident len: obfuscated %v <= normal %v", vo[13], vn[13])
+	}
+	// O2 channel: more string operators per char.
+	if vo[4] <= vn[4] {
+		t.Errorf("V5 string ops: obfuscated %v <= normal %v", vo[4], vn[4])
+	}
+	// O3 channel: text-function share way up.
+	if vo[7] <= vn[7] {
+		t.Errorf("V8 text fns: obfuscated %v <= normal %v", vo[7], vn[7])
+	}
+}
+
+func TestJFeatures(t *testing.T) {
+	src := "' c1\nSub A()\nx = \"ab\\cd\"\nEnd Sub\n"
+	j := ExtractJ(src)
+	if j[0] != float64(len(src)) {
+		t.Errorf("J1 = %v", j[0])
+	}
+	if j[2] != 5 { // 4 newlines → 5 split segments
+		t.Errorf("J3 = %v, want 5", j[2])
+	}
+	if j[3] != 1 {
+		t.Errorf("J4 = %v, want 1", j[3])
+	}
+	if j[9] != 1 {
+		t.Errorf("J10 = %v, want 1", j[9])
+	}
+	if j[16] <= 0 {
+		t.Errorf("J17 backslash pct = %v, want > 0", j[16])
+	}
+	if j[19] <= 0 {
+		t.Errorf("J20 = %v, want > 0", j[19])
+	}
+}
+
+func TestJLongLines(t *testing.T) {
+	long := strings.Repeat("x", 200)
+	src := "a = 1\n" + long + "\n"
+	j := ExtractJ(src)
+	if math.Abs(j[13]-1.0/3) > 1e-9 {
+		t.Errorf("J14 = %v, want 1/3", j[13])
+	}
+}
+
+func TestHumanReadable(t *testing.T) {
+	readable := []string{"hello", "SendReport", "counter", "value", "document"}
+	unreadable := []string{"ueiwjfdjkfdsv", "yruuehdjdnnz", "xkjwqpmvnbzl", "zzzz", "qqqq", "x"}
+	for _, w := range readable {
+		if !isHumanReadable(w) {
+			t.Errorf("isHumanReadable(%q) = false", w)
+		}
+	}
+	for _, w := range unreadable {
+		if isHumanReadable(w) {
+			t.Errorf("isHumanReadable(%q) = true", w)
+		}
+	}
+}
+
+func TestWordsOf(t *testing.T) {
+	got := wordsOf("Dim x_1 = foo(bar, 2)")
+	want := []string{"Dim", "x_1", "foo", "bar", "2"}
+	if len(got) != len(want) {
+		t.Fatalf("wordsOf = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("word %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMeanVar(t *testing.T) {
+	m, v := meanVar(nil)
+	if m != 0 || v != 0 {
+		t.Errorf("meanVar(nil) = %v, %v", m, v)
+	}
+	m, v = meanVar([]float64{2, 4, 6})
+	if m != 4 || math.Abs(v-8.0/3) > 1e-12 {
+		t.Errorf("meanVar = %v, %v", m, v)
+	}
+}
+
+func TestEmptySourceSafe(t *testing.T) {
+	for _, src := range []string{"", " ", "\n", "'only comment\n"} {
+		v := ExtractV(src)
+		j := ExtractJ(src)
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("src %q: V[%d] = %v", src, i, x)
+			}
+		}
+		for i, x := range j {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("src %q: J[%d] = %v", src, i, x)
+			}
+		}
+	}
+}
+
+func TestFeaturesAlwaysFinite(t *testing.T) {
+	f := func(src string) bool {
+		for _, x := range ExtractV(src) {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return false
+			}
+		}
+		for _, x := range ExtractJ(src) {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentageFeaturesBounded(t *testing.T) {
+	f := func(src string) bool {
+		v := ExtractV(src)
+		// V6, V8..V12 are percentages in [0, 1].
+		for _, i := range []int{5, 7, 8, 9, 10, 11} {
+			if v[i] < 0 || v[i] > 1 {
+				return false
+			}
+		}
+		j := ExtractJ(src)
+		for _, i := range []int{4, 5, 13, 15, 16} {
+			if j[i] < 0 || j[i] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeOnce(t *testing.T) {
+	a := Analyze(normalMacro)
+	v1 := a.V()
+	v2 := a.V()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("V not deterministic at %d", i)
+		}
+	}
+}
+
+func BenchmarkExtractV(b *testing.B) {
+	src := strings.Repeat(normalMacro, 10)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractV(src)
+	}
+}
+
+func BenchmarkExtractJ(b *testing.B) {
+	src := strings.Repeat(normalMacro, 10)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExtractJ(src)
+	}
+}

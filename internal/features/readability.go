@@ -1,0 +1,127 @@
+package features
+
+import "strings"
+
+// J5 readability is dictionary-based, as in Likarish et al.: a word is
+// human readable when its camel-case/underscore segments are common
+// English (or programming-English) words. This is deliberately an
+// English-centric heuristic — on real corpora with non-English naming it
+// misfires on benign code, one reason the J feature set transfers poorly
+// to the VBA obfuscation task (§V).
+var englishWords = func() map[string]bool {
+	words := []string{
+		// Common English + office/programming vocabulary.
+		"a", "an", "the", "and", "or", "not", "is", "are", "was", "be",
+		"to", "of", "in", "on", "at", "by", "for", "with", "from", "as",
+		"it", "this", "that", "all", "any", "each", "other", "more",
+		"add", "apply", "archive", "attach", "auto", "backup", "balance",
+		"base", "body", "book", "box", "break", "buffer", "build", "button",
+		"calc", "calculate", "call", "cell", "cells", "change", "chart",
+		"check", "clear", "close", "code", "column", "columns", "command",
+		"comment", "compare", "complete", "compute", "config", "contact",
+		"contains", "content", "continue", "control", "copy", "count",
+		"create", "current", "customer", "daily", "data", "date", "day",
+		"debug", "default", "delete", "dialog", "dim", "dir", "display",
+		"do", "document", "down", "download", "draw", "drop", "edit",
+		"else", "empty", "enable", "end", "entry", "error", "event",
+		"excel", "exit", "export", "false", "field", "file", "fill",
+		"filter", "final", "find", "first", "fix", "folder", "font",
+		"footer", "form", "format", "formula", "function", "generate",
+		"get", "global", "go", "gross", "group", "handle", "header",
+		"height", "helper", "hide", "home", "if", "import", "index",
+		"info", "input", "insert", "item", "key", "label", "last", "left",
+		"len", "length", "level", "line", "lines", "list", "load", "lock",
+		"log", "loop", "macro", "mail", "main", "make", "max", "merge",
+		"message", "mid", "min", "mode", "month", "monthly", "move",
+		"name", "net", "new", "next", "no", "note", "number", "object",
+		"off", "offset", "old", "open", "option", "order", "out", "output",
+		"page", "parse", "paste", "path", "payment", "pick", "pos",
+		"position", "prepare", "print", "process", "program", "project",
+		"public", "put", "quarter", "query", "range", "rate", "read",
+		"record", "ref", "refresh", "remove", "rename", "replace",
+		"report", "reset", "resize", "result", "resume", "return",
+		"right", "row", "rows", "run", "save", "schedule", "scan",
+		"screen", "search", "second", "select", "selected", "selection",
+		"send", "set", "setting", "sheet", "sheets", "shell", "show",
+		"size", "sort", "source", "space", "split", "start", "state",
+		"status", "step", "stop", "store", "string", "style", "sub",
+		"subject", "sum", "summary", "sync", "system", "tab", "table",
+		"target", "task", "temp", "template", "test", "text", "then",
+		"time", "title", "top", "total", "trim", "true", "type", "until",
+		"up", "update", "upper", "use", "user", "val", "validate",
+		"value", "values", "var", "version", "view", "visible", "week",
+		"weekly", "while", "width", "window", "word", "work", "workbook",
+		"worksheet", "worksheets", "write", "year", "yearly", "yes",
+		"zoom", "active", "account", "address", "amount", "application",
+		"budget", "business", "but", "can", "case", "cause", "click",
+		"company", "complete", "const", "counter", "double", "during",
+		"entry", "finance", "financial", "found", "have", "integer",
+		"invoice", "long", "hello", "missing", "module", "must", "need",
+		"only", "order", "over", "please", "previous", "private",
+		"protected", "raw", "ready", "region", "row", "same", "section",
+		"share", "should", "skip", "standard", "success", "successfully",
+		"their", "there", "under", "variant", "very", "when", "where",
+		"will", "you", "your",
+	}
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}()
+
+// isHumanReadable reports whether a word is composed of dictionary
+// segments. CamelCase, underscores and digit boundaries delimit segments;
+// a word reads as human language when at least half of its alphabetic
+// segments (and the longest one) are dictionary words.
+func isHumanReadable(word string) bool {
+	segments := splitIdentifier(word)
+	if len(segments) == 0 {
+		return false
+	}
+	hits, longest, longestHit := 0, "", false
+	for _, seg := range segments {
+		inDict := englishWords[seg]
+		if inDict {
+			hits++
+		}
+		if len(seg) > len(longest) {
+			longest, longestHit = seg, inDict
+		}
+	}
+	return longestHit && hits*2 >= len(segments)
+}
+
+// splitIdentifier breaks an identifier into lower-cased alphabetic
+// segments at case changes, underscores and digits: "totalGross_2" →
+// ["total", "gross"].
+func splitIdentifier(word string) []string {
+	var segments []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() >= 2 {
+			segments = append(segments, strings.ToLower(cur.String()))
+		}
+		cur.Reset()
+	}
+	prevLower := false
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			cur.WriteByte(c)
+			prevLower = true
+		case c >= 'A' && c <= 'Z':
+			if prevLower {
+				flush()
+			}
+			cur.WriteByte(c + 'a' - 'A')
+			prevLower = false
+		default:
+			flush()
+			prevLower = false
+		}
+	}
+	flush()
+	return segments
+}

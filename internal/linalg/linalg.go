@@ -1,0 +1,216 @@
+// Package linalg provides the small dense linear-algebra kernel the ML
+// classifiers need: row-major matrices, products, and linear solves with
+// partial pivoting. It exists so the classifiers stay dependency-free.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by Solve for effectively singular systems.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows copies a slice-of-rows into a Matrix. All rows must have equal
+// length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: row %d has %d cols, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes m · x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// Dot is the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AddScaled computes dst += alpha * src in place.
+func AddScaled(dst []float64, alpha float64, src []float64) {
+	for i := range dst {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// Mean returns the column-wise mean of the rows in X restricted to idx
+// (all rows when idx is nil).
+func Mean(X [][]float64, idx []int) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	d := len(X[0])
+	out := make([]float64, d)
+	n := 0
+	add := func(row []float64) {
+		for j, v := range row {
+			out[j] += v
+		}
+		n++
+	}
+	if idx == nil {
+		for _, r := range X {
+			add(r)
+		}
+	} else {
+		for _, i := range idx {
+			add(X[i])
+		}
+	}
+	if n == 0 {
+		return out
+	}
+	for j := range out {
+		out[j] /= float64(n)
+	}
+	return out
+}
+
+// Covariance computes the (population) covariance matrix of the rows of X
+// restricted to idx, around the given mean.
+func Covariance(X [][]float64, idx []int, mean []float64) *Matrix {
+	d := len(mean)
+	cov := New(d, d)
+	if len(idx) == 0 {
+		return cov
+	}
+	diff := make([]float64, d)
+	for _, i := range idx {
+		for j := range diff {
+			diff[j] = X[i][j] - mean[j]
+		}
+		for a := 0; a < d; a++ {
+			row := cov.Row(a)
+			da := diff[a]
+			for b := 0; b < d; b++ {
+				row[b] += da * diff[b]
+			}
+		}
+	}
+	inv := 1 / float64(len(idx))
+	for k := range cov.Data {
+		cov.Data[k] *= inv
+	}
+	return cov
+}
+
+// AddDiagonal adds eps to every diagonal element in place (ridge
+// regularization for near-singular covariance).
+func (m *Matrix) AddDiagonal(eps float64) {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.Data[i*m.Cols+i] += eps
+	}
+}
+
+// Solve solves A x = b by Gaussian elimination with partial pivoting. A is
+// not modified.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("linalg: solve dimension mismatch (%dx%d vs %d)", a.Rows, a.Cols, len(b))
+	}
+	// Augmented working copy.
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(m, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		// Eliminate below.
+		pv := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			rowR := m.Row(r)
+			rowC := m.Row(col)
+			for c := col; c < n; c++ {
+				rowR[c] -= f * rowC[c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := m.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

@@ -1,0 +1,176 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("dims = %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Error("At broken")
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Error("Set broken")
+	}
+	if r := m.Row(2); r[0] != 5 || r[1] != 6 {
+		t.Error("Row broken")
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := m.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestDotAndAddScaled(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot broken")
+	}
+	dst := []float64{1, 1}
+	AddScaled(dst, 2, []float64{3, 4})
+	if dst[0] != 7 || dst[1] != 9 {
+		t.Errorf("AddScaled = %v", dst)
+	}
+}
+
+func TestMean(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	m := Mean(X, nil)
+	if m[0] != 3 || m[1] != 4 {
+		t.Errorf("Mean = %v", m)
+	}
+	m = Mean(X, []int{0, 2})
+	if m[0] != 3 || m[1] != 4 {
+		t.Errorf("Mean(idx) = %v", m)
+	}
+	if m := Mean(X, []int{}); m[0] != 0 {
+		t.Errorf("Mean(empty idx) = %v", m)
+	}
+}
+
+func TestCovarianceIdentity(t *testing.T) {
+	// Two features, perfectly anti-correlated.
+	X := [][]float64{{1, -1}, {-1, 1}}
+	mean := Mean(X, []int{0, 1})
+	cov := Covariance(X, []int{0, 1}, mean)
+	if cov.At(0, 0) != 1 || cov.At(1, 1) != 1 || cov.At(0, 1) != -1 {
+		t.Errorf("cov = %+v", cov)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}})
+	if _, err := Solve(a, []float64{1}); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestSolveDoesNotModifyInput(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 1}, {1, 3}})
+	before := append([]float64(nil), a.Data...)
+	if _, err := Solve(a, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if a.Data[i] != before[i] {
+			t.Fatal("Solve modified input matrix")
+		}
+	}
+}
+
+func TestSolveRandomSPDProperty(t *testing.T) {
+	// Property: for random SPD systems, Solve returns x with A·x ≈ b.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		// A = B·Bᵀ + I is SPD.
+		b := New(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += b.At(i, k) * b.At(j, k)
+				}
+				a.Set(i, j, s)
+			}
+		}
+		a.AddDiagonal(1)
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, rhs)
+		if err != nil {
+			return false
+		}
+		back := a.MulVec(x)
+		for i := range back {
+			if math.Abs(back[i]-rhs[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDiagonal(t *testing.T) {
+	m := New(2, 2)
+	m.AddDiagonal(0.5)
+	if m.At(0, 0) != 0.5 || m.At(1, 1) != 0.5 || m.At(0, 1) != 0 {
+		t.Errorf("AddDiagonal = %+v", m)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}

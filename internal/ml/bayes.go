@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// BernoulliNB is a Bernoulli Naive Bayes classifier. Continuous features
+// are binarized at the per-feature training median (scikit-learn's
+// binarize parameter generalized to continuous inputs), then modelled as
+// independent Bernoulli variables with Laplace smoothing.
+type BernoulliNB struct {
+	// Alpha is the Laplace smoothing constant (default 1).
+	Alpha float64
+
+	thresholds []float64
+	logPrior   [2]float64
+	logProb    [2][]float64 // log P(x_j = 1 | class)
+	logNot     [2][]float64 // log P(x_j = 0 | class)
+	fitted     bool
+}
+
+// NewBernoulliNB returns a BernoulliNB with Laplace smoothing.
+func NewBernoulliNB() *BernoulliNB { return &BernoulliNB{Alpha: 1} }
+
+// Name implements Classifier.
+func (b *BernoulliNB) Name() string { return "BNB" }
+
+// Fit estimates per-class Bernoulli parameters.
+func (b *BernoulliNB) Fit(X [][]float64, y []int) error {
+	d, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if b.Alpha == 0 {
+		b.Alpha = 1
+	}
+	n := len(X)
+
+	// Per-feature binarization threshold: the training median.
+	b.thresholds = make([]float64, d)
+	col := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i, row := range X {
+			col[i] = row[j]
+		}
+		sort.Float64s(col)
+		b.thresholds[j] = col[n/2]
+	}
+
+	var count [2]int
+	var ones [2][]float64
+	ones[0] = make([]float64, d)
+	ones[1] = make([]float64, d)
+	for i, row := range X {
+		c := y[i]
+		count[c]++
+		for j, v := range row {
+			if v > b.thresholds[j] {
+				ones[c][j]++
+			}
+		}
+	}
+	for c := 0; c < 2; c++ {
+		b.logPrior[c] = math.Log(float64(count[c]) / float64(n))
+		b.logProb[c] = make([]float64, d)
+		b.logNot[c] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			p := (ones[c][j] + b.Alpha) / (float64(count[c]) + 2*b.Alpha)
+			b.logProb[c][j] = math.Log(p)
+			b.logNot[c][j] = math.Log(1 - p)
+		}
+	}
+	b.fitted = true
+	return nil
+}
+
+// Score returns the positive-vs-negative log-posterior difference.
+func (b *BernoulliNB) Score(x []float64) float64 {
+	if !b.fitted {
+		return 0
+	}
+	ll := [2]float64{b.logPrior[0], b.logPrior[1]}
+	for j, v := range x {
+		bit := v > b.thresholds[j]
+		for c := 0; c < 2; c++ {
+			if bit {
+				ll[c] += b.logProb[c][j]
+			} else {
+				ll[c] += b.logNot[c][j]
+			}
+		}
+	}
+	return ll[1] - ll[0]
+}
+
+// Predict implements Classifier. An unfitted model predicts Negative.
+func (b *BernoulliNB) Predict(x []float64) int {
+	if !b.fitted {
+		return Negative
+	}
+	if b.Score(x) >= 0 {
+		return Positive
+	}
+	return Negative
+}

@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomForest is a bagging ensemble of CART trees with per-split feature
+// subsampling (√d features per split, scikit-learn's classifier default).
+type RandomForest struct {
+	// Trees is the ensemble size (default 100, scikit-learn's default).
+	Trees int
+	// MaxDepth limits individual trees (0 = unlimited).
+	MaxDepth int
+	// MinSamplesLeaf is the per-leaf minimum (default 1).
+	MinSamplesLeaf int
+	// Seed drives bootstrapping and feature subsampling.
+	Seed int64
+
+	ensemble []*DecisionTree
+	fitted   bool
+}
+
+// NewRandomForest returns a forest with the scikit-learn-like defaults the
+// paper's pipeline uses.
+func NewRandomForest(seed int64) *RandomForest {
+	return &RandomForest{Trees: 100, Seed: seed}
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "RF" }
+
+// Fit trains the ensemble on bootstrap resamples of (X, y).
+func (f *RandomForest) Fit(X [][]float64, y []int) error {
+	d, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if f.Trees == 0 {
+		f.Trees = 100
+	}
+	maxFeatures := int(math.Sqrt(float64(d)))
+	if maxFeatures < 1 {
+		maxFeatures = 1
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	n := len(X)
+	f.ensemble = make([]*DecisionTree, f.Trees)
+	for t := range f.ensemble {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		tree := &DecisionTree{
+			MaxDepth:       f.MaxDepth,
+			MinSamplesLeaf: f.MinSamplesLeaf,
+			MaxFeatures:    maxFeatures,
+		}
+		tree.fitIndexed(X, y, idx, rng)
+		f.ensemble[t] = tree
+	}
+	f.fitted = true
+	return nil
+}
+
+// Score returns the mean positive probability across trees.
+func (f *RandomForest) Score(x []float64) float64 {
+	if !f.fitted || len(f.ensemble) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range f.ensemble {
+		sum += t.Score(x)
+	}
+	return sum / float64(len(f.ensemble))
+}
+
+// Predict implements Classifier.
+func (f *RandomForest) Predict(x []float64) int {
+	if f.Score(x) >= 0.5 {
+		return Positive
+	}
+	return Negative
+}
+
+// Importances returns the forest's per-feature Gini importances: the mean
+// of the trees' normalized importances, normalized to sum to 1 (nil
+// before Fit).
+func (f *RandomForest) Importances() []float64 {
+	if !f.fitted || len(f.ensemble) == 0 {
+		return nil
+	}
+	var acc []float64
+	for _, t := range f.ensemble {
+		imp := t.Importances()
+		if imp == nil {
+			continue
+		}
+		if acc == nil {
+			acc = make([]float64, len(imp))
+		}
+		for i, v := range imp {
+			acc[i] += v
+		}
+	}
+	return normalizeImportance(acc)
+}

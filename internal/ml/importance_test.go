@@ -1,0 +1,79 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// importanceData: feature 0 fully informative, feature 1 weakly, feature 2
+// pure noise.
+func importanceData(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		X[i] = []float64{
+			float64(c)*4 - 2 + rng.NormFloat64()*0.3,
+			float64(c)*1 - 0.5 + rng.NormFloat64()*1.5,
+			rng.NormFloat64(),
+		}
+		y[i] = c
+	}
+	return X, y
+}
+
+func TestTreeImportances(t *testing.T) {
+	X, y := importanceData(400, 1)
+	tree := &DecisionTree{}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.Importances()
+	if len(imp) != 3 {
+		t.Fatalf("importances = %v", imp)
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum = %v", sum)
+	}
+	if imp[0] < imp[1] || imp[0] < imp[2] {
+		t.Errorf("feature 0 should dominate: %v", imp)
+	}
+}
+
+func TestForestImportances(t *testing.T) {
+	X, y := importanceData(400, 2)
+	rf := NewRandomForest(2)
+	rf.Trees = 40
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := rf.Importances()
+	if len(imp) != 3 {
+		t.Fatalf("importances = %v", imp)
+	}
+	if imp[0] < 0.5 {
+		t.Errorf("informative feature importance = %v", imp)
+	}
+	if imp[2] > 0.3 {
+		t.Errorf("noise feature importance too high: %v", imp)
+	}
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+func TestImportancesUnfitted(t *testing.T) {
+	if imp := (&DecisionTree{}).Importances(); imp != nil {
+		t.Errorf("unfitted tree importances = %v", imp)
+	}
+	if imp := NewRandomForest(1).Importances(); imp != nil {
+		t.Errorf("unfitted forest importances = %v", imp)
+	}
+}

@@ -1,0 +1,101 @@
+package ml
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// LDA is Fisher's linear discriminant with the Gaussian equal-covariance
+// decision rule: w = Σ⁻¹(μ₁ − μ₀), threshold from class priors.
+type LDA struct {
+	// Ridge is added to the pooled covariance diagonal for numerical
+	// stability (default 1e-6 relative to the mean variance).
+	Ridge float64
+
+	w      []float64
+	bias   float64
+	fitted bool
+}
+
+// NewLDA returns an LDA classifier.
+func NewLDA() *LDA { return &LDA{} }
+
+// Name implements Classifier.
+func (l *LDA) Name() string { return "LDA" }
+
+// Fit estimates class means and the pooled covariance.
+func (l *LDA) Fit(X [][]float64, y []int) error {
+	if _, err := validate(X, y); err != nil {
+		return err
+	}
+	var pos, neg []int
+	for i, label := range y {
+		if label == Positive {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	mu1 := linalg.Mean(X, pos)
+	mu0 := linalg.Mean(X, neg)
+	cov1 := linalg.Covariance(X, pos, mu1)
+	cov0 := linalg.Covariance(X, neg, mu0)
+	d := len(mu1)
+	n := float64(len(X))
+	pooled := linalg.New(d, d)
+	w1 := float64(len(pos)) / n
+	w0 := float64(len(neg)) / n
+	for i := range pooled.Data {
+		pooled.Data[i] = w1*cov1.Data[i] + w0*cov0.Data[i]
+	}
+
+	// Relative ridge for stability on (near-)degenerate features.
+	ridge := l.Ridge
+	if ridge == 0 {
+		trace := 0.0
+		for i := 0; i < d; i++ {
+			trace += pooled.At(i, i)
+		}
+		ridge = 1e-6 * (trace/float64(d) + 1)
+	}
+	pooled.AddDiagonal(ridge)
+
+	diff := make([]float64, d)
+	for j := range diff {
+		diff[j] = mu1[j] - mu0[j]
+	}
+	w, err := linalg.Solve(pooled, diff)
+	if err != nil {
+		return err
+	}
+	l.w = w
+	// Decision threshold: w·x ≥ w·(μ1+μ0)/2 − ln(π1/π0) (equal-covariance
+	// Gaussian posterior).
+	mid := make([]float64, d)
+	for j := range mid {
+		mid[j] = (mu1[j] + mu0[j]) / 2
+	}
+	l.bias = -linalg.Dot(w, mid) + math.Log(w1/w0)
+	l.fitted = true
+	return nil
+}
+
+// Score returns the signed discriminant value.
+func (l *LDA) Score(x []float64) float64 {
+	if !l.fitted {
+		return 0
+	}
+	return linalg.Dot(l.w, x) + l.bias
+}
+
+// Predict implements Classifier. An unfitted model predicts Negative.
+func (l *LDA) Predict(x []float64) int {
+	if !l.fitted {
+		return Negative
+	}
+	if l.Score(x) >= 0 {
+		return Positive
+	}
+	return Negative
+}

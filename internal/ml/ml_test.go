@@ -1,0 +1,332 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gaussianBlobs builds a linearly separable 2-class dataset with the given
+// margin; margin < 0 produces overlap.
+func gaussianBlobs(n int, dim int, margin float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, dim)
+		c := i % 2
+		center := -1 - margin/2
+		if c == 1 {
+			center = 1 + margin/2
+		}
+		for j := range row {
+			row[j] = center + rng.NormFloat64()*0.5
+		}
+		X[i] = row
+		y[i] = c
+	}
+	return X, y
+}
+
+// xorData is not linearly separable: tests nonlinear capability.
+func xorData(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a := float64(rng.Intn(2))*2 - 1
+		b := float64(rng.Intn(2))*2 - 1
+		X[i] = []float64{a + rng.NormFloat64()*0.2, b + rng.NormFloat64()*0.2}
+		if a*b > 0 {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func accuracy(c Classifier, X [][]float64, y []int) float64 {
+	correct := 0
+	for i, x := range X {
+		if c.Predict(x) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}
+
+func allClassifiers(seed int64) []Classifier {
+	return []Classifier{
+		NewScaled(NewSVM(seed)),
+		NewRandomForest(seed),
+		NewScaled(NewMLP(seed)),
+		NewScaled(NewLDA()),
+		NewBernoulliNB(),
+	}
+}
+
+func TestAllClassifiersOnSeparableData(t *testing.T) {
+	Xtr, ytr := gaussianBlobs(300, 4, 1, 1)
+	Xte, yte := gaussianBlobs(200, 4, 1, 2)
+	for _, c := range allClassifiers(7) {
+		if err := c.Fit(Xtr, ytr); err != nil {
+			t.Fatalf("%s: Fit: %v", c.Name(), err)
+		}
+		if acc := accuracy(c, Xte, yte); acc < 0.9 {
+			t.Errorf("%s: accuracy %.3f on separable data, want >= 0.9", c.Name(), acc)
+		}
+	}
+}
+
+func TestNonlinearClassifiersOnXOR(t *testing.T) {
+	Xtr, ytr := xorData(400, 3)
+	Xte, yte := xorData(200, 4)
+	for _, c := range []Classifier{
+		NewScaled(NewSVM(7)),
+		NewRandomForest(7),
+		NewScaled(NewMLP(7)),
+	} {
+		if err := c.Fit(Xtr, ytr); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if acc := accuracy(c, Xte, yte); acc < 0.9 {
+			t.Errorf("%s: XOR accuracy %.3f, want >= 0.9", c.Name(), acc)
+		}
+	}
+}
+
+func TestLinearClassifiersFailXOR(t *testing.T) {
+	// Sanity check that XOR really is nonlinear: LDA must be near chance.
+	Xtr, ytr := xorData(400, 3)
+	Xte, yte := xorData(200, 4)
+	lda := NewScaled(NewLDA())
+	if err := lda.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(lda, Xte, yte); acc > 0.7 {
+		t.Errorf("LDA XOR accuracy %.3f — test data is not actually XOR-like", acc)
+	}
+}
+
+func TestValidateRejectsBadData(t *testing.T) {
+	good := [][]float64{{1}, {2}}
+	cases := []struct {
+		name string
+		X    [][]float64
+		y    []int
+	}{
+		{"empty", nil, nil},
+		{"mismatch", good, []int{1}},
+		{"ragged", [][]float64{{1}, {2, 3}}, []int{0, 1}},
+		{"bad label", good, []int{0, 2}},
+		{"one class", good, []int{1, 1}},
+		{"zero dim", [][]float64{{}, {}}, []int{0, 1}},
+	}
+	for _, c := range cases {
+		for _, clf := range allClassifiers(1) {
+			if err := clf.Fit(c.X, c.y); err == nil {
+				t.Errorf("%s: Fit accepted %s data", clf.Name(), c.name)
+			}
+		}
+	}
+}
+
+func TestUnfittedSafe(t *testing.T) {
+	for _, c := range allClassifiers(1) {
+		if got := c.Predict([]float64{1, 2}); got != Negative {
+			t.Errorf("%s: unfitted Predict = %d", c.Name(), got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	X, y := gaussianBlobs(200, 3, 0.2, 5)
+	probe := []float64{0.3, -0.2, 0.1}
+	for _, mk := range []func() Classifier{
+		func() Classifier { return NewScaled(NewSVM(9)) },
+		func() Classifier { return NewRandomForest(9) },
+		func() Classifier { return NewScaled(NewMLP(9)) },
+		func() Classifier { return NewScaled(NewLDA()) },
+		func() Classifier { return NewBernoulliNB() },
+	} {
+		a, b := mk(), mk()
+		if err := a.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if sa, sb := a.Score(probe), b.Score(probe); sa != sb {
+			t.Errorf("%s: scores differ across identical fits: %v vs %v", a.Name(), sa, sb)
+		}
+	}
+}
+
+func TestScoreMonotoneWithPredict(t *testing.T) {
+	// Predict must equal thresholding Score at each classifier's natural
+	// threshold.
+	X, y := gaussianBlobs(300, 3, 0.1, 11)
+	Xte, _ := gaussianBlobs(100, 3, 0.1, 12)
+	thresholds := map[string]float64{"SVM": 0, "RF": 0.5, "MLP": 0.5, "LDA": 0, "BNB": 0}
+	for _, c := range allClassifiers(13) {
+		if err := c.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		thr := thresholds[c.Name()]
+		for _, x := range Xte {
+			want := Negative
+			if c.Score(x) >= thr {
+				want = Positive
+			}
+			if got := c.Predict(x); got != want {
+				t.Errorf("%s: Predict=%d but Score=%v (thr %v)", c.Name(), got, c.Score(x), thr)
+			}
+		}
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	X := [][]float64{{1, 10}, {3, 10}, {5, 10}}
+	var s StandardScaler
+	if err := s.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean[0] != 3 || s.Mean[1] != 10 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	// Constant feature must not divide by zero.
+	out := s.Transform([]float64{3, 10})
+	if out[0] != 0 || out[1] != 0 {
+		t.Errorf("Transform = %v", out)
+	}
+	all := s.TransformAll(X)
+	mean0 := (all[0][0] + all[1][0] + all[2][0]) / 3
+	if math.Abs(mean0) > 1e-12 {
+		t.Errorf("scaled mean = %v", mean0)
+	}
+	if err := (&StandardScaler{}).Fit(nil); err == nil {
+		t.Error("Fit(nil) accepted")
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	X, y := gaussianBlobs(200, 3, -0.5, 21)
+	tree := &DecisionTree{MaxDepth: 2}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 2 {
+		t.Errorf("depth = %d, want <= 2", d)
+	}
+}
+
+func TestTreePureLeafStopsEarly(t *testing.T) {
+	X := [][]float64{{0}, {0.1}, {10}, {10.1}}
+	y := []int{0, 0, 1, 1}
+	tree := &DecisionTree{}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 {
+		t.Errorf("depth = %d, want 1 (single perfect split)", tree.Depth())
+	}
+	for i, x := range X {
+		if tree.Predict(x) != y[i] {
+			t.Errorf("Predict(%v) = %d", x, tree.Predict(x))
+		}
+	}
+}
+
+func TestSVMSupportVectorsSubset(t *testing.T) {
+	X, y := gaussianBlobs(200, 2, 1.5, 31)
+	svm := NewSVM(31)
+	if err := svm.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if len(svm.vectors) == 0 || len(svm.vectors) == len(X) {
+		t.Errorf("support vectors = %d of %d; separable data should use a strict subset",
+			len(svm.vectors), len(X))
+	}
+}
+
+func TestBernoulliNBThresholds(t *testing.T) {
+	// Feature 0 informative, feature 1 constant.
+	X := [][]float64{{0, 5}, {1, 5}, {10, 5}, {11, 5}}
+	y := []int{0, 0, 1, 1}
+	nb := NewBernoulliNB()
+	if err := nb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if nb.Predict([]float64{0.5, 5}) != 0 || nb.Predict([]float64{10.5, 5}) != 1 {
+		t.Error("BNB misclassifies trivially separable data")
+	}
+}
+
+func TestLDARecoversDirection(t *testing.T) {
+	// Classes differ only along feature 0.
+	rng := rand.New(rand.NewSource(41))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		c := i % 2
+		X = append(X, []float64{float64(c)*4 - 2 + rng.NormFloat64(), rng.NormFloat64()})
+		y = append(y, c)
+	}
+	lda := NewLDA()
+	if err := lda.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lda.w[0]) < math.Abs(lda.w[1]) {
+		t.Errorf("w = %v; informative feature should dominate", lda.w)
+	}
+}
+
+func TestMLPSmallConfig(t *testing.T) {
+	X, y := gaussianBlobs(100, 2, 0.5, 51)
+	mlp := &MLP{Hidden: 8, Epochs: 50, BatchSize: 16, LearningRate: 1e-2, Seed: 51}
+	if err := mlp.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(mlp, X, y); acc < 0.95 {
+		t.Errorf("training accuracy = %.3f", acc)
+	}
+	// Probabilities must lie in (0, 1).
+	for _, x := range X[:10] {
+		if p := mlp.Score(x); p <= 0 || p >= 1 {
+			t.Errorf("Score = %v not in (0,1)", p)
+		}
+	}
+}
+
+func BenchmarkSVMFit(b *testing.B) {
+	X, y := gaussianBlobs(400, 15, 0.2, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		svm := NewSVM(int64(i))
+		if err := svm.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	X, y := gaussianBlobs(400, 15, 0.2, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rf := NewRandomForest(int64(i))
+		rf.Trees = 20
+		if err := rf.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLPFit(b *testing.B) {
+	X, y := gaussianBlobs(400, 15, 0.2, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mlp := &MLP{Hidden: 32, Epochs: 20, Seed: int64(i)}
+		if err := mlp.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

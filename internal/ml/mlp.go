@@ -1,0 +1,238 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a feed-forward neural network with one ReLU hidden layer and a
+// sigmoid output, trained with Adam on mini-batches of the binary
+// cross-entropy loss — the scikit-learn MLPClassifier configuration the
+// paper's pipeline uses by default (100 hidden units, Adam, lr 1e-3).
+type MLP struct {
+	// Hidden is the hidden-layer width (default 100).
+	Hidden int
+	// Epochs is the number of full training passes (default 200).
+	Epochs int
+	// BatchSize is the mini-batch size (default 200, capped at n).
+	BatchSize int
+	// LearningRate is Adam's step size (default 1e-3).
+	LearningRate float64
+	// L2 is the weight penalty (scikit-learn's alpha, default 1e-4).
+	L2 float64
+	// Seed drives weight init and batch shuffling.
+	Seed int64
+
+	w1 [][]float64 // hidden x dim
+	b1 []float64
+	w2 []float64 // hidden
+	b2 float64
+
+	fitted bool
+}
+
+// NewMLP returns an MLP with scikit-learn-like defaults.
+func NewMLP(seed int64) *MLP {
+	return &MLP{Hidden: 100, Epochs: 200, BatchSize: 200, LearningRate: 1e-3, L2: 1e-4, Seed: seed}
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "MLP" }
+
+// Fit trains the network.
+func (m *MLP) Fit(X [][]float64, y []int) error {
+	dim, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if m.Hidden == 0 {
+		m.Hidden = 100
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 200
+	}
+	if m.BatchSize == 0 {
+		m.BatchSize = 200
+	}
+	if m.LearningRate == 0 {
+		m.LearningRate = 1e-3
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	h := m.Hidden
+
+	// He initialization for the ReLU layer, Glorot-ish for the output.
+	m.w1 = make([][]float64, h)
+	scale1 := math.Sqrt(2 / float64(dim))
+	for i := range m.w1 {
+		m.w1[i] = make([]float64, dim)
+		for j := range m.w1[i] {
+			m.w1[i][j] = rng.NormFloat64() * scale1
+		}
+	}
+	m.b1 = make([]float64, h)
+	m.w2 = make([]float64, h)
+	scale2 := math.Sqrt(1 / float64(h))
+	for i := range m.w2 {
+		m.w2[i] = rng.NormFloat64() * scale2
+	}
+	m.b2 = 0
+
+	n := len(X)
+	batch := m.BatchSize
+	if batch > n {
+		batch = n
+	}
+
+	// Adam state.
+	adam := newAdamState(h, dim)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+
+	hid := make([]float64, h)   // hidden activations
+	dHid := make([]float64, h)  // hidden grads
+	gw1 := make([][]float64, h) // batch gradients
+	for i := range gw1 {
+		gw1[i] = make([]float64, dim)
+	}
+	gb1 := make([]float64, h)
+	gw2 := make([]float64, h)
+	var gb2 float64
+
+	step := 0
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			// Zero batch gradients.
+			for i := range gw1 {
+				for j := range gw1[i] {
+					gw1[i][j] = 0
+				}
+				gb1[i] = 0
+				gw2[i] = 0
+			}
+			gb2 = 0
+			for _, idx := range order[start:end] {
+				x := X[idx]
+				target := float64(y[idx])
+				// Forward.
+				for i := 0; i < h; i++ {
+					z := m.b1[i]
+					w := m.w1[i]
+					for j, xv := range x {
+						z += w[j] * xv
+					}
+					if z < 0 {
+						z = 0
+					}
+					hid[i] = z
+				}
+				z2 := m.b2
+				for i := 0; i < h; i++ {
+					z2 += m.w2[i] * hid[i]
+				}
+				p := sigmoid(z2)
+				// Backward: dL/dz2 = p - target for BCE+sigmoid.
+				dz2 := p - target
+				gb2 += dz2
+				for i := 0; i < h; i++ {
+					gw2[i] += dz2 * hid[i]
+					if hid[i] > 0 {
+						dHid[i] = dz2 * m.w2[i]
+					} else {
+						dHid[i] = 0
+					}
+				}
+				for i := 0; i < h; i++ {
+					if dHid[i] == 0 {
+						continue
+					}
+					g := gw1[i]
+					d := dHid[i]
+					for j, xv := range x {
+						g[j] += d * xv
+					}
+					gb1[i] += d
+				}
+			}
+			bs := float64(end - start)
+			step++
+			adam.update(m, gw1, gb1, gw2, gb2, bs, m.LearningRate, m.L2, step)
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// Score returns the positive-class probability.
+func (m *MLP) Score(x []float64) float64 {
+	if !m.fitted {
+		return 0
+	}
+	z2 := m.b2
+	for i, w := range m.w1 {
+		z := m.b1[i]
+		for j, xv := range x {
+			z += w[j] * xv
+		}
+		if z > 0 {
+			z2 += m.w2[i] * z
+		}
+	}
+	return sigmoid(z2)
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) int {
+	if m.Score(x) >= 0.5 {
+		return Positive
+	}
+	return Negative
+}
+
+// adamState carries first/second moment estimates for every parameter.
+type adamState struct {
+	mw1, vw1 [][]float64
+	mb1, vb1 []float64
+	mw2, vw2 []float64
+	mb2, vb2 float64
+}
+
+func newAdamState(h, dim int) *adamState {
+	a := &adamState{
+		mw1: make([][]float64, h), vw1: make([][]float64, h),
+		mb1: make([]float64, h), vb1: make([]float64, h),
+		mw2: make([]float64, h), vw2: make([]float64, h),
+	}
+	for i := 0; i < h; i++ {
+		a.mw1[i] = make([]float64, dim)
+		a.vw1[i] = make([]float64, dim)
+	}
+	return a
+}
+
+// update applies one Adam step with batch-averaged gradients plus L2.
+func (a *adamState) update(m *MLP, gw1 [][]float64, gb1, gw2 []float64, gb2, batchSize, lr, l2 float64, step int) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	c1 := 1 - math.Pow(beta1, float64(step))
+	c2 := 1 - math.Pow(beta2, float64(step))
+	adj := func(param, grad float64, mm, vv *float64) float64 {
+		g := grad/batchSize + l2*param
+		*mm = beta1**mm + (1-beta1)*g
+		*vv = beta2**vv + (1-beta2)*g*g
+		return param - lr*(*mm/c1)/(math.Sqrt(*vv/c2)+eps)
+	}
+	for i := range m.w1 {
+		for j := range m.w1[i] {
+			m.w1[i][j] = adj(m.w1[i][j], gw1[i][j], &a.mw1[i][j], &a.vw1[i][j])
+		}
+		m.b1[i] = adj(m.b1[i], gb1[i], &a.mb1[i], &a.vb1[i])
+		m.w2[i] = adj(m.w2[i], gw2[i], &a.mw2[i], &a.vw2[i])
+	}
+	m.b2 = adj(m.b2, gb2, &a.mb2, &a.vb2)
+}

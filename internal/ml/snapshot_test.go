@@ -1,0 +1,77 @@
+package ml
+
+import (
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	X, y := gaussianBlobs(150, 3, 0.3, 77)
+	probes, _ := gaussianBlobs(30, 3, 0.3, 78)
+	for _, c := range allClassifiers(5) {
+		if err := c.Fit(X, y); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		blob, err := Save(c)
+		if err != nil {
+			t.Fatalf("%s: Save: %v", c.Name(), err)
+		}
+		restored, err := Load(blob)
+		if err != nil {
+			t.Fatalf("%s: Load: %v", c.Name(), err)
+		}
+		for _, p := range probes {
+			if a, b := c.Score(p), restored.Score(p); a != b {
+				t.Errorf("%s: score %v != restored %v", c.Name(), a, b)
+			}
+			if a, b := c.Predict(p), restored.Predict(p); a != b {
+				t.Errorf("%s: predict %v != restored %v", c.Name(), a, b)
+			}
+		}
+	}
+}
+
+func TestSaveLoadTree(t *testing.T) {
+	X, y := gaussianBlobs(100, 2, 0.5, 3)
+	tree := &DecisionTree{MaxDepth: 4}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Save(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		if tree.Score(x) != restored.Score(x) {
+			t.Fatal("tree scores differ after round trip")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load([]byte(`{"kind":"alien","body":{}}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Load([]byte(`{"kind":"bnb","body":{"logPrior":[1]}}`)); err == nil {
+		t.Error("malformed bnb accepted")
+	}
+}
+
+func TestSaveRejectsUnknownType(t *testing.T) {
+	if _, err := Save(&stubClassifier{}); err == nil {
+		t.Error("unknown classifier type accepted")
+	}
+}
+
+type stubClassifier struct{}
+
+func (s *stubClassifier) Name() string                     { return "stub" }
+func (s *stubClassifier) Fit(X [][]float64, y []int) error { return nil }
+func (s *stubClassifier) Predict(x []float64) int          { return 0 }
+func (s *stubClassifier) Score(x []float64) float64        { return 0 }

@@ -1,0 +1,243 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// DecisionTree is a binary CART classifier splitting on Gini impurity.
+// It is used both standalone and as the base learner of RandomForest.
+type DecisionTree struct {
+	// MaxDepth limits tree depth (0 means unlimited).
+	MaxDepth int
+	// MinSamplesLeaf is the minimum number of samples per leaf (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features considered per split
+	// (0 means all; RandomForest sets √d).
+	MaxFeatures int
+	// Seed drives the per-split feature subsampling.
+	Seed int64
+
+	root       *treeNode
+	fitted     bool
+	importance []float64 // per-feature Gini importance (unnormalized)
+	nTotal     int
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	// prob is the positive-class fraction at a leaf (leaf iff left == nil).
+	prob float64
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "Tree" }
+
+// Fit grows the tree.
+func (t *DecisionTree) Fit(X [][]float64, y []int) error {
+	if _, err := validate(X, y); err != nil {
+		return err
+	}
+	if t.MinSamplesLeaf == 0 {
+		t.MinSamplesLeaf = 1
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(t.Seed))
+	t.importance = make([]float64, len(X[0]))
+	t.nTotal = len(idx)
+	t.root = t.grow(X, y, idx, 0, rng)
+	t.fitted = true
+	return nil
+}
+
+// fitIndexed grows the tree on the given row subset (no copy); used by
+// RandomForest with bootstrap samples.
+func (t *DecisionTree) fitIndexed(X [][]float64, y []int, idx []int, rng *rand.Rand) {
+	if t.MinSamplesLeaf == 0 {
+		t.MinSamplesLeaf = 1
+	}
+	if len(X) > 0 {
+		t.importance = make([]float64, len(X[0]))
+	}
+	t.nTotal = len(idx)
+	t.root = t.grow(X, y, idx, 0, rng)
+	t.fitted = true
+}
+
+func (t *DecisionTree) grow(X [][]float64, y []int, idx []int, depth int, rng *rand.Rand) *treeNode {
+	pos := 0
+	for _, i := range idx {
+		pos += y[i]
+	}
+	node := &treeNode{prob: float64(pos) / float64(len(idx))}
+	if pos == 0 || pos == len(idx) ||
+		len(idx) < 2*t.MinSamplesLeaf ||
+		(t.MaxDepth > 0 && depth >= t.MaxDepth) {
+		return node
+	}
+	feat, thr, ok := t.bestSplit(X, y, idx, rng)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.MinSamplesLeaf || len(right) < t.MinSamplesLeaf {
+		return node
+	}
+	node.feature = feat
+	node.threshold = thr
+	// Gini importance: impurity decrease weighted by the node's sample
+	// share.
+	if t.importance != nil && t.nTotal > 0 {
+		leftPos, rightPos := 0, 0
+		for _, i := range left {
+			leftPos += y[i]
+		}
+		for _, i := range right {
+			rightPos += y[i]
+		}
+		parent := gini(leftPos+rightPos, len(idx))
+		children := (float64(len(left))*gini(leftPos, len(left)) +
+			float64(len(right))*gini(rightPos, len(right))) / float64(len(idx))
+		t.importance[feat] += float64(len(idx)) / float64(t.nTotal) * (parent - children)
+	}
+	node.left = t.grow(X, y, left, depth+1, rng)
+	node.right = t.grow(X, y, right, depth+1, rng)
+	return node
+}
+
+// bestSplit scans candidate features for the threshold minimizing weighted
+// Gini impurity.
+func (t *DecisionTree) bestSplit(X [][]float64, y []int, idx []int, rng *rand.Rand) (feat int, thr float64, ok bool) {
+	d := len(X[0])
+	features := make([]int, d)
+	for i := range features {
+		features[i] = i
+	}
+	if t.MaxFeatures > 0 && t.MaxFeatures < d {
+		rng.Shuffle(d, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:t.MaxFeatures]
+	}
+
+	type pair struct {
+		v float64
+		y int
+	}
+	vals := make([]pair, len(idx))
+	best := 2.0 // gini is at most 0.5 per side; any real split beats this
+	totalPos := 0
+	for _, i := range idx {
+		totalPos += y[i]
+	}
+	n := float64(len(idx))
+	for _, f := range features {
+		for k, i := range idx {
+			vals[k] = pair{v: X[i][f], y: y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		leftPos, leftN := 0, 0
+		for k := 0; k < len(vals)-1; k++ {
+			leftPos += vals[k].y
+			leftN++
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			rightPos := totalPos - leftPos
+			rightN := len(vals) - leftN
+			gl := gini(leftPos, leftN)
+			gr := gini(rightPos, rightN)
+			weighted := (float64(leftN)*gl + float64(rightN)*gr) / n
+			if weighted < best {
+				best = weighted
+				feat = f
+				thr = (vals[k].v + vals[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func gini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// Score returns the leaf positive-class probability.
+func (t *DecisionTree) Score(x []float64) float64 {
+	if !t.fitted {
+		return 0
+	}
+	node := t.root
+	for node.left != nil {
+		if x[node.feature] <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.prob
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int {
+	if t.Score(x) >= 0.5 {
+		return Positive
+	}
+	return Negative
+}
+
+// Depth returns the depth of the fitted tree (0 for a stump/leaf).
+func (t *DecisionTree) Depth() int {
+	var rec func(n *treeNode) int
+	rec = func(n *treeNode) int {
+		if n == nil || n.left == nil {
+			return 0
+		}
+		l, r := rec(n.left), rec(n.right)
+		if r > l {
+			l = r
+		}
+		return 1 + l
+	}
+	return rec(t.root)
+}
+
+// Importances returns the per-feature Gini importances of the fitted
+// tree, normalized to sum to 1 (nil before Fit).
+func (t *DecisionTree) Importances() []float64 {
+	return normalizeImportance(t.importance)
+}
+
+func normalizeImportance(raw []float64) []float64 {
+	if raw == nil {
+		return nil
+	}
+	total := 0.0
+	for _, v := range raw {
+		total += v
+	}
+	out := make([]float64, len(raw))
+	if total == 0 {
+		return out
+	}
+	for i, v := range raw {
+		out[i] = v / total
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/vba"
+)
+
+// HiddenString records one payload value the §VI.B.1 hidden-string trick
+// moved out of the macro text and into document storage. The corpus
+// packager embeds these values into the document (form captions, document
+// variables) so the trick is reproduced end to end.
+type HiddenString struct {
+	// Kind is "variable" (ActiveDocument.Variables) or "caption"
+	// (UserForm control caption).
+	Kind string
+	// Name is the variable name or control path.
+	Name string
+	// Value is the hidden payload string.
+	Value string
+}
+
+// hideStrings implements the §VI.B.1 anti-analysis trick: long string
+// literals are replaced with reads of hidden document storage
+// (ActiveDocument.Variables(...) / UserForm captions), removing the
+// payload from the macro text entirely. The removed values are appended
+// to *hidden when non-nil.
+func hideStrings(src string, rng *rand.Rand, hidden *[]HiddenString) string {
+	toks := vba.Lex(src)
+	starts := lineStarts(src)
+	var edits []spliceEdit
+	captionUsed := false
+	for _, t := range toks {
+		if t.Kind != vba.KindString {
+			continue
+		}
+		val := t.StringValue()
+		if len(val) < 12 {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		off := tokenOffset(starts, t)
+		if off < 0 {
+			continue
+		}
+		var repl string
+		if captionUsed || rng.Intn(2) == 0 {
+			name := randomName(rng)
+			repl = fmt.Sprintf("ActiveDocument.Variables(%s).Value()", vbaQuote(name))
+			if hidden != nil {
+				*hidden = append(*hidden, HiddenString{Kind: "variable", Name: name, Value: val})
+			}
+		} else {
+			repl = "UserForm1.Label1.Caption"
+			captionUsed = true
+			if hidden != nil {
+				*hidden = append(*hidden, HiddenString{Kind: "caption", Name: "UserForm1.Label1", Value: val})
+			}
+		}
+		edits = append(edits, spliceEdit{Start: off, End: off + len(t.Text), Text: repl})
+	}
+	return applyEdits(src, edits)
+}
+
+// insertBrokenCode implements §VI.B.2: an `Exit Sub` followed by
+// syntactically broken statements is inserted before the end of each Sub,
+// so static parsers choke while run-time behavior is unchanged.
+func insertBrokenCode(src string, ind string, rng *rand.Rand) string {
+	m := vba.Parse(src)
+	lines := strings.Split(src, "\n")
+	inserts := make(map[int][]string)
+	for _, p := range m.Procedures {
+		endIdx := p.EndLine - 1
+		if endIdx <= 0 || endIdx >= len(lines) {
+			continue
+		}
+		obj := randomName(rng)
+		inserts[endIdx] = []string{
+			ind + "Exit Sub",
+			ind + "Rows.Select",
+			fmt.Sprintf("%s%s.mns(\"A:A\").Delete", ind, obj[:4]),
+			fmt.Sprintf("%s%s.mns(\"C:C\").ColumnWidth = %d", ind, obj[:4], rng.Intn(30)+5),
+			ind + "Selection.RowHeight = 15",
+		}
+	}
+	if len(inserts) == 0 {
+		return src
+	}
+	var out []string
+	for i, l := range lines {
+		if ins, ok := inserts[i]; ok {
+			out = append(out, ins...)
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}

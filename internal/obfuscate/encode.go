@@ -1,0 +1,150 @@
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/vba"
+)
+
+// encodeStrings implements O3: a fraction of the eligible string literals
+// is rewritten using the selected encoding strategy. The EncodeDecoder
+// mode appends the required user-defined decoder function to the module.
+func encodeStrings(src string, mode EncodeMode, fraction float64, rng *rand.Rand) string {
+	toks := vba.Lex(src)
+	starts := lineStarts(src)
+	var edits []spliceEdit
+	needDecoder := false
+	decoderName := randomName(rng)
+	key := 1800 + rng.Intn(200) // additive key for the numeric decoder
+	for _, t := range toks {
+		if t.Kind != vba.KindString {
+			continue
+		}
+		val := t.StringValue()
+		if len(val) < 3 || len(val) > 120 || strings.Contains(val, `"`) || !isPrintableASCII(val) {
+			continue
+		}
+		if rng.Float64() > fraction {
+			continue
+		}
+		off := tokenOffset(starts, t)
+		if off < 0 {
+			continue
+		}
+		var repl string
+		switch mode {
+		case EncodeReplace:
+			repl = replaceExpression(val, rng)
+		case EncodeDecoder:
+			repl = decoderExpression(val, decoderName, key)
+			needDecoder = true
+		default:
+			repl = chrExpression(val)
+		}
+		edits = append(edits, spliceEdit{Start: off, End: off + len(t.Text), Text: repl})
+	}
+	out := applyEdits(src, edits)
+	if needDecoder {
+		out = out + "\n" + decoderFunction(decoderName, key, rng)
+	}
+	return out
+}
+
+// chrExpression renders val as Chr(n) & Chr(n) & ... (Figure 4 style
+// character encoding). Long chains are wrapped with VBA line
+// continuations every few terms, as real obfuscators emit them.
+func chrExpression(val string) string {
+	parts := make([]string, len(val))
+	for i := 0; i < len(val); i++ {
+		parts[i] = fmt.Sprintf("Chr(%d)", val[i])
+	}
+	var sb strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			if i%8 == 0 {
+				sb.WriteString(" & _\n        ")
+			} else {
+				sb.WriteString(" & ")
+			}
+		}
+		sb.WriteString(p)
+	}
+	return sb.String()
+}
+
+// replaceExpression hides val behind a Replace() call: a random marker is
+// injected into the literal and stripped at run time, e.g.
+// Replace("savteRKtofilteRK", "teRK", "e") (the paper's Figure 4(a)).
+func replaceExpression(val string, rng *rand.Rand) string {
+	// The marker substitutes for one character of the value so the
+	// Replace call restores it: pick a character present in val.
+	pos := rng.Intn(len(val))
+	ch := val[pos]
+	marker := randomMarker(rng, val)
+	hidden := strings.ReplaceAll(val, string(ch), marker)
+	return fmt.Sprintf("Replace(%s, %s, %s)", vbaQuote(hidden), vbaQuote(marker), vbaQuote(string(ch)))
+}
+
+// randomMarker picks a short random string not occurring in val.
+func randomMarker(rng *rand.Rand, val string) string {
+	for {
+		n := 3 + rng.Intn(3)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(consonants[rng.Intn(len(consonants))])
+		}
+		m := sb.String()
+		if !strings.Contains(val, m) {
+			return m
+		}
+	}
+}
+
+// decoderExpression renders val as a call to the injected numeric decoder:
+// name(Array(k+c0, k+c1, ...)).
+func decoderExpression(val, name string, key int) string {
+	var sb strings.Builder
+	for i := 0; i < len(val); i++ {
+		if i > 0 {
+			if i%12 == 0 {
+				sb.WriteString(", _\n        ")
+			} else {
+				sb.WriteString(", ")
+			}
+		}
+		fmt.Fprintf(&sb, "%d", int(val[i])+key)
+	}
+	return fmt.Sprintf("%s(Array(%s))", name, sb.String())
+}
+
+// decoderFunction emits the user-defined decode routine (Figure 4(b)):
+// each array element minus the key is a character code.
+func decoderFunction(name string, key int, rng *rand.Rand) string {
+	arr, idx, acc := randomName(rng), randomName(rng), randomName(rng)
+	return fmt.Sprintf(`Private Function %s(%s As Variant) As String
+    Dim %s As Long
+    Dim %s As String
+    For %s = LBound(%s) To UBound(%s)
+        %s = %s & Chr(%s(%s) - %d)
+    Next %s
+    %s = %s
+End Function
+`, name, arr, idx, acc, idx, arr, arr, acc, acc, arr, idx, key, idx, name, acc)
+}
+
+// vbaQuote renders s as a VBA string literal: VBA has no backslash
+// escapes; only embedded quotes are doubled.
+func vbaQuote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+func isPrintableASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] > 0x7E {
+			return false
+		}
+	}
+	return true
+}

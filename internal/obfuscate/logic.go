@@ -1,0 +1,117 @@
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/vba"
+)
+
+// insertDummyCode implements O4: unused declarations, no-op loops and dead
+// branches are inserted into procedure bodies, and dummy procedures are
+// appended. When targetSize > 0 the output is padded with further dummy
+// procedures until it is approximately that many bytes, emulating the
+// fixed-size output of real obfuscation tools (Figure 5(b)).
+func insertDummyCode(src string, targetSize int, ind string, rng *rand.Rand) string {
+	m := vba.Parse(src)
+	lines := strings.Split(src, "\n")
+
+	// Insert a dummy statement block after each procedure header.
+	inserts := make(map[int][]string) // line index -> inserted lines
+	for _, p := range m.Procedures {
+		if p.StartLine-1 < 0 || p.StartLine-1 >= len(lines) {
+			continue
+		}
+		inserts[p.StartLine-1] = dummyStatements(rng, ind)
+	}
+	var out []string
+	for i, l := range lines {
+		out = append(out, l)
+		out = append(out, inserts[i]...)
+	}
+	result := strings.Join(out, "\n")
+
+	// Append dummy procedures: at least one, then as many as needed to
+	// approach targetSize, sizing each to the remaining budget so the
+	// output lands close to the target.
+	result += "\n" + dummyProcedure(rng, 0, ind)
+	if targetSize > 0 {
+		for len(result) < targetSize {
+			result += "\n" + dummyProcedure(rng, targetSize-len(result), ind)
+		}
+	}
+	return result
+}
+
+// dummyStatements yields a block of no-op statements for a procedure body.
+func dummyStatements(rng *rand.Rand, ind string) []string {
+	v1, v2 := randomName(rng), randomName(rng)
+	blocks := [][]string{
+		{
+			fmt.Sprintf("    Dim %s As Integer", v1),
+			fmt.Sprintf("    %s = %d", v1, rng.Intn(90)+2),
+			fmt.Sprintf("    Do While %s < %d", v1, rng.Intn(50)+100),
+			fmt.Sprintf("        DoEvents: %s = %s + 1", v1, v1),
+			"    Loop",
+		},
+		{
+			fmt.Sprintf("    Dim %s As Long", v1),
+			fmt.Sprintf("    Dim %s As String", v2),
+			fmt.Sprintf("    %s = %d * %d", v1, rng.Intn(900)+10, rng.Intn(90)+2),
+			fmt.Sprintf("    If %s < 0 Then", v1),
+			fmt.Sprintf("        %s = \"%s\"", v2, randomName(rng)),
+			"    End If",
+		},
+		{
+			fmt.Sprintf("    Dim %s As Double", v1),
+			fmt.Sprintf("    %s = Sqr(%d) + Rnd()", v1, rng.Intn(9000)+100),
+			fmt.Sprintf("    %s = %s - Int(%s)", v1, v1, v1),
+		},
+		{
+			// Financial-function junk: the paper notes O3 variants use
+			// "infrequent financial functions which are only used for
+			// accounting" purely to diversify hashes (§III.B.3) — the V11
+			// channel.
+			fmt.Sprintf("    Dim %s As Double", v1),
+			fmt.Sprintf("    %s = DDB(%d, %d, %d, %d)", v1, 1000+rng.Intn(9000), rng.Intn(500), 5+rng.Intn(15), 1+rng.Intn(4)),
+			fmt.Sprintf("    %s = %s + FV(0.0%d, %d, -%d)", v1, v1, 1+rng.Intn(9), 6+rng.Intn(30), 50+rng.Intn(400)),
+			fmt.Sprintf("    %s = %s * SYD(%d, %d, %d, %d)", v1, v1, 800+rng.Intn(5000), rng.Intn(300), 4+rng.Intn(12), 1+rng.Intn(3)),
+		},
+	}
+	block := blocks[rng.Intn(len(blocks))]
+	for i, l := range block {
+		block[i] = ind + strings.TrimLeft(l, " ")
+		if strings.HasPrefix(l, "        ") { // nested level
+			block[i] = ind + ind + strings.TrimLeft(l, " ")
+		}
+	}
+	return block
+}
+
+// dummyProcedure yields an entire unused procedure. budget > 0 caps the
+// approximate size in bytes so padding converges on its target; budget <= 0
+// picks a random size (roughly 200–900 bytes).
+func dummyProcedure(rng *rand.Rand, budget int, ind string) string {
+	name := randomName(rng)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Private Sub %s()\n", name)
+	n := 1 + rng.Intn(5)
+	if budget > 0 {
+		// A statement block averages ~140 bytes.
+		if cap := budget / 140; cap < n {
+			n = cap
+		}
+		if n < 1 {
+			n = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, l := range dummyStatements(rng, ind) {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("End Sub\n")
+	return sb.String()
+}

@@ -1,0 +1,330 @@
+// Package obfuscate implements the four VBA obfuscation technique families
+// the paper catalogues in Table I — O1 random (identifier renaming), O2
+// split (string partitioning), O3 encoding (Replace tricks, character
+// codes, custom decoders) and O4 logic (dummy code insertion and
+// reordering) — plus the anti-analysis tricks of §VI.B.
+//
+// The engine is deterministic for a given seed, which the corpus generator
+// relies on, and composable: Apply runs any subset of the techniques, and
+// the Tool presets emulate off-the-shelf obfuscators with characteristic
+// output sizes (the horizontal bands of the paper's Figure 5(b)).
+package obfuscate
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/vba"
+)
+
+// EncodeMode selects the O3 encoding strategy.
+type EncodeMode int
+
+// O3 sub-techniques from §III.B.3.
+const (
+	// EncodeChr rewrites string literals as Chr(n) & Chr(n) & ... chains
+	// (character-encoding obfuscation).
+	EncodeChr EncodeMode = iota + 1
+	// EncodeReplace hides keywords with Replace("savteRKtofilteRK",
+	// "teRK", "e")-style built-in calls.
+	EncodeReplace
+	// EncodeDecoder stores strings as numeric arrays decoded by an
+	// injected user-defined function (the paper's Figure 4(b)).
+	EncodeDecoder
+)
+
+// Options selects which techniques Apply runs and with what intensity.
+type Options struct {
+	// Seed drives all pseudo-random choices; equal seeds give equal output.
+	Seed int64
+
+	// Random enables O1 identifier randomization.
+	Random bool
+	// RenameFraction is the share of identifiers O1 renames (default 1).
+	// Hand-obfuscated code often renames only the incriminating names.
+	RenameFraction float64
+	// Split enables O2 string splitting; strings of at least SplitMinLen
+	// characters are partitioned.
+	Split bool
+	// SplitMinLen is the minimum literal length eligible for O2
+	// (default 6).
+	SplitMinLen int
+	// SplitFraction is the share of eligible strings O2 splits
+	// (default 1). Minimal hand obfuscation splits just the one
+	// incriminating string.
+	SplitFraction float64
+	// Encode enables O3 with the given Mode (default EncodeChr).
+	Encode bool
+	// Mode is the O3 strategy.
+	Mode EncodeMode
+	// EncodeFraction is the share of eligible strings O3 transforms
+	// (default 0.8).
+	EncodeFraction float64
+	// Logic enables O4 dummy-code insertion.
+	Logic bool
+	// TargetSize, when > 0 and Logic is set, pads the output with dummy
+	// code until it is approximately this many bytes — the behavior of
+	// real obfuscation tools that produces the code-length clusters of
+	// Figure 5(b).
+	TargetSize int
+	// StripComments removes the original comments.
+	StripComments bool
+	// JunkComments inserts random natural-looking comment lines, a
+	// counter-heuristic some obfuscators use against comment-ratio and
+	// entropy features.
+	JunkComments bool
+
+	// Indent selects the output indentation convention. IndentAuto (the
+	// zero value) picks one at random per seed — real obfuscators impose
+	// their own formatting, frequently flat-left.
+	Indent IndentMode
+
+	// HideStrings enables the §VI.B.1 anti-analysis trick: moving string
+	// payloads into document-variable lookups.
+	HideStrings bool
+	// BrokenCode enables §VI.B.2: unreachable syntactically broken lines
+	// after an early Exit Sub.
+	BrokenCode bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SplitMinLen == 0 {
+		o.SplitMinLen = 6
+	}
+	if o.RenameFraction == 0 {
+		o.RenameFraction = 1
+	}
+	if o.SplitFraction == 0 {
+		o.SplitFraction = 1
+	}
+	if o.Mode == 0 {
+		o.Mode = EncodeChr
+	}
+	if o.EncodeFraction == 0 {
+		o.EncodeFraction = 0.8
+	}
+	return o
+}
+
+// IndentMode is an output indentation convention.
+type IndentMode int
+
+// Indentation conventions.
+const (
+	// IndentAuto picks one of the other modes pseudo-randomly.
+	IndentAuto IndentMode = iota
+	// IndentKeep leaves the input formatting untouched.
+	IndentKeep
+	// IndentFlat strips all leading whitespace (common generated-code
+	// style).
+	IndentFlat
+	// IndentTwo re-indents every indented line with two spaces.
+	IndentTwo
+	// IndentFour re-indents every indented line with four spaces.
+	IndentFour
+)
+
+// indentString is the leading whitespace a mode writes ("" for flat/keep).
+func (m IndentMode) indentString() string {
+	switch m {
+	case IndentTwo:
+		return "  "
+	case IndentFour:
+		return "    "
+	default:
+		return ""
+	}
+}
+
+// Apply obfuscates src according to opts. The result is syntactically valid
+// VBA whose run-time behavior is preserved (modulo the intentionally
+// unreachable broken code when BrokenCode is set).
+func Apply(src string, opts Options) string {
+	out, _ := ApplyWithReport(src, opts)
+	return out
+}
+
+// Report describes side effects of an Apply run that the document
+// packager must honor for the output to stay semantically complete.
+type Report struct {
+	// Hidden lists the payload strings the HideStrings option moved into
+	// document storage; they must be embedded into the carrying document.
+	Hidden []HiddenString
+}
+
+// ApplyWithReport is Apply plus the side-effect report.
+func ApplyWithReport(src string, opts Options) (string, Report) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	indent := opts.Indent
+	if indent == IndentAuto {
+		indent = []IndentMode{IndentKeep, IndentFlat, IndentTwo, IndentFour}[rng.Intn(4)]
+	}
+	out := Reindent(src, indent)
+	ind := indent.indentString()
+	if indent == IndentKeep {
+		ind = "    "
+	}
+	if opts.StripComments {
+		out = StripComments(out)
+	}
+	if opts.Random {
+		out = randomizeIdentifiers(out, opts.RenameFraction, rng)
+	}
+	// O3 before O2 so split fragments are not re-encoded; both operate on
+	// string literals.
+	if opts.Encode {
+		out = encodeStrings(out, opts.Mode, opts.EncodeFraction, rng)
+	}
+	if opts.Split {
+		out = splitStrings(out, opts.SplitMinLen, opts.SplitFraction, rng)
+	}
+	var report Report
+	if opts.HideStrings {
+		out = hideStrings(out, rng, &report.Hidden)
+	}
+	if opts.BrokenCode {
+		out = insertBrokenCode(out, ind, rng)
+	}
+	if opts.Logic {
+		target := opts.TargetSize
+		// Pad to the next multiple of the block size when the input is
+		// already larger — tool output sizes stay on the characteristic
+		// bands (1×, 2×, ... the block) whatever the input length.
+		if target > 0 {
+			for target < len(out)+250 {
+				target += opts.TargetSize
+			}
+		}
+		out = insertDummyCode(out, target, ind, rng)
+	}
+	if opts.JunkComments {
+		out = insertJunkComments(out, rng)
+	}
+	return out, report
+}
+
+// Reindent rewrites the leading whitespace of every line per the mode. It
+// is exported for the corpus generator, which applies author-diversity
+// formatting noise to benign and malicious macros alike.
+func Reindent(src string, mode IndentMode) string {
+	if mode == IndentKeep {
+		return src
+	}
+	ind := mode.indentString()
+	lines := strings.Split(src, "\n")
+	for i, l := range lines {
+		trimmed := strings.TrimLeft(l, " \t")
+		if trimmed == l || trimmed == "" {
+			if trimmed == "" {
+				lines[i] = ""
+			}
+			continue
+		}
+		lines[i] = ind + trimmed
+	}
+	return strings.Join(lines, "\n")
+}
+
+// junkWords feed the fake comments of the JunkComments option.
+var junkWords = []string{
+	"update", "the", "report", "value", "data", "check", "total", "load",
+	"file", "open", "save", "next", "row", "cell", "sheet", "format",
+	"result", "input", "output", "current", "handle", "process", "first",
+}
+
+// insertJunkComments sprinkles plausible comment lines through the code.
+func insertJunkComments(src string, rng *rand.Rand) string {
+	lines := strings.Split(src, "\n")
+	out := make([]string, 0, len(lines)+len(lines)/6)
+	for _, l := range lines {
+		if rng.Intn(6) == 0 {
+			n := 3 + rng.Intn(5)
+			words := make([]string, n)
+			for i := range words {
+				words[i] = junkWords[rng.Intn(len(junkWords))]
+			}
+			out = append(out, "    ' "+strings.Join(words, " "))
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// spliceEdit is a replacement of source bytes [Start, End) with Text.
+type spliceEdit struct {
+	Start, End int
+	Text       string
+}
+
+// applyEdits replays non-overlapping edits (sorted by Start) onto src.
+func applyEdits(src string, edits []spliceEdit) string {
+	if len(edits) == 0 {
+		return src
+	}
+	var sb strings.Builder
+	sb.Grow(len(src) + len(edits)*16)
+	prev := 0
+	for _, e := range edits {
+		if e.Start < prev {
+			continue // overlapping edit: drop to stay safe
+		}
+		sb.WriteString(src[prev:e.Start])
+		sb.WriteString(e.Text)
+		prev = e.End
+	}
+	sb.WriteString(src[prev:])
+	return sb.String()
+}
+
+// lineStarts returns the byte offset of each line start, for mapping token
+// line/col positions to byte offsets.
+func lineStarts(src string) []int {
+	starts := []int{0}
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			starts = append(starts, i+1)
+		}
+	}
+	return starts
+}
+
+// tokenOffset converts a token position to a byte offset into src.
+func tokenOffset(starts []int, t vba.Token) int {
+	if t.Line-1 >= len(starts) {
+		return -1
+	}
+	return starts[t.Line-1] + t.Col - 1
+}
+
+// StripComments deletes comment tokens (and a preceding space run) from
+// the source, leaving line structure intact.
+func StripComments(src string) string {
+	toks := vba.Lex(src)
+	starts := lineStarts(src)
+	var edits []spliceEdit
+	for _, t := range toks {
+		if t.Kind != vba.KindComment {
+			continue
+		}
+		off := tokenOffset(starts, t)
+		if off < 0 {
+			continue
+		}
+		start := off
+		for start > 0 && (src[start-1] == ' ' || src[start-1] == '\t') {
+			start--
+		}
+		edits = append(edits, spliceEdit{Start: start, End: off + len(t.Text)})
+	}
+	out := applyEdits(src, edits)
+	// Drop lines that became empty.
+	lines := strings.Split(out, "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if strings.TrimSpace(l) != "" || len(kept) == 0 {
+			kept = append(kept, l)
+		}
+	}
+	return strings.Join(kept, "\n")
+}

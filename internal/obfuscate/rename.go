@@ -1,0 +1,95 @@
+package obfuscate
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/vba"
+)
+
+// consonant-heavy alphabet: names drawn from it fail natural-language
+// readability checks, matching the ueiwjfdjkfdsv style the paper shows in
+// Figure 2.
+const (
+	consonants = "bcdfghjklmnpqrstvwxz"
+	vowels     = "aeiou"
+)
+
+// randomName produces a random identifier of 8..15 characters with rare
+// vowels, such as "yruuehdjdnnz".
+func randomName(rng *rand.Rand) string {
+	n := 8 + rng.Intn(8)
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 {
+			sb.WriteByte(vowels[rng.Intn(len(vowels))])
+		} else {
+			sb.WriteByte(consonants[rng.Intn(len(consonants))])
+		}
+	}
+	return sb.String()
+}
+
+// eventHandlers are entry-point procedure names that must keep their names
+// for the macro to keep auto-executing; real obfuscators leave them alone.
+var eventHandlers = map[string]bool{
+	"autoopen":       true,
+	"autoclose":      true,
+	"autoexec":       true,
+	"document_open":  true,
+	"document_close": true,
+	"workbook_open":  true,
+	"workbook_close": true,
+	"auto_open":      true,
+	"auto_close":     true,
+}
+
+// randomizeIdentifiers implements O1: declared identifiers (procedures,
+// parameters, variables, constants) are consistently renamed to random
+// strings, except auto-exec event handlers. fraction < 1 renames only that
+// share of the identifiers, as hand-obfuscated code does.
+func randomizeIdentifiers(src string, fraction float64, rng *rand.Rand) string {
+	return RenameIdentifiers(src, fraction, rng, randomName)
+}
+
+// RenameIdentifiers consistently replaces the given share of declared
+// identifiers with names drawn from gen, skipping auto-exec event
+// handlers. It is the shared machinery of O1 random obfuscation and of
+// corpus generators that re-style a macro's identifier naming convention.
+func RenameIdentifiers(src string, fraction float64, rng *rand.Rand, gen func(*rand.Rand) string) string {
+	m := vba.Parse(src)
+	rename := make(map[string]string)
+	for _, id := range m.Identifiers() {
+		key := strings.ToLower(id)
+		if eventHandlers[key] {
+			continue
+		}
+		if fraction < 1 && rng.Float64() > fraction {
+			continue
+		}
+		if _, ok := rename[key]; !ok {
+			rename[key] = gen(rng)
+		}
+	}
+	if len(rename) == 0 {
+		return src
+	}
+	starts := lineStarts(src)
+	var edits []spliceEdit
+	for _, t := range m.Tokens {
+		if t.Kind != vba.KindIdent {
+			continue
+		}
+		newName, ok := rename[strings.ToLower(strings.TrimSuffix(t.Text, "$"))]
+		if !ok {
+			continue
+		}
+		off := tokenOffset(starts, t)
+		if off < 0 {
+			continue
+		}
+		edits = append(edits, spliceEdit{Start: off, End: off + len(t.Text), Text: newName})
+	}
+	return applyEdits(src, edits)
+}

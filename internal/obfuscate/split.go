@@ -1,0 +1,76 @@
+package obfuscate
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/vba"
+)
+
+// splitStrings implements O2: a fraction of the string literals of at
+// least minLen characters is partitioned into 2–4 fragments rejoined with
+// the concatenation operators '&' and '+', e.g. "String" → "St" & "r" + "ing".
+func splitStrings(src string, minLen int, fraction float64, rng *rand.Rand) string {
+	toks := vba.Lex(src)
+	starts := lineStarts(src)
+	var edits []spliceEdit
+	for _, t := range toks {
+		if t.Kind != vba.KindString {
+			continue
+		}
+		val := t.StringValue()
+		if len(val) < minLen || strings.Contains(val, `"`) {
+			continue
+		}
+		if fraction < 1 && rng.Float64() > fraction {
+			continue
+		}
+		off := tokenOffset(starts, t)
+		if off < 0 {
+			continue
+		}
+		edits = append(edits, spliceEdit{
+			Start: off,
+			End:   off + len(t.Text),
+			Text:  splitExpression(val, rng),
+		})
+	}
+	return applyEdits(src, edits)
+}
+
+// splitExpression renders val as a concatenation of 2-4 quoted fragments.
+func splitExpression(val string, rng *rand.Rand) string {
+	pieces := 2 + rng.Intn(3)
+	if pieces > len(val) {
+		pieces = len(val)
+	}
+	// Choose distinct ascending cut points.
+	cuts := map[int]bool{}
+	for len(cuts) < pieces-1 {
+		cuts[1+rng.Intn(len(val)-1)] = true
+	}
+	var sb strings.Builder
+	prev := 0
+	first := true
+	emit := func(part string) {
+		if !first {
+			if rng.Intn(2) == 0 {
+				sb.WriteString(" & ")
+			} else {
+				sb.WriteString(" + ")
+			}
+		}
+		first = false
+		sb.WriteByte('"')
+		sb.WriteString(part)
+		sb.WriteByte('"')
+	}
+	for i := 1; i < len(val); i++ {
+		if cuts[i] {
+			emit(val[prev:i])
+			prev = i
+		}
+	}
+	emit(val[prev:])
+	return sb.String()
+}

@@ -1,0 +1,112 @@
+package obfuscate
+
+import "math/rand"
+
+// Tool is a preset emulating one off-the-shelf obfuscator configuration.
+// Real-world obfuscated macros cluster into a few characteristic code
+// lengths because each tool pads output toward a fixed size (the
+// horizontal bands of the paper's Figure 5(b)); SizeJitter controls the
+// spread of each band.
+type Tool struct {
+	// Name labels the preset in corpus metadata.
+	Name string
+	// Opts is the option template; Seed is overridden per invocation and
+	// TargetSize is jittered by SizeJitter.
+	Opts Options
+	// SizeJitter is the relative 1-sigma spread applied to TargetSize
+	// (e.g. 0.05 = ±5%).
+	SizeJitter float64
+}
+
+// Obfuscate runs the tool on src with the given seed.
+func (t Tool) Obfuscate(src string, seed int64) string {
+	out, _ := t.ObfuscateWithReport(src, seed)
+	return out
+}
+
+// ObfuscateWithReport is Obfuscate plus the Apply side-effect report.
+func (t Tool) ObfuscateWithReport(src string, seed int64) (string, Report) {
+	opts := t.Opts
+	opts.Seed = seed
+	if opts.TargetSize > 0 && t.SizeJitter > 0 {
+		rng := rand.New(rand.NewSource(seed ^ 0x5EED))
+		f := 1 + t.SizeJitter*rng.NormFloat64()
+		if f < 0.5 {
+			f = 0.5
+		}
+		opts.TargetSize = int(float64(opts.TargetSize) * f)
+	}
+	return ApplyWithReport(src, opts)
+}
+
+// StandardTools are the presets the corpus generator draws from. The
+// TargetSize values 1500 / 3000 / 15000 reproduce the bands the paper
+// reports in Figure 5(b).
+var StandardTools = []Tool{
+	{
+		Name: "crunch-lite",
+		Opts: Options{
+			Random: true, Split: true, Encode: true, Mode: EncodeChr,
+			Logic: true, TargetSize: 1500, StripComments: true,
+		},
+		SizeJitter: 0.04,
+	},
+	{
+		Name: "crunch-std",
+		Opts: Options{
+			Random: true, Split: true, Encode: true, Mode: EncodeReplace,
+			Logic: true, TargetSize: 3000, StripComments: true,
+		},
+		SizeJitter: 0.04,
+	},
+	{
+		Name: "crunch-max",
+		Opts: Options{
+			Random: true, Split: true, Encode: true, Mode: EncodeDecoder,
+			Logic: true, TargetSize: 15000, StripComments: true,
+			BrokenCode: true,
+		},
+		SizeJitter: 0.03,
+	},
+	{
+		Name: "handmade",
+		Opts: Options{
+			Random: true, RenameFraction: 0.5, Split: true, Encode: true,
+			Mode: EncodeChr, EncodeFraction: 0.5, StripComments: true,
+		},
+	},
+	{
+		Name: "stealth",
+		Opts: Options{
+			Random: true, Encode: true, Mode: EncodeDecoder,
+			StripComments: true, HideStrings: true, Logic: true,
+			TargetSize: 3000,
+		},
+		SizeJitter: 0.05,
+	},
+}
+
+// LightTools apply a single technique each — the hand-obfuscated macros
+// that make detection non-trivial: an O1-only rename leaves every string
+// and call signature untouched, an O3-only pass leaves identifiers
+// readable. The paper's imperfect recall (about 0.9 for the best V-feature
+// classifier) comes from exactly this population.
+var LightTools = []Tool{
+	{
+		Name: "rename-only",
+		Opts: Options{Random: true, StripComments: true},
+	},
+	{
+		// O2 without O1: the frequent real-world case of splitting the
+		// incriminating strings while keeping readable identifiers.
+		Name: "split-only",
+		Opts: Options{Split: true, SplitMinLen: 8},
+	},
+	{
+		Name: "encode-light",
+		Opts: Options{
+			Encode: true, Mode: EncodeReplace, EncodeFraction: 0.4,
+			StripComments: true,
+		},
+	},
+}

@@ -1,0 +1,170 @@
+// Package ooxml reads and writes macro-enabled Office Open XML documents
+// (.docm, .xlsm) to the extent needed for VBA macro analysis: locating and
+// embedding the vbaProject.bin binary part inside the ZIP container.
+//
+// The writer produces a structurally valid minimal document (content types,
+// relationships, a main part, and the VBA part) so that the extraction
+// pipeline exercises the same path olevba does on real files.
+package ooxml
+
+import (
+	"archive/zip"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrNoVBAPart is returned when the archive holds no vbaProject.bin.
+var ErrNoVBAPart = errors.New("ooxml: no vbaProject.bin part found")
+
+// ErrNotZip is returned when data is not a ZIP archive.
+var ErrNotZip = errors.New("ooxml: not a ZIP archive")
+
+// DocKind selects the host-application flavor emitted by Write.
+type DocKind int
+
+// Supported document kinds.
+const (
+	DocWord DocKind = iota + 1
+	DocExcel
+)
+
+// IsOOXML reports whether data begins with the ZIP local-file signature.
+func IsOOXML(data []byte) bool {
+	return len(data) >= 4 && data[0] == 'P' && data[1] == 'K' && data[2] == 3 && data[3] == 4
+}
+
+// ExtractVBAProject returns the raw bytes of the vbaProject.bin part of a
+// macro-enabled OOXML document. Per convention the part lives at
+// word/vbaProject.bin or xl/vbaProject.bin, but any path ending in
+// vbaProject.bin is accepted, as attackers relocate it.
+func ExtractVBAProject(data []byte) ([]byte, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotZip, err)
+	}
+	for _, f := range zr.File {
+		if strings.HasSuffix(strings.ToLower(f.Name), "vbaproject.bin") {
+			rc, err := f.Open()
+			if err != nil {
+				return nil, fmt.Errorf("ooxml: open %s: %w", f.Name, err)
+			}
+			defer rc.Close()
+			out, err := io.ReadAll(rc)
+			if err != nil {
+				return nil, fmt.Errorf("ooxml: read %s: %w", f.Name, err)
+			}
+			return out, nil
+		}
+	}
+	return nil, ErrNoVBAPart
+}
+
+// Write builds a minimal macro-enabled document of the given kind embedding
+// vbaProject as its VBA part, plus enough filler to reach approximately
+// padToSize bytes (0 disables padding). Padding is stored (not deflated)
+// XML comment data inside the main part so the output file size is
+// controllable by the corpus generator.
+func Write(kind DocKind, vbaProject []byte, padToSize int) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+
+	var mainDir, mainPart, contentType, mainContentType string
+	switch kind {
+	case DocWord:
+		mainDir, mainPart = "word", "document.xml"
+		contentType = "application/vnd.ms-word.document.macroEnabled.main+xml"
+		mainContentType = contentType
+	case DocExcel:
+		mainDir, mainPart = "xl", "workbook.xml"
+		contentType = "application/vnd.ms-excel.sheet.macroEnabled.main+xml"
+		mainContentType = contentType
+	default:
+		return nil, fmt.Errorf("ooxml: unknown document kind %d", kind)
+	}
+
+	add := func(name, body string) error {
+		w, err := zw.Create(name)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, body)
+		return err
+	}
+
+	contentTypes := `<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
+<Types xmlns="http://schemas.openxmlformats.org/package/2006/content-types">
+<Default Extension="rels" ContentType="application/vnd.openxmlformats-package.relationships+xml"/>
+<Default Extension="xml" ContentType="application/xml"/>
+<Default Extension="bin" ContentType="application/vnd.ms-office.vbaProject"/>
+<Override PartName="/` + mainDir + `/` + mainPart + `" ContentType="` + mainContentType + `"/>
+</Types>`
+	if err := add("[Content_Types].xml", contentTypes); err != nil {
+		return nil, err
+	}
+
+	rels := `<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
+<Relationships xmlns="http://schemas.openxmlformats.org/package/2006/relationships">
+<Relationship Id="rId1" Type="http://schemas.openxmlformats.org/officeDocument/2006/relationships/officeDocument" Target="` + mainDir + `/` + mainPart + `"/>
+</Relationships>`
+	if err := add("_rels/.rels", rels); err != nil {
+		return nil, err
+	}
+
+	partRels := `<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
+<Relationships xmlns="http://schemas.openxmlformats.org/package/2006/relationships">
+<Relationship Id="rId1" Type="http://schemas.microsoft.com/office/2006/relationships/vbaProject" Target="vbaProject.bin"/>
+</Relationships>`
+	if err := add(mainDir+"/_rels/"+mainPart+".rels", partRels); err != nil {
+		return nil, err
+	}
+
+	var main string
+	if kind == DocWord {
+		main = `<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
+<w:document xmlns:w="http://schemas.openxmlformats.org/wordprocessingml/2006/main">
+<w:body><w:p><w:r><w:t>Synthetic corpus document.</w:t></w:r></w:p></w:body>
+</w:document>`
+	} else {
+		main = `<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
+<workbook xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main">
+<sheets><sheet name="Sheet1" sheetId="1" r:id="rId2" xmlns:r="http://schemas.openxmlformats.org/officeDocument/2006/relationships"/></sheets>
+</workbook>`
+	}
+	if err := add(mainDir+"/"+mainPart, main); err != nil {
+		return nil, err
+	}
+
+	vbaWriter, err := zw.Create(mainDir + "/vbaProject.bin")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := vbaWriter.Write(vbaProject); err != nil {
+		return nil, err
+	}
+
+	// Size padding: a stored (uncompressed) filler part so the generator
+	// can reproduce the paper's file-size statistics (Table II).
+	overhead := buf.Len() + 1024
+	if padToSize > overhead {
+		hdr := &zip.FileHeader{Name: mainDir + "/media/filler.bin", Method: zip.Store}
+		fw, err := zw.CreateHeader(hdr)
+		if err != nil {
+			return nil, err
+		}
+		filler := make([]byte, padToSize-overhead)
+		for i := range filler {
+			filler[i] = byte(i*7 + i>>8) // incompressible-ish, deterministic
+		}
+		if _, err := fw.Write(filler); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

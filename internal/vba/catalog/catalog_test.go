@@ -1,0 +1,74 @@
+package catalog
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		want Class
+	}{
+		{"Chr", ClassText}, {"chr", ClassText}, {"Chr$", ClassText},
+		{"Replace", ClassText}, {"Mid", ClassText}, {"StrReverse", ClassText},
+		{"Abs", ClassArithmetic}, {"sqr", ClassArithmetic}, {"Randomize", ClassArithmetic},
+		{"CBool", ClassConversion}, {"CSTR", ClassConversion}, {"Hex", ClassConversion},
+		{"DDB", ClassFinancial}, {"Pmt", ClassFinancial}, {"SYD", ClassFinancial},
+		{"Shell", ClassRich}, {"CallByName", ClassRich}, {"CreateObject", ClassRich},
+		{"URLDownloadToFile", ClassRich},
+		{"MsgBox", ClassNone}, {"", ClassNone}, {"NotAFunction", ClassNone},
+	}
+	for _, c := range cases {
+		if got := Classify(c.name); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestIsBuiltin(t *testing.T) {
+	if !IsBuiltin("Shell") || IsBuiltin("frobnicate") {
+		t.Error("IsBuiltin misclassifies")
+	}
+}
+
+func TestMembersDisjointAndCovered(t *testing.T) {
+	classes := []Class{ClassText, ClassArithmetic, ClassConversion, ClassFinancial, ClassRich}
+	seen := map[string]Class{}
+	for _, c := range classes {
+		members := Members(c)
+		if len(members) == 0 {
+			t.Fatalf("Members(%v) empty", c)
+		}
+		for _, m := range members {
+			if prev, dup := seen[m]; dup {
+				t.Errorf("function %q in both %v and %v", m, prev, c)
+			}
+			seen[m] = c
+			if got := Classify(m); got != c {
+				t.Errorf("Classify(%q) = %v, want %v", m, got, c)
+			}
+		}
+	}
+	if Members(ClassNone) != nil {
+		t.Error("Members(ClassNone) != nil")
+	}
+}
+
+func TestMembersReturnsCopy(t *testing.T) {
+	a := Members(ClassText)
+	a[0] = "Mutated"
+	b := Members(ClassText)
+	if b[0] == "Mutated" {
+		t.Error("Members exposes internal slice")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassNone: "none", ClassText: "text", ClassArithmetic: "arithmetic",
+		ClassConversion: "conversion", ClassFinancial: "financial", ClassRich: "rich",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package vba
+
+import "testing"
+
+// FuzzParse drives the lexer and parser with arbitrary source: total
+// safety on malformed macros is a hard requirement (obfuscated malware is
+// deliberately broken).
+func FuzzParse(f *testing.F) {
+	f.Add("Sub A()\nDim x As Long\nx = Chr(65) & \"b\"\nEnd Sub\n")
+	f.Add("Sub B(\n' broken\nIf Then Else _\n\"unterminated")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		m := Parse(src)
+		_ = m.Identifiers()
+		_ = m.Strings()
+		_ = m.Comments()
+	})
+}

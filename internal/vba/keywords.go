@@ -1,0 +1,43 @@
+package vba
+
+import "strings"
+
+// keywords is the set of reserved words of the VBA language (MS-VBAL §3.3.5)
+// plus the handful of marker words (Attribute, Rem) that behave like
+// keywords in module streams. Lookup is case-insensitive, as VBA is.
+var keywords = func() map[string]bool {
+	words := []string{
+		"Abs", "AddressOf", "Alias", "And", "Any", "Append", "As",
+		"Attribute", "Base", "Binary", "Boolean", "ByRef", "Byte", "ByVal",
+		"Call", "Case", "CBool", "CByte", "CCur", "CDate", "CDbl", "CDec",
+		"CInt", "CLng", "CLngLng", "CLngPtr", "Close", "Compare", "Const",
+		"CSng", "CStr", "Currency", "CVar", "CVErr", "Date", "Debug",
+		"Decimal", "Declare", "DefBool", "DefByte", "DefCur", "DefDate",
+		"DefDbl", "DefInt", "DefLng", "DefObj", "DefSng", "DefStr", "DefVar",
+		"Dim", "Do", "Double", "Each", "Else", "ElseIf", "Empty", "End",
+		"EndIf", "Enum", "Eqv", "Erase", "Error", "Event", "Exit",
+		"Explicit", "False", "For", "Friend", "Function", "Get", "Global",
+		"GoSub", "GoTo", "If", "Imp", "Implements", "In", "Input", "Integer",
+		"Is", "LBound", "Len", "Let", "Lib", "Like", "Line", "Lock", "Long",
+		"LongLong", "LongPtr", "Loop", "LSet", "Me", "Mid", "Mod", "Module",
+		"New", "Next", "Not", "Nothing", "Null", "Object", "On", "Open",
+		"Option", "Optional", "Or", "Output", "ParamArray", "Preserve",
+		"Print", "Private", "Property", "Public", "Put", "RaiseEvent",
+		"Random", "Read", "ReDim", "Rem", "Resume", "Return", "RSet",
+		"Seek", "Select", "Set", "Shared", "Single", "Spc", "Static",
+		"Step", "Stop", "String", "Sub", "Tab", "Then", "To", "True",
+		"Type", "TypeOf", "UBound", "Until", "Variant", "Wend", "While",
+		"With", "WithEvents", "Write", "Xor",
+	}
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[strings.ToLower(w)] = true
+	}
+	return m
+}()
+
+// IsKeyword reports whether word is a reserved word of VBA. The check is
+// case-insensitive.
+func IsKeyword(word string) bool {
+	return keywords[strings.ToLower(word)]
+}

@@ -1,0 +1,658 @@
+package vba
+
+import "strings"
+
+// Module is the light syntactic view of one VBA module that the detection
+// pipeline consumes. It is produced by Parse and is resilient to broken
+// code: unparsable regions simply contribute no procedures or declarations.
+type Module struct {
+	// Source is the exact text the module was parsed from.
+	Source string
+	// Tokens is the full token stream, including comments and EOLs.
+	Tokens []Token
+	// Procedures lists Sub/Function/Property bodies in source order.
+	Procedures []Procedure
+	// Declarations lists Dim/Const/Static/module-level variable
+	// declarations in source order (procedure parameters are recorded on
+	// the owning Procedure instead).
+	Declarations []Declaration
+	// Calls lists every detected call site in source order.
+	Calls []Call
+}
+
+// Procedure is a Sub, Function or Property body.
+type Procedure struct {
+	// Kind is "Sub", "Function", "Property Get", "Property Let" or
+	// "Property Set".
+	Kind string
+	// Name is the declared procedure name.
+	Name string
+	// Params holds the declared formal parameters in order.
+	Params []Param
+	// StartLine and EndLine are 1-based physical line numbers of the
+	// declaration and the matching End statement. EndLine is the last line
+	// of the module when the End statement is missing (broken code).
+	StartLine int
+	EndLine   int
+	// BodyChars is the number of characters between the header line and the
+	// End statement (used by the J18/J19 features).
+	BodyChars int
+}
+
+// Param is one formal parameter of a procedure.
+type Param struct {
+	Name     string
+	Type     string
+	Optional bool
+	ByVal    bool
+}
+
+// Declaration is one declared variable or constant name.
+type Declaration struct {
+	Name string
+	// Type is the declared As-type, or "" when omitted.
+	Type string
+	// Scope is "Dim", "Const", "Public", "Private", "Global", "Static" or
+	// "Public Const" style combinations, normalized to the leading
+	// keyword(s) used.
+	Scope string
+	Const bool
+	Line  int
+}
+
+// Call is one detected call site.
+type Call struct {
+	// Name is the called identifier with any type-suffix character and
+	// leading qualifier stripped: `obj.Foo(1)` records "Foo".
+	Name string
+	// Qualified reports whether the call was written with a dot qualifier.
+	Qualified bool
+	// Args is the number of top-level arguments detected (best effort; -1
+	// when the call used implicit statement-call syntax without parens and
+	// arguments were not counted).
+	Args int
+	// ArgChars is the total number of characters in the argument list text.
+	ArgChars int
+	Line     int
+}
+
+// Parse lexes and structurally analyses src.
+func Parse(src string) *Module {
+	toks := Lex(src)
+	m := &Module{Source: src, Tokens: toks}
+	p := parser{m: m, toks: toks}
+	p.run()
+	return m
+}
+
+// Identifiers returns the declared identifier names of the module:
+// procedure names, formal parameter names, and declared variable/constant
+// names, in first-appearance order without duplicates.
+func (m *Module) Identifiers() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(name string) {
+		if name == "" {
+			return
+		}
+		key := strings.ToLower(name)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, name)
+		}
+	}
+	for _, pr := range m.Procedures {
+		add(pr.Name)
+		for _, pa := range pr.Params {
+			add(pa.Name)
+		}
+	}
+	for _, d := range m.Declarations {
+		add(d.Name)
+	}
+	return out
+}
+
+// Comments returns all comment tokens of the module.
+func (m *Module) Comments() []Token {
+	var out []Token
+	for _, t := range m.Tokens {
+		if t.Kind == KindComment {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Strings returns all string-literal tokens of the module.
+func (m *Module) Strings() []Token {
+	var out []Token
+	for _, t := range m.Tokens {
+		if t.Kind == KindString {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+type parser struct {
+	m    *Module
+	toks []Token
+	pos  int
+}
+
+func (p *parser) run() {
+	for p.pos < len(p.toks) {
+		start := p.pos
+		p.parseLine()
+		if p.pos == start { // safety: always make progress
+			p.pos++
+		}
+	}
+}
+
+// parseLine examines one logical line (up to the next EOL token) and
+// advances past it.
+func (p *parser) parseLine() {
+	line := p.collectLine()
+	if len(line) == 0 {
+		return
+	}
+	i := 0
+	// Leading visibility / lifetime modifiers.
+	scope := ""
+	for i < len(line) && line[i].Kind == KindKeyword {
+		switch lower(line[i].Text) {
+		case "public", "private", "friend", "global", "static":
+			if scope != "" {
+				scope += " "
+			}
+			scope += line[i].Text
+			i++
+			continue
+		}
+		break
+	}
+	if i >= len(line) {
+		p.scanCalls(line)
+		return
+	}
+	t := line[i]
+	if t.Kind == KindKeyword {
+		switch lower(t.Text) {
+		case "sub", "function":
+			p.parseProcedure(line, i, t.Text)
+			return
+		case "property":
+			if i+1 < len(line) && line[i+1].Kind == KindKeyword {
+				p.parseProcedure(line, i+1, "Property "+line[i+1].Text)
+				return
+			}
+		case "dim", "const":
+			p.parseDeclaration(line, i, scope)
+			return
+		case "declare":
+			p.parseExternalDeclare(line, i)
+			return
+		case "type", "enum":
+			// Type/Enum blocks: record the name as a declaration.
+			if i+1 < len(line) && line[i+1].Kind == KindIdent {
+				p.m.Declarations = append(p.m.Declarations, Declaration{
+					Name: identName(line[i+1].Text), Scope: firstWord(scope, t.Text), Line: t.Line,
+				})
+			}
+			return
+		}
+	}
+	if scope != "" {
+		// `Public x As Long` / `Private Const y = 1` without Dim keyword.
+		if t.Kind == KindKeyword && lower(t.Text) == "const" {
+			p.parseDeclaration(line, i, scope)
+			return
+		}
+		if t.Kind == KindIdent {
+			p.parseDeclarationList(line, i, scope, false)
+			return
+		}
+	}
+	p.scanCalls(line)
+}
+
+// collectLine returns the tokens of the current logical line and advances
+// past its terminating EOL.
+func (p *parser) collectLine() []Token {
+	start := p.pos
+	for p.pos < len(p.toks) && p.toks[p.pos].Kind != KindEOL {
+		p.pos++
+	}
+	line := p.toks[start:p.pos]
+	if p.pos < len(p.toks) {
+		p.pos++ // consume EOL
+	}
+	return line
+}
+
+// parseProcedure parses a Sub/Function/Property header starting at
+// line[kwIdx] and then consumes lines until the matching End statement.
+func (p *parser) parseProcedure(line []Token, kwIdx int, kind string) {
+	i := kwIdx + 1
+	if strings.HasPrefix(kind, "Property ") {
+		i = kwIdx + 1 // kwIdx already points at Get/Let/Set
+	}
+	if i >= len(line) || (line[i].Kind != KindIdent && line[i].Kind != KindKeyword) {
+		return
+	}
+	proc := Procedure{
+		Kind:      normalizeProcKind(kind),
+		Name:      identName(line[i].Text),
+		StartLine: line[0].Line,
+	}
+	i++
+	// Parameter list.
+	if i < len(line) && line[i].Kind == KindPunct && line[i].Text == "(" {
+		params, next := parseParams(line, i)
+		proc.Params = params
+		i = next
+	}
+	p.scanCalls(line[i:]) // default-value expressions may contain calls
+	// Consume the body until "End Sub|Function|Property".
+	endWord := strings.ToLower(strings.Fields(kind)[0])
+	lastLine := proc.StartLine
+	bodyChars := 0
+	for p.pos < len(p.toks) {
+		body := p.collectLine()
+		if len(body) == 0 {
+			continue
+		}
+		lastLine = body[len(body)-1].Line
+		if isEndStatement(body, endWord) {
+			proc.EndLine = body[0].Line
+			break
+		}
+		for _, t := range body {
+			bodyChars += len(t.Text)
+		}
+		p.parseBodyLine(body)
+	}
+	if proc.EndLine == 0 {
+		proc.EndLine = lastLine
+	}
+	proc.BodyChars = bodyChars
+	p.m.Procedures = append(p.m.Procedures, proc)
+}
+
+// parseBodyLine handles a line inside a procedure: declarations and calls.
+func (p *parser) parseBodyLine(line []Token) {
+	if len(line) == 0 {
+		return
+	}
+	i := 0
+	scope := ""
+	if line[i].Kind == KindKeyword && lower(line[i].Text) == "static" {
+		scope = line[i].Text
+		i++
+	}
+	if i < len(line) && line[i].Kind == KindKeyword {
+		switch lower(line[i].Text) {
+		case "dim", "const", "redim":
+			p.parseDeclaration(line, i, scope)
+			return
+		}
+	}
+	p.scanCalls(line)
+}
+
+// parseDeclaration handles `Dim a As X, b`, `Const c = 1`, `ReDim arr(10)`.
+func (p *parser) parseDeclaration(line []Token, kwIdx int, scope string) {
+	kw := line[kwIdx].Text
+	isConst := lower(kw) == "const"
+	if lower(kw) == "redim" {
+		// ReDim references an existing name; treat as calls/uses only.
+		p.scanCalls(line[kwIdx+1:])
+		return
+	}
+	fullScope := kw
+	if scope != "" {
+		fullScope = scope + " " + kw
+	}
+	p.parseDeclarationListScoped(line, kwIdx+1, fullScope, isConst)
+}
+
+// parseDeclarationList handles scope-led declarations without Dim/Const:
+// `Public x As Long, y`.
+func (p *parser) parseDeclarationList(line []Token, idx int, scope string, isConst bool) {
+	p.parseDeclarationListScoped(line, idx, scope, isConst)
+}
+
+func (p *parser) parseDeclarationListScoped(line []Token, idx int, scope string, isConst bool) {
+	i := idx
+	for i < len(line) {
+		if line[i].Kind != KindIdent {
+			i++
+			continue
+		}
+		d := Declaration{Name: identName(line[i].Text), Scope: scope, Const: isConst, Line: line[i].Line}
+		i++
+		// Optional array bounds: name(10, 20)
+		if i < len(line) && line[i].Kind == KindPunct && line[i].Text == "(" {
+			depth := 1
+			i++
+			for i < len(line) && depth > 0 {
+				switch {
+				case line[i].Kind == KindPunct && line[i].Text == "(":
+					depth++
+				case line[i].Kind == KindPunct && line[i].Text == ")":
+					depth--
+				}
+				i++
+			}
+		}
+		// Optional `As [New] Type`.
+		if i < len(line) && line[i].Kind == KindKeyword && lower(line[i].Text) == "as" {
+			i++
+			if i < len(line) && line[i].Kind == KindKeyword && lower(line[i].Text) == "new" {
+				i++
+			}
+			if i < len(line) && (line[i].Kind == KindIdent || line[i].Kind == KindKeyword) {
+				d.Type = line[i].Text
+				i++
+				// Qualified type: Excel.Range
+				for i+1 < len(line) && line[i].Kind == KindPunct && line[i].Text == "." {
+					d.Type += "." + line[i+1].Text
+					i += 2
+				}
+			}
+		}
+		p.m.Declarations = append(p.m.Declarations, d)
+		// Constant initializer may contain calls: Const k = Chr(65).
+		if isConst {
+			eq := i
+			for eq < len(line) && !(line[eq].Kind == KindPunct && line[eq].Text == ",") {
+				eq++
+			}
+			p.scanCalls(line[i:eq])
+			i = eq
+		}
+		// Skip to the next comma-separated declarator.
+		for i < len(line) && !(line[i].Kind == KindPunct && line[i].Text == ",") {
+			i++
+		}
+		if i < len(line) {
+			i++ // consume comma
+		}
+	}
+}
+
+// parseExternalDeclare handles `Declare [PtrSafe] Function X Lib "..." ...`.
+func (p *parser) parseExternalDeclare(line []Token, kwIdx int) {
+	for i := kwIdx + 1; i < len(line); i++ {
+		if line[i].Kind == KindKeyword && (lower(line[i].Text) == "function" || lower(line[i].Text) == "sub") {
+			if i+1 < len(line) && line[i+1].Kind == KindIdent {
+				p.m.Declarations = append(p.m.Declarations, Declaration{
+					Name: identName(line[i+1].Text), Scope: "Declare", Line: line[i+1].Line,
+				})
+			}
+			return
+		}
+	}
+}
+
+// scanCalls detects call sites in a token span. Two syntaxes are detected:
+//
+//   - name(args...) anywhere in an expression, and
+//   - statement-position calls: `Call name ...`, `name arg1, arg2` and
+//     `obj.Method arg`.
+func (p *parser) scanCalls(line []Token) {
+	for i := 0; i < len(line); i++ {
+		t := line[i]
+		isName := t.Kind == KindIdent || isCallableKeyword(t)
+		if !isName {
+			continue
+		}
+		qualified := i > 0 && line[i-1].Kind == KindPunct && line[i-1].Text == "."
+		// name(... : count args.
+		if i+1 < len(line) && line[i+1].Kind == KindPunct && line[i+1].Text == "(" {
+			args, chars, end := countArgs(line, i+1)
+			p.m.Calls = append(p.m.Calls, Call{
+				Name: identName(t.Text), Qualified: qualified,
+				Args: args, ArgChars: chars, Line: t.Line,
+			})
+			_ = end
+			continue
+		}
+		// Statement-position implicit call with arguments:
+		// first token of the line (or after Call/colon) followed by an
+		// argument-looking token.
+		atStart := i == 0 ||
+			(line[i-1].Kind == KindPunct && line[i-1].Text == ":") ||
+			(line[i-1].Kind == KindKeyword && lower(line[i-1].Text) == "call") ||
+			(qualified && startsStatement(line, chainStart(line, i)))
+		if atStart && i+1 < len(line) && looksLikeArg(line[i+1]) && t.Kind == KindIdent {
+			args, chars := countImplicitArgs(line[i+1:])
+			p.m.Calls = append(p.m.Calls, Call{
+				Name: identName(t.Text), Qualified: qualified,
+				Args: args, ArgChars: chars, Line: t.Line,
+			})
+		}
+	}
+}
+
+// countArgs counts top-level comma-separated arguments inside a paren group
+// starting at line[open] == "(". Returns the count, the character length of
+// the argument text, and the index just past the closing paren.
+func countArgs(line []Token, open int) (args, chars, end int) {
+	depth := 0
+	i := open
+	sawAny := false
+	for ; i < len(line); i++ {
+		t := line[i]
+		if t.Kind == KindPunct {
+			switch t.Text {
+			case "(":
+				depth++
+				if depth == 1 {
+					continue
+				}
+			case ")":
+				depth--
+				if depth == 0 {
+					i++
+					goto done
+				}
+			case ",":
+				if depth == 1 {
+					args++
+					continue
+				}
+			}
+		}
+		if depth >= 1 {
+			sawAny = true
+			chars += len(t.Text)
+		}
+	}
+done:
+	if sawAny {
+		args++
+	}
+	return args, chars, i
+}
+
+// countImplicitArgs counts comma-separated arguments of a paren-less call.
+func countImplicitArgs(rest []Token) (args, chars int) {
+	depth := 0
+	args = 1
+	for _, t := range rest {
+		if t.Kind == KindPunct {
+			switch t.Text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			case ",":
+				if depth == 0 {
+					args++
+					continue
+				}
+			case ":":
+				if depth == 0 {
+					return args, chars
+				}
+			}
+		}
+		chars += len(t.Text)
+	}
+	return args, chars
+}
+
+// looksLikeArg reports whether t can begin an argument expression.
+func looksLikeArg(t Token) bool {
+	switch t.Kind {
+	case KindString, KindNumber, KindDate, KindIdent:
+		return true
+	case KindOperator:
+		return t.Text == "-" || t.Text == "+"
+	case KindKeyword:
+		switch lower(t.Text) {
+		case "true", "false", "nothing", "null", "empty", "me", "not", "new":
+			return true
+		}
+	}
+	return false
+}
+
+// isCallableKeyword reports whether a keyword token names a callable
+// built-in (VBA reserves several function names like Mid, Len, CStr).
+func isCallableKeyword(t Token) bool {
+	if t.Kind != KindKeyword {
+		return false
+	}
+	switch lower(t.Text) {
+	case "mid", "len", "abs", "lbound", "ubound", "cbool", "cbyte", "ccur",
+		"cdate", "cdbl", "cdec", "cint", "clng", "clnglng", "clngptr",
+		"csng", "cstr", "cvar", "cverr", "error", "string", "spc", "tab",
+		"date":
+		return true
+	}
+	return false
+}
+
+// startsStatement reports whether line[idx] is a position where a new
+// statement can begin (used for `obj.Method arg` detection).
+func startsStatement(line []Token, idx int) bool {
+	return idx == 0 || (line[idx-1].Kind == KindPunct && line[idx-1].Text == ":") ||
+		(line[idx-1].Kind == KindKeyword && lower(line[idx-1].Text) == "with")
+}
+
+// chainStart walks a dotted qualifier chain `a.b.c` backwards from the
+// member at index i and returns the index of its first token.
+func chainStart(line []Token, i int) int {
+	j := i
+	for j >= 2 && line[j-1].Kind == KindPunct && line[j-1].Text == "." &&
+		(line[j-2].Kind == KindIdent || line[j-2].Kind == KindKeyword) {
+		j -= 2
+	}
+	// `.Method arg` inside a With block: the chain begins at the dot.
+	if j == i && j >= 1 && line[j-1].Kind == KindPunct && line[j-1].Text == "." {
+		j--
+	}
+	return j
+}
+
+// isEndStatement reports whether the line is `End <word>`.
+func isEndStatement(line []Token, word string) bool {
+	if len(line) < 2 {
+		return false
+	}
+	return line[0].Kind == KindKeyword && lower(line[0].Text) == "end" &&
+		line[1].Kind == KindKeyword && lower(line[1].Text) == word
+}
+
+// parseParams parses `(a As Long, Optional ByVal b = 1)` from line[open].
+func parseParams(line []Token, open int) ([]Param, int) {
+	var params []Param
+	i := open + 1
+	depth := 1
+	var cur *Param
+	flush := func() {
+		if cur != nil && cur.Name != "" {
+			params = append(params, *cur)
+		}
+		cur = nil
+	}
+	for i < len(line) && depth > 0 {
+		t := line[i]
+		switch {
+		case t.Kind == KindPunct && t.Text == "(":
+			depth++
+		case t.Kind == KindPunct && t.Text == ")":
+			depth--
+			if depth == 0 {
+				flush()
+				return params, i + 1
+			}
+		case t.Kind == KindPunct && t.Text == "," && depth == 1:
+			flush()
+		case t.Kind == KindKeyword && depth == 1:
+			switch lower(t.Text) {
+			case "optional":
+				if cur == nil {
+					cur = &Param{}
+				}
+				cur.Optional = true
+			case "byval":
+				if cur == nil {
+					cur = &Param{}
+				}
+				cur.ByVal = true
+			case "byref", "paramarray":
+				if cur == nil {
+					cur = &Param{}
+				}
+			case "as":
+				if cur != nil && i+1 < len(line) &&
+					(line[i+1].Kind == KindIdent || line[i+1].Kind == KindKeyword) {
+					cur.Type = line[i+1].Text
+					i++
+				}
+			}
+		case t.Kind == KindIdent && depth == 1:
+			if cur == nil {
+				cur = &Param{}
+			}
+			if cur.Name == "" {
+				cur.Name = identName(t.Text)
+			}
+		}
+		i++
+	}
+	flush()
+	return params, i
+}
+
+func normalizeProcKind(kind string) string {
+	fields := strings.Fields(kind)
+	for i, f := range fields {
+		f = strings.ToLower(f)
+		fields[i] = strings.ToUpper(f[:1]) + f[1:]
+	}
+	return strings.Join(fields, " ")
+}
+
+// identName strips a trailing type-suffix character and surrounding
+// brackets from an identifier token's text.
+func identName(text string) string {
+	s := strings.TrimSuffix(text, "$")
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	return s
+}
+
+func lower(s string) string { return strings.ToLower(s) }
+
+func firstWord(scope, kw string) string {
+	if scope != "" {
+		return scope
+	}
+	return kw
+}

@@ -1,0 +1,292 @@
+package vba
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleMacro = `Attribute VB_Name = "Module1"
+Option Explicit
+
+Public Const Greeting As String = "hello"
+Private total As Long, count As Integer
+Dim shared_buf(100) As Byte
+
+Sub StartCalculator()
+    Dim Program As String
+    Dim TaskID As Double
+    On Error Resume Next
+    Program = "calc.exe"
+    TaskID = Shell(Program, 1)
+    If Err <> 0 Then
+        MsgBox "Can't start " & Program
+    End If
+End Sub
+
+Function Add(ByVal a As Long, Optional b As Long = 2) As Long
+    Add = a + b
+End Function
+
+Property Get Value() As Long
+    Value = total
+End Property
+`
+
+func TestParseProcedures(t *testing.T) {
+	m := Parse(sampleMacro)
+	if len(m.Procedures) != 3 {
+		t.Fatalf("procedures = %d, want 3: %+v", len(m.Procedures), m.Procedures)
+	}
+	sub := m.Procedures[0]
+	if sub.Kind != "Sub" || sub.Name != "StartCalculator" {
+		t.Errorf("proc 0 = %q %q", sub.Kind, sub.Name)
+	}
+	if len(sub.Params) != 0 {
+		t.Errorf("StartCalculator params = %+v", sub.Params)
+	}
+	fn := m.Procedures[1]
+	if fn.Kind != "Function" || fn.Name != "Add" {
+		t.Errorf("proc 1 = %q %q", fn.Kind, fn.Name)
+	}
+	if len(fn.Params) != 2 {
+		t.Fatalf("Add params = %+v", fn.Params)
+	}
+	if fn.Params[0].Name != "a" || !fn.Params[0].ByVal || fn.Params[0].Type != "Long" {
+		t.Errorf("param a = %+v", fn.Params[0])
+	}
+	if fn.Params[1].Name != "b" || !fn.Params[1].Optional {
+		t.Errorf("param b = %+v", fn.Params[1])
+	}
+	prop := m.Procedures[2]
+	if prop.Kind != "Property Get" || prop.Name != "Value" {
+		t.Errorf("proc 2 = %q %q", prop.Kind, prop.Name)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	m := Parse(sampleMacro)
+	byName := map[string]Declaration{}
+	for _, d := range m.Declarations {
+		byName[d.Name] = d
+	}
+	if d, ok := byName["Greeting"]; !ok || !d.Const || d.Type != "String" {
+		t.Errorf("Greeting = %+v (ok=%v)", d, ok)
+	}
+	if d, ok := byName["total"]; !ok || d.Type != "Long" {
+		t.Errorf("total = %+v (ok=%v)", d, ok)
+	}
+	if d, ok := byName["count"]; !ok || d.Type != "Integer" {
+		t.Errorf("count = %+v (ok=%v)", d, ok)
+	}
+	if d, ok := byName["shared_buf"]; !ok || d.Type != "Byte" {
+		t.Errorf("shared_buf = %+v (ok=%v)", d, ok)
+	}
+	if d, ok := byName["Program"]; !ok || d.Type != "String" {
+		t.Errorf("Program = %+v (ok=%v)", d, ok)
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	m := Parse(sampleMacro)
+	var names []string
+	for _, c := range m.Calls {
+		names = append(names, c.Name)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "Shell") {
+		t.Errorf("Shell call not detected: %v", names)
+	}
+	if !strings.Contains(joined, "MsgBox") {
+		t.Errorf("implicit MsgBox statement call not detected: %v", names)
+	}
+	for _, c := range m.Calls {
+		if c.Name == "Shell" {
+			if c.Args != 2 {
+				t.Errorf("Shell args = %d, want 2", c.Args)
+			}
+			if c.ArgChars == 0 {
+				t.Error("Shell ArgChars = 0")
+			}
+		}
+	}
+}
+
+func TestParseIdentifiers(t *testing.T) {
+	m := Parse(sampleMacro)
+	ids := m.Identifiers()
+	want := []string{"StartCalculator", "Program", "TaskID", "Add", "a", "b", "Value", "Greeting", "total", "count", "shared_buf"}
+	got := map[string]bool{}
+	for _, id := range ids {
+		got[strings.ToLower(id)] = true
+	}
+	for _, w := range want {
+		if !got[strings.ToLower(w)] {
+			t.Errorf("identifier %q missing from %v", w, ids)
+		}
+	}
+}
+
+func TestParseQualifiedCall(t *testing.T) {
+	src := `Sub T()
+    Set app = CreateObject("Outlook.Application")
+    app.CreateItem 0
+    doc.SaveAs "out.doc", 1
+End Sub
+`
+	m := Parse(src)
+	var qualified, createObject bool
+	for _, c := range m.Calls {
+		if c.Name == "CreateItem" && c.Qualified {
+			qualified = true
+		}
+		if c.Name == "CreateObject" && c.Args == 1 {
+			createObject = true
+		}
+	}
+	if !qualified {
+		t.Errorf("qualified implicit call not detected: %+v", m.Calls)
+	}
+	if !createObject {
+		t.Errorf("CreateObject call not detected: %+v", m.Calls)
+	}
+}
+
+func TestParseCallKeywordBuiltins(t *testing.T) {
+	src := "x = Mid(s, 1, 2) & CStr(5) & Len(s)\n"
+	m := Parse(src)
+	found := map[string]bool{}
+	for _, c := range m.Calls {
+		found[c.Name] = true
+	}
+	for _, want := range []string{"Mid", "CStr", "Len"} {
+		if !found[want] {
+			t.Errorf("builtin call %q not detected: %+v", want, m.Calls)
+		}
+	}
+}
+
+func TestParseBrokenCode(t *testing.T) {
+	// Broken-code anti-analysis (paper fig 8b): parser must not panic and
+	// must still recover the valid prefix.
+	src := `Public Sub RemoveIDAndFormatRow()
+    x = acs.responseText
+    Exit Sub
+    Rows.Select
+    Colu.mns("A:A").Delete
+End Sub
+`
+	m := Parse(src)
+	if len(m.Procedures) != 1 || m.Procedures[0].Name != "RemoveIDAndFormatRow" {
+		t.Fatalf("procedures = %+v", m.Procedures)
+	}
+}
+
+func TestParseMissingEndSub(t *testing.T) {
+	src := "Sub Trunc()\n    x = 1\n"
+	m := Parse(src)
+	if len(m.Procedures) != 1 {
+		t.Fatalf("procedures = %+v", m.Procedures)
+	}
+	if m.Procedures[0].EndLine < m.Procedures[0].StartLine {
+		t.Errorf("EndLine %d < StartLine %d", m.Procedures[0].EndLine, m.Procedures[0].StartLine)
+	}
+}
+
+func TestParseCommentsAndStrings(t *testing.T) {
+	m := Parse(sampleMacro)
+	if len(m.Comments()) != 0 {
+		t.Errorf("comments = %d, want 0", len(m.Comments()))
+	}
+	strs := m.Strings()
+	if len(strs) < 4 {
+		t.Errorf("strings = %d, want >= 4", len(strs))
+	}
+	m2 := Parse("' one\nx = 1 ' two\n")
+	if len(m2.Comments()) != 2 {
+		t.Errorf("comments = %d, want 2", len(m2.Comments()))
+	}
+}
+
+func TestParseConstInitializerCalls(t *testing.T) {
+	m := Parse("Const k = Chr(65)\n")
+	found := false
+	for _, c := range m.Calls {
+		if c.Name == "Chr" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Chr call in const initializer not found: %+v", m.Calls)
+	}
+}
+
+func TestParseDeclare(t *testing.T) {
+	m := Parse(`Private Declare Function URLDownloadToFile Lib "urlmon" (ByVal a As Long) As Long` + "\n")
+	found := false
+	for _, d := range m.Declarations {
+		if d.Name == "URLDownloadToFile" && d.Scope == "Declare" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Declare not parsed: %+v", m.Declarations)
+	}
+}
+
+func TestParseProcBodyChars(t *testing.T) {
+	m := Parse("Sub A()\nxyz = 1\nEnd Sub\n")
+	if len(m.Procedures) != 1 {
+		t.Fatal("no procedure")
+	}
+	if m.Procedures[0].BodyChars == 0 {
+		t.Error("BodyChars = 0, want > 0")
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	m := Parse("")
+	if len(m.Procedures)+len(m.Declarations)+len(m.Calls) != 0 {
+		t.Errorf("empty parse produced %+v", m)
+	}
+	if ids := m.Identifiers(); len(ids) != 0 {
+		t.Errorf("identifiers = %v", ids)
+	}
+}
+
+func TestParseColonSeparatedStatements(t *testing.T) {
+	src := "Sub S()\nDoEvents: i = i + 1: MsgBox \"x\"\nEnd Sub\n"
+	m := Parse(src)
+	found := false
+	for _, c := range m.Calls {
+		if c.Name == "MsgBox" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("MsgBox after colon not detected: %+v", m.Calls)
+	}
+}
+
+func TestIdentifiersDeduplicated(t *testing.T) {
+	src := "Sub A()\nDim x As Long\nEnd Sub\nSub B()\nDim X As Long\nEnd Sub\n"
+	m := Parse(src)
+	ids := m.Identifiers()
+	count := 0
+	for _, id := range ids {
+		if strings.EqualFold(id, "x") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("x appears %d times in %v, want 1 (case-insensitive dedup)", count, ids)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := strings.Repeat(sampleMacro, 10)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(src)
+	}
+}

@@ -1,0 +1,98 @@
+// Package vba provides lexical and light syntactic analysis of Visual Basic
+// for Applications (VBA) source code.
+//
+// The lexer understands the VBA constructs that matter for static feature
+// extraction and obfuscation analysis: identifiers, keywords, string and
+// numeric literals (including &H / &O radix literals and #date# literals),
+// comments (both ' and Rem forms), operators, and explicit line
+// continuations (space-underscore-newline).
+//
+// The parser built on top of the lexer is deliberately lightweight: it
+// recovers the procedure structure (Sub / Function / Property bodies),
+// declarations, and call sites without constructing a full expression AST.
+// That is all the detection pipeline in this repository needs, and it keeps
+// the parser robust against the intentionally broken code found in
+// obfuscated macros (see DESIGN.md and the paper's section VI.B).
+package vba
+
+import "fmt"
+
+// Kind identifies the lexical class of a Token.
+type Kind int
+
+// Token kinds. KindEOL tokens mark logical line boundaries; physical lines
+// joined with a continuation character produce a single logical line and no
+// intervening KindEOL.
+const (
+	KindIdent Kind = iota + 1
+	KindKeyword
+	KindString
+	KindNumber
+	KindDate
+	KindComment
+	KindOperator
+	KindPunct
+	KindEOL
+	KindIllegal
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindIdent:
+		return "Ident"
+	case KindKeyword:
+		return "Keyword"
+	case KindString:
+		return "String"
+	case KindNumber:
+		return "Number"
+	case KindDate:
+		return "Date"
+	case KindComment:
+		return "Comment"
+	case KindOperator:
+		return "Operator"
+	case KindPunct:
+		return "Punct"
+	case KindEOL:
+		return "EOL"
+	case KindIllegal:
+		return "Illegal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Token is a single lexical unit of VBA source.
+type Token struct {
+	Kind Kind
+	// Text is the raw source text of the token. For KindString it includes
+	// the surrounding quotes; use StringValue to decode the literal.
+	Text string
+	// Line and Col are 1-based physical source coordinates of the first
+	// character of the token.
+	Line int
+	Col  int
+}
+
+// StringValue decodes a KindString token's literal value: it strips the
+// surrounding quotes and collapses doubled quotes. For other kinds it
+// returns Text unchanged.
+func (t Token) StringValue() string {
+	if t.Kind != KindString {
+		return t.Text
+	}
+	s := t.Text
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		out = append(out, s[i])
+		if s[i] == '"' && i+1 < len(s) && s[i+1] == '"' {
+			i++ // collapse escaped quote
+		}
+	}
+	return string(out)
+}

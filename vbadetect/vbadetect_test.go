@@ -1,0 +1,166 @@
+package vbadetect_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cfb"
+	"repro/internal/corpus"
+	"repro/internal/ooxml"
+	"repro/internal/ovba"
+	"repro/vbadetect"
+)
+
+func trainedDetector(t *testing.T) *vbadetect.Detector {
+	t.Helper()
+	spec := corpus.SmallSpec()
+	spec.BenignMacros, spec.BenignObfuscated = 120, 10
+	spec.MaliciousMacros, spec.MaliciousObfuscated = 50, 48
+	spec.BenignMaxLen = 4000
+	d := corpus.GenerateMacros(spec)
+	det, err := vbadetect.NewDetector(vbadetect.AlgoRF, vbadetect.FeatureSetV, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Train(d.Sources(), d.Labels()); err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func buildDocm(t *testing.T, sources ...string) []byte {
+	t.Helper()
+	p := &ovba.Project{Name: "P"}
+	for i, src := range sources {
+		p.Modules = append(p.Modules, ovba.Module{Name: "Module" + string(rune('1'+i)), Source: src})
+	}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, ""); err != nil {
+		t.Fatal(err)
+	}
+	vbaBin, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ooxml.Write(ooxml.DocWord, vbaBin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+const benignSrc = `Sub UpdateTotals()
+    ' accumulate the weekly totals
+    Dim rowIndex As Long
+    Dim totalValue As Long
+    For rowIndex = 1 To 40
+        totalValue = totalValue + Cells(rowIndex, 3).Value
+    Next rowIndex
+    Worksheets("Summary").Range("C1").Value = totalValue
+End Sub
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	det := trainedDetector(t)
+	doc := buildDocm(t, benignSrc)
+	report, err := det.ScanFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Format != "ooxml" {
+		t.Errorf("format = %q", report.Format)
+	}
+	if len(report.Macros) != 1 {
+		t.Fatalf("macros = %d", len(report.Macros))
+	}
+	if report.Macros[0].Obfuscated {
+		t.Errorf("benign macro flagged (score %v)", report.Macros[0].Score)
+	}
+}
+
+func TestFacadeExtractMacros(t *testing.T) {
+	doc := buildDocm(t, benignSrc)
+	sources, err := vbadetect.ExtractMacros(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 1 || sources[0] != benignSrc {
+		t.Fatalf("sources = %q", sources)
+	}
+	if _, err := vbadetect.ExtractMacros([]byte("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestFacadeModelRoundTrip(t *testing.T) {
+	det := trainedDetector(t)
+	blob, err := det.SaveModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := vbadetect.LoadModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := det.ClassifySource(benignSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.ClassifySource(benignSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score {
+		t.Errorf("scores differ: %v vs %v", a.Score, b.Score)
+	}
+}
+
+func TestFacadeNoMacros(t *testing.T) {
+	det := trainedDetector(t)
+	doc, err := ooxml.Write(ooxml.DocWord, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = doc
+	// A docm without a VBA part (built manually).
+	b := cfb.NewBuilder()
+	if err := b.AddStream("WordDocument", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.ScanFile(raw); !errors.Is(err, vbadetect.ErrNoMacros) {
+		t.Errorf("err = %v, want ErrNoMacros", err)
+	}
+}
+
+func TestFacadeDeobfuscate(t *testing.T) {
+	res := vbadetect.Deobfuscate(`x = "pow" & "ershell"` + "\n")
+	if res.Folds == 0 {
+		t.Error("no folds")
+	}
+	found := false
+	for _, s := range res.Recovered {
+		if s == "powershell" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("recovered = %q", res.Recovered)
+	}
+}
+
+func TestFacadeTriage(t *testing.T) {
+	rep := vbadetect.Triage(`Sub AutoOpen()
+    Shell "C:\Temp\x" & ".exe", vbHide
+End Sub
+`)
+	if !rep.HasAutoExec() || !rep.Suspicious() {
+		t.Errorf("triage missed basics: %+v", rep.Findings)
+	}
+	if len(rep.IOCs()) == 0 {
+		t.Error("no IOCs")
+	}
+}
