@@ -9,8 +9,13 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -18,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/scan"
 )
 
 // benchData lazily generates the shared benchmark corpus and its packaged
@@ -280,6 +286,119 @@ func BenchmarkMLPWidthSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// scanBench holds the trained detector and packaged documents shared by
+// the throughput benchmarks, plus the 1-worker baseline measured by the
+// first BenchmarkScanThroughput sub-benchmark (they run in declaration
+// order, so the speedup metric on later sub-benchmarks is well-defined).
+var scanBench = struct {
+	once     sync.Once
+	det      *core.Detector
+	docs     []scan.Document
+	err      error
+	baseline float64 // 1-worker files/s
+}{}
+
+func scanBenchSetup(b *testing.B) (*core.Detector, []scan.Document) {
+	b.Helper()
+	dataset, files := benchCorpus(b)
+	scanBench.once.Do(func() {
+		det, err := core.NewDetector(core.AlgoRF, core.FeatureSetV, 1)
+		if err != nil {
+			scanBench.err = err
+			return
+		}
+		if err := det.Train(dataset.Sources(), dataset.Labels()); err != nil {
+			scanBench.err = err
+			return
+		}
+		docs := make([]scan.Document, len(files))
+		for i, f := range files {
+			docs[i] = scan.Document{Name: f.Name, Data: f.Data}
+		}
+		scanBench.det = det
+		scanBench.docs = docs
+	})
+	if scanBench.err != nil {
+		b.Fatal(scanBench.err)
+	}
+	return scanBench.det, scanBench.docs
+}
+
+// BenchmarkScanThroughput measures the batch engine's document throughput
+// (extract → featurize → classify) at several worker counts, reporting
+// files/s, macros/s and the speedup of each count over the 1-worker
+// baseline. On multi-core hardware the 4-worker run should deliver ≥ 2×
+// the baseline files/s; on a single core the pool degrades gracefully to
+// sequential throughput.
+func BenchmarkScanThroughput(b *testing.B) {
+	det, docs := scanBenchSetup(b)
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			engine := scan.New(det, workers)
+			var macros int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := engine.ScanAll(context.Background(), docs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				macros = stats.Macros
+			}
+			fps := float64(len(docs)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(fps, "files/s")
+			b.ReportMetric(float64(macros)*float64(b.N)/b.Elapsed().Seconds(), "macros/s")
+			if workers == 1 {
+				scanBench.baseline = fps
+			} else if scanBench.baseline > 0 {
+				b.ReportMetric(fps/scanBench.baseline, "speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkTrainParallel measures end-to-end training (parallel
+// featurization + parallel Random Forest fitting) at 1 worker versus
+// GOMAXPROCS, reporting the speedup and verifying the two models are
+// bit-identical — the determinism guarantee of per-tree seeded RNGs.
+func BenchmarkTrainParallel(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	sources, labels := dataset.Sources(), dataset.Labels()
+	train := func(workers int) ([]byte, time.Duration) {
+		det, err := core.NewDetector(core.AlgoRF, core.FeatureSetV, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		det.SetWorkers(workers)
+		start := time.Now()
+		if err := det.Train(sources, labels); err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		blob, err := det.SaveModel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return blob, elapsed
+	}
+	var seq, par time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob1, d1 := train(1)
+		blobN, dN := train(runtime.GOMAXPROCS(0))
+		if !bytes.Equal(blob1, blobN) {
+			b.Fatal("parallel training is not bit-identical to sequential")
+		}
+		seq += d1
+		par += dN
+	}
+	b.ReportMetric(float64(len(sources))*float64(b.N)/par.Seconds(), "macros/s")
+	b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup")
 }
 
 // spread is max - min.

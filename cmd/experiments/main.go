@@ -52,6 +52,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "corpus scale factor (1 = the paper's 4,212 macros)")
 	folds := flag.Int("folds", 10, "cross-validation folds")
 	seed := flag.Int64("seed", 1, "corpus seed")
+	workers := flag.Int("workers", 0, "featurization concurrency (0 = GOMAXPROCS); results are seed-deterministic for any value")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV series to this directory")
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 		deob:       *deobRecovery,
 		active:     *active,
 		csvDir:     *csvDir,
+		workers:    *workers,
 	}
 	if err := run(tables, figures, cfg, *scale, *folds, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -81,6 +83,7 @@ func main() {
 type extraConfig struct {
 	ablation, importance, deob, active bool
 	csvDir                             string
+	workers                            int
 }
 
 func run(tables, figures []int, extra extraConfig, scale float64, folds int, seed int64) error {
@@ -150,7 +153,7 @@ func run(tables, figures []int, extra extraConfig, scale float64, folds int, see
 		t0 := time.Now()
 		var err error
 		results, err = experiments.RunClassification(dataset, experiments.ClassificationConfig{
-			Folds: folds, Seed: seed, KeepROC: true,
+			Folds: folds, Seed: seed, KeepROC: true, Workers: extra.workers,
 		})
 		if err != nil {
 			return err

@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/scan"
 )
 
 func main() {
@@ -28,7 +31,7 @@ func main() {
 	case "train":
 		err = train(os.Args[2:])
 	case "scan":
-		err = scan(os.Args[2:])
+		err = scanCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -40,8 +43,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  vbadetect train -model out.json [-algo svm|rf|mlp|lda|bnb] [-features V|J] [-scale 0.25] [-seed 1]
-  vbadetect scan  -model model.json file...`)
+  vbadetect train -model out.json [-algo svm|rf|mlp|lda|bnb] [-features V|J] [-scale 0.25] [-seed 1] [-workers N]
+  vbadetect scan  -model model.json [-workers N] [-stats] file...`)
 	os.Exit(2)
 }
 
@@ -52,6 +55,7 @@ func train(args []string) error {
 	featureSet := fs.String("features", "V", "feature set: V or J")
 	scale := fs.Float64("scale", 0.25, "training corpus scale (1 = full 4,212 macros)")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "training concurrency (0 = GOMAXPROCS); results are seed-deterministic for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +67,7 @@ func train(args []string) error {
 	if err != nil {
 		return err
 	}
+	det.SetWorkers(*workers)
 	spec := corpus.DefaultSpec()
 	spec.Seed = *seed
 	shrink := func(n int) int {
@@ -79,9 +84,11 @@ func train(args []string) error {
 	fmt.Printf("generating %d training macros...\n", spec.BenignMacros+spec.MaliciousMacros)
 	d := corpus.GenerateMacros(spec)
 	fmt.Printf("training %s on %s features...\n", *algo, set)
+	t0 := time.Now()
 	if err := det.Train(d.Sources(), d.Labels()); err != nil {
 		return err
 	}
+	fmt.Printf("trained in %v\n", time.Since(t0).Round(time.Millisecond))
 	blob, err := det.SaveModel()
 	if err != nil {
 		return err
@@ -93,9 +100,11 @@ func train(args []string) error {
 	return nil
 }
 
-func scan(args []string) error {
+func scanCmd(args []string) error {
 	fs := flag.NewFlagSet("scan", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "model file from `vbadetect train`")
+	workers := fs.Int("workers", 0, "scan concurrency (0 = GOMAXPROCS)")
+	showStats := fs.Bool("stats", false, "print aggregate throughput and stage timings")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,22 +119,31 @@ func scan(args []string) error {
 	if err != nil {
 		return err
 	}
+	docs := make([]scan.Document, 0, fs.NArg())
 	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "  %s: %v\n", path, err)
 			continue
 		}
-		report, err := det.ScanFile(data)
-		if err != nil {
-			fmt.Printf("%s: %v\n", path, err)
+		docs = append(docs, scan.Document{Name: path, Data: data})
+	}
+	engine := scan.New(det, *workers)
+	results, stats, err := engine.ScanAll(context.Background(), docs)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%s: %v\n", r.Name, r.Err)
 			continue
 		}
+		report := r.Report
 		verdict := "clean"
 		if report.Obfuscated() {
 			verdict = "OBFUSCATED"
 		}
-		fmt.Printf("%s: %s (%d macros, %d skipped)\n", path, verdict, len(report.Macros), report.Skipped)
+		fmt.Printf("%s: %s (%d macros, %d skipped)\n", r.Name, verdict, len(report.Macros), report.Skipped)
 		for _, m := range report.Macros {
 			flag := " "
 			if m.Obfuscated {
@@ -133,6 +151,16 @@ func scan(args []string) error {
 			}
 			fmt.Printf("  %s %-24s score=%+.3f\n", flag, m.Module, m.Score)
 		}
+	}
+	if *showStats {
+		fmt.Printf("scanned %d files (%d macros, %d errors) in %v with %d workers: %.1f files/s, %.1f macros/s\n",
+			stats.Files, stats.Macros, stats.Errors,
+			time.Duration(stats.WallNS).Round(time.Millisecond),
+			engine.Workers(), stats.FilesPerSec(), stats.MacrosPerSec())
+		fmt.Printf("stage time (cpu): extract %v, featurize %v, classify %v\n",
+			time.Duration(stats.ExtractNS).Round(time.Microsecond),
+			time.Duration(stats.FeaturizeNS).Round(time.Microsecond),
+			time.Duration(stats.ClassifyNS).Round(time.Microsecond))
 	}
 	return nil
 }

@@ -127,11 +127,24 @@ var executableExtensions = []string{
 // Analyze triages src: it scans the raw source, then deobfuscates and
 // scans again, marking findings that only the folded text reveals.
 func Analyze(src string) *Report {
+	return AnalyzeModule(vba.Parse(src))
+}
+
+// AnalyzeModule is Analyze for an already-parsed module. The base scan and
+// the deobfuscation pass both reuse m's parse, so a pipeline that has
+// already featurized the macro (features.Analyze) triages it without
+// re-lexing the source.
+func AnalyzeModule(m *vba.Module) *Report {
+	src := m.Source
 	rep := &Report{}
-	base := scan(src)
-	dres := deob.Deobfuscate(src)
+	base := scanModule(src, m)
+	dres := deob.DeobfuscateModule(m)
 	rep.Folds = dres.Folds
-	after := scan(dres.Source)
+	after := base
+	if dres.Folds > 0 {
+		// Only re-scan when folding actually rewrote the text.
+		after = scan(dres.Source)
+	}
 	// Recovered strings may hold IOCs that never appear as whole tokens
 	// in either text (e.g. hidden URLs recovered from decoders).
 	for _, s := range dres.Recovered {
@@ -160,8 +173,12 @@ func key(f Finding) string { return f.Kind.String() + "\x00" + strings.ToLower(f
 // scan extracts findings from macro source: procedure names for autoexec,
 // keywords anywhere, and IOC patterns in string literals and raw text.
 func scan(src string) map[string]Finding {
+	return scanModule(src, vba.Parse(src))
+}
+
+// scanModule is scan over a pre-parsed module (src must be m.Source).
+func scanModule(src string, m *vba.Module) map[string]Finding {
 	out := map[string]Finding{}
-	m := vba.Parse(src)
 	for _, p := range m.Procedures {
 		lower := strings.ToLower(p.Name)
 		for _, name := range autoExecNames {

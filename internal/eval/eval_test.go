@@ -289,3 +289,45 @@ func TestPREndsAtFullRecall(t *testing.T) {
 		t.Errorf("last recall = %v", last.Recall)
 	}
 }
+
+// TestCrossValidateParallelDeterministic asserts repeated CV runs with
+// seeded classifiers are bit-identical even though folds train on
+// concurrent goroutines: each fold's model depends only on the fold index
+// and data, never on scheduling.
+func TestCrossValidateParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 240
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 2
+		X[i] = make([]float64, 6)
+		for d := range X[i] {
+			X[i][d] = float64(c)*1.5 + rng.NormFloat64()
+		}
+		y[i] = c
+	}
+	run := func() *CVResult {
+		res, err := CrossValidate(func(fold int) ml.Classifier {
+			return ml.NewRandomForest(int64(fold))
+		}, X, y, 10, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Confusion != b.Confusion {
+		t.Errorf("confusions differ: %+v vs %+v", a.Confusion, b.Confusion)
+	}
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatalf("score %d differs: %v vs %v", i, a.Scores[i], b.Scores[i])
+		}
+	}
+	for f := range a.FoldAccuracy {
+		if a.FoldAccuracy[f] != b.FoldAccuracy[f] {
+			t.Errorf("fold %d accuracy differs", f)
+		}
+	}
+}

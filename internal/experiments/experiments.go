@@ -178,6 +178,9 @@ type ClassificationConfig struct {
 	Sets       []core.FeatureSet // default: V and J
 	// KeepROC retains the full ROC curve on each result (Figure 7).
 	KeepROC bool
+	// Workers bounds featurization concurrency (0 = GOMAXPROCS). Results
+	// are identical whatever the worker count.
+	Workers int
 }
 
 // RunClassification evaluates every (algorithm, feature set) pair on the
@@ -194,12 +197,10 @@ func RunClassification(d *corpus.Dataset, cfg ClassificationConfig) ([]Classifie
 		cfg.Sets = []core.FeatureSet{core.FeatureSetV, core.FeatureSetJ}
 	}
 	labels := d.Labels()
+	sources := d.Sources()
 	var results []ClassifierResult
 	for _, fs := range cfg.Sets {
-		X := make([][]float64, len(d.Macros))
-		for i, m := range d.Macros {
-			X[i] = fs.Extract(m.Source)
-		}
+		X := core.FeaturizeAll(fs, sources, cfg.Workers)
 		for _, algo := range cfg.Algorithms {
 			res, err := eval.CrossValidate(func(fold int) ml.Classifier {
 				clf, err := core.NewClassifier(algo, cfg.Seed+int64(fold))

@@ -64,6 +64,14 @@ type Analysis struct {
 	entropy float64
 }
 
+// Module exposes the parsed syntactic view behind the analysis, so
+// downstream passes (triage, deobfuscation) can reuse the single parse
+// instead of re-lexing the same source.
+func (a *Analysis) Module() *vba.Module { return a.module }
+
+// Source returns the analyzed macro text.
+func (a *Analysis) Source() string { return a.src }
+
 // Analyze parses src and computes the shared statistics once.
 func Analyze(src string) *Analysis {
 	a := &Analysis{

@@ -3,6 +3,9 @@ package ml
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // RandomForest is a bagging ensemble of CART trees with per-split feature
@@ -14,8 +17,12 @@ type RandomForest struct {
 	MaxDepth int
 	// MinSamplesLeaf is the per-leaf minimum (default 1).
 	MinSamplesLeaf int
-	// Seed drives bootstrapping and feature subsampling.
+	// Seed drives bootstrapping and feature subsampling. Each tree derives
+	// its own RNG from (Seed, tree index), so a fitted forest is
+	// bit-identical for a given seed regardless of Workers.
 	Seed int64
+	// Workers bounds tree-training concurrency (0 = GOMAXPROCS).
+	Workers int
 
 	ensemble []*DecisionTree
 	fitted   bool
@@ -30,7 +37,10 @@ func NewRandomForest(seed int64) *RandomForest {
 // Name implements Classifier.
 func (f *RandomForest) Name() string { return "RF" }
 
-// Fit trains the ensemble on bootstrap resamples of (X, y).
+// Fit trains the ensemble on bootstrap resamples of (X, y). Trees are
+// independent given their per-tree RNG, so they are trained across Workers
+// goroutines; results are deterministic for a fixed Seed whatever the
+// worker count.
 func (f *RandomForest) Fit(X [][]float64, y []int) error {
 	d, err := validate(X, y)
 	if err != nil {
@@ -43,10 +53,17 @@ func (f *RandomForest) Fit(X [][]float64, y []int) error {
 	if maxFeatures < 1 {
 		maxFeatures = 1
 	}
-	rng := rand.New(rand.NewSource(f.Seed))
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > f.Trees {
+		workers = f.Trees
+	}
 	n := len(X)
 	f.ensemble = make([]*DecisionTree, f.Trees)
-	for t := range f.ensemble {
+	fitTree := func(t int) {
+		rng := rand.New(rand.NewSource(treeSeed(f.Seed, t)))
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = rng.Intn(n)
@@ -59,8 +76,40 @@ func (f *RandomForest) Fit(X [][]float64, y []int) error {
 		tree.fitIndexed(X, y, idx, rng)
 		f.ensemble[t] = tree
 	}
+	if workers == 1 {
+		for t := range f.ensemble {
+			fitTree(t)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					t := int(next.Add(1))
+					if t >= f.Trees {
+						return
+					}
+					fitTree(t)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	f.fitted = true
 	return nil
+}
+
+// treeSeed derives an independent per-tree RNG seed from the forest seed
+// with a splitmix64 finalizer, decorrelating the tree streams.
+func treeSeed(seed int64, tree int) int64 {
+	z := uint64(seed) + (uint64(tree)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // Score returns the mean positive probability across trees.

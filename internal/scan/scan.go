@@ -1,0 +1,215 @@
+// Package scan is the concurrent batch-scanning engine: a bounded
+// worker pool that runs the paper's extract → featurize → classify
+// pipeline (§IV) over a stream of Office documents. The pipeline is
+// embarrassingly parallel across documents — the property MEADE-style
+// mail-gateway deployments rely on — so throughput scales with
+// GOMAXPROCS while per-file results stay identical to sequential
+// Detector.ScanFile calls.
+package scan
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Document is one input to the engine.
+type Document struct {
+	// Name identifies the document in results (a path, usually).
+	Name string
+	// Data is the raw file content.
+	Data []byte
+}
+
+// Result is the scan outcome for one document. Exactly one of Report and
+// Err is set (a macro-free document reports extract.ErrNoMacros in Err).
+type Result struct {
+	// Index is the document's position in the input order.
+	Index int
+	// Name echoes the input document name.
+	Name string
+	// Report is the per-file classification report.
+	Report *core.FileReport
+	// Err is the extraction or classification failure, if any.
+	Err error
+}
+
+// Stats aggregates a scan run. Counters are written with atomics while
+// workers run; read them after the result channel has closed (Scan) or
+// after the call returns (ScanAll), when they are final.
+type Stats struct {
+	// Files is the number of documents processed (including failures).
+	Files int64
+	// Macros is the number of significant macros classified.
+	Macros int64
+	// Skipped is the number of macros below the significance threshold.
+	Skipped int64
+	// Errors is the number of documents that failed to scan.
+	Errors int64
+	// ExtractNS, FeaturizeNS and ClassifyNS are cumulative per-stage
+	// wall-clock nanoseconds summed across workers (their sum can exceed
+	// WallNS when workers run in parallel).
+	ExtractNS   int64
+	FeaturizeNS int64
+	ClassifyNS  int64
+	// WallNS is the elapsed wall-clock time of the whole run.
+	WallNS int64
+}
+
+// FilesPerSec is the document throughput of the run.
+func (s *Stats) FilesPerSec() float64 { return perSec(s.Files, s.WallNS) }
+
+// MacrosPerSec is the classified-macro throughput of the run.
+func (s *Stats) MacrosPerSec() float64 { return perSec(s.Macros, s.WallNS) }
+
+func perSec(n, wallNS int64) float64 {
+	if wallNS <= 0 {
+		return 0
+	}
+	return float64(n) / (float64(wallNS) / float64(time.Second))
+}
+
+// Engine is a reusable concurrent batch scanner around a trained detector.
+type Engine struct {
+	det     *core.Detector
+	workers int
+}
+
+// New returns an engine running at most workers concurrent scans
+// (workers <= 0 means GOMAXPROCS).
+func New(det *core.Detector, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{det: det, workers: workers}
+}
+
+// Workers reports the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Scan consumes documents from in until it closes or ctx is canceled,
+// scanning across the engine's workers. Results arrive on the returned
+// channel in completion order (use Result.Index to recover input order);
+// the channel closes once all workers have drained. On cancellation
+// workers stop promptly without consuming further input, and pending
+// documents produce no result. The returned Stats is final once the
+// result channel has closed.
+func (e *Engine) Scan(ctx context.Context, in <-chan Document) (<-chan Result, *Stats) {
+	out := make(chan Result, e.workers)
+	stats := &Stats{}
+	start := time.Now()
+
+	// A single distributor tags documents with their input index so the
+	// worker pool can emit in completion order without losing ordering
+	// information.
+	type indexed struct {
+		doc   Document
+		index int
+	}
+	feed := make(chan indexed)
+	go func() {
+		defer close(feed)
+		i := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case doc, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case feed <- indexed{doc: doc, index: i}:
+					i++
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case item, ok := <-feed:
+					if !ok {
+						return
+					}
+					res := e.scanOne(item.doc, item.index, stats)
+					select {
+					case out <- res:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		atomic.StoreInt64(&stats.WallNS, time.Since(start).Nanoseconds())
+		close(out)
+	}()
+	return out, stats
+}
+
+// ScanAll scans docs and returns one result per document in input order.
+// It stops early (returning ctx.Err()) when ctx is canceled; per-document
+// failures are reported in the results, not as the error.
+func (e *Engine) ScanAll(ctx context.Context, docs []Document) ([]Result, *Stats, error) {
+	stats := &Stats{}
+	results := make([]Result, len(docs))
+	start := time.Now()
+	workers := e.workers
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1))
+				if i >= len(docs) {
+					return
+				}
+				results[i] = e.scanOne(docs[i], i, stats)
+			}
+		}()
+	}
+	wg.Wait()
+	stats.WallNS = time.Since(start).Nanoseconds()
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
+}
+
+// scanOne runs the pipeline on one document and accumulates stats.
+func (e *Engine) scanOne(doc Document, index int, stats *Stats) Result {
+	report, tm, err := e.det.ScanFileTimed(doc.Data)
+	atomic.AddInt64(&stats.Files, 1)
+	atomic.AddInt64(&stats.ExtractNS, tm.ExtractNS)
+	atomic.AddInt64(&stats.FeaturizeNS, tm.FeaturizeNS)
+	atomic.AddInt64(&stats.ClassifyNS, tm.ClassifyNS)
+	if err != nil {
+		atomic.AddInt64(&stats.Errors, 1)
+		return Result{Index: index, Name: doc.Name, Err: err}
+	}
+	atomic.AddInt64(&stats.Macros, int64(len(report.Macros)))
+	atomic.AddInt64(&stats.Skipped, int64(report.Skipped))
+	return Result{Index: index, Name: doc.Name, Report: report}
+}

@@ -1,0 +1,243 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cfb"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/extract"
+)
+
+// testFixture builds a trained detector and a packaged document corpus
+// once for the whole test file.
+var testFixture = struct {
+	once sync.Once
+	det  *core.Detector
+	docs []Document
+	err  error
+}{}
+
+func fixture(t *testing.T) (*core.Detector, []Document) {
+	t.Helper()
+	testFixture.once.Do(func() {
+		spec := corpus.SmallSpec()
+		spec.BenignMacros, spec.BenignObfuscated = 120, 20
+		spec.MaliciousMacros, spec.MaliciousObfuscated = 60, 55
+		spec.BenignMaxLen = 4000
+		d := corpus.GenerateMacros(spec)
+		det, err := core.NewDetector(core.AlgoRF, core.FeatureSetV, 7)
+		if err != nil {
+			testFixture.err = err
+			return
+		}
+		if err := det.Train(d.Sources(), d.Labels()); err != nil {
+			testFixture.err = err
+			return
+		}
+		files, err := d.BuildFiles()
+		if err != nil {
+			testFixture.err = err
+			return
+		}
+		docs := make([]Document, len(files))
+		for i, f := range files {
+			docs[i] = Document{Name: f.Name, Data: f.Data}
+		}
+		testFixture.det = det
+		testFixture.docs = docs
+	})
+	if testFixture.err != nil {
+		t.Fatal(testFixture.err)
+	}
+	return testFixture.det, testFixture.docs
+}
+
+// TestScanAllMatchesSequential asserts the parallel engine produces
+// exactly the verdicts of sequential Detector.ScanFile calls, in input
+// order.
+func TestScanAllMatchesSequential(t *testing.T) {
+	det, docs := fixture(t)
+	engine := New(det, 8)
+	results, stats, err := engine.ScanAll(context.Background(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(docs) {
+		t.Fatalf("results = %d, want %d", len(results), len(docs))
+	}
+	if stats.Files != int64(len(docs)) {
+		t.Errorf("stats.Files = %d, want %d", stats.Files, len(docs))
+	}
+	if stats.WallNS <= 0 {
+		t.Error("stats.WallNS not set")
+	}
+	macros := int64(0)
+	for i, r := range results {
+		if r.Index != i || r.Name != docs[i].Name {
+			t.Fatalf("result %d out of order: index %d name %q", i, r.Index, r.Name)
+		}
+		want, werr := det.ScanFile(docs[i].Data)
+		if (r.Err == nil) != (werr == nil) {
+			t.Fatalf("%s: err %v vs sequential %v", r.Name, r.Err, werr)
+		}
+		if r.Err != nil {
+			continue
+		}
+		macros += int64(len(r.Report.Macros))
+		if len(r.Report.Macros) != len(want.Macros) {
+			t.Fatalf("%s: %d macros vs sequential %d", r.Name, len(r.Report.Macros), len(want.Macros))
+		}
+		for k := range want.Macros {
+			got, exp := r.Report.Macros[k], want.Macros[k]
+			if got.Module != exp.Module || got.Obfuscated != exp.Obfuscated || got.Score != exp.Score {
+				t.Fatalf("%s macro %d: %+v vs sequential %+v", r.Name, k, got, exp)
+			}
+		}
+	}
+	if stats.Macros != macros {
+		t.Errorf("stats.Macros = %d, want %d", stats.Macros, macros)
+	}
+}
+
+// TestScanStream exercises the streaming API end to end.
+func TestScanStream(t *testing.T) {
+	det, docs := fixture(t)
+	engine := New(det, 4)
+	in := make(chan Document)
+	go func() {
+		defer close(in)
+		for _, d := range docs {
+			in <- d
+		}
+	}()
+	out, stats := engine.Scan(context.Background(), in)
+	seen := make(map[int]bool)
+	for r := range out {
+		if seen[r.Index] {
+			t.Fatalf("index %d delivered twice", r.Index)
+		}
+		seen[r.Index] = true
+		if r.Err == nil && r.Report == nil {
+			t.Fatalf("result %d has neither report nor error", r.Index)
+		}
+	}
+	if len(seen) != len(docs) {
+		t.Fatalf("delivered %d results, want %d", len(seen), len(docs))
+	}
+	if stats.Files != int64(len(docs)) {
+		t.Errorf("stats.Files = %d, want %d", stats.Files, len(docs))
+	}
+	if stats.FilesPerSec() <= 0 {
+		t.Error("FilesPerSec not positive after drain")
+	}
+}
+
+// TestScanCancellation asserts workers drain promptly when the context is
+// canceled mid-stream: the result channel closes even though the input
+// channel stays open and unconsumed.
+func TestScanCancellation(t *testing.T) {
+	det, docs := fixture(t)
+	engine := New(det, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan Document) // never closed: only cancellation can end the scan
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case in <- docs[i%len(docs)]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out, _ := engine.Scan(ctx, in)
+	// Consume a few results to prove the pipeline is flowing, then cancel.
+	for i := 0; i < 3; i++ {
+		if _, ok := <-out; !ok {
+			t.Fatal("result channel closed before cancellation")
+		}
+	}
+	cancel()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				return // drained promptly
+			}
+		case <-deadline:
+			t.Fatal("workers did not drain within 10s of cancellation")
+		}
+	}
+}
+
+// TestScanAllCancellation asserts ScanAll returns the context error when
+// canceled before completion.
+func TestScanAllCancellation(t *testing.T) {
+	det, docs := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := New(det, 2).ScanAll(ctx, docs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestScanErrorsCounted asserts per-document failures land in results and
+// stats, not in the call error.
+func TestScanErrorsCounted(t *testing.T) {
+	det, _ := fixture(t)
+	docs := []Document{{Name: "empty.doc", Data: nil}, {Name: "junk.doc", Data: []byte("not an OLE file")}}
+	results, stats, err := New(det, 2).ScanAll(context.Background(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 2 {
+		t.Errorf("stats.Errors = %d, want 2", stats.Errors)
+	}
+	for _, r := range results {
+		if r.Err == nil {
+			t.Errorf("%s: expected an error", r.Name)
+		}
+	}
+}
+
+// TestWorkersDefault asserts New clamps non-positive worker counts.
+func TestWorkersDefault(t *testing.T) {
+	det, _ := fixture(t)
+	if w := New(det, 0).Workers(); w < 1 {
+		t.Errorf("workers = %d", w)
+	}
+	if w := New(det, -3).Workers(); w < 1 {
+		t.Errorf("workers = %d", w)
+	}
+	if w := New(det, 5).Workers(); w != 5 {
+		t.Errorf("workers = %d, want 5", w)
+	}
+}
+
+// TestNoMacrosIsError documents that macro-free files surface
+// extract.ErrNoMacros per document.
+func TestNoMacrosIsError(t *testing.T) {
+	det, _ := fixture(t)
+	b := cfb.NewBuilder()
+	if err := b.AddStream("WordDocument", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := New(det, 1).ScanAll(context.Background(),
+		[]Document{{Name: "plain.doc", Data: raw}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, extract.ErrNoMacros) {
+		t.Fatalf("err = %v, want ErrNoMacros", results[0].Err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deob"
 	"repro/internal/extract"
+	"repro/internal/scan"
 )
 
 // Re-exported core types: the facade keeps downstream imports to a single
@@ -80,6 +81,27 @@ func ExtractMacros(data []byte) ([]string, error) {
 		out[i] = m.Source
 	}
 	return out, nil
+}
+
+// Batch scanning — a bounded worker pool over many documents.
+
+type (
+	// Engine is a concurrent batch scanner: extract → featurize →
+	// classify across a worker pool, with per-stage timings.
+	Engine = scan.Engine
+	// Document is one input to the engine: a name plus raw file bytes.
+	Document = scan.Document
+	// Result pairs a document with its report (or error).
+	Result = scan.Result
+	// Stats aggregates throughput and per-stage wall-clock time.
+	Stats = scan.Stats
+)
+
+// NewEngine wraps a trained detector in a batch scanner with the given
+// worker count (<= 0 means GOMAXPROCS). For a fixed model the results are
+// identical for any worker count; only throughput changes.
+func NewEngine(det *Detector, workers int) *Engine {
+	return scan.New(det, workers)
 }
 
 // Deobfuscation and triage — the analyst-facing companions of detection.

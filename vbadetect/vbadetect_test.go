@@ -1,6 +1,7 @@
 package vbadetect_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -162,5 +163,46 @@ End Sub
 	}
 	if len(rep.IOCs()) == 0 {
 		t.Error("no IOCs")
+	}
+}
+
+func TestFacadeBatchScan(t *testing.T) {
+	det := trainedDetector(t)
+	obf := "Sub x()\ny = Chr(104) & Chr(116) & Chr(116) & Chr(112) & Chr(58) & Chr(47) & Chr(47) & Chr(101) & Chr(118) & Chr(105) & Chr(108) & Chr(46) & Chr(101) & Chr(120) & Chr(101)\nCreateObject(\"WScript.Shell\").Run y\nEnd Sub\n"
+	plain := "Sub Report()\nDim total As Long\nDim row As Long\nFor row = 1 To 10\ntotal = total + row * 2\nNext row\nIf total > 50 Then\nMsgBox \"large total\"\nElse\nMsgBox \"small total\"\nEnd If\nEnd Sub\n"
+	docs := []vbadetect.Document{
+		{Name: "a.docm", Data: buildDocm(t, obf)},
+		{Name: "b.docm", Data: buildDocm(t, plain)},
+	}
+	eng := vbadetect.NewEngine(det, 2)
+	results, stats, err := eng.ScanAll(context.Background(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(docs) {
+		t.Fatalf("results = %d, want %d", len(results), len(docs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("doc %d: %v", i, r.Err)
+		}
+		if r.Name != docs[i].Name {
+			t.Errorf("result %d is %q, want %q (order not preserved)", i, r.Name, docs[i].Name)
+		}
+		seq, err := det.ScanFile(docs[i].Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range seq.Macros {
+			if seq.Macros[k].Score != r.Report.Macros[k].Score {
+				t.Errorf("doc %d macro %d: batch score differs from sequential", i, k)
+			}
+		}
+	}
+	if stats.Files != int64(len(docs)) || stats.Macros == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.FilesPerSec() <= 0 {
+		t.Error("FilesPerSec not positive")
 	}
 }
