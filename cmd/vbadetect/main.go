@@ -12,8 +12,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,29 +25,53 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-	}
-	var err error
-	switch os.Args[1] {
-	case "train":
-		err = train(os.Args[2:])
-	case "scan":
-		err = scanCmd(os.Args[2:])
-	default:
-		usage()
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vbadetect:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+// run dispatches the subcommand and returns the process exit code. It is
+// separated from main so tests can exercise the top-level usage paths.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "-h", "--help", "help":
+		usage(stdout)
+		return 0
+	case "train":
+		err = train(args[1:])
+	case "scan":
+		err = scanCmd(args[1:])
+	default:
+		fmt.Fprintf(stderr, "vbadetect: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "vbadetect:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `vbadetect detects obfuscated VBA macros in Office documents.
+
+usage:
+  vbadetect <command> [flags]
+
+commands:
+  train   train a model on the synthetic corpus and save it
+  scan    classify Office documents with a saved model
+  help    show this message
+
   vbadetect train -model out.json [-algo svm|rf|mlp|lda|bnb] [-features V|J] [-scale 0.25] [-seed 1] [-workers N]
-  vbadetect scan  -model model.json [-workers N] [-stats] file...`)
-	os.Exit(2)
+  vbadetect scan  -model model.json [-workers N] [-stats] file...
+
+Run "vbadetect <command> -h" for per-command flags. The HTTP daemon
+counterpart is cmd/vbadetectd.`)
 }
 
 func train(args []string) error {
@@ -109,7 +135,7 @@ func scanCmd(args []string) error {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("no files to scan")
+		return errors.New("no files to scan")
 	}
 	blob, err := os.ReadFile(*modelPath)
 	if err != nil {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUsageBareInvocation asserts a bare invocation prints the subcommand
+// listing to stderr and exits 2.
+func TestUsageBareInvocation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	for _, want := range []string{"train", "scan", "usage:"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestUsageHelpFlag asserts -h / --help / help print usage to stdout and
+// exit 0.
+func TestUsageHelpFlag(t *testing.T) {
+	for _, arg := range []string{"-h", "--help", "help"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{arg}, &stdout, &stderr); code != 0 {
+			t.Errorf("%s: exit code = %d, want 0", arg, code)
+		}
+		if !strings.Contains(stdout.String(), "train") || !strings.Contains(stdout.String(), "scan") {
+			t.Errorf("%s: stdout does not list subcommands:\n%s", arg, stdout.String())
+		}
+	}
+}
+
+// TestUnknownCommand asserts an unknown subcommand is reported with usage.
+func TestUnknownCommand(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"frobnicate"}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "frobnicate") {
+		t.Errorf("stderr does not name the unknown command:\n%s", stderr.String())
+	}
+}
+
+// TestScanMissingFiles asserts scan with no files fails with exit 1.
+func TestScanMissingFiles(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"scan", "-model", "does-not-exist.json"}, &stdout, &stderr); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}

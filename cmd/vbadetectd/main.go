@@ -1,0 +1,118 @@
+// Command vbadetectd is the long-running scan service: it loads a model
+// trained with `vbadetect train` once and serves HTTP scan requests until
+// stopped.
+//
+//	vbadetectd -model model.json -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/scan         classify one document (raw body or multipart)
+//	POST /v1/scan/batch   classify many documents (multipart)
+//	POST /v1/admin/reload hot-swap the model from -model (also SIGHUP)
+//	GET  /healthz         liveness
+//	GET  /readyz          readiness (503 while draining or modelless)
+//	GET  /metrics         expvar-style JSON counters and latency histograms
+//	GET  /debug/pprof/*   profiling (only with -pprof)
+//
+// SIGTERM/SIGINT starts a graceful shutdown: readiness flips to 503, new
+// connections stop, and in-flight scans drain for up to -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vbadetectd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vbadetectd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	modelPath := fs.String("model", "model.json", "model file from `vbadetect train`")
+	maxBody := fs.Int64("max-body", 32<<20, "max request body bytes")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrent scan requests (0 = 2×GOMAXPROCS)")
+	queueWait := fs.Duration("queue-wait", 5*time.Second, "max wait for a scan slot before 429")
+	scanTimeout := fs.Duration("scan-timeout", 30*time.Second, "per-request scan deadline")
+	batchWorkers := fs.Int("batch-workers", 0, "scan.Engine workers per batch request (0 = GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight scans on shutdown")
+	enablePprof := fs.Bool("pprof", false, "expose /debug/pprof/")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv, err := server.NewFromModelFile(*modelPath, server.Config{
+		MaxBodyBytes: *maxBody,
+		MaxInFlight:  *maxInFlight,
+		QueueWait:    *queueWait,
+		ScanTimeout:  *scanTimeout,
+		BatchWorkers: *batchWorkers,
+		EnablePprof:  *enablePprof,
+		Logger:       logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGHUP hot-reloads the model without dropping requests.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				logger.Error("reload failed", "error", err)
+			}
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr, "model", *modelPath)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down, draining in-flight scans", "timeout", drainTimeout.String())
+	srv.BeginShutdown()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	// Shutdown waited for open connections; Drain additionally waits for
+	// scans whose requester timed out but whose goroutine is still running.
+	if err := srv.Drain(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		return fmt.Errorf("drain: %w", err)
+	}
+	logger.Info("drained, exiting")
+	return nil
+}

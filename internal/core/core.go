@@ -292,6 +292,51 @@ func (r *FileReport) Obfuscated() bool {
 	return false
 }
 
+// VerdictJSON is the wire representation of one macro verdict: the
+// classification outcome without the macro source or the parse-heavy
+// Analysis object, sized for service responses.
+type VerdictJSON struct {
+	Module     string  `json:"module"`
+	Obfuscated bool    `json:"obfuscated"`
+	Score      float64 `json:"score"`
+	// SourceBytes is the macro length, so callers can tell a trivial stub
+	// from a real module without shipping the source over the wire.
+	SourceBytes int `json:"source_bytes"`
+}
+
+// ReportJSON is the wire representation of a FileReport.
+type ReportJSON struct {
+	Format     string        `json:"format"`
+	Project    string        `json:"project,omitempty"`
+	Obfuscated bool          `json:"obfuscated"`
+	Macros     []VerdictJSON `json:"macros"`
+	Skipped    int           `json:"skipped"`
+	// StorageStrings counts printable strings recovered from document
+	// storage outside macro code (hidden-string anti-analysis payloads).
+	StorageStrings int `json:"storage_strings"`
+}
+
+// JSON converts the report to its wire representation.
+func (r *FileReport) JSON() *ReportJSON {
+	out := &ReportJSON{
+		Format:         r.Format,
+		Project:        r.Project,
+		Obfuscated:     r.Obfuscated(),
+		Macros:         make([]VerdictJSON, len(r.Macros)),
+		Skipped:        r.Skipped,
+		StorageStrings: len(r.StorageStrings),
+	}
+	for i, m := range r.Macros {
+		out.Macros[i] = VerdictJSON{
+			Module:      m.Module,
+			Obfuscated:  m.Obfuscated,
+			Score:       m.Score,
+			SourceBytes: len(m.Source),
+		}
+	}
+	return out
+}
+
 // ClassifySource classifies a single macro source.
 func (d *Detector) ClassifySource(src string) (MacroVerdict, error) {
 	return d.ClassifyAnalysis(Analyze(src))

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestFileReportJSON asserts the wire representation carries verdicts and
+// counts without the macro sources.
+func TestFileReportJSON(t *testing.T) {
+	rep := &FileReport{
+		Format:  "ole",
+		Project: "VBAProject",
+		Macros: []MacroVerdict{
+			{Module: "Module1", Obfuscated: true, Score: 1.5, Source: "Sub A()\nEnd Sub"},
+			{Module: "Module2", Obfuscated: false, Score: -0.25, Source: "Sub B()\nEnd Sub"},
+		},
+		Skipped:        3,
+		StorageStrings: []string{"hidden payload"},
+	}
+	got := rep.JSON()
+	if !got.Obfuscated {
+		t.Error("Obfuscated = false, want true (Module1 is obfuscated)")
+	}
+	if len(got.Macros) != 2 {
+		t.Fatalf("macros = %d, want 2", len(got.Macros))
+	}
+	if got.Macros[0].Module != "Module1" || !got.Macros[0].Obfuscated || got.Macros[0].Score != 1.5 {
+		t.Errorf("macro 0 = %+v", got.Macros[0])
+	}
+	if got.Macros[0].SourceBytes != len("Sub A()\nEnd Sub") {
+		t.Errorf("SourceBytes = %d", got.Macros[0].SourceBytes)
+	}
+	if got.Skipped != 3 || got.StorageStrings != 1 {
+		t.Errorf("counts = %+v", got)
+	}
+
+	blob, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round ReportJSON
+	if err := json.Unmarshal(blob, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Macros[1].Score != -0.25 {
+		t.Errorf("round-tripped score = %v", round.Macros[1].Score)
+	}
+	// The macro source must not leak into the wire format.
+	if bytes.Contains(blob, []byte("Sub A()")) {
+		t.Errorf("wire JSON contains macro source: %s", blob)
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -56,7 +57,7 @@ func (r *ActiveResult) LabelsToReach(target float64) int {
 // the most uncertain scores and retrains.
 func RunActive(cfg ActiveConfig, Xpool [][]float64, yPool []int, Xtest [][]float64, yTest []int) (*ActiveResult, error) {
 	if len(Xpool) != len(yPool) || len(Xtest) != len(yTest) {
-		return nil, fmt.Errorf("eval: active learning size mismatch")
+		return nil, errors.New("eval: active learning size mismatch")
 	}
 	if cfg.Initial == 0 {
 		cfg.Initial = 20

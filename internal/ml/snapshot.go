@@ -2,6 +2,7 @@ package ml
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 )
 
@@ -124,7 +125,7 @@ func Load(data []byte) (Classifier, error) {
 			b.logProb[0], b.logProb[1] = st.LogProb[0], st.LogProb[1]
 			b.logNot[0], b.logNot[1] = st.LogNot[0], st.LogNot[1]
 		} else {
-			return nil, fmt.Errorf("ml: malformed bnb state")
+			return nil, errors.New("ml: malformed bnb state")
 		}
 		return b, nil
 	default:

@@ -9,7 +9,9 @@ package scan
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,8 +36,40 @@ type Result struct {
 	Name string
 	// Report is the per-file classification report.
 	Report *core.FileReport
+	// Timings is the per-stage wall-clock attribution for this document
+	// (extract / featurize / classify), valid even when Err is set for the
+	// stages that ran.
+	Timings core.Timings
 	// Err is the extraction or classification failure, if any.
 	Err error
+}
+
+// PanicError wraps a panic recovered while scanning one document, so a
+// malformed input that trips a parser bug surfaces as a per-document error
+// instead of taking down the whole process.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("scan: panic during scan: %v", e.Value)
+}
+
+// ScanOne scans a single document with panic isolation: a panic anywhere
+// in the extract → featurize → classify pipeline is recovered and returned
+// as a *PanicError. This is the entry point request-scoped callers (the
+// HTTP daemon) use; Engine workers route through it too.
+func ScanOne(det *core.Detector, data []byte) (report *core.FileReport, tm core.Timings, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			report, err = nil, &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return det.ScanFileTimed(data)
 }
 
 // Stats aggregates a scan run. Counters are written with atomics while
@@ -200,16 +234,16 @@ func (e *Engine) ScanAll(ctx context.Context, docs []Document) ([]Result, *Stats
 
 // scanOne runs the pipeline on one document and accumulates stats.
 func (e *Engine) scanOne(doc Document, index int, stats *Stats) Result {
-	report, tm, err := e.det.ScanFileTimed(doc.Data)
+	report, tm, err := ScanOne(e.det, doc.Data)
 	atomic.AddInt64(&stats.Files, 1)
 	atomic.AddInt64(&stats.ExtractNS, tm.ExtractNS)
 	atomic.AddInt64(&stats.FeaturizeNS, tm.FeaturizeNS)
 	atomic.AddInt64(&stats.ClassifyNS, tm.ClassifyNS)
 	if err != nil {
 		atomic.AddInt64(&stats.Errors, 1)
-		return Result{Index: index, Name: doc.Name, Err: err}
+		return Result{Index: index, Name: doc.Name, Timings: tm, Err: err}
 	}
 	atomic.AddInt64(&stats.Macros, int64(len(report.Macros)))
 	atomic.AddInt64(&stats.Skipped, int64(report.Skipped))
-	return Result{Index: index, Name: doc.Name, Report: report}
+	return Result{Index: index, Name: doc.Name, Report: report, Timings: tm}
 }

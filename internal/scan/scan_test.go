@@ -220,6 +220,56 @@ func TestWorkersDefault(t *testing.T) {
 	}
 }
 
+// TestScanOnePanicIsolation asserts a panic inside the pipeline surfaces
+// as a *PanicError instead of crashing: scanning through a nil detector
+// trips a nil dereference inside ScanOne's guarded region.
+func TestScanOnePanicIsolation(t *testing.T) {
+	_, _, err := ScanOne(nil, []byte("anything"))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError has no stack")
+	}
+	if pe.Error() == "" {
+		t.Error("PanicError has empty message")
+	}
+}
+
+// TestEnginePanicIsolation asserts a worker panic is contained to its
+// document: the batch completes and the poisoned document reports a
+// *PanicError.
+func TestEnginePanicIsolation(t *testing.T) {
+	docs := []Document{{Name: "poison.doc", Data: []byte("x")}}
+	results, stats, err := New(nil, 1).ScanAll(context.Background(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pe *PanicError
+	if !errors.As(results[0].Err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", results[0].Err)
+	}
+	if stats.Errors != 1 {
+		t.Errorf("stats.Errors = %d, want 1", stats.Errors)
+	}
+}
+
+// TestResultTimings asserts per-document stage timings are exported on
+// each Result.
+func TestResultTimings(t *testing.T) {
+	det, docs := fixture(t)
+	results, _, err := New(det, 2).ScanAll(context.Background(), docs[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err == nil && r.Timings.ExtractNS <= 0 {
+			t.Errorf("%s: ExtractNS = %d, want > 0", r.Name, r.Timings.ExtractNS)
+		}
+	}
+}
+
 // TestNoMacrosIsError documents that macro-free files surface
 // extract.ErrNoMacros per document.
 func TestNoMacrosIsError(t *testing.T) {

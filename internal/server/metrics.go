@@ -1,0 +1,150 @@
+// Metrics for the scan daemon, built on expvar types so every counter is
+// safe for concurrent writes from request handlers and renders itself as
+// JSON. Nothing here registers in the global expvar namespace: each Server
+// owns its own metric tree, so tests can run many servers in one process.
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// histBoundsMS are the histogram bucket upper bounds in milliseconds
+// (cumulative "le" semantics, Prometheus-style), spanning sub-millisecond
+// classifier inference up to multi-second worst-case documents. The last
+// bucket is +Inf.
+var histBoundsMS = [...]float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+// It implements expvar.Var, rendering as JSON with count, sum and
+// cumulative bucket counts.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [len(histBoundsMS) + 1]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	ms := float64(d.Nanoseconds()) / 1e6
+	for i, bound := range histBoundsMS {
+		if ms <= bound {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(histBoundsMS)].Add(1)
+}
+
+// Count reports how many observations have been recorded.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// String renders the histogram as a JSON object (expvar.Var contract).
+// Bucket counts are emitted cumulatively under "le_<bound>ms" keys.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	count := h.count.Load()
+	sumMS := float64(h.sumNS.Load()) / 1e6
+	avg := 0.0
+	if count > 0 {
+		avg = sumMS / float64(count)
+	}
+	fmt.Fprintf(&b, `{"count": %d, "sum_ms": %.3f, "avg_ms": %.3f, "buckets": {`, count, sumMS, avg)
+	cum := int64(0)
+	for i, bound := range histBoundsMS {
+		cum += h.buckets[i].Load()
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, `"le_%gms": %d`, bound, cum)
+	}
+	cum += h.buckets[len(histBoundsMS)].Load()
+	fmt.Fprintf(&b, `, "le_inf": %d}}`, cum)
+	return b.String()
+}
+
+// Metrics is one server's observability tree. All fields are updated with
+// atomic operations; the tree renders as a single JSON document at
+// /metrics via the embedded expvar.Map.
+type Metrics struct {
+	root expvar.Map
+
+	// Requests counts HTTP requests by endpoint pattern.
+	Requests expvar.Map
+	// Responses counts HTTP responses by status class ("2xx".."5xx").
+	Responses expvar.Map
+	// InFlight is the number of scan requests currently holding a slot.
+	InFlight expvar.Int
+
+	// Scans counts documents scanned (batch items count individually).
+	Scans expvar.Int
+	// Macros counts significant macros classified.
+	Macros expvar.Int
+	// MacrosSkipped counts macros below the significance threshold.
+	MacrosSkipped expvar.Int
+	// Verdicts counts file-level outcomes: "obfuscated", "clean",
+	// "no_macros".
+	Verdicts expvar.Map
+	// Errors counts failures by class: "parse", "panic", "timeout",
+	// "oversize", "busy", "bad_request", "internal".
+	Errors expvar.Map
+	// Reloads counts successful model hot-reloads.
+	Reloads expvar.Int
+
+	// Per-stage pipeline latency (extract → featurize → classify) plus
+	// whole-request latency for the scan endpoints.
+	StageExtract   Histogram
+	StageFeaturize Histogram
+	StageClassify  Histogram
+	RequestLatency Histogram
+
+	start time.Time
+}
+
+// NewMetrics builds an initialized, unregistered metric tree.
+func NewMetrics() *Metrics {
+	m := &Metrics{start: time.Now()}
+	m.Requests.Init()
+	m.Responses.Init()
+	m.Verdicts.Init()
+	m.Errors.Init()
+
+	m.root.Init()
+	m.root.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(m.start).Seconds()
+	}))
+	m.root.Set("requests", &m.Requests)
+	m.root.Set("responses", &m.Responses)
+	m.root.Set("inflight", &m.InFlight)
+	m.root.Set("scans", &m.Scans)
+	m.root.Set("macros", &m.Macros)
+	m.root.Set("macros_skipped", &m.MacrosSkipped)
+	m.root.Set("verdicts", &m.Verdicts)
+	m.root.Set("errors", &m.Errors)
+	m.root.Set("model_reloads", &m.Reloads)
+
+	stages := new(expvar.Map).Init()
+	stages.Set("extract", &m.StageExtract)
+	stages.Set("featurize", &m.StageFeaturize)
+	stages.Set("classify", &m.StageClassify)
+	m.root.Set("stage_latency", stages)
+	m.root.Set("request_latency", &m.RequestLatency)
+	return m
+}
+
+// ServeHTTP renders the whole metric tree as JSON.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, m.root.String())
+}
+
+// observeStatus records a response status code by class.
+func (m *Metrics) observeStatus(code int) {
+	m.Responses.Add(fmt.Sprintf("%dxx", code/100), 1)
+}

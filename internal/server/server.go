@@ -1,0 +1,648 @@
+// Package server is the long-running scan service: an HTTP daemon that
+// loads a trained detector once and classifies Office documents on demand,
+// the MEADE-style deployment shape (a detection engine fed a continuous
+// attachment stream) built on the batch engine from internal/scan.
+//
+// The server is defensive by construction: request bodies are size-capped,
+// scans run under a bounded in-flight semaphore with per-request
+// deadlines, a panic while parsing one malformed document is isolated to
+// that request, and the model can be hot-swapped (SIGHUP or
+// POST /v1/admin/reload) behind an RWMutex without dropping traffic.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"mime"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/scan"
+)
+
+// Config tunes the scan daemon. The zero value is usable: every field has
+// a production default applied by New.
+type Config struct {
+	// ModelPath is the model file reloaded on SIGHUP / admin reload.
+	// Empty disables reloading (the initial detector stays pinned).
+	ModelPath string
+	// MaxBodyBytes caps a request body (raw or multipart). Default 32 MiB.
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently processed scan requests. Default
+	// 2 × GOMAXPROCS.
+	MaxInFlight int
+	// QueueWait is how long a request waits for a free slot before 429.
+	// Default 5s.
+	QueueWait time.Duration
+	// ScanTimeout is the per-request processing deadline. Default 30s.
+	ScanTimeout time.Duration
+	// BatchWorkers is the scan.Engine worker count for /v1/scan/batch.
+	// Default GOMAXPROCS.
+	BatchWorkers int
+	// MaxBatchFiles caps documents per batch request. Default 256.
+	MaxBatchFiles int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Logger receives structured request logs. Default: JSON to stderr.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 5 * time.Second
+	}
+	if c.ScanTimeout <= 0 {
+		c.ScanTimeout = 30 * time.Second
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatchFiles <= 0 {
+		c.MaxBatchFiles = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return c
+}
+
+// Server is the scan daemon: a trained detector behind HTTP handlers with
+// observability, admission control and hot model reload.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	metrics *Metrics
+
+	mu  sync.RWMutex // guards det across hot reloads
+	det *core.Detector
+
+	sem      chan struct{}
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	reqSeq   atomic.Uint64
+
+	// scanGate, when set (tests only), is invoked while a scan holds its
+	// semaphore slot, letting tests hold requests in flight deterministically.
+	scanGate func()
+}
+
+// New wraps a trained detector in a Server. det may be nil: the server
+// starts unready and becomes ready after the first successful Reload.
+func New(det *core.Detector, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		metrics: NewMetrics(),
+		det:     det,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// NewFromModelFile loads the model at cfg.ModelPath (or path, which
+// overrides it) and returns a ready server.
+func NewFromModelFile(path string, cfg Config) (*Server, error) {
+	if path != "" {
+		cfg.ModelPath = path
+	}
+	s := New(nil, cfg)
+	if err := s.Reload(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Metrics exposes the server's metric tree (the /metrics payload).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// detector returns the current model under the read lock.
+func (s *Server) detector() *core.Detector {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.det
+}
+
+// Reload re-reads Config.ModelPath and swaps the detector in under the
+// write lock; in-flight scans keep the model they started with.
+func (s *Server) Reload() error {
+	if s.cfg.ModelPath == "" {
+		return errors.New("server: no model path configured")
+	}
+	blob, err := os.ReadFile(s.cfg.ModelPath)
+	if err != nil {
+		return fmt.Errorf("server: reload: %w", err)
+	}
+	det, err := core.LoadModel(blob)
+	if err != nil {
+		return fmt.Errorf("server: reload: %w", err)
+	}
+	s.mu.Lock()
+	s.det = det
+	s.mu.Unlock()
+	s.metrics.Reloads.Add(1)
+	s.log.Info("model reloaded",
+		"path", s.cfg.ModelPath,
+		"algorithm", string(det.Algorithm()),
+		"feature_set", det.FeatureSet().String())
+	return nil
+}
+
+// BeginShutdown flips /readyz to 503 so load balancers stop routing new
+// traffic while http.Server.Shutdown drains in-flight requests.
+func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// Drain blocks until every in-flight scan has finished (including scans
+// whose requester already timed out) or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler builds the daemon's routing table wrapped in request logging.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scan", s.handleScan)
+	mux.HandleFunc("POST /v1/scan/batch", s.handleScanBatch)
+	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", s.metrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.withRequestLog(mux)
+}
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// requestIDKey carries the per-request ID through the context.
+type requestIDKey struct{}
+
+// requestID extracts the request's ID (set by withRequestLog).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// withRequestLog assigns every request an ID (honoring X-Request-ID),
+// logs it structured on completion, and feeds the request metrics.
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		s.metrics.Requests.Add(r.Method+" "+r.URL.Path, 1)
+		s.metrics.observeStatus(sw.status)
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"elapsed_ms", float64(elapsed.Nanoseconds())/1e6,
+			"remote", r.RemoteAddr)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.detector() == nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no model loaded"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ModelPath == "" {
+		s.metrics.Errors.Add("bad_request", 1)
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "no model path configured"})
+		return
+	}
+	if err := s.Reload(); err != nil {
+		s.metrics.Errors.Add("internal", 1)
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	det := s.detector()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"reloaded":    true,
+		"algorithm":   string(det.Algorithm()),
+		"feature_set": det.FeatureSet().String(),
+	})
+}
+
+// StageMS is per-stage pipeline latency in milliseconds.
+type StageMS struct {
+	Extract   float64 `json:"extract"`
+	Featurize float64 `json:"featurize"`
+	Classify  float64 `json:"classify"`
+}
+
+func stageMS(tm core.Timings) *StageMS {
+	return &StageMS{
+		Extract:   float64(tm.ExtractNS) / 1e6,
+		Featurize: float64(tm.FeaturizeNS) / 1e6,
+		Classify:  float64(tm.ClassifyNS) / 1e6,
+	}
+}
+
+// ScanResponse is the JSON body for one scanned document.
+type ScanResponse struct {
+	RequestID  string           `json:"request_id,omitempty"`
+	File       string           `json:"file"`
+	NoMacros   bool             `json:"no_macros,omitempty"`
+	Report     *core.ReportJSON `json:"report,omitempty"`
+	Error      string           `json:"error,omitempty"`
+	ErrorClass string           `json:"error_class,omitempty"`
+	Stages     *StageMS         `json:"stage_ms,omitempty"`
+	ElapsedMS  float64          `json:"elapsed_ms"`
+}
+
+// BatchStats summarizes one batch request.
+type BatchStats struct {
+	Files       int64   `json:"files"`
+	Macros      int64   `json:"macros"`
+	Skipped     int64   `json:"skipped"`
+	Errors      int64   `json:"errors"`
+	WallMS      float64 `json:"wall_ms"`
+	FilesPerSec float64 `json:"files_per_sec"`
+}
+
+// BatchResponse is the JSON body for /v1/scan/batch.
+type BatchResponse struct {
+	RequestID string         `json:"request_id"`
+	Files     []ScanResponse `json:"files"`
+	Stats     BatchStats     `json:"stats"`
+}
+
+// acquireSlot takes a semaphore slot, waiting up to QueueWait. It reports
+// false (after writing the error response) when the server is saturated or
+// the client went away.
+func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) bool {
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-timer.C:
+		s.metrics.Errors.Add("busy", 1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server saturated, retry later"})
+		return false
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "client canceled"})
+		return false
+	}
+}
+
+// readDocument pulls the document bytes out of the request: either the
+// first file part of a multipart form, or the raw body. The body is capped
+// at MaxBodyBytes either way.
+func (s *Server) readDocument(w http.ResponseWriter, r *http.Request) (name string, data []byte, err error) {
+	name = r.Header.Get("X-Filename")
+	if name == "" {
+		name = "document"
+	}
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if strings.HasPrefix(ct, "multipart/") {
+		r.Body = body
+		if err := r.ParseMultipartForm(s.cfg.MaxBodyBytes); err != nil {
+			return name, nil, err
+		}
+		for _, headers := range r.MultipartForm.File {
+			for _, fh := range headers {
+				f, err := fh.Open()
+				if err != nil {
+					return name, nil, err
+				}
+				data, err = io.ReadAll(f)
+				f.Close()
+				if err != nil {
+					return name, nil, err
+				}
+				if fh.Filename != "" {
+					name = fh.Filename
+				}
+				return name, data, nil
+			}
+		}
+		return name, nil, errors.New("multipart form has no file part")
+	}
+	data, err = io.ReadAll(body)
+	return name, data, err
+}
+
+// scanOutcome is what the scan goroutine hands back across the timeout
+// boundary.
+type scanOutcome struct {
+	report *core.FileReport
+	tm     core.Timings
+	err    error
+}
+
+// runScan executes one panic-isolated scan under the request deadline.
+// The scan goroutine always runs to completion (CPU-bound work is not
+// cancelable mid-document); on timeout the request returns early while
+// the goroutine finishes in the background, still counted in-flight so
+// shutdown drains it and still holding its semaphore slot so admission
+// control reflects true load.
+func (s *Server) runScan(ctx context.Context, det *core.Detector, data []byte) (scanOutcome, bool) {
+	done := make(chan scanOutcome, 1)
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		defer func() { <-s.sem }()
+		defer s.metrics.InFlight.Add(-1)
+		s.metrics.InFlight.Add(1)
+		var out scanOutcome
+		// scan.ScanOne already isolates pipeline panics; this second net
+		// catches anything outside it so no request can kill the daemon.
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					out = scanOutcome{err: &scan.PanicError{Value: p, Stack: debug.Stack()}}
+				}
+			}()
+			if s.scanGate != nil {
+				s.scanGate()
+			}
+			out.report, out.tm, out.err = scan.ScanOne(det, data)
+		}()
+		done <- out
+	}()
+	select {
+	case out := <-done:
+		return out, true
+	case <-ctx.Done():
+		return scanOutcome{}, false
+	}
+}
+
+// recordOutcome feeds one document's result into the metric tree and fills
+// the response fields shared by the single and batch endpoints.
+func (s *Server) recordOutcome(resp *ScanResponse, out scanOutcome) {
+	s.metrics.Scans.Add(1)
+	s.metrics.StageExtract.Observe(time.Duration(out.tm.ExtractNS))
+	s.metrics.StageFeaturize.Observe(time.Duration(out.tm.FeaturizeNS))
+	s.metrics.StageClassify.Observe(time.Duration(out.tm.ClassifyNS))
+	resp.Stages = stageMS(out.tm)
+	if out.err != nil {
+		if errors.Is(out.err, extract.ErrNoMacros) {
+			s.metrics.Verdicts.Add("no_macros", 1)
+			resp.NoMacros = true
+			return
+		}
+		class := errorClass(out.err)
+		s.metrics.Errors.Add(class, 1)
+		resp.Error = out.err.Error()
+		resp.ErrorClass = class
+		return
+	}
+	s.metrics.Macros.Add(int64(len(out.report.Macros)))
+	s.metrics.MacrosSkipped.Add(int64(out.report.Skipped))
+	if out.report.Obfuscated() {
+		s.metrics.Verdicts.Add("obfuscated", 1)
+	} else {
+		s.metrics.Verdicts.Add("clean", 1)
+	}
+	resp.Report = out.report.JSON()
+}
+
+// errorClass buckets a scan failure for the errors metric.
+func errorClass(err error) string {
+	var pe *scan.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.Is(err, core.ErrNotTrained):
+		return "internal"
+	default:
+		return "parse"
+	}
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	det := s.detector()
+	if det == nil || s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "not ready"})
+		return
+	}
+	name, data, err := s.readDocument(w, r)
+	if err != nil {
+		s.writeBodyError(w, err)
+		return
+	}
+	if !s.acquireSlot(w, r) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ScanTimeout)
+	defer cancel()
+	out, ok := s.runScan(ctx, det, data)
+	resp := ScanResponse{RequestID: requestID(r.Context()), File: name}
+	if !ok {
+		s.metrics.Errors.Add("timeout", 1)
+		resp.Error = "scan deadline exceeded"
+		resp.ErrorClass = "timeout"
+		resp.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+		return
+	}
+	s.recordOutcome(&resp, out)
+	resp.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	s.metrics.RequestLatency.Observe(time.Since(start))
+	writeJSON(w, statusFor(&resp), resp)
+}
+
+// statusFor maps a scan outcome to its HTTP status.
+func statusFor(resp *ScanResponse) int {
+	switch resp.ErrorClass {
+	case "":
+		return http.StatusOK
+	case "panic", "internal":
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// writeBodyError distinguishes an oversized body (413) from a malformed
+// request (400).
+func (s *Server) writeBodyError(w http.ResponseWriter, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		s.metrics.Errors.Add("oversize", 1)
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			map[string]string{"error": fmt.Sprintf("body exceeds %d byte limit", s.cfg.MaxBodyBytes)})
+		return
+	}
+	s.metrics.Errors.Add("bad_request", 1)
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	det := s.detector()
+	if det == nil || s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "not ready"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := r.ParseMultipartForm(s.cfg.MaxBodyBytes); err != nil {
+		s.writeBodyError(w, err)
+		return
+	}
+	var docs []scan.Document
+	for _, headers := range r.MultipartForm.File {
+		for _, fh := range headers {
+			if len(docs) >= s.cfg.MaxBatchFiles {
+				s.metrics.Errors.Add("bad_request", 1)
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					map[string]string{"error": fmt.Sprintf("batch exceeds %d file limit", s.cfg.MaxBatchFiles)})
+				return
+			}
+			f, err := fh.Open()
+			if err != nil {
+				s.writeBodyError(w, err)
+				return
+			}
+			data, err := io.ReadAll(f)
+			f.Close()
+			if err != nil {
+				s.writeBodyError(w, err)
+				return
+			}
+			docs = append(docs, scan.Document{Name: fh.Filename, Data: data})
+		}
+	}
+	if len(docs) == 0 {
+		s.metrics.Errors.Add("bad_request", 1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "multipart form has no file parts"})
+		return
+	}
+	if !s.acquireSlot(w, r) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ScanTimeout)
+	defer cancel()
+
+	engine := scan.New(det, s.cfg.BatchWorkers)
+	var results []scan.Result
+	var stats *scan.Stats
+	done := make(chan error, 1)
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		defer func() { <-s.sem }()
+		defer s.metrics.InFlight.Add(-1)
+		s.metrics.InFlight.Add(1)
+		var err error
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					err = &scan.PanicError{Value: p, Stack: debug.Stack()}
+				}
+			}()
+			if s.scanGate != nil {
+				s.scanGate()
+			}
+			results, stats, err = engine.ScanAll(ctx, docs)
+		}()
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		var pe *scan.PanicError
+		if errors.As(err, &pe) {
+			s.metrics.Errors.Add("panic", 1)
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		s.metrics.Errors.Add("timeout", 1)
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "batch deadline exceeded"})
+		return
+	}
+
+	resp := BatchResponse{
+		RequestID: requestID(r.Context()),
+		Files:     make([]ScanResponse, len(results)),
+		Stats: BatchStats{
+			Files:       stats.Files,
+			Macros:      stats.Macros,
+			Skipped:     stats.Skipped,
+			Errors:      stats.Errors,
+			WallMS:      float64(stats.WallNS) / 1e6,
+			FilesPerSec: stats.FilesPerSec(),
+		},
+	}
+	for i, res := range results {
+		fr := ScanResponse{File: res.Name}
+		s.recordOutcome(&fr, scanOutcome{report: res.Report, tm: res.Timings, err: res.Err})
+		resp.Files[i] = fr
+	}
+	s.metrics.RequestLatency.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeJSON writes v as the JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

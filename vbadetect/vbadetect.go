@@ -104,6 +104,28 @@ func NewEngine(det *Detector, workers int) *Engine {
 	return scan.New(det, workers)
 }
 
+// Service-facing types: the wire representations and per-stage timing
+// breakdown used by the vbadetectd HTTP daemon, re-exported so clients of
+// the library can share them.
+type (
+	// Timings splits one scan into extract / featurize / classify
+	// wall-clock nanoseconds.
+	Timings = core.Timings
+	// ReportJSON is the wire representation of a FileReport.
+	ReportJSON = core.ReportJSON
+	// VerdictJSON is the wire representation of one macro verdict.
+	VerdictJSON = core.VerdictJSON
+	// PanicError wraps a panic recovered during a scan of one document.
+	PanicError = scan.PanicError
+)
+
+// ScanOne scans a single document with panic isolation and per-stage
+// timings: a parser bug tripped by a malformed document is returned as a
+// *PanicError instead of crashing the process.
+func ScanOne(det *Detector, data []byte) (*FileReport, Timings, error) {
+	return scan.ScanOne(det, data)
+}
+
 // Deobfuscation and triage — the analyst-facing companions of detection.
 
 // DeobResult is the outcome of static deobfuscation (see internal/deob).
