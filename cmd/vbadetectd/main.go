@@ -16,6 +16,12 @@
 //
 // SIGTERM/SIGINT starts a graceful shutdown: readiness flips to 503, new
 // connections stop, and in-flight scans drain for up to -drain-timeout.
+//
+// Per-document resource budgets (hostile-input hardening) are set with the
+// -limit-* flags; each also reads a VBADETECTD_LIMIT_* environment variable
+// as its default, so containerized deployments can tune budgets without
+// changing the command line. Flags win over the environment; 0 means the
+// built-in default.
 package main
 
 import (
@@ -27,11 +33,29 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"repro/internal/hostile"
 	"repro/internal/server"
 )
+
+// envInt64 returns the integer value of the named environment variable, or
+// def when unset or unparsable. Used as flag defaults so env configures and
+// flags override.
+func envInt64(name string, def int64) int64 {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func envInt(name string, def int) int {
+	return int(envInt64(name, int64(def)))
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -51,6 +75,24 @@ func run(args []string) error {
 	batchWorkers := fs.Int("batch-workers", 0, "scan.Engine workers per batch request (0 = GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight scans on shutdown")
 	enablePprof := fs.Bool("pprof", false, "expose /debug/pprof/")
+	limDecomp := fs.Int64("limit-decompressed-bytes",
+		envInt64("VBADETECTD_LIMIT_DECOMPRESSED_BYTES", 0),
+		"per-document decompressed-output budget in bytes (0 = 256MiB default)")
+	limDepth := fs.Int("limit-container-depth",
+		envInt("VBADETECTD_LIMIT_CONTAINER_DEPTH", 0),
+		"max nested container depth (0 = default 4)")
+	limDir := fs.Int("limit-dir-entries",
+		envInt("VBADETECTD_LIMIT_DIR_ENTRIES", 0),
+		"max CFB directory entries walked per document (0 = default 16384)")
+	limTokens := fs.Int64("limit-lex-tokens",
+		envInt64("VBADETECTD_LIMIT_LEX_TOKENS", 0),
+		"max VBA lexer tokens per macro (0 = default 4194304)")
+	limMacro := fs.Int64("limit-macro-source-bytes",
+		envInt64("VBADETECTD_LIMIT_MACRO_SOURCE_BYTES", 0),
+		"max bytes of one macro's source (0 = default 16MiB)")
+	limStrings := fs.Int("limit-storage-strings",
+		envInt("VBADETECTD_LIMIT_STORAGE_STRINGS", 0),
+		"max storage strings recovered per document (0 = default 10000)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +106,14 @@ func run(args []string) error {
 		BatchWorkers: *batchWorkers,
 		EnablePprof:  *enablePprof,
 		Logger:       logger,
+		Limits: hostile.Limits{
+			MaxDecompressedBytes: *limDecomp,
+			MaxContainerDepth:    *limDepth,
+			MaxDirEntries:        *limDir,
+			MaxLexTokens:         *limTokens,
+			MaxMacroSourceBytes:  *limMacro,
+			MaxStorageStrings:    *limStrings,
+		},
 	})
 	if err != nil {
 		return err

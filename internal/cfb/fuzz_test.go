@@ -1,15 +1,21 @@
-package cfb
+package cfb_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"repro/internal/cfb"
+	"repro/internal/faultinject"
+	"repro/internal/hostile"
 )
 
-// FuzzParse drives the reader with mutated container bytes; it must never
-// panic and, when it succeeds on a mutant of a valid file, must return
-// internally consistent storages.
-func FuzzParse(f *testing.F) {
-	b := NewBuilder()
+// fuzzSeeds assembles the corpus shared by both targets: a hand-built
+// container plus the fault-injection matrix (truncations at structural
+// boundaries, bit flips, a FAT cycle), so the fuzzer starts from inputs
+// that already reach the deep parser states.
+func fuzzSeeds(f *testing.F) {
+	b := cfb.NewBuilder()
 	_ = b.AddStream("Macros/VBA/dir", []byte("dir"))
 	_ = b.AddStream("Macros/VBA/Module1", bytes.Repeat([]byte{0xAB}, 300))
 	_ = b.AddStream("WordDocument", bytes.Repeat([]byte("w"), 5000))
@@ -20,13 +26,62 @@ func FuzzParse(f *testing.F) {
 	f.Add(seed)
 	f.Add(seed[:600])
 	f.Add([]byte{})
+
+	doc, err := faultinject.ValidDoc()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(doc)
+	for _, c := range faultinject.Truncations(doc) {
+		f.Add(c.Data)
+	}
+	for _, c := range faultinject.BitFlips(doc, 42, 8) {
+		f.Add(c.Data)
+	}
+	if cyc, err := faultinject.FATCycle(doc); err == nil {
+		f.Add(cyc.Data)
+	}
+}
+
+// FuzzParse drives the reader with mutated container bytes; it must never
+// panic and, when it succeeds on a mutant of a valid file, must return
+// internally consistent storages.
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		file, err := Parse(data)
+		file, err := cfb.Parse(data)
 		if err != nil {
 			return
 		}
-		file.Walk(func(path string, s *Stream) {
+		file.Walk(func(path string, s *cfb.Stream) {
 			_ = len(s.Data)
 		})
+	})
+}
+
+// FuzzParseBudget drives the budgeted walker under a deliberately small
+// budget: no panic, and every rejection must carry a typed taxonomy error
+// (a budget breach that surfaces as untyped text is a bug).
+func FuzzParseBudget(f *testing.F) {
+	fuzzSeeds(f)
+	limits := hostile.Limits{
+		MaxDecompressedBytes: 1 << 20,
+		MaxDirEntries:        256,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := cfb.ParseBudget(data, hostile.NewBudget(limits))
+		if err != nil {
+			if errors.Is(err, hostile.ErrLimitExceeded) && hostile.LimitName(err) == "" {
+				t.Fatalf("limit breach without limit name: %v", err)
+			}
+			return
+		}
+		total := 0
+		file.Walk(func(path string, s *cfb.Stream) {
+			total += len(s.Data)
+		})
+		if int64(total) > limits.MaxDecompressedBytes+int64(len(data)) {
+			t.Fatalf("walker materialized %d bytes under a %d budget", total, limits.MaxDecompressedBytes)
+		}
 	})
 }

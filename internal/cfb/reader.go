@@ -3,20 +3,34 @@ package cfb
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/hostile"
 )
 
-// Parse reads a compound file from data and returns its storage tree.
+// Parse reads a compound file from data and returns its storage tree,
+// under the default resource budget (hostile.DefaultLimits).
 //
 // The parser is defensive: chain cycles, out-of-range sector numbers and
 // truncated sectors return ErrCorrupt-wrapped errors instead of panicking,
 // because the malicious corpus deliberately includes malformed files.
+// Every ErrCorrupt error additionally wraps its hostile-taxonomy class
+// (hostile.ErrTruncated, hostile.ErrCycle, hostile.ErrMalformed), so
+// callers can classify failures with errors.Is without depending on
+// message text.
 func Parse(data []byte) (*File, error) {
+	return ParseBudget(data, hostile.NewBudget(hostile.DefaultLimits()))
+}
+
+// ParseBudget is Parse with an explicit resource budget: chain reads charge
+// decompressed-byte output, directory walks charge entry visits, and long
+// loops honor the budget deadline. A nil budget disables the limits.
+func ParseBudget(data []byte, bud *hostile.Budget) (*File, error) {
 	if len(data) < 512 {
-		return nil, fmt.Errorf("%w: file shorter than header", ErrNotCompoundFile)
+		return nil, fmt.Errorf("%w: file shorter than header (%w)", ErrNotCompoundFile, hostile.ErrTruncated)
 	}
 	for i, b := range Signature {
 		if data[i] != b {
-			return nil, ErrNotCompoundFile
+			return nil, fmt.Errorf("%w (%w)", ErrNotCompoundFile, hostile.ErrMalformed)
 		}
 	}
 	le := binary.LittleEndian
@@ -29,8 +43,8 @@ func Parse(data []byte) (*File, error) {
 	case majorVersion == 4 && sectorShift == 12:
 		sectorSize = 4096
 	default:
-		return nil, fmt.Errorf("%w: unsupported version %d / sector shift %d",
-			ErrCorrupt, majorVersion, sectorShift)
+		return nil, fmt.Errorf("%w: unsupported version %d / sector shift %d (%w)",
+			ErrCorrupt, majorVersion, sectorShift, hostile.ErrMalformed)
 	}
 
 	numFATSectors := le.Uint32(data[44:])
@@ -42,20 +56,31 @@ func Parse(data []byte) (*File, error) {
 
 	// Sector counts from the header bound allocations below; a corrupted
 	// header must not drive them past what the file can actually hold.
+	// This clamp is the allocation guard: every `make` below is sized from
+	// counts already proven to fit the file.
 	maxSectors := uint32(len(data)/sectorSize + 1)
 	if numFATSectors > maxSectors || numMiniFATSectors > maxSectors || numDIFATSectors > maxSectors {
-		return nil, fmt.Errorf("%w: header sector counts exceed file size", ErrCorrupt)
+		return nil, fmt.Errorf("%w: header sector counts exceed file size (%w)", ErrCorrupt, hostile.ErrMalformed)
 	}
 
-	r := &reader{data: data, sectorSize: sectorSize}
+	r := &reader{data: data, sectorSize: sectorSize, bud: bud}
 
 	// DIFAT: 109 entries in the header, then a chain of DIFAT sectors.
-	difat := make([]uint32, 0, 109+int(numDIFATSectors)*(sectorSize/4-1))
+	// numDIFATSectors is clamped above, so the capacity is bounded by the
+	// file size; clamp again defensively so the relationship is local.
+	difatCap := 109 + int(numDIFATSectors)*(sectorSize/4-1)
+	if maxCap := len(data)/4 + 109; difatCap > maxCap {
+		difatCap = maxCap
+	}
+	difat := make([]uint32, 0, difatCap)
 	for i := 0; i < 109; i++ {
 		difat = append(difat, le.Uint32(data[76+4*i:]))
 	}
 	sect := firstDIFATSector
 	for i := uint32(0); i < numDIFATSectors && sect != endOfChain && sect != freeSect; i++ {
+		if err := bud.CheckDeadline(); err != nil {
+			return nil, err
+		}
 		body, err := r.sector(sect)
 		if err != nil {
 			return nil, fmt.Errorf("DIFAT sector %d: %w", sect, err)
@@ -67,8 +92,14 @@ func Parse(data []byte) (*File, error) {
 		sect = le.Uint32(body[4*n:])
 	}
 
-	// FAT: concatenation of the sectors listed in the DIFAT.
-	fat := make([]uint32, 0, int(numFATSectors)*sectorSize/4)
+	// FAT: concatenation of the sectors listed in the DIFAT. The capacity
+	// is clamped by the maxSectors check above; never trust the header to
+	// size an allocation beyond the file itself.
+	fatCap := int(numFATSectors) * sectorSize / 4
+	if maxCap := len(data) / 4; fatCap > maxCap {
+		fatCap = maxCap
+	}
+	fat := make([]uint32, 0, fatCap)
 	count := uint32(0)
 	for _, fs := range difat {
 		if fs == freeSect || count >= numFATSectors {
@@ -102,11 +133,11 @@ func Parse(data []byte) (*File, error) {
 	}
 	entries := parseDirEntries(dirBytes)
 	if len(entries) == 0 || entries[0].objType != typeRoot {
-		return nil, fmt.Errorf("%w: missing root directory entry", ErrCorrupt)
+		return nil, fmt.Errorf("%w: missing root directory entry (%w)", ErrCorrupt, hostile.ErrMalformed)
 	}
 
 	// Mini stream: the root entry's chain in the regular FAT.
-	r.miniStream, err = r.readChain(entries[0].startSector, int(entries[0].size))
+	r.miniStream, err = r.readChain(entries[0].startSector, clampStreamSize(entries[0].size, len(data)))
 	if err != nil {
 		return nil, fmt.Errorf("mini stream: %w", err)
 	}
@@ -116,6 +147,16 @@ func Parse(data []byte) (*File, error) {
 		return nil, err
 	}
 	return &File{Root: root, SectorSize: sectorSize}, nil
+}
+
+// clampStreamSize converts an attacker-controlled 64-bit stream size to an
+// int bounded by the file size: no stream can legitimately hold more bytes
+// than its container, and the conversion must never go negative.
+func clampStreamSize(size uint64, fileLen int) int {
+	if size > uint64(fileLen) {
+		return fileLen
+	}
+	return int(size)
 }
 
 type dirEntry struct {
@@ -152,16 +193,23 @@ func parseDirEntries(dir []byte) []dirEntry {
 }
 
 // buildTree walks the red-black sibling tree rooted at id and attaches the
-// children to parent. visited guards against cycles in corrupt files.
+// children to parent. visited guards against cycles in corrupt files; the
+// budget bounds the total number of entries walked.
 func (r *reader) buildTree(entries []dirEntry, id uint32, parent *Storage, visited map[uint32]bool) error {
 	if id == noStream {
 		return nil
 	}
 	if int(id) >= len(entries) {
-		return fmt.Errorf("%w: directory id %d out of range", ErrCorrupt, id)
+		return fmt.Errorf("%w: directory id %d out of range (%w)", ErrCorrupt, id, hostile.ErrMalformed)
 	}
 	if visited[id] {
-		return fmt.Errorf("%w: directory sibling cycle at id %d", ErrCorrupt, id)
+		return fmt.Errorf("%w: directory sibling cycle at id %d (%w)", ErrCorrupt, id, hostile.ErrCycle)
+	}
+	if err := r.bud.VisitDirEntry(); err != nil {
+		return err
+	}
+	if err := r.bud.CheckDeadline(); err != nil {
+		return err
 	}
 	visited[id] = true
 	e := entries[id]
@@ -186,10 +234,11 @@ func (r *reader) buildTree(entries []dirEntry, id uint32, parent *Storage, visit
 }
 
 func (r *reader) readStreamData(e dirEntry) ([]byte, error) {
+	size := clampStreamSize(e.size, len(r.data))
 	if e.size < miniStreamCutoff {
-		return r.readMiniChain(e.startSector, int(e.size))
+		return r.readMiniChain(e.startSector, size)
 	}
-	return r.readChain(e.startSector, int(e.size))
+	return r.readChain(e.startSector, size)
 }
 
 type reader struct {
@@ -198,6 +247,7 @@ type reader struct {
 	fat        []uint32
 	miniFAT    []uint32
 	miniStream []byte
+	bud        *hostile.Budget
 }
 
 // sector returns the body of regular sector n. Sector 0 begins immediately
@@ -205,47 +255,58 @@ type reader struct {
 // 4096-byte sector.
 func (r *reader) sector(n uint32) ([]byte, error) {
 	if n > maxRegSect {
-		return nil, fmt.Errorf("%w: special sector number %#x used as data", ErrCorrupt, n)
+		return nil, fmt.Errorf("%w: special sector number %#x used as data (%w)", ErrCorrupt, n, hostile.ErrMalformed)
 	}
 	start := (int(n) + 1) * r.sectorSize
 	end := start + r.sectorSize
 	if start < 0 || end > len(r.data) {
-		return nil, fmt.Errorf("%w: sector %d beyond file end", ErrCorrupt, n)
+		return nil, fmt.Errorf("%w: sector %d beyond file end (%w)", ErrCorrupt, n, hostile.ErrTruncated)
 	}
 	return r.data[start:end], nil
 }
 
 // readChain follows a FAT chain starting at sect and returns up to size
-// bytes (size < 0 means read the whole chain).
+// bytes (size < 0 means read the whole chain). Output is charged against
+// the budget's decompressed-byte allowance, so a chain that materializes
+// more than the budget allows fails as a bomb instead of exhausting memory.
 func (r *reader) readChain(sect uint32, size int) ([]byte, error) {
 	if sect == endOfChain || sect == freeSect || size == 0 {
 		return nil, nil
 	}
+	allow := r.bud.OutputAllowance()
 	var out []byte
 	seen := make(map[uint32]bool)
 	for sect != endOfChain {
 		if seen[sect] {
-			return nil, fmt.Errorf("%w: FAT chain cycle at sector %d", ErrCorrupt, sect)
+			return nil, fmt.Errorf("%w: FAT chain cycle at sector %d (%w)", ErrCorrupt, sect, hostile.ErrCycle)
 		}
 		seen[sect] = true
+		if err := r.bud.CheckDeadline(); err != nil {
+			return nil, err
+		}
 		body, err := r.sector(sect)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, body...)
+		if int64(len(out)) > allow {
+			return nil, r.bud.BombError(int64(len(out)))
+		}
 		if size >= 0 && len(out) >= size {
-			return out[:size], nil
+			out = out[:size]
+			break
 		}
 		if int(sect) >= len(r.fat) {
-			return nil, fmt.Errorf("%w: sector %d not covered by FAT", ErrCorrupt, sect)
+			return nil, fmt.Errorf("%w: sector %d not covered by FAT (%w)", ErrCorrupt, sect, hostile.ErrTruncated)
 		}
 		sect = r.fat[sect]
 	}
-	if size >= 0 {
-		if len(out) < size {
-			return nil, fmt.Errorf("%w: chain shorter (%d) than stream size (%d)", ErrCorrupt, len(out), size)
-		}
-		out = out[:size]
+	if size >= 0 && len(out) < size {
+		return nil, fmt.Errorf("%w: chain shorter (%d) than stream size (%d) (%w)",
+			ErrCorrupt, len(out), size, hostile.ErrTruncated)
+	}
+	if err := r.bud.GrowOutput(int64(len(out))); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -255,29 +316,38 @@ func (r *reader) readMiniChain(sect uint32, size int) ([]byte, error) {
 	if sect == endOfChain || sect == freeSect || size == 0 {
 		return nil, nil
 	}
+	allow := r.bud.OutputAllowance()
 	var out []byte
 	seen := make(map[uint32]bool)
 	for sect != endOfChain {
 		if seen[sect] {
-			return nil, fmt.Errorf("%w: miniFAT chain cycle at sector %d", ErrCorrupt, sect)
+			return nil, fmt.Errorf("%w: miniFAT chain cycle at sector %d (%w)", ErrCorrupt, sect, hostile.ErrCycle)
 		}
 		seen[sect] = true
+		if err := r.bud.CheckDeadline(); err != nil {
+			return nil, err
+		}
 		start := int(sect) * miniSectorSize
 		end := start + miniSectorSize
 		if start < 0 || end > len(r.miniStream) {
-			return nil, fmt.Errorf("%w: mini sector %d beyond mini stream", ErrCorrupt, sect)
+			return nil, fmt.Errorf("%w: mini sector %d beyond mini stream (%w)", ErrCorrupt, sect, hostile.ErrTruncated)
 		}
 		out = append(out, r.miniStream[start:end]...)
+		if int64(len(out)) > allow {
+			return nil, r.bud.BombError(int64(len(out)))
+		}
 		if len(out) >= size {
-			return out[:size], nil
+			out = out[:size]
+			if err := r.bud.GrowOutput(int64(len(out))); err != nil {
+				return nil, err
+			}
+			return out, nil
 		}
 		if int(sect) >= len(r.miniFAT) {
-			return nil, fmt.Errorf("%w: mini sector %d not covered by miniFAT", ErrCorrupt, sect)
+			return nil, fmt.Errorf("%w: mini sector %d not covered by miniFAT (%w)", ErrCorrupt, sect, hostile.ErrTruncated)
 		}
 		sect = r.miniFAT[sect]
 	}
-	if len(out) < size {
-		return nil, fmt.Errorf("%w: mini chain shorter (%d) than stream size (%d)", ErrCorrupt, len(out), size)
-	}
-	return out[:size], nil
+	return nil, fmt.Errorf("%w: mini chain shorter (%d) than stream size (%d) (%w)",
+		ErrCorrupt, len(out), size, hostile.ErrTruncated)
 }

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/deob"
 	"repro/internal/extract"
 	"repro/internal/features"
+	"repro/internal/hostile"
 	"repro/internal/ml"
 )
 
@@ -158,7 +160,15 @@ type Detector struct {
 	clf        ml.Classifier
 	trained    bool
 	workers    int
+	limits     hostile.Limits
 }
+
+// SetLimits configures the per-document resource budget applied by
+// ScanFile/ScanFileCtx. Zero fields take the hostile package defaults.
+func (d *Detector) SetLimits(l hostile.Limits) { d.limits = l }
+
+// Limits reports the configured resource limits (normalized).
+func (d *Detector) Limits() hostile.Limits { return d.limits.Normalize() }
 
 // SetWorkers bounds the detector's training-time concurrency: featurization
 // fans out across n goroutines and a Random Forest classifier trains n
@@ -279,6 +289,12 @@ type FileReport struct {
 	// storage outside the macro code (UserForm captions, document
 	// variables) — where hidden-string anti-analysis parks payloads.
 	StorageStrings []string
+	// Degraded reports that extraction was partial: some streams or
+	// modules were lost to corruption or resource limits, and Macros
+	// holds only the verdicts for what survived.
+	Degraded bool
+	// Errors lists the per-stream extraction failures behind Degraded.
+	Errors []extract.StreamError
 }
 
 // Obfuscated reports whether any macro in the file was classified as
@@ -304,6 +320,17 @@ type VerdictJSON struct {
 	SourceBytes int `json:"source_bytes"`
 }
 
+// StreamErrorJSON is the wire representation of one per-stream extraction
+// failure inside a degraded report.
+type StreamErrorJSON struct {
+	Stream string `json:"stream"`
+	// Class is the hostile-taxonomy class of the failure ("truncated",
+	// "malformed", "bomb", "limit", "cycle", "deadline"), or "" when the
+	// error falls outside the taxonomy.
+	Class   string `json:"class,omitempty"`
+	Message string `json:"message"`
+}
+
 // ReportJSON is the wire representation of a FileReport.
 type ReportJSON struct {
 	Format     string        `json:"format"`
@@ -314,6 +341,10 @@ type ReportJSON struct {
 	// StorageStrings counts printable strings recovered from document
 	// storage outside macro code (hidden-string anti-analysis payloads).
 	StorageStrings int `json:"storage_strings"`
+	// Degraded marks a partial extraction: verdicts cover only the
+	// macros that survived; Errors explains what was lost.
+	Degraded bool              `json:"degraded,omitempty"`
+	Errors   []StreamErrorJSON `json:"errors,omitempty"`
 }
 
 // JSON converts the report to its wire representation.
@@ -325,6 +356,7 @@ func (r *FileReport) JSON() *ReportJSON {
 		Macros:         make([]VerdictJSON, len(r.Macros)),
 		Skipped:        r.Skipped,
 		StorageStrings: len(r.StorageStrings),
+		Degraded:       r.Degraded,
 	}
 	for i, m := range r.Macros {
 		out.Macros[i] = VerdictJSON{
@@ -333,6 +365,13 @@ func (r *FileReport) JSON() *ReportJSON {
 			Score:       m.Score,
 			SourceBytes: len(m.Source),
 		}
+	}
+	for _, e := range r.Errors {
+		out.Errors = append(out.Errors, StreamErrorJSON{
+			Stream:  e.Stream,
+			Class:   hostile.Classify(e.Err),
+			Message: e.Err.Error(),
+		})
 	}
 	return out
 }
@@ -384,12 +423,28 @@ func (d *Detector) ScanFile(data []byte) (*FileReport, error) {
 // ScanFileTimed is ScanFile with per-stage wall-clock attribution, the
 // instrumentation the batch scan engine aggregates into throughput stats.
 func (d *Detector) ScanFileTimed(data []byte) (*FileReport, Timings, error) {
+	return d.ScanFileCtx(context.Background(), data)
+}
+
+// ScanFileCtx is ScanFileTimed under a context: the context deadline (if
+// any) becomes the document's processing deadline, checked inside the
+// parsing loops so a hostile document cannot hold the scanning goroutine
+// past it. The detector's configured Limits (SetLimits) bound memory and
+// work. A partially corrupted document yields err == nil with
+// FileReport.Degraded set and the surviving macros classified; a document
+// that exhausts its budget before producing anything yields a typed error
+// classifiable with hostile.Classify / hostile.ExhaustsBudget.
+func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, Timings, error) {
 	var tm Timings
 	if !d.trained {
 		return nil, tm, ErrNotTrained
 	}
+	bud := hostile.NewBudget(d.limits.Normalize())
+	if dl, ok := ctx.Deadline(); ok {
+		bud = bud.WithDeadline(dl)
+	}
 	start := time.Now()
-	res, err := extract.File(data)
+	res, err := extract.FileBudget(data, bud)
 	tm.ExtractNS = time.Since(start).Nanoseconds()
 	if err != nil {
 		return nil, tm, err
@@ -399,6 +454,8 @@ func (d *Detector) ScanFileTimed(data []byte) (*FileReport, Timings, error) {
 		Project:        res.Project,
 		Macros:         make([]MacroVerdict, 0, len(res.Macros)),
 		StorageStrings: res.StorageStrings,
+		Degraded:       res.Degraded,
+		Errors:         res.Errors,
 	}
 	for _, m := range res.Macros {
 		if len(extract.NormalizeSource(m.Source)) < extract.MinSignificantBytes {

@@ -1,13 +1,26 @@
 package deob
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+)
 
 // FuzzDeobfuscate asserts safety and idempotence-on-second-pass for
-// arbitrary input.
+// arbitrary input, seeded with bit-flipped mutants of an obfuscated macro
+// so the fuzzer starts inside the fold/rename machinery.
 func FuzzDeobfuscate(f *testing.F) {
 	f.Add(`x = "a" & Chr(66) & Replace("cXd", "X", "")` + "\n")
 	f.Add("Sub A()\nEnd Sub")
 	f.Add("")
+	obf := `Sub Go()` + "\n" +
+		`s = Chr(104) & Chr(116) & Chr(116) & Chr(112) & "://" & StrReverse("moc.live")` + "\n" +
+		`u = Replace("xAxBxC", "x", "")` + "\n" +
+		`End Sub` + "\n"
+	f.Add(obf)
+	for _, c := range faultinject.BitFlips([]byte(obf), 45, 6) {
+		f.Add(string(c.Data))
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		res := Deobfuscate(src)
 		second := Deobfuscate(res.Source)

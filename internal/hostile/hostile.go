@@ -1,0 +1,435 @@
+// Package hostile is the resource-budget and error-taxonomy layer that
+// hardens the extraction pipeline against adversarial inputs. Malware
+// authors ship truncated containers, decompression bombs and cyclically
+// linked FAT chains precisely to crash or stall static analyzers (MEADE,
+// arXiv:1804.08162), so every parser in this repository charges its work
+// against a per-document Budget and reports failures through a small typed
+// taxonomy usable with errors.Is / errors.As:
+//
+//	ErrTruncated     — input ends before a structure it promised
+//	ErrBomb          — decompressed output exceeds the budget
+//	ErrLimitExceeded — any resource budget exhausted (bombs included)
+//	ErrMalformed     — structurally invalid input
+//	ErrCycle         — cyclic structural references (FAT chains, dir trees)
+//
+// A Budget is created per document from a Limits configuration and is NOT
+// safe for concurrent use: each scan owns its budget for the lifetime of
+// one document, mirroring how the scan engine parallelizes across (not
+// within) documents.
+package hostile
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"syscall"
+	"time"
+)
+
+// Taxonomy sentinel errors. Parser errors wrap exactly one of the specific
+// kinds (plus any package-local sentinel they already carried); budget
+// exhaustion additionally matches ErrLimitExceeded.
+var (
+	// ErrTruncated reports input that ends before a structure its headers
+	// promised (short sectors, cut-off chunk headers, missing stream tails).
+	ErrTruncated = errors.New("hostile: truncated input")
+	// ErrBomb reports decompressed or chain output exceeding the budget —
+	// the decompression-bomb class. Every ErrBomb also matches
+	// ErrLimitExceeded.
+	ErrBomb = errors.New("hostile: decompression bomb")
+	// ErrLimitExceeded reports any exhausted resource budget (bytes, depth,
+	// entries, tokens, deadline).
+	ErrLimitExceeded = errors.New("hostile: resource limit exceeded")
+	// ErrMalformed reports structurally invalid input that is neither
+	// truncation nor a cycle (bad magic, impossible sector numbers, invalid
+	// record framing).
+	ErrMalformed = errors.New("hostile: malformed input")
+	// ErrCycle reports cyclic structural references: FAT/miniFAT chain
+	// loops and directory sibling cycles.
+	ErrCycle = errors.New("hostile: structural cycle")
+	// ErrTransient marks an error callers consider retryable (I/O hiccups
+	// while loading a document, not parse failures). Wrap with fmt.Errorf
+	// and %w to opt a failure into the scan engine's retry policy.
+	ErrTransient = errors.New("hostile: transient error")
+)
+
+// Limit names used in LimitError.Limit and as per-limit metric keys.
+const (
+	LimitDecompressedBytes = "decompressed_bytes"
+	LimitContainerDepth    = "container_depth"
+	LimitDirEntries        = "dir_entries"
+	LimitLexTokens         = "lex_tokens"
+	LimitMacroSourceBytes  = "macro_source_bytes"
+	LimitStorageStrings    = "storage_strings"
+	LimitDeadline          = "deadline"
+)
+
+// LimitError is the concrete error for an exhausted budget. It matches
+// ErrLimitExceeded (always) and its specific Kind (ErrBomb for output
+// budgets) under errors.Is, and carries which limit tripped for metrics.
+type LimitError struct {
+	// Limit is the budget that tripped (one of the Limit* constants).
+	Limit string
+	// Max is the configured ceiling; Got is the attempted total.
+	Max, Got int64
+	// Kind is the taxonomy sentinel this exhaustion belongs to:
+	// ErrBomb for output-size budgets, ErrLimitExceeded otherwise.
+	Kind error
+}
+
+// Error implements the error interface.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("hostile: %s budget exceeded (%d > max %d)", e.Limit, e.Got, e.Max)
+}
+
+// Unwrap exposes the taxonomy kind to errors.Is.
+func (e *LimitError) Unwrap() error { return e.Kind }
+
+// Is makes every LimitError match ErrLimitExceeded in addition to its Kind.
+func (e *LimitError) Is(target error) bool {
+	return target == ErrLimitExceeded || target == e.Kind
+}
+
+// Limits is the static per-document resource configuration. The zero value
+// of any field means "use the default"; Normalize (called by NewBudget)
+// fills defaults in, so Limits{} is a usable production configuration.
+type Limits struct {
+	// MaxDecompressedBytes caps the cumulative bytes materialized from
+	// compressed or chained storage per document: CFB chain reads, OVBA
+	// CompressedContainer output and ZIP part inflation all charge it.
+	MaxDecompressedBytes int64
+	// MaxContainerDepth caps nested container recursion (an OOXML package
+	// whose vbaProject part is itself a package, and so on).
+	MaxContainerDepth int
+	// MaxDirEntries caps CFB directory entries walked per document.
+	MaxDirEntries int
+	// MaxLexTokens caps VBA lexer tokens per macro.
+	MaxLexTokens int64
+	// MaxMacroSourceBytes caps the size of one macro source fed to the
+	// featurizer; larger macros degrade instead of stalling the parse.
+	MaxMacroSourceBytes int64
+	// MaxStorageStrings caps printable strings recovered from document
+	// storage outside macro code.
+	MaxStorageStrings int
+}
+
+// Default budget ceilings. Generous enough that no legitimate corpus
+// document comes near them, tight enough that a hostile document cannot
+// stall or OOM a scan worker.
+const (
+	DefaultMaxDecompressedBytes = int64(256 << 20) // 256 MiB
+	DefaultMaxContainerDepth    = 4
+	DefaultMaxDirEntries        = 16384
+	DefaultMaxLexTokens         = int64(4 << 20) // 4M tokens
+	DefaultMaxMacroSourceBytes  = int64(16 << 20)
+	DefaultMaxStorageStrings    = 10000
+)
+
+// DefaultLimits returns the production default configuration.
+func DefaultLimits() Limits {
+	return Limits{}.Normalize()
+}
+
+// Normalize fills zero fields with defaults. Negative values are treated
+// as zero (default), not as "unlimited".
+func (l Limits) Normalize() Limits {
+	if l.MaxDecompressedBytes <= 0 {
+		l.MaxDecompressedBytes = DefaultMaxDecompressedBytes
+	}
+	if l.MaxContainerDepth <= 0 {
+		l.MaxContainerDepth = DefaultMaxContainerDepth
+	}
+	if l.MaxDirEntries <= 0 {
+		l.MaxDirEntries = DefaultMaxDirEntries
+	}
+	if l.MaxLexTokens <= 0 {
+		l.MaxLexTokens = DefaultMaxLexTokens
+	}
+	if l.MaxMacroSourceBytes <= 0 {
+		l.MaxMacroSourceBytes = DefaultMaxMacroSourceBytes
+	}
+	if l.MaxStorageStrings <= 0 {
+		l.MaxStorageStrings = DefaultMaxStorageStrings
+	}
+	return l
+}
+
+// Budget tracks one document's consumption against its Limits. All methods
+// are safe on a nil receiver (a nil budget is unlimited), so plumbing code
+// can thread an optional budget without nil checks at every call site.
+// A Budget is single-goroutine state: one document, one owner.
+type Budget struct {
+	lim      Limits
+	deadline time.Time
+
+	decompressed int64
+	depth        int
+	dirEntries   int
+	tokens       int64
+	strings      int
+}
+
+// NewBudget creates a fresh budget for one document.
+func NewBudget(lim Limits) *Budget {
+	return &Budget{lim: lim.Normalize()}
+}
+
+// WithDeadline sets the wall-clock deadline checked by CheckDeadline and
+// returns the budget for chaining. A zero time clears the deadline.
+func (b *Budget) WithDeadline(t time.Time) *Budget {
+	if b != nil {
+		b.deadline = t
+	}
+	return b
+}
+
+// Limits reports the normalized configuration (zero value when nil).
+func (b *Budget) Limits() Limits {
+	if b == nil {
+		return Limits{}
+	}
+	return b.lim
+}
+
+// Fork returns a budget with the same limits and deadline but fresh
+// counters, for speculative parses whose output is discarded on failure.
+// Charge the parent explicitly (GrowOutput) for what is actually kept.
+// Fork of a nil budget is nil.
+func (b *Budget) Fork() *Budget {
+	if b == nil {
+		return nil
+	}
+	return &Budget{lim: b.lim, deadline: b.deadline}
+}
+
+// CheckDeadline returns a deadline LimitError once the budget's deadline
+// has passed. Call it from loops that can run long on hostile input.
+func (b *Budget) CheckDeadline() error {
+	if b == nil || b.deadline.IsZero() {
+		return nil
+	}
+	if now := time.Now(); now.After(b.deadline) {
+		return &LimitError{
+			Limit: LimitDeadline,
+			Max:   b.deadline.UnixMilli(),
+			Got:   now.UnixMilli(),
+			Kind:  ErrLimitExceeded,
+		}
+	}
+	return nil
+}
+
+// OutputAllowance reports how many more decompressed bytes the budget
+// accepts. Unlimited (nil budget) reports a practically-infinite value, so
+// callers can bound loops with a single comparison.
+func (b *Budget) OutputAllowance() int64 {
+	if b == nil {
+		return int64(1) << 62
+	}
+	rem := b.lim.MaxDecompressedBytes - b.decompressed
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// GrowOutput charges n decompressed bytes, returning an ErrBomb-kind
+// LimitError when the cumulative total exceeds the budget.
+func (b *Budget) GrowOutput(n int64) error {
+	if b == nil {
+		return nil
+	}
+	b.decompressed += n
+	if b.decompressed > b.lim.MaxDecompressedBytes {
+		return &LimitError{
+			Limit: LimitDecompressedBytes,
+			Max:   b.lim.MaxDecompressedBytes,
+			Got:   b.decompressed,
+			Kind:  ErrBomb,
+		}
+	}
+	return nil
+}
+
+// BombError builds the error GrowOutput would have produced at total got,
+// for callers that track output size locally against OutputAllowance.
+func (b *Budget) BombError(got int64) error {
+	max := int64(0)
+	if b != nil {
+		max = b.lim.MaxDecompressedBytes
+	}
+	return &LimitError{Limit: LimitDecompressedBytes, Max: max, Got: got, Kind: ErrBomb}
+}
+
+// EnterContainer charges one level of container nesting. Pair with
+// ExitContainer when the nested parse completes.
+func (b *Budget) EnterContainer() error {
+	if b == nil {
+		return nil
+	}
+	b.depth++
+	if b.depth > b.lim.MaxContainerDepth {
+		return &LimitError{
+			Limit: LimitContainerDepth,
+			Max:   int64(b.lim.MaxContainerDepth),
+			Got:   int64(b.depth),
+			Kind:  ErrLimitExceeded,
+		}
+	}
+	return nil
+}
+
+// ExitContainer undoes one EnterContainer.
+func (b *Budget) ExitContainer() {
+	if b != nil && b.depth > 0 {
+		b.depth--
+	}
+}
+
+// VisitDirEntry charges one walked directory entry.
+func (b *Budget) VisitDirEntry() error {
+	if b == nil {
+		return nil
+	}
+	b.dirEntries++
+	if b.dirEntries > b.lim.MaxDirEntries {
+		return &LimitError{
+			Limit: LimitDirEntries,
+			Max:   int64(b.lim.MaxDirEntries),
+			Got:   int64(b.dirEntries),
+			Kind:  ErrLimitExceeded,
+		}
+	}
+	return nil
+}
+
+// AddTokens charges n lexer tokens.
+func (b *Budget) AddTokens(n int64) error {
+	if b == nil {
+		return nil
+	}
+	b.tokens += n
+	if b.tokens > b.lim.MaxLexTokens {
+		return &LimitError{
+			Limit: LimitLexTokens,
+			Max:   b.lim.MaxLexTokens,
+			Got:   b.tokens,
+			Kind:  ErrLimitExceeded,
+		}
+	}
+	return nil
+}
+
+// TokenAllowance reports how many more lexer tokens the budget accepts.
+func (b *Budget) TokenAllowance() int64 {
+	if b == nil {
+		return int64(1) << 62
+	}
+	rem := b.lim.MaxLexTokens - b.tokens
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// AddStorageString charges one recovered storage string and reports
+// whether the caller should keep collecting (false once the cap is hit;
+// unlike the hard budgets this is a soft truncation, not an error).
+func (b *Budget) AddStorageString() bool {
+	if b == nil {
+		return true
+	}
+	if b.strings >= b.lim.MaxStorageStrings {
+		return false
+	}
+	b.strings++
+	return true
+}
+
+// CheckMacroSource returns a LimitError when one macro's source exceeds
+// the per-macro size budget.
+func (b *Budget) CheckMacroSource(n int64) error {
+	if b == nil || n <= b.lim.MaxMacroSourceBytes {
+		return nil
+	}
+	return &LimitError{
+		Limit: LimitMacroSourceBytes,
+		Max:   b.lim.MaxMacroSourceBytes,
+		Got:   n,
+		Kind:  ErrLimitExceeded,
+	}
+}
+
+// Classify buckets an error into its taxonomy class name, for metrics and
+// HTTP status mapping. It returns "" for errors outside the taxonomy.
+// Classes: "bomb", "deadline", "limit", "cycle", "truncated", "malformed".
+func Classify(err error) string {
+	if err == nil {
+		return ""
+	}
+	var le *LimitError
+	if errors.As(err, &le) {
+		switch {
+		case le.Limit == LimitDeadline:
+			return "deadline"
+		case errors.Is(le.Kind, ErrBomb):
+			return "bomb"
+		default:
+			return "limit"
+		}
+	}
+	switch {
+	case errors.Is(err, ErrBomb):
+		return "bomb"
+	case errors.Is(err, ErrLimitExceeded):
+		return "limit"
+	case errors.Is(err, ErrCycle):
+		return "cycle"
+	case errors.Is(err, ErrTruncated):
+		return "truncated"
+	case errors.Is(err, ErrMalformed):
+		return "malformed"
+	default:
+		return ""
+	}
+}
+
+// ExhaustsBudget reports whether err represents an exhausted resource
+// budget — the quarantine criterion: such a document deliberately (or
+// pathologically) consumed more than its share and should be set aside,
+// not retried.
+func ExhaustsBudget(err error) bool {
+	var le *LimitError
+	return errors.As(err, &le)
+}
+
+// LimitName extracts the tripped limit's name from err ("" when err is not
+// a budget exhaustion), for per-limit metric counters.
+func LimitName(err error) string {
+	var le *LimitError
+	if errors.As(err, &le) {
+		return le.Limit
+	}
+	return ""
+}
+
+// IsTransient reports whether err is worth retrying: an explicit
+// ErrTransient wrap, a timeout-flagged net error, or an interrupted /
+// temporarily-unavailable syscall while loading the document. Parse
+// failures and budget exhaustion are never transient — the same bytes
+// will fail the same way.
+func IsTransient(err error) bool {
+	if err == nil || ExhaustsBudget(err) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EBUSY)
+}

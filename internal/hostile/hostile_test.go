@@ -1,0 +1,199 @@
+package hostile
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	if err := b.GrowOutput(1 << 40); err != nil {
+		t.Fatalf("nil GrowOutput: %v", err)
+	}
+	if err := b.EnterContainer(); err != nil {
+		t.Fatalf("nil EnterContainer: %v", err)
+	}
+	b.ExitContainer()
+	if err := b.VisitDirEntry(); err != nil {
+		t.Fatalf("nil VisitDirEntry: %v", err)
+	}
+	if err := b.AddTokens(1 << 40); err != nil {
+		t.Fatalf("nil AddTokens: %v", err)
+	}
+	if err := b.CheckDeadline(); err != nil {
+		t.Fatalf("nil CheckDeadline: %v", err)
+	}
+	if err := b.CheckMacroSource(1 << 40); err != nil {
+		t.Fatalf("nil CheckMacroSource: %v", err)
+	}
+	if !b.AddStorageString() {
+		t.Fatal("nil AddStorageString should accept")
+	}
+	if b.OutputAllowance() <= 0 || b.TokenAllowance() <= 0 {
+		t.Fatal("nil allowances should be effectively infinite")
+	}
+	if b.Fork() != nil {
+		t.Fatal("nil Fork should stay nil")
+	}
+}
+
+func TestNormalizeFillsDefaults(t *testing.T) {
+	l := Limits{}.Normalize()
+	if l.MaxDecompressedBytes != DefaultMaxDecompressedBytes ||
+		l.MaxContainerDepth != DefaultMaxContainerDepth ||
+		l.MaxDirEntries != DefaultMaxDirEntries ||
+		l.MaxLexTokens != DefaultMaxLexTokens ||
+		l.MaxMacroSourceBytes != DefaultMaxMacroSourceBytes ||
+		l.MaxStorageStrings != DefaultMaxStorageStrings {
+		t.Fatalf("defaults not applied: %+v", l)
+	}
+	custom := Limits{MaxDecompressedBytes: 10}.Normalize()
+	if custom.MaxDecompressedBytes != 10 || custom.MaxContainerDepth != DefaultMaxContainerDepth {
+		t.Fatalf("partial override wrong: %+v", custom)
+	}
+}
+
+func TestGrowOutputBomb(t *testing.T) {
+	b := NewBudget(Limits{MaxDecompressedBytes: 100})
+	if err := b.GrowOutput(60); err != nil {
+		t.Fatal(err)
+	}
+	err := b.GrowOutput(60)
+	if err == nil {
+		t.Fatal("expected bomb error")
+	}
+	if !errors.Is(err, ErrBomb) || !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("bomb should match ErrBomb and ErrLimitExceeded: %v", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != LimitDecompressedBytes || le.Got != 120 || le.Max != 100 {
+		t.Fatalf("LimitError detail wrong: %+v", le)
+	}
+	if got := Classify(err); got != "bomb" {
+		t.Fatalf("Classify = %q, want bomb", got)
+	}
+}
+
+func TestContainerDepth(t *testing.T) {
+	b := NewBudget(Limits{MaxContainerDepth: 2})
+	if err := b.EnterContainer(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EnterContainer(); err != nil {
+		t.Fatal(err)
+	}
+	err := b.EnterContainer()
+	if err == nil || !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("depth 3 of 2 should fail: %v", err)
+	}
+	if Classify(err) != "limit" {
+		t.Fatalf("Classify = %q, want limit", Classify(err))
+	}
+	// Exiting frees the level again.
+	b.ExitContainer()
+	b.ExitContainer()
+	if err := b.EnterContainer(); err != nil {
+		t.Fatalf("re-enter after exit: %v", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	b := NewBudget(Limits{}).WithDeadline(time.Now().Add(-time.Millisecond))
+	err := b.CheckDeadline()
+	if err == nil || Classify(err) != "deadline" {
+		t.Fatalf("expired deadline: %v (class %q)", err, Classify(err))
+	}
+	if !ExhaustsBudget(err) {
+		t.Fatal("deadline exhaustion should quarantine")
+	}
+	b2 := NewBudget(Limits{}).WithDeadline(time.Now().Add(time.Hour))
+	if err := b2.CheckDeadline(); err != nil {
+		t.Fatalf("future deadline: %v", err)
+	}
+}
+
+func TestTokensAndDirEntries(t *testing.T) {
+	b := NewBudget(Limits{MaxLexTokens: 5, MaxDirEntries: 2})
+	if err := b.AddTokens(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddTokens(1); err == nil || LimitName(err) != LimitLexTokens {
+		t.Fatalf("token budget: %v", err)
+	}
+	if err := b.VisitDirEntry(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VisitDirEntry(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VisitDirEntry(); err == nil || LimitName(err) != LimitDirEntries {
+		t.Fatalf("dir entry budget: %v", err)
+	}
+}
+
+func TestStorageStringCap(t *testing.T) {
+	b := NewBudget(Limits{MaxStorageStrings: 2})
+	if !b.AddStorageString() || !b.AddStorageString() {
+		t.Fatal("first two strings should be accepted")
+	}
+	if b.AddStorageString() {
+		t.Fatal("third string should be rejected")
+	}
+}
+
+func TestFork(t *testing.T) {
+	b := NewBudget(Limits{MaxDecompressedBytes: 100})
+	if err := b.GrowOutput(90); err != nil {
+		t.Fatal(err)
+	}
+	f := b.Fork()
+	if err := f.GrowOutput(90); err != nil {
+		t.Fatalf("fork should have fresh counters: %v", err)
+	}
+	if err := f.GrowOutput(20); err == nil {
+		t.Fatal("fork should still enforce limits")
+	}
+	// Parent unchanged by the fork's consumption.
+	if got := b.OutputAllowance(); got != 10 {
+		t.Fatalf("parent allowance = %d, want 10", got)
+	}
+}
+
+func TestClassifyWrappedErrors(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{fmt.Errorf("pkg: context: %w", ErrTruncated), "truncated"},
+		{fmt.Errorf("pkg: %w: detail", ErrMalformed), "malformed"},
+		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrCycle)), "cycle"},
+		{errors.New("plain"), ""},
+		{nil, ""},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	if IsTransient(fmt.Errorf("load: %w", ErrTransient)) != true {
+		t.Fatal("ErrTransient wrap should be transient")
+	}
+	if IsTransient(fmt.Errorf("read: %w", syscall.EINTR)) != true {
+		t.Fatal("EINTR should be transient")
+	}
+	if IsTransient(fmt.Errorf("parse: %w", ErrMalformed)) {
+		t.Fatal("malformed input is not transient")
+	}
+	if IsTransient(NewBudget(Limits{MaxDecompressedBytes: 1}).BombError(2)) {
+		t.Fatal("budget exhaustion is not transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil is not transient")
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/hostile"
 )
 
 // ErrNoVBAPart is returned when the archive holds no vbaProject.bin.
@@ -37,26 +39,55 @@ func IsOOXML(data []byte) bool {
 }
 
 // ExtractVBAProject returns the raw bytes of the vbaProject.bin part of a
-// macro-enabled OOXML document. Per convention the part lives at
-// word/vbaProject.bin or xl/vbaProject.bin, but any path ending in
-// vbaProject.bin is accepted, as attackers relocate it.
+// macro-enabled OOXML document, under the default resource budget. Per
+// convention the part lives at word/vbaProject.bin or xl/vbaProject.bin,
+// but any path ending in vbaProject.bin is accepted, as attackers relocate
+// it.
 func ExtractVBAProject(data []byte) ([]byte, error) {
+	return ExtractVBAProjectBudget(data, hostile.NewBudget(hostile.DefaultLimits()))
+}
+
+// ExtractVBAProjectBudget is ExtractVBAProject with an explicit resource
+// budget. ZIP is the pipeline's highest-ratio bomb surface (DEFLATE of
+// zeros exceeds 1000:1), so the part is inflated through a limited reader
+// that stops at the budget's decompressed-byte allowance instead of
+// trusting the archive's declared sizes; the declared size only clamps the
+// initial allocation, never drives it. A nil budget disables the limits.
+func ExtractVBAProjectBudget(data []byte, bud *hostile.Budget) ([]byte, error) {
 	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotZip, err)
+		return nil, fmt.Errorf("%w: %v (%w)", ErrNotZip, err, hostile.ErrMalformed)
 	}
 	for _, f := range zr.File {
 		if strings.HasSuffix(strings.ToLower(f.Name), "vbaproject.bin") {
 			rc, err := f.Open()
 			if err != nil {
-				return nil, fmt.Errorf("ooxml: open %s: %w", f.Name, err)
+				return nil, fmt.Errorf("ooxml: open %s: %v (%w)", f.Name, err, hostile.ErrMalformed)
 			}
 			defer rc.Close()
-			out, err := io.ReadAll(rc)
-			if err != nil {
-				return nil, fmt.Errorf("ooxml: read %s: %w", f.Name, err)
+			allow := bud.OutputAllowance()
+			// Pre-size from the declared length, clamped to the allowance:
+			// the header is attacker-controlled and must never size an
+			// allocation on its own.
+			capHint := int64(f.UncompressedSize64)
+			if capHint > allow {
+				capHint = allow
 			}
-			return out, nil
+			if capHint > 1<<20 {
+				capHint = 1 << 20
+			}
+			buf := bytes.NewBuffer(make([]byte, 0, capHint))
+			n, err := io.Copy(buf, io.LimitReader(rc, allow+1))
+			if err != nil {
+				return nil, fmt.Errorf("ooxml: read %s: %v (%w)", f.Name, err, hostile.ErrTruncated)
+			}
+			if n > allow {
+				return nil, fmt.Errorf("ooxml: part %s: %w", f.Name, bud.BombError(n))
+			}
+			if err := bud.GrowOutput(n); err != nil {
+				return nil, fmt.Errorf("ooxml: part %s: %w", f.Name, err)
+			}
+			return buf.Bytes(), nil
 		}
 	}
 	return nil, ErrNoVBAPart

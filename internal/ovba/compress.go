@@ -11,6 +11,8 @@ package ovba
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/hostile"
 )
 
 // Container framing constants ([MS-OVBA] §2.4.1).
@@ -27,27 +29,44 @@ const (
 // ErrBadContainer reports malformed compressed-container framing.
 var ErrBadContainer = errors.New("ovba: malformed compressed container")
 
-// Decompress decodes an [MS-OVBA] CompressedContainer.
+// Decompress decodes an [MS-OVBA] CompressedContainer under the default
+// resource budget (hostile.DefaultLimits).
 func Decompress(data []byte) ([]byte, error) {
+	return DecompressBudget(data, hostile.NewBudget(hostile.DefaultLimits()))
+}
+
+// DecompressBudget is Decompress with an explicit resource budget. The
+// CompressedContainer codec expands copy tokens to thousands of output
+// bytes each, so hostile containers are the pipeline's cheapest
+// decompression bomb; output is checked against the budget's allowance as
+// it grows and charged when the container decodes successfully. Framing
+// errors wrap ErrBadContainer plus their hostile-taxonomy class
+// (hostile.ErrTruncated / hostile.ErrMalformed). A nil budget disables the
+// limits.
+func DecompressBudget(data []byte, bud *hostile.Budget) ([]byte, error) {
 	if len(data) == 0 || data[0] != containerSignature {
-		return nil, fmt.Errorf("%w: missing 0x01 signature", ErrBadContainer)
+		return nil, fmt.Errorf("%w: missing 0x01 signature (%w)", ErrBadContainer, hostile.ErrMalformed)
 	}
+	allow := bud.OutputAllowance()
 	var out []byte
 	pos := 1
 	for pos < len(data) {
+		if err := bud.CheckDeadline(); err != nil {
+			return nil, err
+		}
 		if pos+2 > len(data) {
-			return nil, fmt.Errorf("%w: truncated chunk header", ErrBadContainer)
+			return nil, fmt.Errorf("%w: truncated chunk header (%w)", ErrBadContainer, hostile.ErrTruncated)
 		}
 		header := uint16(data[pos]) | uint16(data[pos+1])<<8
 		pos += 2
 		size := int(header&0x0FFF) + 3
 		if sig := (header >> 12) & 0x7; sig != chunkHeaderSig {
-			return nil, fmt.Errorf("%w: bad chunk signature %#x", ErrBadContainer, sig)
+			return nil, fmt.Errorf("%w: bad chunk signature %#x (%w)", ErrBadContainer, sig, hostile.ErrMalformed)
 		}
 		compressed := header&0x8000 != 0
 		chunkEnd := pos - 2 + size
 		if chunkEnd > len(data) {
-			return nil, fmt.Errorf("%w: chunk extends past container end", ErrBadContainer)
+			return nil, fmt.Errorf("%w: chunk extends past container end (%w)", ErrBadContainer, hostile.ErrTruncated)
 		}
 		if !compressed {
 			// Raw chunk: 4096 literal bytes (the final chunk may be short
@@ -57,6 +76,9 @@ func Decompress(data []byte) ([]byte, error) {
 				end = len(data)
 			}
 			out = append(out, data[pos:end]...)
+			if int64(len(out)) > allow {
+				return nil, bud.BombError(int64(len(out)))
+			}
 			pos = end
 			continue
 		}
@@ -71,7 +93,7 @@ func Decompress(data []byte) ([]byte, error) {
 					continue
 				}
 				if pos+2 > chunkEnd {
-					return nil, fmt.Errorf("%w: truncated copy token", ErrBadContainer)
+					return nil, fmt.Errorf("%w: truncated copy token (%w)", ErrBadContainer, hostile.ErrTruncated)
 				}
 				token := uint16(data[pos]) | uint16(data[pos+1])<<8
 				pos += 2
@@ -81,13 +103,22 @@ func Decompress(data []byte) ([]byte, error) {
 				length := int(token&lengthMask) + copyTokenMinLength
 				offset := int(token>>(16-bits)) + 1
 				if offset > decompressedSoFar {
-					return nil, fmt.Errorf("%w: copy offset %d exceeds window %d", ErrBadContainer, offset, decompressedSoFar)
+					return nil, fmt.Errorf("%w: copy offset %d exceeds window %d (%w)",
+						ErrBadContainer, offset, decompressedSoFar, hostile.ErrMalformed)
+				}
+				// Check the expansion before materializing it: a copy token
+				// is the bomb primitive (up to 4098 bytes from 2).
+				if int64(len(out)+length) > allow {
+					return nil, bud.BombError(int64(len(out) + length))
 				}
 				for i := 0; i < length; i++ {
 					out = append(out, out[len(out)-offset])
 				}
 			}
 		}
+	}
+	if err := bud.GrowOutput(int64(len(out))); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

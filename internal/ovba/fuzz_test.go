@@ -1,19 +1,33 @@
-package ovba
+package ovba_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/hostile"
+	"repro/internal/ovba"
 )
 
 // FuzzDecompress exercises the CompressedContainer decoder on arbitrary
-// bytes: no panics, bounded output.
+// bytes: no panics, bounded output. Seeds include a fault-injected
+// maximal-expansion bomb and bit-flipped real containers so the fuzzer
+// starts inside the copy-token state machine.
 func FuzzDecompress(f *testing.F) {
-	f.Add(Compress([]byte(strings.Repeat("Dim x As Long\r\n", 50))))
+	comp := ovba.Compress([]byte(strings.Repeat("Dim x As Long\r\n", 50)))
+	f.Add(comp)
 	f.Add([]byte{0x01})
 	f.Add([]byte{0x01, 0x14, 0xB0, 0x00, 0x23})
+	if bomb, err := faultinject.BombContainer(512); err == nil {
+		f.Add(bomb)
+	}
+	for _, c := range faultinject.BitFlips(comp, 43, 8) {
+		f.Add(c.Data)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		out, err := Decompress(data)
+		out, err := ovba.Decompress(data)
 		if err != nil {
 			return
 		}
@@ -25,14 +39,38 @@ func FuzzDecompress(f *testing.F) {
 	})
 }
 
+// FuzzDecompressBudget drives the decoder under a small output budget:
+// whatever the input, either it decodes within the budget or the failure
+// carries the taxonomy (never an untyped error, never an over-budget
+// success).
+func FuzzDecompressBudget(f *testing.F) {
+	f.Add(ovba.Compress(bytes.Repeat([]byte("payload "), 512)))
+	if bomb, err := faultinject.BombContainer(2048); err == nil {
+		f.Add(bomb)
+	}
+	const maxOut = 64 * 1024
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := ovba.DecompressBudget(data, hostile.NewBudget(hostile.Limits{MaxDecompressedBytes: maxOut}))
+		if err != nil {
+			if !errors.Is(err, ovba.ErrBadContainer) && hostile.Classify(err) == "" {
+				t.Fatalf("untyped decompress failure: %v", err)
+			}
+			return
+		}
+		if len(out) > maxOut {
+			t.Fatalf("budget allowed %d bytes out (max %d)", len(out), maxOut)
+		}
+	})
+}
+
 // FuzzCompressRoundTrip asserts the codec invariant on arbitrary payloads.
 func FuzzCompressRoundTrip(f *testing.F) {
 	f.Add([]byte("Sub A()\r\nEnd Sub\r\n"))
 	f.Add(bytes.Repeat([]byte{0}, 5000))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		comp := Compress(data)
-		out, err := Decompress(comp)
+		comp := ovba.Compress(data)
+		out, err := ovba.Decompress(comp)
 		if err != nil {
 			t.Fatalf("decompress own output: %v", err)
 		}

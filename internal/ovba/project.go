@@ -8,6 +8,7 @@ import (
 	"unicode/utf16"
 
 	"repro/internal/cfb"
+	"repro/internal/hostile"
 )
 
 // ModuleType distinguishes procedural modules from document/class modules.
@@ -47,6 +48,19 @@ type Project struct {
 	CodePage uint16
 	// Modules holds the code modules in dir-stream order.
 	Modules []Module
+	// Issues records per-stream failures from a degraded (lenient) read:
+	// modules whose source could not be recovered. A project with Modules
+	// and Issues was partially extracted — score what survived, surface
+	// what did not.
+	Issues []Issue
+}
+
+// Issue is one per-stream extraction failure in a degraded project read.
+type Issue struct {
+	// Stream is the VBA storage stream (usually the module name).
+	Stream string
+	// Err is the failure, wrapped with its hostile-taxonomy class.
+	Err error
 }
 
 // dir stream record IDs ([MS-OVBA] §2.3.4.2).
@@ -94,17 +108,24 @@ var (
 // ReadProject parses the VBA project stored under root. root must be the
 // storage that directly contains the "VBA" sub-storage (for Word documents
 // that is "Macros"; for Excel "_VBA_PROJECT_CUR"; for a vbaProject.bin file
-// it is the file root itself).
+// it is the file root itself). The read is strict: the first unreadable
+// module fails the whole project (use ReadProjectLenient for degraded
+// extraction). Runs under the default resource budget.
 func ReadProject(root *cfb.Storage) (*Project, error) {
+	return ReadProjectBudget(root, hostile.NewBudget(hostile.DefaultLimits()))
+}
+
+// ReadProjectBudget is ReadProject with an explicit resource budget.
+func ReadProjectBudget(root *cfb.Storage, bud *hostile.Budget) (*Project, error) {
 	vbaStorage := root.Storage("VBA")
 	if vbaStorage == nil {
 		return nil, ErrNoVBAStorage
 	}
 	dirStream := vbaStorage.Stream("dir")
 	if dirStream == nil {
-		return nil, fmt.Errorf("%w: missing dir stream", ErrBadDirStream)
+		return nil, fmt.Errorf("%w: missing dir stream (%w)", ErrBadDirStream, hostile.ErrMalformed)
 	}
-	dir, err := Decompress(dirStream.Data)
+	dir, err := DecompressBudget(dirStream.Data, bud)
 	if err != nil {
 		return nil, fmt.Errorf("dir stream: %w", err)
 	}
@@ -113,16 +134,19 @@ func ReadProject(root *cfb.Storage) (*Project, error) {
 		return nil, err
 	}
 	for i := range p.Modules {
+		if err := bud.CheckDeadline(); err != nil {
+			return nil, err
+		}
 		m := &p.Modules[i]
 		stream := vbaStorage.Stream(m.StreamName)
 		if stream == nil {
-			return nil, fmt.Errorf("%w: module stream %q missing", ErrBadDirStream, m.StreamName)
+			return nil, fmt.Errorf("%w: module stream %q missing (%w)", ErrBadDirStream, m.StreamName, hostile.ErrTruncated)
 		}
 		if int(m.TextOffset) > len(stream.Data) {
-			return nil, fmt.Errorf("%w: module %q text offset %d beyond stream size %d",
-				ErrBadDirStream, m.Name, m.TextOffset, len(stream.Data))
+			return nil, fmt.Errorf("%w: module %q text offset %d beyond stream size %d (%w)",
+				ErrBadDirStream, m.Name, m.TextOffset, len(stream.Data), hostile.ErrMalformed)
 		}
-		src, err := Decompress(stream.Data[m.TextOffset:])
+		src, err := DecompressBudget(stream.Data[m.TextOffset:], bud)
 		if err != nil {
 			return nil, fmt.Errorf("module %q: %w", m.Name, err)
 		}
@@ -150,7 +174,7 @@ func (p *Project) parseDir(dir []byte) error {
 			break
 		}
 		if pos+size > len(dir) {
-			return fmt.Errorf("%w: record %#x size %d overruns stream", ErrBadDirStream, id, size)
+			return fmt.Errorf("%w: record %#x size %d overruns stream (%w)", ErrBadDirStream, id, size, hostile.ErrTruncated)
 		}
 		body := dir[pos : pos+size]
 		pos += size
@@ -388,11 +412,25 @@ func encodeUTF16(s string) []byte {
 //     cache is corrupt, the compressed source container is located by
 //     scanning the stream for a valid container signature.
 //
-// The error is non-nil only when no module source could be recovered at
-// all.
+// Streams that still cannot be recovered are recorded in Project.Issues,
+// so a partially corrupted project yields the surviving modules plus a
+// per-stream failure list instead of nothing. The error is non-nil only
+// when no module source could be recovered at all; in that case it is the
+// most severe per-stream failure (budget exhaustion outranks corruption).
 func ReadProjectLenient(root *cfb.Storage) (*Project, error) {
-	if p, err := ReadProject(root); err == nil {
-		return p, nil
+	return ReadProjectLenientBudget(root, hostile.NewBudget(hostile.DefaultLimits()))
+}
+
+// ReadProjectLenientBudget is ReadProjectLenient with an explicit budget.
+func ReadProjectLenientBudget(root *cfb.Storage, bud *hostile.Budget) (*Project, error) {
+	strict, strictErr := ReadProjectBudget(root, bud)
+	if strictErr == nil {
+		return strict, nil
+	}
+	// A blown deadline is not worth retrying leniently: the document
+	// already consumed its time budget.
+	if hostile.Classify(strictErr) == "deadline" {
+		return nil, strictErr
 	}
 	vbaStorage := root.Storage("VBA")
 	if vbaStorage == nil {
@@ -413,12 +451,21 @@ func ReadProjectLenient(root *cfb.Storage) (*Project, error) {
 		}
 	}
 	for _, name := range names {
+		if err := bud.CheckDeadline(); err != nil {
+			p.Issues = append(p.Issues, Issue{Stream: name, Err: err})
+			break
+		}
 		stream := vbaStorage.Stream(name)
 		if stream == nil {
+			p.Issues = append(p.Issues, Issue{
+				Stream: name,
+				Err:    fmt.Errorf("%w: module stream %q missing (%w)", ErrBadDirStream, name, hostile.ErrTruncated),
+			})
 			continue
 		}
-		src, ok := scanForSource(stream.Data)
-		if !ok {
+		src, err := scanForSource(stream.Data, bud)
+		if err != nil {
+			p.Issues = append(p.Issues, Issue{Stream: name, Err: err})
 			continue
 		}
 		p.Modules = append(p.Modules, Module{
@@ -429,9 +476,30 @@ func ReadProjectLenient(root *cfb.Storage) (*Project, error) {
 		})
 	}
 	if len(p.Modules) == 0 {
-		return nil, fmt.Errorf("%w: no recoverable module streams", ErrBadDirStream)
+		return nil, worstIssue(p.Issues, fmt.Errorf("%w: no recoverable module streams (%w)",
+			ErrBadDirStream, hostile.ErrMalformed))
 	}
 	return p, nil
+}
+
+// worstIssue picks the error to surface when nothing was recovered:
+// budget exhaustion (bombs, limits, deadlines) outranks structural
+// corruption, because it changes how the caller treats the document
+// (quarantine versus reject).
+func worstIssue(issues []Issue, fallback error) error {
+	var structural error
+	for _, iss := range issues {
+		if hostile.ExhaustsBudget(iss.Err) {
+			return iss.Err
+		}
+		if structural == nil && iss.Err != nil {
+			structural = iss.Err
+		}
+	}
+	if structural != nil {
+		return structural
+	}
+	return fallback
 }
 
 // parseProjectStream extracts module names from the PROJECT text stream
@@ -466,8 +534,13 @@ func parseProjectStream(root *cfb.Storage) []string {
 // scanForSource locates the compressed source container inside a module
 // stream whose text offset is unknown: it scans for a byte that looks like
 // a container signature followed by a valid chunk header and tries to
-// decompress from there.
-func scanForSource(data []byte) (string, bool) {
+// decompress from there. Each speculative attempt runs on a fork of the
+// budget (fresh byte counters, shared deadline) so failed attempts do not
+// eat the document's cumulative allowance; the winning attempt's output is
+// charged to the parent. The returned error is the most relevant failure:
+// budget exhaustion if any attempt hit it, otherwise a not-found error.
+func scanForSource(data []byte, bud *hostile.Budget) (string, error) {
+	var exhausted error
 	for off := 0; off+3 <= len(data); off++ {
 		if data[off] != containerSignature {
 			continue
@@ -476,11 +549,26 @@ func scanForSource(data []byte) (string, bool) {
 		if (header>>12)&0x7 != chunkHeaderSig {
 			continue
 		}
-		out, err := Decompress(data[off:])
-		if err != nil || len(out) == 0 {
+		if err := bud.CheckDeadline(); err != nil {
+			return "", err
+		}
+		out, err := DecompressBudget(data[off:], bud.Fork())
+		if err != nil {
+			if exhausted == nil && hostile.ExhaustsBudget(err) {
+				exhausted = err
+			}
 			continue
 		}
-		return decodeMBCS(out), true
+		if len(out) == 0 {
+			continue
+		}
+		if err := bud.GrowOutput(int64(len(out))); err != nil {
+			return "", err
+		}
+		return decodeMBCS(out), nil
 	}
-	return "", false
+	if exhausted != nil {
+		return "", exhausted
+	}
+	return "", fmt.Errorf("%w: no recoverable source container (%w)", ErrBadDirStream, hostile.ErrMalformed)
 }

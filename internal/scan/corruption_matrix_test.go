@@ -1,0 +1,205 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cfb"
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/faultinject"
+	"repro/internal/hostile"
+	"repro/internal/ooxml"
+	"repro/internal/ovba"
+)
+
+// perCaseCap bounds each mutation's wall clock. Generous because CI runs
+// the matrix under -race, but far below what an unbounded bomb would take.
+const perCaseCap = 15 * time.Second
+
+// matrixLimits shrinks the budget so the bomb cases trip it quickly while
+// valid documents (a few KB decompressed) pass untouched.
+var matrixLimits = hostile.Limits{MaxDecompressedBytes: 2 << 20}
+
+// acceptableScanError reports whether a scan failure is one of the typed
+// outcomes the robustness contract allows: a hostile-taxonomy error or a
+// recognized parser sentinel. Anything else (untyped fmt.Errorf soup,
+// index-range text) fails the matrix.
+func acceptableScanError(err error) bool {
+	if hostile.Classify(err) != "" {
+		return true
+	}
+	for _, sentinel := range []error{
+		extract.ErrNoMacros,
+		cfb.ErrNotCompoundFile,
+		cfb.ErrCorrupt,
+		cfb.ErrStreamNotFound,
+		ovba.ErrBadContainer,
+		ovba.ErrNoVBAStorage,
+		ooxml.ErrNotZip,
+		ooxml.ErrNoVBAPart,
+		context.DeadlineExceeded,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCorruptionMatrix runs every fault-injection mutation class through
+// the full scan pipeline and asserts the robustness contract: no panic, no
+// hang past the wall-clock cap, and every outcome is either a (possibly
+// degraded) verdict or a typed taxonomy error. Memory stays bounded by
+// construction — the budget rejects output beyond matrixLimits, which the
+// bomb sub-cases verify by demanding a quarantine-class failure.
+func TestCorruptionMatrix(t *testing.T) {
+	det, _ := fixture(t)
+	det.SetLimits(matrixLimits)
+	defer det.SetLimits(hostile.Limits{})
+
+	cases, err := faultinject.All(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("corruption matrix: %d cases", len(cases))
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), perCaseCap)
+			defer cancel()
+			var (
+				report  *core.FileReport
+				scanErr error
+			)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				report, _, scanErr = ScanOneCtx(ctx, det, c.Data)
+			}()
+			select {
+			case <-done:
+			case <-time.After(perCaseCap + 5*time.Second):
+				t.Fatalf("hang: no result within %v", perCaseCap+5*time.Second)
+			}
+
+			if scanErr != nil {
+				var pe *PanicError
+				if errors.As(scanErr, &pe) {
+					t.Fatalf("panic: %v\n%s", pe.Value, pe.Stack)
+				}
+				if !acceptableScanError(scanErr) {
+					t.Fatalf("untyped failure: %v", scanErr)
+				}
+			} else if report == nil {
+				t.Fatal("nil report with nil error")
+			}
+
+			// Class-specific expectations on the engineered cases.
+			switch c.Name {
+			case "valid-ole", "valid-ooxml":
+				if scanErr != nil || report.Degraded {
+					t.Fatalf("baseline must scan cleanly: err=%v degraded=%v",
+						scanErr, report != nil && report.Degraded)
+				}
+			case "fat-cycle":
+				if scanErr == nil {
+					t.Fatal("FAT cycle must not scan cleanly")
+				}
+				if cl := hostile.Classify(scanErr); cl != "cycle" && cl != "limit" && cl != "malformed" {
+					t.Fatalf("FAT cycle class = %q (%v)", cl, scanErr)
+				}
+			case "ovba-bomb", "zip-bomb-8MiB":
+				if scanErr == nil || !hostile.ExhaustsBudget(scanErr) {
+					t.Fatalf("bomb must exhaust the budget, got %v", scanErr)
+				}
+			case "partial-module-corruption":
+				if scanErr != nil {
+					t.Fatalf("partial corruption should degrade, not fail: %v", scanErr)
+				}
+				if !report.Degraded || len(report.Macros) != 1 {
+					t.Fatalf("want degraded verdict on 1 surviving macro, got degraded=%v macros=%d",
+						report.Degraded, len(report.Macros))
+				}
+			}
+		})
+	}
+}
+
+// TestRetryPolicy exercises the engine's bounded-retry path with an
+// injected retryable classifier, and verifies budget exhaustion is
+// quarantined without retries.
+func TestRetryPolicy(t *testing.T) {
+	det, _ := fixture(t)
+	det.SetLimits(matrixLimits)
+	defer det.SetLimits(hostile.Limits{})
+
+	bomb, err := faultinject.DecompressionBomb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := []byte{0xD0, 0xCF} // hopeless two-byte OLE stub
+
+	engine := New(det, 2)
+	engine.SetPolicy(Policy{
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+		// Treat structural corruption as retryable to observe the retry
+		// accounting; budget exhaustion stays non-retryable regardless.
+		Retryable: func(err error) bool { return !hostile.ExhaustsBudget(err) },
+	})
+	results, stats, err := engine.ScanAll(context.Background(), []Document{
+		{Name: "bomb", Data: bomb.Data},
+		{Name: "stub", Data: truncated},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		switch r.Name {
+		case "bomb":
+			if !r.Quarantined || r.Attempts != 1 {
+				t.Fatalf("bomb: quarantined=%v attempts=%d, want true/1", r.Quarantined, r.Attempts)
+			}
+		case "stub":
+			if r.Quarantined || r.Attempts != 3 {
+				t.Fatalf("stub: quarantined=%v attempts=%d, want false/3", r.Quarantined, r.Attempts)
+			}
+		}
+	}
+	if stats.Quarantined != 1 {
+		t.Fatalf("stats.Quarantined = %d, want 1", stats.Quarantined)
+	}
+	if stats.Retries != 2 {
+		t.Fatalf("stats.Retries = %d, want 2", stats.Retries)
+	}
+	if stats.Errors != 2 {
+		t.Fatalf("stats.Errors = %d, want 2", stats.Errors)
+	}
+}
+
+// TestDegradedStats verifies the engine counts partially extracted
+// documents.
+func TestDegradedStats(t *testing.T) {
+	det, _ := fixture(t)
+	c, err := faultinject.PartialCorruption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := New(det, 1)
+	results, stats, err := engine.ScanAll(context.Background(), []Document{
+		{Name: "partial", Data: c.Data},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded != 1 {
+		t.Fatalf("stats.Degraded = %d, want 1", stats.Degraded)
+	}
+	if results[0].Report == nil || !results[0].Report.Degraded {
+		t.Fatal("result should carry a degraded report")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hostile"
 )
 
 // Document is one input to the engine.
@@ -42,6 +43,14 @@ type Result struct {
 	Timings core.Timings
 	// Err is the extraction or classification failure, if any.
 	Err error
+	// Attempts is the number of pipeline attempts made: 1 normally,
+	// more when the engine's retry policy re-ran a transient failure.
+	Attempts int
+	// Quarantined marks a document whose failure exhausted its resource
+	// budget (decompression bomb, deadline overrun, limit breach).
+	// Retrying such a document is pointless — it needs isolation and a
+	// human, not another pass through the pipeline.
+	Quarantined bool
 }
 
 // PanicError wraps a panic recovered while scanning one document, so a
@@ -63,13 +72,45 @@ func (e *PanicError) Error() string {
 // in the extract → featurize → classify pipeline is recovered and returned
 // as a *PanicError. This is the entry point request-scoped callers (the
 // HTTP daemon) use; Engine workers route through it too.
-func ScanOne(det *core.Detector, data []byte) (report *core.FileReport, tm core.Timings, err error) {
+func ScanOne(det *core.Detector, data []byte) (*core.FileReport, core.Timings, error) {
+	return ScanOneCtx(context.Background(), det, data)
+}
+
+// ScanOneCtx is ScanOne under a context: the context deadline becomes the
+// document's processing deadline, enforced inside the parsing loops, so a
+// hostile document cannot pin the calling goroutine past it.
+func ScanOneCtx(ctx context.Context, det *core.Detector, data []byte) (report *core.FileReport, tm core.Timings, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			report, err = nil, &PanicError{Value: p, Stack: debug.Stack()}
 		}
 	}()
-	return det.ScanFileTimed(data)
+	return det.ScanFileCtx(ctx, data)
+}
+
+// Policy is the engine's failure-handling policy.
+type Policy struct {
+	// MaxRetries is how many times a failed document is re-attempted
+	// (0 = no retries). Only failures Retryable approves are retried;
+	// budget exhaustion never is.
+	MaxRetries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// attempt. Defaults to 50ms.
+	RetryBackoff time.Duration
+	// Retryable decides whether a failure is worth re-running. Defaults
+	// to hostile.IsTransient (I/O-flavored errors only — parse failures
+	// and budget exhaustion are deterministic and never retried).
+	Retryable func(error) bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.RetryBackoff <= 0 {
+		p.RetryBackoff = 50 * time.Millisecond
+	}
+	if p.Retryable == nil {
+		p.Retryable = hostile.IsTransient
+	}
+	return p
 }
 
 // Stats aggregates a scan run. Counters are written with atomics while
@@ -84,6 +125,15 @@ type Stats struct {
 	Skipped int64
 	// Errors is the number of documents that failed to scan.
 	Errors int64
+	// Degraded is the number of documents scanned partially: corruption
+	// or limits cost some streams, but surviving macros were classified.
+	Degraded int64
+	// Quarantined is the number of failed documents whose failure
+	// exhausted the resource budget (bombs, deadline overruns) — the
+	// subset of Errors that warrants isolation rather than a bug report.
+	Quarantined int64
+	// Retries is the number of re-attempts made under the retry policy.
+	Retries int64
 	// ExtractNS, FeaturizeNS and ClassifyNS are cumulative per-stage
 	// wall-clock nanoseconds summed across workers (their sum can exceed
 	// WallNS when workers run in parallel).
@@ -111,6 +161,7 @@ func perSec(n, wallNS int64) float64 {
 type Engine struct {
 	det     *core.Detector
 	workers int
+	policy  Policy
 }
 
 // New returns an engine running at most workers concurrent scans
@@ -124,6 +175,11 @@ func New(det *core.Detector, workers int) *Engine {
 
 // Workers reports the engine's concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetPolicy configures the engine's retry/quarantine policy. Call before
+// Scan/ScanAll; the zero Policy (no retries, transient-only detection)
+// is the default.
+func (e *Engine) SetPolicy(p Policy) { e.policy = p }
 
 // Scan consumes documents from in until it closes or ctx is canceled,
 // scanning across the engine's workers. Results arrive on the returned
@@ -179,7 +235,7 @@ func (e *Engine) Scan(ctx context.Context, in <-chan Document) (<-chan Result, *
 					if !ok {
 						return
 					}
-					res := e.scanOne(item.doc, item.index, stats)
+					res := e.scanOne(ctx, item.doc, item.index, stats)
 					select {
 					case out <- res:
 					case <-ctx.Done():
@@ -220,7 +276,7 @@ func (e *Engine) ScanAll(ctx context.Context, docs []Document) ([]Result, *Stats
 				if i >= len(docs) {
 					return
 				}
-				results[i] = e.scanOne(docs[i], i, stats)
+				results[i] = e.scanOne(ctx, docs[i], i, stats)
 			}
 		}()
 	}
@@ -232,18 +288,47 @@ func (e *Engine) ScanAll(ctx context.Context, docs []Document) ([]Result, *Stats
 	return results, stats, nil
 }
 
-// scanOne runs the pipeline on one document and accumulates stats.
-func (e *Engine) scanOne(doc Document, index int, stats *Stats) Result {
-	report, tm, err := ScanOne(e.det, doc.Data)
+// scanOne runs the pipeline on one document under the retry policy and
+// accumulates stats.
+func (e *Engine) scanOne(ctx context.Context, doc Document, index int, stats *Stats) Result {
+	pol := e.policy.withDefaults()
+	var (
+		report   *core.FileReport
+		tm       core.Timings
+		err      error
+		attempts int
+	)
+	for {
+		attempts++
+		report, tm, err = ScanOneCtx(ctx, e.det, doc.Data)
+		atomic.AddInt64(&stats.ExtractNS, tm.ExtractNS)
+		atomic.AddInt64(&stats.FeaturizeNS, tm.FeaturizeNS)
+		atomic.AddInt64(&stats.ClassifyNS, tm.ClassifyNS)
+		if err == nil || attempts > pol.MaxRetries ||
+			!pol.Retryable(err) || ctx.Err() != nil {
+			break
+		}
+		atomic.AddInt64(&stats.Retries, 1)
+		backoff := pol.RetryBackoff << (attempts - 1)
+		select {
+		case <-ctx.Done():
+		case <-time.After(backoff):
+		}
+	}
 	atomic.AddInt64(&stats.Files, 1)
-	atomic.AddInt64(&stats.ExtractNS, tm.ExtractNS)
-	atomic.AddInt64(&stats.FeaturizeNS, tm.FeaturizeNS)
-	atomic.AddInt64(&stats.ClassifyNS, tm.ClassifyNS)
 	if err != nil {
 		atomic.AddInt64(&stats.Errors, 1)
-		return Result{Index: index, Name: doc.Name, Timings: tm, Err: err}
+		quarantined := hostile.ExhaustsBudget(err)
+		if quarantined {
+			atomic.AddInt64(&stats.Quarantined, 1)
+		}
+		return Result{Index: index, Name: doc.Name, Timings: tm, Err: err,
+			Attempts: attempts, Quarantined: quarantined}
+	}
+	if report.Degraded {
+		atomic.AddInt64(&stats.Degraded, 1)
 	}
 	atomic.AddInt64(&stats.Macros, int64(len(report.Macros)))
 	atomic.AddInt64(&stats.Skipped, int64(report.Skipped))
-	return Result{Index: index, Name: doc.Name, Report: report, Timings: tm}
+	return Result{Index: index, Name: doc.Name, Report: report, Timings: tm, Attempts: attempts}
 }

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/hostile"
+)
+
+// postBatch posts named documents as one multipart batch request.
+func postBatch(t *testing.T, url string, files map[string][]byte) (*http.Response, BatchResponse) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for name, data := range files {
+		fw, err := mw.CreateFormFile("file", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	resp, err := http.Post(url+"/v1/scan/batch", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	return resp, br
+}
+
+// TestHardeningHTTPMapping drives fault-injected documents through the
+// HTTP API and asserts the full taxonomy → HTTP contract on one server
+// instance: partial corruption → 200 with "degraded": true, a
+// decompression bomb → 422 with quarantine accounting, truncation → 422
+// with a typed class — and /metrics exposing nonzero degraded /
+// quarantined / per-limit counters afterwards.
+func TestHardeningHTTPMapping(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Limits = hostile.Limits{MaxDecompressedBytes: 1 << 20}
+	srv, ts := newTestServer(t, cfg)
+	// The fixture detector is shared across the package's tests; restore
+	// its default limits when this test is done.
+	t.Cleanup(func() { fixture(t).SetLimits(hostile.Limits{}) })
+
+	// Partially corrupted two-module document: one module survives, so the
+	// scan succeeds degraded.
+	partial, err := faultinject.PartialCorruption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, sr := postScan(t, ts.URL, partial.Data)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded scan status = %d, want 200", resp.StatusCode)
+	}
+	if sr.Report == nil || !sr.Report.Degraded {
+		t.Fatalf("degraded scan should set report.degraded, got %+v", sr.Report)
+	}
+	if len(sr.Report.Errors) == 0 || sr.Report.Errors[0].Stream == "" {
+		t.Fatalf("degraded report should list per-stream errors, got %+v", sr.Report.Errors)
+	}
+	if len(sr.Report.Macros) != 1 {
+		t.Fatalf("one macro should survive, got %d", len(sr.Report.Macros))
+	}
+
+	// Decompression bomb under the 1MiB budget: 422, quarantined, and a
+	// decompressed_bytes limit hit.
+	bomb, err := faultinject.DecompressionBomb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, sr = postScan(t, ts.URL, bomb.Data)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bomb status = %d, want 422", resp.StatusCode)
+	}
+	if sr.ErrorClass != "bomb" && sr.ErrorClass != "limit" {
+		t.Fatalf("bomb error_class = %q, want bomb/limit", sr.ErrorClass)
+	}
+
+	// Truncated document: 422 with a typed taxonomy class.
+	doc, err := faultinject.ValidDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, sr = postScan(t, ts.URL, doc[:600])
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("truncated status = %d, want 422", resp.StatusCode)
+	}
+	if sr.ErrorClass != "truncated" && sr.ErrorClass != "malformed" {
+		t.Fatalf("truncated error_class = %q, want truncated/malformed", sr.ErrorClass)
+	}
+
+	// The metric tree must now expose every hardening counter nonzero.
+	if got := srv.Metrics().Degraded.Value(); got == 0 {
+		t.Error("metrics degraded counter is zero")
+	}
+	if got := srv.Metrics().Quarantined.Value(); got == 0 {
+		t.Error("metrics quarantined counter is zero")
+	}
+	if v := srv.Metrics().LimitHits.Get(hostile.LimitDecompressedBytes); v == nil {
+		t.Error("metrics limit_hits has no decompressed_bytes entry")
+	}
+
+	// And the same counters must survive the trip through GET /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree struct {
+		Degraded    int64            `json:"degraded"`
+		Quarantined int64            `json:"quarantined"`
+		LimitHits   map[string]int64 `json:"limit_hits"`
+		Errors      map[string]int64 `json:"errors"`
+	}
+	if err := json.Unmarshal(body, &tree); err != nil {
+		t.Fatalf("metrics not valid JSON: %v\n%s", err, body)
+	}
+	if tree.Degraded == 0 || tree.Quarantined == 0 {
+		t.Errorf("/metrics degraded=%d quarantined=%d, want both nonzero", tree.Degraded, tree.Quarantined)
+	}
+	if tree.LimitHits[hostile.LimitDecompressedBytes] == 0 {
+		t.Errorf("/metrics limit_hits[%s] = 0, want nonzero (%v)",
+			hostile.LimitDecompressedBytes, tree.LimitHits)
+	}
+}
+
+// TestBatchDegradedAndQuarantined runs the same hostile documents through
+// the batch endpoint: per-file outcomes keep their individual classes.
+func TestBatchDegradedAndQuarantined(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Limits = hostile.Limits{MaxDecompressedBytes: 1 << 20}
+	_, ts := newTestServer(t, cfg)
+	t.Cleanup(func() { fixture(t).SetLimits(hostile.Limits{}) })
+
+	partial, err := faultinject.PartialCorruption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bomb, err := faultinject.DecompressionBomb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, br := postBatch(t, ts.URL, map[string][]byte{
+		"partial.doc": partial.Data,
+		"bomb.doc":    bomb.Data,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200", resp.StatusCode)
+	}
+	byName := map[string]ScanResponse{}
+	for _, f := range br.Files {
+		byName[f.File] = f
+	}
+	if p := byName["partial.doc"]; p.Report == nil || !p.Report.Degraded {
+		t.Errorf("partial.doc should be degraded, got %+v", p)
+	}
+	if b := byName["bomb.doc"]; b.ErrorClass != "bomb" && b.ErrorClass != "limit" {
+		t.Errorf("bomb.doc error_class = %q, want bomb/limit", b.ErrorClass)
+	}
+}

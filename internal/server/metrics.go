@@ -92,8 +92,21 @@ type Metrics struct {
 	// "no_macros".
 	Verdicts expvar.Map
 	// Errors counts failures by class: "parse", "panic", "timeout",
-	// "oversize", "busy", "bad_request", "internal".
+	// "oversize", "busy", "bad_request", "internal", plus the hostile
+	// taxonomy classes ("truncated", "malformed", "bomb", "limit",
+	// "cycle", "deadline").
 	Errors expvar.Map
+	// Degraded counts documents scanned partially: corruption or resource
+	// limits cost some streams but surviving macros were still classified.
+	Degraded expvar.Int
+	// Quarantined counts documents whose scan failure exhausted the
+	// resource budget (decompression bombs, deadline overruns) — inputs
+	// that warrant isolation, not retries.
+	Quarantined expvar.Int
+	// LimitHits counts budget-limit breaches by limit name
+	// ("decompressed_bytes", "deadline", ...), across both degraded and
+	// quarantined documents.
+	LimitHits expvar.Map
 	// Reloads counts successful model hot-reloads.
 	Reloads expvar.Int
 
@@ -114,6 +127,7 @@ func NewMetrics() *Metrics {
 	m.Responses.Init()
 	m.Verdicts.Init()
 	m.Errors.Init()
+	m.LimitHits.Init()
 
 	m.root.Init()
 	m.root.Set("uptime_seconds", expvar.Func(func() any {
@@ -127,6 +141,9 @@ func NewMetrics() *Metrics {
 	m.root.Set("macros_skipped", &m.MacrosSkipped)
 	m.root.Set("verdicts", &m.Verdicts)
 	m.root.Set("errors", &m.Errors)
+	m.root.Set("degraded", &m.Degraded)
+	m.root.Set("quarantined", &m.Quarantined)
+	m.root.Set("limit_hits", &m.LimitHits)
 	m.root.Set("model_reloads", &m.Reloads)
 
 	stages := new(expvar.Map).Init()

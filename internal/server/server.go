@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/extract"
+	"repro/internal/hostile"
 	"repro/internal/scan"
 )
 
@@ -56,6 +57,11 @@ type Config struct {
 	MaxBatchFiles int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Limits is the per-document resource budget (decompressed bytes,
+	// container depth, lexer tokens, ...) applied to every scan. Zero
+	// fields take the hostile package defaults. The budget also inherits
+	// each request's ScanTimeout as its processing deadline.
+	Limits hostile.Limits
 	// Logger receives structured request logs. Default: JSON to stderr.
 	Logger *slog.Logger
 }
@@ -109,6 +115,9 @@ type Server struct {
 // starts unready and becomes ready after the first successful Reload.
 func New(det *core.Detector, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if det != nil {
+		det.SetLimits(cfg.Limits)
+	}
 	return &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
@@ -155,6 +164,7 @@ func (s *Server) Reload() error {
 	if err != nil {
 		return fmt.Errorf("server: reload: %w", err)
 	}
+	det.SetLimits(s.cfg.Limits)
 	s.mu.Lock()
 	s.det = det
 	s.mu.Unlock()
@@ -421,7 +431,7 @@ func (s *Server) runScan(ctx context.Context, det *core.Detector, data []byte) (
 			if s.scanGate != nil {
 				s.scanGate()
 			}
-			out.report, out.tm, out.err = scan.ScanOne(det, data)
+			out.report, out.tm, out.err = scan.ScanOneCtx(ctx, det, data)
 		}()
 		done <- out
 	}()
@@ -449,12 +459,26 @@ func (s *Server) recordOutcome(resp *ScanResponse, out scanOutcome) {
 		}
 		class := errorClass(out.err)
 		s.metrics.Errors.Add(class, 1)
+		if hostile.ExhaustsBudget(out.err) {
+			s.metrics.Quarantined.Add(1)
+			if name := hostile.LimitName(out.err); name != "" {
+				s.metrics.LimitHits.Add(name, 1)
+			}
+		}
 		resp.Error = out.err.Error()
 		resp.ErrorClass = class
 		return
 	}
 	s.metrics.Macros.Add(int64(len(out.report.Macros)))
 	s.metrics.MacrosSkipped.Add(int64(out.report.Skipped))
+	if out.report.Degraded {
+		s.metrics.Degraded.Add(1)
+		for _, se := range out.report.Errors {
+			if name := hostile.LimitName(se.Err); name != "" {
+				s.metrics.LimitHits.Add(name, 1)
+			}
+		}
+	}
 	if out.report.Obfuscated() {
 		s.metrics.Verdicts.Add("obfuscated", 1)
 	} else {
@@ -463,7 +487,10 @@ func (s *Server) recordOutcome(resp *ScanResponse, out scanOutcome) {
 	resp.Report = out.report.JSON()
 }
 
-// errorClass buckets a scan failure for the errors metric.
+// errorClass buckets a scan failure for the errors metric: panic and
+// internal faults first, then the hostile taxonomy class ("truncated",
+// "malformed", "bomb", "limit", "cycle", "deadline"), then generic
+// "parse" for legacy untyped failures.
 func errorClass(err error) string {
 	var pe *scan.PanicError
 	switch {
@@ -471,9 +498,11 @@ func errorClass(err error) string {
 		return "panic"
 	case errors.Is(err, core.ErrNotTrained):
 		return "internal"
-	default:
-		return "parse"
 	}
+	if class := hostile.Classify(err); class != "" {
+		return class
+	}
+	return "parse"
 }
 
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
@@ -509,13 +538,20 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, statusFor(&resp), resp)
 }
 
-// statusFor maps a scan outcome to its HTTP status.
+// statusFor maps a scan outcome to its HTTP status. The hostile taxonomy
+// maps onto client-fault statuses: malformed, truncated, cyclic and
+// budget-breaching documents are 422 (the request was well-formed, the
+// document is not processable), a deadline overrun inside the pipeline is
+// 504, and only server faults (panic, untrained model) are 500. A degraded
+// scan is a success — 200 with "degraded": true in the report.
 func statusFor(resp *ScanResponse) int {
 	switch resp.ErrorClass {
 	case "":
 		return http.StatusOK
 	case "panic", "internal":
 		return http.StatusInternalServerError
+	case "deadline":
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusUnprocessableEntity
 	}

@@ -1,18 +1,73 @@
 package vba
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/hostile"
+)
+
+// fuzzSources returns hostile macro sources for seeding: hand-written
+// broken snippets plus bit-flipped mutants of a plausible macro, so the
+// fuzzer starts with inputs that reach deep lexer/parser states.
+func fuzzSources() []string {
+	sample := "Sub Exec()\n" +
+		"Dim p As String\n" +
+		"p = Chr(99) & Chr(109) & \"d \" & Environ(\"COMSPEC\")\n" +
+		"CreateObject(\"WScript.Shell\").Run p, 0\n" +
+		"End Sub\n"
+	srcs := []string{
+		"Sub A()\nDim x As Long\nx = Chr(65) & \"b\"\nEnd Sub\n",
+		"Sub B(\n' broken\nIf Then Else _\n\"unterminated",
+		"",
+		sample,
+	}
+	for _, c := range faultinject.BitFlips([]byte(sample), 44, 6) {
+		srcs = append(srcs, string(c.Data))
+	}
+	return srcs
+}
 
 // FuzzParse drives the lexer and parser with arbitrary source: total
 // safety on malformed macros is a hard requirement (obfuscated malware is
 // deliberately broken).
 func FuzzParse(f *testing.F) {
-	f.Add("Sub A()\nDim x As Long\nx = Chr(65) & \"b\"\nEnd Sub\n")
-	f.Add("Sub B(\n' broken\nIf Then Else _\n\"unterminated")
-	f.Add("")
+	for _, s := range fuzzSources() {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		m := Parse(src)
 		_ = m.Identifiers()
 		_ = m.Strings()
 		_ = m.Comments()
+	})
+}
+
+// FuzzParseBudget runs the parser under a tight token budget: the partial
+// module must stay usable and any failure must be the typed limit error
+// with the token count actually bounded.
+func FuzzParseBudget(f *testing.F) {
+	for _, s := range fuzzSources() {
+		f.Add(s)
+	}
+	const maxTokens = 512
+	f.Fuzz(func(t *testing.T, src string) {
+		bud := hostile.NewBudget(hostile.Limits{MaxLexTokens: maxTokens})
+		m, err := ParseBudget(src, bud)
+		if m == nil {
+			t.Fatal("ParseBudget must always return a (possibly partial) module")
+		}
+		_ = m.Identifiers()
+		if err != nil && !errors.Is(err, hostile.ErrLimitExceeded) {
+			t.Fatalf("unexpected parse failure class: %v", err)
+		}
+		toks, lerr := LexBudget(src, hostile.NewBudget(hostile.Limits{MaxLexTokens: maxTokens}))
+		if int64(len(toks)) > maxTokens {
+			t.Fatalf("lexer produced %d tokens over a %d budget", len(toks), maxTokens)
+		}
+		if lerr != nil && hostile.LimitName(lerr) != hostile.LimitLexTokens {
+			t.Fatalf("lexer limit error missing limit name: %v", lerr)
+		}
 	})
 }

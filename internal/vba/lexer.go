@@ -1,6 +1,11 @@
 package vba
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hostile"
+)
 
 // Lex tokenizes VBA source code. It never fails: characters that do not
 // start any known token are emitted as KindIllegal tokens so that feature
@@ -10,20 +15,45 @@ import "strings"
 // end-of-line) are fused into one logical line: the continuation itself
 // produces no token and no KindEOL is emitted at the break.
 func Lex(src string) []Token {
-	lx := lexer{src: src, line: 1, col: 1}
-	return lx.run()
+	toks, _ := LexBudget(src, nil)
+	return toks
+}
+
+// LexBudget is Lex under a resource budget: the scan stops after the
+// budget's remaining token allowance, returning the tokens produced so far
+// alongside a hostile.ErrLimitExceeded error. Tokens produced are charged
+// against the budget so repeated modules share one per-document allowance.
+// A nil budget disables the limit.
+func LexBudget(src string, bud *hostile.Budget) ([]Token, error) {
+	lx := lexer{src: src, line: 1, col: 1, maxTokens: bud.TokenAllowance()}
+	toks := lx.run()
+	chargeErr := bud.AddTokens(int64(len(toks)))
+	if lx.overflow {
+		if chargeErr == nil {
+			chargeErr = bud.AddTokens(1)
+		}
+		return toks, fmt.Errorf("vba: lexer stopped at line %d after %d tokens: %w",
+			lx.line, len(toks), chargeErr)
+	}
+	return toks, chargeErr
 }
 
 type lexer struct {
-	src  string
-	pos  int
-	line int
-	col  int
-	toks []Token
+	src       string
+	pos       int
+	line      int
+	col       int
+	toks      []Token
+	maxTokens int64
+	overflow  bool
 }
 
 func (lx *lexer) run() []Token {
 	for lx.pos < len(lx.src) {
+		if int64(len(lx.toks)) >= lx.maxTokens {
+			lx.overflow = true
+			return lx.toks
+		}
 		c := lx.src[lx.pos]
 		switch {
 		case c == '\r' || c == '\n':

@@ -1,6 +1,10 @@
 package vba
 
-import "strings"
+import (
+	"strings"
+
+	"repro/internal/hostile"
+)
 
 // Module is the light syntactic view of one VBA module that the detection
 // pipeline consumes. It is produced by Parse and is resilient to broken
@@ -78,11 +82,21 @@ type Call struct {
 
 // Parse lexes and structurally analyses src.
 func Parse(src string) *Module {
-	toks := Lex(src)
+	m, _ := ParseBudget(src, nil)
+	return m
+}
+
+// ParseBudget is Parse under a resource budget. When the lexer's token
+// allowance runs out the module built from the tokens produced so far is
+// still returned (partial but internally consistent) together with the
+// budget error, so callers can degrade instead of dropping the macro. A
+// nil budget disables the limits.
+func ParseBudget(src string, bud *hostile.Budget) (*Module, error) {
+	toks, err := LexBudget(src, bud)
 	m := &Module{Source: src, Tokens: toks}
 	p := parser{m: m, toks: toks}
 	p.run()
-	return m
+	return m, err
 }
 
 // Identifiers returns the declared identifier names of the module:

@@ -17,10 +17,13 @@
 package vbadetect
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/deob"
 	"repro/internal/extract"
+	"repro/internal/hostile"
 	"repro/internal/scan"
 )
 
@@ -125,6 +128,51 @@ type (
 func ScanOne(det *Detector, data []byte) (*FileReport, Timings, error) {
 	return scan.ScanOne(det, data)
 }
+
+// ScanOneCtx is ScanOne with a context: a context deadline becomes the
+// document's wall-clock budget, surfacing as a typed deadline error
+// instead of an unbounded parse.
+func ScanOneCtx(ctx context.Context, det *Detector, data []byte) (*FileReport, Timings, error) {
+	return scan.ScanOneCtx(ctx, det, data)
+}
+
+// Hostile-input hardening — resource budgets, the error taxonomy and the
+// scan engine's retry/quarantine policy (see internal/hostile).
+
+type (
+	// Limits is the per-document resource budget configuration; the zero
+	// value uses production defaults. Apply with Detector.SetLimits.
+	Limits = hostile.Limits
+	// Policy tunes the batch engine's retry/quarantine behavior; apply
+	// with Engine.SetPolicy.
+	Policy = scan.Policy
+	// StreamError records a per-stream extraction failure inside a
+	// degraded FileReport.
+	StreamError = extract.StreamError
+)
+
+// Taxonomy sentinels for errors.Is on scan/extract failures.
+var (
+	// ErrTruncated reports input that ends before a structure it promised.
+	ErrTruncated = hostile.ErrTruncated
+	// ErrBomb reports decompressed output exceeding the budget.
+	ErrBomb = hostile.ErrBomb
+	// ErrLimitExceeded reports any exhausted resource budget.
+	ErrLimitExceeded = hostile.ErrLimitExceeded
+	// ErrMalformed reports structurally invalid input.
+	ErrMalformed = hostile.ErrMalformed
+	// ErrCycle reports cyclic structural references (FAT loops).
+	ErrCycle = hostile.ErrCycle
+)
+
+// ClassifyError buckets a scan error into its taxonomy class ("bomb",
+// "deadline", "limit", "cycle", "truncated", "malformed"; "" otherwise).
+func ClassifyError(err error) string { return hostile.Classify(err) }
+
+// IsQuarantineable reports whether err represents exhausted resource
+// budgets — the class of documents worth setting aside rather than
+// retrying.
+func IsQuarantineable(err error) bool { return hostile.ExhaustsBudget(err) }
 
 // Deobfuscation and triage — the analyst-facing companions of detection.
 
