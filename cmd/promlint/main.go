@@ -1,0 +1,71 @@
+// Command promlint validates Prometheus text exposition read from stdin
+// (or a file argument) using the minimal parser in internal/telemetry. CI
+// pipes a live /metrics?format=prometheus scrape through it to catch
+// malformed exposition before a real scraper would.
+//
+//	curl -s localhost:8080/metrics?format=prometheus | promlint
+//	promlint metrics.txt
+//
+// Exit status 0 means the scrape parsed and contained at least one
+// counter, one histogram and the Go runtime gauges; 1 means it did not.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	var data []byte
+	var err error
+	switch len(args) {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		data, err = os.ReadFile(args[0])
+	default:
+		return fmt.Errorf("usage: promlint [file]")
+	}
+	if err != nil {
+		return err
+	}
+	sum, err := telemetry.ParseExposition(data)
+	if err != nil {
+		return err
+	}
+	var counters, histograms, goGauges int
+	for name, typ := range sum.Families {
+		switch typ {
+		case "counter":
+			counters++
+		case "histogram":
+			histograms++
+		}
+		if strings.HasPrefix(name, "go_") {
+			goGauges++
+		}
+	}
+	if counters == 0 {
+		return fmt.Errorf("exposition has no counter families")
+	}
+	if histograms == 0 {
+		return fmt.Errorf("exposition has no histogram families")
+	}
+	if goGauges == 0 {
+		return fmt.Errorf("exposition has no go_* runtime families")
+	}
+	fmt.Fprintf(stdout, "ok: %d families (%d counters, %d histograms, %d go_*), %d samples\n",
+		len(sum.Families), counters, histograms, goGauges, sum.Samples)
+	return nil
+}

@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/scan"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -68,7 +70,8 @@ commands:
   help    show this message
 
   vbadetect train -model out.json [-algo svm|rf|mlp|lda|bnb] [-features V|J] [-scale 0.25] [-seed 1] [-workers N]
-  vbadetect scan  -model model.json [-workers N] [-stats] file...
+  vbadetect scan  -model model.json [-workers N] [-stats] [-trace-out spans.jsonl]
+                  [-trace-chrome trace.json] [-audit-out audit.jsonl] [-audit-sample 0.1] file...
 
 Run "vbadetect <command> -h" for per-command flags. The HTTP daemon
 counterpart is cmd/vbadetectd.`)
@@ -131,6 +134,10 @@ func scanCmd(args []string) error {
 	modelPath := fs.String("model", "model.json", "model file from `vbadetect train`")
 	workers := fs.Int("workers", 0, "scan concurrency (0 = GOMAXPROCS)")
 	showStats := fs.Bool("stats", false, "print aggregate throughput and stage timings")
+	traceOut := fs.String("trace-out", "", "write per-document span trees as JSONL to this file")
+	traceChrome := fs.String("trace-chrome", "", "write the span trees as a Chrome trace_event file (load in chrome://tracing or Perfetto)")
+	auditOut := fs.String("audit-out", "", "write verdict audit events as JSONL to this file")
+	auditSample := fs.Float64("audit-sample", 1, "audit sampling rate in [0,1], keyed on document hash")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,9 +162,58 @@ func scanCmd(args []string) error {
 		docs = append(docs, scan.Document{Name: path, Data: data})
 	}
 	engine := scan.New(det, *workers)
+
+	var traces []*telemetry.Trace
+	var traceMu sync.Mutex
+	var traceWriter *telemetry.TraceWriter
+	if *traceOut != "" || *traceChrome != "" {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			traceWriter = telemetry.NewTraceWriter(f)
+		}
+		engine.SetTraceSink(func(tr *telemetry.Tracer) {
+			traceWriter.Write(tr)
+			if *traceChrome != "" {
+				traceMu.Lock()
+				traces = append(traces, tr.Trace())
+				traceMu.Unlock()
+			}
+		})
+	}
+	if *auditOut != "" {
+		f, err := os.Create(*auditOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		engine.SetAudit(telemetry.NewAuditLogger(f, telemetry.AuditConfig{SampleRate: *auditSample}))
+	}
+
 	results, stats, err := engine.ScanAll(context.Background(), docs)
 	if err != nil {
 		return err
+	}
+	if tw := traceWriter; tw != nil {
+		if err := tw.Err(); err != nil {
+			return fmt.Errorf("writing traces: %w", err)
+		}
+	}
+	if *traceChrome != "" {
+		f, err := os.Create(*traceChrome)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTrace(f, traces); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	for _, r := range results {
 		if r.Err != nil {

@@ -6,22 +6,25 @@
 //
 // Endpoints:
 //
-//	POST /v1/scan         classify one document (raw body or multipart)
+//	POST /v1/scan         classify one document (raw body or multipart);
+//	                      append ?trace=1 for an inline per-document span tree
 //	POST /v1/scan/batch   classify many documents (multipart)
 //	POST /v1/admin/reload hot-swap the model from -model (also SIGHUP)
 //	GET  /healthz         liveness
 //	GET  /readyz          readiness (503 while draining or modelless)
-//	GET  /metrics         expvar-style JSON counters and latency histograms
+//	GET  /metrics         JSON counters and latency histograms;
+//	                      ?format=prometheus for text exposition
 //	GET  /debug/pprof/*   profiling (only with -pprof)
 //
 // SIGTERM/SIGINT starts a graceful shutdown: readiness flips to 503, new
 // connections stop, and in-flight scans drain for up to -drain-timeout.
 //
 // Per-document resource budgets (hostile-input hardening) are set with the
-// -limit-* flags; each also reads a VBADETECTD_LIMIT_* environment variable
-// as its default, so containerized deployments can tune budgets without
-// changing the command line. Flags win over the environment; 0 means the
-// built-in default.
+// -limit-* flags, and the verdict audit log with the -telemetry-audit-*
+// flags; each also reads a VBADETECTD_* environment variable as its
+// default, so containerized deployments can tune them without changing
+// the command line. Flags win over the environment; 0 means the built-in
+// default.
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 
 	"repro/internal/hostile"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 // envInt64 returns the integer value of the named environment variable, or
@@ -55,6 +59,22 @@ func envInt64(name string, def int64) int64 {
 
 func envInt(name string, def int) int {
 	return int(envInt64(name, int64(def)))
+}
+
+func envFloat(name string, def float64) float64 {
+	if v := os.Getenv(name); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+func envString(name, def string) string {
+	if v := os.Getenv(name); v != "" {
+		return v
+	}
+	return def
 }
 
 func main() {
@@ -93,11 +113,36 @@ func run(args []string) error {
 	limStrings := fs.Int("limit-storage-strings",
 		envInt("VBADETECTD_LIMIT_STORAGE_STRINGS", 0),
 		"max storage strings recovered per document (0 = default 10000)")
+	auditOut := fs.String("telemetry-audit-out",
+		envString("VBADETECTD_TELEMETRY_AUDIT_OUT", ""),
+		"write verdict audit events as JSONL to this file (empty = disabled)")
+	auditSample := fs.Float64("telemetry-audit-sample",
+		envFloat("VBADETECTD_TELEMETRY_AUDIT_SAMPLE", 1),
+		"audit sampling rate in [0,1], keyed on document hash")
+	auditRate := fs.Int("telemetry-audit-rate",
+		envInt("VBADETECTD_TELEMETRY_AUDIT_RATE", 0),
+		"max audit events written per second (0 = unlimited)")
+	auditMaxBytes := fs.Int64("telemetry-audit-max-bytes",
+		envInt64("VBADETECTD_TELEMETRY_AUDIT_MAX_BYTES", 0),
+		"lifetime audit log byte cap (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	var audit *telemetry.AuditLogger
+	if *auditOut != "" {
+		f, err := os.OpenFile(*auditOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening audit log: %w", err)
+		}
+		defer f.Close()
+		audit = telemetry.NewAuditLogger(f, telemetry.AuditConfig{
+			SampleRate: *auditSample,
+			MaxPerSec:  *auditRate,
+			MaxBytes:   *auditMaxBytes,
+		})
+	}
 	srv, err := server.NewFromModelFile(*modelPath, server.Config{
 		MaxBodyBytes: *maxBody,
 		MaxInFlight:  *maxInFlight,
@@ -106,6 +151,7 @@ func run(args []string) error {
 		BatchWorkers: *batchWorkers,
 		EnablePprof:  *enablePprof,
 		Logger:       logger,
+		Audit:        audit,
 		Limits: hostile.Limits{
 			MaxDecompressedBytes: *limDecomp,
 			MaxContainerDepth:    *limDepth,

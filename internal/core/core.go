@@ -25,6 +25,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/hostile"
 	"repro/internal/ml"
+	"repro/internal/telemetry"
 )
 
 // FeatureSet selects which static feature vector the detector uses.
@@ -434,21 +435,31 @@ func (d *Detector) ScanFileTimed(data []byte) (*FileReport, Timings, error) {
 // FileReport.Degraded set and the surviving macros classified; a document
 // that exhausts its budget before producing anything yields a typed error
 // classifiable with hostile.Classify / hostile.ExhaustsBudget.
+//
+// When the context carries a telemetry.Tracer (ContextWithTracer), every
+// pipeline stage records a span under its root: extraction with its
+// container sub-stages, then per-macro featurize/classify pairs.
 func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, Timings, error) {
 	var tm Timings
 	if !d.trained {
 		return nil, tm, ErrNotTrained
 	}
+	root := telemetry.TracerFrom(ctx).Root()
 	bud := hostile.NewBudget(d.limits.Normalize())
 	if dl, ok := ctx.Deadline(); ok {
 		bud = bud.WithDeadline(dl)
 	}
 	start := time.Now()
-	res, err := extract.FileBudget(data, bud)
+	esp := root.Child("extract")
+	esp.SetBytes(int64(len(data)))
+	res, err := extract.FileBudgetTraced(data, bud, esp)
 	tm.ExtractNS = time.Since(start).Nanoseconds()
 	if err != nil {
+		esp.SetError(err, hostile.Classify(err))
+		esp.End()
 		return nil, tm, err
 	}
+	esp.End()
 	report := &FileReport{
 		Format:         res.Format.String(),
 		Project:        res.Project,
@@ -462,11 +473,16 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 			report.Skipped++
 			continue
 		}
+		msp := root.Child("macro:" + m.Module)
+		msp.SetBytes(int64(len(m.Source)))
 		t1 := time.Now()
+		fsp := msp.Child("featurize")
 		a := Analyze(m.Source)
 		x := a.Features(d.featureSet)
+		fsp.End()
 		tm.FeaturizeNS += time.Since(t1).Nanoseconds()
 		t2 := time.Now()
+		csp := msp.Child("classify")
 		v := MacroVerdict{
 			Module:     m.Module,
 			Obfuscated: d.clf.Predict(x) == ml.Positive,
@@ -474,8 +490,19 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 			Source:     m.Source,
 			Analysis:   a,
 		}
+		csp.End()
 		tm.ClassifyNS += time.Since(t2).Nanoseconds()
+		if v.Obfuscated {
+			msp.Annotate("verdict", "obfuscated")
+		}
+		msp.End()
 		report.Macros = append(report.Macros, v)
+	}
+	if report.Skipped > 0 {
+		root.Annotate("skipped", fmt.Sprintf("%d", report.Skipped))
+	}
+	if report.Degraded {
+		root.Annotate("degraded", "true")
 	}
 	return report, tm, nil
 }

@@ -11,12 +11,14 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/cfb"
 	"repro/internal/hostile"
 	"repro/internal/ooxml"
 	"repro/internal/ovba"
+	"repro/internal/telemetry"
 )
 
 // Format identifies the container format of an input file.
@@ -108,6 +110,13 @@ func File(data []byte) (*Result, error) {
 // (hostile.ExhaustsBudget) then outrank structural ones so quarantine
 // decisions see the true cause. A nil budget disables the limits.
 func FileBudget(data []byte, bud *hostile.Budget) (*Result, error) {
+	return FileBudgetTraced(data, bud, nil)
+}
+
+// FileBudgetTraced is FileBudget recording sub-stage spans (ZIP part
+// extraction, CFB parse, OVBA project read, storage-string scan) onto sp.
+// A nil span disables tracing at zero cost.
+func FileBudgetTraced(data []byte, bud *hostile.Budget, sp *telemetry.Span) (*Result, error) {
 	switch {
 	case ooxml.IsOOXML(data):
 		// The ZIP package is one container level; the OLE blob inside it
@@ -116,21 +125,27 @@ func FileBudget(data []byte, bud *hostile.Budget) (*Result, error) {
 			return nil, err
 		}
 		defer bud.ExitContainer()
+		zsp := sp.Child("ooxml_unzip")
+		zsp.SetBytes(int64(len(data)))
 		vba, err := ooxml.ExtractVBAProjectBudget(data, bud)
 		if err != nil {
+			zsp.SetError(err, hostile.Classify(err))
+			zsp.End()
 			if errors.Is(err, ooxml.ErrNoVBAPart) {
 				return nil, ErrNoMacros
 			}
 			return nil, err
 		}
-		res, err := fromOLE(vba, bud)
+		zsp.Annotate("vba_part_bytes", strconv.Itoa(len(vba)))
+		zsp.End()
+		res, err := fromOLE(vba, bud, sp)
 		if err != nil {
 			return nil, err
 		}
 		res.Format = FormatOOXML
 		return res, nil
 	default:
-		res, err := fromOLE(data, bud)
+		res, err := fromOLE(data, bud, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -141,28 +156,46 @@ func FileBudget(data []byte, bud *hostile.Budget) (*Result, error) {
 
 // fromOLE parses an OLE container (a .doc/.xls file or a vbaProject.bin
 // blob) and reads its VBA project.
-func fromOLE(data []byte, bud *hostile.Budget) (*Result, error) {
+func fromOLE(data []byte, bud *hostile.Budget, sp *telemetry.Span) (*Result, error) {
 	if err := bud.EnterContainer(); err != nil {
 		return nil, err
 	}
 	defer bud.ExitContainer()
+	csp := sp.Child("cfb_parse")
+	csp.SetBytes(int64(len(data)))
 	f, err := cfb.ParseBudget(data, bud)
 	if err != nil {
+		csp.SetError(err, hostile.Classify(err))
+		csp.End()
 		return nil, err
 	}
+	csp.End()
 	root := findProjectRoot(f.Root)
 	if root == nil {
 		return nil, ErrNoMacros
 	}
 	// Lenient reading recovers modules from projects whose metadata
 	// malware has corrupted (olevba behaves the same way).
+	osp := sp.Child("ovba_decompress")
 	p, err := ovba.ReadProjectLenientBudget(root, bud)
 	if err != nil {
+		osp.SetError(err, hostile.Classify(err))
+		osp.End()
 		if errors.Is(err, ovba.ErrNoVBAStorage) {
 			return nil, ErrNoMacros
 		}
 		return nil, fmt.Errorf("extract: %w", err)
 	}
+	var srcBytes int64
+	for _, m := range p.Modules {
+		srcBytes += int64(len(m.Source))
+	}
+	osp.SetBytes(srcBytes)
+	osp.Annotate("modules", strconv.Itoa(len(p.Modules)))
+	if len(p.Issues) > 0 {
+		osp.Annotate("stream_issues", strconv.Itoa(len(p.Issues)))
+	}
+	osp.End()
 	res := &Result{Project: p.Name}
 	for _, is := range p.Issues {
 		res.Errors = append(res.Errors, StreamError{Stream: is.Stream, Err: is.Err})
@@ -184,7 +217,10 @@ func fromOLE(data []byte, bud *hostile.Budget) (*Result, error) {
 		return nil, fmt.Errorf("extract: no macros recovered: %w", worstStreamError(res.Errors))
 	}
 	res.Degraded = len(res.Errors) > 0
+	ssp := sp.Child("storage_strings")
 	res.StorageStrings = storageStrings(f.Root, root, bud)
+	ssp.Annotate("strings", strconv.Itoa(len(res.StorageStrings)))
+	ssp.End()
 	return res, nil
 }
 

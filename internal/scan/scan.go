@@ -9,15 +9,20 @@ package scan
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/hostile"
+	"repro/internal/telemetry"
 )
 
 // Document is one input to the engine.
@@ -162,6 +167,17 @@ type Engine struct {
 	det     *core.Detector
 	workers int
 	policy  Policy
+
+	// Telemetry (all optional; nil = disabled with no per-document cost).
+	traceSink func(*telemetry.Tracer)
+	audit     *telemetry.AuditLogger
+
+	// Engine-lifetime gauges/counters read by RegisterMetrics gauge funcs.
+	queued    atomic.Int64
+	busy      atomic.Int64
+	telFiles  atomic.Int64
+	telMacros atomic.Int64
+	started   time.Time
 }
 
 // New returns an engine running at most workers concurrent scans
@@ -170,7 +186,7 @@ func New(det *core.Detector, workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{det: det, workers: workers}
+	return &Engine{det: det, workers: workers, started: time.Now()}
 }
 
 // Workers reports the engine's concurrency bound.
@@ -180,6 +196,51 @@ func (e *Engine) Workers() int { return e.workers }
 // Scan/ScanAll; the zero Policy (no retries, transient-only detection)
 // is the default.
 func (e *Engine) SetPolicy(p Policy) { e.policy = p }
+
+// SetTraceSink enables per-document tracing: every scanned document gets
+// its own telemetry.Tracer whose finished span tree is handed to sink
+// (called concurrently from workers — telemetry.TraceWriter is a ready
+// sink). A nil sink disables tracing. Call before Scan/ScanAll.
+func (e *Engine) SetTraceSink(sink func(*telemetry.Tracer)) { e.traceSink = sink }
+
+// SetAudit attaches a verdict audit log: one sampled AuditEvent per
+// document, carrying the feature vectors, scores, triage summary and
+// disposition flags. A nil logger disables auditing. Call before
+// Scan/ScanAll.
+func (e *Engine) SetAudit(a *telemetry.AuditLogger) { e.audit = a }
+
+// RegisterMetrics publishes the engine's scan gauges on reg: queue depth,
+// in-flight workers, cumulative files/macros and their per-second rates
+// over the engine's lifetime. Register one engine per registry (the gauge
+// funcs capture this engine).
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("scan_queue_depth",
+		"Documents admitted to the engine but not yet scanning.",
+		func() float64 { return float64(e.queued.Load()) })
+	reg.GaugeFunc("scan_inflight_workers",
+		"Workers currently scanning a document.",
+		func() float64 { return float64(e.busy.Load()) })
+	reg.GaugeFunc("scan_files_total",
+		"Documents scanned over the engine's lifetime.",
+		func() float64 { return float64(e.telFiles.Load()) })
+	reg.GaugeFunc("scan_macros_total",
+		"Significant macros classified over the engine's lifetime.",
+		func() float64 { return float64(e.telMacros.Load()) })
+	reg.GaugeFunc("scan_files_per_sec",
+		"Mean document throughput since the engine was created.",
+		func() float64 { return e.rate(e.telFiles.Load()) })
+	reg.GaugeFunc("scan_macros_per_sec",
+		"Mean macro throughput since the engine was created.",
+		func() float64 { return e.rate(e.telMacros.Load()) })
+}
+
+func (e *Engine) rate(n int64) float64 {
+	secs := time.Since(e.started).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(n) / secs
+}
 
 // Scan consumes documents from in until it closes or ctx is canceled,
 // scanning across the engine's workers. Results arrive on the returned
@@ -212,10 +273,12 @@ func (e *Engine) Scan(ctx context.Context, in <-chan Document) (<-chan Result, *
 				if !ok {
 					return
 				}
+				e.queued.Add(1)
 				select {
 				case feed <- indexed{doc: doc, index: i}:
 					i++
 				case <-ctx.Done():
+					e.queued.Add(-1)
 					return
 				}
 			}
@@ -225,25 +288,29 @@ func (e *Engine) Scan(ctx context.Context, in <-chan Document) (<-chan Result, *
 	var wg sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case item, ok := <-feed:
-					if !ok {
-						return
-					}
-					res := e.scanOne(ctx, item.doc, item.index, stats)
+		// pprof labels tag each worker goroutine so CPU/goroutine profiles
+		// of a loaded process attribute scan work to the engine's pool.
+		go pprof.Do(ctx, pprof.Labels("subsystem", "scan", "scan_worker", strconv.Itoa(w)),
+			func(ctx context.Context) {
+				defer wg.Done()
+				for {
 					select {
-					case out <- res:
 					case <-ctx.Done():
 						return
+					case item, ok := <-feed:
+						if !ok {
+							return
+						}
+						e.queued.Add(-1)
+						res := e.scanOne(ctx, item.doc, item.index, stats)
+						select {
+						case out <- res:
+						case <-ctx.Done():
+							return
+						}
 					}
 				}
-			}
-		}()
+			})
 	}
 	go func() {
 		wg.Wait()
@@ -264,23 +331,30 @@ func (e *Engine) ScanAll(ctx context.Context, docs []Document) ([]Result, *Stats
 	if workers > len(docs) {
 		workers = len(docs)
 	}
-	var next atomic.Int64
+	var next, claimed atomic.Int64
 	next.Store(-1)
+	e.queued.Add(int64(len(docs)))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ctx.Err() == nil {
-				i := int(next.Add(1))
-				if i >= len(docs) {
-					return
+		go pprof.Do(ctx, pprof.Labels("subsystem", "scan", "scan_worker", strconv.Itoa(w)),
+			func(ctx context.Context) {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1))
+					if i >= len(docs) {
+						return
+					}
+					claimed.Add(1)
+					e.queued.Add(-1)
+					results[i] = e.scanOne(ctx, docs[i], i, stats)
 				}
-				results[i] = e.scanOne(ctx, docs[i], i, stats)
-			}
-		}()
+			})
 	}
 	wg.Wait()
+	// On cancellation some documents were never claimed; return them so
+	// the queue-depth gauge does not stay elevated forever.
+	e.queued.Add(claimed.Load() - int64(len(docs)))
 	stats.WallNS = time.Since(start).Nanoseconds()
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
@@ -289,18 +363,31 @@ func (e *Engine) ScanAll(ctx context.Context, docs []Document) ([]Result, *Stats
 }
 
 // scanOne runs the pipeline on one document under the retry policy and
-// accumulates stats.
+// accumulates stats. Result.Timings accumulates across attempts — a
+// document that failed twice and succeeded on the third try reports the
+// stage time of all three passes, matching what the worker actually spent.
 func (e *Engine) scanOne(ctx context.Context, doc Document, index int, stats *Stats) Result {
+	e.busy.Add(1)
+	defer e.busy.Add(-1)
 	pol := e.policy.withDefaults()
+
+	var tr *telemetry.Tracer
+	if e.traceSink != nil {
+		tr = telemetry.NewTracer(doc.Name)
+		ctx = telemetry.ContextWithTracer(ctx, tr)
+	}
+
 	var (
 		report   *core.FileReport
-		tm       core.Timings
+		total    core.Timings
 		err      error
 		attempts int
 	)
 	for {
 		attempts++
+		var tm core.Timings
 		report, tm, err = ScanOneCtx(ctx, e.det, doc.Data)
+		total.Add(tm)
 		atomic.AddInt64(&stats.ExtractNS, tm.ExtractNS)
 		atomic.AddInt64(&stats.FeaturizeNS, tm.FeaturizeNS)
 		atomic.AddInt64(&stats.ClassifyNS, tm.ClassifyNS)
@@ -315,20 +402,114 @@ func (e *Engine) scanOne(ctx context.Context, doc Document, index int, stats *St
 		case <-time.After(backoff):
 		}
 	}
+	if tr != nil {
+		if attempts > 1 {
+			tr.Root().Annotate("attempts", strconv.Itoa(attempts))
+		}
+		tr.Finish()
+		e.traceSink(tr)
+	}
 	atomic.AddInt64(&stats.Files, 1)
+	e.telFiles.Add(1)
+	res := Result{Index: index, Name: doc.Name, Timings: total, Attempts: attempts}
 	if err != nil {
 		atomic.AddInt64(&stats.Errors, 1)
-		quarantined := hostile.ExhaustsBudget(err)
-		if quarantined {
+		res.Err = err
+		res.Quarantined = hostile.ExhaustsBudget(err)
+		if res.Quarantined {
 			atomic.AddInt64(&stats.Quarantined, 1)
 		}
-		return Result{Index: index, Name: doc.Name, Timings: tm, Err: err,
-			Attempts: attempts, Quarantined: quarantined}
+	} else {
+		res.Report = report
+		if report.Degraded {
+			atomic.AddInt64(&stats.Degraded, 1)
+		}
+		atomic.AddInt64(&stats.Macros, int64(len(report.Macros)))
+		atomic.AddInt64(&stats.Skipped, int64(report.Skipped))
+		e.telMacros.Add(int64(len(report.Macros)))
 	}
-	if report.Degraded {
-		atomic.AddInt64(&stats.Degraded, 1)
+	e.auditResult(doc, res)
+	return res
+}
+
+// auditResult feeds one scan outcome into the engine's audit log, if any.
+func (e *Engine) auditResult(doc Document, res Result) {
+	if e.audit == nil {
+		return
 	}
-	atomic.AddInt64(&stats.Macros, int64(len(report.Macros)))
-	atomic.AddInt64(&stats.Skipped, int64(report.Skipped))
-	return Result{Index: index, Name: doc.Name, Report: report, Timings: tm, Attempts: attempts}
+	var fs core.FeatureSet
+	if e.det != nil {
+		fs = e.det.FeatureSet()
+	}
+	LogAudit(e.audit, doc, fs, res)
+}
+
+// LogAudit records one scan outcome in an audit log. The full event
+// (triage, vector copies) is only built for documents the sampling
+// filter keeps; sampled-out documents log a skeleton event that is never
+// serialized but counts toward the logger's drop statistics. A nil
+// logger is a no-op.
+func LogAudit(a *telemetry.AuditLogger, doc Document, fs core.FeatureSet, res Result) {
+	if a == nil {
+		return
+	}
+	sha := HashDocument(doc.Data)
+	if !a.ShouldSample(sha) {
+		a.Log(&telemetry.AuditEvent{Doc: doc.Name, SHA256: sha})
+		return
+	}
+	a.Log(BuildAuditEvent(doc.Name, sha, fs, res))
+}
+
+// HashDocument returns the hex SHA-256 of a document's bytes — the audit
+// log's sampling and join key.
+func HashDocument(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// BuildAuditEvent assembles the verdict audit record for one scan
+// outcome: feature vectors and scores per macro, a triage summary
+// (auto-exec, suspicious keywords, IOC count) computed from each macro's
+// shared parse, stage timings, and the disposition flags. sha is
+// HashDocument of the scanned bytes.
+func BuildAuditEvent(name, sha string, fs core.FeatureSet, res Result) *telemetry.AuditEvent {
+	ev := &telemetry.AuditEvent{
+		Doc:         name,
+		SHA256:      sha,
+		FeatureSet:  fs.String(),
+		Attempts:    res.Attempts,
+		Quarantined: res.Quarantined,
+		ExtractNS:   res.Timings.ExtractNS,
+		FeaturizeNS: res.Timings.FeaturizeNS,
+		ClassifyNS:  res.Timings.ClassifyNS,
+	}
+	if res.Err != nil {
+		ev.Error = res.Err.Error()
+		ev.ErrorClass = hostile.Classify(res.Err)
+		return ev
+	}
+	report := res.Report
+	ev.Format = report.Format
+	ev.Obfuscated = report.Obfuscated()
+	ev.Skipped = report.Skipped
+	ev.Degraded = report.Degraded
+	for _, m := range report.Macros {
+		am := telemetry.AuditMacro{
+			Module:      m.Module,
+			Obfuscated:  m.Obfuscated,
+			Score:       m.Score,
+			SourceBytes: len(m.Source),
+		}
+		if m.Analysis != nil {
+			am.Features = m.Analysis.Features(fs)
+			triage := m.Analysis.Triage()
+			am.AutoExec = triage.HasAutoExec()
+			am.Suspicious = triage.Suspicious()
+			am.IOCs = len(triage.IOCs())
+			am.Folds = triage.Folds
+		}
+		ev.Macros = append(ev.Macros, am)
+	}
+	return ev
 }

@@ -1,8 +1,11 @@
 package scan
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/extract"
+	"repro/internal/telemetry"
 )
 
 // testFixture builds a trained detector and a packaged document corpus
@@ -290,4 +294,151 @@ func TestNoMacrosIsError(t *testing.T) {
 	if !errors.Is(results[0].Err, extract.ErrNoMacros) {
 		t.Fatalf("err = %v, want ErrNoMacros", results[0].Err)
 	}
+}
+
+// TestTimingsAccumulateAcrossRetries asserts Result.Timings sums the
+// stage time of every attempt, matching the per-stage totals in Stats.
+func TestTimingsAccumulateAcrossRetries(t *testing.T) {
+	det, _ := fixture(t)
+	engine := New(det, 1)
+	engine.SetPolicy(Policy{
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+		Retryable:    func(error) bool { return true },
+	})
+	docs := []Document{{Name: "junk.doc", Data: []byte("not an OLE file")}}
+	results, stats, err := engine.ScanAll(context.Background(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Err == nil {
+		t.Fatal("junk document scanned cleanly")
+	}
+	if r.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", r.Attempts)
+	}
+	if stats.Retries != 2 {
+		t.Errorf("stats.Retries = %d, want 2", stats.Retries)
+	}
+	// Stats accumulates per-attempt stage time; with a single document the
+	// Result must carry the same accumulated total, not the last attempt.
+	if r.Timings.ExtractNS != stats.ExtractNS {
+		t.Errorf("Result.Timings.ExtractNS = %d, stats = %d; result dropped earlier attempts",
+			r.Timings.ExtractNS, stats.ExtractNS)
+	}
+}
+
+// TestEngineTraceSink asserts the engine emits one finished span tree per
+// document, with the pipeline stages as children.
+func TestEngineTraceSink(t *testing.T) {
+	det, docs := fixture(t)
+	engine := New(det, 4)
+	var mu sync.Mutex
+	var traces []*telemetry.Trace
+	engine.SetTraceSink(func(tr *telemetry.Tracer) {
+		mu.Lock()
+		traces = append(traces, tr.Trace())
+		mu.Unlock()
+	})
+	if _, _, err := engine.ScanAll(context.Background(), docs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 {
+		t.Fatalf("traces = %d, want 4", len(traces))
+	}
+	sawMacro := false
+	for _, tr := range traces {
+		if tr.Root == nil || tr.Root.Name != "scan" || tr.Root.DurNS <= 0 {
+			t.Fatalf("%s: malformed root span %+v", tr.Doc, tr.Root)
+		}
+		var extractSpan *telemetry.Span
+		for _, c := range tr.Root.Children {
+			if c.Name == "extract" {
+				extractSpan = c
+			}
+			if strings.HasPrefix(c.Name, "macro:") {
+				sawMacro = true
+				names := map[string]bool{}
+				for _, g := range c.Children {
+					names[g.Name] = true
+				}
+				if !names["featurize"] || !names["classify"] {
+					t.Errorf("%s: macro span children = %v", tr.Doc, names)
+				}
+			}
+		}
+		if extractSpan == nil || extractSpan.DurNS <= 0 {
+			t.Errorf("%s: no extract span with non-zero duration", tr.Doc)
+		}
+	}
+	if !sawMacro {
+		t.Error("no document produced a macro span")
+	}
+}
+
+// TestEngineAudit asserts every scanned document lands in the audit log
+// with its hash, vectors and timing fields filled in.
+func TestEngineAudit(t *testing.T) {
+	det, docs := fixture(t)
+	engine := New(det, 4)
+	var buf syncBuffer
+	engine.SetAudit(telemetry.NewAuditLogger(&buf, telemetry.AuditConfig{}))
+	results, _, err := engine.ScanAll(context.Background(), docs[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("audit lines = %d, want 4", len(lines))
+	}
+	byDoc := map[string]telemetry.AuditEvent{}
+	for _, line := range lines {
+		var ev telemetry.AuditEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("audit line invalid: %v", err)
+		}
+		byDoc[ev.Doc] = ev
+	}
+	for _, r := range results {
+		ev, ok := byDoc[r.Name]
+		if !ok {
+			t.Fatalf("%s missing from audit log", r.Name)
+		}
+		if ev.SHA256 != HashDocument(docs[r.Index].Data) || len(ev.SHA256) != 64 {
+			t.Errorf("%s: bad content hash %q", r.Name, ev.SHA256)
+		}
+		if ev.Attempts < 1 || ev.ExtractNS <= 0 {
+			t.Errorf("%s: attempts/timings not recorded: %+v", r.Name, ev)
+		}
+		if r.Err == nil {
+			if ev.FeatureSet != "V" || len(ev.Macros) != len(r.Report.Macros) {
+				t.Errorf("%s: audit macros = %d, want %d", r.Name, len(ev.Macros), len(r.Report.Macros))
+			}
+			for _, m := range ev.Macros {
+				if len(m.Features) != core.FeatureSetV.Dim() {
+					t.Errorf("%s/%s: feature vector dim %d", r.Name, m.Module, len(m.Features))
+				}
+			}
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for collecting audit output
+// from concurrent workers.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

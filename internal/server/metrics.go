@@ -1,167 +1,144 @@
-// Metrics for the scan daemon, built on expvar types so every counter is
-// safe for concurrent writes from request handlers and renders itself as
-// JSON. Nothing here registers in the global expvar namespace: each Server
-// owns its own metric tree, so tests can run many servers in one process.
+// Metrics for the scan daemon, built on the shared telemetry registry so
+// every counter is safe for concurrent writes from request handlers and
+// renders as both JSON and Prometheus text exposition. Nothing here
+// registers in a global namespace: each Server owns its own registry, so
+// tests can run many servers in one process.
 package server
 
 import (
-	"expvar"
-	"fmt"
 	"net/http"
-	"strings"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// histBoundsMS are the histogram bucket upper bounds in milliseconds
-// (cumulative "le" semantics, Prometheus-style), spanning sub-millisecond
-// classifier inference up to multi-second worst-case documents. The last
-// bucket is +Inf.
-var histBoundsMS = [...]float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
-
-// Histogram is a fixed-bucket latency histogram safe for concurrent use.
-// It implements expvar.Var, rendering as JSON with count, sum and
-// cumulative bucket counts.
-type Histogram struct {
-	count   atomic.Int64
-	sumNS   atomic.Int64
-	buckets [len(histBoundsMS) + 1]atomic.Int64
-}
-
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	h.count.Add(1)
-	h.sumNS.Add(d.Nanoseconds())
-	ms := float64(d.Nanoseconds()) / 1e6
-	for i, bound := range histBoundsMS {
-		if ms <= bound {
-			h.buckets[i].Add(1)
-			return
-		}
-	}
-	h.buckets[len(histBoundsMS)].Add(1)
-}
-
-// Count reports how many observations have been recorded.
-func (h *Histogram) Count() int64 { return h.count.Load() }
-
-// String renders the histogram as a JSON object (expvar.Var contract).
-// Bucket counts are emitted cumulatively under "le_<bound>ms" keys.
-func (h *Histogram) String() string {
-	var b strings.Builder
-	count := h.count.Load()
-	sumMS := float64(h.sumNS.Load()) / 1e6
-	avg := 0.0
-	if count > 0 {
-		avg = sumMS / float64(count)
-	}
-	fmt.Fprintf(&b, `{"count": %d, "sum_ms": %.3f, "avg_ms": %.3f, "buckets": {`, count, sumMS, avg)
-	cum := int64(0)
-	for i, bound := range histBoundsMS {
-		cum += h.buckets[i].Load()
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		fmt.Fprintf(&b, `"le_%gms": %d`, bound, cum)
-	}
-	cum += h.buckets[len(histBoundsMS)].Load()
-	fmt.Fprintf(&b, `, "le_inf": %d}}`, cum)
-	return b.String()
-}
-
-// Metrics is one server's observability tree. All fields are updated with
-// atomic operations; the tree renders as a single JSON document at
-// /metrics via the embedded expvar.Map.
+// Metrics is one server's observability tree, a facade over a
+// telemetry.Registry. GET /metrics renders the registry as JSON by
+// default and as Prometheus text exposition with ?format=prometheus.
 type Metrics struct {
-	root expvar.Map
+	reg *telemetry.Registry
 
 	// Requests counts HTTP requests by endpoint pattern.
-	Requests expvar.Map
+	Requests *telemetry.LabeledCounter
 	// Responses counts HTTP responses by status class ("2xx".."5xx").
-	Responses expvar.Map
+	Responses *telemetry.LabeledCounter
 	// InFlight is the number of scan requests currently holding a slot.
-	InFlight expvar.Int
+	InFlight *telemetry.Gauge
+	// QueueDepth is the number of requests waiting for a slot.
+	QueueDepth *telemetry.Gauge
 
 	// Scans counts documents scanned (batch items count individually).
-	Scans expvar.Int
+	Scans *telemetry.Counter
 	// Macros counts significant macros classified.
-	Macros expvar.Int
+	Macros *telemetry.Counter
 	// MacrosSkipped counts macros below the significance threshold.
-	MacrosSkipped expvar.Int
+	MacrosSkipped *telemetry.Counter
 	// Verdicts counts file-level outcomes: "obfuscated", "clean",
 	// "no_macros".
-	Verdicts expvar.Map
+	Verdicts *telemetry.LabeledCounter
 	// Errors counts failures by class: "parse", "panic", "timeout",
 	// "oversize", "busy", "bad_request", "internal", plus the hostile
 	// taxonomy classes ("truncated", "malformed", "bomb", "limit",
 	// "cycle", "deadline").
-	Errors expvar.Map
+	Errors *telemetry.LabeledCounter
 	// Degraded counts documents scanned partially: corruption or resource
 	// limits cost some streams but surviving macros were still classified.
-	Degraded expvar.Int
+	Degraded *telemetry.Counter
 	// Quarantined counts documents whose scan failure exhausted the
 	// resource budget (decompression bombs, deadline overruns) — inputs
 	// that warrant isolation, not retries.
-	Quarantined expvar.Int
+	Quarantined *telemetry.Counter
 	// LimitHits counts budget-limit breaches by limit name
 	// ("decompressed_bytes", "deadline", ...), across both degraded and
 	// quarantined documents.
-	LimitHits expvar.Map
+	LimitHits *telemetry.LabeledCounter
 	// Reloads counts successful model hot-reloads.
-	Reloads expvar.Int
+	Reloads *telemetry.Counter
 
-	// Per-stage pipeline latency (extract → featurize → classify) plus
-	// whole-request latency for the scan endpoints.
-	StageExtract   Histogram
-	StageFeaturize Histogram
-	StageClassify  Histogram
-	RequestLatency Histogram
+	// Per-stage pipeline latency (extract → featurize → classify), the
+	// time requests spend waiting for an admission slot, and whole-request
+	// latency for the scan endpoints. All in seconds.
+	StageExtract   *telemetry.Histogram
+	StageFeaturize *telemetry.Histogram
+	StageClassify  *telemetry.Histogram
+	QueueWait      *telemetry.Histogram
+	RequestLatency *telemetry.Histogram
 
 	start time.Time
 }
 
 // NewMetrics builds an initialized, unregistered metric tree.
 func NewMetrics() *Metrics {
-	m := &Metrics{start: time.Now()}
-	m.Requests.Init()
-	m.Responses.Init()
-	m.Verdicts.Init()
-	m.Errors.Init()
-	m.LimitHits.Init()
-
-	m.root.Init()
-	m.root.Set("uptime_seconds", expvar.Func(func() any {
-		return time.Since(m.start).Seconds()
-	}))
-	m.root.Set("requests", &m.Requests)
-	m.root.Set("responses", &m.Responses)
-	m.root.Set("inflight", &m.InFlight)
-	m.root.Set("scans", &m.Scans)
-	m.root.Set("macros", &m.Macros)
-	m.root.Set("macros_skipped", &m.MacrosSkipped)
-	m.root.Set("verdicts", &m.Verdicts)
-	m.root.Set("errors", &m.Errors)
-	m.root.Set("degraded", &m.Degraded)
-	m.root.Set("quarantined", &m.Quarantined)
-	m.root.Set("limit_hits", &m.LimitHits)
-	m.root.Set("model_reloads", &m.Reloads)
-
-	stages := new(expvar.Map).Init()
-	stages.Set("extract", &m.StageExtract)
-	stages.Set("featurize", &m.StageFeaturize)
-	stages.Set("classify", &m.StageClassify)
-	m.root.Set("stage_latency", stages)
-	m.root.Set("request_latency", &m.RequestLatency)
+	r := telemetry.NewRegistry()
+	m := &Metrics{reg: r, start: time.Now()}
+	r.GaugeFunc("uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	m.Requests = r.LabeledCounter("requests", "HTTP requests by endpoint.", "endpoint")
+	m.Responses = r.LabeledCounter("responses", "HTTP responses by status class.", "class")
+	m.InFlight = r.Gauge("inflight", "Scan requests currently holding a slot.")
+	m.QueueDepth = r.Gauge("queue_depth", "Requests waiting for an admission slot.")
+	m.Scans = r.Counter("scans", "Documents scanned.")
+	m.Macros = r.Counter("macros", "Significant macros classified.")
+	m.MacrosSkipped = r.Counter("macros_skipped", "Macros below the significance threshold.")
+	m.Verdicts = r.LabeledCounter("verdicts", "File-level scan outcomes.", "verdict")
+	m.Errors = r.LabeledCounter("errors", "Scan and request failures by class.", "class")
+	m.Degraded = r.Counter("degraded", "Documents scanned partially.")
+	m.Quarantined = r.Counter("quarantined", "Documents whose failure exhausted the resource budget.")
+	m.LimitHits = r.LabeledCounter("limit_hits", "Budget-limit breaches by limit name.", "limit")
+	m.Reloads = r.Counter("model_reloads", "Successful model hot-reloads.")
+	m.StageExtract = r.Histogram("stage_extract_seconds", "Extraction stage latency.", nil)
+	m.StageFeaturize = r.Histogram("stage_featurize_seconds", "Featurization stage latency.", nil)
+	m.StageClassify = r.Histogram("stage_classify_seconds", "Classification stage latency.", nil)
+	m.QueueWait = r.Histogram("queue_wait_seconds", "Time requests wait for an admission slot.", nil)
+	m.RequestLatency = r.Histogram("request_seconds", "Whole-request latency for scan endpoints.", nil)
+	r.GaugeFunc("scan_files_per_sec", "Documents scanned per second since start.",
+		func() float64 { return rateSince(m.Scans.Value(), m.start) })
+	r.GaugeFunc("scan_macros_per_sec", "Macros classified per second since start.",
+		func() float64 { return rateSince(m.Macros.Value(), m.start) })
+	r.RegisterGoRuntime()
 	return m
 }
 
-// ServeHTTP renders the whole metric tree as JSON.
+func rateSince(n int64, start time.Time) float64 {
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed
+}
+
+// Registry exposes the underlying telemetry registry so callers can
+// attach additional instruments (scan-engine gauges, build info).
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
+
+// ServeHTTP renders the metric tree: Prometheus text exposition when the
+// request asks for ?format=prometheus, JSON otherwise.
 func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", telemetry.ExpositionContentType)
+		_ = m.reg.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	fmt.Fprintln(w, m.root.String())
+	_ = m.reg.WriteJSON(w)
 }
 
 // observeStatus records a response status code by class.
 func (m *Metrics) observeStatus(code int) {
-	m.Responses.Add(fmt.Sprintf("%dxx", code/100), 1)
+	m.Responses.Add(statusClass(code), 1)
+}
+
+func statusClass(code int) string {
+	switch code / 100 {
+	case 1:
+		return "1xx"
+	case 2:
+		return "2xx"
+	case 3:
+		return "3xx"
+	case 4:
+		return "4xx"
+	default:
+		return "5xx"
+	}
 }

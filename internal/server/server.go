@@ -32,6 +32,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/hostile"
 	"repro/internal/scan"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the scan daemon. The zero value is usable: every field has
@@ -64,6 +65,10 @@ type Config struct {
 	Limits hostile.Limits
 	// Logger receives structured request logs. Default: JSON to stderr.
 	Logger *slog.Logger
+	// Audit, when set, receives a verdict audit event for every scanned
+	// document (single and batch), subject to the logger's own sampling
+	// and rate caps. Nil disables auditing.
+	Audit *telemetry.AuditLogger
 }
 
 func (c Config) withDefaults() Config {
@@ -320,6 +325,9 @@ type ScanResponse struct {
 	ErrorClass string           `json:"error_class,omitempty"`
 	Stages     *StageMS         `json:"stage_ms,omitempty"`
 	ElapsedMS  float64          `json:"elapsed_ms"`
+	// Trace is the per-document span tree, present only when the request
+	// asked for it with ?trace=1.
+	Trace *telemetry.Trace `json:"trace,omitempty"`
 }
 
 // BatchStats summarizes one batch request.
@@ -341,8 +349,15 @@ type BatchResponse struct {
 
 // acquireSlot takes a semaphore slot, waiting up to QueueWait. It reports
 // false (after writing the error response) when the server is saturated or
-// the client went away.
+// the client went away. The wait is measured into its own histogram so
+// admission-control queueing is visible separately from scan latency.
 func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) bool {
+	wait := time.Now()
+	s.metrics.QueueDepth.Add(1)
+	defer func() {
+		s.metrics.QueueDepth.Add(-1)
+		s.metrics.QueueWait.Observe(time.Since(wait))
+	}()
 	timer := time.NewTimer(s.cfg.QueueWait)
 	defer timer.Stop()
 	select {
@@ -522,6 +537,11 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ScanTimeout)
 	defer cancel()
+	var tr *telemetry.Tracer
+	if r.URL.Query().Get("trace") == "1" {
+		tr = telemetry.NewTracer(name)
+		ctx = telemetry.ContextWithTracer(ctx, tr)
+	}
 	out, ok := s.runScan(ctx, det, data)
 	resp := ScanResponse{RequestID: requestID(r.Context()), File: name}
 	if !ok {
@@ -532,7 +552,14 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusGatewayTimeout, resp)
 		return
 	}
+	if tr != nil {
+		tr.Finish()
+		resp.Trace = tr.Trace()
+	}
 	s.recordOutcome(&resp, out)
+	scan.LogAudit(s.cfg.Audit, scan.Document{Name: name, Data: data}, det.FeatureSet(),
+		scan.Result{Name: name, Report: out.report, Timings: out.tm, Err: out.err,
+			Attempts: 1, Quarantined: out.err != nil && hostile.ExhaustsBudget(out.err)})
 	resp.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
 	s.metrics.RequestLatency.Observe(time.Since(start))
 	writeJSON(w, statusFor(&resp), resp)
@@ -618,6 +645,7 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	engine := scan.New(det, s.cfg.BatchWorkers)
+	engine.SetAudit(s.cfg.Audit)
 	var results []scan.Result
 	var stats *scan.Stats
 	done := make(chan error, 1)

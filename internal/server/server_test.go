@@ -19,6 +19,7 @@ import (
 	"repro/internal/cfb"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/telemetry"
 )
 
 // testFixture holds a trained detector, a saved model file and synthetic
@@ -161,9 +162,10 @@ func TestScanSingleRaw(t *testing.T) {
 	if m.Macros.Value() == 0 {
 		t.Error("macros counter is zero after a macro scan")
 	}
-	for name, h := range map[string]*Histogram{
-		"extract": &m.StageExtract, "featurize": &m.StageFeaturize,
-		"classify": &m.StageClassify, "request": &m.RequestLatency,
+	for name, h := range map[string]*telemetry.Histogram{
+		"extract": m.StageExtract, "featurize": m.StageFeaturize,
+		"classify": m.StageClassify, "request": m.RequestLatency,
+		"queue_wait": m.QueueWait,
 	} {
 		if h.Count() == 0 {
 			t.Errorf("%s histogram empty after a scan", name)
@@ -426,18 +428,17 @@ func TestMetricsEndpoint(t *testing.T) {
 	if scans, _ := tree["scans"].(float64); scans == 0 {
 		t.Errorf("metrics scans = %v, want > 0", tree["scans"])
 	}
-	stages, _ := tree["stage_latency"].(map[string]any)
-	if stages == nil {
-		t.Fatal("metrics missing stage_latency")
-	}
-	for _, stage := range []string{"extract", "featurize", "classify"} {
-		h, _ := stages[stage].(map[string]any)
+	for _, stage := range []string{"stage_extract_seconds", "stage_featurize_seconds", "stage_classify_seconds"} {
+		h, _ := tree[stage].(map[string]any)
 		if h == nil {
-			t.Fatalf("stage_latency missing %s", stage)
+			t.Fatalf("metrics missing %s", stage)
 		}
 		if count, _ := h["count"].(float64); count == 0 {
 			t.Errorf("stage %s count = %v, want > 0", stage, h["count"])
 		}
+	}
+	if _, ok := tree["go_goroutines"]; !ok {
+		t.Error("metrics missing go runtime gauges")
 	}
 }
 
@@ -602,4 +603,143 @@ func TestPanicIsolation(t *testing.T) {
 	if hresp.StatusCode != http.StatusOK {
 		t.Errorf("healthz after panic = %d, want 200", hresp.StatusCode)
 	}
+}
+
+// TestMetricsPrometheus scrapes /metrics?format=prometheus after a scan
+// and validates the exposition with the package's own parser: histogram,
+// counter and Go-runtime families must all be present.
+func TestMetricsPrometheus(t *testing.T) {
+	_, ts := newTestServer(t, quietConfig())
+	if resp, _ := postScan(t, ts.URL, testFixture.macroDoc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ExpositionContentType {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := telemetry.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for name, typ := range map[string]string{
+		"scans":                 "counter",
+		"stage_extract_seconds": "histogram",
+		"queue_wait_seconds":    "histogram",
+		"request_seconds":       "histogram",
+		"go_goroutines":         "gauge",
+		"scan_files_per_sec":    "gauge",
+	} {
+		if got := sum.Families[name]; got != typ {
+			t.Errorf("family %s = %q, want %q", name, got, typ)
+		}
+	}
+}
+
+// TestScanTraceInline asserts ?trace=1 returns the per-document span tree
+// in the response, with the pipeline stages and non-zero durations.
+func TestScanTraceInline(t *testing.T) {
+	_, ts := newTestServer(t, quietConfig())
+	resp, err := http.Post(ts.URL+"/v1/scan?trace=1", "application/octet-stream",
+		bytes.NewReader(testFixture.macroDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr ScanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Trace == nil || sr.Trace.Root == nil {
+		t.Fatal("no trace in response")
+	}
+	root := sr.Trace.Root
+	if root.Name != "scan" || root.DurNS <= 0 {
+		t.Fatalf("malformed root span: %+v", root)
+	}
+	names := map[string]bool{}
+	for _, c := range root.Children {
+		names[c.Name] = true
+	}
+	if !names["extract"] {
+		t.Errorf("trace missing extract span: %v", names)
+	}
+	// An untraced request must not carry a trace.
+	if _, sr2 := postScan(t, ts.URL, testFixture.macroDoc); sr2.Trace != nil {
+		t.Error("untraced request returned a trace")
+	}
+}
+
+// TestServerAudit asserts both scan endpoints feed the configured audit
+// log with hash-keyed verdict events.
+func TestServerAudit(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	cfg := quietConfig()
+	cfg.Audit = telemetry.NewAuditLogger(lockedWriter{&mu, &buf}, telemetry.AuditConfig{})
+	_, ts := newTestServer(t, cfg)
+	if resp, _ := postScan(t, ts.URL, testFixture.macroDoc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan status = %d", resp.StatusCode)
+	}
+
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for i := 0; i < 2; i++ {
+		fw, err := mw.CreateFormFile("file", fmt.Sprintf("doc-%d.doc", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw.Write(testFixture.docs[i])
+	}
+	mw.Close()
+	resp, err := http.Post(ts.URL+"/v1/scan/batch", mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	lines := 0
+	for _, line := range bytes.Split([]byte(out), []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		lines++
+		var ev telemetry.AuditEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("audit line invalid: %v", err)
+		}
+		if len(ev.SHA256) != 64 {
+			t.Errorf("audit event missing content hash: %+v", ev)
+		}
+	}
+	if lines != 3 {
+		t.Errorf("audit lines = %d, want 3 (1 single + 2 batch)", lines)
+	}
+}
+
+// lockedWriter serializes audit writes so the test can read the buffer
+// without racing the scan goroutines that outlive the HTTP response.
+type lockedWriter struct {
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
 }

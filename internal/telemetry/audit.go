@@ -1,0 +1,227 @@
+// The verdict audit log: structured JSONL events carrying the feature
+// vector, classifier scores, triage summary and disposition flags for
+// each scanned document, written for offline drift analysis (compare a
+// deployment's score and feature distributions week over week without
+// shipping document bytes anywhere).
+//
+// The logger is deliberately lossy by configuration: content-hash-keyed
+// sampling picks a deterministic subset of traffic, a per-second rate cap
+// bounds burst cost, and a byte cap bounds total file size. Drops are
+// counted per cause so the analysis side can correct for them.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AuditMacro is the per-macro payload of an audit event.
+type AuditMacro struct {
+	// Module is the VBA module name.
+	Module string `json:"module"`
+	// Obfuscated is the predicted label.
+	Obfuscated bool `json:"obfuscated"`
+	// Score is the classifier decision score.
+	Score float64 `json:"score"`
+	// Features is the feature vector the classifier saw (15-dim V or
+	// 20-dim J, per the event's FeatureSet).
+	Features []float64 `json:"features"`
+	// AutoExec / Suspicious / IOCs / Folds summarize the triage result.
+	AutoExec   bool `json:"auto_exec,omitempty"`
+	Suspicious bool `json:"suspicious,omitempty"`
+	IOCs       int  `json:"iocs,omitempty"`
+	Folds      int  `json:"folds,omitempty"`
+	// SourceBytes is the macro length (the source itself never leaves
+	// the process).
+	SourceBytes int `json:"source_bytes"`
+}
+
+// AuditEvent is one JSONL record of the verdict audit log.
+type AuditEvent struct {
+	// TimeUnixNS is the event timestamp.
+	TimeUnixNS int64 `json:"time_unix_ns"`
+	// Doc identifies the document (path or request filename).
+	Doc string `json:"doc"`
+	// SHA256 is the hex content hash of the document bytes — the
+	// sampling key and the join key for offline analysis.
+	SHA256 string `json:"sha256"`
+	// Format is the container format ("ole", "ooxml"), "" on failure.
+	Format string `json:"format,omitempty"`
+	// FeatureSet is "V" or "J".
+	FeatureSet string `json:"feature_set"`
+	// Obfuscated is the file-level verdict.
+	Obfuscated bool `json:"obfuscated"`
+	// Macros holds the per-macro vectors and scores.
+	Macros []AuditMacro `json:"macros,omitempty"`
+	// Skipped counts macros below the significance threshold.
+	Skipped int `json:"skipped,omitempty"`
+	// Degraded / Quarantined are the disposition flags.
+	Degraded    bool `json:"degraded,omitempty"`
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Attempts is how many pipeline attempts the document took (>1 when
+	// the engine's retry policy re-ran a transient failure).
+	Attempts int `json:"attempts,omitempty"`
+	// Error / ErrorClass report a failed scan.
+	Error      string `json:"error,omitempty"`
+	ErrorClass string `json:"error_class,omitempty"`
+	// ExtractNS / FeaturizeNS / ClassifyNS are the per-stage timings,
+	// accumulated across attempts.
+	ExtractNS   int64 `json:"extract_ns,omitempty"`
+	FeaturizeNS int64 `json:"featurize_ns,omitempty"`
+	ClassifyNS  int64 `json:"classify_ns,omitempty"`
+}
+
+// AuditConfig tunes an AuditLogger. The zero value keeps everything:
+// sample rate 1.0, no rate cap, no size cap.
+type AuditConfig struct {
+	// SampleRate in [0,1] is the fraction of documents kept, keyed on
+	// the content hash so the decision is deterministic per document
+	// (the same file always samples the same way, across replicas too).
+	// 0 means 1.0 (keep everything); use Disabled to turn the log off.
+	SampleRate float64
+	// MaxPerSec caps events written per wall-clock second (0 = no cap).
+	MaxPerSec int
+	// MaxBytes caps the total bytes written over the logger's lifetime
+	// (0 = no cap). Once reached, further events are dropped and
+	// counted.
+	MaxBytes int64
+}
+
+// AuditStats counts a logger's outcomes.
+type AuditStats struct {
+	// Written is the number of events serialized to the writer.
+	Written int64
+	// DroppedSampled / DroppedRate / DroppedSize count drops by cause.
+	DroppedSampled int64
+	DroppedRate    int64
+	DroppedSize    int64
+}
+
+// AuditLogger writes sampled AuditEvents as JSONL. Safe for concurrent
+// use; a nil logger is a valid disabled instance.
+type AuditLogger struct {
+	cfg AuditConfig
+
+	written        atomic.Int64
+	droppedSampled atomic.Int64
+	droppedRate    atomic.Int64
+	droppedSize    atomic.Int64
+
+	mu          sync.Mutex
+	w           io.Writer
+	bytes       int64
+	windowStart int64 // unix second of the current rate window
+	windowCount int
+	err         error
+}
+
+// NewAuditLogger wraps w in a sampled, capped JSONL audit sink.
+func NewAuditLogger(w io.Writer, cfg AuditConfig) *AuditLogger {
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = 1
+	}
+	if cfg.SampleRate > 1 {
+		cfg.SampleRate = 1
+	}
+	return &AuditLogger{cfg: cfg, w: w}
+}
+
+// ShouldSample reports whether a document with the given hex SHA-256
+// passes the sampling filter — callers use it to skip building the event
+// (triage, vector copies) for documents that would be dropped anyway. A
+// nil logger samples nothing.
+func (l *AuditLogger) ShouldSample(sha256hex string) bool {
+	if l == nil {
+		return false
+	}
+	if l.cfg.SampleRate >= 1 {
+		return true
+	}
+	return sampleKey(sha256hex) < uint64(l.cfg.SampleRate*float64(1<<63)*2)
+}
+
+// sampleKey folds the leading 16 hex digits of the content hash into the
+// uniform uint64 the sampling threshold is compared against.
+func sampleKey(sha256hex string) uint64 {
+	if len(sha256hex) >= 16 {
+		if v, err := strconv.ParseUint(sha256hex[:16], 16, 64); err == nil {
+			return v
+		}
+	}
+	// Not a hex hash — fall back to a cheap FNV-1a so sampling still
+	// works for arbitrary keys.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(sha256hex); i++ {
+		h ^= uint64(sha256hex[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Log writes one event, subject to sampling, the per-second rate cap and
+// the lifetime byte cap. It reports whether the event was written. Safe
+// on a nil logger (drops everything).
+func (l *AuditLogger) Log(ev *AuditEvent) bool {
+	if l == nil || ev == nil {
+		return false
+	}
+	if !l.ShouldSample(ev.SHA256) {
+		l.droppedSampled.Add(1)
+		return false
+	}
+	if ev.TimeUnixNS == 0 {
+		ev.TimeUnixNS = time.Now().UnixNano()
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return false
+	}
+	line = append(line, '\n')
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return false
+	}
+	if l.cfg.MaxPerSec > 0 {
+		sec := ev.TimeUnixNS / int64(time.Second)
+		if sec != l.windowStart {
+			l.windowStart, l.windowCount = sec, 0
+		}
+		if l.windowCount >= l.cfg.MaxPerSec {
+			l.droppedRate.Add(1)
+			return false
+		}
+		l.windowCount++
+	}
+	if l.cfg.MaxBytes > 0 && l.bytes+int64(len(line)) > l.cfg.MaxBytes {
+		l.droppedSize.Add(1)
+		return false
+	}
+	if _, err := l.w.Write(line); err != nil {
+		l.err = err
+		return false
+	}
+	l.bytes += int64(len(line))
+	l.written.Add(1)
+	return true
+}
+
+// Stats snapshots the logger's written/dropped counters. Zero for a nil
+// logger.
+func (l *AuditLogger) Stats() AuditStats {
+	if l == nil {
+		return AuditStats{}
+	}
+	return AuditStats{
+		Written:        l.written.Load(),
+		DroppedSampled: l.droppedSampled.Load(),
+		DroppedRate:    l.droppedRate.Load(),
+		DroppedSize:    l.droppedSize.Load(),
+	}
+}

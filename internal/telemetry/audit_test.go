@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func hashOf(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("doc-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestAuditSamplingDeterministic checks hash-keyed sampling: the same
+// document always makes the same decision, the kept fraction tracks the
+// rate, and a rate of 1 keeps everything.
+func TestAuditSamplingDeterministic(t *testing.T) {
+	const n = 2000
+	l := NewAuditLogger(&bytes.Buffer{}, AuditConfig{SampleRate: 0.25})
+	kept := 0
+	for i := 0; i < n; i++ {
+		h := hashOf(i)
+		first := l.ShouldSample(h)
+		if second := l.ShouldSample(h); second != first {
+			t.Fatalf("sampling decision for %s not deterministic", h)
+		}
+		if first {
+			kept++
+		}
+	}
+	frac := float64(kept) / n
+	if frac < 0.20 || frac > 0.30 {
+		t.Errorf("sample rate 0.25 kept %.3f of documents", frac)
+	}
+
+	all := NewAuditLogger(&bytes.Buffer{}, AuditConfig{})
+	for i := 0; i < 50; i++ {
+		if !all.ShouldSample(hashOf(i)) {
+			t.Fatal("rate 1.0 dropped a document")
+		}
+	}
+}
+
+// TestAuditSamplingDrops checks dropped-by-sampling events are counted
+// and never written.
+func TestAuditSamplingDrops(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAuditLogger(&buf, AuditConfig{SampleRate: 0.5})
+	const n = 400
+	for i := 0; i < n; i++ {
+		l.Log(&AuditEvent{Doc: "d", SHA256: hashOf(i), FeatureSet: "V"})
+	}
+	st := l.Stats()
+	if st.Written+st.DroppedSampled != n {
+		t.Fatalf("written %d + dropped %d != %d", st.Written, st.DroppedSampled, n)
+	}
+	if st.DroppedSampled == 0 || st.Written == 0 {
+		t.Fatalf("rate 0.5 should both keep and drop: %+v", st)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if int64(lines) != st.Written {
+		t.Errorf("wrote %d lines but counted %d", lines, st.Written)
+	}
+}
+
+// TestAuditRateCap checks the per-second cap bounds a burst and counts
+// the overflow.
+func TestAuditRateCap(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAuditLogger(&buf, AuditConfig{MaxPerSec: 10})
+	base := time.Now().UnixNano()
+	for i := 0; i < 50; i++ {
+		l.Log(&AuditEvent{Doc: "d", SHA256: hashOf(i), TimeUnixNS: base})
+	}
+	st := l.Stats()
+	if st.Written != 10 || st.DroppedRate != 40 {
+		t.Fatalf("rate cap: written=%d droppedRate=%d, want 10/40", st.Written, st.DroppedRate)
+	}
+	// A new wall-clock second resets the window.
+	for i := 50; i < 55; i++ {
+		l.Log(&AuditEvent{Doc: "d", SHA256: hashOf(i), TimeUnixNS: base + int64(time.Second)})
+	}
+	if st := l.Stats(); st.Written != 15 {
+		t.Fatalf("window did not reset: written=%d, want 15", st.Written)
+	}
+}
+
+// TestAuditSizeCap checks the lifetime byte cap stops writes.
+func TestAuditSizeCap(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAuditLogger(&buf, AuditConfig{MaxBytes: 300})
+	for i := 0; i < 20; i++ {
+		l.Log(&AuditEvent{Doc: "document-with-a-name", SHA256: hashOf(i)})
+	}
+	st := l.Stats()
+	if st.DroppedSize == 0 {
+		t.Fatal("size cap never triggered")
+	}
+	if int64(buf.Len()) > 300 {
+		t.Fatalf("wrote %d bytes past the 300-byte cap", buf.Len())
+	}
+	if st.Written == 0 {
+		t.Fatal("size cap dropped everything, including events under the cap")
+	}
+}
+
+// TestAuditEventShape checks the JSONL record round-trips with feature
+// vectors and flags intact.
+func TestAuditEventShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAuditLogger(&buf, AuditConfig{})
+	ok := l.Log(&AuditEvent{
+		Doc:        "invoice.docm",
+		SHA256:     hashOf(1),
+		Format:     "ooxml",
+		FeatureSet: "V",
+		Obfuscated: true,
+		Macros: []AuditMacro{{
+			Module:      "Module1",
+			Obfuscated:  true,
+			Score:       0.93,
+			Features:    []float64{1, 2, 3},
+			AutoExec:    true,
+			IOCs:        2,
+			SourceBytes: 512,
+		}},
+		Degraded: true,
+		Attempts: 3,
+	})
+	if !ok {
+		t.Fatal("event was dropped")
+	}
+	var ev AuditEvent
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatalf("audit line invalid JSON: %v", err)
+	}
+	if ev.TimeUnixNS == 0 {
+		t.Error("timestamp not stamped")
+	}
+	if len(ev.Macros) != 1 || len(ev.Macros[0].Features) != 3 || !ev.Macros[0].AutoExec {
+		t.Errorf("macro payload mangled: %+v", ev.Macros)
+	}
+	if ev.Attempts != 3 || !ev.Degraded {
+		t.Errorf("flags mangled: %+v", ev)
+	}
+}
+
+// TestAuditConcurrent writes from many goroutines under -race; every
+// written line must be complete JSON.
+func TestAuditConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAuditLogger(&buf, AuditConfig{SampleRate: 0.8, MaxPerSec: 100000})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Log(&AuditEvent{Doc: "d", SHA256: hashOf(w*1000 + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev AuditEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("interleaved write corrupted a line: %v", err)
+		}
+	}
+}
+
+// TestNilAuditLogger checks the disabled fast path.
+func TestNilAuditLogger(t *testing.T) {
+	var l *AuditLogger
+	if l.Log(&AuditEvent{SHA256: hashOf(1)}) {
+		t.Fatal("nil logger claimed to write")
+	}
+	if l.ShouldSample(hashOf(1)) {
+		t.Fatal("nil logger claimed to sample")
+	}
+	if st := l.Stats(); st != (AuditStats{}) {
+		t.Fatalf("nil logger stats = %+v", st)
+	}
+}

@@ -1,0 +1,225 @@
+// Prometheus text exposition (version 0.0.4): WritePrometheus renders a
+// Registry as scrape-ready text, and ParseExposition is the minimal
+// parser CI uses to validate what a live daemon actually serves.
+
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type for the text exposition
+// format.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in text exposition
+// format, families sorted by name for deterministic output. Histograms
+// emit the conventional _bucket/_sum/_count triplet with second-based
+// "le" bounds; labeled counters emit one sample per label value.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	fams := r.snapshotFamilies()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", f.name, f.name, f.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", f.name, f.name, f.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", f.name, f.name, formatFloat(f.fn()))
+		case kindLabeledCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n", f.name)
+			keys, vals := f.labeled.values()
+			for i, k := range keys {
+				fmt.Fprintf(bw, "%s{%s=%q} %d\n", f.name, f.labelKey, k, vals[i])
+			}
+		case kindHistogram:
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", f.name)
+			cum, count, sumSec := f.hist.snapshot()
+			for i, bound := range f.hist.bounds {
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", f.name, formatFloat(bound), cum[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum[len(f.hist.bounds)])
+			fmt.Fprintf(bw, "%s_sum %s\n", f.name, formatFloat(sumSec))
+			fmt.Fprintf(bw, "%s_count %d\n", f.name, count)
+		}
+	}
+	return bw.Flush()
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ExpositionSummary is what ParseExposition learned about a scrape.
+type ExpositionSummary struct {
+	// Families maps family name to declared TYPE ("counter", "gauge",
+	// "histogram", "summary", "untyped").
+	Families map[string]string
+	// Samples is the number of sample lines parsed.
+	Samples int
+}
+
+// ParseExposition is a minimal text-exposition parser: it validates that
+// every non-comment line is `name[{labels}] value [timestamp]` with a
+// metric-syntax name and a float value, that TYPE declarations are
+// well-formed, and that histogram families carry matching _bucket, _sum
+// and _count samples. It exists so CI can assert a live /metrics scrape
+// is structurally valid without importing a Prometheus client.
+func ParseExposition(data []byte) (*ExpositionSummary, error) {
+	sum := &ExpositionSummary{Families: make(map[string]string)}
+	buckets := make(map[string]map[string]bool) // histogram name -> parts seen
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				sum.Families[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, err := parseSampleName(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		valueFields := strings.Fields(rest)
+		if len(valueFields) < 1 || len(valueFields) > 2 {
+			return nil, fmt.Errorf("line %d: want `name value [timestamp]`, got %q", lineNo, line)
+		}
+		if _, err := strconv.ParseFloat(valueFields[0], 64); err != nil {
+			return nil, fmt.Errorf("line %d: bad sample value %q", lineNo, valueFields[0])
+		}
+		sum.Samples++
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && sum.Families[base] == "histogram" {
+				if buckets[base] == nil {
+					buckets[base] = make(map[string]bool)
+				}
+				buckets[base][suffix] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for fam, typ := range sum.Families {
+		if typ != "histogram" {
+			continue
+		}
+		for _, part := range []string{"_bucket", "_sum", "_count"} {
+			if !buckets[fam][part] {
+				return nil, fmt.Errorf("histogram %s is missing %s samples", fam, part)
+			}
+		}
+	}
+	if sum.Samples == 0 {
+		return nil, fmt.Errorf("exposition has no samples")
+	}
+	return sum, nil
+}
+
+// parseSampleName splits a sample line into its metric name and the
+// remainder after the optional label set, validating both.
+func parseSampleName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if line[i] == ' ' {
+		return name, line[i+1:], nil
+	}
+	end := strings.Index(line, "}")
+	if end < i {
+		return "", "", fmt.Errorf("unterminated label set in %q", line)
+	}
+	labels := line[i+1 : end]
+	if labels != "" {
+		for _, pair := range splitLabels(labels) {
+			k, _, ok := strings.Cut(pair, "=")
+			if !ok || !validMetricName(k) {
+				return "", "", fmt.Errorf("malformed label %q in %q", pair, line)
+			}
+		}
+	}
+	return name, strings.TrimSpace(line[end+1:]), nil
+}
+
+// splitLabels splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// validMetricName checks the Prometheus metric/label name syntax
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

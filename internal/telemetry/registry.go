@@ -1,0 +1,392 @@
+// The metrics registry: counters, gauges and fixed-bucket histograms safe
+// for concurrent writes from scan workers and request handlers. One
+// Registry is one namespace; nothing registers globally, so tests can run
+// many registries (and many servers) in a single process.
+//
+// Values render two ways: WriteJSON (the expvar-style document the scan
+// daemon has always served) and WritePrometheus (text exposition format,
+// scrapeable by a stock Prometheus).
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+// A nil Counter is a valid disabled instance.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value, safe for concurrent use. A nil
+// Gauge is a valid disabled instance.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBuckets are histogram upper bounds in seconds (cumulative
+// "le" semantics), spanning sub-millisecond classifier inference up to
+// multi-second worst-case documents. The implicit last bucket is +Inf.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// Histogram is a fixed-bucket duration histogram safe for concurrent use.
+// A nil Histogram is a valid disabled instance.
+type Histogram struct {
+	bounds  []float64 // upper bounds in seconds, ascending
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given second-denominated upper
+// bounds (nil means DefaultLatencyBuckets). Registry.Histogram is the
+// usual constructor; this one exists for standalone use in tests.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	sec := d.Seconds()
+	for i, bound := range h.bounds {
+		if sec <= bound {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(h.bounds)].Add(1)
+}
+
+// Count reports how many observations have been recorded.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SumSeconds reports the sum of all observed durations in seconds.
+func (h *Histogram) SumSeconds() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sumNS.Load()) / 1e9
+}
+
+// snapshot reads a consistent-enough view for rendering: cumulative bucket
+// counts per bound plus the +Inf total.
+func (h *Histogram) snapshot() (cum []int64, count int64, sumSec float64) {
+	cum = make([]int64, len(h.bounds)+1)
+	var running int64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		cum[i] = running
+	}
+	return cum, h.count.Load(), float64(h.sumNS.Load()) / 1e9
+}
+
+// jsonValue renders the histogram for the JSON document: count, sum and
+// average in milliseconds plus cumulative per-bucket counts.
+func (h *Histogram) jsonValue() map[string]any {
+	cum, count, sumSec := h.snapshot()
+	avgMS := 0.0
+	if count > 0 {
+		avgMS = sumSec * 1e3 / float64(count)
+	}
+	buckets := make(map[string]int64, len(cum))
+	for i, bound := range h.bounds {
+		buckets[fmt.Sprintf("le_%gms", bound*1e3)] = cum[i]
+	}
+	buckets["le_inf"] = cum[len(h.bounds)]
+	return map[string]any{
+		"count":   count,
+		"sum_ms":  round3(sumSec * 1e3),
+		"avg_ms":  round3(avgMS),
+		"buckets": buckets,
+	}
+}
+
+func round3(f float64) float64 { return math.Round(f*1e3) / 1e3 }
+
+// LabeledCounter is a family of counters keyed by one label value
+// ("endpoint", "verdict", "error class"). A nil LabeledCounter is a valid
+// disabled instance.
+type LabeledCounter struct {
+	mu    sync.Mutex
+	items map[string]*Counter
+}
+
+// With returns the counter for the label value, creating it on first use.
+func (lc *LabeledCounter) With(value string) *Counter {
+	if lc == nil {
+		return nil
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	c, ok := lc.items[value]
+	if !ok {
+		c = &Counter{}
+		lc.items[value] = c
+	}
+	return c
+}
+
+// Add increments the counter for the label value.
+func (lc *LabeledCounter) Add(value string, n int64) { lc.With(value).Add(n) }
+
+// Get returns the counter for the label value, or nil if it was never
+// touched (mirroring expvar.Map.Get semantics).
+func (lc *LabeledCounter) Get(value string) *Counter {
+	if lc == nil {
+		return nil
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.items[value]
+}
+
+// values snapshots the family sorted by label value.
+func (lc *LabeledCounter) values() ([]string, []int64) {
+	lc.mu.Lock()
+	keys := make([]string, 0, len(lc.items))
+	for k := range lc.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]int64, len(keys))
+	for i, k := range keys {
+		vals[i] = lc.items[k].Value()
+	}
+	lc.mu.Unlock()
+	return keys, vals
+}
+
+// metricKind tags a registered family for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindLabeledCounter
+)
+
+// family is one registered metric family.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	labelKey string
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+	labeled *LabeledCounter
+}
+
+// Registry is one namespace of metric families. Register families at
+// setup time (Counter, Gauge, GaugeFunc, Histogram, LabeledCounter), then
+// write to them from any goroutine. Registering the same name twice
+// returns the existing family's instrument.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register installs or fetches a family by name.
+func (r *Registry) register(name string, f func() *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.families[name]; ok {
+		return got
+	}
+	fam := f()
+	r.families[name] = fam
+	r.names = append(r.names, name)
+	return fam
+}
+
+// Counter registers (or fetches) a counter family.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, func() *family {
+		return &family{name: name, help: help, kind: kindCounter, counter: &Counter{}}
+	}).counter
+}
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, func() *family {
+		return &family{name: name, help: help, kind: kindGauge, gauge: &Gauge{}}
+	}).gauge
+}
+
+// GaugeFunc registers a gauge computed at render time (uptime, heap size,
+// goroutine count).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, func() *family {
+		return &family{name: name, help: help, kind: kindGaugeFunc, fn: fn}
+	})
+}
+
+// Histogram registers (or fetches) a histogram family over bounds in
+// seconds (nil = DefaultLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, func() *family {
+		return &family{name: name, help: help, kind: kindHistogram, hist: NewHistogram(bounds)}
+	}).hist
+}
+
+// LabeledCounter registers (or fetches) a counter family keyed by one
+// label.
+func (r *Registry) LabeledCounter(name, help, labelKey string) *LabeledCounter {
+	return r.register(name, func() *family {
+		return &family{name: name, help: help, kind: kindLabeledCounter, labelKey: labelKey,
+			labeled: &LabeledCounter{items: make(map[string]*Counter)}}
+	}).labeled
+}
+
+// snapshotFamilies copies the family list under the lock so rendering
+// iterates without holding it.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.names))
+	for _, name := range r.names {
+		out = append(out, r.families[name])
+	}
+	return out
+}
+
+// WriteJSON renders every family as one JSON document (map keys sorted by
+// encoding/json), the expvar-style format the daemon's /metrics endpoint
+// has always served.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	tree := make(map[string]any)
+	for _, f := range r.snapshotFamilies() {
+		switch f.kind {
+		case kindCounter:
+			tree[f.name] = f.counter.Value()
+		case kindGauge:
+			tree[f.name] = f.gauge.Value()
+		case kindGaugeFunc:
+			tree[f.name] = f.fn()
+		case kindHistogram:
+			tree[f.name] = f.hist.jsonValue()
+		case kindLabeledCounter:
+			keys, vals := f.labeled.values()
+			m := make(map[string]int64, len(keys))
+			for i, k := range keys {
+				m[k] = vals[i]
+			}
+			tree[f.name] = m
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tree)
+}
+
+// RegisterGoRuntime adds the Go runtime gauges every production scrape
+// wants: goroutine count, heap usage, and cumulative GC work. Call once
+// per registry.
+func (r *Registry) RegisterGoRuntime() {
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(readMemStats().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(readMemStats().HeapObjects) })
+	r.GaugeFunc("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.",
+		func() float64 { return float64(readMemStats().Sys) })
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles since process start.",
+		func() float64 { return float64(readMemStats().NumGC) })
+	r.GaugeFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(readMemStats().PauseTotalNs) / 1e9 })
+}
+
+// memStatsCache rate-limits runtime.ReadMemStats (it stops the world
+// briefly): one read serves every gauge in a scrape, and scrapes closer
+// than a second apart share a read.
+var memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	data runtime.MemStats
+}
+
+func readMemStats() runtime.MemStats {
+	memStatsCache.mu.Lock()
+	defer memStatsCache.mu.Unlock()
+	if time.Since(memStatsCache.at) > time.Second {
+		runtime.ReadMemStats(&memStatsCache.data)
+		memStatsCache.at = time.Now()
+	}
+	return memStatsCache.data
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrency hammers every instrument type from many
+// goroutines while renders run, for the race detector.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	h := r.Histogram("test_latency_seconds", "latency", nil)
+	lc := r.LabeledCounter("test_verdicts_total", "verdicts", "verdict")
+	r.GaugeFunc("test_uptime_seconds", "uptime", func() float64 { return 1 })
+
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Add(1)
+				g.Set(int64(i))
+				h.Observe(time.Duration(i) * time.Microsecond)
+				lc.Add([]string{"clean", "obfuscated"}[i%2], 1)
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+					}
+					if err := r.WriteJSON(&buf); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	clean := lc.Get("clean")
+	obf := lc.Get("obfuscated")
+	if clean == nil || obf == nil || clean.Value()+obf.Value() != workers*iters {
+		t.Errorf("labeled counter lost increments: %v + %v", clean.Value(), obf.Value())
+	}
+}
+
+// TestPrometheusGolden pins the exposition output for a registry with
+// fixed values: family ordering, TYPE lines, histogram triplet, label
+// quoting.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scans_total", "Documents scanned.").Add(7)
+	r.Gauge("queue_depth", "Documents waiting.").Set(3)
+	r.GaugeFunc("uptime_seconds", "Process uptime.", func() float64 { return 12.5 })
+	lc := r.LabeledCounter("verdicts_total", "File verdicts.", "verdict")
+	lc.Add("clean", 5)
+	lc.Add("obfuscated", 2)
+	h := r.Histogram("scan_seconds", "Scan latency.", []float64{0.01, 0.1, 1})
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(2 * time.Second)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP queue_depth Documents waiting.
+# TYPE queue_depth gauge
+queue_depth 3
+# HELP scan_seconds Scan latency.
+# TYPE scan_seconds histogram
+scan_seconds_bucket{le="0.01"} 1
+scan_seconds_bucket{le="0.1"} 2
+scan_seconds_bucket{le="1"} 2
+scan_seconds_bucket{le="+Inf"} 3
+scan_seconds_sum 2.055
+scan_seconds_count 3
+# HELP scans_total Documents scanned.
+# TYPE scans_total counter
+scans_total 7
+# HELP uptime_seconds Process uptime.
+# TYPE uptime_seconds gauge
+uptime_seconds 12.5
+# HELP verdicts_total File verdicts.
+# TYPE verdicts_total counter
+verdicts_total{verdict="clean"} 5
+verdicts_total{verdict="obfuscated"} 2
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The golden text must also satisfy our own validator.
+	sum, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("golden exposition fails validation: %v", err)
+	}
+	if sum.Families["scan_seconds"] != "histogram" || sum.Families["scans_total"] != "counter" {
+		t.Errorf("validator misread families: %+v", sum.Families)
+	}
+}
+
+// TestParseExpositionRejects checks the validator actually rejects
+// malformed scrapes.
+func TestParseExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad value":         "metric_a notanumber\n",
+		"bad name":          "9metric 1\n",
+		"unterminated":      "metric_a{le=\"0.1\" 1\n",
+		"bad type":          "# TYPE metric_a flummox\nmetric_a 1\n",
+		"empty":             "\n\n",
+		"histogram missing": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseExposition([]byte(input)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, input)
+		}
+	}
+}
+
+// TestRegistryJSON checks the JSON rendering shape: scalar counters,
+// labeled maps, histogram objects with count/avg/buckets.
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scans", "").Add(4)
+	r.LabeledCounter("errors", "", "class").Add("parse", 2)
+	h := r.Histogram("request_latency", "", nil)
+	h.Observe(3 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &tree); err != nil {
+		t.Fatalf("registry JSON invalid: %v", err)
+	}
+	if tree["scans"].(float64) != 4 {
+		t.Errorf("scans = %v", tree["scans"])
+	}
+	if tree["errors"].(map[string]any)["parse"].(float64) != 2 {
+		t.Errorf("errors.parse = %v", tree["errors"])
+	}
+	hist := tree["request_latency"].(map[string]any)
+	if hist["count"].(float64) != 1 {
+		t.Errorf("histogram count = %v", hist["count"])
+	}
+	if _, ok := hist["buckets"].(map[string]any); !ok {
+		t.Error("histogram JSON has no buckets object")
+	}
+}
+
+// TestRegisterGoRuntime checks the runtime gauges expose plausible values
+// through the exposition path.
+func TestRegisterGoRuntime(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterGoRuntime()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"go_goroutines", "go_memstats_heap_alloc_bytes", "go_gc_pause_seconds_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime exposition missing %s", want)
+		}
+	}
+	if _, err := ParseExposition(buf.Bytes()); err != nil {
+		t.Fatalf("runtime exposition invalid: %v", err)
+	}
+}
+
+// TestRegistryReregister checks registering a name twice returns the same
+// instrument instead of zeroing it.
+func TestRegistryReregister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	a.Add(3)
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	if b.Value() != 3 {
+		t.Fatalf("re-registration lost the count: %d", b.Value())
+	}
+}
+
+// TestNilInstruments drives the nil fast path of every instrument.
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var lc *LabeledCounter
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.Set(2)
+		g.Add(1)
+		h.Observe(time.Millisecond)
+		lc.Add("k", 1)
+	})
+	if allocs != 0 {
+		t.Errorf("nil instruments allocate %v times per op", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || lc.Get("k") != nil {
+		t.Error("nil instruments returned non-zero values")
+	}
+}

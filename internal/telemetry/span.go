@@ -1,0 +1,256 @@
+// Per-document trace spans: a Tracer owns the span tree for one scanned
+// document (container parse, OVBA decompress, per-macro featurize and
+// classify), recording wall-clock durations, byte counts and error tags.
+// Trees export as JSON (one object per document, JSONL-friendly) and as a
+// Chrome trace_event file loadable in chrome://tracing or Perfetto.
+//
+// A span tree belongs to the single goroutine scanning its document —
+// the pipeline is sequential per document — so spans are deliberately
+// unsynchronized. Tracers for different documents are independent.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one ordered key/value annotation on a span. Attributes keep
+// insertion order so exported trees are deterministic.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Span is one timed pipeline stage inside a document trace. Fields are
+// exported for JSON marshaling; use the methods to populate them so the
+// nil fast path holds.
+type Span struct {
+	// Name is the stage name ("extract", "cfb_parse", "classify", ...).
+	Name string `json:"name"`
+	// StartNS is the span start relative to the trace start, nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the span duration in nanoseconds (0 until End).
+	DurNS int64 `json:"dur_ns"`
+	// Bytes is an optional byte count attributed to the stage (input
+	// size for parsers, decompressed output for OVBA).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Err is the stage failure message, if any.
+	Err string `json:"error,omitempty"`
+	// Class is the error-taxonomy class of Err ("bomb", "truncated",
+	// "malformed", ...) as assigned by the caller.
+	Class string `json:"class,omitempty"`
+	// Attrs are ordered key/value annotations.
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Children are sub-stages in creation order.
+	Children []*Span `json:"children,omitempty"`
+
+	start time.Time
+	tr    *Tracer
+}
+
+// Child starts a sub-span under s. Safe on a nil receiver (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	base := s.start // hand-built spans fall back to their own start
+	if s.tr != nil {
+		base = s.tr.start
+	}
+	c := &Span{Name: name, StartNS: now.Sub(base).Nanoseconds(), start: now, tr: s.tr}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// End stamps the span's duration. Calling End twice keeps the first stamp.
+func (s *Span) End() {
+	if s == nil || s.DurNS != 0 {
+		return
+	}
+	s.DurNS = time.Since(s.start).Nanoseconds()
+}
+
+// SetBytes attributes a byte count to the span.
+func (s *Span) SetBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.Bytes = n
+}
+
+// SetError records a stage failure with its taxonomy class ("" when the
+// error falls outside the taxonomy).
+func (s *Span) SetError(err error, class string) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Err = err.Error()
+	s.Class = class
+}
+
+// Annotate appends one ordered key/value attribute.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// Tracer records the span tree for one scanned document.
+type Tracer struct {
+	// Doc identifies the document (a path or request filename).
+	Doc string
+	// StartUnixNS is the trace start as a Unix timestamp in nanoseconds.
+	StartUnixNS int64
+
+	start time.Time
+	root  *Span
+}
+
+// NewTracer starts a trace for one document. The root span ("scan") opens
+// immediately; Finish closes it.
+func NewTracer(doc string) *Tracer {
+	now := time.Now()
+	tr := &Tracer{Doc: doc, StartUnixNS: now.UnixNano(), start: now}
+	tr.root = &Span{Name: "scan", start: now, tr: tr}
+	return tr
+}
+
+// Root returns the trace's root span (nil for a nil tracer), the hook
+// pipeline stages hang their sub-spans from.
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span. Idempotent.
+func (t *Tracer) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+// Trace is the exportable form of a finished tracer: one JSON object per
+// document, suitable for JSONL streams and API responses.
+type Trace struct {
+	Doc         string `json:"doc"`
+	StartUnixNS int64  `json:"start_unix_ns"`
+	Root        *Span  `json:"root"`
+}
+
+// Trace snapshots the tracer for export. Returns nil for a nil tracer.
+func (t *Tracer) Trace() *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{Doc: t.Doc, StartUnixNS: t.StartUnixNS, Root: t.root}
+}
+
+// TraceWriter serializes finished traces as JSONL onto one writer, safe
+// for concurrent use by scan workers.
+type TraceWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewTraceWriter wraps w in a concurrent JSONL trace sink.
+func NewTraceWriter(w io.Writer) *TraceWriter { return &TraceWriter{w: w} }
+
+// Write appends one trace as a JSON line. The first write error sticks and
+// suppresses later writes.
+func (tw *TraceWriter) Write(t *Tracer) error {
+	if tw == nil || t == nil {
+		return nil
+	}
+	line, err := json.Marshal(t.Trace())
+	if err != nil {
+		return err
+	}
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.err != nil {
+		return tw.err
+	}
+	line = append(line, '\n')
+	_, tw.err = tw.w.Write(line)
+	return tw.err
+}
+
+// Err reports the sticky write error, if any — for callers whose sink
+// closure cannot surface Write's return value.
+func (tw *TraceWriter) Err() error {
+	if tw == nil {
+		return nil
+	}
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.err
+}
+
+// chromeEvent is one complete event ("ph":"X") in the Chrome trace_event
+// format. Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders traces as a Chrome trace_event JSON document
+// (load via chrome://tracing or https://ui.perfetto.dev). Each document
+// gets its own thread lane; span nesting maps to event nesting.
+func WriteChromeTrace(w io.Writer, traces []*Trace) error {
+	var events []chromeEvent
+	for tid, t := range traces {
+		if t == nil || t.Root == nil {
+			continue
+		}
+		base := float64(t.StartUnixNS) / 1e3
+		var walk func(s *Span)
+		walk = func(s *Span) {
+			args := map[string]any{"doc": t.Doc}
+			if s.Bytes > 0 {
+				args["bytes"] = s.Bytes
+			}
+			if s.Err != "" {
+				args["error"] = s.Err
+			}
+			if s.Class != "" {
+				args["class"] = s.Class
+			}
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name,
+				Ph:   "X",
+				TS:   base + float64(s.StartNS)/1e3,
+				Dur:  float64(s.DurNS) / 1e3,
+				PID:  1,
+				TID:  tid + 1,
+				Args: args,
+			})
+			for _, c := range s.Children {
+				walk(c)
+			}
+		}
+		walk(t.Root)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(map[string]any{"traceEvents": events}); err != nil {
+		return fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanTreeOrdering asserts children export in creation order — the
+// determinism callers rely on to read a trace as a pipeline narrative.
+func TestSpanTreeOrdering(t *testing.T) {
+	tr := NewTracer("doc.docm")
+	root := tr.Root()
+	names := []string{"extract", "macro:Module1", "macro:Module2", "finish"}
+	for _, n := range names {
+		sp := root.Child(n)
+		sp.Child(n + "/lex").End()
+		sp.Child(n + "/classify").End()
+		sp.End()
+	}
+	tr.Finish()
+
+	blob, err := json.Marshal(tr.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Trace
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Root.Children) != len(names) {
+		t.Fatalf("got %d children, want %d", len(decoded.Root.Children), len(names))
+	}
+	for i, n := range names {
+		c := decoded.Root.Children[i]
+		if c.Name != n {
+			t.Errorf("child %d = %q, want %q", i, c.Name, n)
+		}
+		if len(c.Children) != 2 || c.Children[0].Name != n+"/lex" || c.Children[1].Name != n+"/classify" {
+			t.Errorf("child %d grandchildren out of order: %+v", i, c.Children)
+		}
+	}
+	if decoded.Root.DurNS <= 0 {
+		t.Error("finished root span has zero duration")
+	}
+}
+
+// TestSpanAnnotations checks bytes, errors and ordered attrs survive the
+// JSON round trip.
+func TestSpanAnnotations(t *testing.T) {
+	tr := NewTracer("x")
+	sp := tr.Root().Child("cfb_parse")
+	sp.SetBytes(4096)
+	sp.SetError(errors.New("boom"), "malformed")
+	sp.Annotate("sector_size", "512")
+	sp.Annotate("fat_entries", "12")
+	sp.End()
+	tr.Finish()
+
+	blob, _ := json.Marshal(tr.Trace())
+	s := string(blob)
+	for _, want := range []string{`"bytes":4096`, `"error":"boom"`, `"class":"malformed"`, `"sector_size"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace JSON missing %s: %s", want, s)
+		}
+	}
+	var decoded Trace
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	attrs := decoded.Root.Children[0].Attrs
+	if len(attrs) != 2 || attrs[0].Key != "sector_size" || attrs[1].Key != "fat_entries" {
+		t.Errorf("attrs lost order: %+v", attrs)
+	}
+}
+
+// TestNilTracerIsDisabled drives the whole span API through nil receivers:
+// nothing may panic and nothing may allocate — the disabled fast path.
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Root() != nil || tr.Trace() != nil {
+		t.Fatal("nil tracer leaked a non-nil span")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Root().Child("extract")
+		sp.SetBytes(10)
+		sp.SetError(errors.New("x"), "y")
+		sp.Annotate("k", "v")
+		grand := sp.Child("inner")
+		grand.End()
+		sp.End()
+		tr.Finish()
+	})
+	// The one alloc budgeted here is errors.New in the loop body itself.
+	if allocs > 1 {
+		t.Errorf("disabled tracer path allocates %v times per op", allocs)
+	}
+}
+
+// TestTracerFromContext round-trips a tracer through a context and checks
+// the missing case returns nil.
+func TestTracerFromContext(t *testing.T) {
+	if got := TracerFrom(context.Background()); got != nil {
+		t.Fatal("empty context produced a tracer")
+	}
+	tr := NewTracer("a")
+	ctx := ContextWithTracer(context.Background(), tr)
+	if got := TracerFrom(ctx); got != tr {
+		t.Fatal("tracer did not round-trip through context")
+	}
+	if ctx := ContextWithTracer(context.Background(), nil); TracerFrom(ctx) != nil {
+		t.Fatal("nil tracer round-tripped as non-nil")
+	}
+}
+
+// TestChromeTraceExport checks the trace_event file is valid JSON with one
+// complete event per span, microsecond units.
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer("doc1.xlsm")
+	sp := tr.Root().Child("extract")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Root().Child("classify").End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*Trace{tr.Trace(), nil}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 { // scan + extract + classify
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s has phase %q, want X", ev.Name, ev.Ph)
+		}
+	}
+	var extractDur float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "extract" {
+			extractDur = ev.Dur
+		}
+	}
+	if extractDur < 500 { // slept 1ms => at least 500µs in microsecond units
+		t.Errorf("extract duration %v µs implausible for a 1ms sleep", extractDur)
+	}
+}
+
+// TestTraceWriterJSONL checks one line per trace and concurrent safety.
+func TestTraceWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	for i := 0; i < 3; i++ {
+		tr := NewTracer("doc")
+		tr.Root().Child("extract").End()
+		tr.Finish()
+		if err := tw.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3", len(lines))
+	}
+	for _, line := range lines {
+		var tr Trace
+		if err := json.Unmarshal([]byte(line), &tr); err != nil {
+			t.Fatalf("line is not valid JSON: %v", err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package telemetry is the pipeline-wide observability layer: per-document
+// trace spans, a metrics registry with JSON and Prometheus text exposition,
+// and a sampled verdict audit log. Every entry point — the CLI, the batch
+// scan engine and the HTTP daemon — shares these three primitives, so a
+// slow or drifting deployment can be diagnosed from its exhaust instead of
+// a debugger.
+//
+// The package is dependency-free (standard library only) and built around
+// a nil-check fast path: a nil *Tracer, *Span, *Counter, *Gauge,
+// *Histogram or *AuditLogger is a valid "disabled" instance whose methods
+// return immediately without allocating, so instrumented code needs no
+// conditionals and pays near-zero cost when telemetry is off.
+package telemetry
+
+import "context"
+
+// tracerKey carries a *Tracer through a context.
+type tracerKey struct{}
+
+// ContextWithTracer attaches tr to ctx so pipeline stages deeper in the
+// call tree (core.ScanFileCtx, extraction) can record spans onto it.
+func ContextWithTracer(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// TracerFrom extracts the tracer attached by ContextWithTracer, or nil
+// when the scan is untraced. The nil result is safe to use directly: every
+// Tracer and Span method no-ops on a nil receiver.
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}

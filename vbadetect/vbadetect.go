@@ -18,6 +18,7 @@ package vbadetect
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/hostile"
 	"repro/internal/scan"
+	"repro/internal/telemetry"
 )
 
 // Re-exported core types: the facade keeps downstream imports to a single
@@ -173,6 +175,50 @@ func ClassifyError(err error) string { return hostile.Classify(err) }
 // budgets — the class of documents worth setting aside rather than
 // retrying.
 func IsQuarantineable(err error) bool { return hostile.ExhaustsBudget(err) }
+
+// Observability — per-document tracing, a metrics registry with JSON and
+// Prometheus rendering, and the sampled verdict audit log (see
+// internal/telemetry).
+
+type (
+	// Tracer records one document's span tree; attach to a scan with
+	// WithTracer or Engine.SetTraceSink.
+	Tracer = telemetry.Tracer
+	// Trace is a finished, exportable span tree.
+	Trace = telemetry.Trace
+	// Span is one timed pipeline stage inside a trace.
+	Span = telemetry.Span
+	// TraceWriter serializes finished traces as JSONL, safe for
+	// concurrent scan workers.
+	TraceWriter = telemetry.TraceWriter
+	// Registry is a metrics registry (counters, gauges, histograms) that
+	// renders as JSON and Prometheus text exposition.
+	Registry = telemetry.Registry
+	// AuditEvent is one verdict audit record: feature vectors, scores,
+	// triage flags and the document content hash.
+	AuditEvent = telemetry.AuditEvent
+	// AuditLogger writes sampled, rate-capped audit events as JSONL.
+	AuditLogger = telemetry.AuditLogger
+	// AuditConfig tunes audit sampling and caps.
+	AuditConfig = telemetry.AuditConfig
+)
+
+// NewTracer starts a trace for one document; call Finish before export.
+func NewTracer(doc string) *Tracer { return telemetry.NewTracer(doc) }
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// NewAuditLogger wraps w in a sampled, rate-capped JSONL audit sink.
+func NewAuditLogger(w io.Writer, cfg AuditConfig) *AuditLogger {
+	return telemetry.NewAuditLogger(w, cfg)
+}
+
+// WithTracer returns a context that routes per-stage spans from
+// ScanOneCtx (and everything below it) into tr.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return telemetry.ContextWithTracer(ctx, tr)
+}
 
 // Deobfuscation and triage — the analyst-facing companions of detection.
 

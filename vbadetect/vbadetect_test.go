@@ -1,8 +1,11 @@
 package vbadetect_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/cfb"
@@ -204,5 +207,48 @@ func TestFacadeBatchScan(t *testing.T) {
 	}
 	if stats.FilesPerSec() <= 0 {
 		t.Error("FilesPerSec not positive")
+	}
+}
+
+// TestTelemetryFacade drives the observability re-exports end to end:
+// context-attached tracing, the metrics registry, and the audit log.
+func TestTelemetryFacade(t *testing.T) {
+	det := trainedDetector(t)
+	doc := buildDocm(t, benignSrc)
+
+	tr := vbadetect.NewTracer("facade.docm")
+	ctx := vbadetect.WithTracer(context.Background(), tr)
+	if _, _, err := vbadetect.ScanOneCtx(ctx, det, doc); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	trace := tr.Trace()
+	if trace.Root == nil || trace.Root.DurNS <= 0 || len(trace.Root.Children) == 0 {
+		t.Fatalf("facade trace malformed: %+v", trace.Root)
+	}
+
+	reg := vbadetect.NewRegistry()
+	reg.Counter("facade_scans", "").Add(1)
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "facade_scans 1") {
+		t.Errorf("registry exposition missing counter:\n%s", prom.String())
+	}
+
+	var audit bytes.Buffer
+	engine := vbadetect.NewEngine(det, 2)
+	engine.SetAudit(vbadetect.NewAuditLogger(&audit, vbadetect.AuditConfig{}))
+	if _, _, err := engine.ScanAll(context.Background(),
+		[]vbadetect.Document{{Name: "facade.docm", Data: doc}}); err != nil {
+		t.Fatal(err)
+	}
+	var ev vbadetect.AuditEvent
+	if err := json.Unmarshal(audit.Bytes(), &ev); err != nil {
+		t.Fatalf("audit line invalid: %v", err)
+	}
+	if len(ev.SHA256) != 64 || ev.FeatureSet != "V" {
+		t.Errorf("audit event incomplete: %+v", ev)
 	}
 }
