@@ -71,7 +71,8 @@ commands:
 
   vbadetect train -model out.json [-algo svm|rf|mlp|lda|bnb] [-features V|J] [-scale 0.25] [-seed 1] [-workers N]
   vbadetect scan  -model model.json [-workers N] [-stats] [-trace-out spans.jsonl]
-                  [-trace-chrome trace.json] [-audit-out audit.jsonl] [-audit-sample 0.1] file...
+                  [-trace-chrome trace.json] [-audit-out audit.jsonl] [-audit-sample 0.1]
+                  [-cache-entries N] [-cache-bytes N] file...
 
 Run "vbadetect <command> -h" for per-command flags. The HTTP daemon
 counterpart is cmd/vbadetectd.`)
@@ -129,6 +130,25 @@ func train(args []string) error {
 	return nil
 }
 
+// resolveCacheBounds mirrors the daemon's cache configuration: negative
+// entries disable caching entirely; zero values apply the defaults (4096
+// entries, 256 MiB); negative bytes bound the caches by entries alone.
+func resolveCacheBounds(entries int, bytes int64) (int, int64, bool) {
+	if entries < 0 {
+		return 0, 0, false
+	}
+	if entries == 0 {
+		entries = 4096
+	}
+	if bytes == 0 {
+		bytes = 256 << 20
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	return entries, bytes, true
+}
+
 func scanCmd(args []string) error {
 	fs := flag.NewFlagSet("scan", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "model file from `vbadetect train`")
@@ -138,6 +158,8 @@ func scanCmd(args []string) error {
 	traceChrome := fs.String("trace-chrome", "", "write the span trees as a Chrome trace_event file (load in chrome://tracing or Perfetto)")
 	auditOut := fs.String("audit-out", "", "write verdict audit events as JSONL to this file")
 	auditSample := fs.Float64("audit-sample", 1, "audit sampling rate in [0,1], keyed on document hash")
+	cacheEntries := fs.Int("cache-entries", 0, "verdict cache entry capacity for duplicate documents/macros (0 = default 4096, negative = disable caching)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "verdict cache byte budget (0 = default 256MiB, negative = bound by entries alone)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,6 +184,10 @@ func scanCmd(args []string) error {
 		docs = append(docs, scan.Document{Name: path, Data: data})
 	}
 	engine := scan.New(det, *workers)
+	if entries, bytes, ok := resolveCacheBounds(*cacheEntries, *cacheBytes); ok {
+		det.SetMacroCache(core.NewMacroCache(entries, bytes))
+		engine.SetDocCache(scan.NewDocCache(entries, bytes))
+	}
 
 	var traces []*telemetry.Trace
 	var traceMu sync.Mutex
@@ -235,8 +261,8 @@ func scanCmd(args []string) error {
 		}
 	}
 	if *showStats {
-		fmt.Printf("scanned %d files (%d macros, %d errors) in %v with %d workers: %.1f files/s, %.1f macros/s\n",
-			stats.Files, stats.Macros, stats.Errors,
+		fmt.Printf("scanned %d files (%d macros, %d errors, %d cache hits) in %v with %d workers: %.1f files/s, %.1f macros/s\n",
+			stats.Files, stats.Macros, stats.Errors, stats.CacheHits,
 			time.Duration(stats.WallNS).Round(time.Millisecond),
 			engine.Workers(), stats.FilesPerSec(), stats.MacrosPerSec())
 		fmt.Printf("stage time (cpu): extract %v, featurize %v, classify %v\n",

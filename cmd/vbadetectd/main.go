@@ -20,8 +20,9 @@
 // connections stop, and in-flight scans drain for up to -drain-timeout.
 //
 // Per-document resource budgets (hostile-input hardening) are set with the
-// -limit-* flags, and the verdict audit log with the -telemetry-audit-*
-// flags; each also reads a VBADETECTD_* environment variable as its
+// -limit-* flags, the verdict audit log with the -telemetry-audit-* flags,
+// and the content-addressed verdict caches with -cache-entries /
+// -cache-bytes; each also reads a VBADETECTD_* environment variable as its
 // default, so containerized deployments can tune them without changing
 // the command line. Flags win over the environment; 0 means the built-in
 // default.
@@ -125,6 +126,12 @@ func run(args []string) error {
 	auditMaxBytes := fs.Int64("telemetry-audit-max-bytes",
 		envInt64("VBADETECTD_TELEMETRY_AUDIT_MAX_BYTES", 0),
 		"lifetime audit log byte cap (0 = unlimited)")
+	cacheEntries := fs.Int("cache-entries",
+		envInt("VBADETECTD_CACHE_ENTRIES", 0),
+		"verdict cache entry capacity (0 = default 4096, negative = disable caching and request collapsing)")
+	cacheBytes := fs.Int64("cache-bytes",
+		envInt64("VBADETECTD_CACHE_BYTES", 0),
+		"verdict cache byte budget (0 = default 256MiB, negative = bound by entries alone)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,6 +159,8 @@ func run(args []string) error {
 		EnablePprof:  *enablePprof,
 		Logger:       logger,
 		Audit:        audit,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheBytes,
 		Limits: hostile.Limits{
 			MaxDecompressedBytes: *limDecomp,
 			MaxContainerDepth:    *limDepth,

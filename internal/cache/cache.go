@@ -1,0 +1,307 @@
+// Package cache is the content-addressed result cache behind the scan
+// pipeline's dedup fast path: a sharded, mutex-striped LRU keyed by
+// SHA-256. Real Office corpora repeat the same macro bodies across
+// thousands of documents (the paper's own 4,212 extracted macros collapse
+// to far fewer unique ones, Table II), so keying verdicts by content hash
+// turns the common repeated-document case into a map lookup instead of a
+// full parse → featurize → classify pass.
+//
+// The cache is bounded two ways: a maximum entry count and a maximum byte
+// size (caller-accounted per entry), both enforced per shard with LRU
+// eviction. Hit/miss/eviction totals are kept as atomics and can be
+// published on a telemetry.Registry with RegisterMetrics.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Key is a content address: the SHA-256 of whatever the cached value was
+// computed from (a macro source, a whole document).
+type Key = [32]byte
+
+// KeyOf hashes raw bytes into a cache key.
+func KeyOf(data []byte) Key { return sha256.Sum256(data) }
+
+// KeyOfString hashes a string into a cache key without copying the whole
+// string to a heap byte slice: it feeds the digest through a small stack
+// buffer instead.
+func KeyOfString(s string) Key {
+	h := sha256.New()
+	var buf [512]byte
+	for len(s) > 0 {
+		n := copy(buf[:], s)
+		_, _ = h.Write(buf[:n])
+		s = s[n:]
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes over the cache's lifetime.
+	Hits, Misses int64
+	// Evictions counts entries removed by capacity pressure (updates and
+	// explicit growth do not count).
+	Evictions int64
+	// Entries and Bytes are the current occupancy.
+	Entries int64
+	// Bytes is the caller-accounted size of all live entries.
+	Bytes int64
+}
+
+// entry is one LRU node; shards keep an intrusive doubly-linked list in
+// recency order (head = most recent).
+type entry[V any] struct {
+	key        Key
+	val        V
+	size       int64
+	prev, next *entry[V]
+}
+
+// shard is one mutex-striped LRU segment with its own capacity slice.
+type shard[V any] struct {
+	mu         sync.Mutex
+	items      map[Key]*entry[V]
+	head, tail *entry[V]
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+}
+
+// Cache is a sharded LRU keyed by SHA-256, safe for concurrent use. A nil
+// *Cache is a valid disabled instance: Get always misses without counting
+// and Put is a no-op.
+type Cache[V any] struct {
+	shards []shard[V]
+	mask   uint64
+
+	hits, misses, evictions atomic.Int64
+}
+
+// New builds a cache bounded by maxEntries entries and maxBytes
+// caller-accounted bytes (either <= 0 means unbounded on that axis; both
+// <= 0 is rejected as nil — an unbounded cache is a leak, not a cache).
+// Capacity is divided evenly across shards; small entry capacities get a
+// single shard so eviction order is exact.
+func New[V any](maxEntries int, maxBytes int64) *Cache[V] {
+	if maxEntries <= 0 && maxBytes <= 0 {
+		return nil
+	}
+	nshards := 16
+	if (maxEntries > 0 && maxEntries < 2*nshards) || (maxBytes > 0 && maxBytes < 1<<20) {
+		// With only a sliver of capacity per shard the per-shard caps would
+		// distort the global LRU order badly; collapse to one exact LRU.
+		nshards = 1
+	}
+	c := &Cache[V]{shards: make([]shard[V], nshards), mask: uint64(nshards - 1)}
+	for i := range c.shards {
+		c.shards[i].items = make(map[Key]*entry[V])
+		if maxEntries > 0 {
+			per := maxEntries / nshards
+			if i < maxEntries%nshards {
+				per++
+			}
+			if per < 1 {
+				per = 1
+			}
+			c.shards[i].maxEntries = per
+		}
+		if maxBytes > 0 {
+			per := maxBytes / int64(nshards)
+			if per < 1 {
+				per = 1
+			}
+			c.shards[i].maxBytes = per
+		}
+	}
+	return c
+}
+
+// shardFor picks the stripe for a key. SHA-256 output is uniform, so the
+// low 64 bits index shards evenly.
+func (c *Cache[V]) shardFor(k Key) *shard[V] {
+	return &c.shards[binary.LittleEndian.Uint64(k[:8])&c.mask]
+}
+
+// Get returns the cached value for k and refreshes its recency. The second
+// result reports whether the key was present.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return zero, false
+	}
+	s.moveFront(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts or refreshes k with the given value and caller-accounted
+// size, evicting least-recently-used entries until the shard fits its
+// entry and byte budgets again. An entry larger than the byte budget is
+// dropped immediately rather than wiping the rest of the shard.
+func (c *Cache[V]) Put(k Key, v V, size int64) {
+	if c == nil {
+		return
+	}
+	if size < 0 {
+		size = 0
+	}
+	s := c.shardFor(k)
+	if s.maxBytes > 0 && size > s.maxBytes {
+		// An entry that can never fit would evict the whole shard and then
+		// itself; don't admit it at all.
+		return
+	}
+	s.mu.Lock()
+	if e, ok := s.items[k]; ok {
+		s.bytes += size - e.size
+		e.val, e.size = v, size
+		s.moveFront(e)
+	} else {
+		e := &entry[V]{key: k, val: v, size: size}
+		s.items[k] = e
+		s.bytes += size
+		s.pushFront(e)
+	}
+	evicted := 0
+	for s.tail != nil && s.overCapacity() {
+		s.remove(s.tail)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+}
+
+func (s *shard[V]) overCapacity() bool {
+	return (s.maxEntries > 0 && len(s.items) > s.maxEntries) ||
+		(s.maxBytes > 0 && s.bytes > s.maxBytes)
+}
+
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard[V]) moveFront(e *entry[V]) {
+	if s.head == e {
+		return
+	}
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if s.tail == e {
+		s.tail = e.prev
+	}
+	s.pushFront(e)
+}
+
+func (s *shard[V]) remove(e *entry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	s.bytes -= e.size
+	delete(s.items, e.key)
+}
+
+// Len is the current number of live entries across all shards.
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// SizeBytes is the caller-accounted size of all live entries.
+func (c *Cache[V]) SizeBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters and occupancy.
+func (c *Cache[V]) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(c.Len()),
+		Bytes:     c.SizeBytes(),
+	}
+}
+
+// RegisterMetrics publishes the cache's counters and occupancy gauges on
+// reg under the given name prefix: <prefix>_hits, <prefix>_misses,
+// <prefix>_evictions (counters) and <prefix>_entries, <prefix>_bytes
+// (gauges). A nil cache registers nothing.
+func (c *Cache[V]) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_hits", "Cache lookups served from the cache.",
+		func() int64 { return c.hits.Load() })
+	reg.CounterFunc(prefix+"_misses", "Cache lookups that fell through to the pipeline.",
+		func() int64 { return c.misses.Load() })
+	reg.CounterFunc(prefix+"_evictions", "Cache entries evicted by capacity pressure.",
+		func() int64 { return c.evictions.Load() })
+	reg.GaugeFunc(prefix+"_entries", "Live cache entries.",
+		func() float64 { return float64(c.Len()) })
+	reg.GaugeFunc(prefix+"_bytes", "Caller-accounted bytes of live cache entries.",
+		func() float64 { return float64(c.SizeBytes()) })
+}

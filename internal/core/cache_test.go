@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestMacroCacheIdenticalVerdicts asserts that scanning the same document
+// with and without a macro cache — including a warm second pass — yields
+// byte-identical wire reports, and that the second pass is served from the
+// cache with the shared analysis intact.
+func TestMacroCacheIdenticalVerdicts(t *testing.T) {
+	det := trainSmall(t, AlgoRF, FeatureSetV)
+	d := smallCorpus(t)
+	files, err := d.BuildFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := det.ScanFile(files[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	det.SetMacroCache(NewMacroCache(1024, 0))
+	first, err := det.ScanFile(files[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := det.ScanFile(files[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := det.MacroCache().Stats()
+	if st.Hits == 0 {
+		t.Errorf("no cache hits on repeat scan: %+v", st)
+	}
+	if st.Misses == 0 || st.Entries == 0 {
+		t.Errorf("cache never populated: %+v", st)
+	}
+
+	for name, got := range map[string]*FileReport{"cache-miss": first, "cache-hit": second} {
+		if len(got.Macros) != len(cold.Macros) || got.Skipped != cold.Skipped {
+			t.Fatalf("%s: report shape differs from uncached scan", name)
+		}
+		for i := range got.Macros {
+			w, g := cold.Macros[i], got.Macros[i]
+			if g.Module != w.Module || g.Obfuscated != w.Obfuscated ||
+				g.Score != w.Score || g.Source != w.Source {
+				t.Errorf("%s: macro %d verdict differs from uncached scan", name, i)
+			}
+			if g.Analysis == nil {
+				t.Errorf("%s: macro %d lost its shared analysis", name, i)
+			}
+		}
+	}
+}
+
+// TestMacroCacheNilDisabled asserts a nil cache is a clean no-op for every
+// method the scan path calls.
+func TestMacroCacheNilDisabled(t *testing.T) {
+	var mc *MacroCache
+	if st := mc.Stats(); st != (cache.Stats{}) {
+		t.Errorf("nil cache stats not zero: %+v", st)
+	}
+	if NewMacroCache(0, 0) != nil {
+		t.Error("NewMacroCache(0,0) should disable caching (nil)")
+	}
+	det := trainSmall(t, AlgoRF, FeatureSetV)
+	det.SetMacroCache(nil)
+	if _, err := det.ClassifySource("Sub a()\nx = 1\nEnd Sub\n"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/deob"
 	"repro/internal/extract"
 	"repro/internal/features"
@@ -154,6 +155,65 @@ func NewClassifier(algo Algorithm, seed int64) (ml.Classifier, error) {
 // ErrNotTrained is returned when classifying before Train/LoadModel.
 var ErrNotTrained = errors.New("core: detector is not trained")
 
+// macroCached is one memoized featurize+classify outcome. The shared
+// analysis object is immutable after construction (V/J build fresh slices,
+// triage and deobfuscation only read the parse), so one entry can serve
+// concurrent scanning goroutines.
+type macroCached struct {
+	analysis   *MacroAnalysis
+	obfuscated bool
+	score      float64
+}
+
+// MacroCache memoizes per-macro featurization and classification across
+// documents, keyed by the SHA-256 of the macro source. Malware corpora are
+// dominated by duplicated modules (the paper's Table II dedup step removes
+// the bulk of raw samples), so a scan over a realistic corpus re-parses
+// the same macro text many times; the cache turns every repeat into a hash
+// lookup while keeping verdicts bit-identical — the cached score is the
+// score the classifier produced for that exact source.
+type MacroCache struct {
+	c *cache.Cache[macroCached]
+}
+
+// NewMacroCache returns a cache bounded by maxEntries entries and maxBytes
+// charged bytes (either ≤ 0 lifts that bound; both ≤ 0 disables the cache,
+// returning nil, which every method tolerates).
+func NewMacroCache(maxEntries int, maxBytes int64) *MacroCache {
+	c := cache.New[macroCached](maxEntries, maxBytes)
+	if c == nil {
+		return nil
+	}
+	return &MacroCache{c: c}
+}
+
+// Stats reports the cache's hit/miss/eviction counters and current size.
+func (m *MacroCache) Stats() cache.Stats {
+	if m == nil {
+		return cache.Stats{}
+	}
+	return m.c.Stats()
+}
+
+func (m *MacroCache) lookup(k cache.Key) (macroCached, bool) {
+	if m == nil {
+		return macroCached{}, false
+	}
+	return m.c.Get(k)
+}
+
+// macroCost approximates an entry's memory footprint: the retained source
+// string plus the parse (tokens, procedures) it anchors, which empirically
+// runs a small multiple of the source length.
+func macroCost(src string) int64 { return 4*int64(len(src)) + 512 }
+
+func (m *MacroCache) store(k cache.Key, src string, e macroCached) {
+	if m == nil {
+		return
+	}
+	m.c.Put(k, e, macroCost(src))
+}
+
 // Detector is the end-to-end obfuscation detector.
 type Detector struct {
 	featureSet FeatureSet
@@ -162,7 +222,18 @@ type Detector struct {
 	trained    bool
 	workers    int
 	limits     hostile.Limits
+	macros     *MacroCache
 }
+
+// SetMacroCache attaches a macro-level verdict cache consulted by
+// ScanFileCtx before featurizing each significant macro. A nil cache (the
+// default) disables memoization. The cache may be shared across detectors
+// only if they use the same feature set, algorithm and trained model;
+// after retraining or reloading a model, attach a fresh cache.
+func (d *Detector) SetMacroCache(c *MacroCache) { d.macros = c }
+
+// MacroCache returns the attached macro cache (nil when disabled).
+func (d *Detector) MacroCache() *MacroCache { return d.macros }
 
 // SetLimits configures the per-document resource budget applied by
 // ScanFile/ScanFileCtx. Zero fields take the hostile package defaults.
@@ -468,6 +539,15 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 		Degraded:       res.Degraded,
 		Errors:         res.Errors,
 	}
+	// Phase 1 — featurize. Each significant macro is looked up in the
+	// macro cache (a hit reuses the memoized parse and verdict); misses
+	// are analyzed once and queued for one batched classification pass.
+	var (
+		pendIdx  []int       // index into report.Macros
+		pendVec  [][]float64 // feature row for the batch
+		pendKey  []cache.Key // content hash, reused for the put
+		pendSpan []*telemetry.Span
+	)
 	for _, m := range res.Macros {
 		if len(extract.NormalizeSource(m.Source)) < extract.MinSignificantBytes {
 			report.Skipped++
@@ -475,28 +555,65 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 		}
 		msp := root.Child("macro:" + m.Module)
 		msp.SetBytes(int64(len(m.Source)))
+		var key cache.Key
+		if d.macros != nil {
+			key = cache.KeyOfString(m.Source)
+			if ent, ok := d.macros.lookup(key); ok {
+				msp.Annotate("cache", "hit")
+				if ent.obfuscated {
+					msp.Annotate("verdict", "obfuscated")
+				}
+				msp.End()
+				report.Macros = append(report.Macros, MacroVerdict{
+					Module:     m.Module,
+					Obfuscated: ent.obfuscated,
+					Score:      ent.score,
+					Source:     m.Source,
+					Analysis:   ent.analysis,
+				})
+				continue
+			}
+		}
 		t1 := time.Now()
 		fsp := msp.Child("featurize")
 		a := Analyze(m.Source)
 		x := a.Features(d.featureSet)
 		fsp.End()
 		tm.FeaturizeNS += time.Since(t1).Nanoseconds()
+		report.Macros = append(report.Macros, MacroVerdict{
+			Module:   m.Module,
+			Source:   m.Source,
+			Analysis: a,
+		})
+		pendIdx = append(pendIdx, len(report.Macros)-1)
+		pendVec = append(pendVec, x)
+		pendKey = append(pendKey, key)
+		pendSpan = append(pendSpan, msp)
+	}
+	// Phase 2 — classify every miss in one batch (tree-based models score
+	// all rows per tree walk; scaled models transform each row once).
+	if len(pendIdx) > 0 {
 		t2 := time.Now()
-		csp := msp.Child("classify")
-		v := MacroVerdict{
-			Module:     m.Module,
-			Obfuscated: d.clf.Predict(x) == ml.Positive,
-			Score:      d.clf.Score(x),
-			Source:     m.Source,
-			Analysis:   a,
+		labels, scores := ml.PredictBatch(d.clf, pendVec)
+		for k, i := range pendIdx {
+			csp := pendSpan[k].Child("classify")
+			csp.End()
+			v := &report.Macros[i]
+			v.Obfuscated = labels[k] == ml.Positive
+			v.Score = scores[k]
+			if v.Obfuscated {
+				pendSpan[k].Annotate("verdict", "obfuscated")
+			}
+			pendSpan[k].End()
+			if d.macros != nil {
+				d.macros.store(pendKey[k], v.Source, macroCached{
+					analysis:   v.Analysis,
+					obfuscated: v.Obfuscated,
+					score:      v.Score,
+				})
+			}
 		}
-		csp.End()
 		tm.ClassifyNS += time.Since(t2).Nanoseconds()
-		if v.Obfuscated {
-			msp.Annotate("verdict", "obfuscated")
-		}
-		msp.End()
-		report.Macros = append(report.Macros, v)
 	}
 	if report.Skipped > 0 {
 		root.Annotate("skipped", fmt.Sprintf("%d", report.Skipped))

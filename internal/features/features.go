@@ -8,6 +8,7 @@ package features
 import (
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/vba"
 	"repro/internal/vba/catalog"
@@ -39,8 +40,15 @@ var JNames = []string{
 	"J20_fn_defs_per_char",
 }
 
+// numClasses sizes the per-class call counters (catalog.ClassNone through
+// catalog.ClassRich).
+const numClasses = int(catalog.ClassRich) + 1
+
 // Analysis holds everything computed from one macro source; V and J read
-// from it so a single parse serves both feature sets.
+// from it so a single parse serves both feature sets. All statistics are
+// finalized scalars: the intermediate word/identifier/string slices the
+// old implementation materialized live only in pooled scratch inside
+// Analyze, so a retained Analysis pins nothing but the source and module.
 type Analysis struct {
 	src    string
 	module *vba.Module
@@ -49,17 +57,27 @@ type Analysis struct {
 	commentChars int
 	commentCount int
 
-	words        []string
-	wordsInCode  []string
-	stringValues []string
-	identifiers  []string
+	words               int     // "words" in the full source (Likarish unit)
+	wordsInCode         int     // words outside comments
+	wicMean, wicVar     float64 // word-length mean/variance outside comments
+	identMean, identVar float64
+	readableWords       int // J5 numerator: dictionary-readable words
+	letterWords         int // J5 denominator: words containing a letter
+
+	stringCount int
+	stringChars int // decoded chars inside string literals
+	stringOps   int // '&' '+' '=' operator tokens (V5)
 
 	lines     int
 	longLines int // lines > 150 chars (paper's VBA-adapted J14)
 
 	callTotal   int
-	callByClass map[catalog.Class]int
+	callByClass [numClasses]int
 	argChars    int
+
+	whitespace  int // ' ' '\t' '\r' '\n' bytes
+	backslashes int
+	bodyChars   int // raw chars of procedure-body lines (J18/J19)
 
 	entropy float64
 }
@@ -72,36 +90,135 @@ func (a *Analysis) Module() *vba.Module { return a.module }
 // Source returns the analyzed macro text.
 func (a *Analysis) Source() string { return a.src }
 
+// analyzeScratch is the reusable per-call workspace: word/identifier
+// length buffers for the two-pass mean/variance, newline offsets for the
+// procedure-body measure, and the identifier dedup set. Pooled so steady
+// state Analyze calls allocate nothing for it.
+type analyzeScratch struct {
+	wicLens   []float64
+	identLens []float64
+	nl        []int
+	seen      map[string]bool
+	lower     []byte
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &analyzeScratch{seen: make(map[string]bool)}
+}}
+
 // Analyze parses src and computes the shared statistics once.
 func Analyze(src string) *Analysis {
 	a := &Analysis{
-		src:         src,
-		module:      vba.Parse(src),
-		callByClass: make(map[catalog.Class]int),
+		src:    src,
+		module: vba.Parse(src),
 	}
+	sc := scratchPool.Get().(*analyzeScratch)
+	sc.wicLens = sc.wicLens[:0]
+	sc.identLens = sc.identLens[:0]
+	sc.nl = sc.nl[:0]
+	clear(sc.seen)
 
+	// One pass over the raw bytes: the byte histogram (entropy, whitespace
+	// and backslash shares), line structure with long-line counting, and
+	// the '\n' offsets the procedure-body measure needs.
+	var counts [256]int
+	lineStart := 0
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		counts[c]++
+		switch c {
+		case '\n':
+			sc.nl = append(sc.nl, i)
+			a.lines++
+			if i-lineStart > 150 {
+				a.longLines++
+			}
+			lineStart = i + 1
+		case '\r':
+			// A terminator either way: "\r\n" is one line break, a lone
+			// "\r" (classic-Mac ending) is its own break.
+			content := i - lineStart
+			if i+1 < len(src) && src[i+1] == '\n' {
+				counts['\n']++
+				sc.nl = append(sc.nl, i+1)
+				i++
+			}
+			a.lines++
+			if content > 150 {
+				a.longLines++
+			}
+			lineStart = i + 1
+		}
+	}
+	a.lines++ // the final segment counts even when empty
+	if len(src)-lineStart > 150 {
+		a.longLines++
+	}
+	a.whitespace = counts[' '] + counts['\t'] + counts['\r'] + counts['\n']
+	a.backslashes = counts['\\']
+	a.entropy = entropyFromCounts(&counts, len(src))
+
+	// One pass over the token stream: comment totals, string-literal
+	// statistics (decoded length without building the decoded string),
+	// V5 string operators, and word lengths outside comments. Tokens are
+	// word-delimited by construction (the old implementation joined them
+	// with spaces before splitting), so per-token word scans compose.
 	for _, t := range a.module.Tokens {
-		if t.Kind == vba.KindComment {
+		switch t.Kind {
+		case vba.KindComment:
 			a.commentChars += len(t.Text)
 			a.commentCount++
+			continue
+		case vba.KindString:
+			a.stringCount++
+			a.stringChars += decodedStringLen(t.Text)
+		case vba.KindOperator:
+			if t.Text == "&" || t.Text == "+" || t.Text == "=" {
+				a.stringOps++
+			}
 		}
+		sc.wicLens = appendWordLens(sc.wicLens, t.Text)
 	}
 	a.codeChars = len(src) - a.commentChars
+	a.wordsInCode = len(sc.wicLens)
+	a.wicMean, a.wicVar = meanVar(sc.wicLens)
 
-	for _, t := range a.module.Strings() {
-		a.stringValues = append(a.stringValues, t.StringValue())
-	}
-	a.identifiers = a.module.Identifiers()
-
-	a.words = wordsOf(src)
-	a.wordsInCode = wordsOf(stripComments(a.module))
-
-	for _, line := range strings.Split(src, "\n") {
-		a.lines++
-		if len(strings.TrimRight(line, "\r")) > 150 {
-			a.longLines++
+	// One pass over the source for word count and J5 readability; word
+	// substrings are views into src, never copied.
+	start := -1
+	for i := 0; i <= len(src); i++ {
+		if i < len(src) && isWordByte(src[i]) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			w := src[start:i]
+			a.words++
+			if hasLetter(w) {
+				a.letterWords++
+				if isHumanReadable(w) {
+					a.readableWords++
+				}
+			}
+			start = -1
 		}
 	}
+
+	// Identifier statistics, deduped case-insensitively in declaration
+	// order (procedures, their params, then declarations) exactly as
+	// Module.Identifiers does — without materializing the name list.
+	for _, pr := range a.module.Procedures {
+		sc.addIdent(pr.Name)
+		for _, pa := range pr.Params {
+			sc.addIdent(pa.Name)
+		}
+	}
+	for _, d := range a.module.Declarations {
+		sc.addIdent(d.Name)
+	}
+	a.identMean, a.identVar = meanVar(sc.identLens)
 
 	for _, c := range a.module.Calls {
 		a.callTotal++
@@ -111,8 +228,51 @@ func Analyze(src string) *Analysis {
 		}
 	}
 
-	a.entropy = ShannonEntropy([]byte(src))
+	a.bodyChars = procBodyChars(src, a.module, sc.nl)
+
+	scratchPool.Put(sc)
 	return a
+}
+
+// addIdent records one identifier length unless its lowercased form has
+// been seen. The lowercase key is built in the scratch buffer so the map
+// lookup allocates nothing; only the first sighting of a name allocates
+// (the retained map key).
+func (sc *analyzeScratch) addIdent(name string) {
+	if name == "" {
+		return
+	}
+	ascii := true
+	for i := 0; i < len(name); i++ {
+		if name[i] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	if !ascii {
+		// Rare: defer to the Unicode-correct lowering so dedup keys match
+		// what Module.Identifiers would produce.
+		key := strings.ToLower(name)
+		if sc.seen[key] {
+			return
+		}
+		sc.seen[key] = true
+		sc.identLens = append(sc.identLens, float64(len(name)))
+		return
+	}
+	sc.lower = sc.lower[:0]
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		sc.lower = append(sc.lower, c)
+	}
+	if sc.seen[string(sc.lower)] {
+		return
+	}
+	sc.seen[string(sc.lower)] = true
+	sc.identLens = append(sc.identLens, float64(len(name)))
 }
 
 // V returns the proposed 15-dimension feature vector.
@@ -123,17 +283,17 @@ func (a *Analysis) V() []float64 {
 	v := make([]float64, VDim)
 	v[0] = float64(a.codeChars)
 	v[1] = float64(a.commentChars)
-	v[2], v[3] = meanVar(lengths(a.wordsInCode))
-	v[4] = ratio(float64(a.stringOps()), float64(a.codeChars))
-	v[5] = ratio(float64(a.stringChars()), float64(len(a.src)))
-	v[6], _ = meanVar(lengths(a.stringValues))
+	v[2], v[3] = a.wicMean, a.wicVar
+	v[4] = ratio(float64(a.stringOps), float64(a.codeChars))
+	v[5] = ratio(float64(a.stringChars), float64(len(a.src)))
+	v[6] = a.stringLenAvg()
 	v[7] = a.callClassPct(catalog.ClassText)
 	v[8] = a.callClassPct(catalog.ClassArithmetic)
 	v[9] = a.callClassPct(catalog.ClassConversion)
 	v[10] = a.callClassPct(catalog.ClassFinancial)
 	v[11] = a.callClassPct(catalog.ClassRich)
 	v[12] = a.entropy
-	v[13], v[14] = meanVar(lengths(a.identifiers))
+	v[13], v[14] = a.identMean, a.identVar
 	return v
 }
 
@@ -144,36 +304,55 @@ func (a *Analysis) J() []float64 {
 	j[0] = float64(len(a.src))
 	j[1] = ratio(float64(len(a.src)), float64(a.lines))
 	j[2] = float64(a.lines)
-	j[3] = float64(len(a.stringValues))
-	j[4] = a.humanReadablePct()
-	j[5] = a.whitespacePct()
-	j[6] = ratio(float64(a.callTotal), float64(len(a.words)))
-	j[7], _ = meanVar(lengths(a.stringValues))
+	j[3] = float64(a.stringCount)
+	j[4] = ratio(float64(a.readableWords), float64(a.letterWords))
+	j[5] = ratio(float64(a.whitespace), float64(len(a.src)))
+	j[6] = ratio(float64(a.callTotal), float64(a.words))
+	j[7] = a.stringLenAvg()
 	j[8] = ratio(float64(a.argChars), float64(a.callTotal))
 	j[9] = float64(a.commentCount)
 	j[10] = ratio(float64(a.commentCount), float64(a.lines))
-	j[11] = float64(len(a.words))
-	j[12] = ratio(float64(len(a.wordsInCode)), float64(len(a.words)))
+	j[11] = float64(a.words)
+	j[12] = ratio(float64(a.wordsInCode), float64(a.words))
 	j[13] = ratio(float64(a.longLines), float64(a.lines))
 	j[14] = a.entropy
-	j[15] = ratio(float64(a.stringChars()), float64(len(a.src)))
-	j[16] = ratio(float64(strings.Count(a.src, `\`)), float64(len(a.src)))
-	bodyChars := a.procBodyChars()
-	j[17] = ratio(float64(bodyChars), float64(len(a.module.Procedures)))
-	j[18] = ratio(float64(bodyChars), float64(len(a.src)))
+	j[15] = ratio(float64(a.stringChars), float64(len(a.src)))
+	j[16] = ratio(float64(a.backslashes), float64(len(a.src)))
+	j[17] = ratio(float64(a.bodyChars), float64(len(a.module.Procedures)))
+	j[18] = ratio(float64(a.bodyChars), float64(len(a.src)))
 	j[19] = ratio(float64(len(a.module.Procedures)), float64(len(a.src)))
 	return j
 }
 
+// stringLenAvg is the mean decoded string-literal length (0 when there are
+// none). The per-literal lengths are integers, so the running integer sum
+// divided at the end is bit-identical to the old sequential float mean.
+func (a *Analysis) stringLenAvg() float64 {
+	if a.stringCount == 0 {
+		return 0
+	}
+	return float64(a.stringChars) / float64(a.stringCount)
+}
+
 // procBodyChars counts the raw source characters of the lines strictly
 // between each procedure header and its End statement (whitespace
-// included), the J18/J19 "function body" notion.
-func (a *Analysis) procBodyChars() int {
-	lines := strings.Split(a.src, "\n")
+// included), the J18/J19 "function body" notion. Line boundaries here are
+// '\n' positions only (the historical Split semantics — a '\r' stays part
+// of its line), supplied as the nl offset list from the byte scan.
+func procBodyChars(src string, m *vba.Module, nl []int) int {
+	nParts := len(nl) + 1
 	total := 0
-	for _, p := range a.module.Procedures {
-		for ln := p.StartLine; ln < p.EndLine-1 && ln < len(lines); ln++ {
-			total += len(lines[ln]) + 1
+	for _, p := range m.Procedures {
+		for ln := p.StartLine; ln < p.EndLine-1 && ln < nParts; ln++ {
+			start := 0
+			if ln > 0 {
+				start = nl[ln-1] + 1
+			}
+			end := len(src)
+			if ln < len(nl) {
+				end = nl[ln]
+			}
+			total += end - start + 1
 		}
 	}
 	return total
@@ -185,52 +364,26 @@ func ExtractV(src string) []float64 { return Analyze(src).V() }
 // ExtractJ is the convenience one-shot J-vector extractor.
 func ExtractJ(src string) []float64 { return Analyze(src).J() }
 
-// stringOps counts the string-operator occurrences the paper's V5 targets:
-// '&', '+' and '=' tokens in code (operators only, not characters inside
-// strings or comments).
-func (a *Analysis) stringOps() int {
-	n := 0
-	for _, t := range a.module.Tokens {
-		if t.Kind == vba.KindOperator && (t.Text == "&" || t.Text == "+" || t.Text == "=") {
-			n++
-		}
-	}
-	return n
-}
-
-// stringChars is the number of characters inside string literals
-// (excluding the quotes).
-func (a *Analysis) stringChars() int {
-	n := 0
-	for _, s := range a.stringValues {
-		n += len(s)
-	}
-	return n
-}
-
 func (a *Analysis) callClassPct(c catalog.Class) float64 {
 	return ratio(float64(a.callByClass[c]), float64(a.callTotal))
 }
 
-// humanReadablePct is the J5 heuristic: the share of alphabetic words that
-// look like natural-language or camel-case identifiers rather than random
-// strings. Pure numbers are excluded from the denominator — they are not
-// candidate "words" in the natural-language sense.
-func (a *Analysis) humanReadablePct() float64 {
-	readable, letterWords := 0, 0
-	for _, w := range a.words {
-		if !hasLetter(w) {
-			continue
-		}
-		letterWords++
-		if isHumanReadable(w) {
-			readable++
+// decodedStringLen is the length StringValue would return for a string
+// token, computed without building the decoded string: the quotes are
+// stripped and each doubled quote counts once.
+func decodedStringLen(text string) int {
+	s := text
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		n++
+		if s[i] == '"' && i+1 < len(s) && s[i+1] == '"' {
+			i++ // collapsed escaped quote
 		}
 	}
-	if letterWords == 0 {
-		return 0
-	}
-	return float64(readable) / float64(letterWords)
+	return n
 }
 
 func hasLetter(w string) bool {
@@ -243,15 +396,32 @@ func hasLetter(w string) bool {
 	return false
 }
 
-func (a *Analysis) whitespacePct() float64 {
-	ws := 0
-	for i := 0; i < len(a.src); i++ {
-		switch a.src[i] {
-		case ' ', '\t', '\r', '\n':
-			ws++
+// isWordByte reports whether c belongs to a "word": alphanumeric,
+// underscore, or any byte ≥ 0x80 (multibyte UTF-8 content).
+func isWordByte(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' ||
+		c >= 'A' && c <= 'Z' || c >= 0x80
+}
+
+// appendWordLens appends the length of every word in s to dst.
+func appendWordLens(dst []float64, s string) []float64 {
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if isWordByte(s[i]) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			dst = append(dst, float64(i-start))
+			start = -1
 		}
 	}
-	return ratio(float64(ws), float64(len(a.src)))
+	if start >= 0 {
+		dst = append(dst, float64(len(s)-start))
+	}
+	return dst
 }
 
 // wordsOf splits source into "words": maximal runs of alphanumeric or
@@ -261,9 +431,7 @@ func wordsOf(src string) []string {
 	var words []string
 	start := -1
 	for i := 0; i < len(src); i++ {
-		c := src[i]
-		isWord := c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80
-		if isWord {
+		if isWordByte(src[i]) {
 			if start < 0 {
 				start = i
 			}
@@ -280,37 +448,30 @@ func wordsOf(src string) []string {
 	return words
 }
 
-// stripComments reconstructs the source without comment tokens.
-func stripComments(m *vba.Module) string {
-	var sb strings.Builder
-	sb.Grow(len(m.Source))
-	for _, t := range m.Tokens {
-		if t.Kind == vba.KindComment {
-			continue
-		}
-		sb.WriteString(t.Text)
-		sb.WriteByte(' ')
-	}
-	return sb.String()
-}
-
 // ShannonEntropy computes the byte-level Shannon entropy (bits/char) used
 // by V13 and J15.
 func ShannonEntropy(data []byte) float64 {
-	if len(data) == 0 {
-		return 0
-	}
 	var counts [256]int
 	for _, b := range data {
 		counts[b]++
 	}
+	return entropyFromCounts(&counts, len(data))
+}
+
+// entropyFromCounts folds a byte histogram into Shannon entropy, walking
+// the buckets in value order so the float summation matches ShannonEntropy
+// exactly.
+func entropyFromCounts(counts *[256]int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
 	h := 0.0
-	n := float64(len(data))
+	fn := float64(n)
 	for _, c := range counts {
 		if c == 0 {
 			continue
 		}
-		p := float64(c) / n
+		p := float64(c) / fn
 		h -= p * math.Log2(p)
 	}
 	return h
@@ -331,14 +492,6 @@ func meanVar(xs []float64) (mean, variance float64) {
 	}
 	variance /= float64(len(xs))
 	return mean, variance
-}
-
-func lengths(ss []string) []float64 {
-	out := make([]float64, len(ss))
-	for i, s := range ss {
-		out[i] = float64(len(s))
-	}
-	return out
 }
 
 func ratio(num, den float64) float64 {

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/vba"
 )
 
 const normalMacro = `Sub SendReport()
@@ -258,6 +260,103 @@ func TestPercentageFeaturesBounded(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Line counting is an index scan recognizing "\n", "\r\n" and lone "\r"
+// terminators. The lone-CR case is the regression: the old
+// strings.Split(src, "\n") implementation treated "a\rb" as one line.
+func TestLineCounting(t *testing.T) {
+	cases := []struct {
+		src       string
+		lines     float64
+		longLines float64
+	}{
+		{"", 1, 0},
+		{"a", 1, 0},
+		{"a\n", 2, 0},
+		{"a\nb", 2, 0},
+		{"a\r\nb\r\n", 3, 0},
+		{"a\rb", 2, 0},       // lone CR is a terminator (the fix)
+		{"a\rb\rc", 3, 0},    // classic-Mac endings
+		{"a\r\r\n", 3, 0},    // lone CR then CRLF
+		{"x\n\r\ny\r", 4, 0}, // mixed endings
+		{strings.Repeat("x", 151) + "\r\n" + strings.Repeat("y", 151) + "\rz", 3, 2},
+		{strings.Repeat("x", 151), 1, 1}, // unterminated long line
+		{strings.Repeat("x", 150) + "\n", 2, 0},
+	}
+	for _, tc := range cases {
+		j := ExtractJ(tc.src)
+		if j[2] != tc.lines {
+			t.Errorf("src %q: J3 lines = %v, want %v", tc.src, j[2], tc.lines)
+		}
+		wantPct := 0.0
+		if tc.lines > 0 {
+			wantPct = tc.longLines / tc.lines
+		}
+		if j[13] != wantPct {
+			t.Errorf("src %q: J14 long-line pct = %v, want %v", tc.src, j[13], wantPct)
+		}
+	}
+}
+
+// The streaming single-pass Analyze must agree exactly with slice-based
+// reference computations of the same statistics.
+func TestStreamingMatchesReference(t *testing.T) {
+	srcs := []string{normalMacro, obfuscatedMacro, "", "x = \"a\"\"b\" ' note\n"}
+	for _, src := range srcs {
+		a := Analyze(src)
+		v, j := a.V(), a.J()
+
+		// V3/V4 via materialized words of the space-joined non-comment
+		// token texts.
+		var sb strings.Builder
+		for _, tok := range a.Module().Tokens {
+			if tok.Kind == vba.KindComment {
+				continue
+			}
+			sb.WriteString(tok.Text)
+			sb.WriteByte(' ')
+		}
+		var lens []float64
+		for _, w := range wordsOf(sb.String()) {
+			lens = append(lens, float64(len(w)))
+		}
+		mean, variance := meanVar(lens)
+		if v[2] != mean || v[3] != variance {
+			t.Errorf("src %q: V3/V4 = %v/%v, want %v/%v", src, v[2], v[3], mean, variance)
+		}
+
+		// V14/V15 via the materialized identifier list.
+		lens = lens[:0]
+		for _, id := range a.Module().Identifiers() {
+			lens = append(lens, float64(len(id)))
+		}
+		mean, variance = meanVar(lens)
+		if v[13] != mean || v[14] != variance {
+			t.Errorf("src %q: V14/V15 = %v/%v, want %v/%v", src, v[13], v[14], mean, variance)
+		}
+
+		// V7/J8 via decoded string values.
+		lens = lens[:0]
+		for _, tok := range a.Module().Strings() {
+			lens = append(lens, float64(len(tok.StringValue())))
+		}
+		mean, _ = meanVar(lens)
+		if v[6] != mean || j[7] != mean {
+			t.Errorf("src %q: V7 = %v, J8 = %v, want %v", src, v[6], j[7], mean)
+		}
+
+		// V13/J15 entropy via the exported []byte implementation.
+		if e := ShannonEntropy([]byte(src)); v[12] != e || j[14] != e {
+			t.Errorf("src %q: entropy = %v/%v, want %v", src, v[12], j[14], e)
+		}
+
+		// J12/J13 word counts via materialized words.
+		words := wordsOf(src)
+		if j[11] != float64(len(words)) {
+			t.Errorf("src %q: J12 = %v, want %d", src, j[11], len(words))
+		}
 	}
 }
 

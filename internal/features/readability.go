@@ -1,7 +1,5 @@
 package features
 
-import "strings"
-
 // J5 readability is dictionary-based, as in Likarish et al.: a word is
 // human readable when its camel-case/underscore segments are common
 // English (or programming-English) words. This is deliberately an
@@ -70,52 +68,57 @@ var englishWords = func() map[string]bool {
 	return m
 }()
 
-// isHumanReadable reports whether a word is composed of dictionary
-// segments. CamelCase, underscores and digit boundaries delimit segments;
-// a word reads as human language when at least half of its alphabetic
-// segments (and the longest one) are dictionary words.
-func isHumanReadable(word string) bool {
-	segments := splitIdentifier(word)
-	if len(segments) == 0 {
-		return false
-	}
-	hits, longest, longestHit := 0, "", false
-	for _, seg := range segments {
-		inDict := englishWords[seg]
-		if inDict {
-			hits++
-		}
-		if len(seg) > len(longest) {
-			longest, longestHit = seg, inDict
-		}
-	}
-	return longestHit && hits*2 >= len(segments)
-}
+// segBufCap bounds the stack buffer a segment is lowercased into. Longer
+// segments cannot be dictionary words (the longest entry is far shorter),
+// but they still count toward the segment total and the longest-segment
+// rule.
+const segBufCap = 64
 
-// splitIdentifier breaks an identifier into lower-cased alphabetic
-// segments at case changes, underscores and digits: "totalGross_2" →
-// ["total", "gross"].
-func splitIdentifier(word string) []string {
-	var segments []string
-	var cur strings.Builder
+// isHumanReadable reports whether a word is composed of dictionary
+// segments. CamelCase, underscores and digit boundaries delimit segments
+// (segments shorter than 2 characters are ignored, as in Likarish-style
+// tokenization); a word reads as human language when at least half of its
+// alphabetic segments (and the longest one) are dictionary words. The scan
+// lowercases each segment into a stack buffer and probes the dictionary
+// with a non-escaping map lookup, so classification allocates nothing.
+func isHumanReadable(word string) bool {
+	var buf [segBufCap]byte
+	segLen := 0 // true segment length, may exceed the buffer
+	nSegs, hits := 0, 0
+	longestLen, longestHit := 0, false
+
 	flush := func() {
-		if cur.Len() >= 2 {
-			segments = append(segments, strings.ToLower(cur.String()))
+		if segLen >= 2 {
+			nSegs++
+			inDict := segLen <= segBufCap && englishWords[string(buf[:segLen])]
+			if inDict {
+				hits++
+			}
+			if segLen > longestLen {
+				longestLen, longestHit = segLen, inDict
+			}
 		}
-		cur.Reset()
+		segLen = 0
 	}
+
 	prevLower := false
 	for i := 0; i < len(word); i++ {
 		c := word[i]
 		switch {
 		case c >= 'a' && c <= 'z':
-			cur.WriteByte(c)
+			if segLen < segBufCap {
+				buf[segLen] = c
+			}
+			segLen++
 			prevLower = true
 		case c >= 'A' && c <= 'Z':
 			if prevLower {
 				flush()
 			}
-			cur.WriteByte(c + 'a' - 'A')
+			if segLen < segBufCap {
+				buf[segLen] = c + 'a' - 'A'
+			}
+			segLen++
 			prevLower = false
 		default:
 			flush()
@@ -123,5 +126,8 @@ func splitIdentifier(word string) []string {
 		}
 	}
 	flush()
-	return segments
+	if nSegs == 0 {
+		return false
+	}
+	return longestHit && hits*2 >= nSegs
 }

@@ -1,0 +1,137 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// synthetic two-cluster data: class 1 shifted up in every feature.
+func batchTestData(n, d int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, d)
+		label := i % 2
+		for j := range row {
+			row[j] = rng.NormFloat64() + float64(label)*1.5
+		}
+		X[i] = row
+		y[i] = label
+	}
+	return X, y
+}
+
+// Batch scoring must be bit-identical to per-row Predict/Score for every
+// classifier shape the detector can load, including after a Save/Load
+// round trip (which exercises the flat-array rebuild).
+func TestPredictBatchMatchesSingle(t *testing.T) {
+	X, y := batchTestData(240, 15, 7)
+	probe, _ := batchTestData(100, 15, 99)
+
+	tree := &DecisionTree{MaxDepth: 8, Seed: 3}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	rf := &RandomForest{Trees: 25, Seed: 11}
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	scaled := &Scaled{Inner: &RandomForest{Trees: 10, Seed: 5}}
+	if err := scaled.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+
+	clfs := []Classifier{tree, rf, scaled}
+	for _, c := range []Classifier{tree, rf} {
+		blob, err := Save(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clfs = append(clfs, loaded)
+	}
+
+	for _, c := range clfs {
+		labels, scores := PredictBatch(c, probe)
+		for i, x := range probe {
+			if want := c.Predict(x); labels[i] != want {
+				t.Fatalf("%s: batch label[%d] = %d, single = %d", c.Name(), i, labels[i], want)
+			}
+			if want := c.Score(x); scores[i] != want {
+				t.Fatalf("%s: batch score[%d] = %v, single = %v", c.Name(), i, scores[i], want)
+			}
+		}
+	}
+}
+
+// A model saved from a flattened tree must serialize byte-identically to
+// one whose flat arrays were never built (the format is the pointer tree).
+func TestFlattenDoesNotChangeSnapshot(t *testing.T) {
+	X, y := batchTestData(120, 15, 21)
+	tree := &DecisionTree{MaxDepth: 6, Seed: 13}
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	blob1, err := Save(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(blob1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := Save(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob1) != string(blob2) {
+		t.Fatalf("snapshot not stable across load/save round trip")
+	}
+}
+
+func BenchmarkTreeScoreFlat(b *testing.B) {
+	X, y := batchTestData(400, 15, 7)
+	rf := &RandomForest{Trees: 100, Seed: 11}
+	if err := rf.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	probe, _ := batchTestData(64, 15, 99)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, x := range probe {
+			rf.Score(x)
+		}
+	}
+}
+
+func BenchmarkPredictBatch(b *testing.B) {
+	X, y := batchTestData(400, 15, 7)
+	rf := &RandomForest{Trees: 100, Seed: 11}
+	if err := rf.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	probe, _ := batchTestData(64, 15, 99)
+
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, x := range probe {
+				_ = rf.Predict(x)
+				_ = rf.Score(x)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		labels := make([]int, len(probe))
+		scores := make([]float64, len(probe))
+		for i := 0; i < b.N; i++ {
+			predictBatchInto(rf, probe, labels, scores)
+		}
+	})
+}

@@ -132,6 +132,31 @@ func (f *RandomForest) Predict(x []float64) int {
 	return Negative
 }
 
+// ScoreBatch scores every row of X into out (len(out) must equal len(X)).
+// Iteration is tree-major so each tree's flat node arrays stay hot in
+// cache across the whole batch; per row the additions still happen in
+// ensemble order, so every out[k] is bit-identical to Score(X[k]).
+func (f *RandomForest) ScoreBatch(X [][]float64, out []float64) {
+	if !f.fitted || len(f.ensemble) == 0 {
+		for k := range out {
+			out[k] = 0
+		}
+		return
+	}
+	for k := range out {
+		out[k] = 0
+	}
+	for _, t := range f.ensemble {
+		for k, x := range X {
+			out[k] += t.Score(x)
+		}
+	}
+	n := float64(len(f.ensemble))
+	for k := range out {
+		out[k] /= n
+	}
+}
+
 // Importances returns the forest's per-feature Gini importances: the mean
 // of the trees' normalized importances, normalized to sum to 1 (nil
 // before Fit).

@@ -93,7 +93,7 @@ func Load(data []byte) (Classifier, error) {
 		}
 		rf := &RandomForest{fitted: st.Fitted}
 		for _, ts := range st.Trees {
-			rf.ensemble = append(rf.ensemble, &DecisionTree{root: restoreNode(ts), fitted: true})
+			rf.ensemble = append(rf.ensemble, restoreTree(ts, true))
 		}
 		return rf, nil
 	case "tree":
@@ -101,7 +101,7 @@ func Load(data []byte) (Classifier, error) {
 		if err := json.Unmarshal(env.Body, &st); err != nil {
 			return nil, err
 		}
-		return &DecisionTree{root: restoreNode(st.Root), fitted: st.Fitted}, nil
+		return restoreTree(st.Root, st.Fitted), nil
 	case "mlp":
 		var st mlpState
 		if err := json.Unmarshal(env.Body, &st); err != nil {
@@ -204,6 +204,15 @@ func snapshotNode(n *treeNode) *nodeState {
 		Left:      snapshotNode(n.left),
 		Right:     snapshotNode(n.right),
 	}
+}
+
+// restoreTree rebuilds a DecisionTree from its serialized root and packs
+// the flat scoring arrays so a loaded model takes the same hot path as a
+// freshly fitted one.
+func restoreTree(s *nodeState, fitted bool) *DecisionTree {
+	t := &DecisionTree{root: restoreNode(s), fitted: fitted}
+	t.flatten()
+	return t
 }
 
 func restoreNode(s *nodeState) *treeNode {

@@ -22,6 +22,15 @@ type DecisionTree struct {
 	fitted     bool
 	importance []float64 // per-feature Gini importance (unnormalized)
 	nTotal     int
+
+	// Flattened preorder representation of the fitted tree, rebuilt by
+	// flatten() after Fit/Load. Score walks these contiguous arrays
+	// instead of chasing node pointers; node i is a leaf iff left[i] < 0.
+	flatFeature   []int32
+	flatThreshold []float64
+	flatLeft      []int32
+	flatRight     []int32
+	flatProb      []float64
 }
 
 type treeNode struct {
@@ -53,6 +62,7 @@ func (t *DecisionTree) Fit(X [][]float64, y []int) error {
 	t.nTotal = len(idx)
 	t.root = t.grow(X, y, idx, 0, rng)
 	t.fitted = true
+	t.flatten()
 	return nil
 }
 
@@ -68,6 +78,36 @@ func (t *DecisionTree) fitIndexed(X [][]float64, y []int, idx []int, rng *rand.R
 	t.nTotal = len(idx)
 	t.root = t.grow(X, y, idx, 0, rng)
 	t.fitted = true
+	t.flatten()
+}
+
+// flatten packs the pointer tree into preorder arrays. The pointer tree is
+// kept as the canonical structure (serialization, Depth, importances); the
+// arrays are what Score and ScoreBatch walk.
+func (t *DecisionTree) flatten() {
+	t.flatFeature = t.flatFeature[:0]
+	t.flatThreshold = t.flatThreshold[:0]
+	t.flatLeft = t.flatLeft[:0]
+	t.flatRight = t.flatRight[:0]
+	t.flatProb = t.flatProb[:0]
+	if t.root == nil {
+		return
+	}
+	var walk func(n *treeNode) int32
+	walk = func(n *treeNode) int32 {
+		id := int32(len(t.flatProb))
+		t.flatFeature = append(t.flatFeature, int32(n.feature))
+		t.flatThreshold = append(t.flatThreshold, n.threshold)
+		t.flatProb = append(t.flatProb, n.prob)
+		t.flatLeft = append(t.flatLeft, -1)
+		t.flatRight = append(t.flatRight, -1)
+		if n.left != nil {
+			t.flatLeft[id] = walk(n.left)
+			t.flatRight[id] = walk(n.right)
+		}
+		return id
+	}
+	walk(t.root)
 }
 
 func (t *DecisionTree) grow(X [][]float64, y []int, idx []int, depth int, rng *rand.Rand) *treeNode {
@@ -183,15 +223,35 @@ func (t *DecisionTree) Score(x []float64) float64 {
 	if !t.fitted {
 		return 0
 	}
-	node := t.root
-	for node.left != nil {
-		if x[node.feature] <= node.threshold {
-			node = node.left
+	if len(t.flatProb) == 0 {
+		// Fitted tree without flat arrays (constructed by hand in tests):
+		// fall back to the pointer walk.
+		node := t.root
+		for node.left != nil {
+			if x[node.feature] <= node.threshold {
+				node = node.left
+			} else {
+				node = node.right
+			}
+		}
+		return node.prob
+	}
+	i := int32(0)
+	for t.flatLeft[i] >= 0 {
+		if x[t.flatFeature[i]] <= t.flatThreshold[i] {
+			i = t.flatLeft[i]
 		} else {
-			node = node.right
+			i = t.flatRight[i]
 		}
 	}
-	return node.prob
+	return t.flatProb[i]
+}
+
+// ScoreBatch scores every row of X into out (len(out) must equal len(X)).
+func (t *DecisionTree) ScoreBatch(X [][]float64, out []float64) {
+	for k, x := range X {
+		out[k] = t.Score(x)
+	}
 }
 
 // Predict implements Classifier.

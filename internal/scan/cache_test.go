@@ -1,0 +1,237 @@
+package scan
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cfb"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/faultinject"
+	"repro/internal/hostile"
+	"repro/internal/ovba"
+)
+
+// cacheDetector trains a private detector for the cache tests, so cache
+// attachment and limit changes cannot leak into the package's shared
+// fixture detector.
+func cacheDetector(t *testing.T) *core.Detector {
+	t.Helper()
+	spec := corpus.SmallSpec()
+	spec.BenignMacros, spec.BenignObfuscated = 120, 20
+	spec.MaliciousMacros, spec.MaliciousObfuscated = 60, 55
+	spec.BenignMaxLen = 4000
+	d := corpus.GenerateMacros(spec)
+	det, err := core.NewDetector(core.AlgoRF, core.FeatureSetV, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Train(d.Sources(), d.Labels()); err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// hostileCorpus assembles clean, corrupted, degraded and bomb documents
+// with every document duplicated once, so a cached run exercises hits,
+// misses, errors and the poisoning guard in one pass.
+func hostileCorpus(t *testing.T) []Document {
+	t.Helper()
+	d := corpus.GenerateMacros(corpus.SmallSpec())
+	files, err := d.BuildFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []Document
+	for i, f := range files {
+		if i >= 8 {
+			break
+		}
+		docs = append(docs, Document{Name: f.Name, Data: f.Data})
+	}
+	valid, err := faultinject.ValidDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, Document{Name: "valid.doc", Data: valid})
+	for _, c := range faultinject.Truncations(valid)[:4] {
+		docs = append(docs, Document{Name: c.Name, Data: c.Data})
+	}
+	for _, c := range faultinject.BitFlips(valid, 42, 3) {
+		docs = append(docs, Document{Name: c.Name, Data: c.Data})
+	}
+	partial, err := faultinject.PartialCorruption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, Document{Name: "partial.doc", Data: partial.Data})
+	// Duplicate the whole corpus so half of the run repeats earlier bytes.
+	dup := make([]Document, 0, 2*len(docs))
+	for _, doc := range docs {
+		dup = append(dup, doc, Document{Name: doc.Name + ".copy", Data: doc.Data})
+	}
+	return dup
+}
+
+// reportFingerprint reduces one scan outcome to comparable bytes: the wire
+// JSON for successes, the error string for failures.
+func reportFingerprint(t *testing.T, r Result) string {
+	t.Helper()
+	if r.Err != nil {
+		return "err:" + r.Err.Error()
+	}
+	blob, err := json.Marshal(r.Report.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestDocCacheDeterminism asserts the cached engine — macro cache and
+// document cache attached, scanned cold and then warm — produces
+// byte-identical wire reports to an uncached engine over a corpus mixing
+// clean, duplicated, corrupted, degraded and erroring documents.
+func TestDocCacheDeterminism(t *testing.T) {
+	det := cacheDetector(t)
+	docs := hostileCorpus(t)
+	ctx := context.Background()
+
+	uncached, _, err := New(det, 4).ScanAll(ctx, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	det.SetMacroCache(core.NewMacroCache(4096, 0))
+	engine := New(det, 4)
+	engine.SetDocCache(NewDocCache(1024, 0))
+	cold, coldStats, err := engine.ScanAll(ctx, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmStats, err := engine.ScanAll(ctx, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range docs {
+		want := reportFingerprint(t, uncached[i])
+		if got := reportFingerprint(t, cold[i]); got != want {
+			t.Errorf("%s: cold cached run differs from uncached:\n got %s\nwant %s",
+				docs[i].Name, got, want)
+		}
+		if got := reportFingerprint(t, warm[i]); got != want {
+			t.Errorf("%s: warm cached run differs from uncached:\n got %s\nwant %s",
+				docs[i].Name, got, want)
+		}
+	}
+
+	// The warm run must serve every clean document from the cache; errors
+	// and degraded reports are never cached, so they re-run the pipeline.
+	clean := 0
+	for _, r := range uncached {
+		if r.Err == nil && !r.Report.Degraded {
+			clean++
+		}
+	}
+	if warmStats.CacheHits != int64(clean) {
+		t.Errorf("warm CacheHits = %d, want %d (clean documents)", warmStats.CacheHits, clean)
+	}
+	if coldStats.CacheHits == 0 {
+		t.Error("cold run with duplicated corpus produced no cache hits")
+	}
+	for i, r := range warm {
+		if r.Err == nil && !r.Report.Degraded && !r.CacheHit {
+			t.Errorf("%s: clean document not served from cache on warm run", docs[i].Name)
+		}
+		if (r.Err != nil || (r.Report != nil && r.Report.Degraded)) && r.CacheHit {
+			t.Errorf("%s: error/degraded outcome served from cache", docs[i].Name)
+		}
+	}
+}
+
+// bigModuleDoc builds a two-module document whose first module is large
+// enough to breach a small MaxMacroSourceBytes budget while the second
+// stays comfortably under it.
+func bigModuleDoc(t *testing.T) []byte {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("Sub BigPayload()\n    Dim total As Long\n")
+	for sb.Len() < 10*1024 {
+		sb.WriteString("    total = total + 12345\n")
+	}
+	sb.WriteString("End Sub\n")
+	p := &ovba.Project{Name: "CachePoison", Modules: []ovba.Module{
+		{Name: "Big", Source: sb.String()},
+		{Name: "Small", Source: "Sub Small()\n" +
+			strings.Repeat("    Call MsgBox(\"significant module body padding\")\n", 5) +
+			"End Sub\n"},
+	}}
+	b := cfb.NewBuilder()
+	if err := p.WriteTo(b, "Macros"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDegradedNotCached asserts the cache-poisoning guard: a report
+// degraded by resource limits is never cached, so raising the limits
+// between two scans of the same bytes observes the full re-evaluation
+// instead of a stale partial verdict.
+func TestDegradedNotCached(t *testing.T) {
+	det := cacheDetector(t)
+	doc := Document{Name: "big.doc", Data: bigModuleDoc(t)}
+	engine := New(det, 1)
+	dc := NewDocCache(128, 0)
+	engine.SetDocCache(dc)
+	ctx := context.Background()
+
+	det.SetLimits(hostile.Limits{MaxMacroSourceBytes: 1024})
+	constrained, _, err := engine.ScanAll(ctx, []Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := constrained[0]
+	if r.Err != nil {
+		t.Fatalf("constrained scan failed outright: %v", r.Err)
+	}
+	if !r.Report.Degraded || len(r.Report.Macros) != 1 {
+		t.Fatalf("constrained scan should degrade to 1 macro, got degraded=%v macros=%d",
+			r.Report.Degraded, len(r.Report.Macros))
+	}
+	if st := dc.Stats(); st.Entries != 0 {
+		t.Fatalf("degraded report was cached: %+v", st)
+	}
+
+	det.SetLimits(hostile.Limits{})
+	full, _, err := engine.ScanAll(ctx, []Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = full[0]
+	if r.CacheHit {
+		t.Fatal("raised-limits scan served from cache instead of re-evaluating")
+	}
+	if r.Report.Degraded || len(r.Report.Macros) != 2 {
+		t.Fatalf("raised-limits scan should see both macros, got degraded=%v macros=%d",
+			r.Report.Degraded, len(r.Report.Macros))
+	}
+
+	// The clean report is cacheable; a third scan is a hit with both macros.
+	again, stats, err := engine.ScanAll(ctx, []Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = again[0]
+	if !r.CacheHit || stats.CacheHits != 1 {
+		t.Fatalf("third scan should hit the cache: hit=%v stats=%+v", r.CacheHit, stats)
+	}
+	if len(r.Report.Macros) != 2 {
+		t.Fatalf("cached report lost a macro: %d", len(r.Report.Macros))
+	}
+}

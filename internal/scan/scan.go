@@ -20,10 +20,75 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/hostile"
 	"repro/internal/telemetry"
 )
+
+// DocCache memoizes whole-document scan reports keyed by the SHA-256 of
+// the file bytes, so re-submitted attachments (the common case in a mail
+// gateway, where one campaign fans the same document out to many inboxes)
+// skip the extract → featurize → classify pipeline entirely.
+//
+// Only clean, complete reports are cached: a degraded report reflects the
+// resource limits in force when it was computed, and an error (including
+// quarantine-worthy budget exhaustion) may be transient — caching either
+// would let one constrained evaluation poison every later scan of the same
+// bytes. Those documents re-run the pipeline on every submission.
+type DocCache struct {
+	c *cache.Cache[*core.FileReport]
+}
+
+// NewDocCache returns a cache bounded by maxEntries entries and maxBytes
+// charged bytes (either ≤ 0 lifts that bound; both ≤ 0 disables the cache,
+// returning nil, which every method tolerates).
+func NewDocCache(maxEntries int, maxBytes int64) *DocCache {
+	c := cache.New[*core.FileReport](maxEntries, maxBytes)
+	if c == nil {
+		return nil
+	}
+	return &DocCache{c: c}
+}
+
+// Stats reports the cache's hit/miss/eviction counters and current size.
+func (d *DocCache) Stats() cache.Stats {
+	if d == nil {
+		return cache.Stats{}
+	}
+	return d.c.Stats()
+}
+
+// Get returns the cached report for a document hash, if any.
+func (d *DocCache) Get(k cache.Key) (*core.FileReport, bool) {
+	if d == nil {
+		return nil, false
+	}
+	return d.c.Get(k)
+}
+
+// Put caches a finished report under the document hash. Nil and degraded
+// reports are refused (see the poisoning note on DocCache).
+func (d *DocCache) Put(k cache.Key, r *core.FileReport) {
+	if d == nil || r == nil || r.Degraded {
+		return
+	}
+	d.c.Put(k, r, docCost(r))
+}
+
+// docCost approximates a report's retained memory: each macro anchors its
+// source string and single parse (a small multiple of the source length),
+// plus the recovered storage strings.
+func docCost(r *core.FileReport) int64 {
+	cost := int64(512)
+	for _, m := range r.Macros {
+		cost += 4*int64(len(m.Source)) + 512
+	}
+	for _, s := range r.StorageStrings {
+		cost += int64(len(s))
+	}
+	return cost
+}
 
 // Document is one input to the engine.
 type Document struct {
@@ -49,8 +114,12 @@ type Result struct {
 	// Err is the extraction or classification failure, if any.
 	Err error
 	// Attempts is the number of pipeline attempts made: 1 normally,
-	// more when the engine's retry policy re-ran a transient failure.
+	// more when the engine's retry policy re-ran a transient failure,
+	// 0 when the report was served from the document cache.
 	Attempts int
+	// CacheHit marks a report served from the engine's document cache
+	// without re-running the pipeline.
+	CacheHit bool
 	// Quarantined marks a document whose failure exhausted its resource
 	// budget (decompression bomb, deadline overrun, limit breach).
 	// Retrying such a document is pointless — it needs isolation and a
@@ -139,6 +208,9 @@ type Stats struct {
 	Quarantined int64
 	// Retries is the number of re-attempts made under the retry policy.
 	Retries int64
+	// CacheHits is the number of documents served from the document cache
+	// (counted in Files, but contributing no stage time).
+	CacheHits int64
 	// ExtractNS, FeaturizeNS and ClassifyNS are cumulative per-stage
 	// wall-clock nanoseconds summed across workers (their sum can exceed
 	// WallNS when workers run in parallel).
@@ -167,6 +239,7 @@ type Engine struct {
 	det     *core.Detector
 	workers int
 	policy  Policy
+	docs    *DocCache
 
 	// Telemetry (all optional; nil = disabled with no per-document cost).
 	traceSink func(*telemetry.Tracer)
@@ -196,6 +269,16 @@ func (e *Engine) Workers() int { return e.workers }
 // Scan/ScanAll; the zero Policy (no retries, transient-only detection)
 // is the default.
 func (e *Engine) SetPolicy(p Policy) { e.policy = p }
+
+// SetDocCache attaches a document-level report cache consulted before each
+// scan. A nil cache (the default) disables memoization. The cache is tied
+// to the detector's trained model — share it across engines only while
+// they share the model, and attach a fresh cache after a model swap. Call
+// before Scan/ScanAll.
+func (e *Engine) SetDocCache(c *DocCache) { e.docs = c }
+
+// DocCache returns the attached document cache (nil when disabled).
+func (e *Engine) DocCache() *DocCache { return e.docs }
 
 // SetTraceSink enables per-document tracing: every scanned document gets
 // its own telemetry.Tracer whose finished span tree is handed to sink
@@ -232,6 +315,21 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("scan_macros_per_sec",
 		"Mean macro throughput since the engine was created.",
 		func() float64 { return e.rate(e.telMacros.Load()) })
+	reg.CounterFunc("scan_cache_hits",
+		"Documents served from the document cache.",
+		func() int64 { return e.docs.Stats().Hits })
+	reg.CounterFunc("scan_cache_misses",
+		"Documents that missed the document cache.",
+		func() int64 { return e.docs.Stats().Misses })
+	reg.CounterFunc("scan_cache_evictions",
+		"Reports evicted from the document cache under capacity pressure.",
+		func() int64 { return e.docs.Stats().Evictions })
+	reg.GaugeFunc("scan_cache_entries",
+		"Reports currently held by the document cache.",
+		func() float64 { return float64(e.docs.Stats().Entries) })
+	reg.GaugeFunc("scan_cache_bytes",
+		"Approximate bytes retained by the document cache.",
+		func() float64 { return float64(e.docs.Stats().Bytes) })
 }
 
 func (e *Engine) rate(n int64) float64 {
@@ -371,6 +469,28 @@ func (e *Engine) scanOne(ctx context.Context, doc Document, index int, stats *St
 	defer e.busy.Add(-1)
 	pol := e.policy.withDefaults()
 
+	var docKey cache.Key
+	if e.docs != nil {
+		docKey = cache.KeyOf(doc.Data)
+		if report, ok := e.docs.Get(docKey); ok {
+			if e.traceSink != nil {
+				tr := telemetry.NewTracer(doc.Name)
+				tr.Root().Annotate("cache", "hit")
+				tr.Finish()
+				e.traceSink(tr)
+			}
+			atomic.AddInt64(&stats.Files, 1)
+			atomic.AddInt64(&stats.CacheHits, 1)
+			atomic.AddInt64(&stats.Macros, int64(len(report.Macros)))
+			atomic.AddInt64(&stats.Skipped, int64(report.Skipped))
+			e.telFiles.Add(1)
+			e.telMacros.Add(int64(len(report.Macros)))
+			res := Result{Index: index, Name: doc.Name, Report: report, CacheHit: true}
+			e.auditResult(doc, res)
+			return res
+		}
+	}
+
 	var tr *telemetry.Tracer
 	if e.traceSink != nil {
 		tr = telemetry.NewTracer(doc.Name)
@@ -421,6 +541,9 @@ func (e *Engine) scanOne(ctx context.Context, doc Document, index int, stats *St
 		}
 	} else {
 		res.Report = report
+		if e.docs != nil {
+			e.docs.Put(docKey, report)
+		}
 		if report.Degraded {
 			atomic.AddInt64(&stats.Degraded, 1)
 		}

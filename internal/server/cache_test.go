@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// metricsTree fetches /metrics and decodes the flat JSON tree.
+func metricsTree(t *testing.T, url string) map[string]json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := map[string]json.RawMessage{}
+	if err := json.Unmarshal(body, &tree); err != nil {
+		t.Fatalf("metrics not valid JSON: %v\n%s", err, body)
+	}
+	return tree
+}
+
+func metricInt(t *testing.T, tree map[string]json.RawMessage, name string) int64 {
+	t.Helper()
+	raw, ok := tree[name]
+	if !ok {
+		t.Fatalf("metric %q missing from /metrics", name)
+	}
+	var v int64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("metric %q = %s, not an integer", name, raw)
+	}
+	return v
+}
+
+// TestScanCacheHit asserts a repeated document is served from the document
+// cache — marked in the response, skipping stage timings — and that the
+// cache counters flow through /metrics and survive a model reload
+// monotonically while the caches themselves are replaced.
+func TestScanCacheHit(t *testing.T) {
+	fixture(t) // populate testFixture.modelPath before reading it
+	cfg := quietConfig()
+	cfg.ModelPath = testFixture.modelPath
+	srv, ts := newTestServer(t, cfg)
+
+	resp, sr := postScan(t, ts.URL, testFixture.macroDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first scan status = %d, want 200", resp.StatusCode)
+	}
+	if sr.Cached {
+		t.Fatal("first scan of fresh bytes reported cached")
+	}
+	if sr.Stages == nil {
+		t.Error("uncached scan should report stage timings")
+	}
+
+	resp, sr = postScan(t, ts.URL, testFixture.macroDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat scan status = %d, want 200", resp.StatusCode)
+	}
+	if !sr.Cached {
+		t.Fatal("repeat scan of identical bytes not served from cache")
+	}
+	if sr.Stages != nil {
+		t.Error("cached scan should omit stage timings")
+	}
+	if sr.Report == nil || len(sr.Report.Macros) == 0 {
+		t.Fatalf("cached scan lost the report: %+v", sr)
+	}
+
+	tree := metricsTree(t, ts.URL)
+	hits := metricInt(t, tree, "cache_hits")
+	if hits == 0 {
+		t.Error("cache_hits is zero after a cached scan")
+	}
+	if metricInt(t, tree, "cache_misses") == 0 {
+		t.Error("cache_misses is zero after a cold scan")
+	}
+	if metricInt(t, tree, "macro_cache_misses") == 0 {
+		t.Error("macro_cache_misses is zero after a cold scan")
+	}
+
+	// Reloading the model must swap in fresh caches (the next scan is a
+	// miss again) while the exported counters stay monotonic.
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	_, sr = postScan(t, ts.URL, testFixture.macroDoc)
+	if sr.Cached {
+		t.Error("scan after reload served from a stale cache")
+	}
+	tree = metricsTree(t, ts.URL)
+	if got := metricInt(t, tree, "cache_hits"); got < hits {
+		t.Errorf("cache_hits went backwards across reload: %d -> %d", hits, got)
+	}
+}
+
+// TestScanCacheDisabled asserts negative CacheEntries turns the whole
+// machinery off: no cached responses, no collapsing, zeroed cache metrics.
+func TestScanCacheDisabled(t *testing.T) {
+	cfg := quietConfig()
+	cfg.CacheEntries = -1
+	_, ts := newTestServer(t, cfg)
+
+	for i := 0; i < 2; i++ {
+		resp, sr := postScan(t, ts.URL, testFixture.macroDoc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scan %d status = %d, want 200", i, resp.StatusCode)
+		}
+		if sr.Cached {
+			t.Fatalf("scan %d reported cached with caching disabled", i)
+		}
+	}
+	tree := metricsTree(t, ts.URL)
+	if metricInt(t, tree, "cache_hits") != 0 || metricInt(t, tree, "cache_misses") != 0 {
+		t.Error("disabled cache reported activity")
+	}
+}
+
+// TestScanSingleflightCollapse holds one scan in the pipeline gate and
+// posts a second identical document: the follower must collapse into the
+// leader's run (pipeline executed once, follower response marked cached).
+func TestScanSingleflightCollapse(t *testing.T) {
+	srv, ts := newTestServer(t, quietConfig())
+	var pipelineRuns atomic.Int64
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	srv.scanGate = func() {
+		pipelineRuns.Add(1)
+		entered <- struct{}{}
+		<-release
+	}
+
+	var wg sync.WaitGroup
+	cached := make([]bool, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, sr := postScan(t, ts.URL, testFixture.macroDoc)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d status = %d", i, resp.StatusCode)
+			}
+			cached[i] = sr.Cached
+		}(i)
+	}
+	// Exactly one request reaches the gate; give the other time to park
+	// in the flight group behind it before letting the leader finish.
+	<-entered
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := pipelineRuns.Load(); got != 1 {
+		t.Errorf("pipeline ran %d times for 2 identical concurrent requests, want 1", got)
+	}
+	if cached[0] == cached[1] {
+		t.Errorf("want exactly one collapsed (cached) response, got %v", cached)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/extract"
 	"repro/internal/hostile"
@@ -58,6 +59,15 @@ type Config struct {
 	MaxBatchFiles int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// CacheEntries bounds the content-addressed verdict caches (one
+	// document-level, one macro-level) to that many entries each. 0
+	// applies the 4096-entry default; negative disables both caches and
+	// the collapsing of concurrent identical requests.
+	CacheEntries int
+	// CacheBytes bounds each verdict cache's charged memory. 0 applies
+	// the 256 MiB default; negative lifts the byte bound (the caches are
+	// then bounded by CacheEntries alone).
+	CacheBytes int64
 	// Limits is the per-document resource budget (decompressed bytes,
 	// container depth, lexer tokens, ...) applied to every scan. Zero
 	// fields take the hostile package defaults. The budget also inherits
@@ -96,6 +106,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// cacheBounds resolves the cache configuration: entries is the master
+// switch (negative disables caching entirely), and each zero field takes
+// its production default.
+func (c Config) cacheBounds() (entries int, bytes int64, enabled bool) {
+	if c.CacheEntries < 0 {
+		return 0, 0, false
+	}
+	entries = c.CacheEntries
+	if entries == 0 {
+		entries = 4096
+	}
+	bytes = c.CacheBytes
+	if bytes == 0 {
+		bytes = 256 << 20
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	return entries, bytes, true
+}
+
 // Server is the scan daemon: a trained detector behind HTTP handlers with
 // observability, admission control and hot model reload.
 type Server struct {
@@ -103,8 +134,17 @@ type Server struct {
 	log     *slog.Logger
 	metrics *Metrics
 
-	mu  sync.RWMutex // guards det across hot reloads
-	det *core.Detector
+	mu     sync.RWMutex // guards det, docs, flight and cacheBase across hot reloads
+	det    *core.Detector
+	docs   *scan.DocCache
+	flight *cache.Flight[scanOutcome]
+	// cacheBase accumulates the hit/miss/eviction counters of caches
+	// retired by Reload, keeping the exported cache metrics monotonic
+	// across model swaps.
+	cacheBase struct {
+		doc   cache.Stats
+		macro cache.Stats
+	}
 
 	sem      chan struct{}
 	draining atomic.Bool
@@ -120,16 +160,33 @@ type Server struct {
 // starts unready and becomes ready after the first successful Reload.
 func New(det *core.Detector, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	if det != nil {
-		det.SetLimits(cfg.Limits)
-	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
 		metrics: NewMetrics(),
 		det:     det,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
+	if det != nil {
+		det.SetLimits(cfg.Limits)
+		det.SetMacroCache(s.newMacroCache())
+	}
+	if entries, bytes, ok := cfg.cacheBounds(); ok {
+		s.docs = scan.NewDocCache(entries, bytes)
+		s.flight = &cache.Flight[scanOutcome]{}
+	}
+	s.registerCacheMetrics()
+	return s
+}
+
+// newMacroCache builds a macro-level verdict cache per the configured
+// bounds (nil when caching is disabled).
+func (s *Server) newMacroCache() *core.MacroCache {
+	entries, bytes, ok := s.cfg.cacheBounds()
+	if !ok {
+		return nil
+	}
+	return core.NewMacroCache(entries, bytes)
 }
 
 // NewFromModelFile loads the model at cfg.ModelPath (or path, which
@@ -155,8 +212,83 @@ func (s *Server) detector() *core.Detector {
 	return s.det
 }
 
+// pipeline snapshots the scan pipeline under the read lock: the current
+// model plus the document cache and request-collapsing group tied to it.
+func (s *Server) pipeline() (*core.Detector, *scan.DocCache, *cache.Flight[scanOutcome]) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.det, s.docs, s.flight
+}
+
+// docCacheStats returns document-cache counters accumulated across model
+// reloads (counters from retired caches are folded into the base, so the
+// exported metrics stay monotonic).
+func (s *Server) docCacheStats() cache.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.docs.Stats()
+	st.Hits += s.cacheBase.doc.Hits
+	st.Misses += s.cacheBase.doc.Misses
+	st.Evictions += s.cacheBase.doc.Evictions
+	return st
+}
+
+// macroCacheStats is docCacheStats for the macro-level cache.
+func (s *Server) macroCacheStats() cache.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st cache.Stats
+	if s.det != nil {
+		st = s.det.MacroCache().Stats()
+	}
+	st.Hits += s.cacheBase.macro.Hits
+	st.Misses += s.cacheBase.macro.Misses
+	st.Evictions += s.cacheBase.macro.Evictions
+	return st
+}
+
+// registerCacheMetrics publishes the verdict-cache counters and gauges.
+// Counters read through the reload-safe accumulators; gauges reflect the
+// live caches only.
+func (s *Server) registerCacheMetrics() {
+	reg := s.metrics.Registry()
+	reg.CounterFunc("cache_hits",
+		"Scans served from the document verdict cache.",
+		func() int64 { return s.docCacheStats().Hits })
+	reg.CounterFunc("cache_misses",
+		"Scans that missed the document verdict cache.",
+		func() int64 { return s.docCacheStats().Misses })
+	reg.CounterFunc("cache_evictions",
+		"Reports evicted from the document verdict cache.",
+		func() int64 { return s.docCacheStats().Evictions })
+	reg.GaugeFunc("cache_entries",
+		"Reports currently held by the document verdict cache.",
+		func() float64 { return float64(s.docCacheStats().Entries) })
+	reg.GaugeFunc("cache_bytes",
+		"Approximate bytes retained by the document verdict cache.",
+		func() float64 { return float64(s.docCacheStats().Bytes) })
+	reg.CounterFunc("macro_cache_hits",
+		"Macros served from the macro verdict cache.",
+		func() int64 { return s.macroCacheStats().Hits })
+	reg.CounterFunc("macro_cache_misses",
+		"Macros that missed the macro verdict cache.",
+		func() int64 { return s.macroCacheStats().Misses })
+	reg.CounterFunc("macro_cache_evictions",
+		"Entries evicted from the macro verdict cache.",
+		func() int64 { return s.macroCacheStats().Evictions })
+	reg.GaugeFunc("macro_cache_entries",
+		"Entries currently held by the macro verdict cache.",
+		func() float64 { return float64(s.macroCacheStats().Entries) })
+	reg.GaugeFunc("macro_cache_bytes",
+		"Approximate bytes retained by the macro verdict cache.",
+		func() float64 { return float64(s.macroCacheStats().Bytes) })
+}
+
 // Reload re-reads Config.ModelPath and swaps the detector in under the
-// write lock; in-flight scans keep the model they started with.
+// write lock; in-flight scans keep the model they started with. Both
+// verdict caches are replaced along with the model — cached verdicts are
+// only valid for the model that produced them — with their counters
+// folded into the monotonic metric base.
 func (s *Server) Reload() error {
 	if s.cfg.ModelPath == "" {
 		return errors.New("server: no model path configured")
@@ -170,8 +302,27 @@ func (s *Server) Reload() error {
 		return fmt.Errorf("server: reload: %w", err)
 	}
 	det.SetLimits(s.cfg.Limits)
+	det.SetMacroCache(s.newMacroCache())
+	var docs *scan.DocCache
+	var flight *cache.Flight[scanOutcome]
+	if entries, bytes, ok := s.cfg.cacheBounds(); ok {
+		docs = scan.NewDocCache(entries, bytes)
+		flight = &cache.Flight[scanOutcome]{}
+	}
 	s.mu.Lock()
+	oldDoc := s.docs.Stats()
+	s.cacheBase.doc.Hits += oldDoc.Hits
+	s.cacheBase.doc.Misses += oldDoc.Misses
+	s.cacheBase.doc.Evictions += oldDoc.Evictions
+	if s.det != nil {
+		old := s.det.MacroCache().Stats()
+		s.cacheBase.macro.Hits += old.Hits
+		s.cacheBase.macro.Misses += old.Misses
+		s.cacheBase.macro.Evictions += old.Evictions
+	}
 	s.det = det
+	s.docs = docs
+	s.flight = flight
 	s.mu.Unlock()
 	s.metrics.Reloads.Add(1)
 	s.log.Info("model reloaded",
@@ -324,7 +475,11 @@ type ScanResponse struct {
 	Error      string           `json:"error,omitempty"`
 	ErrorClass string           `json:"error_class,omitempty"`
 	Stages     *StageMS         `json:"stage_ms,omitempty"`
-	ElapsedMS  float64          `json:"elapsed_ms"`
+	// Cached marks a report served from the document verdict cache, or
+	// collapsed into a concurrent identical scan (stage timings then
+	// belong to the request that did the work, so stage_ms is omitted).
+	Cached    bool    `json:"cached,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 	// Trace is the per-document span tree, present only when the request
 	// asked for it with ?trace=1.
 	Trace *telemetry.Trace `json:"trace,omitempty"`
@@ -418,6 +573,9 @@ type scanOutcome struct {
 	report *core.FileReport
 	tm     core.Timings
 	err    error
+	// shared marks an outcome computed by a concurrent identical request
+	// this one collapsed into.
+	shared bool
 }
 
 // runScan executes one panic-isolated scan under the request deadline.
@@ -426,7 +584,15 @@ type scanOutcome struct {
 // the goroutine finishes in the background, still counted in-flight so
 // shutdown drains it and still holding its semaphore slot so admission
 // control reflects true load.
-func (s *Server) runScan(ctx context.Context, det *core.Detector, data []byte) (scanOutcome, bool) {
+//
+// When caching is enabled, concurrent requests for the same bytes collapse
+// into one pipeline run through flight: the leader scans and populates the
+// document cache, followers wait for its outcome while still holding their
+// own admission slots (so admission control keeps reflecting queued
+// demand). Errors and degraded reports are shared with the waiting
+// followers but never cached — a later request re-runs the pipeline.
+func (s *Server) runScan(ctx context.Context, det *core.Detector, data []byte,
+	key cache.Key, docs *scan.DocCache, flight *cache.Flight[scanOutcome]) (scanOutcome, bool) {
 	done := make(chan scanOutcome, 1)
 	s.inflight.Add(1)
 	go func() {
@@ -434,20 +600,37 @@ func (s *Server) runScan(ctx context.Context, det *core.Detector, data []byte) (
 		defer func() { <-s.sem }()
 		defer s.metrics.InFlight.Add(-1)
 		s.metrics.InFlight.Add(1)
-		var out scanOutcome
 		// scan.ScanOne already isolates pipeline panics; this second net
 		// catches anything outside it so no request can kill the daemon.
-		func() {
-			defer func() {
-				if p := recover(); p != nil {
-					out = scanOutcome{err: &scan.PanicError{Value: p, Stack: debug.Stack()}}
+		run := func() scanOutcome {
+			var out scanOutcome
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						out = scanOutcome{err: &scan.PanicError{Value: p, Stack: debug.Stack()}}
+					}
+				}()
+				if s.scanGate != nil {
+					s.scanGate()
 				}
+				out.report, out.tm, out.err = scan.ScanOneCtx(ctx, det, data)
 			}()
-			if s.scanGate != nil {
-				s.scanGate()
-			}
-			out.report, out.tm, out.err = scan.ScanOneCtx(ctx, det, data)
-		}()
+			return out
+		}
+		var out scanOutcome
+		if flight != nil {
+			var leader bool
+			out, _, leader = flight.Do(key, func() (scanOutcome, error) {
+				o := run()
+				if o.err == nil {
+					docs.Put(key, o.report) // Put refuses degraded reports
+				}
+				return o, nil
+			})
+			out.shared = !leader
+		} else {
+			out = run()
+		}
 		done <- out
 	}()
 	select {
@@ -459,13 +642,20 @@ func (s *Server) runScan(ctx context.Context, det *core.Detector, data []byte) (
 }
 
 // recordOutcome feeds one document's result into the metric tree and fills
-// the response fields shared by the single and batch endpoints.
-func (s *Server) recordOutcome(resp *ScanResponse, out scanOutcome) {
+// the response fields shared by the single and batch endpoints. A cached
+// outcome (document-cache hit or collapsed request) still counts toward
+// scans, macros and verdicts, but contributes no stage-latency samples —
+// the request did no pipeline work of its own.
+func (s *Server) recordOutcome(resp *ScanResponse, out scanOutcome, cached bool) {
 	s.metrics.Scans.Add(1)
-	s.metrics.StageExtract.Observe(time.Duration(out.tm.ExtractNS))
-	s.metrics.StageFeaturize.Observe(time.Duration(out.tm.FeaturizeNS))
-	s.metrics.StageClassify.Observe(time.Duration(out.tm.ClassifyNS))
-	resp.Stages = stageMS(out.tm)
+	if cached {
+		resp.Cached = true
+	} else {
+		s.metrics.StageExtract.Observe(time.Duration(out.tm.ExtractNS))
+		s.metrics.StageFeaturize.Observe(time.Duration(out.tm.FeaturizeNS))
+		s.metrics.StageClassify.Observe(time.Duration(out.tm.ClassifyNS))
+		resp.Stages = stageMS(out.tm)
+	}
 	if out.err != nil {
 		if errors.Is(out.err, extract.ErrNoMacros) {
 			s.metrics.Verdicts.Add("no_macros", 1)
@@ -522,7 +712,7 @@ func errorClass(err error) string {
 
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	det := s.detector()
+	det, docs, flight := s.pipeline()
 	if det == nil || s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "not ready"})
 		return
@@ -531,6 +721,22 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeBodyError(w, err)
 		return
+	}
+	// A document-cache hit is served before admission control: it costs
+	// one hash and one lookup, so it should never queue behind scans.
+	var key cache.Key
+	if docs != nil {
+		key = cache.KeyOf(data)
+		if report, ok := docs.Get(key); ok {
+			resp := ScanResponse{RequestID: requestID(r.Context()), File: name}
+			s.recordOutcome(&resp, scanOutcome{report: report}, true)
+			scan.LogAudit(s.cfg.Audit, scan.Document{Name: name, Data: data}, det.FeatureSet(),
+				scan.Result{Name: name, Report: report, CacheHit: true})
+			resp.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+			s.metrics.RequestLatency.Observe(time.Since(start))
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
 	}
 	if !s.acquireSlot(w, r) {
 		return
@@ -542,7 +748,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		tr = telemetry.NewTracer(name)
 		ctx = telemetry.ContextWithTracer(ctx, tr)
 	}
-	out, ok := s.runScan(ctx, det, data)
+	out, ok := s.runScan(ctx, det, data, key, docs, flight)
 	resp := ScanResponse{RequestID: requestID(r.Context()), File: name}
 	if !ok {
 		s.metrics.Errors.Add("timeout", 1)
@@ -556,7 +762,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		tr.Finish()
 		resp.Trace = tr.Trace()
 	}
-	s.recordOutcome(&resp, out)
+	s.recordOutcome(&resp, out, out.shared)
 	scan.LogAudit(s.cfg.Audit, scan.Document{Name: name, Data: data}, det.FeatureSet(),
 		scan.Result{Name: name, Report: out.report, Timings: out.tm, Err: out.err,
 			Attempts: 1, Quarantined: out.err != nil && hostile.ExhaustsBudget(out.err)})
@@ -600,7 +806,7 @@ func (s *Server) writeBodyError(w http.ResponseWriter, err error) {
 
 func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	det := s.detector()
+	det, dcache, _ := s.pipeline()
 	if det == nil || s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "not ready"})
 		return
@@ -646,6 +852,7 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 
 	engine := scan.New(det, s.cfg.BatchWorkers)
 	engine.SetAudit(s.cfg.Audit)
+	engine.SetDocCache(dcache)
 	var results []scan.Result
 	var stats *scan.Stats
 	done := make(chan error, 1)
@@ -695,7 +902,7 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, res := range results {
 		fr := ScanResponse{File: res.Name}
-		s.recordOutcome(&fr, scanOutcome{report: res.Report, tm: res.Timings, err: res.Err})
+		s.recordOutcome(&fr, scanOutcome{report: res.Report, tm: res.Timings, err: res.Err}, res.CacheHit)
 		resp.Files[i] = fr
 	}
 	s.metrics.RequestLatency.Observe(time.Since(start))

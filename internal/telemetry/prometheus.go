@@ -37,6 +37,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", f.name, f.name, f.gauge.Value())
 		case kindGaugeFunc:
 			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", f.name, f.name, formatFloat(f.fn()))
+		case kindCounterFunc:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", f.name, f.name, f.intFn())
 		case kindLabeledCounter:
 			fmt.Fprintf(bw, "# TYPE %s counter\n", f.name)
 			keys, vals := f.labeled.values()

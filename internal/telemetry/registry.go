@@ -228,6 +228,7 @@ const (
 	kindCounter metricKind = iota + 1
 	kindGauge
 	kindGaugeFunc
+	kindCounterFunc
 	kindHistogram
 	kindLabeledCounter
 )
@@ -242,6 +243,7 @@ type family struct {
 	counter *Counter
 	gauge   *Gauge
 	fn      func() float64
+	intFn   func() int64
 	hist    *Histogram
 	labeled *LabeledCounter
 }
@@ -296,6 +298,16 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	})
 }
 
+// CounterFunc registers a monotonic counter computed at render time, for
+// cumulative totals owned by another subsystem (cache hit counts, eviction
+// counts). fn must be monotonically non-decreasing for the family to obey
+// Prometheus counter semantics.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(name, func() *family {
+		return &family{name: name, help: help, kind: kindCounterFunc, intFn: fn}
+	})
+}
+
 // Histogram registers (or fetches) a histogram family over bounds in
 // seconds (nil = DefaultLatencyBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -338,6 +350,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			tree[f.name] = f.gauge.Value()
 		case kindGaugeFunc:
 			tree[f.name] = f.fn()
+		case kindCounterFunc:
+			tree[f.name] = f.intFn()
 		case kindHistogram:
 			tree[f.name] = f.hist.jsonValue()
 		case kindLabeledCounter:

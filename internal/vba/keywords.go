@@ -36,8 +36,29 @@ var keywords = func() map[string]bool {
 	return m
 }()
 
+// maxKeywordLen bounds the stack buffer used for case folding. No keyword
+// is longer, and no longer ASCII word can be one.
+const maxKeywordLen = 16
+
 // IsKeyword reports whether word is a reserved word of VBA. The check is
-// case-insensitive.
+// case-insensitive and allocation-free for ASCII words (the lexer calls it
+// for every identifier-shaped token).
 func IsKeyword(word string) bool {
-	return keywords[strings.ToLower(word)]
+	if len(word) > maxKeywordLen {
+		return false
+	}
+	var buf [maxKeywordLen]byte
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c >= 0x80 {
+			// Unicode case folding can reach ASCII (e.g. the Kelvin sign
+			// lowercases to 'k'); defer to the full lowering.
+			return keywords[strings.ToLower(word)]
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	return keywords[string(buf[:len(word)])]
 }

@@ -3,6 +3,7 @@ package vba
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/hostile"
 )
@@ -25,8 +26,16 @@ func Lex(src string) []Token {
 // against the budget so repeated modules share one per-document allowance.
 // A nil budget disables the limit.
 func LexBudget(src string, bud *hostile.Budget) ([]Token, error) {
-	lx := lexer{src: src, line: 1, col: 1, maxTokens: bud.TokenAllowance()}
-	toks := lx.run()
+	scratch := tokScratchPool.Get().(*[]Token)
+	lx := lexer{src: src, line: 1, col: 1, maxTokens: bud.TokenAllowance(), toks: (*scratch)[:0]}
+	scratchToks := lx.run()
+	toks := make([]Token, len(scratchToks))
+	copy(toks, scratchToks)
+	clear(scratchToks) // drop the Text references before pooling
+	*scratch = scratchToks[:0]
+	if cap(scratchToks) <= maxPooledTokens {
+		tokScratchPool.Put(scratch)
+	}
 	chargeErr := bud.AddTokens(int64(len(toks)))
 	if lx.overflow {
 		if chargeErr == nil {
@@ -37,6 +46,18 @@ func LexBudget(src string, bud *hostile.Budget) ([]Token, error) {
 	}
 	return toks, chargeErr
 }
+
+// tokScratchPool recycles lexer token buffers: the lexer appends into a
+// pooled buffer and LexBudget copies the exact-size result out, so steady
+// state lexing pays one right-sized allocation instead of a growth series.
+var tokScratchPool = sync.Pool{New: func() any {
+	s := make([]Token, 0, 256)
+	return &s
+}}
+
+// maxPooledTokens caps the buffers the pool retains; a pathological
+// document should not pin a huge scratch slice for the process lifetime.
+const maxPooledTokens = 1 << 14
 
 type lexer struct {
 	src       string

@@ -270,7 +270,11 @@ func (p *parser) parseProcedure(line []Token, kwIdx int, kind string) {
 	}
 	p.scanCalls(line[i:]) // default-value expressions may contain calls
 	// Consume the body until "End Sub|Function|Property".
-	endWord := strings.ToLower(strings.Fields(kind)[0])
+	endWord := kind
+	if sp := strings.IndexByte(endWord, ' '); sp >= 0 {
+		endWord = endWord[:sp]
+	}
+	endWord = lower(endWord)
 	lastLine := proc.StartLine
 	bodyChars := 0
 	for p.pos < len(p.toks) {
@@ -662,7 +666,54 @@ func identName(text string) string {
 	return s
 }
 
-func lower(s string) string { return strings.ToLower(s) }
+// lowerCanon interns the lowercase form of every keyword so the parser's
+// case-folded comparisons can return a shared string instead of allocating
+// one per token.
+var lowerCanon = func() map[string]string {
+	m := make(map[string]string, len(keywords))
+	for k := range keywords {
+		m[k] = k
+	}
+	return m
+}()
+
+// lower is strings.ToLower specialized for the parser's keyword
+// comparisons: already-lowercase input is returned as-is, short ASCII
+// input folds through a stack buffer and the keyword intern table, and
+// only unusual input (non-ASCII, very long) pays for a real ToLower.
+func lower(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' || c >= 0x80 {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	if len(s) <= maxKeywordLen {
+		var buf [maxKeywordLen]byte
+		ascii := true
+		for j := 0; j < len(s); j++ {
+			c := s[j]
+			if c >= 0x80 {
+				ascii = false
+				break
+			}
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf[j] = c
+		}
+		if ascii {
+			if canon, ok := lowerCanon[string(buf[:len(s)])]; ok {
+				return canon
+			}
+			return string(buf[:len(s)])
+		}
+	}
+	return strings.ToLower(s)
+}
 
 func firstWord(scope, kw string) string {
 	if scope != "" {

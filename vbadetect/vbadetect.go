@@ -21,6 +21,7 @@ import (
 	"io"
 
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/deob"
 	"repro/internal/extract"
@@ -136,6 +137,37 @@ func ScanOne(det *Detector, data []byte) (*FileReport, Timings, error) {
 // instead of an unbounded parse.
 func ScanOneCtx(ctx context.Context, det *Detector, data []byte) (*FileReport, Timings, error) {
 	return scan.ScanOneCtx(ctx, det, data)
+}
+
+// Content-addressed verdict caching — duplicate documents and macros are
+// common in mail-gateway traffic, and detection is a pure function of the
+// bytes, so repeated inputs can be answered from a bounded LRU without
+// re-running the pipeline (see internal/cache).
+
+type (
+	// MacroCache memoizes per-macro featurization and classification,
+	// keyed by the SHA-256 of the normalized macro source. Attach with
+	// Detector.SetMacroCache.
+	MacroCache = core.MacroCache
+	// DocCache memoizes whole-document reports, keyed by the SHA-256 of
+	// the file bytes. Degraded reports are never cached. Attach with
+	// Engine.SetDocCache.
+	DocCache = scan.DocCache
+	// CacheStats is a point-in-time snapshot of one cache's counters.
+	CacheStats = cache.Stats
+)
+
+// NewMacroCache builds a macro-level verdict cache bounded by entry count
+// and charged bytes (<= 0 disables the respective bound; both <= 0 returns
+// nil, which every consumer treats as caching disabled).
+func NewMacroCache(maxEntries int, maxBytes int64) *MacroCache {
+	return core.NewMacroCache(maxEntries, maxBytes)
+}
+
+// NewDocCache builds a document-level report cache with the same bounding
+// rules as NewMacroCache.
+func NewDocCache(maxEntries int, maxBytes int64) *DocCache {
+	return scan.NewDocCache(maxEntries, maxBytes)
 }
 
 // Hostile-input hardening — resource budgets, the error taxonomy and the
