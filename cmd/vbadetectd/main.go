@@ -22,10 +22,13 @@
 // Per-document resource budgets (hostile-input hardening) are set with the
 // -limit-* flags, the verdict audit log with the -telemetry-audit-* flags,
 // and the content-addressed verdict caches with -cache-entries /
-// -cache-bytes; each also reads a VBADETECTD_* environment variable as its
-// default, so containerized deployments can tune them without changing
-// the command line. Flags win over the environment; 0 means the built-in
-// default.
+// -cache-bytes. -model-mmap memory-maps a compiled model container
+// (vbadetect train -compiled) so all workers share one read-only forest
+// image, and -classify-batch-window coalesces feature rows from concurrent
+// scans into shared forest batch calls. Each flag also reads a VBADETECTD_*
+// environment variable as its default, so containerized deployments can
+// tune them without changing the command line. Flags win over the
+// environment; 0 means the built-in default.
 package main
 
 import (
@@ -74,6 +77,24 @@ func envFloat(name string, def float64) float64 {
 func envString(name, def string) string {
 	if v := os.Getenv(name); v != "" {
 		return v
+	}
+	return def
+}
+
+func envBool(name string, def bool) bool {
+	if v := os.Getenv(name); v != "" {
+		if b, err := strconv.ParseBool(v); err == nil {
+			return b
+		}
+	}
+	return def
+}
+
+func envDuration(name string, def time.Duration) time.Duration {
+	if v := os.Getenv(name); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
 	}
 	return def
 }
@@ -132,6 +153,15 @@ func run(args []string) error {
 	cacheBytes := fs.Int64("cache-bytes",
 		envInt64("VBADETECTD_CACHE_BYTES", 0),
 		"verdict cache byte budget (0 = default 256MiB, negative = bound by entries alone)")
+	modelMmap := fs.Bool("model-mmap",
+		envBool("VBADETECTD_MODEL_MMAP", false),
+		"memory-map the model file; with a compiled container (vbadetect train -compiled) workers share one read-only model image")
+	batchWindow := fs.Duration("classify-batch-window",
+		envDuration("VBADETECTD_CLASSIFY_BATCH_WINDOW", 0),
+		"coalesce feature rows from concurrent scans into one classify call for up to this long (0 = disabled)")
+	batchMaxRows := fs.Int("classify-batch-max-rows",
+		envInt("VBADETECTD_CLASSIFY_BATCH_MAX_ROWS", 0),
+		"max rows merged into one coalesced classify call (0 = default 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,16 +181,19 @@ func run(args []string) error {
 		})
 	}
 	srv, err := server.NewFromModelFile(*modelPath, server.Config{
-		MaxBodyBytes: *maxBody,
-		MaxInFlight:  *maxInFlight,
-		QueueWait:    *queueWait,
-		ScanTimeout:  *scanTimeout,
-		BatchWorkers: *batchWorkers,
-		EnablePprof:  *enablePprof,
-		Logger:       logger,
-		Audit:        audit,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheBytes,
+		MaxBodyBytes:         *maxBody,
+		MaxInFlight:          *maxInFlight,
+		QueueWait:            *queueWait,
+		ScanTimeout:          *scanTimeout,
+		BatchWorkers:         *batchWorkers,
+		EnablePprof:          *enablePprof,
+		Logger:               logger,
+		Audit:                audit,
+		CacheEntries:         *cacheEntries,
+		CacheBytes:           *cacheBytes,
+		ModelMmap:            *modelMmap,
+		ClassifyBatchWindow:  *batchWindow,
+		ClassifyBatchMaxRows: *batchMaxRows,
 		Limits: hostile.Limits{
 			MaxDecompressedBytes: *limDecomp,
 			MaxContainerDepth:    *limDepth,
@@ -217,6 +250,9 @@ func run(args []string) error {
 	// scans whose requester timed out but whose goroutine is still running.
 	if err := srv.Drain(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if err := srv.Close(); err != nil {
+		logger.Error("closing model mapping", "error", err)
 	}
 	logger.Info("drained, exiting")
 	return nil

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/ml"
+)
+
+// probeSources returns deterministic macro sources for score comparisons.
+func probeSources() []string {
+	spec := corpus.SmallSpec()
+	spec.BenignMacros, spec.BenignObfuscated = 12, 4
+	spec.MaliciousMacros, spec.MaliciousObfuscated = 8, 7
+	return corpus.GenerateMacros(spec).Sources()
+}
+
+// assertSameVerdicts checks that two detectors produce bit-identical scores
+// on every probe source.
+func assertSameVerdicts(t *testing.T, want, got *Detector) {
+	t.Helper()
+	for i, src := range probeSources() {
+		a, err := want.ClassifySource(src)
+		if err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		b, err := got.ClassifySource(src)
+		if err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+		if a.Score != b.Score || a.Obfuscated != b.Obfuscated {
+			t.Fatalf("probe %d: verdict drift: %v/%v vs %v/%v",
+				i, b.Score, b.Obfuscated, a.Score, a.Obfuscated)
+		}
+	}
+}
+
+func TestSaveModelCompiledRoundTrip(t *testing.T) {
+	det := trainSmall(t, AlgoRF, FeatureSetV)
+	blob, err := det.SaveModelCompiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(blob, []byte(modelMagic)) {
+		t.Fatal("SaveModelCompiled did not produce a container")
+	}
+	restored, err := LoadModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := restored.clf.(*ml.CompiledForest); !ok {
+		t.Fatalf("container load yielded %T, want *ml.CompiledForest", restored.clf)
+	}
+	assertSameVerdicts(t, det, restored)
+
+	// A detector restored from the compiled section must still be able to
+	// save the plain JSON model (via the retained raw blob) and re-save the
+	// container itself.
+	plain, err := restored.SaveModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromPlain, err := LoadModel(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVerdicts(t, det, fromPlain)
+	again, err := restored.SaveModelCompiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, blob) {
+		t.Fatal("re-saving a container-loaded detector changed the container bytes")
+	}
+}
+
+func TestSaveModelCompiledNonForest(t *testing.T) {
+	det := trainSmall(t, AlgoLDA, FeatureSetV)
+	blob, err := det.SaveModelCompiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.HasPrefix(blob, []byte(modelMagic)) {
+		t.Fatal("non-forest model should serialize as plain JSON")
+	}
+	restored, err := LoadModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameVerdicts(t, det, restored)
+}
+
+func TestLoadModelContainerSkewAndDamage(t *testing.T) {
+	det := trainSmall(t, AlgoRF, FeatureSetV)
+	blob, err := det.SaveModelCompiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("section_version_skew_falls_back", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		_, section, err := splitModelContainer(bad)
+		if err != nil || section == nil {
+			t.Fatalf("splitModelContainer: section=%v err=%v", section != nil, err)
+		}
+		binary.NativeEndian.PutUint32(section[8:], 99) // future section version
+		restored, err := LoadModel(bad)
+		if err != nil {
+			t.Fatalf("version skew should fall back to JSON, got %v", err)
+		}
+		if _, ok := restored.clf.(*ml.RandomForest); !ok {
+			t.Fatalf("fallback yielded %T, want *ml.RandomForest", restored.clf)
+		}
+		assertSameVerdicts(t, det, restored)
+	})
+
+	t.Run("container_version_skew_falls_back", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint32(bad[8:], modelContainerVersion+5)
+		restored, err := LoadModel(bad)
+		if err != nil {
+			t.Fatalf("future container version should still load JSON, got %v", err)
+		}
+		assertSameVerdicts(t, det, restored)
+	})
+
+	t.Run("section_corruption_is_an_error", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		_, section, err := splitModelContainer(bad)
+		if err != nil || section == nil {
+			t.Fatalf("splitModelContainer: section=%v err=%v", section != nil, err)
+		}
+		section[70] ^= 0x10 // flip a payload bit past the section header
+		if _, err := LoadModel(bad); err == nil {
+			t.Fatal("corrupt compiled section must not load silently")
+		}
+	})
+
+	t.Run("truncated_container_is_an_error", func(t *testing.T) {
+		if _, err := LoadModel(blob[:20]); err == nil {
+			t.Fatal("truncated preamble accepted")
+		}
+		if _, err := LoadModel(blob[:len(blob)-30]); err == nil {
+			t.Fatal("truncated section accepted")
+		}
+	})
+}
+
+func TestLoadModelFile(t *testing.T) {
+	det := trainSmall(t, AlgoRF, FeatureSetV)
+	blob, err := det.SaveModelCompiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("mmap", func(t *testing.T) {
+		loaded, err := LoadModelFile(path, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := loaded.ModelMapping()
+		if m == nil {
+			t.Fatal("mmap load of an aligned container should keep the mapping")
+		}
+		assertSameVerdicts(t, det, loaded)
+		if err := loaded.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Unmapped() {
+			t.Fatal("Close with no in-flight scans should unmap the model image")
+		}
+		if err := loaded.Close(); err != nil {
+			t.Fatalf("Close must be idempotent: %v", err)
+		}
+	})
+
+	t.Run("read", func(t *testing.T) {
+		loaded, err := LoadModelFile(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.ModelMapping() != nil {
+			t.Fatal("plain read must not report a mapping")
+		}
+		assertSameVerdicts(t, det, loaded)
+		if err := loaded.Close(); err != nil {
+			t.Fatalf("Close without a mapping: %v", err)
+		}
+	})
+
+	t.Run("missing", func(t *testing.T) {
+		if _, err := LoadModelFile(filepath.Join(t.TempDir(), "nope"), true); err == nil {
+			t.Fatal("missing model file accepted")
+		}
+	})
+}
+
+func TestSetClassifyBatchRouting(t *testing.T) {
+	det := trainSmall(t, AlgoRF, FeatureSetV)
+	calls := 0
+	det.SetClassifyBatch(func(X [][]float64) ([]int, []float64) {
+		calls++
+		return det.PredictBatch(X)
+	})
+	x := det.featureSet.Extract("Sub A()\nb = Chr(1) & Chr(2)\nEnd Sub")
+	labels, scores := det.predictRows([][]float64{x})
+	if calls != 1 {
+		t.Fatalf("classify hook called %d times, want 1", calls)
+	}
+	wantLabels, wantScores := det.PredictBatch([][]float64{x})
+	if labels[0] != wantLabels[0] || scores[0] != wantScores[0] {
+		t.Fatal("hooked classification drifted from direct PredictBatch")
+	}
+	det.SetClassifyBatch(nil)
+	det.predictRows([][]float64{x})
+	if calls != 1 {
+		t.Fatal("nil hook must restore the inline path")
+	}
+}

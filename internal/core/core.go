@@ -11,9 +11,11 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -223,6 +225,16 @@ type Detector struct {
 	workers    int
 	limits     hostile.Limits
 	macros     *MacroCache
+
+	// classifyBatch, when set, replaces the inline classifier call in
+	// ScanFileCtx's classify phase (see SetClassifyBatch).
+	classifyBatch func(X [][]float64) ([]int, []float64)
+	// modelRaw is the JSON classifier blob this detector was loaded from,
+	// kept so SaveModel works even when clf is a compiled-only forest.
+	modelRaw json.RawMessage
+	// mapping is the mmap'd model image backing clf, owned by the
+	// detector (see LoadModelFile and Close).
+	mapping *ml.Mapping
 }
 
 // SetMacroCache attaches a macro-level verdict cache consulted by
@@ -293,8 +305,44 @@ func (d *Detector) Train(sources []string, labels []int) error {
 	if err := d.clf.Fit(X, labels); err != nil {
 		return fmt.Errorf("core: train: %w", err)
 	}
+	if rf, ok := d.clf.(*ml.RandomForest); ok {
+		// Scanning is inference-only from here on; the compiled engine is
+		// bit-identical and several times faster. Non-compilable ensembles
+		// (which Fit cannot produce) just keep the flattened walk.
+		_ = rf.Compile()
+	}
+	d.modelRaw = nil
 	d.trained = true
 	return nil
+}
+
+// SetClassifyBatch overrides how ScanFileCtx's classify phase scores
+// pending feature rows — the hook point for a daemon-level coalescer that
+// merges rows from concurrent scans into one forest batch call. fn must
+// return one label and one score per input row, and must be safe for
+// concurrent calls. Configure before serving scans; a nil fn restores the
+// inline classifier call.
+func (d *Detector) SetClassifyBatch(fn func(X [][]float64) ([]int, []float64)) {
+	d.classifyBatch = fn
+}
+
+// PredictBatch scores pre-computed feature rows through the detector's
+// classifier (one batched call, bit-identical to per-row scoring). It pins
+// the model mapping for the duration of the call, so a concurrent Close
+// cannot unmap the image mid-batch.
+func (d *Detector) PredictBatch(X [][]float64) ([]int, []float64) {
+	if d.mapping != nil && d.mapping.Retain() {
+		defer d.mapping.Release()
+	}
+	return ml.PredictBatch(d.clf, X)
+}
+
+// predictRows routes the classify phase through the configured batcher.
+func (d *Detector) predictRows(X [][]float64) ([]int, []float64) {
+	if d.classifyBatch != nil {
+		return d.classifyBatch(X)
+	}
+	return d.PredictBatch(X)
 }
 
 // MacroAnalysis is the shared single-parse view of one macro: the source
@@ -594,7 +642,7 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 	// all rows per tree walk; scaled models transform each row once).
 	if len(pendIdx) > 0 {
 		t2 := time.Now()
-		labels, scores := ml.PredictBatch(d.clf, pendVec)
+		labels, scores := d.predictRows(pendVec)
 		for k, i := range pendIdx {
 			csp := pendSpan[k].Child("classify")
 			csp.End()
@@ -638,9 +686,13 @@ func (d *Detector) SaveModel() ([]byte, error) {
 	if !d.trained {
 		return nil, ErrNotTrained
 	}
-	blob, err := ml.Save(d.clf)
-	if err != nil {
-		return nil, err
+	blob := d.modelRaw
+	if blob == nil {
+		var err error
+		blob, err = ml.Save(d.clf)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return json.Marshal(modelHeader{
 		FeatureSet: d.featureSet.String(),
@@ -649,15 +701,131 @@ func (d *Detector) SaveModel() ([]byte, error) {
 	})
 }
 
-// LoadModel restores a detector saved with SaveModel.
+// Container model format: SaveModelCompiled wraps the JSON model in a
+// binary container that also carries the fixed-layout compiled-forest
+// section, so LoadModelFile can mmap the section and serve inference
+// straight off the page cache. The preamble (magic, container version,
+// reserved word, JSON length) is frozen across container versions: any
+// future reader can always locate the JSON model and fall back to it, and
+// any future writer keeps old readers working.
+const (
+	modelMagic            = "VBADMDL1"
+	modelContainerVersion = 1
+	modelPreambleSize     = 24
+)
+
+func alignModel8(n int) int { return (n + 7) &^ 7 }
+
+// SaveModelCompiled serializes the trained detector as a model container.
+// For a Random Forest the container holds the JSON model plus the compiled
+// section; for every other algorithm it returns the plain JSON model
+// (there is nothing to compile, and LoadModel accepts both forms).
+func (d *Detector) SaveModelCompiled() ([]byte, error) {
+	jsonBlob, err := d.SaveModel()
+	if err != nil {
+		return nil, err
+	}
+	var cf *ml.CompiledForest
+	switch v := d.clf.(type) {
+	case *ml.CompiledForest:
+		cf = v
+	case *ml.RandomForest:
+		if cf = v.Compiled(); cf == nil {
+			if err := v.Compile(); err != nil {
+				return jsonBlob, nil // non-compilable: plain JSON still works
+			}
+			cf = v.Compiled()
+		}
+	default:
+		return jsonBlob, nil
+	}
+	section, err := ml.EncodeCompiled(cf)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode compiled section: %w", err)
+	}
+	// Preamble and section-length words use fixed little-endian so the JSON
+	// model stays reachable on any machine; the section itself is
+	// native-endian and tagged, and a foreign-endian reader falls back.
+	le := binary.LittleEndian
+	sectionOff := alignModel8(modelPreambleSize+len(jsonBlob)) + 8
+	buf := make([]byte, sectionOff+len(section))
+	copy(buf[0:8], modelMagic)
+	le.PutUint32(buf[8:], modelContainerVersion)
+	le.PutUint64(buf[16:], uint64(len(jsonBlob)))
+	copy(buf[modelPreambleSize:], jsonBlob)
+	le.PutUint64(buf[sectionOff-8:], uint64(len(section)))
+	copy(buf[sectionOff:], section)
+	return buf, nil
+}
+
+// splitModelContainer separates a model blob into its JSON model and
+// optional compiled section. Plain JSON (no container magic) passes
+// through unchanged. An unknown container version still yields the JSON
+// model — the preamble is frozen — but the section is ignored.
+func splitModelContainer(data []byte) (jsonBlob, section []byte, err error) {
+	if len(data) < modelPreambleSize || string(data[0:8]) != modelMagic {
+		return data, nil, nil
+	}
+	le := binary.LittleEndian
+	version := le.Uint32(data[8:])
+	jsonLen := le.Uint64(data[16:])
+	if jsonLen > uint64(len(data)-modelPreambleSize) {
+		return nil, nil, errors.New("core: model container truncated")
+	}
+	jsonBlob = data[modelPreambleSize : modelPreambleSize+int(jsonLen)]
+	if version != modelContainerVersion {
+		return jsonBlob, nil, nil
+	}
+	sectionOff := alignModel8(modelPreambleSize + int(jsonLen))
+	if sectionOff == len(data) {
+		return jsonBlob, nil, nil // container without a section
+	}
+	if sectionOff+8 > len(data) {
+		return nil, nil, errors.New("core: model container truncated")
+	}
+	sectionLen := le.Uint64(data[sectionOff:])
+	if sectionLen > uint64(len(data)-sectionOff-8) {
+		return nil, nil, errors.New("core: model container truncated")
+	}
+	return jsonBlob, data[sectionOff+8 : sectionOff+8+int(sectionLen)], nil
+}
+
+// LoadModel restores a detector saved with SaveModel or SaveModelCompiled.
+// For a container, the compiled section is preferred; version or
+// endianness skew in the section falls back cleanly to the embedded JSON
+// model, while a corrupt section (bad checksum, hostile indices) is
+// surfaced as an error rather than silently ignored.
 func LoadModel(data []byte) (*Detector, error) {
+	return loadModel(data, nil)
+}
+
+func loadModel(data []byte, m *ml.Mapping) (*Detector, error) {
+	jsonBlob, section, err := splitModelContainer(data)
+	if err != nil {
+		return nil, err
+	}
 	var head modelHeader
-	if err := json.Unmarshal(data, &head); err != nil {
+	if err := json.Unmarshal(jsonBlob, &head); err != nil {
 		return nil, fmt.Errorf("core: bad model: %w", err)
 	}
-	clf, err := ml.Load(head.Model)
-	if err != nil {
-		return nil, fmt.Errorf("core: bad model: %w", err)
+	var clf ml.Classifier
+	if section != nil && Algorithm(head.Algorithm) == AlgoRF {
+		cf, err := ml.DecodeCompiled(section, m)
+		switch {
+		case err == nil:
+			clf = cf
+		case errors.Is(err, ml.ErrSnapshotVersion), errors.Is(err, ml.ErrSnapshotEndian):
+			// Reader skew, not damage: the JSON model below is equivalent.
+		default:
+			return nil, fmt.Errorf("core: bad model: %w", err)
+		}
+	}
+	if clf == nil {
+		var err error
+		clf, err = ml.Load(head.Model)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad model: %w", err)
+		}
 	}
 	fs := FeatureSetV
 	if head.FeatureSet == "J" {
@@ -668,5 +836,52 @@ func LoadModel(data []byte) (*Detector, error) {
 		algo:       Algorithm(head.Algorithm),
 		clf:        clf,
 		trained:    true,
+		modelRaw:   append(json.RawMessage(nil), head.Model...),
 	}, nil
+}
+
+// LoadModelFile restores a detector from a model file. With useMmap set
+// and a container whose compiled section can be aliased in place, the
+// detector serves inference directly off the read-only mapping — N
+// workers (and, via the page cache, N processes) share one model image —
+// and owns the mapping: call Close when done. In every other case the
+// file is read and decoded into process memory.
+func LoadModelFile(path string, useMmap bool) (*Detector, error) {
+	if !useMmap {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("core: read model: %w", err)
+		}
+		return LoadModel(data)
+	}
+	m, err := ml.MapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: map model: %w", err)
+	}
+	det, err := loadModel(m.Data(), m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	if cf, ok := det.clf.(*ml.CompiledForest); ok && cf.Mapping() == m {
+		det.mapping = m
+	} else {
+		m.Close() // decode copied (or fell back to JSON); mapping unused
+	}
+	return det, nil
+}
+
+// ModelMapping returns the mmap'd model image backing this detector, or
+// nil when the model lives in process memory.
+func (d *Detector) ModelMapping() *ml.Mapping { return d.mapping }
+
+// Close releases the detector's model mapping, if any. The underlying
+// image stays mapped until in-flight batch scoring calls that pinned it
+// finish; new scans must not start after Close. Close is idempotent and a
+// no-op for detectors without a mapping.
+func (d *Detector) Close() error {
+	if d.mapping != nil {
+		return d.mapping.Close()
+	}
+	return nil
 }

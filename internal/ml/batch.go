@@ -36,6 +36,10 @@ func predictBatchInto(c Classifier, X [][]float64, labels []int, scores []float6
 			thresholdLabels(scores, labels)
 			return
 		}
+	case *CompiledForest:
+		v.ScoreBatch(X, scores)
+		thresholdLabels(scores, labels)
+		return
 	case *Scaled:
 		if v.fitted {
 			// Transform each row once and batch into the inner model;

@@ -1,0 +1,843 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// CompiledForest is an immutable, branch-minimal inference engine built
+// from a fitted RandomForest at model-load time. It produces bit-identical
+// scores and labels to the forest it was compiled from; only the memory
+// layout and traversal change:
+//
+//   - Every tree's nodes live in one contiguous array in breadth-first
+//     (per-depth) order with sibling children adjacent, so one node is one
+//     16-byte load (12 when quantized) instead of five scattered slice
+//     reads, and advancing is `child = kids + b` with a branchless compare.
+//   - Leaves are marked with a NaN threshold and self-loop (kids points one
+//     slot back, and `x <= NaN` is false for every x, so a finished row
+//     keeps landing on its leaf). That removes the per-step "is this a
+//     leaf" branch from the batch walk: each tree runs a fixed number of
+//     steps equal to its depth, and four rows advance through the tree in
+//     lockstep so their independent node loads overlap in the pipeline
+//     instead of serializing on one row's pointer chain.
+//   - Thresholds are quantized to float32 when every threshold in the
+//     forest round-trips float64→float32→float64 exactly — the comparison
+//     then uses the widened float32, which is the same IEEE value, so the
+//     quantization error bound is zero by construction. Forests with any
+//     non-round-tripping threshold keep the float64 layout.
+//   - Trees whose depth is at most heapMaxDepth are padded to complete
+//     binary trees in implicit heap layout (children of j at 2j+1, 2j+2):
+//     no child indices are stored at all, and the walk ends in a leaf-table
+//     lookup. Early leaves replicate their probability across every
+//     descendant leaf slot, so any padded path lands on the right answer.
+//   - Batch scoring tiles rows × trees: consecutive trees are grouped into
+//     blocks whose nodes fit in L1/L2 (treeBlockBytes) and each row block
+//     visits a whole tree block before moving on, so node arrays are pulled
+//     from memory once per row block instead of once per row.
+//
+// A CompiledForest may alias the arrays of an mmap'd model snapshot (see
+// DecodeCompiled); Mapping returns the backing mapping so callers can pin
+// it across a batch.
+type CompiledForest struct {
+	trees  []ctree
+	blocks []int32 // tree-block boundaries: block b is trees[blocks[b]:blocks[b+1]]
+	dim    int
+
+	quantized bool
+
+	// Compact trees (depth > heapMaxDepth). Exactly one of nodes/qnodes is
+	// populated, per quantized. prob[i] is the leaf probability of node i
+	// (meaningful only where the threshold is NaN).
+	nodes  []cfNode
+	qnodes []cfQNode
+	prob   []float64
+
+	// Heap (leaf-table) trees: parallel internal-node arrays plus the leaf
+	// probability table. One of hThr/hQThr is populated, per quantized.
+	hThr  []float64
+	hQThr []float32
+	hFeat []uint16
+	hProb []float64
+
+	mapping *Mapping
+}
+
+// cfNode is one compact-layout node: 16 bytes, one cache line holds four.
+// Internal: thr is the split threshold, kids the index of the left child
+// (right child at kids+1), feat the feature compared. Leaf: thr is NaN
+// (x <= NaN is false for every x, including NaN, so the fixed-depth batch
+// walk self-loops via kids = self-1), and the probability lives in the
+// parallel prob array.
+type cfNode struct {
+	thr  float64
+	kids int32
+	feat uint16
+	_    uint16
+}
+
+// cfQNode is the quantized compact node: float32 threshold, 12 bytes.
+type cfQNode struct {
+	thr  float32
+	kids int32
+	feat uint16
+	_    uint16
+}
+
+// ctree dispatches one tree of the compiled ensemble.
+type ctree struct {
+	// root is the node index of the tree's root (compact trees) or the base
+	// index into hThr/hFeat (heap trees).
+	root uint32
+	// leaf is the base index into hProb (heap trees only).
+	leaf uint32
+	// depth is the fixed step count of the batch walk.
+	depth uint16
+	// kind selects the layout.
+	kind uint16
+	_    uint32
+}
+
+const (
+	treeCompact = 0
+	treeHeap    = 1
+
+	// heapMaxDepth is the deepest tree stored in padded heap layout:
+	// 2^8 = 256 leaf slots and 255 internal nodes per tree.
+	heapMaxDepth = 8
+
+	// treeBlockBytes sizes a tree block: consecutive trees whose node
+	// arrays together stay within the L1/L2 working set while a row block
+	// streams through them.
+	treeBlockBytes = 192 << 10
+
+	// rowBlock is the row-tile size of the batch walk.
+	rowBlock = 64
+)
+
+// ErrNotCompilable reports a forest whose thresholds cannot be represented
+// by the compiled layout (non-finite splits).
+var ErrNotCompilable = errors.New("ml: forest is not compilable")
+
+// CompileForest compiles a fitted RandomForest into its branch-minimal
+// inference form. The compiled forest is verified bit-identical to the
+// source ensemble by construction: same tree shapes, same IEEE threshold
+// values, same leaf probabilities, and the same ascending-tree summation
+// order in Score/ScoreBatch.
+func CompileForest(f *RandomForest) (*CompiledForest, error) {
+	if f == nil || !f.fitted || len(f.ensemble) == 0 {
+		return nil, ErrNotFitted
+	}
+	c := &CompiledForest{trees: make([]ctree, 0, len(f.ensemble))}
+
+	// Pass 1 — validate splits, find the feature dimension, and decide
+	// quantization: float32 thresholds are used only when every threshold
+	// in the forest round-trips exactly, which keeps the comparison values
+	// identical and the quantization error at zero.
+	quantized := true
+	for _, t := range f.ensemble {
+		if err := walkSplits(t.root, &quantized, &c.dim); err != nil {
+			return nil, err
+		}
+	}
+	c.quantized = quantized
+	if c.dim == 0 {
+		c.dim = 1 // all-leaf ensemble; the batch kernels still probe x[0]
+	}
+
+	// Pass 2 — lay the trees out.
+	for _, t := range f.ensemble {
+		if t.root == nil {
+			return nil, ErrNotCompilable
+		}
+		d := t.Depth()
+		if d <= heapMaxDepth {
+			c.appendHeapTree(t.root, d)
+		} else {
+			c.appendCompactTree(t.root, d)
+		}
+	}
+	c.buildBlocks()
+	return c, nil
+}
+
+// walkSplits validates that every split threshold is finite and its
+// feature index fits the node encoding, tracks the feature dimension, and
+// records whether all thresholds survive float32 round-tripping.
+func walkSplits(n *treeNode, quantized *bool, dim *int) error {
+	if n == nil || n.left == nil {
+		return nil
+	}
+	if math.IsNaN(n.threshold) || math.IsInf(n.threshold, 0) {
+		return fmt.Errorf("%w: non-finite split threshold %v", ErrNotCompilable, n.threshold)
+	}
+	if n.feature < 0 || n.feature > 0xFFFF {
+		return fmt.Errorf("%w: feature index %d out of range", ErrNotCompilable, n.feature)
+	}
+	if n.feature+1 > *dim {
+		*dim = n.feature + 1
+	}
+	if float64(float32(n.threshold)) != n.threshold {
+		*quantized = false
+	}
+	if err := walkSplits(n.left, quantized, dim); err != nil {
+		return err
+	}
+	return walkSplits(n.right, quantized, dim)
+}
+
+// appendCompactTree emits one tree into the compact arrays in BFS order:
+// nodes of each depth are contiguous and the two children of a split are
+// adjacent, so the walk needs a single child index per node.
+func (c *CompiledForest) appendCompactTree(root *treeNode, depth int) {
+	base := len(c.prob)
+	// BFS with explicit queue; queue entries remember the emitted slot so
+	// parents can patch their kids index once children are placed.
+	type slot struct {
+		n  *treeNode
+		at int32
+	}
+	emit := func(n *treeNode) int32 {
+		at := int32(len(c.prob))
+		if n.left == nil {
+			// Leaf: NaN threshold marks it and forces b=1 in the branchless
+			// step, so kids = self-1 self-loops the fixed-depth walk.
+			if c.quantized {
+				c.qnodes = append(c.qnodes, cfQNode{thr: float32(math.NaN()), kids: at - 1})
+			} else {
+				c.nodes = append(c.nodes, cfNode{thr: math.NaN(), kids: at - 1})
+			}
+			c.prob = append(c.prob, n.prob)
+			return at
+		}
+		if c.quantized {
+			c.qnodes = append(c.qnodes, cfQNode{thr: float32(n.threshold), feat: uint16(n.feature)})
+		} else {
+			c.nodes = append(c.nodes, cfNode{thr: n.threshold, feat: uint16(n.feature)})
+		}
+		c.prob = append(c.prob, 0)
+		return at
+	}
+	queue := []slot{{n: root, at: emit(root)}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s.n.left == nil {
+			continue
+		}
+		l := emit(s.n.left)
+		r := emit(s.n.right)
+		_ = r // r == l+1 by construction
+		if c.quantized {
+			c.qnodes[s.at].kids = l
+		} else {
+			c.nodes[s.at].kids = l
+		}
+		queue = append(queue, slot{n: s.n.left, at: l}, slot{n: s.n.right, at: l + 1})
+	}
+	c.trees = append(c.trees, ctree{
+		root:  uint32(base),
+		depth: uint16(depth),
+		kind:  treeCompact,
+	})
+}
+
+// appendHeapTree emits one shallow tree as a padded complete binary tree of
+// the given depth in implicit heap layout. A leaf reached before the padded
+// depth replicates its probability across every descendant leaf slot, so
+// whatever the padded comparisons do, the walk lands on the right answer.
+func (c *CompiledForest) appendHeapTree(root *treeNode, depth int) {
+	base := len(c.hFeat)
+	leafBase := len(c.hProb)
+	internal := (1 << depth) - 1
+	leaves := 1 << depth
+	if c.quantized {
+		c.hQThr = append(c.hQThr, make([]float32, internal)...)
+	} else {
+		c.hThr = append(c.hThr, make([]float64, internal)...)
+	}
+	c.hFeat = append(c.hFeat, make([]uint16, internal)...)
+	c.hProb = append(c.hProb, make([]float64, leaves)...)
+
+	setThr := func(j int, v float64) {
+		if c.quantized {
+			c.hQThr[base+j] = float32(v)
+		} else {
+			c.hThr[base+j] = v
+		}
+	}
+	var fill func(n *treeNode, j, d int)
+	fill = func(n *treeNode, j, d int) {
+		if d == depth {
+			c.hProb[leafBase+j-internal] = n.prob
+			return
+		}
+		if n.left == nil {
+			// Padding: keep descending with an arbitrary comparison; every
+			// reachable leaf slot repeats this leaf's probability.
+			setThr(j, math.NaN())
+			fill(n, 2*j+1, d+1)
+			fill(n, 2*j+2, d+1)
+			return
+		}
+		setThr(j, n.threshold)
+		c.hFeat[base+j] = uint16(n.feature)
+		fill(n.left, 2*j+1, d+1)
+		fill(n.right, 2*j+2, d+1)
+	}
+	fill(root, 0, 0)
+	c.trees = append(c.trees, ctree{
+		root:  uint32(base),
+		leaf:  uint32(leafBase),
+		depth: uint16(depth),
+		kind:  treeHeap,
+	})
+}
+
+// treeBytes approximates the node working set of tree t, used to size
+// cache-resident tree blocks.
+func (c *CompiledForest) treeBytes(i int) int {
+	t := &c.trees[i]
+	if t.kind == treeHeap {
+		per := 10 // feat + f64 thr amortized
+		if c.quantized {
+			per = 6
+		}
+		return per * ((1 << t.depth) - 1)
+	}
+	// Node span: compact trees are emitted contiguously, so the next tree's
+	// root (or the array end) bounds this one.
+	end := len(c.prob)
+	for j := i + 1; j < len(c.trees); j++ {
+		if c.trees[j].kind == treeCompact {
+			end = int(c.trees[j].root)
+			break
+		}
+	}
+	per := 16
+	if c.quantized {
+		per = 12
+	}
+	return per * (end - int(t.root))
+}
+
+// buildBlocks groups consecutive trees into blocks of at most
+// treeBlockBytes of node data.
+func (c *CompiledForest) buildBlocks() {
+	c.blocks = c.blocks[:0]
+	c.blocks = append(c.blocks, 0)
+	bytes := 0
+	for i := range c.trees {
+		b := c.treeBytes(i)
+		if bytes > 0 && bytes+b > treeBlockBytes {
+			c.blocks = append(c.blocks, int32(i))
+			bytes = 0
+		}
+		bytes += b
+	}
+	c.blocks = append(c.blocks, int32(len(c.trees)))
+}
+
+// Trees reports the ensemble size.
+func (c *CompiledForest) Trees() int { return len(c.trees) }
+
+// Quantized reports whether the forest uses the float32 threshold layout
+// (chosen only when exact, see CompileForest).
+func (c *CompiledForest) Quantized() bool { return c.quantized }
+
+// Mapping returns the mmap'd snapshot backing this forest's arrays, or nil
+// when the forest owns its memory. Callers sharing a mapping across
+// goroutines should Retain it for the duration of use.
+func (c *CompiledForest) Mapping() *Mapping { return c.mapping }
+
+// Name implements Classifier.
+func (c *CompiledForest) Name() string { return "RF" }
+
+// Fit implements Classifier; a compiled forest is immutable.
+func (c *CompiledForest) Fit(X [][]float64, y []int) error {
+	return errors.New("ml: CompiledForest is read-only; fit a RandomForest and compile it")
+}
+
+// Predict implements Classifier.
+func (c *CompiledForest) Predict(x []float64) int {
+	if c.Score(x) >= 0.5 {
+		return Positive
+	}
+	return Negative
+}
+
+// Score returns the mean positive probability across trees, bit-identical
+// to the source RandomForest.Score (same per-tree leaves, same ascending
+// summation order, same final division).
+func (c *CompiledForest) Score(x []float64) float64 {
+	if len(c.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range c.trees {
+		sum += c.scoreTree(&c.trees[i], x)
+	}
+	return sum / float64(len(c.trees))
+}
+
+// scoreTree walks one tree for one row with early leaf exit.
+func (c *CompiledForest) scoreTree(t *ctree, x []float64) float64 {
+	if t.kind == treeHeap {
+		d := int(t.depth)
+		j := 0
+		if c.quantized {
+			thr := c.hQThr[t.root:]
+			feat := c.hFeat[t.root:]
+			for s := 0; s < d; s++ {
+				b := 1
+				if x[feat[j]] <= float64(thr[j]) {
+					b = 0
+				}
+				j = 2*j + 1 + b
+			}
+		} else {
+			thr := c.hThr[t.root:]
+			feat := c.hFeat[t.root:]
+			for s := 0; s < d; s++ {
+				b := 1
+				if x[feat[j]] <= thr[j] {
+					b = 0
+				}
+				j = 2*j + 1 + b
+			}
+		}
+		return c.hProb[int(t.leaf)+j-((1<<t.depth)-1)]
+	}
+	j := int32(t.root)
+	if c.quantized {
+		nodes := c.qnodes
+		for {
+			n := nodes[j]
+			if n.thr != n.thr { // NaN threshold marks a leaf
+				return c.prob[j]
+			}
+			if x[n.feat] <= float64(n.thr) {
+				j = n.kids
+			} else {
+				j = n.kids + 1
+			}
+		}
+	}
+	nodes := c.nodes
+	for {
+		n := nodes[j]
+		if n.thr != n.thr {
+			return c.prob[j]
+		}
+		if x[n.feat] <= n.thr {
+			j = n.kids
+		} else {
+			j = n.kids + 1
+		}
+	}
+}
+
+// ScoreBatch scores every row of X into out (len(out) must equal len(X)),
+// bit-identical to per-row Score: each out[k] accumulates trees in
+// ascending ensemble order and is divided once at the end.
+//
+// The hot kernels use raw pointer loads with no per-step bounds checks.
+// That is safe because (a) node and leaf indices were validated against
+// array bounds when the forest was compiled or decoded (see validate),
+// and (b) feature loads stay inside each row only if the row is at least
+// dim wide — checked here, with any narrower batch routed through the
+// fully bounds-checked fallback (which panics exactly where the reference
+// walk would).
+func (c *CompiledForest) ScoreBatch(X [][]float64, out []float64) {
+	for k := range out {
+		out[k] = 0
+	}
+	if len(c.trees) == 0 || len(X) == 0 {
+		return
+	}
+	for _, x := range X {
+		if len(x) < c.dim {
+			c.scoreBatchSafe(X, out)
+			return
+		}
+	}
+	for rb := 0; rb < len(X); rb += rowBlock {
+		re := rb + rowBlock
+		if re > len(X) {
+			re = len(X)
+		}
+		rows := X[rb:re]
+		acc := out[rb:re]
+		for b := 0; b+1 < len(c.blocks); b++ {
+			for ti := c.blocks[b]; ti < c.blocks[b+1]; ti++ {
+				t := &c.trees[ti]
+				switch {
+				case t.kind == treeHeap && c.quantized:
+					c.walkHeapQ(t, rows, acc)
+				case t.kind == treeHeap:
+					c.walkHeap(t, rows, acc)
+				case c.quantized:
+					c.walkCompactQ(t, rows, acc)
+				default:
+					c.walkCompact(t, rows, acc)
+				}
+			}
+		}
+	}
+	n := float64(len(c.trees))
+	for k := range out {
+		out[k] /= n
+	}
+}
+
+// scoreBatchSafe is the fully bounds-checked batch path, used when some
+// row is narrower than the model dimension; identical accumulation order.
+func (c *CompiledForest) scoreBatchSafe(X [][]float64, out []float64) {
+	for k, x := range X {
+		sum := 0.0
+		for i := range c.trees {
+			sum += c.scoreTree(&c.trees[i], x)
+		}
+		out[k] = sum / float64(len(c.trees))
+	}
+}
+
+// walkCompact advances four rows through one compact tree in lockstep for
+// a fixed depth steps. The four cursors are independent, so their node
+// loads overlap instead of serializing on one row's dependent-load chain;
+// rows that reach a leaf early self-loop on it (NaN threshold compares
+// false, kids points one slot back). Loads are raw pointers — indices were
+// bounds-validated at compile/decode time, and ScoreBatch guarantees every
+// row is at least dim wide.
+func (c *CompiledForest) walkCompact(t *ctree, X [][]float64, out []float64) {
+	nodes := unsafe.Pointer(&c.nodes[0])
+	prob := unsafe.Pointer(&c.prob[0])
+	root := uintptr(t.root)
+	depth := int(t.depth)
+	k := 0
+	for ; k+4 <= len(X); k += 4 {
+		p0 := unsafe.Pointer(&X[k][0])
+		p1 := unsafe.Pointer(&X[k+1][0])
+		p2 := unsafe.Pointer(&X[k+2][0])
+		p3 := unsafe.Pointer(&X[k+3][0])
+		j0, j1, j2, j3 := root, root, root, root
+		for s := 0; s < depth; s++ {
+			n0 := (*cfNode)(unsafe.Add(nodes, j0*16))
+			n1 := (*cfNode)(unsafe.Add(nodes, j1*16))
+			n2 := (*cfNode)(unsafe.Add(nodes, j2*16))
+			n3 := (*cfNode)(unsafe.Add(nodes, j3*16))
+			b0, b1, b2, b3 := uintptr(1), uintptr(1), uintptr(1), uintptr(1)
+			if *(*float64)(unsafe.Add(p0, uintptr(n0.feat)*8)) <= n0.thr {
+				b0 = 0
+			}
+			if *(*float64)(unsafe.Add(p1, uintptr(n1.feat)*8)) <= n1.thr {
+				b1 = 0
+			}
+			if *(*float64)(unsafe.Add(p2, uintptr(n2.feat)*8)) <= n2.thr {
+				b2 = 0
+			}
+			if *(*float64)(unsafe.Add(p3, uintptr(n3.feat)*8)) <= n3.thr {
+				b3 = 0
+			}
+			j0 = uintptr(n0.kids) + b0
+			j1 = uintptr(n1.kids) + b1
+			j2 = uintptr(n2.kids) + b2
+			j3 = uintptr(n3.kids) + b3
+		}
+		out[k] += *(*float64)(unsafe.Add(prob, j0*8))
+		out[k+1] += *(*float64)(unsafe.Add(prob, j1*8))
+		out[k+2] += *(*float64)(unsafe.Add(prob, j2*8))
+		out[k+3] += *(*float64)(unsafe.Add(prob, j3*8))
+	}
+	for ; k < len(X); k++ {
+		x := X[k]
+		j := int32(t.root)
+		nn := c.nodes
+		for s := 0; s < depth; s++ {
+			n := nn[j]
+			b := int32(1)
+			if x[n.feat] <= n.thr {
+				b = 0
+			}
+			j = n.kids + b
+		}
+		out[k] += c.prob[j]
+	}
+}
+
+// walkCompactQ is walkCompact over the quantized node layout. The float32
+// threshold widens to the identical float64 value (quantization is only
+// chosen when exact), so the comparison is unchanged.
+func (c *CompiledForest) walkCompactQ(t *ctree, X [][]float64, out []float64) {
+	nodes := unsafe.Pointer(&c.qnodes[0])
+	prob := unsafe.Pointer(&c.prob[0])
+	root := uintptr(t.root)
+	depth := int(t.depth)
+	k := 0
+	for ; k+4 <= len(X); k += 4 {
+		p0 := unsafe.Pointer(&X[k][0])
+		p1 := unsafe.Pointer(&X[k+1][0])
+		p2 := unsafe.Pointer(&X[k+2][0])
+		p3 := unsafe.Pointer(&X[k+3][0])
+		j0, j1, j2, j3 := root, root, root, root
+		for s := 0; s < depth; s++ {
+			n0 := (*cfQNode)(unsafe.Add(nodes, j0*12))
+			n1 := (*cfQNode)(unsafe.Add(nodes, j1*12))
+			n2 := (*cfQNode)(unsafe.Add(nodes, j2*12))
+			n3 := (*cfQNode)(unsafe.Add(nodes, j3*12))
+			b0, b1, b2, b3 := uintptr(1), uintptr(1), uintptr(1), uintptr(1)
+			if *(*float64)(unsafe.Add(p0, uintptr(n0.feat)*8)) <= float64(n0.thr) {
+				b0 = 0
+			}
+			if *(*float64)(unsafe.Add(p1, uintptr(n1.feat)*8)) <= float64(n1.thr) {
+				b1 = 0
+			}
+			if *(*float64)(unsafe.Add(p2, uintptr(n2.feat)*8)) <= float64(n2.thr) {
+				b2 = 0
+			}
+			if *(*float64)(unsafe.Add(p3, uintptr(n3.feat)*8)) <= float64(n3.thr) {
+				b3 = 0
+			}
+			j0 = uintptr(n0.kids) + b0
+			j1 = uintptr(n1.kids) + b1
+			j2 = uintptr(n2.kids) + b2
+			j3 = uintptr(n3.kids) + b3
+		}
+		out[k] += *(*float64)(unsafe.Add(prob, j0*8))
+		out[k+1] += *(*float64)(unsafe.Add(prob, j1*8))
+		out[k+2] += *(*float64)(unsafe.Add(prob, j2*8))
+		out[k+3] += *(*float64)(unsafe.Add(prob, j3*8))
+	}
+	for ; k < len(X); k++ {
+		x := X[k]
+		j := int32(t.root)
+		nn := c.qnodes
+		for s := 0; s < depth; s++ {
+			n := nn[j]
+			b := int32(1)
+			if x[n.feat] <= float64(n.thr) {
+				b = 0
+			}
+			j = n.kids + b
+		}
+		out[k] += c.prob[j]
+	}
+}
+
+// walkHeap advances four rows through one padded heap tree: children live
+// at 2j+1 and 2j+2, so the walk is pure index arithmetic with no child
+// pointers, ending in a leaf-table lookup. Depth-0 trees are a bare
+// leaf-table read.
+func (c *CompiledForest) walkHeap(t *ctree, X [][]float64, out []float64) {
+	depth := int(t.depth)
+	if depth == 0 {
+		p := c.hProb[t.leaf]
+		for k := range X {
+			out[k] += p
+		}
+		return
+	}
+	thr := unsafe.Pointer(&c.hThr[t.root])
+	feat := unsafe.Pointer(&c.hFeat[t.root])
+	leaves := unsafe.Pointer(&c.hProb[t.leaf])
+	off := uintptr((1 << depth) - 1)
+	k := 0
+	for ; k+4 <= len(X); k += 4 {
+		p0 := unsafe.Pointer(&X[k][0])
+		p1 := unsafe.Pointer(&X[k+1][0])
+		p2 := unsafe.Pointer(&X[k+2][0])
+		p3 := unsafe.Pointer(&X[k+3][0])
+		var j0, j1, j2, j3 uintptr
+		for s := 0; s < depth; s++ {
+			f0 := uintptr(*(*uint16)(unsafe.Add(feat, j0*2)))
+			f1 := uintptr(*(*uint16)(unsafe.Add(feat, j1*2)))
+			f2 := uintptr(*(*uint16)(unsafe.Add(feat, j2*2)))
+			f3 := uintptr(*(*uint16)(unsafe.Add(feat, j3*2)))
+			b0, b1, b2, b3 := uintptr(1), uintptr(1), uintptr(1), uintptr(1)
+			if *(*float64)(unsafe.Add(p0, f0*8)) <= *(*float64)(unsafe.Add(thr, j0*8)) {
+				b0 = 0
+			}
+			if *(*float64)(unsafe.Add(p1, f1*8)) <= *(*float64)(unsafe.Add(thr, j1*8)) {
+				b1 = 0
+			}
+			if *(*float64)(unsafe.Add(p2, f2*8)) <= *(*float64)(unsafe.Add(thr, j2*8)) {
+				b2 = 0
+			}
+			if *(*float64)(unsafe.Add(p3, f3*8)) <= *(*float64)(unsafe.Add(thr, j3*8)) {
+				b3 = 0
+			}
+			j0, j1, j2, j3 = 2*j0+1+b0, 2*j1+1+b1, 2*j2+1+b2, 2*j3+1+b3
+		}
+		out[k] += *(*float64)(unsafe.Add(leaves, (j0-off)*8))
+		out[k+1] += *(*float64)(unsafe.Add(leaves, (j1-off)*8))
+		out[k+2] += *(*float64)(unsafe.Add(leaves, (j2-off)*8))
+		out[k+3] += *(*float64)(unsafe.Add(leaves, (j3-off)*8))
+	}
+	hthr := c.hThr[t.root:]
+	hfeat := c.hFeat[t.root:]
+	hleaves := c.hProb[t.leaf:]
+	for ; k < len(X); k++ {
+		x := X[k]
+		j := 0
+		for s := 0; s < depth; s++ {
+			b := 1
+			if x[hfeat[j]] <= hthr[j] {
+				b = 0
+			}
+			j = 2*j + 1 + b
+		}
+		out[k] += hleaves[j-int(off)]
+	}
+}
+
+// walkHeapQ is walkHeap over quantized thresholds.
+func (c *CompiledForest) walkHeapQ(t *ctree, X [][]float64, out []float64) {
+	depth := int(t.depth)
+	if depth == 0 {
+		p := c.hProb[t.leaf]
+		for k := range X {
+			out[k] += p
+		}
+		return
+	}
+	thr := unsafe.Pointer(&c.hQThr[t.root])
+	feat := unsafe.Pointer(&c.hFeat[t.root])
+	leaves := unsafe.Pointer(&c.hProb[t.leaf])
+	off := uintptr((1 << depth) - 1)
+	k := 0
+	for ; k+4 <= len(X); k += 4 {
+		p0 := unsafe.Pointer(&X[k][0])
+		p1 := unsafe.Pointer(&X[k+1][0])
+		p2 := unsafe.Pointer(&X[k+2][0])
+		p3 := unsafe.Pointer(&X[k+3][0])
+		var j0, j1, j2, j3 uintptr
+		for s := 0; s < depth; s++ {
+			f0 := uintptr(*(*uint16)(unsafe.Add(feat, j0*2)))
+			f1 := uintptr(*(*uint16)(unsafe.Add(feat, j1*2)))
+			f2 := uintptr(*(*uint16)(unsafe.Add(feat, j2*2)))
+			f3 := uintptr(*(*uint16)(unsafe.Add(feat, j3*2)))
+			b0, b1, b2, b3 := uintptr(1), uintptr(1), uintptr(1), uintptr(1)
+			if *(*float64)(unsafe.Add(p0, f0*8)) <= float64(*(*float32)(unsafe.Add(thr, j0*4))) {
+				b0 = 0
+			}
+			if *(*float64)(unsafe.Add(p1, f1*8)) <= float64(*(*float32)(unsafe.Add(thr, j1*4))) {
+				b1 = 0
+			}
+			if *(*float64)(unsafe.Add(p2, f2*8)) <= float64(*(*float32)(unsafe.Add(thr, j2*4))) {
+				b2 = 0
+			}
+			if *(*float64)(unsafe.Add(p3, f3*8)) <= float64(*(*float32)(unsafe.Add(thr, j3*4))) {
+				b3 = 0
+			}
+			j0, j1, j2, j3 = 2*j0+1+b0, 2*j1+1+b1, 2*j2+1+b2, 2*j3+1+b3
+		}
+		out[k] += *(*float64)(unsafe.Add(leaves, (j0-off)*8))
+		out[k+1] += *(*float64)(unsafe.Add(leaves, (j1-off)*8))
+		out[k+2] += *(*float64)(unsafe.Add(leaves, (j2-off)*8))
+		out[k+3] += *(*float64)(unsafe.Add(leaves, (j3-off)*8))
+	}
+	hthr := c.hQThr[t.root:]
+	hfeat := c.hFeat[t.root:]
+	hleaves := c.hProb[t.leaf:]
+	for ; k < len(X); k++ {
+		x := X[k]
+		j := 0
+		for s := 0; s < depth; s++ {
+			b := 1
+			if x[hfeat[j]] <= float64(hthr[j]) {
+				b = 0
+			}
+			j = 2*j + 1 + b
+		}
+		out[k] += hleaves[j-int(off)]
+	}
+}
+
+// validate checks every index the unsafe batch kernels will follow, so a
+// decoded (possibly hostile or corrupt) snapshot can never drive a load
+// outside the forest's arrays: ctree bases and spans, per-node child
+// indices (including the NaN-leaf self-loop encoding), and feature
+// indices against dim. Walk safety then follows by induction: every
+// reachable next-index is itself in range.
+func (c *CompiledForest) validate() error {
+	if len(c.trees) == 0 {
+		return fmt.Errorf("%w: empty ensemble", ErrSnapshotMalformed)
+	}
+	if c.dim < 1 || c.dim > 0x10000 {
+		return fmt.Errorf("%w: feature dimension %d", ErrSnapshotMalformed, c.dim)
+	}
+	var nNodes int
+	if c.quantized {
+		if c.nodes != nil {
+			return fmt.Errorf("%w: both node layouts present", ErrSnapshotMalformed)
+		}
+		nNodes = len(c.qnodes)
+	} else {
+		if c.qnodes != nil {
+			return fmt.Errorf("%w: both node layouts present", ErrSnapshotMalformed)
+		}
+		nNodes = len(c.nodes)
+	}
+	if len(c.prob) != nNodes {
+		return fmt.Errorf("%w: prob length %d != node count %d", ErrSnapshotMalformed, len(c.prob), nNodes)
+	}
+	nHeap := len(c.hThr)
+	if c.quantized {
+		nHeap = len(c.hQThr)
+	}
+	if len(c.hFeat) != nHeap {
+		return fmt.Errorf("%w: heap threshold/feature length mismatch", ErrSnapshotMalformed)
+	}
+	for i := 0; i < nNodes; i++ {
+		var thr float64
+		var kids int32
+		var feat uint16
+		if c.quantized {
+			n := c.qnodes[i]
+			thr, kids, feat = float64(n.thr), n.kids, n.feat
+		} else {
+			n := c.nodes[i]
+			thr, kids, feat = n.thr, n.kids, n.feat
+		}
+		if int(feat) >= c.dim {
+			return fmt.Errorf("%w: node %d feature %d >= dim %d", ErrSnapshotMalformed, i, feat, c.dim)
+		}
+		if thr != thr { // leaf: b is always 1, the walk only follows kids+1
+			if kids+1 < 0 || int(kids+1) >= nNodes {
+				return fmt.Errorf("%w: leaf %d self-loop target out of range", ErrSnapshotMalformed, i)
+			}
+		} else if kids < 0 || int(kids)+1 >= nNodes {
+			return fmt.Errorf("%w: node %d child index out of range", ErrSnapshotMalformed, i)
+		}
+	}
+	for i := range c.trees {
+		t := &c.trees[i]
+		switch t.kind {
+		case treeCompact:
+			if int(t.root) >= nNodes {
+				return fmt.Errorf("%w: tree %d root out of range", ErrSnapshotMalformed, i)
+			}
+		case treeHeap:
+			if t.depth > heapMaxDepth {
+				return fmt.Errorf("%w: tree %d heap depth %d", ErrSnapshotMalformed, i, t.depth)
+			}
+			internal := (1 << t.depth) - 1
+			if int(t.root)+internal > nHeap {
+				return fmt.Errorf("%w: tree %d heap nodes out of range", ErrSnapshotMalformed, i)
+			}
+			if int(t.leaf)+(1<<t.depth) > len(c.hProb) {
+				return fmt.Errorf("%w: tree %d leaf table out of range", ErrSnapshotMalformed, i)
+			}
+			for j := 0; j < internal; j++ {
+				if int(c.hFeat[int(t.root)+j]) >= c.dim {
+					return fmt.Errorf("%w: tree %d heap feature out of range", ErrSnapshotMalformed, i)
+				}
+			}
+		default:
+			return fmt.Errorf("%w: tree %d unknown kind %d", ErrSnapshotMalformed, i, t.kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+// Fixed-layout binary snapshot of a CompiledForest.
+//
+// The section is designed to be mmap'd and used in place: a 64-byte header
+// (magic, version, endianness tag, counts, CRC) followed by the forest's
+// arrays, each at an 8-aligned offset, written in native byte order. A
+// reader on a same-endianness machine with an aligned base pointer aliases
+// the arrays zero-copy — N workers (and, through the page cache, N
+// processes) share one read-only model image. A reader that cannot alias
+// (foreign endianness is rejected with a typed error so callers fall back
+// to the JSON model; a misaligned base is copied) still gets a working
+// forest.
+package ml
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+)
+
+// Typed snapshot errors. Version and endianness mismatches are "skew": the
+// snapshot is well-formed but not usable by this reader, and callers
+// holding a JSON model alongside should fall back to it. Checksum and
+// malformed errors mean the bytes are damaged and must not be trusted.
+var (
+	ErrSnapshotChecksum  = errors.New("ml: compiled snapshot checksum mismatch")
+	ErrSnapshotVersion   = errors.New("ml: compiled snapshot version unsupported")
+	ErrSnapshotEndian    = errors.New("ml: compiled snapshot endianness mismatch")
+	ErrSnapshotMalformed = errors.New("ml: compiled snapshot malformed")
+)
+
+const (
+	compiledMagic   = "VBCFSEC1"
+	compiledVersion = 1
+
+	// compiledEndianTag is written in native byte order; a reader seeing
+	// its bytes reversed is on a foreign-endianness machine.
+	compiledEndianTag = 0x01020304
+
+	compiledHeaderSize = 64
+
+	flagQuantized = 1 << 0
+
+	cfNodeSize  = 16
+	cfQNodeSize = 12
+	ctreeSize   = 16
+)
+
+// The snapshot aliases these structs byte-for-byte, so their layout is
+// part of the wire format: a toolchain that sized or packed them
+// differently would corrupt models, and fails to compile here instead.
+var (
+	_ = [1]struct{}{}[unsafe.Sizeof(cfNode{})-cfNodeSize]
+	_ = [1]struct{}{}[unsafe.Sizeof(cfQNode{})-cfQNodeSize]
+	_ = [1]struct{}{}[unsafe.Sizeof(ctree{})-ctreeSize]
+	_ = [1]struct{}{}[unsafe.Offsetof(cfNode{}.kids)-8]
+	_ = [1]struct{}{}[unsafe.Offsetof(cfNode{}.feat)-12]
+	_ = [1]struct{}{}[unsafe.Offsetof(cfQNode{}.kids)-4]
+	_ = [1]struct{}{}[unsafe.Offsetof(cfQNode{}.feat)-8]
+	_ = [1]struct{}{}[unsafe.Offsetof(ctree{}.leaf)-4]
+	_ = [1]struct{}{}[unsafe.Offsetof(ctree{}.depth)-8]
+	_ = [1]struct{}{}[unsafe.Offsetof(ctree{}.kind)-10]
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// bytesOf views a slice's backing array as bytes (native byte order).
+func bytesOf[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0])))
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// sectionLayout computes the payload offsets for the given counts. All
+// arithmetic is done in int on the reader only after overflow checks.
+type sectionLayout struct {
+	trees, nodes, prob, hThr, hFeat, hProb int // offsets into payload
+	total                                  int
+}
+
+func computeLayout(nTrees, nNodes, nHeap, nHeapProb int, quantized bool) sectionLayout {
+	var l sectionLayout
+	off := 0
+	l.trees = off
+	off = align8(off + nTrees*ctreeSize)
+	l.nodes = off
+	if quantized {
+		off = align8(off + nNodes*cfQNodeSize)
+	} else {
+		off = align8(off + nNodes*cfNodeSize)
+	}
+	l.prob = off
+	off = align8(off + nNodes*8)
+	l.hThr = off
+	if quantized {
+		off = align8(off + nHeap*4)
+	} else {
+		off = align8(off + nHeap*8)
+	}
+	l.hFeat = off
+	off = align8(off + nHeap*2)
+	l.hProb = off
+	off = align8(off + nHeapProb*8)
+	l.total = off
+	return l
+}
+
+// EncodeCompiled serializes c into the fixed-layout snapshot section.
+func EncodeCompiled(c *CompiledForest) ([]byte, error) {
+	if c == nil || len(c.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	nNodes := len(c.nodes)
+	nHeap := len(c.hThr)
+	if c.quantized {
+		nNodes = len(c.qnodes)
+		nHeap = len(c.hQThr)
+	}
+	l := computeLayout(len(c.trees), nNodes, nHeap, len(c.hProb), c.quantized)
+	buf := make([]byte, compiledHeaderSize+l.total)
+	payload := buf[compiledHeaderSize:]
+	copy(payload[l.trees:], bytesOf(c.trees))
+	if c.quantized {
+		copy(payload[l.nodes:], bytesOf(c.qnodes))
+		copy(payload[l.hThr:], bytesOf(c.hQThr))
+	} else {
+		copy(payload[l.nodes:], bytesOf(c.nodes))
+		copy(payload[l.hThr:], bytesOf(c.hThr))
+	}
+	copy(payload[l.prob:], bytesOf(c.prob))
+	copy(payload[l.hFeat:], bytesOf(c.hFeat))
+	copy(payload[l.hProb:], bytesOf(c.hProb))
+
+	ne := binary.NativeEndian
+	copy(buf[0:8], compiledMagic)
+	ne.PutUint32(buf[8:], compiledVersion)
+	ne.PutUint32(buf[12:], compiledEndianTag)
+	flags := uint32(0)
+	if c.quantized {
+		flags |= flagQuantized
+	}
+	ne.PutUint32(buf[16:], flags)
+	ne.PutUint32(buf[20:], uint32(len(c.trees)))
+	ne.PutUint32(buf[24:], uint32(nNodes))
+	ne.PutUint32(buf[28:], uint32(nHeap))
+	ne.PutUint32(buf[32:], uint32(len(c.hProb)))
+	ne.PutUint32(buf[36:], uint32(c.dim))
+	// buf[40:48] reserved
+	ne.PutUint64(buf[48:], uint64(l.total))
+	ne.PutUint32(buf[56:], crc32.Checksum(payload, castagnoli))
+	// buf[60:64] reserved
+	return buf, nil
+}
+
+// aligned reports whether data's element at off can be aliased as a value
+// requiring the given alignment.
+func aligned(data []byte, off, alignment int) bool {
+	if off >= len(data) {
+		return true // zero-length array, never dereferenced
+	}
+	return uintptr(unsafe.Pointer(&data[off]))%uintptr(alignment) == 0
+}
+
+// aliasSlice returns data[off:] viewed as []T of length n, assuming
+// alignment was verified.
+func aliasSlice[T any](data []byte, off, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&data[off])), n)
+}
+
+// copySlice decodes data[off:] into a fresh []T of length n.
+func copySlice[T any](data []byte, off, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	out := make([]T, n)
+	copy(bytesOf(out), data[off:])
+	return out
+}
+
+// DecodeCompiled parses a fixed-layout snapshot section. When m is non-nil
+// and the section is properly aligned, the returned forest's arrays alias
+// m's bytes directly (zero-copy: the mapping must stay referenced for the
+// forest's lifetime, and Mapping() returns it so callers can pin it);
+// otherwise the arrays are copied and the forest owns its memory.
+//
+// Errors: ErrSnapshotVersion / ErrSnapshotEndian mean a well-formed
+// section this reader cannot use (fall back to the JSON model);
+// ErrSnapshotChecksum / ErrSnapshotMalformed mean damage.
+func DecodeCompiled(data []byte, m *Mapping) (*CompiledForest, error) {
+	if len(data) < compiledHeaderSize || string(data[0:8]) != compiledMagic {
+		return nil, fmt.Errorf("%w: missing section header", ErrSnapshotMalformed)
+	}
+	ne := binary.NativeEndian
+	if tag := ne.Uint32(data[12:]); tag != compiledEndianTag {
+		return nil, ErrSnapshotEndian
+	}
+	if v := ne.Uint32(data[8:]); v != compiledVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrSnapshotVersion, v)
+	}
+	flags := ne.Uint32(data[16:])
+	nTrees := int(ne.Uint32(data[20:]))
+	nNodes := int(ne.Uint32(data[24:]))
+	nHeap := int(ne.Uint32(data[28:]))
+	nHeapProb := int(ne.Uint32(data[32:]))
+	dim := int(ne.Uint32(data[36:]))
+	payloadLen := ne.Uint64(data[48:])
+	const maxCount = 1 << 28 // caps offset arithmetic far below int overflow
+	if nTrees > maxCount || nNodes > maxCount || nHeap > maxCount || nHeapProb > maxCount {
+		return nil, fmt.Errorf("%w: implausible counts", ErrSnapshotMalformed)
+	}
+	quantized := flags&flagQuantized != 0
+	l := computeLayout(nTrees, nNodes, nHeap, nHeapProb, quantized)
+	if payloadLen != uint64(l.total) || uint64(len(data)-compiledHeaderSize) < payloadLen {
+		return nil, fmt.Errorf("%w: truncated section", ErrSnapshotMalformed)
+	}
+	payload := data[compiledHeaderSize : compiledHeaderSize+l.total]
+	if crc32.Checksum(payload, castagnoli) != ne.Uint32(data[56:]) {
+		return nil, ErrSnapshotChecksum
+	}
+
+	c := &CompiledForest{quantized: quantized, dim: dim}
+	zeroCopy := m != nil &&
+		aligned(payload, l.trees, 8) && aligned(payload, l.nodes, 8) &&
+		aligned(payload, l.prob, 8) && aligned(payload, l.hThr, 8) &&
+		aligned(payload, l.hFeat, 2) && aligned(payload, l.hProb, 8)
+	if zeroCopy {
+		c.trees = aliasSlice[ctree](payload, l.trees, nTrees)
+		if quantized {
+			c.qnodes = aliasSlice[cfQNode](payload, l.nodes, nNodes)
+			c.hQThr = aliasSlice[float32](payload, l.hThr, nHeap)
+		} else {
+			c.nodes = aliasSlice[cfNode](payload, l.nodes, nNodes)
+			c.hThr = aliasSlice[float64](payload, l.hThr, nHeap)
+		}
+		c.prob = aliasSlice[float64](payload, l.prob, nNodes)
+		c.hFeat = aliasSlice[uint16](payload, l.hFeat, nHeap)
+		c.hProb = aliasSlice[float64](payload, l.hProb, nHeapProb)
+		c.mapping = m
+	} else {
+		c.trees = copySlice[ctree](payload, l.trees, nTrees)
+		if quantized {
+			c.qnodes = copySlice[cfQNode](payload, l.nodes, nNodes)
+			c.hQThr = copySlice[float32](payload, l.hThr, nHeap)
+		} else {
+			c.nodes = copySlice[cfNode](payload, l.nodes, nNodes)
+			c.hThr = copySlice[float64](payload, l.hThr, nHeap)
+		}
+		c.prob = copySlice[float64](payload, l.prob, nNodes)
+		c.hFeat = copySlice[uint16](payload, l.hFeat, nHeap)
+		c.hProb = copySlice[float64](payload, l.hProb, nHeapProb)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	c.buildBlocks()
+	return c, nil
+}

@@ -1,0 +1,227 @@
+package ml
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func encodeForest(t *testing.T, f *RandomForest) (*CompiledForest, []byte) {
+	t.Helper()
+	c, err := CompileForest(f)
+	if err != nil {
+		t.Fatalf("CompileForest: %v", err)
+	}
+	blob, err := EncodeCompiled(c)
+	if err != nil {
+		t.Fatalf("EncodeCompiled: %v", err)
+	}
+	return c, blob
+}
+
+func assertSameScores(t *testing.T, want, got *CompiledForest, probe [][]float64) {
+	t.Helper()
+	a := make([]float64, len(probe))
+	b := make([]float64, len(probe))
+	want.ScoreBatch(probe, a)
+	got.ScoreBatch(probe, b)
+	for k := range probe {
+		if a[k] != b[k] {
+			t.Fatalf("row %d: decoded forest scores %v, original %v", k, b[k], a[k])
+		}
+		if s := got.Score(probe[k]); s != a[k] {
+			t.Fatalf("row %d: decoded Score %v, original %v", k, s, a[k])
+		}
+	}
+}
+
+func TestCompiledSnapshotRoundTrip(t *testing.T) {
+	probe, _ := batchTestData(70, 12, 5)
+	for _, mode := range []string{"copy", "alias", "misaligned"} {
+		t.Run(mode, func(t *testing.T) {
+			f := fitForest(t, 20, 0, 300, 12, 31)
+			c, blob := encodeForest(t, f)
+			var (
+				got *CompiledForest
+				err error
+			)
+			switch mode {
+			case "copy":
+				got, err = DecodeCompiled(blob, nil)
+				if err != nil {
+					t.Fatalf("DecodeCompiled: %v", err)
+				}
+				if got.Mapping() != nil {
+					t.Fatal("copy decode must not reference a mapping")
+				}
+			case "alias":
+				m := NewMapping(blob, nil)
+				got, err = DecodeCompiled(m.Data(), m)
+				if err != nil {
+					t.Fatalf("DecodeCompiled: %v", err)
+				}
+				if got.Mapping() != m {
+					t.Fatal("aligned mmap decode should alias the mapping zero-copy")
+				}
+			case "misaligned":
+				// Shift the section to an odd base address: zero-copy is
+				// impossible, the decoder must fall back to copying.
+				buf := make([]byte, len(blob)+1)
+				copy(buf[1:], blob)
+				m := NewMapping(buf[1:], nil)
+				got, err = DecodeCompiled(m.Data(), m)
+				if err != nil {
+					t.Fatalf("DecodeCompiled: %v", err)
+				}
+				if got.Mapping() != nil {
+					t.Fatal("misaligned decode must copy, not alias")
+				}
+			}
+			if got.Trees() != c.Trees() || got.Quantized() != c.Quantized() {
+				t.Fatalf("decoded shape mismatch: %d/%v vs %d/%v",
+					got.Trees(), got.Quantized(), c.Trees(), c.Quantized())
+			}
+			assertSameScores(t, c, got, probe)
+		})
+	}
+}
+
+func TestCompiledSnapshotRoundTripQuantized(t *testing.T) {
+	n, d := 200, 6
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = float64((i*5 + j*11) % 7)
+		}
+		y[i] = (i / 3) % 2
+	}
+	f := &RandomForest{Trees: 12, Seed: 9}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	c, blob := encodeForest(t, f)
+	if !c.Quantized() {
+		t.Skip("forest did not quantize; quantized round trip not exercised")
+	}
+	got, err := DecodeCompiled(blob, nil)
+	if err != nil {
+		t.Fatalf("DecodeCompiled: %v", err)
+	}
+	if !got.Quantized() {
+		t.Fatal("quantized flag lost in round trip")
+	}
+	probe, _ := batchTestData(64, d, 3)
+	assertSameScores(t, c, got, probe)
+}
+
+func TestCompiledSnapshotCorruption(t *testing.T) {
+	f := fitForest(t, 10, 0, 250, 10, 17)
+	_, blob := encodeForest(t, f)
+	ne := binary.NativeEndian
+
+	t.Run("checksum", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[compiledHeaderSize+8] ^= 0x40 // flip a payload bit
+		if _, err := DecodeCompiled(bad, nil); !errors.Is(err, ErrSnapshotChecksum) {
+			t.Fatalf("corrupt payload: got %v, want ErrSnapshotChecksum", err)
+		}
+	})
+	t.Run("version_skew", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		ne.PutUint32(bad[8:], compiledVersion+7)
+		if _, err := DecodeCompiled(bad, nil); !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("future version: got %v, want ErrSnapshotVersion", err)
+		}
+	})
+	t.Run("endianness", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[12], bad[13], bad[14], bad[15] = bad[15], bad[14], bad[13], bad[12]
+		if _, err := DecodeCompiled(bad, nil); !errors.Is(err, ErrSnapshotEndian) {
+			t.Fatalf("foreign endianness: got %v, want ErrSnapshotEndian", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeCompiled(blob[:len(blob)-9], nil); !errors.Is(err, ErrSnapshotMalformed) {
+			t.Fatalf("truncated: got %v, want ErrSnapshotMalformed", err)
+		}
+		if _, err := DecodeCompiled(blob[:10], nil); !errors.Is(err, ErrSnapshotMalformed) {
+			t.Fatalf("header-only: got %v, want ErrSnapshotMalformed", err)
+		}
+	})
+	t.Run("bad_magic", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[0] = 'X'
+		if _, err := DecodeCompiled(bad, nil); !errors.Is(err, ErrSnapshotMalformed) {
+			t.Fatalf("bad magic: got %v, want ErrSnapshotMalformed", err)
+		}
+	})
+	t.Run("hostile_indices", func(t *testing.T) {
+		// A snapshot with a valid checksum but an out-of-range child index
+		// must be rejected by structural validation — the unsafe batch
+		// kernels depend on it.
+		bad := append([]byte(nil), blob...)
+		ne.PutUint32(bad[compiledHeaderSize:], 0x0FFFFFFF) // trees[0].root
+		payload := bad[compiledHeaderSize:]
+		ne.PutUint32(bad[56:], crc32.Checksum(payload, castagnoli))
+		if _, err := DecodeCompiled(bad, nil); !errors.Is(err, ErrSnapshotMalformed) {
+			t.Fatalf("hostile kids index: got %v, want ErrSnapshotMalformed", err)
+		}
+	})
+}
+
+func TestMappingRefcount(t *testing.T) {
+	unmapped := 0
+	m := NewMapping([]byte{1, 2, 3}, func([]byte) error { unmapped++; return nil })
+	if !m.Retain() {
+		t.Fatal("Retain on live mapping failed")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if m.Unmapped() {
+		t.Fatal("unmapped while a reference is held")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if m.Unmapped() {
+		t.Fatal("double Close must not double-release")
+	}
+	m.Release()
+	if !m.Unmapped() || unmapped != 1 {
+		t.Fatalf("final release: unmapped=%v calls=%d", m.Unmapped(), unmapped)
+	}
+	if m.Retain() {
+		t.Fatal("Retain on dead mapping must fail")
+	}
+}
+
+func TestMapFileRoundTrip(t *testing.T) {
+	f := fitForest(t, 8, 0, 200, 8, 13)
+	c, blob := encodeForest(t, f)
+	path := filepath.Join(t.TempDir(), "model.cf")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatalf("MapFile: %v", err)
+	}
+	got, err := DecodeCompiled(m.Data(), m)
+	if err != nil {
+		t.Fatalf("DecodeCompiled(mmap): %v", err)
+	}
+	probe, _ := batchTestData(32, 8, 1)
+	assertSameScores(t, c, got, probe)
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := MapFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("MapFile on a missing path should fail")
+	}
+}

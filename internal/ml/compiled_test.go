@@ -1,0 +1,286 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+// refScoreBatch scores X through the uncompiled flattened-array walk,
+// regardless of whether f has a compiled engine attached.
+func refScoreBatch(f *RandomForest, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for k := range out {
+		for _, t := range f.ensemble {
+			out[k] += t.Score(X[k])
+		}
+		out[k] /= float64(len(f.ensemble))
+	}
+	return out
+}
+
+func fitForest(t testing.TB, trees, maxDepth, n, d int, seed int64) *RandomForest {
+	t.Helper()
+	X, y := batchTestData(n, d, seed)
+	f := &RandomForest{Trees: trees, MaxDepth: maxDepth, Seed: seed, Workers: 2}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	return f
+}
+
+func TestCompiledForestMatchesReference(t *testing.T) {
+	cases := []struct {
+		name            string
+		trees, maxDepth int
+	}{
+		{"deep", 30, 0},                // compact layout
+		{"shallow", 30, 5},             // heap leaf-table layout
+		{"boundary", 20, heapMaxDepth}, // deepest heap-eligible trees
+		{"mixed", 40, heapMaxDepth + 3},
+		{"single_tree", 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := fitForest(t, tc.trees, tc.maxDepth, 300, 12, 7)
+			c, err := CompileForest(f)
+			if err != nil {
+				t.Fatalf("CompileForest: %v", err)
+			}
+			probe, _ := batchTestData(113, 12, 99)
+			// Adversarial rows: exact thresholds, infinities, NaN. The
+			// reference walk sends NaN right (x <= thr is false), and the
+			// compiled walk must do the same.
+			probe = append(probe,
+				make([]float64, 12),
+				filled(12, math.Inf(1)),
+				filled(12, math.Inf(-1)),
+				filled(12, math.NaN()),
+			)
+			want := refScoreBatch(f, probe)
+
+			for k, x := range probe {
+				if got := c.Score(x); got != want[k] {
+					t.Fatalf("row %d: compiled Score = %v, reference = %v", k, got, want[k])
+				}
+				wantLabel := Negative
+				if want[k] >= 0.5 {
+					wantLabel = Positive
+				}
+				if got := c.Predict(x); got != wantLabel {
+					t.Fatalf("row %d: compiled Predict = %d, want %d", k, got, wantLabel)
+				}
+			}
+			got := make([]float64, len(probe))
+			c.ScoreBatch(probe, got)
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("row %d: compiled ScoreBatch = %v, reference = %v", k, got[k], want[k])
+				}
+			}
+			// The forest delegates to the engine after Compile; still identical.
+			if err := f.Compile(); err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			del := make([]float64, len(probe))
+			f.ScoreBatch(probe, del)
+			for k := range del {
+				if del[k] != want[k] {
+					t.Fatalf("row %d: delegated ScoreBatch = %v, reference = %v", k, del[k], want[k])
+				}
+			}
+			labels, scores := PredictBatch(c, probe)
+			for k := range probe {
+				if scores[k] != want[k] {
+					t.Fatalf("row %d: PredictBatch score = %v, want %v", k, scores[k], want[k])
+				}
+				wantLabel := Negative
+				if want[k] >= 0.5 {
+					wantLabel = Positive
+				}
+				if labels[k] != wantLabel {
+					t.Fatalf("row %d: PredictBatch label = %d, want %d", k, labels[k], wantLabel)
+				}
+			}
+		})
+	}
+}
+
+func filled(n int, v float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = v
+	}
+	return x
+}
+
+// TestCompiledQuantization: integer-valued features give midpoint
+// thresholds like 2.5 that round-trip float32 exactly, so the compiler
+// must pick the quantized layout; irrational-ish thresholds must not.
+func TestCompiledQuantization(t *testing.T) {
+	n, d := 200, 6
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = float64((i*7 + j*13) % 9)
+		}
+		if (i*3)%5 < 2 {
+			y[i] = 1
+		}
+	}
+	f := &RandomForest{Trees: 10, Seed: 3}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	c, err := CompileForest(f)
+	if err != nil {
+		t.Fatalf("CompileForest: %v", err)
+	}
+	if !c.Quantized() {
+		t.Fatal("integer-feature forest should compile to the quantized layout")
+	}
+	probe, _ := batchTestData(64, d, 5)
+	want := refScoreBatch(f, probe)
+	got := make([]float64, len(probe))
+	c.ScoreBatch(probe, got)
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("row %d: quantized ScoreBatch = %v, reference = %v", k, got[k], want[k])
+		}
+	}
+
+	fr := fitForest(t, 10, 0, 200, 8, 11) // batchTestData produces full-precision floats
+	cr, err := CompileForest(fr)
+	if err != nil {
+		t.Fatalf("CompileForest: %v", err)
+	}
+	if cr.Quantized() {
+		t.Fatal("full-precision thresholds must not quantize")
+	}
+}
+
+func TestCompileForestRejectsUnfitted(t *testing.T) {
+	if _, err := CompileForest(&RandomForest{Trees: 3}); err == nil {
+		t.Fatal("expected error compiling an unfitted forest")
+	}
+	if _, err := CompileForest(nil); err == nil {
+		t.Fatal("expected error compiling a nil forest")
+	}
+}
+
+// FuzzCompiledForestEquivalence drives arbitrary feature vectors —
+// including non-finite values — through the compiled engine and the
+// reference flattened walk and requires bit-identical probabilities and
+// labels from Score, ScoreBatch and PredictBatch.
+func FuzzCompiledForestEquivalence(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // NaN pattern
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x7f}) // +Inf
+	f.Add(make([]byte, 64))
+
+	const dim = 10
+	deep := fitForest(f, 12, 0, 250, dim, 21)
+	shallow := fitForest(f, 12, 6, 250, dim, 22)
+	cDeep, err := CompileForest(deep)
+	if err != nil {
+		f.Fatalf("CompileForest(deep): %v", err)
+	}
+	cShallow, err := CompileForest(shallow)
+	if err != nil {
+		f.Fatalf("CompileForest(shallow): %v", err)
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Decode the fuzz payload into one or more feature rows.
+		var rows [][]float64
+		for len(raw) > 0 {
+			x := make([]float64, dim)
+			for i := 0; i < dim && len(raw) > 0; i++ {
+				var bits uint64
+				for b := 0; b < 8 && len(raw) > 0; b++ {
+					bits = bits<<8 | uint64(raw[0])
+					raw = raw[1:]
+				}
+				x[i] = math.Float64frombits(bits)
+			}
+			rows = append(rows, x)
+			if len(rows) >= 16 {
+				break
+			}
+		}
+		if len(rows) == 0 {
+			return
+		}
+		for _, pair := range []struct {
+			ref *RandomForest
+			c   *CompiledForest
+		}{{deep, cDeep}, {shallow, cShallow}} {
+			want := refScoreBatch(pair.ref, rows)
+			got := make([]float64, len(rows))
+			pair.c.ScoreBatch(rows, got)
+			for k := range rows {
+				if s := pair.c.Score(rows[k]); s != want[k] {
+					t.Fatalf("Score mismatch row %d: compiled %v (bits %x), reference %v (bits %x)",
+						k, s, math.Float64bits(s), want[k], math.Float64bits(want[k]))
+				}
+				if got[k] != want[k] {
+					t.Fatalf("ScoreBatch mismatch row %d: compiled %v, reference %v", k, got[k], want[k])
+				}
+			}
+			labels, scores := PredictBatch(pair.c, rows)
+			for k := range rows {
+				wantLabel := Negative
+				if want[k] >= 0.5 {
+					wantLabel = Positive
+				}
+				if labels[k] != wantLabel || scores[k] != want[k] {
+					t.Fatalf("PredictBatch mismatch row %d: (%d, %v), want (%d, %v)",
+						k, labels[k], scores[k], wantLabel, want[k])
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkPredictCompiled mirrors BenchmarkPredictBatch (same forest
+// shape, same 64-row probe) over the compiled engine, plus a "blocked"
+// variant large enough to exercise the row × tree-block tiling.
+func BenchmarkPredictCompiled(b *testing.B) {
+	X, y := batchTestData(400, 15, 7)
+	rf := &RandomForest{Trees: 100, Seed: 11}
+	if err := rf.Fit(X, y); err != nil {
+		b.Fatalf("Fit: %v", err)
+	}
+	c, err := CompileForest(rf)
+	if err != nil {
+		b.Fatalf("CompileForest: %v", err)
+	}
+	probe, _ := batchTestData(64, 15, 99)
+
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, x := range probe {
+				_ = c.Predict(x)
+				_ = c.Score(x)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		labels := make([]int, len(probe))
+		scores := make([]float64, len(probe))
+		for i := 0; i < b.N; i++ {
+			predictBatchInto(c, probe, labels, scores)
+		}
+	})
+	big, _ := batchTestData(512, 15, 9)
+	out := make([]float64, len(big))
+	b.Run("blocked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.ScoreBatch(big, out)
+		}
+	})
+}

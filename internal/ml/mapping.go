@@ -1,0 +1,85 @@
+package ml
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Mapping is a reference-counted read-only byte region backing a
+// zero-copy model snapshot — usually an mmap'd model file shared by every
+// worker in the process (and, as the page cache, by every process on the
+// host). The count starts at 1 for the owner; scoring paths Retain/Release
+// around use, and Close drops the owner reference. The region is released
+// (munmap'd, for real mappings) only when the count reaches zero, so a
+// hot-reload can Close the old model while in-flight batches finish
+// against it safely.
+type Mapping struct {
+	data     []byte
+	refs     atomic.Int64
+	closed   atomic.Bool
+	unmapped atomic.Bool
+	unmap    func([]byte) error
+}
+
+// NewMapping wraps data in a refcounted mapping. unmap, if non-nil, is
+// called exactly once when the last reference is released; for plain
+// heap-backed data it may be nil.
+func NewMapping(data []byte, unmap func([]byte) error) *Mapping {
+	m := &Mapping{data: data, unmap: unmap}
+	m.refs.Store(1)
+	return m
+}
+
+// Data returns the mapped bytes. Callers must hold a reference.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Retain adds a reference, reporting false if the mapping is already dead
+// (every reference released). A false return means the caller must not
+// touch Data.
+func (m *Mapping) Retain() bool {
+	for {
+		n := m.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if m.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference; the final release unmaps.
+func (m *Mapping) Release() {
+	if m.refs.Add(-1) == 0 {
+		m.unmapped.Store(true)
+		if m.unmap != nil {
+			_ = m.unmap(m.data)
+		}
+		m.data = nil
+	}
+}
+
+// Close drops the owner reference (idempotent). The region stays mapped
+// until concurrent holders release theirs.
+func (m *Mapping) Close() error {
+	if m == nil || !m.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	m.Release()
+	return nil
+}
+
+// Unmapped reports whether the final reference has been released (the
+// observable "munmap happened" signal used by reload-under-load tests).
+func (m *Mapping) Unmapped() bool { return m.unmapped.Load() }
+
+// MapFile maps path read-only. On platforms without mmap support the file
+// is read into memory behind the same refcounted interface, so callers are
+// portable either way.
+func MapFile(path string) (*Mapping, error) {
+	m, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ml: map %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package ml
+
+import "os"
+
+// mapFile falls back to reading the file into memory where mmap is
+// unavailable; the refcounted Mapping interface is identical, only the
+// sharing property is lost.
+func mapFile(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewMapping(data, nil), nil
+}

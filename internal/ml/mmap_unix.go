@@ -1,0 +1,35 @@
+//go:build unix
+
+package ml
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile mmaps path read-only and shared: N daemon processes mapping the
+// same model file share one physical copy through the page cache, so
+// per-worker model memory stays flat in worker count.
+func mapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return NewMapping(nil, nil), nil
+	}
+	if size != int64(int(size)) {
+		return nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return NewMapping(data, syscall.Munmap), nil
+}

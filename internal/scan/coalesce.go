@@ -1,0 +1,114 @@
+package scan
+
+import (
+	"sync"
+	"time"
+)
+
+// Coalescer merges feature rows from concurrent scans into one batched
+// classifier call. The compiled forest's batch kernel amortizes its tree
+// walks across rows, so under concurrent load (a mail gateway fanning one
+// campaign across many inboxes) scoring 64 rows in one call is far cheaper
+// than 64 single-row calls — but individual documents usually carry only a
+// handful of macros each. The coalescer closes that gap: the first caller
+// in an idle window becomes the batch leader and waits up to the window
+// for followers; everyone's rows are scored in one call and the results
+// are routed back per caller.
+//
+// The window bounds added latency. A caller never waits longer than the
+// window, and a batch that reaches maxRows flushes immediately. A zero
+// window disables coalescing entirely — every call passes straight
+// through, leaving single-request latency untouched.
+type Coalescer struct {
+	predict func(X [][]float64) ([]int, []float64)
+	window  time.Duration
+	maxRows int
+
+	mu  sync.Mutex
+	cur *coalesceBatch
+
+	observe func(rows, callers int, wait time.Duration)
+}
+
+type coalesceBatch struct {
+	rows    [][]float64
+	callers int
+	filled  bool          // maxRows reached; full has been closed
+	full    chan struct{} // closed to wake the leader early
+	done    chan struct{} // closed by the leader once labels/scores are set
+	labels  []int
+	scores  []float64
+}
+
+// NewCoalescer wraps predict in a latency-budgeted micro-batcher. predict
+// must be safe for concurrent calls and return one label and one score per
+// input row. window <= 0 disables coalescing (Predict becomes a direct
+// passthrough); maxRows <= 0 defaults to 256 rows per batch.
+func NewCoalescer(predict func(X [][]float64) ([]int, []float64), window time.Duration, maxRows int) *Coalescer {
+	if maxRows <= 0 {
+		maxRows = 256
+	}
+	return &Coalescer{predict: predict, window: window, maxRows: maxRows}
+}
+
+// SetObserver installs a metrics hook invoked once per flushed batch with
+// the batch's row count, the number of callers merged into it, and how
+// long the leader held the window open. Configure before serving traffic.
+func (c *Coalescer) SetObserver(fn func(rows, callers int, wait time.Duration)) {
+	c.observe = fn
+}
+
+// Window reports the configured coalescing window (0 = disabled).
+func (c *Coalescer) Window() time.Duration { return c.window }
+
+// Predict scores X, possibly batched with rows from concurrent callers.
+// Results are positionally aligned with X and bit-identical to a direct
+// predict call — batching changes only when the forest runs, never what
+// it computes.
+func (c *Coalescer) Predict(X [][]float64) ([]int, []float64) {
+	if c == nil || c.window <= 0 || len(X) == 0 || len(X) >= c.maxRows {
+		// Disabled, empty, or already a full batch on its own: no win from
+		// holding it back.
+		return c.predict(X)
+	}
+	start := time.Now()
+	c.mu.Lock()
+	b := c.cur
+	leader := b == nil
+	if leader {
+		b = &coalesceBatch{full: make(chan struct{}), done: make(chan struct{})}
+		c.cur = b
+	}
+	off := len(b.rows)
+	b.rows = append(b.rows, X...)
+	b.callers++
+	if len(b.rows) >= c.maxRows && !b.filled {
+		b.filled = true
+		c.cur = nil // batch is closed to new callers; wake the leader
+		close(b.full)
+	}
+	c.mu.Unlock()
+
+	if leader {
+		t := time.NewTimer(c.window)
+		select {
+		case <-t.C:
+		case <-b.full:
+			t.Stop()
+		}
+		c.mu.Lock()
+		if c.cur == b {
+			c.cur = nil // detach: late arrivals start a fresh batch
+		}
+		c.mu.Unlock()
+		wait := time.Since(start)
+		b.labels, b.scores = c.predict(b.rows)
+		if c.observe != nil {
+			c.observe(len(b.rows), b.callers, wait)
+		}
+		close(b.done)
+	} else {
+		<-b.done
+	}
+	return b.labels[off : off+len(X)], b.scores[off : off+len(X)]
+}

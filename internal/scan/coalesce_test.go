@@ -1,0 +1,169 @@
+package scan
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingPredict returns a deterministic per-row predictor that records
+// how many batch calls it served and how many rows each carried.
+func countingPredict(calls *atomic.Int64, batches *[]int, mu *sync.Mutex) func([][]float64) ([]int, []float64) {
+	return func(X [][]float64) ([]int, []float64) {
+		calls.Add(1)
+		if mu != nil {
+			mu.Lock()
+			*batches = append(*batches, len(X))
+			mu.Unlock()
+		}
+		labels := make([]int, len(X))
+		scores := make([]float64, len(X))
+		for i, x := range X {
+			scores[i] = x[0] * 2
+			if scores[i] >= 1 {
+				labels[i] = 1
+			}
+		}
+		return labels, scores
+	}
+}
+
+func TestCoalescerDisabledPassesThrough(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCoalescer(countingPredict(&calls, nil, nil), 0, 8)
+	for i := 0; i < 3; i++ {
+		labels, scores := c.Predict([][]float64{{0.75}})
+		if labels[0] != 1 || scores[0] != 1.5 {
+			t.Fatalf("passthrough verdict wrong: %d/%v", labels[0], scores[0])
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("disabled coalescer made %d calls, want 3 (one per Predict)", calls.Load())
+	}
+	// A nil coalescer behaves like a plain function table miss elsewhere;
+	// zero-row input must not hang waiting for followers.
+	if labels, _ := c.Predict(nil); len(labels) != 0 {
+		t.Fatal("empty input should return empty output")
+	}
+}
+
+func TestCoalescerMergesConcurrentCallers(t *testing.T) {
+	var calls atomic.Int64
+	var batches []int
+	var mu sync.Mutex
+	// A long window so the flush is driven by maxRows, not the clock.
+	c := NewCoalescer(countingPredict(&calls, &batches, &mu), time.Second, 4)
+
+	var wg sync.WaitGroup
+	results := make([][]float64, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := float64(g) + 1
+			_, scores := c.Predict([][]float64{{base}, {base + 0.25}})
+			results[g] = scores
+		}(g)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("4 rows across 2 callers took %d predict calls, want 1", got)
+	}
+	mu.Lock()
+	if len(batches) != 1 || batches[0] != 4 {
+		t.Fatalf("batch sizes %v, want [4]", batches)
+	}
+	mu.Unlock()
+	for g := 0; g < 2; g++ {
+		base := float64(g) + 1
+		if results[g][0] != base*2 || results[g][1] != (base+0.25)*2 {
+			t.Fatalf("caller %d got misrouted scores %v", g, results[g])
+		}
+	}
+}
+
+func TestCoalescerWindowFlushesLoneCaller(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCoalescer(countingPredict(&calls, nil, nil), 5*time.Millisecond, 64)
+	var rows, callers int
+	var wait time.Duration
+	c.SetObserver(func(r, n int, w time.Duration) { rows, callers, wait = r, n, w })
+	start := time.Now()
+	labels, scores := c.Predict([][]float64{{0.5}})
+	if time.Since(start) > time.Second {
+		t.Fatal("lone caller waited far longer than the window")
+	}
+	if labels[0] != 1 || scores[0] != 1.0 {
+		t.Fatalf("verdict wrong after window flush: %d/%v", labels[0], scores[0])
+	}
+	if rows != 1 || callers != 1 || wait <= 0 {
+		t.Fatalf("observer saw rows=%d callers=%d wait=%v", rows, callers, wait)
+	}
+}
+
+func TestCoalescerOversizeBatchBypasses(t *testing.T) {
+	var calls atomic.Int64
+	var batches []int
+	var mu sync.Mutex
+	c := NewCoalescer(countingPredict(&calls, &batches, &mu), time.Second, 4)
+	X := make([][]float64, 9)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+	}
+	start := time.Now()
+	_, scores := c.Predict(X)
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("oversize batch waited on the window")
+	}
+	for i := range X {
+		if scores[i] != float64(i)*2 {
+			t.Fatalf("row %d score %v", i, scores[i])
+		}
+	}
+}
+
+// TestCoalescerConcurrentStress hammers one coalescer from many goroutines
+// and checks every caller gets exactly its own rows' verdicts back. Run
+// under -race this also proves the leader/follower handoff is clean.
+func TestCoalescerConcurrentStress(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCoalescer(countingPredict(&calls, nil, nil), 200*time.Microsecond, 16)
+	const goroutines = 24
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := 1 + (g+i)%3
+				X := make([][]float64, n)
+				for j := range X {
+					X[j] = []float64{float64(g*1000 + i*10 + j)}
+				}
+				labels, scores := c.Predict(X)
+				if len(labels) != n || len(scores) != n {
+					errs <- "short result"
+					return
+				}
+				for j := range X {
+					if scores[j] != X[j][0]*2 {
+						errs <- "misrouted row"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	total := int64(goroutines * iters)
+	if got := calls.Load(); got >= total {
+		t.Fatalf("coalescer made %d predict calls for %d Predicts — nothing merged", got, total)
+	}
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newHTTPServer serves a pre-built Server (so tests can set scanGate and
+// custom configs before traffic starts) and returns its base URL.
+func newHTTPServer(t *testing.T, srv *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// compiledModelPath saves the fixture detector as a compiled model
+// container and returns its path.
+func compiledModelPath(t *testing.T) string {
+	t.Helper()
+	det := fixture(t)
+	blob, err := det.SaveModelCompiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReloadMmapUnderLoad holds a scan in flight across a hot reload of an
+// mmap'd model and checks the old mapping survives until that scan
+// finishes: the retired image must never be unmapped under a reader. Run
+// with -race this also exercises the lease handoff.
+func TestReloadMmapUnderLoad(t *testing.T) {
+	cfg := quietConfig()
+	cfg.ModelMmap = true
+	cfg.CacheEntries = -1 // every request must run the pipeline
+	srv, err := NewFromModelFile(compiledModelPath(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldMapping := srv.detector().ModelMapping()
+	if oldMapping == nil {
+		t.Fatal("mmap load did not retain the model mapping")
+	}
+
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	var once sync.Once
+	srv.scanGate = func() {
+		once.Do(func() {
+			close(entered)
+			<-unblock
+		})
+	}
+	ts := newHTTPServer(t, srv)
+
+	scanDone := make(chan ScanResponse, 1)
+	go func() {
+		_, sr := postScan(t, ts, testFixture.macroDoc)
+		scanDone <- sr
+	}()
+	<-entered
+
+	// Swap the model while the scan is pinned mid-pipeline.
+	if err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	newMapping := srv.detector().ModelMapping()
+	if newMapping == nil || newMapping == oldMapping {
+		t.Fatal("reload did not produce a fresh mapping")
+	}
+	if oldMapping.Unmapped() {
+		t.Fatal("retired model image unmapped while a scan still reads it")
+	}
+
+	close(unblock)
+	sr := <-scanDone
+	if sr.Error != "" || sr.Report == nil || len(sr.Report.Macros) == 0 {
+		t.Fatalf("in-flight scan failed across reload: %+v", sr)
+	}
+	// With the scan finished its lease is gone; the retired image must be
+	// released promptly (the scan goroutine may still be winding down).
+	waitFor(t, time.Second, oldMapping.Unmapped, "retired mapping never unmapped")
+	if newMapping.Unmapped() {
+		t.Fatal("live mapping released by mistake")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, newMapping.Unmapped, "Close did not release the mapping")
+}
+
+// TestClassifyBatchCoalescing runs concurrent scans against a server with
+// a classify window and checks rows were merged into shared forest calls —
+// and that verdicts are unchanged by batching.
+func TestClassifyBatchCoalescing(t *testing.T) {
+	det := fixture(t) // reference verdicts, no batching
+	cfg := quietConfig()
+	cfg.CacheEntries = -1 // no verdict caching: every scan classifies
+	cfg.ClassifyBatchWindow = 10 * time.Millisecond
+	srv, err := NewFromModelFile(testFixture.modelPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, srv)
+
+	const rounds = 3
+	const parallel = 4
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		results := make([]ScanResponse, parallel)
+		for i := 0; i < parallel; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, results[i] = postScan(t, ts, testFixture.macroDoc)
+			}(i)
+		}
+		wg.Wait()
+		want, err := det.ScanFile(testFixture.macroDoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, sr := range results {
+			if sr.Error != "" || sr.Report == nil {
+				t.Fatalf("round %d scan %d failed: %+v", round, i, sr)
+			}
+			if sr.Report.Obfuscated != want.Obfuscated() || len(sr.Report.Macros) != len(want.Macros) {
+				t.Fatalf("round %d scan %d: batched verdict drifted from direct scan", round, i)
+			}
+		}
+	}
+	m := srv.Metrics()
+	if m.ClassifyBatchSize.Count() == 0 {
+		t.Fatal("classify window configured but no coalesced batches recorded")
+	}
+	if m.ClassifyBatchWait.Count() != m.ClassifyBatchSize.Count() {
+		t.Fatalf("batch histograms disagree: size=%d wait=%d",
+			m.ClassifyBatchSize.Count(), m.ClassifyBatchWait.Count())
+	}
+}
+
+// TestClassifyBatchOffByDefault checks the zero-value config never touches
+// the coalescer: no batch metrics move and scans take the inline path.
+func TestClassifyBatchOffByDefault(t *testing.T) {
+	srv, ts := newTestServer(t, quietConfig())
+	if _, sr := postScan(t, ts.URL, testFixture.macroDoc); sr.Report == nil {
+		t.Fatalf("scan failed: %+v", sr)
+	}
+	if n := srv.Metrics().ClassifyBatchSize.Count(); n != 0 {
+		t.Fatalf("batching disabled but %d batches recorded", n)
+	}
+}

@@ -64,6 +64,12 @@ type Metrics struct {
 	QueueWait      *telemetry.Histogram
 	RequestLatency *telemetry.Histogram
 
+	// Micro-batching instruments, populated only when a classify window is
+	// configured: rows per coalesced forest call (a value histogram, not a
+	// latency one) and how long each batch leader held the window open.
+	ClassifyBatchSize *telemetry.Histogram
+	ClassifyBatchWait *telemetry.Histogram
+
 	start time.Time
 }
 
@@ -91,6 +97,11 @@ func NewMetrics() *Metrics {
 	m.StageClassify = r.Histogram("stage_classify_seconds", "Classification stage latency.", nil)
 	m.QueueWait = r.Histogram("queue_wait_seconds", "Time requests wait for an admission slot.", nil)
 	m.RequestLatency = r.Histogram("request_seconds", "Whole-request latency for scan endpoints.", nil)
+	m.ClassifyBatchSize = r.Histogram("classify_batch_size",
+		"Feature rows per coalesced classify call.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	m.ClassifyBatchWait = r.Histogram("classify_batch_wait_seconds",
+		"Time a classify batch leader held the coalescing window open.", nil)
 	r.GaugeFunc("scan_files_per_sec", "Documents scanned per second since start.",
 		func() float64 { return rateSince(m.Scans.Value(), m.start) })
 	r.GaugeFunc("scan_macros_per_sec", "Macros classified per second since start.",

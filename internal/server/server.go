@@ -42,6 +42,20 @@ type Config struct {
 	// ModelPath is the model file reloaded on SIGHUP / admin reload.
 	// Empty disables reloading (the initial detector stays pinned).
 	ModelPath string
+	// ModelMmap memory-maps ModelPath instead of reading it. When the file
+	// is a compiled model container (vbadetect train -compiled) whose
+	// section can be aliased in place, inference runs straight off the
+	// read-only page-cache image — N workers and N daemon processes share
+	// one copy of the forest. Plain JSON models load normally either way.
+	ModelMmap bool
+	// ClassifyBatchWindow enables daemon micro-batching: feature rows from
+	// concurrent scan requests are coalesced for up to this long into one
+	// forest batch call. 0 (the default) disables coalescing entirely,
+	// leaving single-request latency untouched.
+	ClassifyBatchWindow time.Duration
+	// ClassifyBatchMaxRows caps rows merged into one coalesced classify
+	// call (a full batch flushes before the window expires). Default 256.
+	ClassifyBatchMaxRows int
 	// MaxBodyBytes caps a request body (raw or multipart). Default 32 MiB.
 	MaxBodyBytes int64
 	// MaxInFlight bounds concurrently processed scan requests. Default
@@ -168,8 +182,7 @@ func New(det *core.Detector, cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
 	if det != nil {
-		det.SetLimits(cfg.Limits)
-		det.SetMacroCache(s.newMacroCache())
+		s.wireDetector(det)
 	}
 	if entries, bytes, ok := cfg.cacheBounds(); ok {
 		s.docs = scan.NewDocCache(entries, bytes)
@@ -187,6 +200,23 @@ func (s *Server) newMacroCache() *core.MacroCache {
 		return nil
 	}
 	return core.NewMacroCache(entries, bytes)
+}
+
+// wireDetector applies the server's per-detector configuration: resource
+// limits, a fresh macro cache, and — when a classify window is configured —
+// a micro-batching coalescer that merges feature rows from concurrent
+// scans into one forest batch call, feeding the classify-batch histograms.
+func (s *Server) wireDetector(det *core.Detector) {
+	det.SetLimits(s.cfg.Limits)
+	det.SetMacroCache(s.newMacroCache())
+	if s.cfg.ClassifyBatchWindow > 0 {
+		co := scan.NewCoalescer(det.PredictBatch, s.cfg.ClassifyBatchWindow, s.cfg.ClassifyBatchMaxRows)
+		co.SetObserver(func(rows, callers int, wait time.Duration) {
+			s.metrics.ClassifyBatchSize.ObserveValue(float64(rows))
+			s.metrics.ClassifyBatchWait.Observe(wait)
+		})
+		det.SetClassifyBatch(co.Predict)
+	}
 }
 
 // NewFromModelFile loads the model at cfg.ModelPath (or path, which
@@ -214,10 +244,24 @@ func (s *Server) detector() *core.Detector {
 
 // pipeline snapshots the scan pipeline under the read lock: the current
 // model plus the document cache and request-collapsing group tied to it.
-func (s *Server) pipeline() (*core.Detector, *scan.DocCache, *cache.Flight[scanOutcome]) {
+// It also leases the detector's model mapping — release must be called
+// exactly once when the request's use of the detector ends (it is
+// idempotent and never nil). While the lease is held, a concurrent
+// Reload/Close cannot unmap the mmap'd model image out from under an
+// in-flight scan; the image is unmapped when the last lease releases.
+func (s *Server) pipeline() (*core.Detector, *scan.DocCache, *cache.Flight[scanOutcome], func()) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.det, s.docs, s.flight
+	release := func() {}
+	if s.det != nil {
+		// Retain cannot fail here: the detector still owns its mapping
+		// reference until a Reload swaps it out, which needs the write lock.
+		if m := s.det.ModelMapping(); m != nil && m.Retain() {
+			var once sync.Once
+			release = func() { once.Do(m.Release) }
+		}
+	}
+	return s.det, s.docs, s.flight, release
 }
 
 // docCacheStats returns document-cache counters accumulated across model
@@ -293,16 +337,11 @@ func (s *Server) Reload() error {
 	if s.cfg.ModelPath == "" {
 		return errors.New("server: no model path configured")
 	}
-	blob, err := os.ReadFile(s.cfg.ModelPath)
+	det, err := core.LoadModelFile(s.cfg.ModelPath, s.cfg.ModelMmap)
 	if err != nil {
 		return fmt.Errorf("server: reload: %w", err)
 	}
-	det, err := core.LoadModel(blob)
-	if err != nil {
-		return fmt.Errorf("server: reload: %w", err)
-	}
-	det.SetLimits(s.cfg.Limits)
-	det.SetMacroCache(s.newMacroCache())
+	s.wireDetector(det)
 	var docs *scan.DocCache
 	var flight *cache.Flight[scanOutcome]
 	if entries, bytes, ok := s.cfg.cacheBounds(); ok {
@@ -314,8 +353,9 @@ func (s *Server) Reload() error {
 	s.cacheBase.doc.Hits += oldDoc.Hits
 	s.cacheBase.doc.Misses += oldDoc.Misses
 	s.cacheBase.doc.Evictions += oldDoc.Evictions
-	if s.det != nil {
-		old := s.det.MacroCache().Stats()
+	oldDet := s.det
+	if oldDet != nil {
+		old := oldDet.MacroCache().Stats()
 		s.cacheBase.macro.Hits += old.Hits
 		s.cacheBase.macro.Misses += old.Misses
 		s.cacheBase.macro.Evictions += old.Evictions
@@ -324,6 +364,12 @@ func (s *Server) Reload() error {
 	s.docs = docs
 	s.flight = flight
 	s.mu.Unlock()
+	if oldDet != nil {
+		// Drop the retired detector's ownership of its model mapping. The
+		// image stays mapped until the last in-flight scan that leased it
+		// through pipeline() releases.
+		_ = oldDet.Close()
+	}
 	s.metrics.Reloads.Add(1)
 	s.log.Info("model reloaded",
 		"path", s.cfg.ModelPath,
@@ -335,6 +381,19 @@ func (s *Server) Reload() error {
 // BeginShutdown flips /readyz to 503 so load balancers stop routing new
 // traffic while http.Server.Shutdown drains in-flight requests.
 func (s *Server) BeginShutdown() { s.draining.Store(true) }
+
+// Close releases the current detector's model mapping, if any. Call after
+// Drain: the mmap'd model image is unmapped once no in-flight scan holds a
+// lease on it. Idempotent.
+func (s *Server) Close() error {
+	s.mu.RLock()
+	det := s.det
+	s.mu.RUnlock()
+	if det != nil {
+		return det.Close()
+	}
+	return nil
+}
 
 // Drain blocks until every in-flight scan has finished (including scans
 // whose requester already timed out) or ctx expires.
@@ -592,11 +651,12 @@ type scanOutcome struct {
 // demand). Errors and degraded reports are shared with the waiting
 // followers but never cached — a later request re-runs the pipeline.
 func (s *Server) runScan(ctx context.Context, det *core.Detector, data []byte,
-	key cache.Key, docs *scan.DocCache, flight *cache.Flight[scanOutcome]) (scanOutcome, bool) {
+	key cache.Key, docs *scan.DocCache, flight *cache.Flight[scanOutcome], release func()) (scanOutcome, bool) {
 	done := make(chan scanOutcome, 1)
 	s.inflight.Add(1)
 	go func() {
 		defer s.inflight.Done()
+		defer release() // model-mapping lease ends only when the scan does
 		defer func() { <-s.sem }()
 		defer s.metrics.InFlight.Add(-1)
 		s.metrics.InFlight.Add(1)
@@ -712,13 +772,15 @@ func errorClass(err error) string {
 
 func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	det, docs, flight := s.pipeline()
+	det, docs, flight, release := s.pipeline()
 	if det == nil || s.draining.Load() {
+		release()
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "not ready"})
 		return
 	}
 	name, data, err := s.readDocument(w, r)
 	if err != nil {
+		release()
 		s.writeBodyError(w, err)
 		return
 	}
@@ -728,6 +790,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if docs != nil {
 		key = cache.KeyOf(data)
 		if report, ok := docs.Get(key); ok {
+			release()
 			resp := ScanResponse{RequestID: requestID(r.Context()), File: name}
 			s.recordOutcome(&resp, scanOutcome{report: report}, true)
 			scan.LogAudit(s.cfg.Audit, scan.Document{Name: name, Data: data}, det.FeatureSet(),
@@ -739,6 +802,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !s.acquireSlot(w, r) {
+		release()
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ScanTimeout)
@@ -748,7 +812,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		tr = telemetry.NewTracer(name)
 		ctx = telemetry.ContextWithTracer(ctx, tr)
 	}
-	out, ok := s.runScan(ctx, det, data, key, docs, flight)
+	out, ok := s.runScan(ctx, det, data, key, docs, flight, release)
 	resp := ScanResponse{RequestID: requestID(r.Context()), File: name}
 	if !ok {
 		s.metrics.Errors.Add("timeout", 1)
@@ -806,13 +870,15 @@ func (s *Server) writeBodyError(w http.ResponseWriter, err error) {
 
 func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	det, dcache, _ := s.pipeline()
+	det, dcache, _, release := s.pipeline()
 	if det == nil || s.draining.Load() {
+		release()
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "not ready"})
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := r.ParseMultipartForm(s.cfg.MaxBodyBytes); err != nil {
+		release()
 		s.writeBodyError(w, err)
 		return
 	}
@@ -820,6 +886,7 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 	for _, headers := range r.MultipartForm.File {
 		for _, fh := range headers {
 			if len(docs) >= s.cfg.MaxBatchFiles {
+				release()
 				s.metrics.Errors.Add("bad_request", 1)
 				writeJSON(w, http.StatusRequestEntityTooLarge,
 					map[string]string{"error": fmt.Sprintf("batch exceeds %d file limit", s.cfg.MaxBatchFiles)})
@@ -827,12 +894,14 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			f, err := fh.Open()
 			if err != nil {
+				release()
 				s.writeBodyError(w, err)
 				return
 			}
 			data, err := io.ReadAll(f)
 			f.Close()
 			if err != nil {
+				release()
 				s.writeBodyError(w, err)
 				return
 			}
@@ -840,11 +909,13 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(docs) == 0 {
+		release()
 		s.metrics.Errors.Add("bad_request", 1)
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "multipart form has no file parts"})
 		return
 	}
 	if !s.acquireSlot(w, r) {
+		release()
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ScanTimeout)
@@ -859,6 +930,7 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	go func() {
 		defer s.inflight.Done()
+		defer release() // model-mapping lease ends only when the batch does
 		defer func() { <-s.sem }()
 		defer s.metrics.InFlight.Add(-1)
 		s.metrics.InFlight.Add(1)

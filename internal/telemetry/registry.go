@@ -117,6 +117,25 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[len(h.bounds)].Add(1)
 }
 
+// ObserveValue records one unitless observation against the histogram's
+// bounds — for instruments that count things (batch sizes, queue lengths)
+// rather than time them. Such histograms should use explicit bounds in the
+// counted unit and a name that does not imply seconds.
+func (h *Histogram) ObserveValue(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sumNS.Add(int64(v * 1e9))
+	for i, bound := range h.bounds {
+		if v <= bound {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(h.bounds)].Add(1)
+}
+
 // Count reports how many observations have been recorded.
 func (h *Histogram) Count() int64 {
 	if h == nil {
