@@ -476,6 +476,50 @@ func BenchmarkFeaturizeHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkFeaturizeChannels measures every registered feature channel in
+// isolation over a shared single-pass analysis, plus the full stacked
+// layout end to end (analyze + all four channels) — the per-macro cost a
+// stack-model deployment adds over the V-only hot path. allocs/op per
+// channel is the gate: a channel that allocates per call multiplies
+// across the corpus.
+func BenchmarkFeaturizeChannels(b *testing.B) {
+	dataset, _ := benchCorpus(b)
+	sources := dataset.Sources()
+	var total int64
+	for _, s := range sources {
+		total += int64(len(s))
+	}
+	analyses := make([]*features.Analysis, len(sources))
+	for i, src := range sources {
+		analyses[i] = features.Analyze(src)
+	}
+	for _, name := range features.ChannelNames() {
+		ch := features.MustChannel(name)
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(total)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, a := range analyses {
+					ch.Extract(a)
+				}
+			}
+			b.ReportMetric(float64(len(sources))*float64(b.N)/b.Elapsed().Seconds(), "macros/s")
+		})
+	}
+	b.Run("stack", func(b *testing.B) {
+		b.SetBytes(total)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, src := range sources {
+				core.FeatureSetStack.Extract(src)
+			}
+		}
+		b.ReportMetric(float64(len(sources))*float64(b.N)/b.Elapsed().Seconds(), "macros/s")
+	})
+}
+
 // BenchmarkScanThroughputDup measures the batch engine on a duplicate-heavy
 // corpus (every document appears twice — the mail-gateway traffic shape)
 // with and without the content-addressed verdict caches. The cache run

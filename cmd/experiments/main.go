@@ -9,6 +9,7 @@
 //	experiments -table 5 -figure 6 -figure 7
 //	experiments -figure 5
 //	experiments -ablation            # feature-group ablations
+//	experiments -ensemble -ensemble-gate   # per-channel ensemble ablation
 //	experiments -scale 0.2 -folds 5  # faster runs
 package main
 
@@ -46,6 +47,11 @@ func main() {
 	flag.Var(&figures, "figure", "figure number to regenerate (5, 6 or 7; repeatable)")
 	all := flag.Bool("all", false, "run every experiment")
 	ablation := flag.Bool("ablation", false, "run the feature-group ablation study")
+	ensemble := flag.Bool("ensemble", false, "run the per-channel ensemble ablation (singles, leave-one-out, full stack)")
+	ensembleJSON := flag.String("ensemble-json", "", "write the ensemble ablation result as JSON to this file")
+	ensembleMD := flag.String("ensemble-md", "", "write the ensemble ablation as a markdown table to this file")
+	ensembleGate := flag.Bool("ensemble-gate", false, "exit non-zero if the full stack's F1 falls below the best single channel")
+	ensembleTrees := flag.Int("ensemble-trees", 0, "trees per forest in the ensemble ablation (0 = default 100)")
 	importance := flag.Bool("importance", false, "report Random Forest Gini importances of V1-V15")
 	deobRecovery := flag.Bool("deob", false, "measure hidden-URL recovery by static deobfuscation")
 	active := flag.Bool("active", false, "run the active-learning label-efficiency extension")
@@ -62,17 +68,22 @@ func main() {
 		*importance = true
 		*deobRecovery = true
 	}
-	if len(tables) == 0 && len(figures) == 0 && !*ablation && !*importance && !*deobRecovery && !*active {
+	if len(tables) == 0 && len(figures) == 0 && !*ablation && !*ensemble && !*importance && !*deobRecovery && !*active {
 		flag.Usage()
 		os.Exit(2)
 	}
 	cfg := extraConfig{
-		ablation:   *ablation,
-		importance: *importance,
-		deob:       *deobRecovery,
-		active:     *active,
-		csvDir:     *csvDir,
-		workers:    *workers,
+		ablation:      *ablation,
+		ensemble:      *ensemble,
+		ensembleJSON:  *ensembleJSON,
+		ensembleMD:    *ensembleMD,
+		ensembleGate:  *ensembleGate,
+		ensembleTrees: *ensembleTrees,
+		importance:    *importance,
+		deob:          *deobRecovery,
+		active:        *active,
+		csvDir:        *csvDir,
+		workers:       *workers,
 	}
 	if err := run(tables, figures, cfg, *scale, *folds, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -82,6 +93,9 @@ func main() {
 
 type extraConfig struct {
 	ablation, importance, deob, active bool
+	ensemble, ensembleGate             bool
+	ensembleJSON, ensembleMD           string
+	ensembleTrees                      int
 	csvDir                             string
 	workers                            int
 }
@@ -198,6 +212,11 @@ func run(tables, figures []int, extra extraConfig, scale float64, folds int, see
 			return err
 		}
 	}
+	if extra.ensemble {
+		if err := runEnsemble(dataset, extra, folds, seed); err != nil {
+			return err
+		}
+	}
 	if extra.importance {
 		fmt.Println("== Extension: Random Forest Gini importance of V1-V15 ==")
 		rows, err := experiments.FeatureImportance(dataset, seed)
@@ -308,6 +327,45 @@ func runAblation(dataset *corpus.Dataset, folds int, seed int64) error {
 		}
 		fmt.Printf("  %-32s F2=%.3f acc=%.3f recall=%.3f\n",
 			g.name, res.Confusion.F2(), res.Confusion.Accuracy(), res.Confusion.Recall())
+	}
+	return nil
+}
+
+// runEnsemble runs the per-channel ensemble ablation, prints the table,
+// writes the optional JSON/markdown artifacts, and enforces the gate.
+func runEnsemble(dataset *corpus.Dataset, extra extraConfig, folds int, seed int64) error {
+	fmt.Println("== Ensemble: per-channel ablation (singles, leave-one-out, stack) ==")
+	t0 := time.Now()
+	res, err := experiments.RunEnsembleAblation(dataset, experiments.EnsembleConfig{
+		Folds:   folds,
+		Seed:    seed,
+		Workers: extra.workers,
+		Trees:   extra.ensembleTrees,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %d configurations over %d samples in %v\n",
+		len(res.Singles)+len(res.LeaveOneOut)+1, res.Samples, time.Since(t0).Round(time.Millisecond))
+	fmt.Print(experiments.FormatEnsemble(res))
+	fmt.Println()
+	if extra.ensembleJSON != "" {
+		blob, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(extra.ensembleJSON, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if extra.ensembleMD != "" {
+		if err := os.WriteFile(extra.ensembleMD, []byte(experiments.MarkdownEnsemble(res)), 0o644); err != nil {
+			return err
+		}
+	}
+	if extra.ensembleGate && !res.StackBeatsBestSingle() {
+		return fmt.Errorf("ensemble gate: stack F1 %.3f below best single channel %q (delta %+.3f)",
+			res.Stack.F1, res.BestSingle, res.StackDelta)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@
 // Train and save a model:
 //
 //	vbadetect train -model model.json [-algo mlp] [-features V] [-scale 0.25]
+//	vbadetect train -model stack.json -algo stack -features stack
 //
 // Scan documents:
 //
@@ -69,7 +70,8 @@ commands:
   scan    classify Office documents with a saved model
   help    show this message
 
-  vbadetect train -model out.json [-algo svm|rf|mlp|lda|bnb] [-features V|J] [-scale 0.25] [-seed 1] [-workers N] [-compiled]
+  vbadetect train -model out.json [-algo svm|rf|mlp|lda|bnb|stack] [-features V|J|entropy|api|stack]
+                  [-scale 0.25] [-seed 1] [-workers N] [-compiled]
   vbadetect scan  -model model.json [-model-mmap] [-workers N] [-stats] [-trace-out spans.jsonl]
                   [-trace-chrome trace.json] [-audit-out audit.jsonl] [-audit-sample 0.1]
                   [-cache-entries N] [-cache-bytes N] file...
@@ -81,8 +83,8 @@ counterpart is cmd/vbadetectd.`)
 func train(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "output model file")
-	algo := fs.String("algo", "mlp", "classifier: svm, rf, mlp, lda, bnb")
-	featureSet := fs.String("features", "V", "feature set: V or J")
+	algo := fs.String("algo", "mlp", "classifier: svm, rf, mlp, lda, bnb, stack")
+	featureSet := fs.String("features", "V", "feature set: V, J, entropy, api or stack")
 	scale := fs.Float64("scale", 0.25, "training corpus scale (1 = full 4,212 macros)")
 	seed := fs.Int64("seed", 1, "seed")
 	workers := fs.Int("workers", 0, "training concurrency (0 = GOMAXPROCS); results are seed-deterministic for any value")
@@ -90,9 +92,9 @@ func train(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	set := core.FeatureSetV
-	if *featureSet == "J" || *featureSet == "j" {
-		set = core.FeatureSetJ
+	set, err := core.ParseFeatureSet(*featureSet)
+	if err != nil {
+		return err
 	}
 	det, err := core.NewDetector(core.Algorithm(*algo), set, *seed)
 	if err != nil {

@@ -15,6 +15,7 @@ package cache
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"hash"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +43,45 @@ func KeyOfString(s string) Key {
 	var k Key
 	h.Sum(k[:0])
 	return k
+}
+
+// KeyOfSalted hashes salt‖0x00‖data into a cache key. The salt carries
+// identity that is not part of the payload — the detector's feature-set
+// version, say — so the same bytes cached under different salts occupy
+// different keys, and a salt change turns stale entries into misses
+// instead of poisoned hits. The 0x00 separator keeps (salt, data) pairs
+// unambiguous (no salt contains NUL).
+func KeyOfSalted(salt string, data []byte) Key {
+	h := sha256.New()
+	writeStringChunked(h, salt)
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write(data)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// KeyOfSaltedString is KeyOfSalted for a string payload, feeding both
+// parts through a stack buffer like KeyOfString.
+func KeyOfSaltedString(salt, s string) Key {
+	h := sha256.New()
+	writeStringChunked(h, salt)
+	_, _ = h.Write([]byte{0})
+	writeStringChunked(h, s)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// writeStringChunked feeds a string into a hash through a small stack
+// buffer, avoiding a heap copy of the whole string.
+func writeStringChunked(h hash.Hash, s string) {
+	var buf [512]byte
+	for len(s) > 0 {
+		n := copy(buf[:], s)
+		_, _ = h.Write(buf[:n])
+		s = s[n:]
+	}
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.

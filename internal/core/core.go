@@ -31,46 +31,6 @@ import (
 	"repro/internal/telemetry"
 )
 
-// FeatureSet selects which static feature vector the detector uses.
-type FeatureSet int
-
-// Feature sets from the paper's evaluation.
-const (
-	// FeatureSetV is the proposed 15-feature set (Table IV).
-	FeatureSetV FeatureSet = iota + 1
-	// FeatureSetJ is the 20-feature comparison set from the JavaScript
-	// obfuscation literature (Table VI).
-	FeatureSetJ
-)
-
-// String names the feature set.
-func (f FeatureSet) String() string {
-	switch f {
-	case FeatureSetV:
-		return "V"
-	case FeatureSetJ:
-		return "J"
-	default:
-		return fmt.Sprintf("FeatureSet(%d)", int(f))
-	}
-}
-
-// Extract computes the feature vector of the set for one macro source.
-func (f FeatureSet) Extract(src string) []float64 {
-	if f == FeatureSetJ {
-		return features.ExtractJ(src)
-	}
-	return features.ExtractV(src)
-}
-
-// vectorOf reads the set's vector out of a shared single-parse analysis.
-func (f FeatureSet) vectorOf(a *features.Analysis) []float64 {
-	if f == FeatureSetJ {
-		return a.J()
-	}
-	return a.V()
-}
-
 // FeaturizeAll extracts the set's feature vector for every source across
 // workers goroutines (workers <= 0 means GOMAXPROCS). Row i is always the
 // vector of sources[i], so the result is deterministic regardless of the
@@ -109,15 +69,8 @@ func FeaturizeAll(fs FeatureSet, sources []string, workers int) [][]float64 {
 	return X
 }
 
-// Dim is the feature vector length.
-func (f FeatureSet) Dim() int {
-	if f == FeatureSetJ {
-		return features.JDim
-	}
-	return features.VDim
-}
-
-// Algorithm identifies one of the five classifiers of §IV.D.
+// Algorithm identifies one of the five classifiers of §IV.D, or the
+// channel-stacking ensemble.
 type Algorithm string
 
 // Supported algorithms.
@@ -127,6 +80,10 @@ const (
 	AlgoMLP Algorithm = "mlp"
 	AlgoLDA Algorithm = "lda"
 	AlgoBNB Algorithm = "bnb"
+	// AlgoStack is the stacking ensemble: one Random Forest per feature
+	// channel plus a logistic combiner. It needs the feature set's channel
+	// layout, so it is built by NewDetector rather than NewClassifier.
+	AlgoStack Algorithm = "stack"
 )
 
 // Algorithms lists all supported algorithms in the paper's order.
@@ -149,6 +106,8 @@ func NewClassifier(algo Algorithm, seed int64) (ml.Classifier, error) {
 		return ml.NewScaled(ml.NewLDA()), nil
 	case AlgoBNB:
 		return ml.NewBernoulliNB(), nil
+	case AlgoStack:
+		return nil, fmt.Errorf("core: algorithm %q needs a channel layout; construct it through NewDetector", algo)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
 	}
@@ -225,6 +184,10 @@ type Detector struct {
 	workers    int
 	limits     hostile.Limits
 	macros     *MacroCache
+	// cacheSalt is the feature set's cache identity (FeatureSet.CacheID),
+	// precomputed so hot-path cache keys don't rebuild it per macro. Two
+	// detectors over different channel layouts never share cache entries.
+	cacheSalt string
 
 	// classifyBatch, when set, replaces the inline classifier call in
 	// ScanFileCtx's classify phase (see SetClassifyBatch).
@@ -270,22 +233,45 @@ func setClassifierWorkers(c ml.Classifier, n int) {
 	switch v := c.(type) {
 	case *ml.RandomForest:
 		v.Workers = n
+	case *ml.Stacked:
+		v.Workers = n
 	case *ml.Scaled:
 		setClassifierWorkers(v.Inner, n)
 	}
 }
 
-// NewDetector creates an untrained detector.
+// NewDetector creates an untrained detector. AlgoStack builds the stacking
+// ensemble from the feature set's channel layout (one forest per channel);
+// every other algorithm sees the set's concatenated vector as a whole.
 func NewDetector(algo Algorithm, fs FeatureSet, seed int64) (*Detector, error) {
-	clf, err := NewClassifier(algo, seed)
-	if err != nil {
-		return nil, err
-	}
-	if fs != FeatureSetV && fs != FeatureSetJ {
+	if !fs.valid() {
 		return nil, fmt.Errorf("core: unknown feature set %d", int(fs))
 	}
-	return &Detector{featureSet: fs, algo: algo, clf: clf}, nil
+	var clf ml.Classifier
+	if algo == AlgoStack {
+		chans := fs.Channels()
+		names := make([]string, len(chans))
+		dims := make([]int, len(chans))
+		for i, c := range chans {
+			names[i] = c.Name
+			dims[i] = c.Dim()
+		}
+		clf = ml.NewStacked(names, dims, seed)
+	} else {
+		var err error
+		clf, err = NewClassifier(algo, seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Detector{featureSet: fs, algo: algo, clf: clf, cacheSalt: fs.CacheID()}, nil
 }
+
+// FeatureSetID returns the feature set's cache identity string — the salt
+// folded into every macro- and document-level cache key, so entries
+// written under one channel layout can never satisfy lookups under
+// another.
+func (d *Detector) FeatureSetID() string { return d.cacheSalt }
 
 // FeatureSet reports the detector's feature set.
 func (d *Detector) FeatureSet() FeatureSet { return d.featureSet }
@@ -305,11 +291,14 @@ func (d *Detector) Train(sources []string, labels []int) error {
 	if err := d.clf.Fit(X, labels); err != nil {
 		return fmt.Errorf("core: train: %w", err)
 	}
-	if rf, ok := d.clf.(*ml.RandomForest); ok {
+	switch v := d.clf.(type) {
+	case *ml.RandomForest:
 		// Scanning is inference-only from here on; the compiled engine is
 		// bit-identical and several times faster. Non-compilable ensembles
 		// (which Fit cannot produce) just keep the flattened walk.
-		_ = rf.Compile()
+		_ = v.Compile()
+	case *ml.Stacked:
+		_ = v.Compile()
 	}
 	d.modelRaw = nil
 	d.trained = true
@@ -605,7 +594,7 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 		msp.SetBytes(int64(len(m.Source)))
 		var key cache.Key
 		if d.macros != nil {
-			key = cache.KeyOfString(m.Source)
+			key = cache.KeyOfSaltedString(d.cacheSalt, m.Source)
 			if ent, ok := d.macros.lookup(key); ok {
 				msp.Annotate("cache", "hit")
 				if ent.obfuscated {
@@ -674,14 +663,28 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 
 // modelHeader is the persisted model envelope. Marshaling it with
 // encoding/json (rather than assembling the JSON by hand) guarantees the
-// feature-set and algorithm strings are escaped correctly.
+// feature-set and algorithm strings are escaped correctly. Channels
+// records the exact channel layout (name, version, dimension) the model
+// was trained on; the loader validates it against the binary's feature
+// registry. Headers written before the registry existed carry no channels
+// field and are accepted only for the legacy V/J sets, whose extractors
+// are frozen at version 1.
 type modelHeader struct {
 	FeatureSet string          `json:"featureSet"`
 	Algorithm  string          `json:"algorithm"`
+	Channels   []modelChannel  `json:"channels,omitempty"`
 	Model      json.RawMessage `json:"model"`
 }
 
-// SaveModel serializes the trained detector (feature set + classifier).
+// modelChannel is one persisted channel record.
+type modelChannel struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Dim     int    `json:"dim"`
+}
+
+// SaveModel serializes the trained detector (feature set + channel layout
+// + classifier).
 func (d *Detector) SaveModel() ([]byte, error) {
 	if !d.trained {
 		return nil, ErrNotTrained
@@ -694,9 +697,15 @@ func (d *Detector) SaveModel() ([]byte, error) {
 			return nil, err
 		}
 	}
+	chans := d.featureSet.Channels()
+	rec := make([]modelChannel, len(chans))
+	for i, c := range chans {
+		rec[i] = modelChannel{Name: c.Name, Version: c.Version, Dim: c.Dim()}
+	}
 	return json.Marshal(modelHeader{
 		FeatureSet: d.featureSet.String(),
 		Algorithm:  string(d.algo),
+		Channels:   rec,
 		Model:      blob,
 	})
 }
@@ -827,9 +836,12 @@ func loadModel(data []byte, m *ml.Mapping) (*Detector, error) {
 			return nil, fmt.Errorf("core: bad model: %w", err)
 		}
 	}
-	fs := FeatureSetV
-	if head.FeatureSet == "J" {
-		fs = FeatureSetJ
+	fs, err := ParseFeatureSet(head.FeatureSet)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad model: %w", err)
+	}
+	if err := validateModelChannels(fs, head.Channels); err != nil {
+		return nil, err
 	}
 	return &Detector{
 		featureSet: fs,
@@ -837,7 +849,60 @@ func loadModel(data []byte, m *ml.Mapping) (*Detector, error) {
 		clf:        clf,
 		trained:    true,
 		modelRaw:   append(json.RawMessage(nil), head.Model...),
+		cacheSalt:  fs.CacheID(),
 	}, nil
+}
+
+// validateModelChannels checks the model's recorded channel layout against
+// the binary's feature registry: every recorded channel must exist with
+// the same version and dimension, and the record must cover the feature
+// set's layout exactly. Any mismatch means the model's vectors and this
+// binary's extractors disagree, so the load fails closed with a
+// FeatureSkewError. A header with no channel record (written before the
+// registry existed) is accepted only for the legacy V/J sets — their
+// extractors are frozen at version 1, so those models stay bit-compatible.
+func validateModelChannels(fs FeatureSet, rec []modelChannel) error {
+	want := fs.Channels()
+	if len(rec) == 0 {
+		if fs == FeatureSetV || fs == FeatureSetJ {
+			return nil
+		}
+		return &FeatureSkewError{
+			FeatureSet: fs.String(),
+			Reason:     "model has no channel record; only legacy V/J models may omit it",
+		}
+	}
+	if len(rec) != len(want) {
+		return &FeatureSkewError{
+			FeatureSet: fs.String(),
+			Reason: fmt.Sprintf("model records %d channels, feature set %q has %d",
+				len(rec), fs.String(), len(want)),
+		}
+	}
+	for i, r := range rec {
+		w := want[i]
+		if r.Name != w.Name {
+			return &FeatureSkewError{
+				FeatureSet: fs.String(), Channel: r.Name,
+				Reason: fmt.Sprintf("channel %d is %q, feature set expects %q", i, r.Name, w.Name),
+			}
+		}
+		if r.Version != w.Version {
+			return &FeatureSkewError{
+				FeatureSet: fs.String(), Channel: r.Name,
+				Reason: fmt.Sprintf("model trained on %s@%d, binary provides %s@%d",
+					r.Name, r.Version, w.Name, w.Version),
+			}
+		}
+		if r.Dim != w.Dim() {
+			return &FeatureSkewError{
+				FeatureSet: fs.String(), Channel: r.Name,
+				Reason: fmt.Sprintf("channel %s has %d dims in the model, %d in this binary",
+					r.Name, r.Dim, w.Dim()),
+			}
+		}
+	}
+	return nil
 }
 
 // LoadModelFile restores a detector from a model file. With useMmap set

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/features"
+)
+
+// FeatureSet selects which feature channels the detector computes: the
+// paper's V or J lexical vectors, one of the auxiliary channels on its
+// own, or the full multi-channel stack. Every set is a fixed ordered list
+// of registry channels (features.Channel); the detector's vector is their
+// concatenation.
+type FeatureSet int
+
+// Feature sets.
+const (
+	// FeatureSetV is the paper's proposed 15-feature set (Table IV).
+	FeatureSetV FeatureSet = iota + 1
+	// FeatureSetJ is the 20-feature comparison set from the JavaScript
+	// obfuscation literature (Table VI).
+	FeatureSetJ
+	// FeatureSetEntropy is the windowed Shannon-entropy channel alone.
+	FeatureSetEntropy
+	// FeatureSetAPI is the suspicious-API/keyword channel alone.
+	FeatureSetAPI
+	// FeatureSetStack concatenates every channel (v, j, entropy, api) —
+	// the input layout of the stacked ensemble.
+	FeatureSetStack
+)
+
+// featureSetChannels maps each set to its ordered channel names.
+var featureSetChannels = map[FeatureSet][]string{
+	FeatureSetV:       {"v"},
+	FeatureSetJ:       {"j"},
+	FeatureSetEntropy: {"entropy"},
+	FeatureSetAPI:     {"api"},
+	FeatureSetStack:   {"v", "j", "entropy", "api"},
+}
+
+func (f FeatureSet) valid() bool {
+	_, ok := featureSetChannels[f]
+	return ok
+}
+
+// String names the feature set. V and J keep their historical uppercase
+// spelling (persisted model headers depend on it); the new sets use their
+// registry channel names.
+func (f FeatureSet) String() string {
+	switch f {
+	case FeatureSetV:
+		return "V"
+	case FeatureSetJ:
+		return "J"
+	case FeatureSetEntropy:
+		return "entropy"
+	case FeatureSetAPI:
+		return "api"
+	case FeatureSetStack:
+		return "stack"
+	default:
+		return fmt.Sprintf("FeatureSet(%d)", int(f))
+	}
+}
+
+// ParseFeatureSet resolves a feature-set name (case-insensitive). It
+// accepts the historical "V"/"J" spellings and the channel-style names.
+func ParseFeatureSet(s string) (FeatureSet, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "v":
+		return FeatureSetV, nil
+	case "j":
+		return FeatureSetJ, nil
+	case "entropy":
+		return FeatureSetEntropy, nil
+	case "api":
+		return FeatureSetAPI, nil
+	case "stack":
+		return FeatureSetStack, nil
+	default:
+		return 0, fmt.Errorf("core: unknown feature set %q (want V, J, entropy, api or stack)", s)
+	}
+}
+
+// FeatureSets lists every supported set, single channels first.
+func FeatureSets() []FeatureSet {
+	return []FeatureSet{FeatureSetV, FeatureSetJ, FeatureSetEntropy, FeatureSetAPI, FeatureSetStack}
+}
+
+// Channels returns the set's ordered channel list from the feature
+// registry. Unknown sets yield nil.
+func (f FeatureSet) Channels() []features.Channel {
+	names := featureSetChannels[f]
+	out := make([]features.Channel, 0, len(names))
+	for _, n := range names {
+		out = append(out, features.MustChannel(n))
+	}
+	return out
+}
+
+// Dim is the concatenated feature vector length.
+func (f FeatureSet) Dim() int {
+	d := 0
+	for _, c := range f.Channels() {
+		d += c.Dim()
+	}
+	return d
+}
+
+// FeatureNames labels every dimension of the concatenated vector, channel
+// by channel in layout order.
+func (f FeatureSet) FeatureNames() []string {
+	var out []string
+	for _, c := range f.Channels() {
+		out = append(out, c.FeatureNames...)
+	}
+	return out
+}
+
+// CacheID is the feature set's cache identity: the set name plus every
+// channel's name@version, in layout order. It salts macro- and
+// document-level cache keys so entries computed under one channel layout
+// (or extractor version) can never be served under another — a version
+// bump turns would-be poisoned hits into clean misses.
+func (f FeatureSet) CacheID() string {
+	var sb strings.Builder
+	sb.WriteString(f.String())
+	for _, c := range f.Channels() {
+		sb.WriteByte(':')
+		sb.WriteString(c.ID())
+	}
+	return sb.String()
+}
+
+// vectorOf reads the set's concatenated vector out of a shared
+// single-parse analysis. Single-channel sets return the channel's own
+// slice (for V and J this is the exact historical extraction — models
+// trained before the registry remain bit-compatible).
+func (f FeatureSet) vectorOf(a *features.Analysis) []float64 {
+	chans := f.Channels()
+	if len(chans) == 1 {
+		return chans[0].Extract(a)
+	}
+	out := make([]float64, 0, f.Dim())
+	for _, c := range chans {
+		out = append(out, c.Extract(a)...)
+	}
+	return out
+}
+
+// Extract computes the set's feature vector for one macro source.
+func (f FeatureSet) Extract(src string) []float64 {
+	return f.vectorOf(features.Analyze(src))
+}
+
+// ErrFeatureSkew is the sentinel wrapped by every FeatureSkewError;
+// errors.Is(err, ErrFeatureSkew) identifies a model/binary channel
+// mismatch wherever the load error surfaces.
+var ErrFeatureSkew = errors.New("core: model feature channels do not match this binary")
+
+// FeatureSkewError reports a mismatch between the channel layout recorded
+// in a model snapshot and the feature registry compiled into this binary.
+// Scoring through mismatched extractors would silently misclassify, so
+// loading fails closed with this error instead.
+type FeatureSkewError struct {
+	// FeatureSet is the model's feature-set name.
+	FeatureSet string
+	// Channel is the first mismatched channel, when one is identifiable.
+	Channel string
+	// Reason describes the mismatch.
+	Reason string
+}
+
+// Error implements error.
+func (e *FeatureSkewError) Error() string {
+	if e.Channel != "" {
+		return fmt.Sprintf("core: feature skew in set %q, channel %q: %s", e.FeatureSet, e.Channel, e.Reason)
+	}
+	return fmt.Sprintf("core: feature skew in set %q: %s", e.FeatureSet, e.Reason)
+}
+
+// Unwrap ties the typed error to the ErrFeatureSkew sentinel.
+func (e *FeatureSkewError) Unwrap() error { return ErrFeatureSkew }

@@ -67,6 +67,10 @@ func (c Confusion) FBeta(beta float64) float64 {
 	return safeDiv((1+b2)*p*r, b2*p+r)
 }
 
+// F1 is FBeta(1), the balanced harmonic mean the channel-ablation gate
+// compares on.
+func (c Confusion) F1() float64 { return c.FBeta(1) }
+
 // F2 is FBeta(2).
 func (c Confusion) F2() float64 { return c.FBeta(2) }
 

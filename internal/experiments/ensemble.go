@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/eval"
+	"repro/internal/ml"
+)
+
+// EnsembleMetrics is one evaluated configuration of the channel-ablation
+// study: a single channel, the stack minus one channel, or the full
+// stack, each under stratified k-fold cross-validation.
+type EnsembleMetrics struct {
+	// Name identifies the configuration: a channel name ("v", "entropy"),
+	// "stack-minus-<channel>" for leave-one-out, or "stack".
+	Name string `json:"name"`
+	// Kind groups configurations: "single", "leave-one-out" or "stack".
+	Kind      string  `json:"kind"`
+	Accuracy  float64 `json:"accuracy"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	AUC       float64 `json:"auc"`
+}
+
+// EnsembleResult is the full channel-ablation report: every channel
+// alone, every leave-one-out stack, and the full stacked ensemble, all on
+// identical folds of the same corpus.
+type EnsembleResult struct {
+	Folds   int   `json:"folds"`
+	Seed    int64 `json:"seed"`
+	Samples int   `json:"samples"`
+	// Channels is the stack's channel layout (name@version per channel).
+	Channels []string `json:"channels"`
+	// Singles holds one entry per channel evaluated alone.
+	Singles []EnsembleMetrics `json:"singles"`
+	// LeaveOneOut holds one entry per channel evaluated as the stack
+	// without that channel.
+	LeaveOneOut []EnsembleMetrics `json:"leave_one_out"`
+	// Stack is the full stacked ensemble.
+	Stack EnsembleMetrics `json:"stack"`
+	// BestSingle names the single channel with the highest F1.
+	BestSingle string `json:"best_single"`
+	// StackDelta is Stack.F1 minus the best single channel's F1 — the
+	// number the CI gate enforces to be non-negative.
+	StackDelta float64 `json:"stack_delta"`
+}
+
+// StackBeatsBestSingle reports whether the full stack's held-out F1 is at
+// least the best single channel's (the "every channel earns its keep"
+// gate; equality passes because adding channels must at minimum not
+// hurt).
+func (r *EnsembleResult) StackBeatsBestSingle() bool { return r.StackDelta >= 0 }
+
+// EnsembleConfig parameterizes RunEnsembleAblation.
+type EnsembleConfig struct {
+	// Folds is the cross-validation fold count (default 5).
+	Folds int
+	// Seed drives fold assignment and every classifier.
+	Seed int64
+	// Workers bounds featurization and forest concurrency (0 =
+	// GOMAXPROCS). Results are identical whatever the worker count.
+	Workers int
+	// Trees is the per-forest size (default 100; the CI lane uses fewer).
+	Trees int
+}
+
+// RunEnsembleAblation runs the per-channel ablation: each channel alone
+// (its own Random Forest), the stack with each channel left out, and the
+// full stacked ensemble, all cross-validated on the same folds. Rows are
+// featurized once into the stack layout; every configuration slices its
+// columns out of that one matrix.
+func RunEnsembleAblation(d *corpus.Dataset, cfg EnsembleConfig) (*EnsembleResult, error) {
+	if cfg.Folds == 0 {
+		cfg.Folds = 5
+	}
+	labels := d.Labels()
+	X := core.FeaturizeAll(core.FeatureSetStack, d.Sources(), cfg.Workers)
+
+	chans := core.FeatureSetStack.Channels()
+	names := make([]string, len(chans))
+	dims := make([]int, len(chans))
+	offs := make([]int, len(chans))
+	res := &EnsembleResult{
+		Folds:   cfg.Folds,
+		Seed:    cfg.Seed,
+		Samples: len(X),
+	}
+	for i, c := range chans {
+		names[i] = c.Name
+		dims[i] = c.Dim()
+		if i > 0 {
+			offs[i] = offs[i-1] + dims[i-1]
+		}
+		res.Channels = append(res.Channels, c.ID())
+	}
+
+	// project copies the selected channels of every row into fresh
+	// contiguous rows (keep[i] selects channel i).
+	project := func(keep []bool) [][]float64 {
+		width := 0
+		for c, k := range keep {
+			if k {
+				width += dims[c]
+			}
+		}
+		out := make([][]float64, len(X))
+		for i, row := range X {
+			dst := make([]float64, 0, width)
+			for c, k := range keep {
+				if k {
+					dst = append(dst, row[offs[c]:offs[c]+dims[c]]...)
+				}
+			}
+			out[i] = dst
+		}
+		return out
+	}
+	summarize := func(name, kind string, cv *eval.CVResult) EnsembleMetrics {
+		return EnsembleMetrics{
+			Name:      name,
+			Kind:      kind,
+			Accuracy:  cv.Confusion.Accuracy(),
+			Precision: cv.Confusion.Precision(),
+			Recall:    cv.Confusion.Recall(),
+			F1:        cv.Confusion.F1(),
+			AUC:       cv.AUC(),
+		}
+	}
+	stackFactory := func(sub []int) func(fold int) ml.Classifier {
+		return func(fold int) ml.Classifier {
+			var n []string
+			var w []int
+			for _, c := range sub {
+				n = append(n, names[c])
+				w = append(w, dims[c])
+			}
+			s := ml.NewStacked(n, w, cfg.Seed+int64(fold))
+			if cfg.Trees > 0 {
+				s.Trees = cfg.Trees
+			}
+			s.Workers = cfg.Workers
+			return s
+		}
+	}
+
+	// Each channel alone: one plain forest over the channel's columns.
+	for c := range chans {
+		keep := make([]bool, len(chans))
+		keep[c] = true
+		cv, err := eval.CrossValidate(func(fold int) ml.Classifier {
+			rf := ml.NewRandomForest(cfg.Seed + int64(fold))
+			if cfg.Trees > 0 {
+				rf.Trees = cfg.Trees
+			}
+			rf.Workers = cfg.Workers
+			return rf
+		}, project(keep), labels, cfg.Folds, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble single %q: %w", names[c], err)
+		}
+		res.Singles = append(res.Singles, summarize(names[c], "single", cv))
+	}
+
+	// Leave-one-out: the stacked ensemble without each channel.
+	for drop := range chans {
+		keep := make([]bool, len(chans))
+		var sub []int
+		for c := range chans {
+			if c != drop {
+				keep[c] = true
+				sub = append(sub, c)
+			}
+		}
+		cv, err := eval.CrossValidate(stackFactory(sub), project(keep), labels, cfg.Folds, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble leave-one-out %q: %w", names[drop], err)
+		}
+		res.LeaveOneOut = append(res.LeaveOneOut,
+			summarize("stack-minus-"+names[drop], "leave-one-out", cv))
+	}
+
+	// The full stack.
+	all := make([]int, len(chans))
+	for c := range all {
+		all[c] = c
+	}
+	cv, err := eval.CrossValidate(stackFactory(all), X, labels, cfg.Folds, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("ensemble stack: %w", err)
+	}
+	res.Stack = summarize("stack", "stack", cv)
+
+	best := res.Singles[0]
+	for _, s := range res.Singles[1:] {
+		if s.F1 > best.F1 {
+			best = s
+		}
+	}
+	res.BestSingle = best.Name
+	res.StackDelta = res.Stack.F1 - best.F1
+	return res, nil
+}
+
+// JSON renders the result as indented JSON (the BENCH_ensemble.json
+// artifact).
+func (r *EnsembleResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatEnsemble renders the ablation as an aligned text table.
+func FormatEnsemble(r *EnsembleResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %-14s %9s %10s %8s %7s %7s\n",
+		"Config", "Kind", "Accuracy", "Precision", "Recall", "F1", "AUC")
+	row := func(m EnsembleMetrics) {
+		fmt.Fprintf(&sb, "%-20s %-14s %9.3f %10.3f %8.3f %7.3f %7.3f\n",
+			m.Name, m.Kind, m.Accuracy, m.Precision, m.Recall, m.F1, m.AUC)
+	}
+	for _, m := range r.Singles {
+		row(m)
+	}
+	for _, m := range r.LeaveOneOut {
+		row(m)
+	}
+	row(r.Stack)
+	fmt.Fprintf(&sb, "best single: %s; stack F1 delta: %+.3f\n", r.BestSingle, r.StackDelta)
+	return sb.String()
+}
+
+// MarkdownEnsemble renders the ablation as a GitHub-flavored markdown
+// table (the CI job-summary block).
+func MarkdownEnsemble(r *EnsembleResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "| Config | Kind | Accuracy | Precision | Recall | F1 | AUC |\n")
+	fmt.Fprintf(&sb, "|---|---|---|---|---|---|---|\n")
+	row := func(m EnsembleMetrics) {
+		fmt.Fprintf(&sb, "| %s | %s | %.3f | %.3f | %.3f | %.3f | %.3f |\n",
+			m.Name, m.Kind, m.Accuracy, m.Precision, m.Recall, m.F1, m.AUC)
+	}
+	for _, m := range r.Singles {
+		row(m)
+	}
+	for _, m := range r.LeaveOneOut {
+		row(m)
+	}
+	row(r.Stack)
+	fmt.Fprintf(&sb, "\n**Best single channel:** %s · **stack F1 delta:** %+.3f\n",
+		r.BestSingle, r.StackDelta)
+	return sb.String()
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// ensembleSpec is large enough for the stack's out-of-fold combiner
+// training to be meaningful but small enough to keep the test fast.
+func ensembleSpec() corpus.Spec {
+	spec := corpus.SmallSpec()
+	spec.BenignMacros, spec.BenignObfuscated = 120, 20
+	spec.MaliciousMacros, spec.MaliciousObfuscated = 60, 55
+	spec.BenignMaxLen = 4000
+	return spec
+}
+
+func TestRunEnsembleAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ensemble ablation is slow")
+	}
+	d := corpus.GenerateMacros(ensembleSpec())
+	cfg := EnsembleConfig{Folds: 3, Seed: 11, Trees: 25}
+	res, err := RunEnsembleAblation(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantChannels := []string{"v@1", "j@1", "entropy@1", "api@1"}
+	if !reflect.DeepEqual(res.Channels, wantChannels) {
+		t.Errorf("Channels = %v, want %v", res.Channels, wantChannels)
+	}
+	if res.Folds != 3 || res.Seed != 11 {
+		t.Errorf("Folds/Seed = %d/%d", res.Folds, res.Seed)
+	}
+	if res.Samples != len(d.Sources()) {
+		t.Errorf("Samples = %d, want %d", res.Samples, len(d.Sources()))
+	}
+	if len(res.Singles) != 4 || len(res.LeaveOneOut) != 4 {
+		t.Fatalf("singles/leave-one-out = %d/%d, want 4/4",
+			len(res.Singles), len(res.LeaveOneOut))
+	}
+	check := func(m EnsembleMetrics, kind string) {
+		if m.Kind != kind {
+			t.Errorf("%s: kind = %q, want %q", m.Name, m.Kind, kind)
+		}
+		for _, v := range []float64{m.Accuracy, m.Precision, m.Recall, m.F1, m.AUC} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: metric %v out of [0,1]", m.Name, v)
+			}
+		}
+	}
+	for _, m := range res.Singles {
+		check(m, "single")
+	}
+	for _, m := range res.LeaveOneOut {
+		check(m, "leave-one-out")
+		if !strings.HasPrefix(m.Name, "stack-minus-") {
+			t.Errorf("leave-one-out name %q", m.Name)
+		}
+	}
+	check(res.Stack, "stack")
+
+	// The corpus is separable: everything should classify decently, and the
+	// stack must not fall below the best single channel (the CI gate).
+	if res.Stack.F1 < 0.8 {
+		t.Errorf("stack F1 = %.3f, suspiciously low", res.Stack.F1)
+	}
+	if !res.StackBeatsBestSingle() {
+		t.Errorf("stack F1 %.3f below best single %q (delta %+.3f)",
+			res.Stack.F1, res.BestSingle, res.StackDelta)
+	}
+
+	// BestSingle names the max-F1 single and StackDelta is consistent.
+	best := res.Singles[0]
+	for _, s := range res.Singles[1:] {
+		if s.F1 > best.F1 {
+			best = s
+		}
+	}
+	if res.BestSingle != best.Name {
+		t.Errorf("BestSingle = %q, want %q", res.BestSingle, best.Name)
+	}
+	if got := res.Stack.F1 - best.F1; got != res.StackDelta {
+		t.Errorf("StackDelta = %v, want %v", res.StackDelta, got)
+	}
+
+	// Rendered forms carry every configuration and the gate line.
+	blob, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back EnsembleResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, res) {
+		t.Error("JSON round trip changed the result")
+	}
+	text := FormatEnsemble(res)
+	md := MarkdownEnsemble(res)
+	for _, name := range []string{"v", "j", "entropy", "api", "stack-minus-v", "stack"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("FormatEnsemble missing %q:\n%s", name, text)
+		}
+		if !strings.Contains(md, name) {
+			t.Errorf("MarkdownEnsemble missing %q:\n%s", name, md)
+		}
+	}
+	if !strings.Contains(md, "Best single channel") {
+		t.Errorf("MarkdownEnsemble missing gate line:\n%s", md)
+	}
+}
+
+func TestRunEnsembleAblationDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ensemble ablation is slow")
+	}
+	d := corpus.GenerateMacros(ensembleSpec())
+	cfg := EnsembleConfig{Folds: 2, Seed: 5, Trees: 10}
+	a, err := RunEnsembleAblation(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 3
+	b, err := RunEnsembleAblation(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("ablation differs across worker counts:\n%+v\nvs\n%+v", a, b)
+	}
+}

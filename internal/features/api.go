@@ -1,0 +1,206 @@
+// Suspicious-API/keyword channel: frequencies of the VBA built-in
+// functions obfuscators leans on (Chr/Asc/Mid string assembly, CByte/CLng
+// conversions, Xor decoding) plus occurrence counts of the suspicious
+// capability keywords the malicious-macro literature tracks (Shell,
+// CreateObject, Auto_Open, VirtualAlloc, ...). Cheap, interpretable, and
+// complementary to the V/J statistics: V measures *how* code is written,
+// this channel measures *what* it reaches for.
+package features
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/vba"
+)
+
+// VBABuiltins are the 65 built-in function names whose call frequencies
+// form the first block of the channel (order is part of the channel
+// version).
+var VBABuiltins = []string{
+	"Asc", "AscB", "AscW", "Chr", "ChrB", "ChrW", "Mid", "Join", "InStr", "Replace",
+	"Right", "StrConv", "Abs", "Atn", "Cos", "Exp", "Log", "Hex", "Oct", "Str",
+	"Val", "Int", "Fix", "Sgn", "Rnd", "Sin", "Sqr", "Tan", "CBool", "CByte",
+	"CCur", "CDate", "CDbl", "CDec", "CInt", "CLng", "CLngLng", "CLngPtr", "CSng", "CStr",
+	"CVar", "DDB", "FV", "IPmt", "PV", "Pmt", "Rate", "SLN", "SYD", "Array",
+	"StrReverse", "Xor", "LBound", "LCase", "Left", "LTrim", "RTrim", "Trim", "Space", "Split",
+	"InStrRev", "UBound", "UCase", "Round", "CallByName",
+}
+
+// SuspiciousKeywords are the 46 capability markers forming the second
+// block: auto-execution entry points, process/file/registry reach, and the
+// Win32 process-injection surface. Matched case-insensitively as
+// substrings of the raw source, so `.Run`, `Wscript.Shell` and
+// `powershell.exe` count wherever they appear.
+var SuspiciousKeywords = []string{
+	"Shell", "CreateObject", "GetObject", ".Run", ".Exec", ".Create", "Kill", ".StartupPath",
+	"ShellExecute", "Shell.Application", "Binary", "Lib", "System", "Wscript.Shell", "Document_Open", "Auto_Open",
+	"ShowWindow", "Workbook_Open", "Print", "FileCopy", "Virtual", "AutoOpen", "Open", "Windows",
+	"Write", "Document_Close", "Output", "vbhide", "ExecuteExcel4Macro", "SaveToFile", "Environ", "CreateTextFile",
+	"dde", "CreateProcessA", "CreateThread", "CreateUserThread", "VirtualAlloc", "VirtualAllocEx", "RtlMoveMemory", "WriteProcessMemory",
+	"SetContextThread", "QueueApcThread", "WriteVirtualMemory", "VirtualProtect", "cmd.exe", "powershell.exe",
+}
+
+// APIDim is the channel's dimension: one frequency per built-in, one per
+// suspicious keyword, plus the two block totals.
+var APIDim = len(VBABuiltins) + len(SuspiciousKeywords) + 2
+
+// builtinIndex maps the lowercased built-in name to its feature slot.
+var builtinIndex = func() map[string]int {
+	m := make(map[string]int, len(VBABuiltins))
+	for i, name := range VBABuiltins {
+		m[strings.ToLower(name)] = i
+	}
+	return m
+}()
+
+// suspiciousLower holds the lowercased keyword patterns, in feature order.
+var suspiciousLower = func() []string {
+	out := make([]string, len(SuspiciousKeywords))
+	for i, kw := range SuspiciousKeywords {
+		out[i] = strings.ToLower(kw)
+	}
+	return out
+}()
+
+// apiFeatureNames labels every dimension of the channel.
+func apiFeatureNames() []string {
+	names := make([]string, 0, APIDim)
+	for _, fn := range VBABuiltins {
+		names = append(names, "fn_"+fn)
+	}
+	for _, kw := range SuspiciousKeywords {
+		names = append(names, "kw_"+sanitizeName(kw))
+	}
+	names = append(names, "api_fn_total", "api_kw_total")
+	return names
+}
+
+// sanitizeName makes a keyword safe as a feature label.
+func sanitizeName(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// apiScratch pools the lowercased-source buffer and the per-token case
+// folding buffer so steady-state extraction allocates only the output
+// vector.
+type apiScratch struct {
+	lowerSrc []byte
+	lowerTok []byte
+}
+
+var apiPool = sync.Pool{New: func() any { return new(apiScratch) }}
+
+// APIChannel computes the suspicious-API/keyword vector for the analyzed
+// macro. Counts are normalized by the comment-free code length (the
+// paper's §IV.C rule), keeping the channel scale-invariant. It is a pure
+// function of the analysis, so concurrent calls on a shared Analysis are
+// safe.
+func (a *Analysis) APIChannel() []float64 {
+	sc := apiPool.Get().(*apiScratch)
+	out := make([]float64, APIDim)
+	fnBase := 0
+	kwBase := len(VBABuiltins)
+
+	// Block 1 — built-in function frequencies from the token stream. The
+	// lexer classifies some built-ins (Abs, Mid, CInt, Xor, ...) as
+	// reserved words, so both identifier and keyword tokens participate.
+	fnTotal := 0
+	for _, t := range a.module.Tokens {
+		if t.Kind != vba.KindIdent && t.Kind != vba.KindKeyword {
+			continue
+		}
+		if len(t.Text) > maxBuiltinLen {
+			continue
+		}
+		sc.lowerTok = appendLowerASCII(sc.lowerTok[:0], t.Text)
+		if i, ok := builtinIndex[string(sc.lowerTok)]; ok {
+			out[fnBase+i]++
+			fnTotal++
+		}
+	}
+
+	// Block 2 — suspicious keyword substring counts over the lowercased
+	// raw source (dotted and dashed patterns never survive tokenization).
+	sc.lowerSrc = appendLowerASCII(sc.lowerSrc[:0], a.src)
+	kwTotal := 0
+	for i, pat := range suspiciousLower {
+		n := countSub(sc.lowerSrc, pat)
+		out[kwBase+i] = float64(n)
+		kwTotal += n
+	}
+
+	// Normalize counts by the comment-free code length and close out the
+	// two block totals.
+	code := float64(a.codeChars)
+	for i := 0; i < kwBase+len(SuspiciousKeywords); i++ {
+		out[i] = ratio(out[i], code)
+	}
+	out[APIDim-2] = ratio(float64(fnTotal), code)
+	out[APIDim-1] = ratio(float64(kwTotal), code)
+
+	apiPool.Put(sc)
+	return out
+}
+
+// ExtractAPI is the convenience one-shot API-channel extractor.
+func ExtractAPI(src string) []float64 { return Analyze(src).APIChannel() }
+
+// maxBuiltinLen bounds the token case-folding work; no built-in name is
+// longer.
+var maxBuiltinLen = func() int {
+	n := 0
+	for _, name := range VBABuiltins {
+		if len(name) > n {
+			n = len(name)
+		}
+	}
+	return n
+}()
+
+// appendLowerASCII appends s to dst with ASCII letters lowercased. Bytes
+// ≥ 0x80 pass through unchanged — the suspicious patterns are pure ASCII,
+// so exotic case-folding aliases cannot create false matches and exact
+// ASCII spellings always match.
+func appendLowerASCII(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}
+
+// countSub counts non-overlapping occurrences of pat in b.
+func countSub(b []byte, pat string) int {
+	if len(pat) == 0 || len(b) < len(pat) {
+		return 0
+	}
+	n := 0
+	first := pat[0]
+	for i := 0; i+len(pat) <= len(b); {
+		if b[i] != first {
+			i++
+			continue
+		}
+		if string(b[i:i+len(pat)]) == pat {
+			n++
+			i += len(pat)
+			continue
+		}
+		i++
+	}
+	return n
+}

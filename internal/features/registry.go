@@ -1,0 +1,117 @@
+// Feature-channel registry: every feature family this package computes is
+// a named, versioned channel declaring its dimension and extractor. A
+// model snapshot records the channels (and versions) it was trained on,
+// and the loader validates that record against this registry — so a model
+// trained on one channel layout fails closed against a binary whose
+// extractors have drifted, instead of silently scoring garbage.
+//
+// Channel versions must be bumped whenever an extractor's output changes
+// for any input (new features, reordered features, changed semantics).
+package features
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Channel is one named feature family: a versioned extractor producing a
+// fixed-dimension slice of the feature vector from the shared single-parse
+// Analysis.
+type Channel struct {
+	// Name is the registry key ("v", "j", "entropy", "api").
+	Name string
+	// Version is the extractor's output version; any change to the
+	// produced vector (dimension, order, semantics) bumps it.
+	Version int
+	// FeatureNames labels each dimension, in output order.
+	FeatureNames []string
+	// Extract computes the channel's vector from a shared analysis. It
+	// must be a pure function of the analysis (no mutation), so one
+	// Analysis can serve concurrent extractions.
+	Extract func(a *Analysis) []float64
+}
+
+// Dim is the channel's output dimension.
+func (c Channel) Dim() int { return len(c.FeatureNames) }
+
+// ID is the canonical name@version string recorded in model snapshots and
+// cache identities.
+func (c Channel) ID() string { return fmt.Sprintf("%s@%d", c.Name, c.Version) }
+
+var (
+	registry      = map[string]Channel{}
+	registryOrder []string
+)
+
+// RegisterChannel adds a channel to the registry. It panics on a duplicate
+// name, a zero dimension or a nil extractor — registration happens at init
+// time and a malformed channel is a programming error.
+func RegisterChannel(c Channel) {
+	if c.Name == "" || c.Version <= 0 || len(c.FeatureNames) == 0 || c.Extract == nil {
+		panic(fmt.Sprintf("features: malformed channel %q", c.Name))
+	}
+	if _, dup := registry[c.Name]; dup {
+		panic(fmt.Sprintf("features: duplicate channel %q", c.Name))
+	}
+	registry[c.Name] = c
+	registryOrder = append(registryOrder, c.Name)
+}
+
+// LookupChannel returns the registered channel with that name.
+func LookupChannel(name string) (Channel, bool) {
+	c, ok := registry[name]
+	return c, ok
+}
+
+// MustChannel is LookupChannel for names the caller knows are registered;
+// it panics on a miss.
+func MustChannel(name string) Channel {
+	c, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("features: unknown channel %q", name))
+	}
+	return c
+}
+
+// ChannelNames lists every registered channel in registration order.
+func ChannelNames() []string {
+	return append([]string(nil), registryOrder...)
+}
+
+// ChannelIDs lists the name@version IDs of every registered channel,
+// sorted by name — the binary's feature fingerprint.
+func ChannelIDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, c := range registry {
+		ids = append(ids, c.ID())
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func init() {
+	RegisterChannel(Channel{
+		Name:         "v",
+		Version:      1,
+		FeatureNames: VNames,
+		Extract:      (*Analysis).V,
+	})
+	RegisterChannel(Channel{
+		Name:         "j",
+		Version:      1,
+		FeatureNames: JNames,
+		Extract:      (*Analysis).J,
+	})
+	RegisterChannel(Channel{
+		Name:         "entropy",
+		Version:      1,
+		FeatureNames: EntropyNames,
+		Extract:      (*Analysis).EntropyChannel,
+	})
+	RegisterChannel(Channel{
+		Name:         "api",
+		Version:      1,
+		FeatureNames: apiFeatureNames(),
+		Extract:      (*Analysis).APIChannel,
+	})
+}

@@ -40,6 +40,12 @@ func predictBatchInto(c Classifier, X [][]float64, labels []int, scores []float6
 		v.ScoreBatch(X, scores)
 		thresholdLabels(scores, labels)
 		return
+	case *Stacked:
+		if v.fitted {
+			v.ScoreBatch(X, scores)
+			thresholdLabels(scores, labels)
+			return
+		}
 	case *Scaled:
 		if v.fitted {
 			// Transform each row once and batch into the inner model;

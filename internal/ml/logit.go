@@ -1,0 +1,98 @@
+package ml
+
+// Logit is a plain logistic-regression classifier trained by full-batch
+// gradient descent with L2 regularization. It exists as the stacking
+// combiner: the meta-features it sees are per-channel forest
+// probabilities — low-dimensional, well-scaled, near-linearly separable —
+// exactly the regime where a small linear model beats another forest and
+// stays interpretable (its weights *are* the channel weights). It is
+// deterministic: no sampling, fixed iteration count, zero initialization.
+type Logit struct {
+	// LR is the gradient-descent step size (default 0.5; the meta-feature
+	// scale is [0,1] so large steps are safe).
+	LR float64
+	// Iters is the fixed iteration count (default 500).
+	Iters int
+	// L2 is the ridge penalty on the weights, not the bias (default 1e-3).
+	L2 float64
+
+	w      []float64
+	b      float64
+	fitted bool
+}
+
+// NewLogit returns a logistic-regression classifier with combiner
+// defaults.
+func NewLogit() *Logit { return &Logit{LR: 0.5, Iters: 500, L2: 1e-3} }
+
+// Name implements Classifier.
+func (l *Logit) Name() string { return "LOGIT" }
+
+// Fit trains by full-batch gradient descent on the logistic loss.
+func (l *Logit) Fit(X [][]float64, y []int) error {
+	d, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if l.LR <= 0 {
+		l.LR = 0.5
+	}
+	if l.Iters <= 0 {
+		l.Iters = 500
+	}
+	l.w = make([]float64, d)
+	l.b = 0
+	n := float64(len(X))
+	grad := make([]float64, d)
+	for it := 0; it < l.Iters; it++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		gb := 0.0
+		for i, x := range X {
+			z := l.b
+			for j, v := range x {
+				z += l.w[j] * v
+			}
+			e := sigmoid(z) - float64(y[i])
+			for j, v := range x {
+				grad[j] += e * v
+			}
+			gb += e
+		}
+		for j := range l.w {
+			l.w[j] -= l.LR * (grad[j]/n + l.L2*l.w[j])
+		}
+		l.b -= l.LR * gb / n
+	}
+	l.fitted = true
+	return nil
+}
+
+// Score returns the positive-class probability.
+func (l *Logit) Score(x []float64) float64 {
+	if !l.fitted {
+		return 0
+	}
+	z := l.b
+	for j, v := range x {
+		if j >= len(l.w) {
+			break
+		}
+		z += l.w[j] * v
+	}
+	return sigmoid(z)
+}
+
+// Predict implements Classifier with the 0.5 probability threshold.
+func (l *Logit) Predict(x []float64) int {
+	if l.Score(x) >= 0.5 {
+		return Positive
+	}
+	return Negative
+}
+
+// Weights returns the fitted coefficient vector and intercept (nil, 0
+// before Fit). The slice is the model's own storage; callers must not
+// mutate it.
+func (l *Logit) Weights() ([]float64, float64) { return l.w, l.b }

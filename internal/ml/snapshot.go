@@ -44,6 +44,32 @@ func Save(c Classifier) ([]byte, error) {
 	case *LDA:
 		kind = "lda"
 		payload = ldaState{W: v.w, Bias: v.bias, Fitted: v.fitted}
+	case *Logit:
+		kind = "logit"
+		payload = logitState{W: v.w, B: v.b, LR: v.LR, Iters: v.Iters, L2: v.L2, Fitted: v.fitted}
+	case *Stacked:
+		kind = "stack"
+		bases := make([]json.RawMessage, len(v.bases))
+		for i, rf := range v.bases {
+			blob, err := Save(rf)
+			if err != nil {
+				return nil, err
+			}
+			bases[i] = blob
+		}
+		var combiner json.RawMessage
+		if v.combiner != nil {
+			blob, err := Save(v.combiner)
+			if err != nil {
+				return nil, err
+			}
+			combiner = blob
+		}
+		payload = stackState{
+			Channels: v.ChannelNames, Dims: v.Dims, Trees: v.Trees,
+			Folds: v.Folds, Seed: v.Seed,
+			Bases: bases, Combiner: combiner, Fitted: v.fitted,
+		}
 	case *BernoulliNB:
 		kind = "bnb"
 		payload = bnbState{
@@ -120,6 +146,50 @@ func Load(data []byte) (Classifier, error) {
 			return nil, err
 		}
 		return &LDA{w: st.W, bias: st.Bias, fitted: st.Fitted}, nil
+	case "logit":
+		var st logitState
+		if err := json.Unmarshal(env.Body, &st); err != nil {
+			return nil, err
+		}
+		return &Logit{LR: st.LR, Iters: st.Iters, L2: st.L2, w: st.W, b: st.B, fitted: st.Fitted}, nil
+	case "stack":
+		var st stackState
+		if err := json.Unmarshal(env.Body, &st); err != nil {
+			return nil, err
+		}
+		s := &Stacked{
+			ChannelNames: st.Channels, Dims: st.Dims, Trees: st.Trees,
+			Folds: st.Folds, Seed: st.Seed, fitted: st.Fitted,
+		}
+		if len(st.Bases) != len(st.Dims) {
+			return nil, fmt.Errorf("ml: stack has %d bases for %d channels", len(st.Bases), len(st.Dims))
+		}
+		for i, blob := range st.Bases {
+			inner, err := Load(blob)
+			if err != nil {
+				return nil, fmt.Errorf("ml: stack base %d: %w", i, err)
+			}
+			rf, ok := inner.(*RandomForest)
+			if !ok {
+				return nil, fmt.Errorf("ml: stack base %d is %T, want forest", i, inner)
+			}
+			s.bases = append(s.bases, rf)
+		}
+		if len(st.Combiner) > 0 {
+			inner, err := Load(st.Combiner)
+			if err != nil {
+				return nil, fmt.Errorf("ml: stack combiner: %w", err)
+			}
+			lg, ok := inner.(*Logit)
+			if !ok {
+				return nil, fmt.Errorf("ml: stack combiner is %T, want logit", inner)
+			}
+			s.combiner = lg
+		}
+		if s.fitted && s.combiner == nil {
+			return nil, errors.New("ml: fitted stack without combiner")
+		}
+		return s, nil
 	case "bnb":
 		var st bnbState
 		if err := json.Unmarshal(env.Body, &st); err != nil {
@@ -189,6 +259,26 @@ type ldaState struct {
 	W      []float64 `json:"w"`
 	Bias   float64   `json:"bias"`
 	Fitted bool      `json:"fitted"`
+}
+
+type logitState struct {
+	W      []float64 `json:"w"`
+	B      float64   `json:"b"`
+	LR     float64   `json:"lr"`
+	Iters  int       `json:"iters"`
+	L2     float64   `json:"l2"`
+	Fitted bool      `json:"fitted"`
+}
+
+type stackState struct {
+	Channels []string          `json:"channels"`
+	Dims     []int             `json:"dims"`
+	Trees    int               `json:"trees"`
+	Folds    int               `json:"folds"`
+	Seed     int64             `json:"seed"`
+	Bases    []json.RawMessage `json:"bases"`
+	Combiner json.RawMessage   `json:"combiner,omitempty"`
+	Fitted   bool              `json:"fitted"`
 }
 
 type bnbState struct {

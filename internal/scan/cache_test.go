@@ -151,6 +151,91 @@ func TestDocCacheDeterminism(t *testing.T) {
 	}
 }
 
+// TestDocCacheFeatureSetIsolation asserts that document-cache entries are
+// keyed by the detector's feature-set identity: two engines over different
+// feature sets sharing one DocCache never serve each other's reports, and
+// the second engine's verdicts match a cache-free run exactly.
+func TestDocCacheFeatureSetIsolation(t *testing.T) {
+	spec := corpus.SmallSpec()
+	spec.BenignMacros, spec.BenignObfuscated = 120, 20
+	spec.MaliciousMacros, spec.MaliciousObfuscated = 60, 55
+	spec.BenignMaxLen = 4000
+	d := corpus.GenerateMacros(spec)
+	train := func(fs core.FeatureSet) *core.Detector {
+		det, err := core.NewDetector(core.AlgoRF, fs, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.Train(d.Sources(), d.Labels()); err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	detV := train(core.FeatureSetV)
+	detA := train(core.FeatureSetAPI)
+	if detV.FeatureSetID() == detA.FeatureSetID() {
+		t.Fatal("distinct feature sets share a cache identity")
+	}
+
+	files, err := d.BuildFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []Document
+	for i, f := range files {
+		if i >= 8 {
+			break
+		}
+		docs = append(docs, Document{Name: f.Name, Data: f.Data})
+	}
+	ctx := context.Background()
+
+	fresh, _, err := New(detA, 2).ScanAll(ctx, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := NewDocCache(1024, 0)
+	engV := New(detV, 2)
+	engV.SetDocCache(shared)
+	if _, _, err := engV.ScanAll(ctx, docs); err != nil {
+		t.Fatal(err)
+	}
+
+	engA := New(detA, 2)
+	engA.SetDocCache(shared)
+	got, stats, err := engA.ScanAll(ctx, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 {
+		t.Errorf("API engine got %d hits from V-keyed entries (poisoned reads)", stats.CacheHits)
+	}
+	for i := range docs {
+		if got[i].CacheHit {
+			t.Errorf("%s: served from another feature set's cache entry", docs[i].Name)
+		}
+		if reportFingerprint(t, got[i]) != reportFingerprint(t, fresh[i]) {
+			t.Errorf("%s: shared-cache report differs from cache-free run", docs[i].Name)
+		}
+	}
+
+	// Same-engine warm pass still hits: the salt only separates feature
+	// sets, it doesn't break caching within one.
+	warm, warmStats, err := engA.ScanAll(ctx, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.CacheHits == 0 {
+		t.Error("salting broke same-feature-set cache hits")
+	}
+	for i := range docs {
+		if reportFingerprint(t, warm[i]) != reportFingerprint(t, fresh[i]) {
+			t.Errorf("%s: warm report differs", docs[i].Name)
+		}
+	}
+}
+
 // bigModuleDoc builds a two-module document whose first module is large
 // enough to breach a small MaxMacroSourceBytes budget while the second
 // stays comfortably under it.

@@ -471,7 +471,10 @@ func (e *Engine) scanOne(ctx context.Context, doc Document, index int, stats *St
 
 	var docKey cache.Key
 	if e.docs != nil {
-		docKey = cache.KeyOf(doc.Data)
+		// The key is salted with the detector's feature-set identity, so a
+		// cache shared across engine generations (model retrained on a new
+		// channel layout) misses cleanly instead of serving stale verdicts.
+		docKey = cache.KeyOfSalted(e.det.FeatureSetID(), doc.Data)
 		if report, ok := e.docs.Get(docKey); ok {
 			if e.traceSink != nil {
 				tr := telemetry.NewTracer(doc.Name)

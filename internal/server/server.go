@@ -788,7 +788,9 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	// one hash and one lookup, so it should never queue behind scans.
 	var key cache.Key
 	if docs != nil {
-		key = cache.KeyOf(data)
+		// Salted with the feature-set identity so a reload onto a different
+		// channel layout can never serve entries written under the old one.
+		key = cache.KeyOfSalted(det.FeatureSetID(), data)
 		if report, ok := docs.Get(key); ok {
 			release()
 			resp := ScanResponse{RequestID: requestID(r.Context()), File: name}

@@ -48,20 +48,46 @@ type (
 	FileReport = core.FileReport
 )
 
-// Feature sets.
+// Feature sets. V and J are the paper's; entropy, api and stack are the
+// registry channels and their combined layout (see README "Feature
+// channels").
 const (
-	FeatureSetV = core.FeatureSetV
-	FeatureSetJ = core.FeatureSetJ
+	FeatureSetV       = core.FeatureSetV
+	FeatureSetJ       = core.FeatureSetJ
+	FeatureSetEntropy = core.FeatureSetEntropy
+	FeatureSetAPI     = core.FeatureSetAPI
+	FeatureSetStack   = core.FeatureSetStack
 )
 
-// Algorithms (§IV.D of the paper).
+// Algorithms (§IV.D of the paper), plus the stacked ensemble (per-channel
+// forests under a logistic combiner; requires a multi-channel feature set
+// and NewDetector).
 const (
-	AlgoSVM = core.AlgoSVM
-	AlgoRF  = core.AlgoRF
-	AlgoMLP = core.AlgoMLP
-	AlgoLDA = core.AlgoLDA
-	AlgoBNB = core.AlgoBNB
+	AlgoSVM   = core.AlgoSVM
+	AlgoRF    = core.AlgoRF
+	AlgoMLP   = core.AlgoMLP
+	AlgoLDA   = core.AlgoLDA
+	AlgoBNB   = core.AlgoBNB
+	AlgoStack = core.AlgoStack
 )
+
+// ParseFeatureSet resolves a feature-set name ("V", "J", "entropy", "api",
+// "stack"; case-insensitive) to its FeatureSet.
+func ParseFeatureSet(s string) (FeatureSet, error) {
+	return core.ParseFeatureSet(s)
+}
+
+// FeatureSets lists every defined feature set.
+func FeatureSets() []FeatureSet { return core.FeatureSets() }
+
+// Feature-set version skew: a persisted model records the name, version
+// and dimension of every feature channel it was trained on, and loading
+// fails closed when the running binary's channels disagree.
+type FeatureSkewError = core.FeatureSkewError
+
+// ErrFeatureSkew is the sentinel matched by errors.Is when a model's
+// recorded feature channels do not match this binary's registry.
+var ErrFeatureSkew = core.ErrFeatureSkew
 
 // ErrNoMacros is returned by ScanFile for macro-free documents.
 var ErrNoMacros = extract.ErrNoMacros
