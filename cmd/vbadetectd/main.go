@@ -9,9 +9,16 @@
 //	POST /v1/scan         classify one document (raw body or multipart);
 //	                      append ?trace=1 for an inline per-document span tree
 //	POST /v1/scan/batch   classify many documents (multipart)
+//	POST /v1/submit       durable async intake (with -intake-dir): journal the
+//	                      document crash-safely, return a ticket immediately
+//	GET  /v1/tickets/{id} poll an async ticket for its published verdict
+//	GET  /v1/admin/intake/dead          list dead-lettered submissions
+//	POST /v1/admin/intake/redrive/{id}  return a dead submission to the queue
 //	POST /v1/admin/reload hot-swap the model from -model (also SIGHUP)
-//	GET  /healthz         liveness
-//	GET  /readyz          readiness (503 while draining or modelless)
+//	GET  /healthz         liveness (includes intake queue depth when enabled)
+//	GET  /readyz          readiness (503 while draining, modelless, the intake
+//	                      journal volume is unwritable, or the intake backlog
+//	                      is past -intake-backlog)
 //	GET  /metrics         JSON counters and latency histograms;
 //	                      ?format=prometheus for text exposition
 //	GET  /debug/pprof/*   profiling (only with -pprof)
@@ -135,6 +142,9 @@ func run(args []string) error {
 	limStrings := fs.Int("limit-storage-strings",
 		envInt("VBADETECTD_LIMIT_STORAGE_STRINGS", 0),
 		"max storage strings recovered per document (0 = default 10000)")
+	limArchive := fs.Int("limit-archive-entries",
+		envInt("VBADETECTD_LIMIT_ARCHIVE_ENTRIES", 0),
+		"max archive entries visited by the container walker per submission (0 = default 4096)")
 	auditOut := fs.String("telemetry-audit-out",
 		envString("VBADETECTD_TELEMETRY_AUDIT_OUT", ""),
 		"write verdict audit events as JSONL to this file (empty = disabled)")
@@ -162,6 +172,27 @@ func run(args []string) error {
 	batchMaxRows := fs.Int("classify-batch-max-rows",
 		envInt("VBADETECTD_CLASSIFY_BATCH_MAX_ROWS", 0),
 		"max rows merged into one coalesced classify call (0 = default 256)")
+	intakeDir := fs.String("intake-dir",
+		envString("VBADETECTD_INTAKE_DIR", ""),
+		"enable durable async intake (/v1/submit): journal directory for the crash-safe work queue and published results (empty = disabled)")
+	intakeWorkers := fs.Int("intake-workers",
+		envInt("VBADETECTD_INTAKE_WORKERS", 0),
+		"async intake drain workers (0 = default 2, negative = accept-only)")
+	intakeBacklog := fs.Int("intake-backlog",
+		envInt("VBADETECTD_INTAKE_BACKLOG", 0),
+		"fail /readyz when the intake queue depth exceeds this (0 = default 1024)")
+	intakeVisibility := fs.Duration("intake-visibility-timeout",
+		envDuration("VBADETECTD_INTAKE_VISIBILITY_TIMEOUT", 0),
+		"redeliver a dequeued submission not acknowledged within this (0 = default 60s)")
+	intakeMaxAttempts := fs.Int("intake-max-attempts",
+		envInt("VBADETECTD_INTAKE_MAX_ATTEMPTS", 0),
+		"deliveries before a failing submission is dead-lettered (0 = default 5)")
+	intakeRetryBackoff := fs.Duration("intake-retry-backoff",
+		envDuration("VBADETECTD_INTAKE_RETRY_BACKOFF", 0),
+		"delay before the first redelivery, doubling per attempt (0 = default 1s)")
+	intakeWebhooks := fs.Bool("intake-webhooks",
+		envBool("VBADETECTD_INTAKE_WEBHOOKS", false),
+		"allow async submissions to register a completion webhook (outbound POSTs; off by default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -201,10 +232,23 @@ func run(args []string) error {
 			MaxLexTokens:         *limTokens,
 			MaxMacroSourceBytes:  *limMacro,
 			MaxStorageStrings:    *limStrings,
+			MaxArchiveEntries:    *limArchive,
+		},
+		Intake: server.IntakeConfig{
+			Dir:               *intakeDir,
+			Workers:           *intakeWorkers,
+			BacklogWatermark:  *intakeBacklog,
+			VisibilityTimeout: *intakeVisibility,
+			MaxAttempts:       *intakeMaxAttempts,
+			RetryBackoff:      *intakeRetryBackoff,
+			AllowWebhooks:     *intakeWebhooks,
 		},
 	})
 	if err != nil {
 		return err
+	}
+	if err := srv.StartIntake(); err != nil {
+		return fmt.Errorf("starting intake: %w", err)
 	}
 
 	httpSrv := &http.Server{

@@ -454,6 +454,12 @@ type ReportJSON struct {
 	// macros that survived; Errors explains what was lost.
 	Degraded bool              `json:"degraded,omitempty"`
 	Errors   []StreamErrorJSON `json:"errors,omitempty"`
+	// ContainerPath is the provenance of a document discovered inside a
+	// container by the recursive walker: the "!"-joined chain of archive
+	// entry names leading to it ("attachments.zip!invoice.docm"). Empty
+	// for the submitted document itself. Set by container-walking callers,
+	// not by FileReport.JSON.
+	ContainerPath string `json:"container_path,omitempty"`
 }
 
 // JSON converts the report to its wire representation.

@@ -11,10 +11,12 @@
 package faultinject
 
 import (
+	"archive/zip"
 	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/cfb"
 	"repro/internal/ooxml"
@@ -294,6 +296,88 @@ func PartialCorruption() (Case, error) {
 	return Case{Name: "partial-module-corruption", Data: doc}, nil
 }
 
+// WrapZip builds a plain ZIP archive (not a document — no VBA part)
+// holding the given entries, written in sorted name order for determinism.
+// The container-walker fault cases and tests build their nesting with it.
+func WrapZip(entries map[string][]byte) ([]byte, error) {
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for _, name := range names {
+		w, err := zw.Create(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(entries[name]); err != nil {
+			return nil, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ZipInZipBomb nests a decompression bomb depth archives deep: the
+// innermost entry is an OLE-signatured blob of innerSize zero bytes, which
+// DEFLATE stores at >1000:1, wrapped in depth ZIP layers. A container
+// walker that sniffs and inflates nested containers must charge the
+// inflation to its byte budget or OOM.
+func ZipInZipBomb(depth, innerSize int) (Case, error) {
+	payload := make([]byte, innerSize)
+	copy(payload, cfb.Signature[:]) // sniffs as a container, so it IS inflated
+	cur := payload
+	name := "payload.doc"
+	var err error
+	for i := 0; i < depth; i++ {
+		cur, err = WrapZip(map[string][]byte{name: cur})
+		if err != nil {
+			return Case{}, err
+		}
+		name = fmt.Sprintf("layer-%d.zip", depth-i)
+	}
+	return Case{Name: fmt.Sprintf("zip-in-zip-bomb-%dx%dMiB", depth, innerSize>>20), Data: cur}, nil
+}
+
+// NestedCyclicOLE wraps a FAT-cycled compound file (every FAT entry points
+// at its own sector) inside a ZIP archive — the "cyclic container
+// reference" delivery shape: the cycle is not in the archive layer, where
+// strict byte containment makes true cycles impossible, but in the FAT
+// chain of the OLE file the walker finds inside.
+func NestedCyclicOLE() (Case, error) {
+	ole, err := ValidDoc()
+	if err != nil {
+		return Case{}, err
+	}
+	cycled, err := FATCycle(ole)
+	if err != nil {
+		return Case{}, err
+	}
+	data, err := WrapZip(map[string][]byte{"cycled.doc": cycled.Data})
+	if err != nil {
+		return Case{}, err
+	}
+	return Case{Name: "nested-cyclic-ole", Data: data}, nil
+}
+
+// TruncatedInnerDocm wraps a half-truncated .docm inside a ZIP archive, so
+// the corruption is only discoverable after one level of recursion.
+func TruncatedInnerDocm() (Case, error) {
+	docm, err := ValidOOXML()
+	if err != nil {
+		return Case{}, err
+	}
+	data, err := WrapZip(map[string][]byte{"report.docm": docm[:len(docm)/2]})
+	if err != nil {
+		return Case{}, err
+	}
+	return Case{Name: "truncated-inner-docm", Data: data}, nil
+}
+
 // All assembles the complete corruption matrix from a deterministic seed:
 // every mutation class applied to the OLE and OOXML baselines. Bit-flip
 // sample counts are kept modest so the matrix stays fast enough to run
@@ -325,6 +409,9 @@ func All(seed int64) ([]Case, error) {
 		func() (Case, error) { return ZipBomb(8 << 20) },
 		func() (Case, error) { return NestingBomb(3) },
 		PartialCorruption,
+		func() (Case, error) { return ZipInZipBomb(3, 8<<20) },
+		NestedCyclicOLE,
+		TruncatedInnerDocm,
 	} {
 		c, err := gen()
 		if err != nil {

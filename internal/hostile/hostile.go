@@ -58,6 +58,7 @@ const (
 	LimitDecompressedBytes = "decompressed_bytes"
 	LimitContainerDepth    = "container_depth"
 	LimitDirEntries        = "dir_entries"
+	LimitArchiveEntries    = "archive_entries"
 	LimitLexTokens         = "lex_tokens"
 	LimitMacroSourceBytes  = "macro_source_bytes"
 	LimitStorageStrings    = "storage_strings"
@@ -103,6 +104,11 @@ type Limits struct {
 	MaxContainerDepth int
 	// MaxDirEntries caps CFB directory entries walked per document.
 	MaxDirEntries int
+	// MaxArchiveEntries caps ZIP archive entries visited per document by
+	// the recursive container walker — the flat-fan-out bomb bound that
+	// byte and depth budgets alone do not give (a zip of 10^6 empty
+	// entries inflates almost nothing and nests only one level).
+	MaxArchiveEntries int
 	// MaxLexTokens caps VBA lexer tokens per macro.
 	MaxLexTokens int64
 	// MaxMacroSourceBytes caps the size of one macro source fed to the
@@ -120,6 +126,7 @@ const (
 	DefaultMaxDecompressedBytes = int64(256 << 20) // 256 MiB
 	DefaultMaxContainerDepth    = 4
 	DefaultMaxDirEntries        = 16384
+	DefaultMaxArchiveEntries    = 4096
 	DefaultMaxLexTokens         = int64(4 << 20) // 4M tokens
 	DefaultMaxMacroSourceBytes  = int64(16 << 20)
 	DefaultMaxStorageStrings    = 10000
@@ -141,6 +148,9 @@ func (l Limits) Normalize() Limits {
 	}
 	if l.MaxDirEntries <= 0 {
 		l.MaxDirEntries = DefaultMaxDirEntries
+	}
+	if l.MaxArchiveEntries <= 0 {
+		l.MaxArchiveEntries = DefaultMaxArchiveEntries
 	}
 	if l.MaxLexTokens <= 0 {
 		l.MaxLexTokens = DefaultMaxLexTokens
@@ -165,6 +175,7 @@ type Budget struct {
 	decompressed int64
 	depth        int
 	dirEntries   int
+	arcEntries   int
 	tokens       int64
 	strings      int
 }
@@ -297,6 +308,23 @@ func (b *Budget) VisitDirEntry() error {
 			Limit: LimitDirEntries,
 			Max:   int64(b.lim.MaxDirEntries),
 			Got:   int64(b.dirEntries),
+			Kind:  ErrLimitExceeded,
+		}
+	}
+	return nil
+}
+
+// VisitArchiveEntry charges one visited ZIP archive entry.
+func (b *Budget) VisitArchiveEntry() error {
+	if b == nil {
+		return nil
+	}
+	b.arcEntries++
+	if b.arcEntries > b.lim.MaxArchiveEntries {
+		return &LimitError{
+			Limit: LimitArchiveEntries,
+			Max:   int64(b.lim.MaxArchiveEntries),
+			Got:   int64(b.arcEntries),
 			Kind:  ErrLimitExceeded,
 		}
 	}

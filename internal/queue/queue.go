@@ -1,0 +1,715 @@
+// Package queue is a persistent, journal-backed work queue with
+// at-least-once delivery — the durability layer under the daemon's async
+// document intake. Accepted work survives SIGKILL: every enqueue is
+// appended to a CRC-framed write-ahead log (and fsynced before the caller
+// is told "accepted"), so a crash between accept and ack replays the job
+// on restart instead of losing it.
+//
+// Delivery semantics:
+//
+//   - At-least-once. A received job becomes invisible for the visibility
+//     timeout; if the consumer neither Acks nor Fails it in time (worker
+//     stuck, process killed), the job is redelivered to the next receiver.
+//     Consumers must therefore make their effects idempotent — the scan
+//     pipeline gets this for free from its content-addressed verdict keys.
+//   - Bounded redelivery with exponential backoff. Each redelivery waits
+//     twice as long as the previous one; after MaxAttempts deliveries the
+//     job is dead-lettered (journaled, listable, redrivable) rather than
+//     poisoning workers forever.
+//   - FIFO within ready jobs (by enqueue id), with backed-off redeliveries
+//     re-entering the ready order at their retry time.
+//
+// Ack records are appended without fsync: losing an ack to a crash merely
+// redelivers a completed job, which idempotent consumers absorb, while
+// fsyncing enqueues is what guarantees accepted work is never lost.
+package queue
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed queue.
+var ErrClosed = errors.New("queue: closed")
+
+// ErrNotFound is returned for operations naming a job the queue does not
+// hold (never enqueued, already acked, or compacted away).
+var ErrNotFound = errors.New("queue: job not found")
+
+// Options tunes a queue. The zero value is production-usable.
+type Options struct {
+	// SegmentBytes rotates the active journal segment once it exceeds this
+	// size. Default 64 MiB.
+	SegmentBytes int64
+	// NoSync disables the fsync on enqueue. Only for tests and callers that
+	// can tolerate losing recently accepted work to a crash.
+	NoSync bool
+	// VisibilityTimeout is how long a received job stays invisible before
+	// it is considered abandoned and redelivered. Default 60s.
+	VisibilityTimeout time.Duration
+	// MaxAttempts is the delivery budget: a job received this many times
+	// without an ack is dead-lettered. Default 5.
+	MaxAttempts int
+	// RetryBackoff is the wait before the first redelivery of a failed
+	// job, doubling per attempt. Default 1s.
+	RetryBackoff time.Duration
+	// now overrides the clock (tests).
+	now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.VisibilityTimeout <= 0 {
+		o.VisibilityTimeout = 60 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Second
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// Job is the durable unit of work.
+type Job struct {
+	// ID is the queue-assigned monotonic identifier (the ticket number).
+	ID uint64
+	// Name labels the job (the submitted filename, usually).
+	Name string
+	// Meta is a small opaque blob riding with the job (webhook URL, ...).
+	Meta []byte
+	// Data is the work payload (the document bytes).
+	Data []byte
+	// EnqueuedAt is when the job was accepted.
+	EnqueuedAt time.Time
+}
+
+// DeadJob is a dead-lettered job: delivered MaxAttempts times without an
+// ack, or explicitly killed by a consumer.
+type DeadJob struct {
+	Job
+	// Reason is why the job was dead-lettered.
+	Reason string
+	// DeadAt is when the job was dead-lettered.
+	DeadAt time.Time
+	// Attempts is how many deliveries were made before giving up.
+	Attempts int
+
+	// seg pins the segment holding the enqueue record: the payload must
+	// survive restarts until the job is redriven.
+	seg *segment
+}
+
+// Delivery is one received job. Exactly one of Ack or Fail should be
+// called; neither arriving before the visibility timeout redelivers the
+// job elsewhere.
+type Delivery struct {
+	Job
+	// Attempt is the 1-based delivery count (>1 means redelivery).
+	Attempt int
+
+	q    *Queue
+	once sync.Once
+}
+
+// Status is a job's lifecycle position.
+type Status int
+
+// Job statuses.
+const (
+	StatusUnknown  Status = iota // not held by the queue (acked or never seen)
+	StatusPending                // waiting for a receiver (or backing off)
+	StatusInFlight               // delivered, awaiting ack
+	StatusDead                   // dead-lettered
+)
+
+// String names the status for wire use.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusInFlight:
+		return "inflight"
+	case StatusDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats is a point-in-time queue summary plus lifetime counters.
+type Stats struct {
+	// Depth is the number of jobs waiting for a receiver (including jobs
+	// in redelivery backoff).
+	Depth int
+	// InFlight is the number of delivered, un-acked jobs.
+	InFlight int
+	// Dead is the number of dead-lettered jobs currently held.
+	Dead int
+	// OldestAge is the age of the oldest waiting job (0 when Depth is 0).
+	OldestAge time.Duration
+	// Enqueued, Acked, Redelivered and DeadLettered are lifetime counters
+	// since this queue handle was opened (replayed history included for
+	// Enqueued/Acked so the numbers stay meaningful across restarts).
+	Enqueued     int64
+	Acked        int64
+	Redelivered  int64
+	DeadLettered int64
+	// CorruptRecords counts journal records skipped during replay because
+	// their framing or checksum was damaged.
+	CorruptRecords int64
+	// Segments is the number of journal segment files on disk.
+	Segments int
+}
+
+// job is the in-memory state for one queued document.
+type job struct {
+	id         uint64
+	name       string
+	meta       []byte
+	data       []byte
+	enqueuedNS int64
+	attempts   int       // deliveries so far
+	notBefore  time.Time // redelivery backoff gate (zero = ready now)
+	deadline   time.Time // visibility deadline while in flight
+	inflight   bool
+	seg        *segment // segment holding the enqueue record (stable across compaction)
+}
+
+// segment is one journal file and the count of still-live jobs whose
+// enqueue records it holds.
+type segment struct {
+	path  string
+	index int
+	live  int
+}
+
+// Queue is a durable work queue. All methods are safe for concurrent use.
+type Queue struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	jobs    map[uint64]*job // pending + inflight
+	ready   jobHeap         // pending, ordered by (notBefore, id)
+	dead    map[uint64]*DeadJob
+	segs    []*segment
+	active  *os.File // append handle for segs[len(segs)-1]
+	wsize   int64
+	nextID  uint64
+	closed  bool
+	wake    chan struct{} // closed+replaced on every state change
+	counter struct {
+		enqueued, acked, redelivered, deadLettered, corrupt int64
+	}
+}
+
+// Open opens (or creates) the queue journaled under dir, replaying every
+// segment to rebuild the pending set: enqueues minus acks minus
+// dead-letters are redelivered — the crash-recovery path. A torn record at
+// the journal tail (the footprint of a crash mid-append) is truncated so
+// appends resume cleanly.
+func Open(dir string, opt Options) (*Queue, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	q := &Queue{
+		dir:  dir,
+		opt:  opt,
+		jobs: make(map[uint64]*job),
+		dead: make(map[uint64]*DeadJob),
+		wake: make(chan struct{}),
+	}
+	if err := q.replay(); err != nil {
+		return nil, err
+	}
+	if err := q.openActive(); err != nil {
+		return nil, err
+	}
+	heap.Init(&q.ready)
+	return q, nil
+}
+
+// Dir reports the journal directory.
+func (q *Queue) Dir() string { return q.dir }
+
+// Close releases the journal file handle. Pending jobs stay journaled and
+// are redelivered by the next Open.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	q.notifyLocked()
+	if q.active != nil {
+		return q.active.Close()
+	}
+	return nil
+}
+
+// Sync forces an fsync of the active journal segment. Acks normally ride
+// without one; shutdown paths (and tests that need exact post-crash state)
+// can use this to pin them down.
+func (q *Queue) Sync() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.active == nil {
+		return ErrClosed
+	}
+	return q.active.Sync()
+}
+
+// Healthy probes the journal volume: it must be possible to create and
+// remove a file in the queue directory. A read-only or full volume fails
+// here before it fails an accept, so readiness checks can take the node
+// out of rotation first.
+func (q *Queue) Healthy() error {
+	probe := filepath.Join(q.dir, ".probe")
+	f, err := os.OpenFile(probe, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("queue: journal volume unwritable: %w", err)
+	}
+	_, werr := f.Write([]byte("ok"))
+	cerr := f.Close()
+	rerr := os.Remove(probe)
+	for _, err := range []error{werr, cerr, rerr} {
+		if err != nil {
+			return fmt.Errorf("queue: journal volume unwritable: %w", err)
+		}
+	}
+	return nil
+}
+
+// Enqueue accepts one job: the enqueue record is appended and (unless
+// NoSync) fsynced before the assigned ID is returned, so an accepted job
+// survives any crash after this call.
+func (q *Queue) Enqueue(name string, meta, data []byte) (uint64, error) {
+	if len(name) > 1<<16-1 {
+		name = name[:1<<16-1]
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
+	q.nextID++
+	id := q.nextID
+	now := q.opt.now()
+	payload := encodeEnqueue(id, now.UnixNano(), name, meta, data)
+	if err := q.appendLocked(recEnqueue, payload, !q.opt.NoSync); err != nil {
+		q.nextID--
+		return 0, err
+	}
+	j := &job{
+		id:         id,
+		name:       name,
+		meta:       append([]byte(nil), meta...),
+		data:       append([]byte(nil), data...),
+		enqueuedNS: now.UnixNano(),
+		seg:        q.segs[len(q.segs)-1],
+	}
+	j.seg.live++
+	q.jobs[id] = j
+	heap.Push(&q.ready, j)
+	q.counter.enqueued++
+	q.notifyLocked()
+	return id, nil
+}
+
+// Receive blocks until a job is visible (or ctx ends), delivers it, and
+// starts its visibility timeout. Abandoned in-flight jobs whose timeout
+// has expired are redelivered here, counting one more attempt; jobs out of
+// attempts are dead-lettered instead of delivered.
+func (q *Queue) Receive(ctx context.Context) (*Delivery, error) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return nil, ErrClosed
+		}
+		now := q.opt.now()
+		q.sweepLocked(now)
+		if j := q.popReadyLocked(now); j != nil {
+			j.attempts++
+			j.inflight = true
+			j.deadline = now.Add(q.opt.VisibilityTimeout)
+			if j.attempts > 1 {
+				q.counter.redelivered++
+			}
+			d := &Delivery{
+				Job: Job{
+					ID:         j.id,
+					Name:       j.name,
+					Meta:       j.meta,
+					Data:       j.data,
+					EnqueuedAt: time.Unix(0, j.enqueuedNS),
+				},
+				Attempt: j.attempts,
+				q:       q,
+			}
+			q.mu.Unlock()
+			return d, nil
+		}
+		wait := q.nextWakeLocked(now)
+		wake := q.wake
+		q.mu.Unlock()
+
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if wait > 0 {
+			timer = time.NewTimer(wait)
+			timerC = timer.C
+		}
+		select {
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return nil, ctx.Err()
+		case <-wake:
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// Ack completes the delivery: the ack record is journaled and the job
+// leaves the queue. Idempotent — acking a job already acked (by a slow
+// twin after redelivery) is a no-op.
+func (d *Delivery) Ack() error {
+	var err error
+	d.once.Do(func() { err = d.q.ack(d.ID) })
+	return err
+}
+
+// Fail reports that processing failed for a reason worth retrying. The job
+// re-enters the ready set after its backoff — or is dead-lettered when its
+// delivery budget is spent.
+func (d *Delivery) Fail(reason string) error {
+	var err error
+	d.once.Do(func() { err = d.q.fail(d.ID, reason) })
+	return err
+}
+
+// Kill dead-letters the delivery immediately, without consuming the
+// remaining attempts — for failures the consumer knows are permanent.
+func (d *Delivery) Kill(reason string) error {
+	var err error
+	d.once.Do(func() { err = d.q.kill(d.ID, reason) })
+	return err
+}
+
+func (q *Queue) ack(id uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	j, ok := q.jobs[id]
+	if !ok || !j.inflight {
+		return nil // already resolved elsewhere (redelivery twin)
+	}
+	// Losing an ack to a crash only costs one redelivery of completed,
+	// idempotent work, so acks ride without fsync.
+	if err := q.appendLocked(recAck, encodeAck(id), false); err != nil {
+		return err
+	}
+	q.removeLocked(j)
+	q.counter.acked++
+	q.compactLocked()
+	q.notifyLocked()
+	return nil
+}
+
+func (q *Queue) fail(id uint64, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	j, ok := q.jobs[id]
+	if !ok || !j.inflight {
+		return nil
+	}
+	now := q.opt.now()
+	if j.attempts >= q.opt.MaxAttempts {
+		return q.deadLetterLocked(j, reason, now)
+	}
+	j.inflight = false
+	j.deadline = time.Time{}
+	j.notBefore = now.Add(q.backoff(j.attempts))
+	heap.Push(&q.ready, j)
+	q.notifyLocked()
+	return nil
+}
+
+func (q *Queue) kill(id uint64, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	j, ok := q.jobs[id]
+	if !ok || !j.inflight {
+		return nil
+	}
+	return q.deadLetterLocked(j, reason, q.opt.now())
+}
+
+// backoff is the redelivery delay after the attempts-th delivery failed:
+// RetryBackoff doubling per attempt, capped at the visibility timeout so a
+// long-lived job cannot back off into effective death.
+func (q *Queue) backoff(attempts int) time.Duration {
+	d := q.opt.RetryBackoff
+	for i := 1; i < attempts && d < q.opt.VisibilityTimeout; i++ {
+		d *= 2
+	}
+	if d > q.opt.VisibilityTimeout {
+		d = q.opt.VisibilityTimeout
+	}
+	return d
+}
+
+// deadLetterLocked journals and records the dead-lettering of j.
+func (q *Queue) deadLetterLocked(j *job, reason string, now time.Time) error {
+	if len(reason) > 1<<16-1 {
+		reason = reason[:1<<16-1]
+	}
+	// Dead-letters are rare and operator-facing; sync them like enqueues.
+	if err := q.appendLocked(recDead, encodeDead(j.id, reason), !q.opt.NoSync); err != nil {
+		return err
+	}
+	q.removeLocked(j)
+	// The enqueue segment must outlive the dead-letter so the payload
+	// survives restarts: keep it counted as live until redrive.
+	j.seg.live++
+	q.dead[j.id] = &DeadJob{
+		Job: Job{
+			ID:         j.id,
+			Name:       j.name,
+			Meta:       j.meta,
+			Data:       j.data,
+			EnqueuedAt: time.Unix(0, j.enqueuedNS),
+		},
+		Reason:   reason,
+		DeadAt:   now,
+		Attempts: j.attempts,
+		seg:      j.seg,
+	}
+	q.counter.deadLettered++
+	q.notifyLocked()
+	return nil
+}
+
+// Redrive moves a dead-lettered job back into the ready set with a fresh
+// delivery budget, journaling it as a new enqueue of the same ID (replay
+// processes records in order, so enqueue-after-dead resurrects).
+func (q *Queue) Redrive(id uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	dj, ok := q.dead[id]
+	if !ok {
+		return ErrNotFound
+	}
+	payload := encodeEnqueue(dj.ID, dj.EnqueuedAt.UnixNano(), dj.Name, dj.Meta, dj.Data)
+	if err := q.appendLocked(recEnqueue, payload, !q.opt.NoSync); err != nil {
+		return err
+	}
+	if dj.seg != nil {
+		dj.seg.live-- // release the pin on the original enqueue segment
+	}
+	delete(q.dead, id)
+	j := &job{
+		id:         dj.ID,
+		name:       dj.Name,
+		meta:       dj.Meta,
+		data:       dj.Data,
+		enqueuedNS: dj.EnqueuedAt.UnixNano(),
+		seg:        q.segs[len(q.segs)-1],
+	}
+	j.seg.live++
+	q.jobs[id] = j
+	heap.Push(&q.ready, j)
+	q.notifyLocked()
+	return nil
+}
+
+// Status reports where a job currently is in its lifecycle.
+func (q *Queue) Status(id uint64) Status {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.sweepLocked(q.opt.now())
+	if j, ok := q.jobs[id]; ok {
+		if j.inflight {
+			return StatusInFlight
+		}
+		return StatusPending
+	}
+	if _, ok := q.dead[id]; ok {
+		return StatusDead
+	}
+	return StatusUnknown
+}
+
+// DeadLetters lists the currently held dead-lettered jobs, oldest first.
+func (q *Queue) DeadLetters() []DeadJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]DeadJob, 0, len(q.dead))
+	for _, dj := range q.dead {
+		out = append(out, *dj)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Stats snapshots the queue.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opt.now()
+	q.sweepLocked(now)
+	st := Stats{
+		Dead:           len(q.dead),
+		Enqueued:       q.counter.enqueued,
+		Acked:          q.counter.acked,
+		Redelivered:    q.counter.redelivered,
+		DeadLettered:   q.counter.deadLettered,
+		CorruptRecords: q.counter.corrupt,
+		Segments:       len(q.segs),
+	}
+	var oldest int64
+	for _, j := range q.jobs {
+		if j.inflight {
+			st.InFlight++
+			continue
+		}
+		st.Depth++
+		if oldest == 0 || j.enqueuedNS < oldest {
+			oldest = j.enqueuedNS
+		}
+	}
+	if oldest != 0 {
+		st.OldestAge = now.Sub(time.Unix(0, oldest))
+	}
+	return st
+}
+
+// sweepLocked returns expired in-flight jobs to the ready set (or the
+// dead-letter state once their delivery budget is spent).
+func (q *Queue) sweepLocked(now time.Time) {
+	for _, j := range q.jobs {
+		if !j.inflight || now.Before(j.deadline) {
+			continue
+		}
+		if j.attempts >= q.opt.MaxAttempts {
+			// Journal append failures here would strand the job in flight;
+			// the next sweep retries the dead-letter.
+			_ = q.deadLetterLocked(j, "visibility timeout with no attempts left", now)
+			continue
+		}
+		j.inflight = false
+		j.deadline = time.Time{}
+		j.notBefore = now // expired lease redelivers immediately
+		heap.Push(&q.ready, j)
+		q.notifyLocked()
+	}
+}
+
+// popReadyLocked removes and returns the first visible ready job, skipping
+// (and keeping) jobs still in backoff.
+func (q *Queue) popReadyLocked(now time.Time) *job {
+	for q.ready.Len() > 0 {
+		j := q.ready.peek()
+		if j.notBefore.After(now) {
+			return nil // heap order: nothing earlier is ready either
+		}
+		heap.Pop(&q.ready)
+		if j.inflight || q.jobs[j.id] != j {
+			continue // stale heap entry (job resolved while queued here)
+		}
+		return j
+	}
+	return nil
+}
+
+// nextWakeLocked computes how long Receive may sleep before some state
+// transition (backoff maturity, visibility expiry) needs service.
+// 0 means "no timed wake needed, wait for a notify".
+func (q *Queue) nextWakeLocked(now time.Time) time.Duration {
+	var next time.Time
+	if q.ready.Len() > 0 {
+		next = q.ready.peek().notBefore
+	}
+	for _, j := range q.jobs {
+		if j.inflight && (next.IsZero() || j.deadline.Before(next)) {
+			next = j.deadline
+		}
+	}
+	if next.IsZero() {
+		return 0
+	}
+	d := next.Sub(now)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// removeLocked deletes a resolved job and credits its segment.
+func (q *Queue) removeLocked(j *job) {
+	delete(q.jobs, j.id)
+	if j.seg != nil {
+		j.seg.live--
+	}
+}
+
+// notifyLocked wakes every blocked Receive.
+func (q *Queue) notifyLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// jobHeap orders pending jobs by (notBefore, id): ready jobs FIFO by
+// enqueue order, backed-off jobs by their retry time.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, k int) bool {
+	if !h[i].notBefore.Equal(h[k].notBefore) {
+		return h[i].notBefore.Before(h[k].notBefore)
+	}
+	return h[i].id < h[k].id
+}
+func (h jobHeap) Swap(i, k int) { h[i], h[k] = h[k], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h jobHeap) peek() *job    { return h[0] }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,440 @@
+package queue
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, dir string, opt Options) *Queue {
+	t.Helper()
+	opt.NoSync = true // tests run on tmpfs-ish CI disks; fsync is covered by the crash test
+	q, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { q.Close() })
+	return q
+}
+
+func mustEnqueue(t *testing.T, q *Queue, name string, data []byte) uint64 {
+	t.Helper()
+	id, err := q.Enqueue(name, nil, data)
+	if err != nil {
+		t.Fatalf("Enqueue(%s): %v", name, err)
+	}
+	return id
+}
+
+func mustReceive(t *testing.T, q *Queue) *Delivery {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	d, err := q.Receive(ctx)
+	if err != nil {
+		t.Fatalf("Receive: %v", err)
+	}
+	return d
+}
+
+func TestFIFOAndAck(t *testing.T) {
+	q := openTest(t, t.TempDir(), Options{})
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		ids = append(ids, mustEnqueue(t, q, fmt.Sprintf("doc-%d", i), []byte{byte(i)}))
+	}
+	for i := 0; i < 5; i++ {
+		d := mustReceive(t, q)
+		if d.ID != ids[i] {
+			t.Fatalf("delivery %d: got id %d, want %d (FIFO)", i, d.ID, ids[i])
+		}
+		if d.Attempt != 1 {
+			t.Fatalf("fresh delivery reports attempt %d", d.Attempt)
+		}
+		if !bytes.Equal(d.Data, []byte{byte(i)}) {
+			t.Fatalf("delivery %d: payload %v", i, d.Data)
+		}
+		if err := d.Ack(); err != nil {
+			t.Fatalf("Ack: %v", err)
+		}
+	}
+	st := q.Stats()
+	if st.Depth != 0 || st.InFlight != 0 || st.Acked != 5 || st.Enqueued != 5 {
+		t.Fatalf("final stats: %+v", st)
+	}
+}
+
+func TestReceiveBlocksUntilEnqueue(t *testing.T) {
+	q := openTest(t, t.TempDir(), Options{})
+	got := make(chan *Delivery, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d, err := q.Receive(ctx)
+		if err == nil {
+			got <- d
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	id := mustEnqueue(t, q, "late", []byte("x"))
+	select {
+	case d := <-got:
+		if d.ID != id {
+			t.Fatalf("got id %d, want %d", d.ID, id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Receive never woke on enqueue")
+	}
+}
+
+func TestVisibilityTimeoutRedelivers(t *testing.T) {
+	q := openTest(t, t.TempDir(), Options{VisibilityTimeout: 80 * time.Millisecond})
+	id := mustEnqueue(t, q, "doc", []byte("payload"))
+	d1 := mustReceive(t, q)
+	if d1.ID != id {
+		t.Fatalf("got %d want %d", d1.ID, id)
+	}
+	// Abandon d1: no ack. The lease expires and the job comes back.
+	d2 := mustReceive(t, q)
+	if d2.ID != id || d2.Attempt != 2 {
+		t.Fatalf("redelivery: id=%d attempt=%d", d2.ID, d2.Attempt)
+	}
+	if err := d2.Ack(); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	// The abandoned twin's late ack must be a harmless no-op.
+	if err := d1.Ack(); err != nil {
+		t.Fatalf("late twin Ack: %v", err)
+	}
+	if st := q.Stats(); st.Redelivered != 1 || st.Depth != 0 || st.InFlight != 0 {
+		t.Fatalf("stats after redelivery: %+v", st)
+	}
+}
+
+func TestFailBacksOffThenRedelivers(t *testing.T) {
+	q := openTest(t, t.TempDir(), Options{RetryBackoff: 60 * time.Millisecond, MaxAttempts: 3})
+	mustEnqueue(t, q, "doc", []byte("x"))
+	d := mustReceive(t, q)
+	failedAt := time.Now()
+	if err := d.Fail("transient"); err != nil {
+		t.Fatalf("Fail: %v", err)
+	}
+	d2 := mustReceive(t, q)
+	if wait := time.Since(failedAt); wait < 50*time.Millisecond {
+		t.Fatalf("redelivered after %v, before the 60ms backoff", wait)
+	}
+	if d2.Attempt != 2 {
+		t.Fatalf("attempt = %d, want 2", d2.Attempt)
+	}
+	d2.Ack()
+}
+
+func TestDeadLetterAfterMaxAttempts(t *testing.T) {
+	q := openTest(t, t.TempDir(), Options{MaxAttempts: 2, RetryBackoff: time.Millisecond})
+	id := mustEnqueue(t, q, "poison", []byte("boom"))
+	for i := 0; i < 2; i++ {
+		d := mustReceive(t, q)
+		if err := d.Fail("still broken"); err != nil {
+			t.Fatalf("Fail %d: %v", i, err)
+		}
+	}
+	if s := q.Status(id); s != StatusDead {
+		t.Fatalf("status = %v, want dead", s)
+	}
+	dead := q.DeadLetters()
+	if len(dead) != 1 || dead[0].ID != id || dead[0].Reason != "still broken" {
+		t.Fatalf("dead letters: %+v", dead)
+	}
+	if dead[0].Attempts != 2 {
+		t.Fatalf("dead attempts = %d, want 2", dead[0].Attempts)
+	}
+
+	// Redrive restores a full delivery budget.
+	if err := q.Redrive(id); err != nil {
+		t.Fatalf("Redrive: %v", err)
+	}
+	if s := q.Status(id); s != StatusPending {
+		t.Fatalf("status after redrive = %v", s)
+	}
+	d := mustReceive(t, q)
+	if d.ID != id || !bytes.Equal(d.Data, []byte("boom")) {
+		t.Fatalf("redriven delivery: id=%d data=%q", d.ID, d.Data)
+	}
+	d.Ack()
+}
+
+func TestKillDeadLettersImmediately(t *testing.T) {
+	q := openTest(t, t.TempDir(), Options{MaxAttempts: 5})
+	id := mustEnqueue(t, q, "poison", []byte("x"))
+	d := mustReceive(t, q)
+	if err := d.Kill("permanent failure"); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	if s := q.Status(id); s != StatusDead {
+		t.Fatalf("status = %v, want dead", s)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	q := openTest(t, dir, Options{})
+	id1 := mustEnqueue(t, q, "keep-1", []byte("alpha"))
+	id2 := mustEnqueue(t, q, "ack-me", []byte("beta"))
+	id3 := mustEnqueue(t, q, "keep-2", []byte("gamma"))
+	d := mustReceive(t, q) // id1, abandoned in flight (simulated crash)
+	_ = d
+	d2 := mustReceive(t, q)
+	if d2.ID != id2 {
+		t.Fatalf("expected id2 next, got %d", d2.ID)
+	}
+	d2.Ack()
+	q.Close()
+
+	q2 := openTest(t, dir, Options{})
+	st := q2.Stats()
+	if st.Depth != 2 {
+		t.Fatalf("reopened depth = %d, want 2 (unacked survive, acked gone): %+v", st.Depth, st)
+	}
+	got := map[uint64]string{}
+	for i := 0; i < 2; i++ {
+		d := mustReceive(t, q2)
+		got[d.ID] = string(d.Data)
+		d.Ack()
+	}
+	if got[id1] != "alpha" || got[id3] != "gamma" {
+		t.Fatalf("recovered payloads: %v", got)
+	}
+	// IDs keep advancing past everything replayed.
+	id4 := mustEnqueue(t, q2, "next", nil)
+	if id4 <= id3 {
+		t.Fatalf("post-recovery id %d not past %d", id4, id3)
+	}
+}
+
+func TestDeadLettersSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	q := openTest(t, dir, Options{MaxAttempts: 1})
+	id := mustEnqueue(t, q, "poison", []byte("payload"))
+	d := mustReceive(t, q)
+	d.Fail("broken")
+	q.Close()
+
+	q2 := openTest(t, dir, Options{})
+	if s := q2.Status(id); s != StatusDead {
+		t.Fatalf("status after reopen = %v, want dead", s)
+	}
+	dead := q2.DeadLetters()
+	if len(dead) != 1 || !bytes.Equal(dead[0].Data, []byte("payload")) {
+		t.Fatalf("dead letters after reopen: %+v", dead)
+	}
+	// And redrive still works from replayed state.
+	if err := q2.Redrive(id); err != nil {
+		t.Fatalf("Redrive after reopen: %v", err)
+	}
+	d2 := mustReceive(t, q2)
+	if d2.ID != id {
+		t.Fatalf("redriven id = %d", d2.ID)
+	}
+	d2.Ack()
+}
+
+func TestTornTailTruncatedOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	q := openTest(t, dir, Options{})
+	mustEnqueue(t, q, "whole", []byte("survives"))
+	q.Close()
+
+	// Simulate a crash mid-append: garbage and half a record at the tail.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := appendRecord(nil, recEnqueue, encodeEnqueue(99, 0, "torn", nil, []byte("lost")))
+	if _, err := f.Write(torn[:len(torn)-7]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	q2 := openTest(t, dir, Options{})
+	st := q2.Stats()
+	if st.Depth != 1 {
+		t.Fatalf("depth after torn-tail recovery = %d, want 1", st.Depth)
+	}
+	d := mustReceive(t, q2)
+	if string(d.Data) != "survives" {
+		t.Fatalf("recovered %q", d.Data)
+	}
+	d.Ack()
+	// Appends after truncation must produce a cleanly replayable journal.
+	mustEnqueue(t, q2, "after", []byte("clean"))
+	q2.Close()
+	q3 := openTest(t, dir, Options{})
+	if st := q3.Stats(); st.Depth != 1 {
+		t.Fatalf("depth after post-truncation append = %d, want 1", st.Depth)
+	}
+}
+
+func TestCorruptInteriorRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	q := openTest(t, dir, Options{SegmentBytes: 1}) // every record rotates
+	mustEnqueue(t, q, "a", []byte("one"))
+	mustEnqueue(t, q, "b", []byte("two"))
+	mustEnqueue(t, q, "c", []byte("three"))
+	q.Close()
+
+	// Flip a payload byte in the middle segment: its CRC fails and the
+	// segment's remainder is skipped, but other segments still replay.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("segments: %v", segs)
+	}
+	data, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recHeaderLen+10] ^= 0xFF
+	if err := os.WriteFile(segs[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q2 := openTest(t, dir, Options{})
+	st := q2.Stats()
+	if st.Depth != 2 {
+		t.Fatalf("depth = %d, want 2 (corrupt record dropped)", st.Depth)
+	}
+	if st.CorruptRecords == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func TestSegmentRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	q := openTest(t, dir, Options{SegmentBytes: 256})
+	payload := bytes.Repeat([]byte("x"), 200) // one job per segment
+	var ids []uint64
+	for i := 0; i < 6; i++ {
+		ids = append(ids, mustEnqueue(t, q, fmt.Sprintf("doc-%d", i), payload))
+	}
+	if st := q.Stats(); st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	for range ids {
+		d := mustReceive(t, q)
+		d.Ack()
+	}
+	st := q.Stats()
+	if st.Segments > 2 {
+		t.Fatalf("compaction left %d segments", st.Segments)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != st.Segments {
+		t.Fatalf("disk has %d segments, stats say %d", len(segs), st.Segments)
+	}
+	// Compacted journal still replays to an empty queue.
+	q.Close()
+	q2 := openTest(t, dir, Options{})
+	if st := q2.Stats(); st.Depth != 0 || st.InFlight != 0 {
+		t.Fatalf("compacted journal replayed non-empty: %+v", st)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := openTest(t, t.TempDir(), Options{})
+	const producers, perProducer, consumers = 4, 25, 4
+	total := producers * perProducer
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if _, err := q.Enqueue(fmt.Sprintf("p%d-%d", p, i), nil, []byte{byte(p), byte(i)}); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				d, err := q.Receive(ctx)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				seen[d.ID]++
+				n := len(seen)
+				mu.Unlock()
+				if err := d.Ack(); err != nil {
+					t.Errorf("ack: %v", err)
+				}
+				if n >= total {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != total {
+		t.Fatalf("consumed %d distinct jobs, want %d", len(seen), total)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %d delivered %d times with no lease expiry", id, n)
+		}
+	}
+}
+
+func TestHealthy(t *testing.T) {
+	dir := t.TempDir()
+	q := openTest(t, dir, Options{})
+	if err := q.Healthy(); err != nil {
+		t.Fatalf("Healthy on writable dir: %v", err)
+	}
+	if os.Getuid() == 0 {
+		t.Skip("running as root: chmod 0500 does not block writes")
+	}
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := q.Healthy(); err == nil {
+		t.Fatal("Healthy passed on read-only dir")
+	}
+}
+
+func TestClosedQueue(t *testing.T) {
+	q := openTest(t, t.TempDir(), Options{})
+	q.Close()
+	if _, err := q.Enqueue("x", nil, nil); err != ErrClosed {
+		t.Fatalf("Enqueue after close: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := q.Receive(ctx); err != ErrClosed {
+		t.Fatalf("Receive after close: %v", err)
+	}
+}

@@ -1,0 +1,247 @@
+// Segment lifecycle for the queue journal: append with rotation, replay
+// with torn-tail truncation, and compaction of fully-resolved segments.
+package queue
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// segName formats the file name of segment index i.
+func segName(i int) string { return fmt.Sprintf("wal-%08d.seg", i) }
+
+// openActive opens (creating if needed) the append handle for the last
+// segment. replay must have run first so q.segs reflects the directory.
+func (q *Queue) openActive() error {
+	if len(q.segs) == 0 {
+		q.segs = append(q.segs, &segment{path: filepath.Join(q.dir, segName(1)), index: 1})
+	}
+	seg := q.segs[len(q.segs)-1]
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("queue: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("queue: stat segment: %w", err)
+	}
+	q.active = f
+	q.wsize = st.Size()
+	return q.syncDir()
+}
+
+// syncDir fsyncs the journal directory so segment creations and removals
+// are themselves durable. Best-effort on filesystems that refuse directory
+// fsync.
+func (q *Queue) syncDir() error {
+	d, err := os.Open(q.dir)
+	if err != nil {
+		return nil
+	}
+	_ = d.Sync()
+	return d.Close()
+}
+
+// appendLocked frames and appends one record to the active segment,
+// rotating first when the segment is over its size budget. sync forces an
+// fsync before returning — the durability point for accepted work.
+func (q *Queue) appendLocked(kind byte, payload []byte, sync bool) error {
+	if q.wsize >= q.opt.SegmentBytes {
+		if err := q.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	buf := appendRecord(make([]byte, 0, recHeaderLen+len(payload)+4), kind, payload)
+	n, err := q.active.Write(buf)
+	q.wsize += int64(n)
+	if err != nil {
+		return fmt.Errorf("queue: append: %w", err)
+	}
+	if sync {
+		if err := q.active.Sync(); err != nil {
+			return fmt.Errorf("queue: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and starts the next one.
+func (q *Queue) rotateLocked() error {
+	if err := q.active.Sync(); err != nil {
+		return fmt.Errorf("queue: fsync before rotate: %w", err)
+	}
+	if err := q.active.Close(); err != nil {
+		return fmt.Errorf("queue: close segment: %w", err)
+	}
+	next := q.segs[len(q.segs)-1].index + 1
+	seg := &segment{path: filepath.Join(q.dir, segName(next)), index: next}
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("queue: create segment: %w", err)
+	}
+	q.segs = append(q.segs, seg)
+	q.active = f
+	q.wsize = 0
+	return q.syncDir()
+}
+
+// compactLocked removes leading segments whose enqueued jobs have all been
+// resolved. Only a prefix is ever removed: ack/dead records always land in
+// the same or a later segment than the enqueue they resolve, so deleting a
+// fully-resolved prefix can never orphan a resolution that a later replay
+// still needs. Dead-lettered jobs keep their enqueue segment live (their
+// payload must survive restarts until an operator redrives or the queue
+// is truncated by hand).
+func (q *Queue) compactLocked() {
+	for len(q.segs) > 1 && q.segs[0].live == 0 {
+		if err := os.Remove(q.segs[0].path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return // try again on the next ack
+		}
+		q.segs = q.segs[1:]
+	}
+	_ = q.syncDir()
+}
+
+// replay rebuilds the in-memory state from every segment on disk, oldest
+// first. Enqueues add jobs, acks resolve them, dead records move them to
+// the dead-letter set; whatever remains un-resolved is redelivered — the
+// at-least-once crash-recovery guarantee. A torn tail on the final segment
+// is truncated; corruption inside an interior segment skips the remainder
+// of that segment and is counted, not fatal.
+func (q *Queue) replay() error {
+	entries, err := os.ReadDir(q.dir)
+	if err != nil {
+		return fmt.Errorf("queue: %w", err)
+	}
+	for _, e := range entries {
+		var idx int
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%08d.seg", &idx); n == 1 {
+			q.segs = append(q.segs, &segment{path: filepath.Join(q.dir, e.Name()), index: idx})
+		}
+	}
+	sort.Slice(q.segs, func(i, k int) bool { return q.segs[i].index < q.segs[k].index })
+
+	for si, seg := range q.segs {
+		last := si == len(q.segs)-1
+		if err := q.replaySegment(seg, last); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment replays one segment file.
+func (q *Queue) replaySegment(seg *segment, last bool) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("queue: replay %s: %w", seg.path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var good int64
+	for {
+		rec, err := decodeRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if last {
+				// Torn tail from a crash mid-append: cut the segment back to
+				// the last whole record so new appends follow valid framing.
+				if terr := os.Truncate(seg.path, good); terr != nil {
+					return fmt.Errorf("queue: truncate torn tail of %s: %w", seg.path, terr)
+				}
+			} else {
+				q.counter.corrupt++
+			}
+			break
+		}
+		good += int64(recHeaderLen + len(rec.payload) + 4)
+		q.applyRecord(seg, rec)
+	}
+	return nil
+}
+
+// applyRecord folds one replayed record into the queue state.
+func (q *Queue) applyRecord(seg *segment, rec record) {
+	switch rec.kind {
+	case recEnqueue:
+		id, ns, name, meta, data, err := decodeEnqueue(rec.payload)
+		if err != nil {
+			q.counter.corrupt++
+			return
+		}
+		// Re-enqueue of a dead-lettered job (redrive) resurrects it,
+		// releasing the pin on its original enqueue segment.
+		if dj, ok := q.dead[id]; ok {
+			if dj.seg != nil {
+				dj.seg.live--
+			}
+			delete(q.dead, id)
+		}
+		q.jobs[id] = &job{
+			id: id, name: name, meta: meta, data: data,
+			enqueuedNS: ns, seg: seg,
+		}
+		seg.live++
+		q.ready = append(q.ready, q.jobs[id])
+		q.counter.enqueued++
+		if id > q.nextID {
+			q.nextID = id
+		}
+	case recAck:
+		id, err := decodeAck(rec.payload)
+		if err != nil {
+			q.counter.corrupt++
+			return
+		}
+		if j, ok := q.jobs[id]; ok {
+			q.removeReplayedLocked(j)
+			q.counter.acked++
+		}
+	case recDead:
+		id, reason, err := decodeDead(rec.payload)
+		if err != nil {
+			q.counter.corrupt++
+			return
+		}
+		j, ok := q.jobs[id]
+		if !ok {
+			return
+		}
+		q.removeReplayedLocked(j)
+		// The enqueue segment must outlive the dead-letter so the payload
+		// survives restarts: keep it counted as live.
+		j.seg.live++
+		// Attempts are not journaled; a replayed dead letter reports 0.
+		q.dead[id] = &DeadJob{
+			Job: Job{ID: id, Name: j.name, Meta: j.meta, Data: j.data,
+				EnqueuedAt: time.Unix(0, j.enqueuedNS)},
+			Reason: reason,
+			seg:    j.seg,
+		}
+		q.counter.deadLettered++
+	default:
+		q.counter.corrupt++
+	}
+}
+
+// removeReplayedLocked is removeLocked against the replay-time ready slice
+// (the heap is initialized after replay, so filter the slice directly).
+func (q *Queue) removeReplayedLocked(j *job) {
+	delete(q.jobs, j.id)
+	j.seg.live--
+	for i, r := range q.ready {
+		if r == j {
+			q.ready = append(q.ready[:i], q.ready[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// WAL record codec and segment replay for the durable work queue.
+//
+// The journal is a sequence of append-only segment files
+// (wal-00000001.seg, wal-00000002.seg, ...). Each segment holds framed
+// records:
+//
+//	magic(1) | type(1) | payloadLen(4 LE) | payload | crc32c(4 LE)
+//
+// The CRC (Castagnoli) covers magic, type, length and payload, so a torn
+// write — the expected failure mode of SIGKILL or power loss mid-append —
+// is detected at the exact record where durability ended. Replay truncates
+// a torn tail on the final segment (appends resume cleanly after it) and
+// skips the remainder of an interior segment whose middle is damaged,
+// counting the loss instead of refusing to start.
+package queue
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// recMagic opens every WAL record. A reader positioned on anything else is
+// looking at corruption (or a torn tail), never at a valid record.
+const recMagic = 0xA7
+
+// Record types.
+const (
+	recEnqueue = byte(1) // a job entered the queue
+	recAck     = byte(2) // a job was completed and leaves the queue
+	recDead    = byte(3) // a job was dead-lettered (poison)
+)
+
+// maxRecordBytes bounds a single record payload. It exists so a corrupt
+// length field cannot drive a giant allocation during replay; real payloads
+// are request bodies already capped far below this by the HTTP layer.
+const maxRecordBytes = 1 << 30
+
+// recHeaderLen is magic + type + payload length.
+const recHeaderLen = 6
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errCorrupt reports a structurally invalid record during replay. It is
+// internal: Open converts it into truncation (torn tail) or a skip count.
+var errCorrupt = errors.New("queue: corrupt WAL record")
+
+// record is one decoded WAL entry.
+type record struct {
+	kind    byte
+	payload []byte
+}
+
+// appendRecord frames kind+payload into buf and returns the extended slice.
+func appendRecord(buf []byte, kind byte, payload []byte) []byte {
+	if len(payload) > maxRecordBytes {
+		panic("queue: record payload exceeds maxRecordBytes")
+	}
+	start := len(buf)
+	buf = append(buf, recMagic, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	sum := crc32.Checksum(buf[start:], crcTable)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// decodeRecord reads one framed record from r. It returns io.EOF at a clean
+// record boundary, and errCorrupt (possibly wrapped) for a bad magic, an
+// implausible length, a CRC mismatch, or a record cut off mid-frame.
+func decodeRecord(r *bufio.Reader) (record, error) {
+	var hdr [recHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return record{}, io.EOF
+		}
+		return record{}, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	if hdr[0] != recMagic {
+		return record{}, fmt.Errorf("%w: bad magic 0x%02x", errCorrupt, hdr[0])
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return record{}, fmt.Errorf("%w: short header: %v", errCorrupt, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[2:])
+	if n > maxRecordBytes {
+		return record{}, fmt.Errorf("%w: payload length %d exceeds cap", errCorrupt, n)
+	}
+	body := make([]byte, n+4) // payload + trailing CRC
+	if _, err := io.ReadFull(r, body); err != nil {
+		return record{}, fmt.Errorf("%w: short payload: %v", errCorrupt, err)
+	}
+	sum := crc32.Checksum(hdr[:], crcTable)
+	sum = crc32.Update(sum, crcTable, body[:n])
+	if got := binary.LittleEndian.Uint32(body[n:]); got != sum {
+		return record{}, fmt.Errorf("%w: crc mismatch (stored %08x, computed %08x)", errCorrupt, got, sum)
+	}
+	return record{kind: hdr[1], payload: body[:n:n]}, nil
+}
+
+// DecodeRecord decodes one record from the front of data, returning the
+// record and the number of bytes consumed. It is the frame decoder behind
+// replay, exported for fuzzing: any input must either decode to a record
+// that re-encodes byte-identically or fail cleanly.
+func DecodeRecord(data []byte) (kind byte, payload []byte, n int, err error) {
+	r := bufio.NewReader(&countingReader{data: data})
+	rec, err := decodeRecord(r)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return rec.kind, rec.payload, recHeaderLen + len(rec.payload) + 4, nil
+}
+
+// countingReader is a trivial bytes reader (bytes.Reader would also do; this
+// keeps the decode path identical to the file replay path).
+type countingReader struct {
+	data []byte
+	off  int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	if c.off >= len(c.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, c.data[c.off:])
+	c.off += n
+	return n, nil
+}
+
+// Enqueue payload layout:
+//
+//	id(8) | enqueuedUnixNano(8) | nameLen(2) | name | metaLen(4) | meta | dataLen(4) | data
+
+// encodeEnqueue builds the payload for a recEnqueue record.
+func encodeEnqueue(id uint64, enqueuedNS int64, name string, meta, data []byte) []byte {
+	buf := make([]byte, 0, 8+8+2+len(name)+4+len(meta)+4+len(data))
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(enqueuedNS))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
+	buf = append(buf, meta...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
+	buf = append(buf, data...)
+	return buf
+}
+
+// decodeEnqueue parses a recEnqueue payload.
+func decodeEnqueue(p []byte) (id uint64, enqueuedNS int64, name string, meta, data []byte, err error) {
+	take := func(n int) ([]byte, bool) {
+		if len(p) < n {
+			return nil, false
+		}
+		out := p[:n]
+		p = p[n:]
+		return out, true
+	}
+	b, ok := take(16)
+	if !ok {
+		return 0, 0, "", nil, nil, errCorrupt
+	}
+	id = binary.LittleEndian.Uint64(b)
+	enqueuedNS = int64(binary.LittleEndian.Uint64(b[8:]))
+	b, ok = take(2)
+	if !ok {
+		return 0, 0, "", nil, nil, errCorrupt
+	}
+	nb, ok := take(int(binary.LittleEndian.Uint16(b)))
+	if !ok {
+		return 0, 0, "", nil, nil, errCorrupt
+	}
+	name = string(nb)
+	b, ok = take(4)
+	if !ok {
+		return 0, 0, "", nil, nil, errCorrupt
+	}
+	mn := binary.LittleEndian.Uint32(b)
+	if mn > math.MaxInt32 {
+		return 0, 0, "", nil, nil, errCorrupt
+	}
+	meta, ok = take(int(mn))
+	if !ok {
+		return 0, 0, "", nil, nil, errCorrupt
+	}
+	b, ok = take(4)
+	if !ok {
+		return 0, 0, "", nil, nil, errCorrupt
+	}
+	dn := binary.LittleEndian.Uint32(b)
+	if dn > math.MaxInt32 {
+		return 0, 0, "", nil, nil, errCorrupt
+	}
+	data, ok = take(int(dn))
+	if !ok {
+		return 0, 0, "", nil, nil, errCorrupt
+	}
+	if len(p) != 0 {
+		return 0, 0, "", nil, nil, fmt.Errorf("%w: %d trailing payload bytes", errCorrupt, len(p))
+	}
+	return id, enqueuedNS, name, meta, data, nil
+}
+
+// encodeAck builds the payload for a recAck record.
+func encodeAck(id uint64) []byte {
+	return binary.LittleEndian.AppendUint64(make([]byte, 0, 8), id)
+}
+
+// decodeAck parses a recAck payload.
+func decodeAck(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, errCorrupt
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// encodeDead builds the payload for a recDead record.
+func encodeDead(id uint64, reason string) []byte {
+	buf := make([]byte, 0, 8+2+len(reason))
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(reason)))
+	return append(buf, reason...)
+}
+
+// decodeDead parses a recDead payload.
+func decodeDead(p []byte) (uint64, string, error) {
+	if len(p) < 10 {
+		return 0, "", errCorrupt
+	}
+	id := binary.LittleEndian.Uint64(p)
+	n := int(binary.LittleEndian.Uint16(p[8:]))
+	if len(p) != 10+n {
+		return 0, "", errCorrupt
+	}
+	return id, string(p[10 : 10+n]), nil
+}

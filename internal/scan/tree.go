@@ -1,0 +1,63 @@
+package scan
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/extract"
+	"repro/internal/hostile"
+	"repro/internal/walker"
+)
+
+// TreeDoc is the outcome for one document discovered by the container
+// walker inside a submitted file. Exactly one of Report and Err is set;
+// walk-level failures (a child that could not even be opened) appear as
+// TreeDocs with Err set and no Report.
+type TreeDoc struct {
+	// Path is the document's container provenance ("" for the submitted
+	// file itself) — surfaced as ReportJSON.ContainerPath.
+	Path string
+	// Report is the per-document classification report.
+	Report *core.FileReport
+	// Err is the walk or scan failure for this document.
+	Err error
+}
+
+// ScanTree recursively opens data as a container tree (zip → docm →
+// embedded OLE / nested zip) and scans every discovered document, under
+// the detector's configured resource limits plus the context deadline.
+// It returns one TreeDoc per discovered document or lost child, a
+// degraded flag (some children were lost or some reports are partial),
+// and an error only when the whole walk failed — root not a container,
+// root container hostile, or nothing scannable recovered.
+//
+// The walk shares one hostile.Budget across the whole tree, so an
+// archive bomb anywhere in the container exhausts the submission's
+// budget rather than getting a fresh allowance per layer. Each surviving
+// document is then scanned through the ordinary pipeline (its own
+// per-document budget, panic isolation, detector limits).
+func ScanTree(ctx context.Context, det *core.Detector, data []byte) ([]TreeDoc, bool, error) {
+	bud := hostile.NewBudget(det.Limits())
+	if dl, ok := ctx.Deadline(); ok {
+		bud.WithDeadline(dl)
+	}
+	tree, err := walker.Walk(data, bud)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]TreeDoc, 0, len(tree.Docs)+len(tree.Issues))
+	degraded := tree.Degraded
+	for _, d := range tree.Docs {
+		rep, _, err := ScanOneCtx(ctx, det, d.Data)
+		out = append(out, TreeDoc{Path: d.Path, Report: rep, Err: err})
+		// A macro-free document is a clean negative verdict, not a loss.
+		if (err != nil && !errors.Is(err, extract.ErrNoMacros)) || (rep != nil && rep.Degraded) {
+			degraded = true
+		}
+	}
+	for _, is := range tree.Issues {
+		out = append(out, TreeDoc{Path: is.Path, Err: is.Err})
+	}
+	return out, degraded, nil
+}

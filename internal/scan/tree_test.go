@@ -1,0 +1,74 @@
+package scan
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/walker"
+)
+
+// TestScanTreeMatchesScanOne checks that a document scanned through the
+// container walker produces the same report as the direct pipeline, and
+// that a ZIP wrapper adds provenance without changing the verdict.
+func TestScanTreeMatchesScanOne(t *testing.T) {
+	det, docs := fixture(t)
+	var doc Document
+	for _, d := range docs {
+		if rep, _, err := ScanOne(det, d.Data); err == nil && len(rep.Macros) > 0 {
+			doc = d
+			break
+		}
+	}
+	if doc.Data == nil {
+		t.Fatal("no fixture document produced macros")
+	}
+
+	direct, _, err := ScanOne(det, doc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tds, degraded, err := ScanTree(context.Background(), det, doc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded || len(tds) != 1 || tds[0].Path != "" || tds[0].Err != nil {
+		t.Fatalf("tree scan of plain document: degraded=%v docs=%+v", degraded, tds)
+	}
+	got, _ := json.Marshal(tds[0].Report.JSON())
+	want, _ := json.Marshal(direct.JSON())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tree verdict diverged from direct scan:\n%s\n%s", got, want)
+	}
+
+	wrapped, err := faultinject.WrapZip(map[string][]byte{"inner.doc": doc.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tds, degraded, err = ScanTree(context.Background(), det, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded || len(tds) != 1 || tds[0].Path != "inner.doc" {
+		t.Fatalf("wrapped scan: degraded=%v docs=%+v", degraded, tds)
+	}
+	got, _ = json.Marshal(tds[0].Report.JSON())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("wrapped verdict diverged from direct scan:\n%s\n%s", got, want)
+	}
+}
+
+// TestScanTreeRootNotContainer surfaces the walker's typed rejection.
+func TestScanTreeRootNotContainer(t *testing.T) {
+	det, _ := fixture(t)
+	_, _, err := ScanTree(context.Background(), det, []byte("not a container"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, walker.ErrNotContainer) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,393 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// newIntakeServer builds a server with async intake started on a fresh
+// temp directory. The cleanup stops the intake workers without closing
+// the shared fixture detector.
+func newIntakeServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	det := fixture(t)
+	if cfg.Logger == nil {
+		cfg.Logger = quietConfig().Logger
+	}
+	if cfg.Intake.Dir == "" {
+		cfg.Intake.Dir = t.TempDir()
+	}
+	cfg.Intake.NoSync = true
+	srv := New(det, cfg)
+	if err := srv.StartIntake(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.stopIntake()
+	})
+	return srv, ts
+}
+
+func submit(t *testing.T, base string, body []byte, query string) SubmitResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/submit"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	if sr.Ticket == "" || sr.Status != "queued" {
+		t.Fatalf("submit response: %+v", sr)
+	}
+	return sr
+}
+
+// pollTicket polls until the ticket reaches a terminal state ("done",
+// "failed" or "dead").
+func pollTicket(t *testing.T, base, ticket string, timeout time.Duration) TicketResult {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/tickets/" + ticket)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr TicketResult
+		err = json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding ticket response: %v", err)
+		}
+		switch tr.Status {
+		case "done", "failed", "dead":
+			return tr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ticket %s stuck in %q", ticket, tr.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestIntakeSubmitPollVerdict drives the full async lifecycle and checks
+// the published verdict matches the sync endpoint byte for byte.
+func TestIntakeSubmitPollVerdict(t *testing.T) {
+	fixture(t)
+	_, ts := newIntakeServer(t, quietConfig())
+	sr := submit(t, ts.URL, testFixture.macroDoc, "?trace=1")
+	res := pollTicket(t, ts.URL, sr.Ticket, 30*time.Second)
+	if res.Status != "done" || len(res.Docs) != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Docs[0].Report == nil || res.Docs[0].Report.ContainerPath != "" {
+		t.Fatalf("doc: %+v", res.Docs[0])
+	}
+	if res.Trace == nil || res.Trace.Root == nil || len(res.Trace.Root.Children) == 0 {
+		t.Fatalf("trace missing from traced submission: %+v", res.Trace)
+	}
+	_, sync := postScan(t, ts.URL, testFixture.macroDoc)
+	got, _ := json.Marshal(res.Docs[0].Report)
+	want, _ := json.Marshal(sync.Report)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("async verdict diverged from sync scan:\nasync: %s\nsync:  %s", got, want)
+	}
+	// Polling again must serve the same published result (no re-scan).
+	again := pollTicket(t, ts.URL, sr.Ticket, time.Second)
+	g2, _ := json.Marshal(again)
+	g1, _ := json.Marshal(res)
+	if !bytes.Equal(g1, g2) {
+		t.Fatal("published result changed between polls")
+	}
+}
+
+// TestIntakeNestedContainer submits a ZIP wrapping a macro document and
+// checks the walker's provenance surfaces in the published result.
+func TestIntakeNestedContainer(t *testing.T) {
+	fixture(t)
+	_, ts := newIntakeServer(t, quietConfig())
+	wrapped, err := faultinject.WrapZip(map[string][]byte{"inner.doc": testFixture.macroDoc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := submit(t, ts.URL, wrapped, "")
+	res := pollTicket(t, ts.URL, sr.Ticket, 30*time.Second)
+	if res.Status != "done" || len(res.Docs) != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	doc := res.Docs[0]
+	if doc.File != "inner.doc" || doc.Report == nil || doc.Report.ContainerPath != "inner.doc" {
+		t.Fatalf("provenance not surfaced: file=%q report=%+v", doc.File, doc.Report)
+	}
+	// The verdict must match scanning the inner bytes directly.
+	_, sync := postScan(t, ts.URL, testFixture.macroDoc)
+	doc.Report.ContainerPath = ""
+	got, _ := json.Marshal(doc.Report)
+	want, _ := json.Marshal(sync.Report)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("nested verdict diverged from direct scan:\n%s\n%s", got, want)
+	}
+}
+
+// TestIntakeNotContainerFails submits unscannable bytes and expects a
+// resolved "failed" ticket with a typed class, not a dead letter.
+func TestIntakeNotContainerFails(t *testing.T) {
+	fixture(t)
+	_, ts := newIntakeServer(t, quietConfig())
+	sr := submit(t, ts.URL, []byte("plain text, not a container"), "")
+	res := pollTicket(t, ts.URL, sr.Ticket, 30*time.Second)
+	if res.Status != "failed" || res.ErrorClass != "malformed" {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+// TestIntakeCrashRecoveryAcrossRestart accepts submissions into an
+// accept-only server (no drain workers — everything is journal state, the
+// footprint of a crash between accept and scan), tears it down, reopens
+// the same intake directory with workers, and requires every ticket to
+// resolve with a verdict byte-identical to the sync scan of the same
+// bytes. Run under -race in CI.
+func TestIntakeCrashRecoveryAcrossRestart(t *testing.T) {
+	det := fixture(t)
+	dir := t.TempDir()
+	cfg := quietConfig()
+	cfg.Intake = IntakeConfig{Dir: dir, Workers: -1, NoSync: true}
+	srv1 := New(det, cfg)
+	if err := srv1.StartIntake(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	var tickets []string
+	var bodies [][]byte
+	for i, doc := range testFixture.docs {
+		if i >= 6 {
+			break
+		}
+		sr := submit(t, ts1.URL, doc, "")
+		tickets = append(tickets, sr.Ticket)
+		bodies = append(bodies, doc)
+	}
+	if len(tickets) < 2 {
+		t.Fatalf("fixture produced only %d documents", len(tickets))
+	}
+	// "Crash": the accepting process goes away with every ticket
+	// unprocessed. Only the journal survives.
+	ts1.Close()
+	srv1.stopIntake()
+
+	cfg2 := quietConfig()
+	cfg2.Intake = IntakeConfig{Dir: dir, Workers: 2, NoSync: true}
+	srv2 := New(det, cfg2)
+	if err := srv2.StartIntake(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.stopIntake()
+	})
+
+	for i, ticket := range tickets {
+		res := pollTicket(t, ts2.URL, ticket, 60*time.Second)
+		if res.Status != "done" || len(res.Docs) != 1 {
+			t.Fatalf("ticket %s after restart: %+v", ticket, res)
+		}
+		_, sync := postScan(t, ts2.URL, bodies[i])
+		got, _ := json.Marshal(res.Docs[0].Report)
+		want, _ := json.Marshal(sync.Report)
+		if !bytes.Equal(got, want) || res.Docs[0].NoMacros != sync.NoMacros {
+			t.Fatalf("ticket %s verdict diverged after restart:\nasync: %s no_macros=%v\nsync:  %s no_macros=%v",
+				ticket, got, res.Docs[0].NoMacros, want, sync.NoMacros)
+		}
+	}
+}
+
+// TestIntakeDeadLetterAndRedrive forces repeated transient failures (a
+// scan deadline that can never be met), expects the ticket to dead-letter
+// instead of looping forever, and exercises the admin list + redrive path.
+func TestIntakeDeadLetterAndRedrive(t *testing.T) {
+	fixture(t)
+	cfg := quietConfig()
+	cfg.ScanTimeout = time.Nanosecond
+	cfg.Intake = IntakeConfig{
+		Workers:           1,
+		MaxAttempts:       2,
+		RetryBackoff:      time.Millisecond,
+		VisibilityTimeout: 50 * time.Millisecond,
+	}
+	_, ts := newIntakeServer(t, cfg)
+	sr := submit(t, ts.URL, testFixture.macroDoc, "")
+	res := pollTicket(t, ts.URL, sr.Ticket, 30*time.Second)
+	if res.Status != "dead" {
+		t.Fatalf("result: %+v", res)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/admin/intake/dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Dead []DeadTicketJSON `json:"dead"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Dead) != 1 || list.Dead[0].Ticket != sr.Ticket ||
+		!strings.Contains(list.Dead[0].Reason, "deadline") {
+		t.Fatalf("dead letters: %+v", list.Dead)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/admin/intake/redrive/"+sr.Ticket, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("redrive status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/admin/intake/redrive/999999", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("redrive of unknown ticket = %d", resp.StatusCode)
+	}
+}
+
+// TestIntakeReadyzBacklogWatermark checks that a backlog past the
+// configured watermark (with no workers draining it) fails readiness
+// while liveness keeps reporting the queue state.
+func TestIntakeReadyzBacklogWatermark(t *testing.T) {
+	fixture(t)
+	cfg := quietConfig()
+	cfg.Intake = IntakeConfig{Workers: -1, BacklogWatermark: 2}
+	_, ts := newIntakeServer(t, cfg)
+	for i := 0; i < 3; i++ {
+		submit(t, ts.URL, testFixture.macroDoc, "")
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]string
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body["status"], "backlog") {
+		t.Fatalf("readyz = %d %v", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Intake struct {
+			Depth int `json:"depth"`
+		} `json:"intake"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Intake.Depth != 3 {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, health)
+	}
+}
+
+// TestIntakeWebhook registers a completion webhook and expects exactly
+// one delivery carrying the published result.
+func TestIntakeWebhook(t *testing.T) {
+	fixture(t)
+	var calls atomic.Int64
+	got := make(chan TicketResult, 4)
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		var tr TicketResult
+		_ = json.NewDecoder(r.Body).Decode(&tr)
+		got <- tr
+	}))
+	defer hook.Close()
+
+	cfg := quietConfig()
+	cfg.Intake = IntakeConfig{AllowWebhooks: true}
+	_, ts := newIntakeServer(t, cfg)
+	sr := submit(t, ts.URL, testFixture.macroDoc, "?webhook="+hook.URL)
+	res := pollTicket(t, ts.URL, sr.Ticket, 30*time.Second)
+	if res.Status != "done" {
+		t.Fatalf("result: %+v", res)
+	}
+	select {
+	case tr := <-got:
+		if tr.Ticket != sr.Ticket || tr.Status != "done" {
+			t.Fatalf("webhook payload: %+v", tr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("webhook never delivered")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("webhook delivered %d times", n)
+	}
+}
+
+// TestIntakeWebhookDisabled rejects webhook registration when the server
+// has not opted into outbound calls.
+func TestIntakeWebhookDisabled(t *testing.T) {
+	fixture(t)
+	_, ts := newIntakeServer(t, quietConfig())
+	resp, err := http.Post(ts.URL+"/v1/submit?webhook=http://example.com/cb",
+		"application/octet-stream", bytes.NewReader(testFixture.macroDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("webhook submit without opt-in = %d", resp.StatusCode)
+	}
+}
+
+// TestIntakeTicketErrors covers the malformed and unknown ticket paths.
+func TestIntakeTicketErrors(t *testing.T) {
+	fixture(t)
+	_, ts := newIntakeServer(t, quietConfig())
+	resp, err := http.Get(ts.URL + "/v1/tickets/not-a-number")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed ticket = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/tickets/424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown ticket = %d", resp.StatusCode)
+	}
+}

@@ -93,6 +93,9 @@ type Config struct {
 	// document (single and batch), subject to the logger's own sampling
 	// and rate caps. Nil disables auditing.
 	Audit *telemetry.AuditLogger
+	// Intake configures the durable async intake path (POST /v1/submit);
+	// see IntakeConfig. Activated by calling StartIntake.
+	Intake IntakeConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +167,9 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup
 	reqSeq   atomic.Uint64
+
+	// intake is the durable async-submission path, nil until StartIntake.
+	intake *intake
 
 	// scanGate, when set (tests only), is invoked while a scan holds its
 	// semaphore slot, letting tests hold requests in flight deterministically.
@@ -382,10 +388,12 @@ func (s *Server) Reload() error {
 // traffic while http.Server.Shutdown drains in-flight requests.
 func (s *Server) BeginShutdown() { s.draining.Store(true) }
 
-// Close releases the current detector's model mapping, if any. Call after
-// Drain: the mmap'd model image is unmapped once no in-flight scan holds a
-// lease on it. Idempotent.
+// Close stops the intake workers (waiting for jobs they hold), closes the
+// intake journal, and releases the current detector's model mapping, if
+// any. Call after Drain: the mmap'd model image is unmapped once no
+// in-flight scan holds a lease on it. Idempotent.
 func (s *Server) Close() error {
+	s.stopIntake()
 	s.mu.RLock()
 	det := s.det
 	s.mu.RUnlock()
@@ -420,6 +428,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.metrics)
+	if s.intake != nil {
+		mux.HandleFunc("POST /v1/submit", s.intake.handleSubmit)
+		mux.HandleFunc("GET /v1/tickets/{id}", s.intake.handleTicket)
+		mux.HandleFunc("GET /v1/admin/intake/dead", s.intake.handleDeadLetters)
+		mux.HandleFunc("POST /v1/admin/intake/redrive/{id}", s.intake.handleRedrive)
+	}
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -477,7 +491,16 @@ func (s *Server) withRequestLog(next http.Handler) http.Handler {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := map[string]any{"status": "ok"}
+	if in := s.intake; in != nil {
+		st := in.q.Stats()
+		resp["intake"] = map[string]any{
+			"depth":    st.Depth,
+			"inflight": st.InFlight,
+			"dead":     st.Dead,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -487,6 +510,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	case s.detector() == nil:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no model loaded"})
 	default:
+		if msg := s.intakeNotReady(); msg != "" {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": msg})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}
 }

@@ -1,0 +1,271 @@
+// Package walker recursively opens container files — plain ZIP archives,
+// macro-enabled OOXML documents (themselves ZIPs), and the OLE compound
+// files nested inside either — and surfaces every scannable document with
+// its provenance path. It is the intake-side answer to how macro malware
+// actually arrives: a .docm inside a .zip attachment, or an OLE object
+// embedded three containers deep (MEADE, arXiv:1804.08162).
+//
+// Every step charges the document's hostile.Budget: archive entries
+// against MaxArchiveEntries, nesting against MaxContainerDepth, inflated
+// bytes against MaxDecompressedBytes, and wall clock against the budget
+// deadline. Archive bombs therefore exhaust a budget and return a typed
+// error; a bomb nested beside legitimate documents degrades the walk
+// (Tree.Degraded, per-child Issues) instead of failing it. A cyclic
+// container reference — a child whose bytes equal one of its ancestors —
+// is cut with hostile.ErrCycle.
+package walker
+
+import (
+	"archive/zip"
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cfb"
+	"repro/internal/hostile"
+	"repro/internal/ooxml"
+)
+
+// ErrNotContainer reports a root input that is neither a ZIP archive nor
+// an OLE compound file — nothing the walker (or the scanner behind it)
+// can open. It matches hostile.ErrMalformed.
+var ErrNotContainer = errors.New("walker: not a container format")
+
+// ErrNoDocuments reports a container that opened fine but held nothing
+// scannable (no embedded documents at any depth).
+var ErrNoDocuments = errors.New("walker: no scannable documents in container")
+
+// Doc is one scannable document discovered in the container tree.
+type Doc struct {
+	// Path is the "!"-joined chain of archive entry names leading to the
+	// document ("outer.zip entry invoice.docm" → "invoice.docm";
+	// "a.zip!b.zip!doc.docm" for deeper nesting). Empty when the submitted
+	// bytes are themselves the document.
+	Path string
+	// Data is the document bytes.
+	Data []byte
+	// Depth is how many containers were opened to reach it (0 = root).
+	Depth int
+}
+
+// Issue is one per-child failure that degraded (but did not abort) a walk.
+type Issue struct {
+	// Path is the provenance of the child that failed.
+	Path string
+	// Err is the failure, classifiable with hostile.Classify.
+	Err error
+}
+
+// Error implements the error interface.
+func (i Issue) Error() string { return fmt.Sprintf("walker: %s: %v", i.Path, i.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/errors.As.
+func (i Issue) Unwrap() error { return i.Err }
+
+// Tree is the outcome of walking one submitted file.
+type Tree struct {
+	// Docs are the scannable documents found, in discovery order. The
+	// root document itself (when the submitted bytes are a .docm or OLE
+	// file rather than a plain archive) is first, with Path "".
+	Docs []Doc
+	// Issues lists children that could not be opened; the walk continued
+	// past them. Non-empty implies Degraded.
+	Issues []Issue
+	// Degraded reports a partial walk: some children were lost to
+	// corruption or budget limits, Docs holds what survived.
+	Degraded bool
+	// Entries counts the archive entries visited across all nesting.
+	Entries int
+}
+
+// Walk opens data as a container tree under bud and returns every
+// scannable document with provenance. It fails outright when the root is
+// not a container, when the root container is structurally hostile, or
+// when nothing scannable survived — budget-exhaustion causes then outrank
+// structural ones (quarantine over reject), mirroring extract.FileBudget.
+// A nil budget disables the limits.
+func Walk(data []byte, bud *hostile.Budget) (*Tree, error) {
+	t := &Tree{}
+	if err := walk(data, "", 0, nil, bud, t); err != nil {
+		return nil, err
+	}
+	if len(t.Docs) == 0 {
+		if len(t.Issues) > 0 {
+			return nil, worstIssue(t.Issues)
+		}
+		return nil, ErrNoDocuments
+	}
+	t.Degraded = len(t.Issues) > 0
+	return t, nil
+}
+
+// walk recurses into one node of the container tree. A returned error
+// means this node produced nothing; the caller decides whether that is
+// fatal (root) or a degradation (child).
+func walk(data []byte, path string, depth int, ancestors [][32]byte, bud *hostile.Budget, t *Tree) error {
+	if err := bud.CheckDeadline(); err != nil {
+		return err
+	}
+	// Cycle defense: a child whose content equals any ancestor would walk
+	// forever under depth alone being consumed one level per lap.
+	sum := sha256.Sum256(data)
+	for _, a := range ancestors {
+		if a == sum {
+			return fmt.Errorf("walker: container contains itself at %q: %w", path, hostile.ErrCycle)
+		}
+	}
+
+	switch {
+	case bytes.HasPrefix(data, cfb.Signature[:]):
+		// OLE compound file: a scannable leaf (.doc/.xls or an embedded
+		// OLE object). Validate its structure now so a corrupt embedded
+		// object surfaces as a typed walk issue, not a later scan surprise.
+		if err := bud.EnterContainer(); err != nil {
+			return err
+		}
+		_, err := cfb.ParseBudget(data, bud)
+		bud.ExitContainer()
+		if err != nil {
+			return err
+		}
+		t.Docs = append(t.Docs, Doc{Path: path, Data: data, Depth: depth})
+		return nil
+	case ooxml.IsOOXML(data):
+		return walkZip(data, path, depth, append(ancestors, sum), bud, t)
+	default:
+		if path == "" {
+			return fmt.Errorf("%w (%w)", ErrNotContainer, hostile.ErrMalformed)
+		}
+		// A nested non-container entry (document.xml, images, ...) is
+		// simply not scannable; the parent keeps walking.
+		return nil
+	}
+}
+
+// walkZip opens one ZIP layer: the archive itself is a document when it
+// carries a VBA part (a .docm/.xlsm), and every nested container entry is
+// recursed into.
+func walkZip(data []byte, path string, depth int, ancestors [][32]byte, bud *hostile.Budget, t *Tree) error {
+	if err := bud.EnterContainer(); err != nil {
+		return err
+	}
+	defer bud.ExitContainer()
+
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return fmt.Errorf("walker: open zip %q: %v (%w)", path, err, hostile.ErrMalformed)
+	}
+
+	// A VBA part makes this ZIP a macro document in its own right: emit
+	// the whole archive for scanning (extract handles the part), and skip
+	// the part during recursion so its OLE blob is not scanned twice.
+	isDoc := false
+	for _, f := range zr.File {
+		if isVBAPart(f.Name) {
+			isDoc = true
+			break
+		}
+	}
+	if isDoc {
+		t.Docs = append(t.Docs, Doc{Path: path, Data: data, Depth: depth})
+	}
+
+	for _, f := range zr.File {
+		if err := bud.CheckDeadline(); err != nil {
+			return err
+		}
+		if err := bud.VisitArchiveEntry(); err != nil {
+			return err
+		}
+		t.Entries++
+		name := f.Name
+		if strings.HasSuffix(name, "/") || f.FileInfo().IsDir() {
+			continue
+		}
+		if isDoc && isVBAPart(name) {
+			continue
+		}
+		childPath := name
+		if path != "" {
+			childPath = path + "!" + name
+		}
+		child, ok, err := inflateContainer(f, bud)
+		if err != nil {
+			t.Issues = append(t.Issues, Issue{Path: childPath, Err: err})
+			continue
+		}
+		if !ok {
+			continue // regular file, nothing to open
+		}
+		if err := walk(child, childPath, depth+1, ancestors, bud, t); err != nil {
+			t.Issues = append(t.Issues, Issue{Path: childPath, Err: err})
+		}
+	}
+	return nil
+}
+
+// inflateContainer reads a ZIP entry if (and only if) its content sniffs
+// as a container format, charging the inflated bytes to the budget. ok is
+// false for regular files, which are never materialized.
+func inflateContainer(f *zip.File, bud *hostile.Budget) (data []byte, ok bool, err error) {
+	rc, err := f.Open()
+	if err != nil {
+		return nil, false, fmt.Errorf("walker: open entry: %v (%w)", err, hostile.ErrMalformed)
+	}
+	defer rc.Close()
+
+	var head [8]byte
+	n, err := io.ReadFull(rc, head[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, false, fmt.Errorf("walker: read entry: %v (%w)", err, hostile.ErrTruncated)
+	}
+	if !bytes.HasPrefix(head[:n], cfb.Signature[:]) && !ooxml.IsOOXML(head[:n]) {
+		return nil, false, nil
+	}
+
+	// Container candidate: inflate through the byte allowance, never
+	// trusting the header's declared size for anything but a clamped
+	// allocation hint (same discipline as ooxml.ExtractVBAProjectBudget).
+	allow := bud.OutputAllowance()
+	capHint := int64(f.UncompressedSize64)
+	if capHint > allow {
+		capHint = allow
+	}
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, capHint))
+	buf.Write(head[:n])
+	m, err := io.Copy(buf, io.LimitReader(rc, allow+1-int64(n)))
+	if err != nil {
+		return nil, false, fmt.Errorf("walker: inflate entry: %v (%w)", err, hostile.ErrTruncated)
+	}
+	total := int64(n) + m
+	if total > allow {
+		return nil, false, fmt.Errorf("walker: entry %s: %w", f.Name, bud.BombError(total))
+	}
+	if err := bud.GrowOutput(total); err != nil {
+		return nil, false, fmt.Errorf("walker: entry %s: %w", f.Name, err)
+	}
+	return buf.Bytes(), true, nil
+}
+
+// isVBAPart reports whether a ZIP entry name is a VBA project part.
+func isVBAPart(name string) bool {
+	return strings.HasSuffix(strings.ToLower(name), "vbaproject.bin")
+}
+
+// worstIssue picks the error to surface when nothing was recoverable:
+// budget exhaustion outranks structural corruption, because it flips the
+// caller's disposition from reject to quarantine.
+func worstIssue(issues []Issue) error {
+	for _, i := range issues {
+		if hostile.ExhaustsBudget(i.Err) {
+			return i
+		}
+	}
+	return issues[0]
+}

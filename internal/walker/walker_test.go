@@ -1,0 +1,274 @@
+package walker
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/hostile"
+)
+
+func mustOLE(t *testing.T) []byte {
+	t.Helper()
+	ole, err := faultinject.ValidDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ole
+}
+
+func mustDocm(t *testing.T) []byte {
+	t.Helper()
+	docm, err := faultinject.ValidOOXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return docm
+}
+
+func mustZip(t *testing.T, entries map[string][]byte) []byte {
+	t.Helper()
+	data, err := faultinject.WrapZip(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func defaultBudget() *hostile.Budget {
+	return hostile.NewBudget(hostile.DefaultLimits())
+}
+
+func TestRootDocmIsSingleDoc(t *testing.T) {
+	tree, err := Walk(mustDocm(t), defaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Docs) != 1 || tree.Docs[0].Path != "" || tree.Degraded {
+		t.Fatalf("tree: %+v", tree)
+	}
+}
+
+func TestRootOLEIsSingleDoc(t *testing.T) {
+	tree, err := Walk(mustOLE(t), defaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Docs) != 1 || tree.Docs[0].Path != "" {
+		t.Fatalf("tree: %+v", tree)
+	}
+}
+
+func TestZipOfDocuments(t *testing.T) {
+	data := mustZip(t, map[string][]byte{
+		"invoice.docm": mustDocm(t),
+		"legacy.doc":   mustOLE(t),
+		"readme.txt":   []byte("just text, never inflated as a container"),
+	})
+	tree, err := Walk(data, defaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, d := range tree.Docs {
+		got[d.Path] = d.Depth
+	}
+	if len(got) != 2 || got["invoice.docm"] != 1 || got["legacy.doc"] != 1 {
+		t.Fatalf("docs: %v", got)
+	}
+	if tree.Degraded {
+		t.Fatalf("degraded with no losses: %+v", tree.Issues)
+	}
+}
+
+func TestNestedZipProvenance(t *testing.T) {
+	inner := mustZip(t, map[string][]byte{"report.docm": mustDocm(t)})
+	outer := mustZip(t, map[string][]byte{"inner.zip": inner})
+	tree, err := Walk(outer, defaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Docs) != 1 {
+		t.Fatalf("docs: %+v", tree.Docs)
+	}
+	if p := tree.Docs[0].Path; p != "inner.zip!report.docm" {
+		t.Fatalf("provenance = %q", p)
+	}
+	if d := tree.Docs[0].Depth; d != 2 {
+		t.Fatalf("depth = %d", d)
+	}
+}
+
+func TestDocmWithEmbeddedOLE(t *testing.T) {
+	// A macro document that ALSO embeds an OLE object: both must surface,
+	// and the vbaProject part must not be double-scanned as a third doc.
+	data := mustZip(t, map[string][]byte{
+		"word/vbaProject.bin":            mustOLE(t),
+		"word/embeddings/oleObject1.bin": mustOLE(t),
+		"word/document.xml":              []byte("<w:document/>"),
+	})
+	tree, err := Walk(data, defaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, d := range tree.Docs {
+		paths = append(paths, d.Path)
+	}
+	if len(paths) != 2 || paths[0] != "" || paths[1] != "word/embeddings/oleObject1.bin" {
+		t.Fatalf("docs: %v", paths)
+	}
+}
+
+func TestRootNotContainer(t *testing.T) {
+	_, err := Walk([]byte("plain text body"), defaultBudget())
+	if !errors.Is(err, ErrNotContainer) || !errors.Is(err, hostile.ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyZipNoDocuments(t *testing.T) {
+	data := mustZip(t, map[string][]byte{"notes.txt": []byte("nothing scannable here at all")})
+	_, err := Walk(data, defaultBudget())
+	if !errors.Is(err, ErrNoDocuments) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestZipInZipBombExhaustsByteBudget(t *testing.T) {
+	c, err := faultinject.ZipInZipBomb(3, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bud := hostile.NewBudget(hostile.Limits{MaxDecompressedBytes: 1 << 20})
+	_, err = Walk(c.Data, bud)
+	if !hostile.ExhaustsBudget(err) || !errors.Is(err, hostile.ErrBomb) {
+		t.Fatalf("bomb not budget-classified: %v", err)
+	}
+}
+
+func TestDepthBudgetCutsDeepNesting(t *testing.T) {
+	cur := mustZip(t, map[string][]byte{"doc.docm": mustDocm(t)})
+	for i := 0; i < 6; i++ {
+		cur = mustZip(t, map[string][]byte{"wrap.zip": cur})
+	}
+	bud := hostile.NewBudget(hostile.Limits{MaxContainerDepth: 3})
+	_, err := Walk(cur, bud)
+	if !hostile.ExhaustsBudget(err) || hostile.LimitName(err) != hostile.LimitContainerDepth {
+		t.Fatalf("deep nesting not depth-limited: %v", err)
+	}
+}
+
+func TestArchiveEntryBudget(t *testing.T) {
+	entries := map[string][]byte{}
+	for i := 0; i < 64; i++ {
+		entries[string(rune('a'+i%26))+string(rune('0'+i/26))+".txt"] = []byte("filler entry")
+	}
+	bud := hostile.NewBudget(hostile.Limits{MaxArchiveEntries: 10})
+	_, err := Walk(mustZip(t, entries), bud)
+	if !hostile.ExhaustsBudget(err) || hostile.LimitName(err) != hostile.LimitArchiveEntries {
+		t.Fatalf("entry fan-out not limited: %v", err)
+	}
+}
+
+func TestNestedCyclicOLESurfacesCycle(t *testing.T) {
+	c, err := faultinject.NestedCyclicOLE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Walk(c.Data, defaultBudget())
+	if hostile.Classify(err) != "cycle" {
+		t.Fatalf("FAT cycle not classified: %v", err)
+	}
+}
+
+func TestSelfReferentialContentCut(t *testing.T) {
+	// An archive layer whose child bytes equal an ancestor is cut with
+	// ErrCycle by the content-hash chain (defense in depth behind the
+	// depth budget — constructible only by a decoder bug or a crafted
+	// overlapping-offset archive, but cheap to guard against).
+	inner := mustZip(t, map[string][]byte{"doc.docm": mustDocm(t)})
+	outer := mustZip(t, map[string][]byte{"inner.zip": inner, "twin.zip": inner})
+	tree, err := Walk(outer, defaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical siblings are NOT a cycle (same bytes, different branches):
+	// both must be walked.
+	if len(tree.Docs) != 2 {
+		t.Fatalf("identical siblings should both scan: %+v", tree.Docs)
+	}
+}
+
+func TestTruncatedInnerDocmDegradesTyped(t *testing.T) {
+	c, err := faultinject.TruncatedInnerDocm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Walk(c.Data, defaultBudget())
+	if cls := hostile.Classify(err); cls == "" {
+		t.Fatalf("truncated inner docm produced untyped error: %v", err)
+	}
+}
+
+func TestBombBesideValidDocDegrades(t *testing.T) {
+	bomb, err := faultinject.ZipInZipBomb(1, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := mustZip(t, map[string][]byte{
+		"good.docm": mustDocm(t),
+		"bomb.zip":  bomb.Data,
+	})
+	bud := hostile.NewBudget(hostile.Limits{MaxDecompressedBytes: 1 << 20})
+	tree, err := Walk(data, bud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Degraded || len(tree.Docs) != 1 || tree.Docs[0].Path != "good.docm" {
+		t.Fatalf("tree: docs=%+v degraded=%v", tree.Docs, tree.Degraded)
+	}
+	found := false
+	for _, is := range tree.Issues {
+		if hostile.ExhaustsBudget(is.Err) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no budget-exhaustion issue recorded: %+v", tree.Issues)
+	}
+}
+
+// TestCorruptionMatrix drives the walker over every fault-injection case
+// (run under -race in CI): each must finish within the wall-clock cap and
+// produce either a tree or a typed error — never a hang, panic, or an
+// unclassifiable failure.
+func TestCorruptionMatrix(t *testing.T) {
+	cases, err := faultinject.All(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := hostile.Limits{MaxDecompressedBytes: 32 << 20}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			start := time.Now()
+			bud := hostile.NewBudget(lim).WithDeadline(start.Add(10 * time.Second))
+			tree, err := Walk(c.Data, bud)
+			if took := time.Since(start); took > 15*time.Second {
+				t.Fatalf("walk took %v — hung worker", took)
+			}
+			if err == nil {
+				if len(tree.Docs) == 0 {
+					t.Fatal("nil error but empty tree")
+				}
+				return
+			}
+			if hostile.Classify(err) == "" &&
+				!errors.Is(err, ErrNotContainer) && !errors.Is(err, ErrNoDocuments) {
+				t.Fatalf("untyped walk error: %v", err)
+			}
+		})
+	}
+}

@@ -28,8 +28,10 @@ import (
 	"repro/internal/extract"
 	"repro/internal/hostile"
 	"repro/internal/ml"
+	"repro/internal/queue"
 	"repro/internal/scan"
 	"repro/internal/telemetry"
+	"repro/internal/walker"
 )
 
 // Re-exported core types: the facade keeps downstream imports to a single
@@ -331,6 +333,69 @@ func NewAuditLogger(w io.Writer, cfg AuditConfig) *AuditLogger {
 // ScanOneCtx (and everything below it) into tr.
 func WithTracer(ctx context.Context, tr *Tracer) context.Context {
 	return telemetry.ContextWithTracer(ctx, tr)
+}
+
+// Container walking and durable intake — how documents actually arrive
+// (a .docm inside a .zip attachment, an OLE object nested deeper) and the
+// crash-safe queue the vbadetectd async intake path drains (see
+// internal/walker and internal/queue).
+
+type (
+	// WalkTree is the outcome of recursively opening one submitted file:
+	// every scannable document found with provenance, plus per-child
+	// issues for a degraded (partial) walk.
+	WalkTree = walker.Tree
+	// WalkDoc is one scannable document discovered in a container tree.
+	WalkDoc = walker.Doc
+	// WalkIssue is one per-child failure that degraded a walk.
+	WalkIssue = walker.Issue
+	// TreeDoc pairs one discovered document with its report (or error).
+	TreeDoc = scan.TreeDoc
+	// WorkQueue is a persistent journal-backed work queue with
+	// at-least-once delivery, visibility timeouts, bounded redelivery
+	// and a dead-letter state. Accepted work survives SIGKILL.
+	WorkQueue = queue.Queue
+	// QueueOptions tunes a WorkQueue; the zero value is usable.
+	QueueOptions = queue.Options
+	// QueueDelivery is one received job: call exactly one of Ack, Fail
+	// or Kill.
+	QueueDelivery = queue.Delivery
+	// QueueStats is a point-in-time queue summary plus lifetime counters.
+	QueueStats = queue.Stats
+	// DeadJob is a dead-lettered job awaiting operator redrive.
+	DeadJob = queue.DeadJob
+)
+
+// Walker sentinels for errors.Is on Walk/ScanTree failures.
+var (
+	// ErrNotContainer reports a root input that is neither a ZIP archive
+	// nor an OLE compound file (matches ErrMalformed).
+	ErrNotContainer = walker.ErrNotContainer
+	// ErrNoDocuments reports a container with nothing scannable inside.
+	ErrNoDocuments = walker.ErrNoDocuments
+)
+
+// WalkContainer recursively opens data as a container tree (zip → docm →
+// embedded OLE / nested zip) under the given resource limits, returning
+// every scannable document with its "!"-joined container path. Archive
+// bombs and cyclic references exhaust the budget with typed errors.
+func WalkContainer(data []byte, lim Limits) (*WalkTree, error) {
+	return walker.Walk(data, hostile.NewBudget(lim))
+}
+
+// ScanTree walks data as a container tree and scans every discovered
+// document under the detector's limits plus the context deadline. The
+// degraded flag marks partial results (children lost to corruption or
+// budget limits).
+func ScanTree(ctx context.Context, det *Detector, data []byte) ([]TreeDoc, bool, error) {
+	return scan.ScanTree(ctx, det, data)
+}
+
+// OpenQueue opens (or creates) a durable work queue journaled under dir,
+// replaying unacknowledged work from the write-ahead log — the
+// crash-recovery path the vbadetectd async intake is built on.
+func OpenQueue(dir string, opt QueueOptions) (*WorkQueue, error) {
+	return queue.Open(dir, opt)
 }
 
 // Deobfuscation and triage — the analyst-facing companions of detection.
