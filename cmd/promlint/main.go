@@ -5,12 +5,15 @@
 //
 //	curl -s localhost:8080/metrics?format=prometheus | promlint
 //	promlint metrics.txt
+//	promlint -max-label-values 50 metrics.txt
 //
-// Exit status 0 means the scrape parsed and contained at least one
-// counter, one histogram and the Go runtime gauges; 1 means it did not.
+// Exit status 0 means the scrape parsed, contained at least one counter,
+// one histogram and the Go runtime gauges, and (with -max-label-values)
+// no metric label exceeded the distinct-value budget; 1 means it did not.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -27,15 +30,22 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("promlint", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	maxLabelValues := fs.Int("max-label-values", 0,
+		"fail when any metric label has more than this many distinct values (0 = no cardinality lint)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	var data []byte
 	var err error
-	switch len(args) {
+	switch fs.NArg() {
 	case 0:
 		data, err = io.ReadAll(os.Stdin)
 	case 1:
-		data, err = os.ReadFile(args[0])
+		data, err = os.ReadFile(fs.Arg(0))
 	default:
-		return fmt.Errorf("usage: promlint [file]")
+		return fmt.Errorf("usage: promlint [-max-label-values n] [file]")
 	}
 	if err != nil {
 		return err
@@ -64,6 +74,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if goGauges == 0 {
 		return fmt.Errorf("exposition has no go_* runtime families")
+	}
+	if *maxLabelValues > 0 {
+		violations := sum.CardinalityViolations(*maxLabelValues)
+		for _, v := range violations {
+			fmt.Fprintf(stdout, "cardinality: %s{%s} has %d distinct values (max %d)\n",
+				v.Metric, v.Label, v.Count, *maxLabelValues)
+		}
+		if len(violations) > 0 {
+			return fmt.Errorf("%d label(s) exceed the cardinality budget of %d",
+				len(violations), *maxLabelValues)
+		}
 	}
 	fmt.Fprintf(stdout, "ok: %d families (%d counters, %d histograms, %d go_*), %d samples\n",
 		len(sum.Families), counters, histograms, goGauges, sum.Samples)

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goodExposition satisfies the baseline checks: one counter, one
+// histogram, one go_* family. The labeled counter carries three distinct
+// values of the "code" label for the cardinality tests.
+const goodExposition = `# HELP requests_total Total requests.
+# TYPE requests_total counter
+requests_total{code="200"} 10
+requests_total{code="404"} 2
+requests_total{code="500"} 1
+# HELP scan_seconds Scan latency.
+# TYPE scan_seconds histogram
+scan_seconds_bucket{le="0.1"} 3
+scan_seconds_bucket{le="+Inf"} 5
+scan_seconds_sum 0.7
+scan_seconds_count 5
+# HELP go_goroutines Current goroutines.
+# TYPE go_goroutines gauge
+go_goroutines 8
+`
+
+func lint(t *testing.T, exposition string, args ...string) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := os.WriteFile(path, []byte(exposition), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run(append(args, path), &out)
+	return out.String(), err
+}
+
+func TestRunOK(t *testing.T) {
+	out, err := lint(t, goodExposition)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "ok:") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestRunRejectsMissingFamilies(t *testing.T) {
+	noCounter := strings.ReplaceAll(goodExposition, "counter", "gauge")
+	if _, err := lint(t, noCounter); err == nil || !strings.Contains(err.Error(), "no counter") {
+		t.Fatalf("err = %v, want no-counter failure", err)
+	}
+}
+
+func TestCardinalityBudget(t *testing.T) {
+	// Budget above the worst label: passes.
+	if out, err := lint(t, goodExposition, "-max-label-values", "3"); err != nil {
+		t.Fatalf("budget 3: %v (%s)", err, out)
+	}
+	// Budget below: the offending metric/label pair is reported and the
+	// lint fails.
+	out, err := lint(t, goodExposition, "-max-label-values", "2")
+	if err == nil || !strings.Contains(err.Error(), "cardinality budget") {
+		t.Fatalf("budget 2: err = %v", err)
+	}
+	if !strings.Contains(out, `requests_total{code} has 3 distinct values`) {
+		t.Fatalf("violation not reported: %q", out)
+	}
+	// The histogram's le label never counts against the budget.
+	if !strings.Contains(goodExposition, `le="0.1"`) {
+		t.Fatal("fixture lost its buckets")
+	}
+	if out, err := lint(t, goodExposition, "-max-label-values", "1"); err == nil ||
+		strings.Contains(out, "scan_seconds_bucket{le}") {
+		t.Fatalf("le label leaked into cardinality lint: err=%v out=%q", err, out)
+	}
+}
+
+func TestCardinalityDisabledByDefault(t *testing.T) {
+	// Without the flag even a 1-value budget violation passes.
+	if _, err := lint(t, goodExposition); err != nil {
+		t.Fatalf("default run: %v", err)
+	}
+}

@@ -15,7 +15,10 @@
 //	GET  /v1/admin/intake/dead          list dead-lettered submissions
 //	POST /v1/admin/intake/redrive/{id}  return a dead submission to the queue
 //	POST /v1/admin/reload hot-swap the model from -model (also SIGHUP)
-//	GET  /healthz         liveness (includes intake queue depth when enabled)
+//	GET  /v1/admin/debug/bundle  tar.gz diagnostic snapshot: config, metrics,
+//	                      health/SLO state, recent span trees, pprof profiles
+//	GET  /healthz         liveness (includes intake queue depth when enabled,
+//	                      plus the model-drift detail and rolling SLO readings)
 //	GET  /readyz          readiness (503 while draining, modelless, the intake
 //	                      journal volume is unwritable, or the intake backlog
 //	                      is past -intake-backlog)
@@ -193,6 +196,24 @@ func run(args []string) error {
 	intakeWebhooks := fs.Bool("intake-webhooks",
 		envBool("VBADETECTD_INTAKE_WEBHOOKS", false),
 		"allow async submissions to register a completion webhook (outbound POSTs; off by default)")
+	driftWarnPSI := fs.Float64("drift-warn-psi",
+		envFloat("VBADETECTD_DRIFT_WARN_PSI", 0),
+		"per-channel PSI above which /healthz reports drift as warn (0 = default 0.2, negative = disable drift monitoring)")
+	driftWindow := fs.Int("drift-window",
+		envInt("VBADETECTD_DRIFT_WINDOW", 0),
+		"rolling production-score window per channel in observations (0 = default 4096)")
+	sloAvail := fs.Float64("slo-availability-target",
+		envFloat("VBADETECTD_SLO_AVAILABILITY_TARGET", 0),
+		"availability objective for the /v1/ API burn-rate gauges (0 = default 0.999)")
+	sloLatency := fs.Float64("slo-latency-target",
+		envFloat("VBADETECTD_SLO_LATENCY_TARGET", 0),
+		"latency objective: fraction of /v1/ requests answered within -slo-latency-threshold (0 = default 0.99)")
+	sloThreshold := fs.Duration("slo-latency-threshold",
+		envDuration("VBADETECTD_SLO_LATENCY_THRESHOLD", 0),
+		"latency threshold backing the latency SLO (0 = default 500ms)")
+	debugTraces := fs.Int("debug-trace-buffer",
+		envInt("VBADETECTD_DEBUG_TRACE_BUFFER", 0),
+		"recent span trees retained for the debug bundle (0 = default 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -212,19 +233,25 @@ func run(args []string) error {
 		})
 	}
 	srv, err := server.NewFromModelFile(*modelPath, server.Config{
-		MaxBodyBytes:         *maxBody,
-		MaxInFlight:          *maxInFlight,
-		QueueWait:            *queueWait,
-		ScanTimeout:          *scanTimeout,
-		BatchWorkers:         *batchWorkers,
-		EnablePprof:          *enablePprof,
-		Logger:               logger,
-		Audit:                audit,
-		CacheEntries:         *cacheEntries,
-		CacheBytes:           *cacheBytes,
-		ModelMmap:            *modelMmap,
-		ClassifyBatchWindow:  *batchWindow,
-		ClassifyBatchMaxRows: *batchMaxRows,
+		MaxBodyBytes:          *maxBody,
+		MaxInFlight:           *maxInFlight,
+		QueueWait:             *queueWait,
+		ScanTimeout:           *scanTimeout,
+		BatchWorkers:          *batchWorkers,
+		EnablePprof:           *enablePprof,
+		Logger:                logger,
+		Audit:                 audit,
+		CacheEntries:          *cacheEntries,
+		CacheBytes:            *cacheBytes,
+		ModelMmap:             *modelMmap,
+		ClassifyBatchWindow:   *batchWindow,
+		ClassifyBatchMaxRows:  *batchMaxRows,
+		DriftWarnPSI:          *driftWarnPSI,
+		DriftWindow:           *driftWindow,
+		SLOAvailabilityTarget: *sloAvail,
+		SLOLatencyTarget:      *sloLatency,
+		SLOLatencyThreshold:   *sloThreshold,
+		DebugTraceBuffer:      *debugTraces,
 		Limits: hostile.Limits{
 			MaxDecompressedBytes: *limDecomp,
 			MaxContainerDepth:    *limDepth,

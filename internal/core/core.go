@@ -124,6 +124,7 @@ type macroCached struct {
 	analysis   *MacroAnalysis
 	obfuscated bool
 	score      float64
+	channels   []ChannelScore
 }
 
 // MacroCache memoizes per-macro featurization and classification across
@@ -188,6 +189,12 @@ type Detector struct {
 	// precomputed so hot-path cache keys don't rebuild it per macro. Two
 	// detectors over different channel layouts never share cache entries.
 	cacheSalt string
+
+	// baselines are the per-channel train-time score distributions
+	// persisted with the model — the reference a production drift monitor
+	// compares live score distributions against. Nil for models saved
+	// before baselines existed.
+	baselines []ChannelBaseline
 
 	// classifyBatch, when set, replaces the inline classifier call in
 	// ScanFileCtx's classify phase (see SetClassifyBatch).
@@ -302,7 +309,63 @@ func (d *Detector) Train(sources []string, labels []int) error {
 	}
 	d.modelRaw = nil
 	d.trained = true
+	d.baselines = d.computeBaselines(X)
 	return nil
+}
+
+// ChannelBaseline is one channel's train-time score distribution,
+// persisted in the model so production can measure drift against it:
+// the proportion of training scores landing in each of the
+// telemetry.DriftBins equal-width bins over [0,1], plus count and mean.
+type ChannelBaseline struct {
+	Channel string    `json:"channel"`
+	Bins    []float64 `json:"bins"`
+	Count   int       `json:"count"`
+	Mean    float64   `json:"mean"`
+}
+
+// Baselines returns the per-channel train-time score baselines (nil for
+// models saved before baselines existed — drift monitors then track the
+// channels without a reference distribution).
+func (d *Detector) Baselines() []ChannelBaseline { return d.baselines }
+
+// computeBaselines scores the training rows through the freshly fitted
+// model and bins the score distribution — overall, plus per channel for
+// the stacking ensemble.
+func (d *Detector) computeBaselines(X [][]float64) []ChannelBaseline {
+	if len(X) == 0 {
+		return nil
+	}
+	_, scores := ml.PredictBatch(d.clf, X)
+	out := []ChannelBaseline{binBaseline("overall", scores)}
+	if st, ok := d.clf.(*ml.Stacked); ok {
+		cols := st.ChannelScoreBatch(X)
+		col := make([]float64, len(cols))
+		for c := range st.ChannelNames {
+			for k := range cols {
+				col[k] = cols[k][c]
+			}
+			out = append(out, binBaseline(st.ChannelNames[c], col))
+		}
+	}
+	return out
+}
+
+func binBaseline(name string, scores []float64) ChannelBaseline {
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	mean := 0.0
+	if len(scores) > 0 {
+		mean = sum / float64(len(scores))
+	}
+	return ChannelBaseline{
+		Channel: name,
+		Bins:    telemetry.ScoreBins(scores),
+		Count:   len(scores),
+		Mean:    mean,
+	}
 }
 
 // SetClassifyBatch overrides how ScanFileCtx's classify phase scores
@@ -332,6 +395,58 @@ func (d *Detector) predictRows(X [][]float64) ([]int, []float64) {
 		return d.classifyBatch(X)
 	}
 	return d.PredictBatch(X)
+}
+
+// classifyPending scores the batch and reports per-channel contributions.
+// For the stacking ensemble on the inline path, the per-channel forest
+// pass IS the verdict computation (the combiner fold costs nothing), so
+// contributions come for free; under a classify-batch override the
+// verdict goes through the override and the channel pass runs alongside.
+// Every other model reports one "overall" channel mirroring the final
+// score.
+func (d *Detector) classifyPending(X [][]float64) (labels []int, scores []float64, chans [][]ChannelScore) {
+	st, stacked := d.clf.(*ml.Stacked)
+	if stacked && d.classifyBatch == nil {
+		cols := st.ChannelScoreBatch(X)
+		labels = make([]int, len(X))
+		scores = make([]float64, len(X))
+		for k, row := range cols {
+			scores[k] = st.CombineChannels(row)
+			if scores[k] >= 0.5 {
+				labels[k] = ml.Positive
+			} else {
+				labels[k] = ml.Negative
+			}
+		}
+		return labels, scores, d.channelRecords(st, cols)
+	}
+	labels, scores = d.predictRows(X)
+	if stacked {
+		return labels, scores, d.channelRecords(st, st.ChannelScoreBatch(X))
+	}
+	chans = make([][]ChannelScore, len(X))
+	for k := range X {
+		chans[k] = []ChannelScore{{Channel: "overall", Score: scores[k], Weight: 1}}
+	}
+	return labels, scores, chans
+}
+
+// channelRecords shapes the stacked ensemble's per-channel score columns
+// into wire-ready ChannelScore rows, attaching the combiner weights.
+func (d *Detector) channelRecords(st *ml.Stacked, cols [][]float64) [][]ChannelScore {
+	weights, _ := st.CombinerWeights()
+	out := make([][]ChannelScore, len(cols))
+	for k, row := range cols {
+		rec := make([]ChannelScore, len(row))
+		for c, s := range row {
+			rec[c] = ChannelScore{Channel: st.ChannelNames[c], Score: s}
+			if c < len(weights) {
+				rec[c].Weight = weights[c]
+			}
+		}
+		out[k] = rec
+	}
+	return out
 }
 
 // MacroAnalysis is the shared single-parse view of one macro: the source
@@ -368,6 +483,16 @@ func (a *MacroAnalysis) Deobfuscate() deob.Result {
 	return deob.DeobfuscateModule(a.feat.Module())
 }
 
+// ChannelScore is one feature channel's contribution to a macro verdict:
+// the channel's own forest score and the weight the combiner assigns it.
+// Non-stacked models report a single "overall" entry mirroring the final
+// score, so the triage surface is uniform across model kinds.
+type ChannelScore struct {
+	Channel string  `json:"channel"`
+	Score   float64 `json:"score"`
+	Weight  float64 `json:"weight,omitempty"`
+}
+
 // MacroVerdict is the per-macro classification outcome.
 type MacroVerdict struct {
 	// Module is the VBA module name.
@@ -377,6 +502,9 @@ type MacroVerdict struct {
 	// Score is the classifier's decision score (higher = more likely
 	// obfuscated; the decision threshold depends on the algorithm).
 	Score float64
+	// Channels are the per-channel score contributions behind Score (see
+	// ChannelScore).
+	Channels []ChannelScore
 	// Source is the macro text.
 	Source string
 	// Analysis is the macro's shared single-parse analysis; triage and
@@ -424,6 +552,9 @@ type VerdictJSON struct {
 	Module     string  `json:"module"`
 	Obfuscated bool    `json:"obfuscated"`
 	Score      float64 `json:"score"`
+	// Channels are the per-channel score contributions behind Score —
+	// the triage view of which feature family drove the verdict.
+	Channels []ChannelScore `json:"channels,omitempty"`
 	// SourceBytes is the macro length, so callers can tell a trivial stub
 	// from a real module without shipping the source over the wire.
 	SourceBytes int `json:"source_bytes"`
@@ -478,6 +609,7 @@ func (r *FileReport) JSON() *ReportJSON {
 			Module:      m.Module,
 			Obfuscated:  m.Obfuscated,
 			Score:       m.Score,
+			Channels:    m.Channels,
 			SourceBytes: len(m.Source),
 		}
 	}
@@ -503,9 +635,11 @@ func (d *Detector) ClassifyAnalysis(a *MacroAnalysis) (MacroVerdict, error) {
 		return MacroVerdict{}, ErrNotTrained
 	}
 	x := a.Features(d.featureSet)
+	labels, scores, chans := d.classifyPending([][]float64{x})
 	return MacroVerdict{
-		Obfuscated: d.clf.Predict(x) == ml.Positive,
-		Score:      d.clf.Score(x),
+		Obfuscated: labels[0] == ml.Positive,
+		Score:      scores[0],
+		Channels:   chans[0],
 		Source:     a.Source(),
 		Analysis:   a,
 	}, nil
@@ -611,6 +745,7 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 					Module:     m.Module,
 					Obfuscated: ent.obfuscated,
 					Score:      ent.score,
+					Channels:   ent.channels,
 					Source:     m.Source,
 					Analysis:   ent.analysis,
 				})
@@ -637,13 +772,14 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 	// all rows per tree walk; scaled models transform each row once).
 	if len(pendIdx) > 0 {
 		t2 := time.Now()
-		labels, scores := d.predictRows(pendVec)
+		labels, scores, chans := d.classifyPending(pendVec)
 		for k, i := range pendIdx {
 			csp := pendSpan[k].Child("classify")
 			csp.End()
 			v := &report.Macros[i]
 			v.Obfuscated = labels[k] == ml.Positive
 			v.Score = scores[k]
+			v.Channels = chans[k]
 			if v.Obfuscated {
 				pendSpan[k].Annotate("verdict", "obfuscated")
 			}
@@ -653,6 +789,7 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 					analysis:   v.Analysis,
 					obfuscated: v.Obfuscated,
 					score:      v.Score,
+					channels:   v.Channels,
 				})
 			}
 		}
@@ -676,10 +813,14 @@ func (d *Detector) ScanFileCtx(ctx context.Context, data []byte) (*FileReport, T
 // field and are accepted only for the legacy V/J sets, whose extractors
 // are frozen at version 1.
 type modelHeader struct {
-	FeatureSet string          `json:"featureSet"`
-	Algorithm  string          `json:"algorithm"`
-	Channels   []modelChannel  `json:"channels,omitempty"`
-	Model      json.RawMessage `json:"model"`
+	FeatureSet string         `json:"featureSet"`
+	Algorithm  string         `json:"algorithm"`
+	Channels   []modelChannel `json:"channels,omitempty"`
+	// Baselines are the train-time per-channel score distributions for
+	// production drift monitoring. Optional: models saved before the
+	// field existed load without them (drift gauges then report 0).
+	Baselines []ChannelBaseline `json:"baselines,omitempty"`
+	Model     json.RawMessage   `json:"model"`
 }
 
 // modelChannel is one persisted channel record.
@@ -712,6 +853,7 @@ func (d *Detector) SaveModel() ([]byte, error) {
 		FeatureSet: d.featureSet.String(),
 		Algorithm:  string(d.algo),
 		Channels:   rec,
+		Baselines:  d.baselines,
 		Model:      blob,
 	})
 }
@@ -855,6 +997,7 @@ func loadModel(data []byte, m *ml.Mapping) (*Detector, error) {
 		clf:        clf,
 		trained:    true,
 		modelRaw:   append(json.RawMessage(nil), head.Model...),
+		baselines:  head.Baselines,
 		cacheSalt:  fs.CacheID(),
 	}, nil
 }

@@ -221,6 +221,43 @@ func (s *Stacked) ScoreBatch(X [][]float64, out []float64) {
 	}
 }
 
+// ChannelScoreBatch scores every row of X per channel: the result is one
+// column per base forest, row-major ([row][channel]), the same numbers
+// ScoreBatch folds through the combiner. Returns nil before Fit. This is
+// the triage/drift surface — per-channel contributions without a second
+// forest pass.
+func (s *Stacked) ChannelScoreBatch(X [][]float64) [][]float64 {
+	if !s.fitted || len(X) == 0 {
+		return nil
+	}
+	nc := len(s.bases)
+	out := make([][]float64, len(X))
+	for k := range out {
+		out[k] = make([]float64, nc)
+	}
+	col := make([]float64, len(X))
+	off := 0
+	for c, rf := range s.bases {
+		rf.ScoreBatch(sliceChannel(X, off, s.Dims[c]), col)
+		for k, v := range col {
+			out[k][c] = v
+		}
+		off += s.Dims[c]
+	}
+	return out
+}
+
+// CombineChannels folds one row of per-channel scores (as produced by
+// ChannelScoreBatch) through the fitted combiner — the exact computation
+// Score and ScoreBatch end with, exposed so callers that already hold
+// channel scores can finish the verdict without a second forest pass.
+func (s *Stacked) CombineChannels(meta []float64) float64 {
+	if !s.fitted {
+		return 0
+	}
+	return s.combiner.Score(meta)
+}
+
 // Compile builds the compiled inference engine for every base forest.
 // Results stay bit-identical; a non-compilable base keeps its flattened
 // walk.

@@ -264,3 +264,27 @@ func TestStratifiedFolds(t *testing.T) {
 		t.Errorf("clamped folds = %d, want 2", got)
 	}
 }
+
+func TestStackedChannelScoreBatch(t *testing.T) {
+	s, X, _ := fitStack(t, 5)
+	cols := s.ChannelScoreBatch(X)
+	if len(cols) != len(X) {
+		t.Fatalf("rows = %d, want %d", len(cols), len(X))
+	}
+	out := make([]float64, len(X))
+	s.ScoreBatch(X, out)
+	for k, row := range cols {
+		if len(row) != len(s.Bases()) {
+			t.Fatalf("row %d has %d channels", k, len(row))
+		}
+		// The combiner over the per-channel scores must reproduce the
+		// ensemble score exactly — same numbers, same fold.
+		if got := s.combiner.Score(row); math.Abs(got-out[k]) > 1e-15 {
+			t.Fatalf("row %d: combiner(channel scores) = %g, ScoreBatch = %g", k, got, out[k])
+		}
+	}
+	var unfitted Stacked
+	if cols := unfitted.ChannelScoreBatch(X); cols != nil {
+		t.Fatalf("unfitted ChannelScoreBatch = %v", cols)
+	}
+}

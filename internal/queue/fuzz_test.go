@@ -11,10 +11,12 @@ import (
 // accepted prefix must re-encode byte-identically (otherwise replay and
 // append would disagree about where the next record starts).
 func FuzzWALDecode(f *testing.F) {
-	f.Add(appendRecord(nil, recEnqueue, encodeEnqueue(1, 123456789, "doc.docm", []byte("meta"), []byte("payload"))))
+	f.Add(appendRecord(nil, recEnqueue, encodeEnqueue(1, 123456789, "doc.docm", []byte("meta"), []byte("payload"), "")))
+	f.Add(appendRecord(nil, recEnqueue, encodeEnqueue(2, 123456789, "doc.docm", []byte("meta"), []byte("payload"),
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")))
 	f.Add(appendRecord(nil, recAck, encodeAck(42)))
 	f.Add(appendRecord(nil, recDead, encodeDead(7, "poison document")))
-	f.Add(appendRecord(nil, recEnqueue, encodeEnqueue(0, 0, "", nil, nil)))
+	f.Add(appendRecord(nil, recEnqueue, encodeEnqueue(0, 0, "", nil, nil, "")))
 	f.Add([]byte{recMagic})               // bare magic, torn header
 	f.Add([]byte{recMagic, recEnqueue})   // torn after type
 	f.Add(bytes.Repeat([]byte{0xA7}, 64)) // magic spam
@@ -37,8 +39,8 @@ func FuzzWALDecode(f *testing.F) {
 		// accepted without panicking; success must round-trip too.
 		switch kind {
 		case recEnqueue:
-			if id, ns, name, meta, pdata, err := decodeEnqueue(payload); err == nil {
-				if !bytes.Equal(encodeEnqueue(id, ns, name, meta, pdata), payload) {
+			if id, ns, name, meta, pdata, trace, err := decodeEnqueue(payload); err == nil {
+				if !bytes.Equal(encodeEnqueue(id, ns, name, meta, pdata, trace), payload) {
 					t.Fatal("enqueue payload round-trip mismatch")
 				}
 			}

@@ -93,6 +93,11 @@ type Job struct {
 	Meta []byte
 	// Data is the work payload (the document bytes).
 	Data []byte
+	// Trace is the job's W3C traceparent, journaled with the job so the
+	// worker that finally processes it — possibly after a crash and
+	// restart — stitches its spans into the submitter's trace. Empty for
+	// jobs enqueued without one.
+	Trace string
 	// EnqueuedAt is when the job was accepted.
 	EnqueuedAt time.Time
 }
@@ -181,6 +186,7 @@ type job struct {
 	name       string
 	meta       []byte
 	data       []byte
+	trace      string
 	enqueuedNS int64
 	attempts   int       // deliveries so far
 	notBefore  time.Time // redelivery backoff gate (zero = ready now)
@@ -300,8 +306,18 @@ func (q *Queue) Healthy() error {
 // NoSync) fsynced before the assigned ID is returned, so an accepted job
 // survives any crash after this call.
 func (q *Queue) Enqueue(name string, meta, data []byte) (uint64, error) {
+	return q.EnqueueTraced(name, meta, data, "")
+}
+
+// EnqueueTraced is Enqueue with a W3C traceparent journaled alongside the
+// job, so the eventual worker joins the submitter's trace even across a
+// crash/restart. An empty trace is identical to Enqueue.
+func (q *Queue) EnqueueTraced(name string, meta, data []byte, trace string) (uint64, error) {
 	if len(name) > 1<<16-1 {
 		name = name[:1<<16-1]
+	}
+	if len(trace) > 1<<16-1 {
+		trace = "" // a traceparent is ~55 bytes; anything huge is garbage
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -311,7 +327,7 @@ func (q *Queue) Enqueue(name string, meta, data []byte) (uint64, error) {
 	q.nextID++
 	id := q.nextID
 	now := q.opt.now()
-	payload := encodeEnqueue(id, now.UnixNano(), name, meta, data)
+	payload := encodeEnqueue(id, now.UnixNano(), name, meta, data, trace)
 	if err := q.appendLocked(recEnqueue, payload, !q.opt.NoSync); err != nil {
 		q.nextID--
 		return 0, err
@@ -321,6 +337,7 @@ func (q *Queue) Enqueue(name string, meta, data []byte) (uint64, error) {
 		name:       name,
 		meta:       append([]byte(nil), meta...),
 		data:       append([]byte(nil), data...),
+		trace:      trace,
 		enqueuedNS: now.UnixNano(),
 		seg:        q.segs[len(q.segs)-1],
 	}
@@ -358,6 +375,7 @@ func (q *Queue) Receive(ctx context.Context) (*Delivery, error) {
 					Name:       j.name,
 					Meta:       j.meta,
 					Data:       j.data,
+					Trace:      j.trace,
 					EnqueuedAt: time.Unix(0, j.enqueuedNS),
 				},
 				Attempt: j.attempts,
@@ -507,6 +525,7 @@ func (q *Queue) deadLetterLocked(j *job, reason string, now time.Time) error {
 			Name:       j.name,
 			Meta:       j.meta,
 			Data:       j.data,
+			Trace:      j.trace,
 			EnqueuedAt: time.Unix(0, j.enqueuedNS),
 		},
 		Reason:   reason,
@@ -532,7 +551,7 @@ func (q *Queue) Redrive(id uint64) error {
 	if !ok {
 		return ErrNotFound
 	}
-	payload := encodeEnqueue(dj.ID, dj.EnqueuedAt.UnixNano(), dj.Name, dj.Meta, dj.Data)
+	payload := encodeEnqueue(dj.ID, dj.EnqueuedAt.UnixNano(), dj.Name, dj.Meta, dj.Data, dj.Trace)
 	if err := q.appendLocked(recEnqueue, payload, !q.opt.NoSync); err != nil {
 		return err
 	}
@@ -545,6 +564,7 @@ func (q *Queue) Redrive(id uint64) error {
 		name:       dj.Name,
 		meta:       dj.Meta,
 		data:       dj.Data,
+		trace:      dj.Trace,
 		enqueuedNS: dj.EnqueuedAt.UnixNano(),
 		seg:        q.segs[len(q.segs)-1],
 	}

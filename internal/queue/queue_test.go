@@ -258,7 +258,7 @@ func TestTornTailTruncatedOnReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	torn := appendRecord(nil, recEnqueue, encodeEnqueue(99, 0, "torn", nil, []byte("lost")))
+	torn := appendRecord(nil, recEnqueue, encodeEnqueue(99, 0, "torn", nil, []byte("lost"), ""))
 	if _, err := f.Write(torn[:len(torn)-7]); err != nil {
 		t.Fatal(err)
 	}

@@ -173,7 +173,7 @@ func (q *Queue) replaySegment(seg *segment, last bool) error {
 func (q *Queue) applyRecord(seg *segment, rec record) {
 	switch rec.kind {
 	case recEnqueue:
-		id, ns, name, meta, data, err := decodeEnqueue(rec.payload)
+		id, ns, name, meta, data, trace, err := decodeEnqueue(rec.payload)
 		if err != nil {
 			q.counter.corrupt++
 			return
@@ -187,7 +187,7 @@ func (q *Queue) applyRecord(seg *segment, rec record) {
 			delete(q.dead, id)
 		}
 		q.jobs[id] = &job{
-			id: id, name: name, meta: meta, data: data,
+			id: id, name: name, meta: meta, data: data, trace: trace,
 			enqueuedNS: ns, seg: seg,
 		}
 		seg.live++
@@ -223,7 +223,7 @@ func (q *Queue) applyRecord(seg *segment, rec record) {
 		// Attempts are not journaled; a replayed dead letter reports 0.
 		q.dead[id] = &DeadJob{
 			Job: Job{ID: id, Name: j.name, Meta: j.meta, Data: j.data,
-				EnqueuedAt: time.Unix(0, j.enqueuedNS)},
+				Trace: j.trace, EnqueuedAt: time.Unix(0, j.enqueuedNS)},
 			Reason: reason,
 			seg:    j.seg,
 		}

@@ -1,0 +1,101 @@
+package queue
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+)
+
+const testTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func TestEnqueueTracedSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	q, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := q.EnqueueTraced("doc.docm", []byte("meta"), []byte("data"), testTraceparent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+
+	// Crash recovery: the trace rides the journal.
+	q2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	d, err := q2.Receive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != id || d.Trace != testTraceparent {
+		t.Fatalf("redelivered trace = %q (id %d), want %q (id %d)", d.Trace, d.ID, testTraceparent, id)
+	}
+	if err := d.Ack(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceSurvivesDeadLetterAndRedrive(t *testing.T) {
+	q, err := Open(t.TempDir(), Options{NoSync: true, MaxAttempts: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.EnqueueTraced("doc.docm", nil, []byte("data"), testTraceparent); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	d, err := q.Receive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fail("boom"); err != nil {
+		t.Fatal(err)
+	}
+	dead := q.DeadLetters()
+	if len(dead) != 1 || dead[0].Trace != testTraceparent {
+		t.Fatalf("dead letters = %+v", dead)
+	}
+	if err := q.Redrive(dead[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := q.Receive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Trace != testTraceparent {
+		t.Fatalf("redriven trace = %q", d2.Trace)
+	}
+}
+
+func TestDecodeEnqueueLegacyPayload(t *testing.T) {
+	// A journal written before trace propagation ends at the data field;
+	// it must decode with an empty trace.
+	legacy := encodeEnqueue(7, 42, "old.docm", []byte("m"), []byte("d"), "")
+	id, ns, name, meta, data, trace, err := decodeEnqueue(legacy)
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if id != 7 || ns != 42 || name != "old.docm" || string(meta) != "m" || string(data) != "d" || trace != "" {
+		t.Fatalf("legacy fields: id=%d ns=%d name=%q meta=%q data=%q trace=%q", id, ns, name, meta, data, trace)
+	}
+}
+
+func TestDecodeEnqueueRejectsExplicitEmptyTrace(t *testing.T) {
+	// A zero-length trace field would re-encode without the field — a
+	// non-canonical payload the decoder must reject (FuzzWALDecode relies
+	// on decode→re-encode identity).
+	p := encodeEnqueue(1, 1, "x", nil, nil, "")
+	p = binary.LittleEndian.AppendUint16(p, 0)
+	if _, _, _, _, _, _, err := decodeEnqueue(p); !errors.Is(err, errCorrupt) {
+		t.Fatalf("explicit empty trace: err = %v, want errCorrupt", err)
+	}
+}

@@ -132,11 +132,18 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 // Enqueue payload layout:
 //
-//	id(8) | enqueuedUnixNano(8) | nameLen(2) | name | metaLen(4) | meta | dataLen(4) | data
+//	id(8) | enqueuedUnixNano(8) | nameLen(2) | name | metaLen(4) | meta | dataLen(4) | data [| traceLen(2) | trace]
+//
+// The trailing trace field (the job's W3C traceparent) is optional for
+// backward compatibility: journals written before trace propagation end
+// at data, and decode with an empty trace. The encoding is canonical —
+// an empty trace is always omitted, and an explicit zero-length trace
+// field is rejected as corrupt — so decode→re-encode is byte-identical
+// for every valid payload (the FuzzWALDecode invariant).
 
 // encodeEnqueue builds the payload for a recEnqueue record.
-func encodeEnqueue(id uint64, enqueuedNS int64, name string, meta, data []byte) []byte {
-	buf := make([]byte, 0, 8+8+2+len(name)+4+len(meta)+4+len(data))
+func encodeEnqueue(id uint64, enqueuedNS int64, name string, meta, data []byte, trace string) []byte {
+	buf := make([]byte, 0, 8+8+2+len(name)+4+len(meta)+4+len(data)+2+len(trace))
 	buf = binary.LittleEndian.AppendUint64(buf, id)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(enqueuedNS))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
@@ -145,11 +152,15 @@ func encodeEnqueue(id uint64, enqueuedNS int64, name string, meta, data []byte) 
 	buf = append(buf, meta...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
 	buf = append(buf, data...)
+	if trace != "" {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(trace)))
+		buf = append(buf, trace...)
+	}
 	return buf
 }
 
 // decodeEnqueue parses a recEnqueue payload.
-func decodeEnqueue(p []byte) (id uint64, enqueuedNS int64, name string, meta, data []byte, err error) {
+func decodeEnqueue(p []byte) (id uint64, enqueuedNS int64, name string, meta, data []byte, trace string, err error) {
 	take := func(n int) ([]byte, bool) {
 		if len(p) < n {
 			return nil, false
@@ -158,49 +169,70 @@ func decodeEnqueue(p []byte) (id uint64, enqueuedNS int64, name string, meta, da
 		p = p[n:]
 		return out, true
 	}
+	fail := func() (uint64, int64, string, []byte, []byte, string, error) {
+		return 0, 0, "", nil, nil, "", errCorrupt
+	}
 	b, ok := take(16)
 	if !ok {
-		return 0, 0, "", nil, nil, errCorrupt
+		return fail()
 	}
 	id = binary.LittleEndian.Uint64(b)
 	enqueuedNS = int64(binary.LittleEndian.Uint64(b[8:]))
 	b, ok = take(2)
 	if !ok {
-		return 0, 0, "", nil, nil, errCorrupt
+		return fail()
 	}
 	nb, ok := take(int(binary.LittleEndian.Uint16(b)))
 	if !ok {
-		return 0, 0, "", nil, nil, errCorrupt
+		return fail()
 	}
 	name = string(nb)
 	b, ok = take(4)
 	if !ok {
-		return 0, 0, "", nil, nil, errCorrupt
+		return fail()
 	}
 	mn := binary.LittleEndian.Uint32(b)
 	if mn > math.MaxInt32 {
-		return 0, 0, "", nil, nil, errCorrupt
+		return fail()
 	}
 	meta, ok = take(int(mn))
 	if !ok {
-		return 0, 0, "", nil, nil, errCorrupt
+		return fail()
 	}
 	b, ok = take(4)
 	if !ok {
-		return 0, 0, "", nil, nil, errCorrupt
+		return fail()
 	}
 	dn := binary.LittleEndian.Uint32(b)
 	if dn > math.MaxInt32 {
-		return 0, 0, "", nil, nil, errCorrupt
+		return fail()
 	}
 	data, ok = take(int(dn))
 	if !ok {
-		return 0, 0, "", nil, nil, errCorrupt
+		return fail()
+	}
+	if len(p) > 0 {
+		// Optional trace field (post-propagation journals). A present but
+		// empty trace would re-encode without the field, so reject it to
+		// keep the encoding canonical.
+		b, ok = take(2)
+		if !ok {
+			return fail()
+		}
+		tn := int(binary.LittleEndian.Uint16(b))
+		if tn == 0 {
+			return fail()
+		}
+		tb, ok := take(tn)
+		if !ok {
+			return fail()
+		}
+		trace = string(tb)
 	}
 	if len(p) != 0 {
-		return 0, 0, "", nil, nil, fmt.Errorf("%w: %d trailing payload bytes", errCorrupt, len(p))
+		return 0, 0, "", nil, nil, "", fmt.Errorf("%w: %d trailing payload bytes", errCorrupt, len(p))
 	}
-	return id, enqueuedNS, name, meta, data, nil
+	return id, enqueuedNS, name, meta, data, trace, nil
 }
 
 // encodeAck builds the payload for a recAck record.

@@ -125,6 +125,11 @@ type Result struct {
 	// Retrying such a document is pointless — it needs isolation and a
 	// human, not another pass through the pipeline.
 	Quarantined bool
+	// TraceID / RequestID carry the distributed-trace and HTTP-request
+	// identity of the scan, when one exists (request-scoped callers set
+	// them; batch scans leave them empty). They flow into audit events.
+	TraceID   string
+	RequestID string
 }
 
 // PanicError wraps a panic recovered while scanning one document, so a
@@ -603,6 +608,8 @@ func BuildAuditEvent(name, sha string, fs core.FeatureSet, res Result) *telemetr
 	ev := &telemetry.AuditEvent{
 		Doc:         name,
 		SHA256:      sha,
+		TraceID:     res.TraceID,
+		RequestID:   res.RequestID,
 		FeatureSet:  fs.String(),
 		Attempts:    res.Attempts,
 		Quarantined: res.Quarantined,

@@ -130,6 +130,11 @@ type TicketResult struct {
 	ErrorClass string `json:"error_class,omitempty"`
 	// Attempt is which delivery of the job produced this result.
 	Attempt int `json:"attempt"`
+	// RequestID echoes the submitting request's X-Request-ID; TraceID is
+	// the distributed trace the submission rode in on (stable across
+	// redeliveries — the traceparent is journaled with the job).
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
 	// QueueMS is the enqueue→dequeue latency; ElapsedMS the worker's
 	// processing time.
 	QueueMS   float64 `json:"queue_ms"`
@@ -152,6 +157,9 @@ type DeadTicketJSON struct {
 type jobMeta struct {
 	Webhook string `json:"webhook,omitempty"`
 	Trace   bool   `json:"trace,omitempty"`
+	// RequestID is the submitting HTTP request's ID, carried so the
+	// published result and the completion webhook can echo it.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // intake owns the async path: the durable queue, the results directory,
@@ -300,7 +308,10 @@ func (in *intake) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty document"})
 		return
 	}
-	meta := jobMeta{Trace: r.URL.Query().Get("trace") == "1"}
+	meta := jobMeta{
+		Trace:     r.URL.Query().Get("trace") == "1",
+		RequestID: requestID(r.Context()),
+	}
 	meta.Webhook = r.URL.Query().Get("webhook")
 	if meta.Webhook == "" {
 		meta.Webhook = r.Header.Get("X-Webhook-URL")
@@ -322,7 +333,10 @@ func (in *intake) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if meta != (jobMeta{}) {
 		metaBlob, _ = json.Marshal(meta)
 	}
-	id, err := in.q.Enqueue(name, metaBlob, data)
+	// The journaled traceparent carries the submit request's own span, so
+	// the worker's span tree stitches under this request — across a crash
+	// and a redelivery, even in a different process.
+	id, err := in.q.EnqueueTraced(name, metaBlob, data, traceContext(r.Context()).Traceparent())
 	if err != nil {
 		s.metrics.Errors.Add("intake", 1)
 		writeJSON(w, http.StatusServiceUnavailable,
@@ -458,10 +472,19 @@ func (in *intake) process(ctx context.Context, d *queue.Delivery) {
 	}
 	queueWait := start.Sub(d.EnqueuedAt)
 	tr := telemetry.NewTracer(d.Name)
+	// Rejoin the submission's trace from the journaled traceparent: the
+	// worker span parents under the original submit request no matter
+	// which process or delivery attempt runs the job.
+	if tc, err := telemetry.ParseTraceparent(d.Trace); err == nil {
+		tr.SetTraceContext(tc)
+	}
 	root := tr.Root()
 	root.Annotate("ticket", ticket)
 	root.Annotate("attempt", strconv.Itoa(d.Attempt))
 	root.Annotate("queue_ms", fmt.Sprintf("%.3f", float64(queueWait.Nanoseconds())/1e6))
+	if meta.RequestID != "" {
+		root.Annotate("request_id", meta.RequestID)
+	}
 
 	det, _, _, release := s.pipeline()
 	if det == nil {
@@ -498,10 +521,12 @@ func (in *intake) process(ctx context.Context, d *queue.Delivery) {
 	}
 
 	res := &TicketResult{
-		Ticket:  ticket,
-		File:    d.Name,
-		Attempt: d.Attempt,
-		QueueMS: float64(queueWait.Nanoseconds()) / 1e6,
+		Ticket:    ticket,
+		File:      d.Name,
+		Attempt:   d.Attempt,
+		QueueMS:   float64(queueWait.Nanoseconds()) / 1e6,
+		RequestID: meta.RequestID,
+		TraceID:   tr.TraceID,
 	}
 	if werr != nil {
 		class := errorClass(werr)
@@ -549,6 +574,7 @@ func (in *intake) process(ctx context.Context, d *queue.Delivery) {
 		}
 	}
 	tr.Finish()
+	s.recent.Add(tr.Trace())
 	if meta.Trace {
 		res.Trace = tr.Trace()
 	}
@@ -565,12 +591,13 @@ func (in *intake) process(ctx context.Context, d *queue.Delivery) {
 	if first {
 		in.published.Add(1)
 		if meta.Webhook != "" {
-			in.deliverWebhook(meta.Webhook, ticket, d.ID)
+			in.deliverWebhook(meta, ticket, d.ID, tr.Context().Traceparent())
 		}
 	}
 	_ = d.Ack()
 	s.log.Info("intake processed",
 		"ticket", ticket,
+		"trace_id", tr.TraceID,
 		"file", d.Name,
 		"status", res.Status,
 		"docs", len(res.Docs),
@@ -621,20 +648,28 @@ func (in *intake) publish(id uint64, res *TicketResult) (first bool, err error) 
 
 // deliverWebhook POSTs the published result to the submission's webhook.
 // Best-effort, single attempt by the publish winner: the result file is
-// the durable record, the webhook is a notification.
-func (in *intake) deliverWebhook(hook, ticket string, id uint64) {
+// the durable record, the webhook is a notification. The delivery carries
+// the submission's request ID and the worker span's traceparent, so the
+// receiver joins the same distributed trace as the original submit.
+func (in *intake) deliverWebhook(meta jobMeta, ticket string, id uint64, traceparent string) {
 	body, err := os.ReadFile(in.resultPath(id))
 	if err != nil {
 		in.webhookFailures.Add(1)
 		return
 	}
-	req, err := http.NewRequest(http.MethodPost, hook, bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, meta.Webhook, bytes.NewReader(body))
 	if err != nil {
 		in.webhookFailures.Add(1)
 		return
 	}
 	req.Header.Set("Content-Type", "application/json; charset=utf-8")
 	req.Header.Set("X-Ticket", ticket)
+	if meta.RequestID != "" {
+		req.Header.Set("X-Request-ID", meta.RequestID)
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
 	resp, err := in.client.Do(req)
 	if resp != nil {
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -643,6 +678,6 @@ func (in *intake) deliverWebhook(hook, ticket string, id uint64) {
 	if err != nil || resp.StatusCode >= 300 {
 		in.webhookFailures.Add(1)
 		in.s.log.Warn("intake webhook delivery failed",
-			"ticket", ticket, "webhook", hook, "error", fmt.Sprint(err))
+			"ticket", ticket, "webhook", meta.Webhook, "error", fmt.Sprint(err))
 	}
 }

@@ -70,6 +70,11 @@ type Metrics struct {
 	ClassifyBatchSize *telemetry.Histogram
 	ClassifyBatchWait *telemetry.Histogram
 
+	// MacroScores is the production classifier-score distribution (a value
+	// histogram over [0,1]) — the raw material the drift monitor compares
+	// against the model's train-time baselines.
+	MacroScores *telemetry.Histogram
+
 	start time.Time
 }
 
@@ -102,6 +107,9 @@ func NewMetrics() *Metrics {
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 	m.ClassifyBatchWait = r.Histogram("classify_batch_wait_seconds",
 		"Time a classify batch leader held the coalescing window open.", nil)
+	m.MacroScores = r.Histogram("macro_score",
+		"Classifier decision scores of scanned macros.",
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1})
 	r.GaugeFunc("scan_files_per_sec", "Documents scanned per second since start.",
 		func() float64 { return rateSince(m.Scans.Value(), m.start) })
 	r.GaugeFunc("scan_macros_per_sec", "Macros classified per second since start.",

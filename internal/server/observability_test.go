@@ -1,0 +1,369 @@
+package server
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+const callerTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+const callerTraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+// TestTraceparentMiddleware checks the W3C trace-context contract on the
+// request boundary: a valid incoming traceparent is joined (same trace
+// ID, fresh span ID), a missing or malformed one is replaced by a minted
+// trace, and the response always carries a valid traceparent.
+func TestTraceparentMiddleware(t *testing.T) {
+	_, ts := newTestServer(t, quietConfig())
+
+	get := func(traceparent string) string {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.Header.Get("traceparent")
+	}
+
+	// No incoming context: a fresh valid trace is minted.
+	minted, err := telemetry.ParseTraceparent(get(""))
+	if err != nil || !minted.IsValid() {
+		t.Fatalf("minted traceparent invalid: %v", err)
+	}
+	// Valid incoming context: joined, with the server's own span ID.
+	joined, err := telemetry.ParseTraceparent(get(callerTraceparent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.TraceID != callerTraceID {
+		t.Fatalf("joined trace ID = %q, want %q", joined.TraceID, callerTraceID)
+	}
+	if joined.SpanID == "00f067aa0ba902b7" {
+		t.Fatal("server echoed the caller's span ID instead of minting its own")
+	}
+	// Malformed incoming context: replaced, not propagated.
+	replaced, err := telemetry.ParseTraceparent(get("00-zzzz-zzzz-01"))
+	if err != nil || replaced.TraceID == callerTraceID || !replaced.IsValid() {
+		t.Fatalf("malformed traceparent not replaced: %+v err=%v", replaced, err)
+	}
+}
+
+// TestTraceStitchedAcrossCrashRedelivery is the end-to-end golden test
+// for async trace propagation: a traced submission is accepted by one
+// process (accept-only, so the job is pure journal state), that process
+// "crashes", a second process replays the journal, fails the first
+// deliveries (no model loaded), hot-loads the model, and publishes on a
+// redelivery — and the published result plus its Chrome trace export must
+// still carry the original caller's single trace ID.
+func TestTraceStitchedAcrossCrashRedelivery(t *testing.T) {
+	fixture(t)
+	dir := t.TempDir()
+	cfg1 := quietConfig()
+	cfg1.Intake = IntakeConfig{Dir: dir, Workers: -1, NoSync: true}
+	srv1 := New(testFixture.det, cfg1)
+	if err := srv1.StartIntake(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	req, err := http.NewRequest(http.MethodPost, ts1.URL+"/v1/submit?trace=1",
+		bytes.NewReader(testFixture.macroDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("traceparent", callerTraceparent)
+	req.Header.Set("X-Request-ID", "req-stitch-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status=%d err=%v", resp.StatusCode, err)
+	}
+	// The submit response's traceparent is the server span the journaled
+	// job rides under — the worker's spans must parent under it.
+	submitTC, err := telemetry.ParseTraceparent(resp.Header.Get("traceparent"))
+	if err != nil || submitTC.TraceID != callerTraceID {
+		t.Fatalf("submit traceparent = %+v err=%v", submitTC, err)
+	}
+
+	// Crash: the accepting process goes away; only the journal survives.
+	ts1.Close()
+	srv1.stopIntake()
+
+	// Restart without a model: deliveries fail transiently (and are
+	// redelivered) until the model is hot-loaded.
+	cfg2 := quietConfig()
+	cfg2.ModelPath = testFixture.modelPath
+	cfg2.Intake = IntakeConfig{
+		Dir: dir, Workers: 2, NoSync: true,
+		MaxAttempts: 1000, RetryBackoff: time.Millisecond,
+		VisibilityTimeout: time.Second,
+	}
+	srv2 := New(nil, cfg2)
+	if err := srv2.StartIntake(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.stopIntake()
+	})
+
+	// Require at least one genuine redelivery before the model appears, so
+	// the published attempt is provably ≥ 2.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv2.intake.q.Stats().Redelivered < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job was never redelivered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv2.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	res := pollTicket(t, ts2.URL, sr.Ticket, 60*time.Second)
+	if res.Status != "done" {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Attempt < 2 {
+		t.Fatalf("attempt = %d, want >= 2 (a redelivery)", res.Attempt)
+	}
+	if res.TraceID != callerTraceID {
+		t.Fatalf("published trace ID = %q, want %q", res.TraceID, callerTraceID)
+	}
+	if res.RequestID != "req-stitch-1" {
+		t.Fatalf("published request ID = %q", res.RequestID)
+	}
+	if res.Trace == nil || res.Trace.TraceID != callerTraceID {
+		t.Fatalf("worker trace did not join the caller's trace: %+v", res.Trace)
+	}
+	if res.Trace.ParentSpanID != submitTC.SpanID {
+		t.Fatalf("worker span parents under %q, want the submit server span %q",
+			res.Trace.ParentSpanID, submitTC.SpanID)
+	}
+
+	// Chrome export: every event of the stitched tree carries the one
+	// original trace ID.
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, []*telemetry.Trace{res.Trace}); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &chrome); err != nil {
+		t.Fatal(err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+	for i, ev := range chrome.TraceEvents {
+		if ev.Args["trace_id"] != callerTraceID {
+			t.Fatalf("event %d trace_id = %v, want %q", i, ev.Args["trace_id"], callerTraceID)
+		}
+	}
+}
+
+// TestObservabilityMetricsAndReport checks the drift/SLO/build-info
+// surface: per-channel score contributions in the scan report, the drift
+// gauge + score histogram + SLO gauges + build info in /metrics, and the
+// drift detail in /healthz.
+func TestObservabilityMetricsAndReport(t *testing.T) {
+	_, ts := newTestServer(t, quietConfig())
+	resp, sr := postScan(t, ts.URL, testFixture.macroDoc)
+	if resp.StatusCode != http.StatusOK || sr.Report == nil || len(sr.Report.Macros) == 0 {
+		t.Fatalf("scan: status=%d report=%+v", resp.StatusCode, sr.Report)
+	}
+	if sr.TraceID == "" {
+		t.Fatal("scan response has no trace_id")
+	}
+	for _, m := range sr.Report.Macros {
+		if len(m.Channels) == 0 {
+			t.Fatalf("macro %q has no channel contributions", m.Module)
+		}
+		if m.Channels[0].Channel != "overall" {
+			t.Fatalf("RF model channel = %q, want overall", m.Channels[0].Channel)
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(prom)
+	for _, want := range []string{
+		`model_drift_psi{channel="overall"}`,
+		`vbadetect_build_info{`,
+		`go_version=`,
+		`slo_availability_ratio{window="5m"}`,
+		`slo_availability_burn_rate{window="1h"}`,
+		"macro_score_bucket",
+		"uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+	// The exposition must stay structurally valid with the new families.
+	if _, err := telemetry.ParseExposition(prom); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Drift  *struct {
+			Status       string  `json:"status"`
+			WorstChannel string  `json:"worst_channel"`
+			WarnPSI      float64 `json:"warn_psi"`
+		} `json:"drift"`
+		SLO map[string]float64 `json:"slo"`
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&health)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", hresp.StatusCode, health)
+	}
+	if health.Drift == nil || health.Drift.WorstChannel == "" || health.Drift.WarnPSI != 0.2 {
+		t.Fatalf("healthz drift detail: %+v", health.Drift)
+	}
+	if _, ok := health.SLO["availability_5m"]; !ok {
+		t.Fatalf("healthz slo detail: %+v", health.SLO)
+	}
+}
+
+// TestDebugBundle downloads the diagnostic archive and checks it carries
+// the expected sections, with a parseable metrics exposition inside.
+func TestDebugBundle(t *testing.T) {
+	_, ts := newIntakeServer(t, quietConfig())
+	// One traced scan so the recent-traces ring has content.
+	resp, err := http.Post(ts.URL+"/v1/scan?trace=1", "application/octet-stream",
+		bytes.NewReader(testFixture.macroDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	bresp, err := http.Get(ts.URL + "/v1/admin/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("bundle status = %d", bresp.StatusCode)
+	}
+	gz, err := gzip.NewReader(bresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := map[string][]byte{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[hdr.Name] = body
+	}
+	for _, want := range []string{
+		"vbadetect-debug/config.json",
+		"vbadetect-debug/health.json",
+		"vbadetect-debug/slo.json",
+		"vbadetect-debug/intake.json",
+		"vbadetect-debug/metrics.json",
+		"vbadetect-debug/metrics.prom",
+		"vbadetect-debug/traces.json",
+		"vbadetect-debug/traces.chrome.json",
+		"vbadetect-debug/pprof/goroutine.txt",
+		"vbadetect-debug/pprof/heap.pprof",
+	} {
+		if len(entries[want]) == 0 {
+			t.Fatalf("bundle missing %s (have %d entries)", want, len(entries))
+		}
+	}
+	if _, err := telemetry.ParseExposition(entries["vbadetect-debug/metrics.prom"]); err != nil {
+		t.Fatalf("bundled exposition invalid: %v", err)
+	}
+	var traces []*telemetry.Trace
+	if err := json.Unmarshal(entries["vbadetect-debug/traces.json"], &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("bundle carries no recent traces")
+	}
+}
+
+// TestTicketRequestIDRoundTrip checks the plain (non-crash) async path
+// carries the submitter's X-Request-ID into the published result.
+func TestTicketRequestIDRoundTrip(t *testing.T) {
+	fixture(t)
+	_, ts := newIntakeServer(t, quietConfig())
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/submit",
+		bytes.NewReader(testFixture.macroDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "rid-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", resp.StatusCode, err)
+	}
+	res := pollTicket(t, ts.URL, sr.Ticket, 30*time.Second)
+	if res.Status != "done" || res.RequestID != "rid-42" {
+		t.Fatalf("result: status=%q request_id=%q", res.Status, res.RequestID)
+	}
+	if res.TraceID == "" {
+		t.Fatal("async result has no trace ID (server should mint one at submit)")
+	}
+}

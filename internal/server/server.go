@@ -93,6 +93,24 @@ type Config struct {
 	// document (single and batch), subject to the logger's own sampling
 	// and rate caps. Nil disables auditing.
 	Audit *telemetry.AuditLogger
+	// DriftWarnPSI is the per-channel PSI above which /healthz reports the
+	// drift detail as "warn". Drift never fails a scan or a health check.
+	// 0 applies the 0.2 default; negative disables drift monitoring.
+	DriftWarnPSI float64
+	// DriftWindow is the rolling production-score window per channel, in
+	// observations. 0 applies telemetry.DefaultDriftWindow.
+	DriftWindow int
+	// SLOAvailabilityTarget / SLOLatencyTarget / SLOLatencyThreshold tune
+	// the rolling SLO tracker behind the slo_* gauges: the availability
+	// objective (fraction of /v1/ requests answered below 500), the
+	// latency objective (fraction answered within the threshold), and the
+	// threshold itself. Zeros apply 0.999 / 0.99 / 500ms.
+	SLOAvailabilityTarget float64
+	SLOLatencyTarget      float64
+	SLOLatencyThreshold   time.Duration
+	// DebugTraceBuffer is how many recent span trees the server retains
+	// for the debug bundle. 0 applies the 64 default.
+	DebugTraceBuffer int
 	// Intake configures the durable async intake path (POST /v1/submit);
 	// see IntakeConfig. Activated by calling StartIntake.
 	Intake IntakeConfig
@@ -119,6 +137,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if c.DriftWarnPSI == 0 {
+		c.DriftWarnPSI = 0.2
+	}
+	if c.DebugTraceBuffer <= 0 {
+		c.DebugTraceBuffer = 64
 	}
 	return c
 }
@@ -151,10 +175,14 @@ type Server struct {
 	log     *slog.Logger
 	metrics *Metrics
 
-	mu     sync.RWMutex // guards det, docs, flight and cacheBase across hot reloads
+	mu     sync.RWMutex // guards det, docs, flight, drift and cacheBase across hot reloads
 	det    *core.Detector
 	docs   *scan.DocCache
 	flight *cache.Flight[scanOutcome]
+	// drift scores recent production score distributions against the
+	// model's train-time baselines; rebuilt with the detector on Reload
+	// (baselines belong to the model that shipped them).
+	drift *telemetry.DriftMonitor
 	// cacheBase accumulates the hit/miss/eviction counters of caches
 	// retired by Reload, keeping the exported cache metrics monotonic
 	// across model swaps.
@@ -167,6 +195,11 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup
 	reqSeq   atomic.Uint64
+
+	// slo tracks rolling availability/latency SLIs over the /v1/ API;
+	// recent retains the last few span trees for the debug bundle.
+	slo    *telemetry.SLOTracker
+	recent *traceRing
 
 	// intake is the durable async-submission path, nil until StartIntake.
 	intake *intake
@@ -186,16 +219,96 @@ func New(det *core.Detector, cfg Config) *Server {
 		metrics: NewMetrics(),
 		det:     det,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
+		slo:     telemetry.NewSLOTracker(cfg.SLOAvailabilityTarget, cfg.SLOLatencyTarget, cfg.SLOLatencyThreshold),
+		recent:  newTraceRing(cfg.DebugTraceBuffer),
 	}
 	if det != nil {
 		s.wireDetector(det)
+		s.drift = s.newDriftMonitor(det)
 	}
 	if entries, bytes, ok := cfg.cacheBounds(); ok {
 		s.docs = scan.NewDocCache(entries, bytes)
 		s.flight = &cache.Flight[scanOutcome]{}
 	}
 	s.registerCacheMetrics()
+	s.registerObservability()
 	return s
+}
+
+// newDriftMonitor builds the drift monitor for a freshly loaded detector,
+// seeded with the train-time score baselines embedded in its model
+// container. Nil when drift monitoring is disabled; a model saved before
+// baselines existed yields a monitor with unbaselined channels (PSI 0).
+func (s *Server) newDriftMonitor(det *core.Detector) *telemetry.DriftMonitor {
+	if s.cfg.DriftWarnPSI < 0 || det == nil {
+		return nil
+	}
+	m := telemetry.NewDriftMonitor(s.cfg.DriftWindow)
+	for _, b := range det.Baselines() {
+		m.SetBaseline(b.Channel, b.Bins)
+	}
+	return m
+}
+
+// registerObservability publishes the fleet-facing instruments: the SLO
+// gauges, the per-channel drift gauge and the build-info metric.
+func (s *Server) registerObservability() {
+	reg := s.metrics.Registry()
+	s.slo.Register(reg)
+	reg.LabeledGaugeFunc("model_drift_psi",
+		"PSI between the model's train-time score distribution and recent production scores, per channel.",
+		"channel", s.driftSnapshot)
+	reg.InfoFunc("vbadetect_build_info",
+		"Build and model identity as labels; value is always 1.",
+		s.buildInfo)
+}
+
+// driftSnapshot reads the live drift monitor under the reload lock.
+func (s *Server) driftSnapshot() ([]string, []float64) {
+	s.mu.RLock()
+	d := s.drift
+	s.mu.RUnlock()
+	return d.Snapshot()
+}
+
+// observeDrift feeds one production channel score into the live monitor.
+func (s *Server) observeDrift(channel string, score float64) {
+	s.mu.RLock()
+	d := s.drift
+	s.mu.RUnlock()
+	d.Observe(channel, score)
+}
+
+// buildInfo assembles the build_info labels: binary version, Go
+// toolchain, and the loaded model's identity (when one is loaded).
+func (s *Server) buildInfo() map[string]string {
+	info := map[string]string{
+		"go_version": runtime.Version(),
+		"version":    buildVersion(),
+	}
+	if det := s.detector(); det != nil {
+		info["feature_set"] = det.FeatureSet().String()
+		info["model"] = det.FeatureSetID()
+	}
+	return info
+}
+
+// buildVersion resolves the binary's version from build metadata: the
+// module version when stamped, else the VCS revision, else "devel".
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" && kv.Value != "" {
+			return kv.Value
+		}
+	}
+	return "devel"
 }
 
 // newMacroCache builds a macro-level verdict cache per the configured
@@ -348,6 +461,7 @@ func (s *Server) Reload() error {
 		return fmt.Errorf("server: reload: %w", err)
 	}
 	s.wireDetector(det)
+	drift := s.newDriftMonitor(det)
 	var docs *scan.DocCache
 	var flight *cache.Flight[scanOutcome]
 	if entries, bytes, ok := s.cfg.cacheBounds(); ok {
@@ -369,6 +483,7 @@ func (s *Server) Reload() error {
 	s.det = det
 	s.docs = docs
 	s.flight = flight
+	s.drift = drift
 	s.mu.Unlock()
 	if oldDet != nil {
 		// Drop the retired detector's ownership of its model mapping. The
@@ -425,6 +540,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/scan", s.handleScan)
 	mux.HandleFunc("POST /v1/scan/batch", s.handleScanBatch)
 	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	mux.HandleFunc("GET /v1/admin/debug/bundle", s.handleDebugBundle)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", s.metrics)
@@ -464,8 +580,21 @@ func requestID(ctx context.Context) string {
 	return id
 }
 
-// withRequestLog assigns every request an ID (honoring X-Request-ID),
-// logs it structured on completion, and feeds the request metrics.
+// traceContextKey carries the request's W3C trace context.
+type traceContextKey struct{}
+
+// traceContext extracts the request's trace context (set by
+// withRequestLog). The context's SpanID is the server's own span for this
+// request — handing it to the next hop parents that hop under us.
+func traceContext(ctx context.Context) telemetry.TraceContext {
+	tc, _ := ctx.Value(traceContextKey{}).(telemetry.TraceContext)
+	return tc
+}
+
+// withRequestLog assigns every request an ID (honoring X-Request-ID) and
+// a W3C trace context (joining an incoming traceparent or minting a fresh
+// trace), echoes both on the response, logs the request structured on
+// completion, and feeds the request metrics and the /v1/ SLO tracker.
 func (s *Server) withRequestLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -474,14 +603,29 @@ func (s *Server) withRequestLog(next http.Handler) http.Handler {
 			id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
 		}
 		w.Header().Set("X-Request-ID", id)
+		// Join the caller's trace when a valid traceparent came in (our
+		// span becomes a child of theirs); otherwise root a fresh trace,
+		// so every request is traceable either way.
+		tc, _ := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		if tc.IsValid() {
+			tc = tc.Child()
+		} else {
+			tc = telemetry.NewTraceContext()
+		}
+		w.Header().Set("traceparent", tc.Traceparent())
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		ctx = context.WithValue(ctx, traceContextKey{}, tc)
 		next.ServeHTTP(sw, r.WithContext(ctx))
 		elapsed := time.Since(start)
 		s.metrics.Requests.Add(r.Method+" "+r.URL.Path, 1)
 		s.metrics.observeStatus(sw.status)
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			s.slo.Observe(sw.status, elapsed)
+		}
 		s.log.Info("request",
 			"id", id,
+			"trace_id", tc.TraceID,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
@@ -491,6 +635,13 @@ func (s *Server) withRequestLog(next http.Handler) http.Handler {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthBody())
+}
+
+// healthBody assembles the /healthz payload (also bundled by the debug
+// endpoint). Drift is a detail, never a failure: a drifting model still
+// answers scans, it just tells operators to look at it.
+func (s *Server) healthBody() map[string]any {
 	resp := map[string]any{"status": "ok"}
 	if in := s.intake; in != nil {
 		st := in.q.Stats()
@@ -500,7 +651,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"dead":     st.Dead,
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.mu.RLock()
+	drift := s.drift
+	s.mu.RUnlock()
+	if name, psi, ok := drift.MaxPSI(); ok {
+		status := "ok"
+		if psi >= s.cfg.DriftWarnPSI {
+			status = "warn"
+		}
+		resp["drift"] = map[string]any{
+			"status":        status,
+			"worst_channel": name,
+			"max_psi":       psi,
+			"warn_psi":      s.cfg.DriftWarnPSI,
+		}
+	}
+	if s.slo != nil {
+		short := s.slo.Read(telemetry.SLOShortWindow)
+		long := s.slo.Read(telemetry.SLOLongWindow)
+		resp["slo"] = map[string]any{
+			"availability_5m":      short.Availability,
+			"availability_1h":      long.Availability,
+			"availability_burn_5m": short.AvailabilityBurn,
+			"latency_burn_5m":      short.LatencyBurn,
+		}
+	}
+	return resp
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -554,7 +730,11 @@ func stageMS(tm core.Timings) *StageMS {
 
 // ScanResponse is the JSON body for one scanned document.
 type ScanResponse struct {
-	RequestID  string           `json:"request_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the W3C trace this request joined (or was minted for);
+	// the same ID appears in the response's traceparent header, the
+	// access log and the audit event.
+	TraceID    string           `json:"trace_id,omitempty"`
 	File       string           `json:"file"`
 	NoMacros   bool             `json:"no_macros,omitempty"`
 	Report     *core.ReportJSON `json:"report,omitempty"`
@@ -763,6 +943,15 @@ func (s *Server) recordOutcome(resp *ScanResponse, out scanOutcome, cached bool)
 	}
 	s.metrics.Macros.Add(int64(len(out.report.Macros)))
 	s.metrics.MacrosSkipped.Add(int64(out.report.Skipped))
+	// Score distributions feed the drift monitor and the score histogram
+	// regardless of cache state: drift watches the traffic the model
+	// answers, and a cached verdict is still an answer.
+	for _, m := range out.report.Macros {
+		s.metrics.MacroScores.ObserveValue(m.Score)
+		for _, ch := range m.Channels {
+			s.observeDrift(ch.Channel, ch.Score)
+		}
+	}
 	if out.report.Degraded {
 		s.metrics.Degraded.Add(1)
 		for _, se := range out.report.Errors {
@@ -820,10 +1009,12 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		key = cache.KeyOfSalted(det.FeatureSetID(), data)
 		if report, ok := docs.Get(key); ok {
 			release()
-			resp := ScanResponse{RequestID: requestID(r.Context()), File: name}
+			resp := ScanResponse{RequestID: requestID(r.Context()),
+				TraceID: traceContext(r.Context()).TraceID, File: name}
 			s.recordOutcome(&resp, scanOutcome{report: report}, true)
 			scan.LogAudit(s.cfg.Audit, scan.Document{Name: name, Data: data}, det.FeatureSet(),
-				scan.Result{Name: name, Report: report, CacheHit: true})
+				scan.Result{Name: name, Report: report, CacheHit: true,
+					TraceID: traceContext(r.Context()).TraceID, RequestID: requestID(r.Context())})
 			resp.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
 			s.metrics.RequestLatency.Observe(time.Since(start))
 			writeJSON(w, http.StatusOK, resp)
@@ -839,10 +1030,12 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	var tr *telemetry.Tracer
 	if r.URL.Query().Get("trace") == "1" {
 		tr = telemetry.NewTracer(name)
+		tr.SetTraceContext(traceContext(r.Context()))
 		ctx = telemetry.ContextWithTracer(ctx, tr)
 	}
 	out, ok := s.runScan(ctx, det, data, key, docs, flight, release)
-	resp := ScanResponse{RequestID: requestID(r.Context()), File: name}
+	resp := ScanResponse{RequestID: requestID(r.Context()),
+		TraceID: traceContext(r.Context()).TraceID, File: name}
 	if !ok {
 		s.metrics.Errors.Add("timeout", 1)
 		resp.Error = "scan deadline exceeded"
@@ -854,11 +1047,13 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if tr != nil {
 		tr.Finish()
 		resp.Trace = tr.Trace()
+		s.recent.Add(resp.Trace)
 	}
 	s.recordOutcome(&resp, out, out.shared)
 	scan.LogAudit(s.cfg.Audit, scan.Document{Name: name, Data: data}, det.FeatureSet(),
 		scan.Result{Name: name, Report: out.report, Timings: out.tm, Err: out.err,
-			Attempts: 1, Quarantined: out.err != nil && hostile.ExhaustsBudget(out.err)})
+			Attempts: 1, Quarantined: out.err != nil && hostile.ExhaustsBudget(out.err),
+			TraceID: traceContext(r.Context()).TraceID, RequestID: requestID(r.Context())})
 	resp.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
 	s.metrics.RequestLatency.Observe(time.Since(start))
 	writeJSON(w, statusFor(&resp), resp)

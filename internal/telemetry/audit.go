@@ -50,6 +50,11 @@ type AuditEvent struct {
 	// SHA256 is the hex content hash of the document bytes — the
 	// sampling key and the join key for offline analysis.
 	SHA256 string `json:"sha256"`
+	// TraceID / RequestID tie the event to the distributed trace and the
+	// originating HTTP request, so an audited verdict joins against span
+	// trees and access logs without re-hashing anything.
+	TraceID   string `json:"trace_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 	// Format is the container format ("ole", "ooxml"), "" on failure.
 	Format string `json:"format,omitempty"`
 	// FeatureSet is "V" or "J".

@@ -1,0 +1,199 @@
+// Model-drift monitoring: compare the production score distribution per
+// feature channel against the baseline distribution recorded at train
+// time, summarized as a PSI (Population Stability Index) per channel.
+//
+// PSI is the standard model-monitoring statistic: sum over bins of
+// (p - b) * ln(p / b), where b is the baseline proportion and p the
+// production proportion. Conventional reading: < 0.1 stable, 0.1–0.25
+// drifting, > 0.25 action required. The monitor never affects verdicts;
+// it only feeds gauges and a /healthz detail.
+
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DriftBins is the fixed bin count for score distributions. Scores live
+// in [0,1], so ten equal-width bins are comparable across train time and
+// production without carrying bin edges around.
+const DriftBins = 10
+
+// driftEpsilon smooths empty bins so the PSI log term stays finite.
+const driftEpsilon = 1e-4
+
+// DefaultDriftWindow is how many recent production observations the
+// rolling distribution approximates (bin counts are halved when the
+// total passes the window, an exponential-decay rolling window).
+const DefaultDriftWindow = 4096
+
+// driftMinCount is the observation floor below which PSI reports 0 —
+// a handful of scans is noise, not a distribution.
+const driftMinCount = 50
+
+// ScoreBins buckets scores (clamped to [0,1]) into DriftBins equal-width
+// bins and returns the proportion landing in each. Returns nil for an
+// empty input.
+func ScoreBins(scores []float64) []float64 {
+	if len(scores) == 0 {
+		return nil
+	}
+	counts := make([]float64, DriftBins)
+	for _, s := range scores {
+		counts[scoreBin(s)]++
+	}
+	n := float64(len(scores))
+	for i := range counts {
+		counts[i] /= n
+	}
+	return counts
+}
+
+func scoreBin(s float64) int {
+	if s <= 0 || math.IsNaN(s) {
+		return 0
+	}
+	if s >= 1 {
+		return DriftBins - 1
+	}
+	i := int(s * DriftBins)
+	if i >= DriftBins {
+		i = DriftBins - 1
+	}
+	return i
+}
+
+// PSI computes the Population Stability Index between a baseline and a
+// production proportion vector (both length DriftBins), with epsilon
+// smoothing so empty bins do not blow up the log term.
+func PSI(baseline, production []float64) float64 {
+	if len(baseline) != DriftBins || len(production) != DriftBins {
+		return 0
+	}
+	var psi float64
+	for i := 0; i < DriftBins; i++ {
+		b := math.Max(baseline[i], driftEpsilon)
+		p := math.Max(production[i], driftEpsilon)
+		psi += (p - b) * math.Log(p/b)
+	}
+	return psi
+}
+
+// driftChannel is one monitored score stream.
+type driftChannel struct {
+	baseline []float64 // train-time proportions; nil = no baseline shipped
+	counts   [DriftBins]int64
+	total    int64
+}
+
+// DriftMonitor tracks rolling production score distributions per channel
+// and scores each against its train-time baseline. Safe for concurrent
+// use; channels without a baseline (models saved before baselines
+// existed) still appear with PSI 0 so dashboards see the family.
+type DriftMonitor struct {
+	mu       sync.Mutex
+	window   int64
+	channels map[string]*driftChannel
+	order    []string
+}
+
+// NewDriftMonitor builds a monitor with the given rolling window
+// (observations per channel; <= 0 means DefaultDriftWindow).
+func NewDriftMonitor(window int) *DriftMonitor {
+	if window <= 0 {
+		window = DefaultDriftWindow
+	}
+	return &DriftMonitor{window: int64(window), channels: make(map[string]*driftChannel)}
+}
+
+func (m *DriftMonitor) channel(name string) *driftChannel {
+	ch, ok := m.channels[name]
+	if !ok {
+		ch = &driftChannel{}
+		m.channels[name] = ch
+		m.order = append(m.order, name)
+		sort.Strings(m.order)
+	}
+	return ch
+}
+
+// SetBaseline installs the train-time bin proportions for a channel
+// (length DriftBins; anything else registers the channel without a
+// baseline). Nil m is a no-op.
+func (m *DriftMonitor) SetBaseline(name string, bins []float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := m.channel(name)
+	if len(bins) == DriftBins {
+		ch.baseline = append([]float64(nil), bins...)
+	} else {
+		ch.baseline = nil
+	}
+}
+
+// Observe records one production score for a channel. When the rolling
+// total passes the window, every bin is halved — an exponential-decay
+// approximation of a sliding window that needs no timestamps.
+func (m *DriftMonitor) Observe(name string, score float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := m.channel(name)
+	ch.counts[scoreBin(score)]++
+	ch.total++
+	if ch.total > m.window {
+		var kept int64
+		for i := range ch.counts {
+			ch.counts[i] /= 2
+			kept += ch.counts[i]
+		}
+		ch.total = kept
+	}
+}
+
+// psiLocked computes the channel's current PSI. Callers hold m.mu.
+func (ch *driftChannel) psiLocked() float64 {
+	if ch.baseline == nil || ch.total < driftMinCount {
+		return 0
+	}
+	prod := make([]float64, DriftBins)
+	for i := range ch.counts {
+		prod[i] = float64(ch.counts[i]) / float64(ch.total)
+	}
+	return PSI(ch.baseline, prod)
+}
+
+// Snapshot returns every channel (sorted) with its current PSI — the
+// shape Registry.LabeledGaugeFunc wants.
+func (m *DriftMonitor) Snapshot() ([]string, []float64) {
+	if m == nil {
+		return nil, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := append([]string(nil), m.order...)
+	vals := make([]float64, len(names))
+	for i, n := range names {
+		vals[i] = m.channels[n].psiLocked()
+	}
+	return names, vals
+}
+
+// MaxPSI returns the worst channel and its PSI (ok=false when no channel
+// is registered) — the /healthz drift detail.
+func (m *DriftMonitor) MaxPSI() (name string, psi float64, ok bool) {
+	names, vals := m.Snapshot()
+	for i, n := range names {
+		if !ok || vals[i] > psi {
+			name, psi, ok = n, vals[i], true
+		}
+	}
+	return name, psi, ok
+}

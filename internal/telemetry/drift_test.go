@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScoreBins(t *testing.T) {
+	bins := ScoreBins([]float64{0, 0.05, 0.15, 0.95, 1.0, math.NaN(), -0.5, 1.5})
+	if len(bins) != DriftBins {
+		t.Fatalf("len = %d", len(bins))
+	}
+	// 0, 0.05, NaN, -0.5 land in bin 0; 0.15 in bin 1; 0.95, 1.0, 1.5 in bin 9.
+	want := map[int]float64{0: 4.0 / 8, 1: 1.0 / 8, 9: 3.0 / 8}
+	for i, p := range bins {
+		if math.Abs(p-want[i]) > 1e-12 {
+			t.Fatalf("bin %d = %g, want %g", i, p, want[i])
+		}
+	}
+	if ScoreBins(nil) != nil {
+		t.Fatalf("empty input should return nil")
+	}
+}
+
+func TestPSIIdenticalIsZero(t *testing.T) {
+	b := []float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1}
+	if psi := PSI(b, b); math.Abs(psi) > 1e-12 {
+		t.Fatalf("PSI(b,b) = %g", psi)
+	}
+}
+
+func TestPSIDetectsShift(t *testing.T) {
+	uniform := make([]float64, DriftBins)
+	for i := range uniform {
+		uniform[i] = 1.0 / DriftBins
+	}
+	spiked := make([]float64, DriftBins)
+	spiked[9] = 1.0
+	if psi := PSI(uniform, spiked); psi < 0.25 {
+		t.Fatalf("full shift PSI = %g, want > 0.25", psi)
+	}
+}
+
+func TestDriftMonitorRollsAndScores(t *testing.T) {
+	m := NewDriftMonitor(200)
+	base := make([]float64, DriftBins)
+	base[0] = 1.0 // baseline: every training score near zero
+	m.SetBaseline("stack", base)
+
+	// Below the observation floor: PSI stays 0.
+	for i := 0; i < driftMinCount-1; i++ {
+		m.Observe("stack", 0.95)
+	}
+	if _, psi, ok := m.MaxPSI(); !ok || psi != 0 {
+		t.Fatalf("below floor: psi=%g ok=%v", psi, ok)
+	}
+
+	// Production scores all land in the top bin: drift must scream.
+	for i := 0; i < 500; i++ {
+		m.Observe("stack", 0.95)
+	}
+	name, psi, ok := m.MaxPSI()
+	if !ok || name != "stack" || psi < 0.25 {
+		t.Fatalf("drifted: name=%q psi=%g ok=%v", name, psi, ok)
+	}
+
+	// The rolling window keeps totals bounded near the window size.
+	names, vals := m.Snapshot()
+	if len(names) != 1 || len(vals) != 1 {
+		t.Fatalf("snapshot = %v %v", names, vals)
+	}
+}
+
+func TestDriftMonitorNoBaseline(t *testing.T) {
+	m := NewDriftMonitor(0)
+	m.SetBaseline("legacy", nil) // registered, no baseline (old snapshot)
+	for i := 0; i < 500; i++ {
+		m.Observe("legacy", 0.99)
+	}
+	names, vals := m.Snapshot()
+	if len(names) != 1 || names[0] != "legacy" || vals[0] != 0 {
+		t.Fatalf("no-baseline channel: %v %v", names, vals)
+	}
+}
+
+func TestDriftMonitorRecoversAfterWindow(t *testing.T) {
+	m := NewDriftMonitor(100)
+	uniform := make([]float64, DriftBins)
+	for i := range uniform {
+		uniform[i] = 1.0 / DriftBins
+	}
+	m.SetBaseline("v", uniform)
+	// A burst of drifted traffic, then a long run matching the baseline:
+	// the rolling window must forget the burst.
+	for i := 0; i < 200; i++ {
+		m.Observe("v", 0.99)
+	}
+	_, spiked, _ := m.MaxPSI()
+	for i := 0; i < 2000; i++ {
+		m.Observe("v", float64(i%10)/10.0+0.05)
+	}
+	_, recovered, _ := m.MaxPSI()
+	if recovered >= spiked || recovered > 0.1 {
+		t.Fatalf("window did not roll: spiked=%g recovered=%g", spiked, recovered)
+	}
+}
+
+func TestDriftGaugesRender(t *testing.T) {
+	m := NewDriftMonitor(0)
+	m.SetBaseline("v", nil)
+	r := NewRegistry()
+	r.LabeledGaugeFunc("model_drift_psi", "PSI per channel.", "channel", m.Snapshot)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if !strings.Contains(sb.String(), `model_drift_psi{channel="v"} 0`) {
+		t.Fatalf("exposition missing drift gauge:\n%s", sb.String())
+	}
+	if _, err := ParseExposition([]byte(sb.String())); err == nil {
+		t.Logf("exposition parsed (no counter/histogram families is fine here)")
+	}
+}

@@ -45,6 +45,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			for i, k := range keys {
 				fmt.Fprintf(bw, "%s{%s=%q} %d\n", f.name, f.labelKey, k, vals[i])
 			}
+		case kindLabeledGaugeFunc:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", f.name)
+			keys, vals := f.labeledFn()
+			for i, k := range keys {
+				if i < len(vals) {
+					fmt.Fprintf(bw, "%s{%s=%q} %s\n", f.name, f.labelKey, k, formatFloat(vals[i]))
+				}
+			}
+		case kindInfo:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", f.name)
+			labels := f.infoFn()
+			keys := make([]string, 0, len(labels))
+			for k := range labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+			}
+			fmt.Fprintf(bw, "%s{%s} 1\n", f.name, strings.Join(parts, ","))
 		case kindHistogram:
 			fmt.Fprintf(bw, "# TYPE %s histogram\n", f.name)
 			cum, count, sumSec := f.hist.snapshot()
@@ -78,6 +99,39 @@ type ExpositionSummary struct {
 	Families map[string]string
 	// Samples is the number of sample lines parsed.
 	Samples int
+	// LabelValues counts distinct label values seen per sample name and
+	// label key — the raw material for cardinality linting. The "le"
+	// histogram-bucket label is excluded (its cardinality is the bucket
+	// layout, not a leak).
+	LabelValues map[string]map[string]map[string]bool
+}
+
+// CardinalityViolation is one label key whose distinct-value count
+// exceeded a lint threshold.
+type CardinalityViolation struct {
+	Metric string
+	Label  string
+	Count  int
+}
+
+// CardinalityViolations returns every metric/label pair with more than
+// max distinct values, sorted by metric then label for stable output.
+func (s *ExpositionSummary) CardinalityViolations(max int) []CardinalityViolation {
+	var out []CardinalityViolation
+	for metric, byLabel := range s.LabelValues {
+		for label, vals := range byLabel {
+			if len(vals) > max {
+				out = append(out, CardinalityViolation{Metric: metric, Label: label, Count: len(vals)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Metric != out[j].Metric {
+			return out[i].Metric < out[j].Metric
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
 }
 
 // ParseExposition is a minimal text-exposition parser: it validates that
@@ -87,7 +141,10 @@ type ExpositionSummary struct {
 // and _count samples. It exists so CI can assert a live /metrics scrape
 // is structurally valid without importing a Prometheus client.
 func ParseExposition(data []byte) (*ExpositionSummary, error) {
-	sum := &ExpositionSummary{Families: make(map[string]string)}
+	sum := &ExpositionSummary{
+		Families:    make(map[string]string),
+		LabelValues: make(map[string]map[string]map[string]bool),
+	}
 	buckets := make(map[string]map[string]bool) // histogram name -> parts seen
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -113,9 +170,21 @@ func ParseExposition(data []byte) (*ExpositionSummary, error) {
 			}
 			continue
 		}
-		name, rest, err := parseSampleName(line)
+		name, labels, rest, err := parseSampleName(line)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		for _, lv := range labels {
+			if lv[0] == "le" {
+				continue
+			}
+			if sum.LabelValues[name] == nil {
+				sum.LabelValues[name] = make(map[string]map[string]bool)
+			}
+			if sum.LabelValues[name][lv[0]] == nil {
+				sum.LabelValues[name][lv[0]] = make(map[string]bool)
+			}
+			sum.LabelValues[name][lv[0]][lv[1]] = true
 		}
 		valueFields := strings.Fields(rest)
 		if len(valueFields) < 1 || len(valueFields) > 2 {
@@ -154,34 +223,36 @@ func ParseExposition(data []byte) (*ExpositionSummary, error) {
 	return sum, nil
 }
 
-// parseSampleName splits a sample line into its metric name and the
-// remainder after the optional label set, validating both.
-func parseSampleName(line string) (name, rest string, err error) {
+// parseSampleName splits a sample line into its metric name, parsed
+// label key/value pairs (values still quoted-escaped), and the remainder
+// after the optional label set, validating all three.
+func parseSampleName(line string) (name string, labelPairs [][2]string, rest string, err error) {
 	i := strings.IndexAny(line, "{ ")
 	if i <= 0 {
-		return "", "", fmt.Errorf("malformed sample line %q", line)
+		return "", nil, "", fmt.Errorf("malformed sample line %q", line)
 	}
 	name = line[:i]
 	if !validMetricName(name) {
-		return "", "", fmt.Errorf("invalid metric name %q", name)
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
 	}
 	if line[i] == ' ' {
-		return name, line[i+1:], nil
+		return name, nil, line[i+1:], nil
 	}
 	end := strings.Index(line, "}")
 	if end < i {
-		return "", "", fmt.Errorf("unterminated label set in %q", line)
+		return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
 	}
 	labels := line[i+1 : end]
 	if labels != "" {
 		for _, pair := range splitLabels(labels) {
-			k, _, ok := strings.Cut(pair, "=")
+			k, v, ok := strings.Cut(pair, "=")
 			if !ok || !validMetricName(k) {
-				return "", "", fmt.Errorf("malformed label %q in %q", pair, line)
+				return "", nil, "", fmt.Errorf("malformed label %q in %q", pair, line)
 			}
+			labelPairs = append(labelPairs, [2]string{k, strings.Trim(v, `"`)})
 		}
 	}
-	return name, strings.TrimSpace(line[end+1:]), nil
+	return name, labelPairs, strings.TrimSpace(line[end+1:]), nil
 }
 
 // splitLabels splits `k1="v1",k2="v2"` on commas outside quotes.

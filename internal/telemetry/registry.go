@@ -250,6 +250,8 @@ const (
 	kindCounterFunc
 	kindHistogram
 	kindLabeledCounter
+	kindLabeledGaugeFunc
+	kindInfo
 )
 
 // family is one registered metric family.
@@ -259,12 +261,14 @@ type family struct {
 	kind     metricKind
 	labelKey string
 
-	counter *Counter
-	gauge   *Gauge
-	fn      func() float64
-	intFn   func() int64
-	hist    *Histogram
-	labeled *LabeledCounter
+	counter   *Counter
+	gauge     *Gauge
+	fn        func() float64
+	intFn     func() int64
+	hist      *Histogram
+	labeled   *LabeledCounter
+	labeledFn func() ([]string, []float64)
+	infoFn    func() map[string]string
 }
 
 // Registry is one namespace of metric families. Register families at
@@ -344,6 +348,26 @@ func (r *Registry) LabeledCounter(name, help, labelKey string) *LabeledCounter {
 	}).labeled
 }
 
+// LabeledGaugeFunc registers a gauge family keyed by one label and
+// computed at render time: fn returns parallel label values and gauge
+// readings (drift scores per channel, burn rates per window). fn runs on
+// every scrape, so it should be cheap and must be safe for concurrent
+// use.
+func (r *Registry) LabeledGaugeFunc(name, help, labelKey string, fn func() ([]string, []float64)) {
+	r.register(name, func() *family {
+		return &family{name: name, help: help, kind: kindLabeledGaugeFunc, labelKey: labelKey, labeledFn: fn}
+	})
+}
+
+// InfoFunc registers an info-style gauge: a constant value of 1 whose
+// labels carry build/runtime identity (version, go version, model ID).
+// fn runs on every scrape; keys render sorted for determinism.
+func (r *Registry) InfoFunc(name, help string, fn func() map[string]string) {
+	r.register(name, func() *family {
+		return &family{name: name, help: help, kind: kindInfo, infoFn: fn}
+	})
+}
+
 // snapshotFamilies copies the family list under the lock so rendering
 // iterates without holding it.
 func (r *Registry) snapshotFamilies() []*family {
@@ -380,6 +404,17 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				m[k] = vals[i]
 			}
 			tree[f.name] = m
+		case kindLabeledGaugeFunc:
+			keys, vals := f.labeledFn()
+			m := make(map[string]float64, len(keys))
+			for i, k := range keys {
+				if i < len(vals) {
+					m[k] = vals[i]
+				}
+			}
+			tree[f.name] = m
+		case kindInfo:
+			tree[f.name] = f.infoFn()
 		}
 	}
 	enc := json.NewEncoder(w)

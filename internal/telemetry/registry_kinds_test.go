@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestInfoFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	r.InfoFunc("vbadetect_build_info", "Build identity.", func() map[string]string {
+		return map[string]string{"version": "v1.2.3", "goversion": "go1.22", "model": "stack"}
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	want := `vbadetect_build_info{goversion="go1.22",model="stack",version="v1.2.3"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, sb.String())
+	}
+
+	var js strings.Builder
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	var tree map[string]map[string]string
+	if err := json.Unmarshal([]byte(js.String()), &tree); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if tree["vbadetect_build_info"]["version"] != "v1.2.3" {
+		t.Fatalf("json tree = %v", tree)
+	}
+}
+
+func TestLabeledGaugeFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledGaugeFunc("model_drift_psi", "PSI per channel.", "channel", func() ([]string, []float64) {
+		return []string{"api", "v"}, []float64{0.12, 0.003}
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE model_drift_psi gauge",
+		`model_drift_psi{channel="api"} 0.12`,
+		`model_drift_psi{channel="v"} 0.003`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	var js strings.Builder
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	var tree map[string]map[string]float64
+	if err := json.Unmarshal([]byte(js.String()), &tree); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if tree["model_drift_psi"]["api"] != 0.12 {
+		t.Fatalf("json tree = %v", tree)
+	}
+}
+
+func TestExpositionCardinality(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("# TYPE scans_total counter\nscans_total 1\n")
+	b.WriteString("# TYPE request_seconds histogram\n")
+	b.WriteString("request_seconds_bucket{le=\"0.1\"} 1\nrequest_seconds_bucket{le=\"+Inf\"} 1\n")
+	b.WriteString("request_seconds_sum 0.05\nrequest_seconds_count 1\n")
+	b.WriteString("# TYPE requests_total counter\n")
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, "requests_total{path=%q} 1\n", fmt.Sprintf("/v1/doc/%d", i))
+	}
+	sum, err := ParseExposition([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := len(sum.LabelValues["requests_total"]["path"]); got != 12 {
+		t.Fatalf("tracked %d path values, want 12", got)
+	}
+	// "le" must not count as cardinality.
+	if _, ok := sum.LabelValues["request_seconds_bucket"]["le"]; ok {
+		t.Fatalf("le bucket label tracked as cardinality")
+	}
+	v := sum.CardinalityViolations(10)
+	if len(v) != 1 || v[0].Metric != "requests_total" || v[0].Label != "path" || v[0].Count != 12 {
+		t.Fatalf("violations = %+v", v)
+	}
+	if v := sum.CardinalityViolations(12); len(v) != 0 {
+		t.Fatalf("threshold 12 should pass, got %+v", v)
+	}
+}

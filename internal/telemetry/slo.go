@@ -1,0 +1,183 @@
+// Rolling-window SLO tracking: availability (non-5xx fraction) and
+// latency (fraction of requests under a threshold) SLIs over short and
+// long windows, plus the burn rates alerting wants. Implemented as a
+// time-bucketed ring so a reading costs a fixed scan of the ring — no
+// per-request allocation, no timestamps stored.
+
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO window geometry: 10-second buckets, enough of them for the long
+// window. The short window reacts to incidents; the long window smooths
+// deploy blips.
+const (
+	sloBucketSize = 10 * time.Second
+	// SLOShortWindow is the fast-burn window.
+	SLOShortWindow = 5 * time.Minute
+	// SLOLongWindow is the slow-burn window.
+	SLOLongWindow = time.Hour
+)
+
+type sloBucket struct {
+	epoch int64 // bucket index since Unix epoch; stale buckets are reset
+	total int64
+	good  int64 // non-5xx
+	fast  int64 // latency under threshold
+}
+
+// SLOTracker accumulates request outcomes into a bucketed ring and
+// reports rolling availability/latency ratios and burn rates. Safe for
+// concurrent use. A nil tracker is a valid disabled instance.
+type SLOTracker struct {
+	mu               sync.Mutex
+	buckets          []sloBucket
+	availTarget      float64       // e.g. 0.999
+	latencyTarget    float64       // e.g. 0.99 (fraction under threshold)
+	latencyThreshold time.Duration // "fast" cutoff
+	now              func() time.Time
+}
+
+// NewSLOTracker builds a tracker. availTarget and latencyTarget are the
+// SLO objectives as fractions in (0,1); latencyThreshold is the fast/slow
+// cutoff. Zero values pick production defaults (99.9% availability,
+// 99% of requests under 500ms).
+func NewSLOTracker(availTarget, latencyTarget float64, latencyThreshold time.Duration) *SLOTracker {
+	if availTarget <= 0 || availTarget >= 1 {
+		availTarget = 0.999
+	}
+	if latencyTarget <= 0 || latencyTarget >= 1 {
+		latencyTarget = 0.99
+	}
+	if latencyThreshold <= 0 {
+		latencyThreshold = 500 * time.Millisecond
+	}
+	n := int(SLOLongWindow / sloBucketSize)
+	return &SLOTracker{
+		buckets:          make([]sloBucket, n),
+		availTarget:      availTarget,
+		latencyTarget:    latencyTarget,
+		latencyThreshold: latencyThreshold,
+		now:              time.Now,
+	}
+}
+
+// LatencyThreshold reports the fast/slow cutoff.
+func (s *SLOTracker) LatencyThreshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.latencyThreshold
+}
+
+// Observe records one request outcome: its HTTP status class (good =
+// not a 5xx) and its latency.
+func (s *SLOTracker) Observe(status int, latency time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch := s.now().UnixNano() / int64(sloBucketSize)
+	b := &s.buckets[int(epoch)%len(s.buckets)]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	b.total++
+	if status < 500 {
+		b.good++
+	}
+	if latency <= s.latencyThreshold {
+		b.fast++
+	}
+}
+
+// windowSums totals the buckets inside the window ending now.
+func (s *SLOTracker) windowSums(window time.Duration) (total, good, fast int64) {
+	epoch := s.now().UnixNano() / int64(sloBucketSize)
+	span := int64(window / sloBucketSize)
+	if span > int64(len(s.buckets)) {
+		span = int64(len(s.buckets))
+	}
+	for _, b := range s.buckets {
+		if b.epoch > epoch-span && b.epoch <= epoch && b.total > 0 {
+			total += b.total
+			good += b.good
+			fast += b.fast
+		}
+	}
+	return total, good, fast
+}
+
+// SLOReading is one window's SLIs and burn rates.
+type SLOReading struct {
+	// Requests is how many requests landed in the window.
+	Requests int64 `json:"requests"`
+	// Availability is the non-5xx fraction (1 when the window is empty —
+	// no traffic is not an outage).
+	Availability float64 `json:"availability"`
+	// LatencyRatio is the fraction of requests under the threshold.
+	LatencyRatio float64 `json:"latency_ratio"`
+	// AvailabilityBurn is error rate over error budget: 1.0 burns the
+	// budget exactly at the SLO boundary, >1 burns faster.
+	AvailabilityBurn float64 `json:"availability_burn"`
+	// LatencyBurn is the same for the latency SLI.
+	LatencyBurn float64 `json:"latency_burn"`
+}
+
+// Read reports the rolling SLIs over the given window.
+func (s *SLOTracker) Read(window time.Duration) SLOReading {
+	if s == nil {
+		return SLOReading{Availability: 1, LatencyRatio: 1}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total, good, fast := s.windowSums(window)
+	r := SLOReading{Requests: total, Availability: 1, LatencyRatio: 1}
+	if total == 0 {
+		return r
+	}
+	r.Availability = float64(good) / float64(total)
+	r.LatencyRatio = float64(fast) / float64(total)
+	r.AvailabilityBurn = (1 - r.Availability) / (1 - s.availTarget)
+	r.LatencyBurn = (1 - r.LatencyRatio) / (1 - s.latencyTarget)
+	return r
+}
+
+// Register wires the tracker's readings into a registry as labeled
+// gauges with a "window" label ("5m", "1h").
+func (s *SLOTracker) Register(r *Registry) {
+	if s == nil || r == nil {
+		return
+	}
+	windows := []struct {
+		label string
+		d     time.Duration
+	}{{"5m", SLOShortWindow}, {"1h", SLOLongWindow}}
+	read := func(pick func(SLOReading) float64) func() ([]string, []float64) {
+		return func() ([]string, []float64) {
+			names := make([]string, len(windows))
+			vals := make([]float64, len(windows))
+			for i, w := range windows {
+				names[i] = w.label
+				vals[i] = pick(s.Read(w.d))
+			}
+			return names, vals
+		}
+	}
+	r.LabeledGaugeFunc("slo_availability_ratio",
+		"Rolling non-5xx request fraction per window.", "window",
+		read(func(x SLOReading) float64 { return x.Availability }))
+	r.LabeledGaugeFunc("slo_latency_ratio",
+		"Rolling fraction of requests under the latency threshold per window.", "window",
+		read(func(x SLOReading) float64 { return x.LatencyRatio }))
+	r.LabeledGaugeFunc("slo_availability_burn_rate",
+		"Availability error-budget burn rate per window (1 = burning exactly at SLO).", "window",
+		read(func(x SLOReading) float64 { return x.AvailabilityBurn }))
+	r.LabeledGaugeFunc("slo_latency_burn_rate",
+		"Latency error-budget burn rate per window (1 = burning exactly at SLO).", "window",
+		read(func(x SLOReading) float64 { return x.LatencyBurn }))
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock drives an SLOTracker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time                     { return c.t }
+func (c *fakeClock) advance(d time.Duration)            { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                          { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func withClock(s *SLOTracker, c *fakeClock) *SLOTracker { s.now = c.now; return s }
+
+func TestSLOTrackerRatios(t *testing.T) {
+	clk := newFakeClock()
+	s := withClock(NewSLOTracker(0.999, 0.99, 100*time.Millisecond), clk)
+
+	for i := 0; i < 90; i++ {
+		s.Observe(200, 10*time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(500, 300*time.Millisecond)
+	}
+	r := s.Read(SLOShortWindow)
+	if r.Requests != 100 {
+		t.Fatalf("requests = %d", r.Requests)
+	}
+	if math.Abs(r.Availability-0.9) > 1e-9 {
+		t.Fatalf("availability = %g", r.Availability)
+	}
+	if math.Abs(r.LatencyRatio-0.9) > 1e-9 {
+		t.Fatalf("latency ratio = %g", r.LatencyRatio)
+	}
+	// 10% errors against a 0.1% budget: burn rate 100.
+	if math.Abs(r.AvailabilityBurn-100) > 1e-6 {
+		t.Fatalf("availability burn = %g", r.AvailabilityBurn)
+	}
+	// 10% slow against a 1% budget: burn rate 10.
+	if math.Abs(r.LatencyBurn-10) > 1e-6 {
+		t.Fatalf("latency burn = %g", r.LatencyBurn)
+	}
+}
+
+func TestSLOTrackerWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	s := withClock(NewSLOTracker(0, 0, 0), clk)
+	s.Observe(500, time.Second) // a bad request, now
+	if r := s.Read(SLOShortWindow); r.Requests != 1 || r.Availability != 0 {
+		t.Fatalf("fresh: %+v", r)
+	}
+	clk.advance(6 * time.Minute)
+	if r := s.Read(SLOShortWindow); r.Requests != 0 || r.Availability != 1 {
+		t.Fatalf("short window kept expired data: %+v", r)
+	}
+	// Still visible in the long window.
+	if r := s.Read(SLOLongWindow); r.Requests != 1 {
+		t.Fatalf("long window lost data: %+v", r)
+	}
+	clk.advance(time.Hour)
+	if r := s.Read(SLOLongWindow); r.Requests != 0 {
+		t.Fatalf("long window kept expired data: %+v", r)
+	}
+}
+
+func TestSLOTrackerEmptyWindowIsHealthy(t *testing.T) {
+	s := NewSLOTracker(0, 0, 0)
+	r := s.Read(SLOShortWindow)
+	if r.Availability != 1 || r.LatencyRatio != 1 || r.AvailabilityBurn != 0 {
+		t.Fatalf("empty window: %+v", r)
+	}
+	var nilTracker *SLOTracker
+	nilTracker.Observe(200, time.Millisecond)
+	if r := nilTracker.Read(SLOShortWindow); r.Availability != 1 {
+		t.Fatalf("nil tracker: %+v", r)
+	}
+}
+
+func TestSLOTrackerRegister(t *testing.T) {
+	clk := newFakeClock()
+	s := withClock(NewSLOTracker(0, 0, 0), clk)
+	s.Observe(200, time.Millisecond)
+	r := NewRegistry()
+	s.Register(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`slo_availability_ratio{window="5m"} 1`,
+		`slo_availability_ratio{window="1h"} 1`,
+		`slo_latency_ratio{window="5m"} 1`,
+		`slo_availability_burn_rate{window="5m"} 0`,
+		`slo_latency_burn_rate{window="1h"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -108,6 +108,15 @@ type Tracer struct {
 	// StartUnixNS is the trace start as a Unix timestamp in nanoseconds.
 	StartUnixNS int64
 
+	// TraceID/SpanID/ParentSpanID are the tracer's W3C trace identity:
+	// TraceID is shared by every hop of one request, SpanID names this
+	// tracer's root span, ParentSpanID names the remote span this tree
+	// hangs under (empty for a locally rooted trace). Set via
+	// SetTraceContext; empty on tracers that never saw a traceparent.
+	TraceID      string
+	SpanID       string
+	ParentSpanID string
+
 	start time.Time
 	root  *Span
 }
@@ -130,6 +139,28 @@ func (t *Tracer) Root() *Span {
 	return t.root
 }
 
+// SetTraceContext adopts a W3C trace context: the tracer's spans join
+// tc's trace, parented under tc's span, and the tracer's own root span
+// gets a fresh span ID. No-op on a nil tracer or an invalid context.
+func (t *Tracer) SetTraceContext(tc TraceContext) {
+	if t == nil || !tc.IsValid() {
+		return
+	}
+	t.TraceID = tc.TraceID
+	t.ParentSpanID = tc.SpanID
+	t.SpanID = NewSpanID()
+}
+
+// Context returns the tracer's own trace context — the one to hand to
+// the next hop so its spans parent under this tracer's root. The zero
+// TraceContext when the tracer carries no trace identity.
+func (t *Tracer) Context() TraceContext {
+	if t == nil || t.TraceID == "" {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: t.TraceID, SpanID: t.SpanID, Flags: "01"}
+}
+
 // Finish ends the root span. Idempotent.
 func (t *Tracer) Finish() {
 	if t == nil {
@@ -143,7 +174,12 @@ func (t *Tracer) Finish() {
 type Trace struct {
 	Doc         string `json:"doc"`
 	StartUnixNS int64  `json:"start_unix_ns"`
-	Root        *Span  `json:"root"`
+	// TraceID/SpanID/ParentSpanID carry the W3C trace identity when the
+	// tracer joined a propagated trace (see Tracer.SetTraceContext).
+	TraceID      string `json:"trace_id,omitempty"`
+	SpanID       string `json:"span_id,omitempty"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+	Root         *Span  `json:"root"`
 }
 
 // Trace snapshots the tracer for export. Returns nil for a nil tracer.
@@ -151,7 +187,11 @@ func (t *Tracer) Trace() *Trace {
 	if t == nil {
 		return nil
 	}
-	return &Trace{Doc: t.Doc, StartUnixNS: t.StartUnixNS, Root: t.root}
+	return &Trace{
+		Doc: t.Doc, StartUnixNS: t.StartUnixNS,
+		TraceID: t.TraceID, SpanID: t.SpanID, ParentSpanID: t.ParentSpanID,
+		Root: t.root,
+	}
 }
 
 // TraceWriter serializes finished traces as JSONL onto one writer, safe
@@ -221,6 +261,9 @@ func WriteChromeTrace(w io.Writer, traces []*Trace) error {
 		var walk func(s *Span)
 		walk = func(s *Span) {
 			args := map[string]any{"doc": t.Doc}
+			if t.TraceID != "" {
+				args["trace_id"] = t.TraceID
+			}
 			if s.Bytes > 0 {
 				args["bytes"] = s.Bytes
 			}

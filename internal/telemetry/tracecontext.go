@@ -1,0 +1,143 @@
+// W3C Trace Context (traceparent) support: parse and render the
+// `traceparent` header, and mint the random trace/span IDs that stitch a
+// request's spans into one tree across process and crash boundaries —
+// the HTTP handler, the durable intake queue and the worker that finally
+// scans the document all share one trace ID.
+//
+// Only the level-00 header format is implemented (that is all the spec
+// has shipped); tracestate is passed through untouched by callers that
+// care, and ignored here.
+
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceContext is one parsed W3C traceparent: the trace ID shared by
+// every span in the request, the span ID of the current (parent) span,
+// and the trace flags (bit 0 = sampled).
+type TraceContext struct {
+	// TraceID is 16 bytes, lower-case hex (32 chars), not all zero.
+	TraceID string
+	// SpanID is 8 bytes, lower-case hex (16 chars), not all zero.
+	SpanID string
+	// Flags is the 2-char hex flags field ("01" = sampled).
+	Flags string
+}
+
+// IsValid reports whether the context carries well-formed, non-zero IDs.
+func (tc TraceContext) IsValid() bool {
+	return validHexID(tc.TraceID, 32) && validHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context as a version-00 traceparent header
+// value. Invalid contexts render as "".
+func (tc TraceContext) Traceparent() string {
+	if !tc.IsValid() {
+		return ""
+	}
+	flags := tc.Flags
+	if len(flags) != 2 {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// Child returns a copy of tc with a freshly minted span ID — the context
+// to hand to the next hop so its spans parent under this one.
+func (tc TraceContext) Child() TraceContext {
+	tc.SpanID = NewSpanID()
+	return tc
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// known version prefix per the spec's forward-compatibility rule (the
+// first four fields must still parse) but rejects the reserved version
+// "ff", malformed lengths and all-zero IDs.
+func ParseTraceparent(header string) (TraceContext, error) {
+	h := strings.TrimSpace(header)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent: want 4 fields, got %d", len(parts))
+	}
+	ver, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || !isHex(ver) || ver == "ff" {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent: bad version %q", ver)
+	}
+	if ver == "00" && len(parts) != 4 {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent: version 00 wants exactly 4 fields")
+	}
+	if !validHexID(traceID, 32) {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent: bad trace-id %q", traceID)
+	}
+	if !validHexID(spanID, 16) {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent: bad parent-id %q", spanID)
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return TraceContext{}, fmt.Errorf("telemetry: traceparent: bad flags %q", flags)
+	}
+	return TraceContext{TraceID: traceID, SpanID: spanID, Flags: flags}, nil
+}
+
+// NewTraceContext mints a fresh sampled context with random IDs — the
+// root of a new trace when the caller arrived without a traceparent.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: "01"}
+}
+
+// NewTraceID returns 16 random bytes as lower-case hex.
+func NewTraceID() string { return randomHex(16) }
+
+// NewSpanID returns 8 random bytes as lower-case hex.
+func NewSpanID() string { return randomHex(8) }
+
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; if it somehow
+		// does, a zero ID would be rejected downstream, so synthesize a
+		// non-zero fallback instead.
+		for i := range b {
+			b[i] = byte(i + 1)
+		}
+	}
+	// Guard against the astronomically unlikely all-zero draw, which the
+	// spec declares invalid.
+	allZero := true
+	for _, c := range b {
+		if c != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		b[0] = 1
+	}
+	return hex.EncodeToString(b)
+}
+
+func validHexID(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}

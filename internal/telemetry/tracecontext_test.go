@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	in := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceparent(in)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if tc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || tc.SpanID != "00f067aa0ba902b7" || tc.Flags != "01" {
+		t.Fatalf("parsed fields = %+v", tc)
+	}
+	if got := tc.Traceparent(); got != in {
+		t.Fatalf("round trip = %q, want %q", got, in)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-short-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // reserved version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // upper-case hex
+	}
+	for _, h := range bad {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) = nil error, want failure", h)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Forward compatibility: a future version with extra fields still
+	// parses the leading four.
+	tc, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-what-ever")
+	if err != nil {
+		t.Fatalf("future version: %v", err)
+	}
+	if tc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %q", tc.TraceID)
+	}
+}
+
+func TestNewTraceContext(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.IsValid() {
+		t.Fatalf("fresh context invalid: %+v", tc)
+	}
+	if tc2 := NewTraceContext(); tc2.TraceID == tc.TraceID {
+		t.Fatalf("two fresh contexts share trace id %s", tc.TraceID)
+	}
+	child := tc.Child()
+	if child.TraceID != tc.TraceID {
+		t.Fatalf("child changed trace id")
+	}
+	if child.SpanID == tc.SpanID {
+		t.Fatalf("child kept parent span id")
+	}
+}
+
+func TestTracerSetTraceContext(t *testing.T) {
+	tc := NewTraceContext()
+	tr := NewTracer("doc.docm")
+	tr.SetTraceContext(tc)
+	if tr.TraceID != tc.TraceID {
+		t.Fatalf("tracer trace id = %q, want %q", tr.TraceID, tc.TraceID)
+	}
+	if tr.ParentSpanID != tc.SpanID {
+		t.Fatalf("tracer parent span = %q, want %q", tr.ParentSpanID, tc.SpanID)
+	}
+	if tr.SpanID == tc.SpanID || tr.SpanID == "" {
+		t.Fatalf("tracer did not mint its own span id: %q", tr.SpanID)
+	}
+	out := tr.Context()
+	if out.TraceID != tc.TraceID || out.SpanID != tr.SpanID {
+		t.Fatalf("Context() = %+v", out)
+	}
+	tr.Finish()
+	tr2 := tr.Trace()
+	if tr2.TraceID != tc.TraceID || tr2.SpanID != tr.SpanID || tr2.ParentSpanID != tc.SpanID {
+		t.Fatalf("exported trace identity = %+v", tr2)
+	}
+
+	// Invalid contexts are ignored.
+	var plain = NewTracer("plain")
+	plain.SetTraceContext(TraceContext{TraceID: "zz", SpanID: "zz"})
+	if plain.TraceID != "" {
+		t.Fatalf("invalid context adopted: %q", plain.TraceID)
+	}
+	if plain.Context().Traceparent() != "" {
+		t.Fatalf("context without identity rendered a traceparent")
+	}
+}
+
+func TestChromeTraceCarriesTraceID(t *testing.T) {
+	tc := NewTraceContext()
+	tr := NewTracer("doc.docm")
+	tr.SetTraceContext(tc)
+	tr.Root().Child("extract").End()
+	tr.Finish()
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, []*Trace{tr.Trace()}); err != nil {
+		t.Fatalf("chrome trace: %v", err)
+	}
+	if !strings.Contains(sb.String(), tc.TraceID) {
+		t.Fatalf("chrome trace missing trace id %s:\n%s", tc.TraceID, sb.String())
+	}
+}

@@ -318,6 +318,55 @@ type (
 	AuditConfig = telemetry.AuditConfig
 )
 
+// Fleet observability — W3C trace-context propagation, model-drift
+// monitoring against train-time score baselines, and rolling SLO
+// burn-rate tracking (see internal/telemetry and the README's
+// Observability section).
+
+type (
+	// TraceContext is a W3C trace-context identity (trace ID, span ID,
+	// flags) carried on the `traceparent` header and journaled with async
+	// work so spans stitch across processes and crashes.
+	TraceContext = telemetry.TraceContext
+	// DriftMonitor compares rolling production score histograms against
+	// train-time baselines per feature channel, reporting PSI.
+	DriftMonitor = telemetry.DriftMonitor
+	// SLOTracker maintains rolling availability/latency SLIs and
+	// burn-rate gauges over 5m and 1h windows.
+	SLOTracker = telemetry.SLOTracker
+	// SLOReading is one window's point-in-time SLI snapshot.
+	SLOReading = telemetry.SLOReading
+	// ChannelBaseline is one feature channel's train-time score
+	// histogram, persisted inside the model container.
+	ChannelBaseline = core.ChannelBaseline
+	// ChannelScore is one feature channel's contribution to a macro
+	// verdict.
+	ChannelScore = core.ChannelScore
+)
+
+// ParseTraceparent parses a W3C `traceparent` header value.
+func ParseTraceparent(header string) (TraceContext, error) {
+	return telemetry.ParseTraceparent(header)
+}
+
+// NewTraceContext mints a fresh sampled trace identity.
+func NewTraceContext() TraceContext { return telemetry.NewTraceContext() }
+
+// NewDriftMonitor builds a drift monitor with the given rolling window
+// per channel (<= 0 means 4096 observations). Seed it with SetBaseline
+// from a trained detector's Baselines, then feed production scores to
+// Observe.
+func NewDriftMonitor(window int) *DriftMonitor {
+	return telemetry.NewDriftMonitor(window)
+}
+
+// NewSLOTracker builds an SLO tracker with the given availability and
+// latency objectives (<= 0 pick the 0.999 / 0.99 defaults) and latency
+// threshold (<= 0 means 500ms).
+func NewSLOTracker(availTarget, latencyTarget float64, latencyThreshold time.Duration) *SLOTracker {
+	return telemetry.NewSLOTracker(availTarget, latencyTarget, latencyThreshold)
+}
+
 // NewTracer starts a trace for one document; call Finish before export.
 func NewTracer(doc string) *Tracer { return telemetry.NewTracer(doc) }
 
