@@ -12,6 +12,8 @@
 //	POST /v1/submit       durable async intake (with -intake-dir): journal the
 //	                      document crash-safely, return a ticket immediately
 //	GET  /v1/tickets/{id} poll an async ticket for its published verdict
+//	GET  /v1/model        loaded-model identity: model SHA-256, feature-set
+//	                      name/ID, algorithm, channel layout, build info
 //	GET  /v1/admin/intake/dead          list dead-lettered submissions
 //	POST /v1/admin/intake/redrive/{id}  return a dead submission to the queue
 //	POST /v1/admin/reload hot-swap the model from -model (also SIGHUP)

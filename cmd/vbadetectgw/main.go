@@ -1,0 +1,191 @@
+// Command vbadetectgw is the fleet gateway: an HTTP coordinator that
+// fronts N vbadetectd backends behind a consistent-hash ring with a
+// shared verdict cache, hedged retries and staged model rollout.
+//
+//	vbadetectgw -addr :8090 -backends 10.0.0.1:8080,10.0.0.2:8080
+//
+// Endpoints:
+//
+//	POST /v1/scan           classify one document: shared verdict tier →
+//	                        consistent-hash route → hedged retry/failover
+//	GET  /v1/model          fleet model identity (same shape as a backend's)
+//	POST /v1/admin/rollout  staged fleet model reload with skew detection
+//	GET  /healthz           per-backend state, fleet target, shared-cache stats
+//	GET  /readyz            200 when at least one backend is routable
+//	GET  /metrics           gateway counters as JSON; ?format=prometheus merges
+//	                        every backend's families under a backend="..." label
+//
+// Routing is content-addressed: the document SHA-256 picks the backend,
+// so each node's local caches stay hot for its shard, and repeat
+// documents anywhere in the fleet are answered from the gateway's shared
+// verdict cache without touching a backend. Each flag also reads a
+// VBADETECTGW_* environment variable as its default (flags win; 0 means
+// the built-in default), mirroring vbadetectd.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func envInt64(name string, def int64) int64 {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func envInt(name string, def int) int {
+	return int(envInt64(name, int64(def)))
+}
+
+func envFloat(name string, def float64) float64 {
+	if v := os.Getenv(name); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+func envString(name, def string) string {
+	if v := os.Getenv(name); v != "" {
+		return v
+	}
+	return def
+}
+
+func envDuration(name string, def time.Duration) time.Duration {
+	if v := os.Getenv(name); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+	}
+	return def
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vbadetectgw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vbadetectgw", flag.ExitOnError)
+	addr := fs.String("addr",
+		envString("VBADETECTGW_ADDR", ":8090"),
+		"listen address")
+	backends := fs.String("backends",
+		envString("VBADETECTGW_BACKENDS", ""),
+		"comma-separated vbadetectd backends (host:port or URL); required")
+	vnodes := fs.Int("vnodes",
+		envInt("VBADETECTGW_VNODES", 0),
+		"virtual nodes per backend on the consistent-hash ring (0 = default 128)")
+	loadBound := fs.Float64("load-bound",
+		envFloat("VBADETECTGW_LOAD_BOUND", 0),
+		"bounded-load factor c: skip a backend above ceil(c×mean) in-flight (0 = default 1.25, negative = disable)")
+	hedgeAfter := fs.Duration("hedge-after",
+		envDuration("VBADETECTGW_HEDGE_AFTER", 0),
+		"fixed hedge budget before trying the next ring node (0 = adaptive p95, negative = disable hedging)")
+	maxAttempts := fs.Int("max-attempts",
+		envInt("VBADETECTGW_MAX_ATTEMPTS", 0),
+		"max distinct backends tried per scan, counting hedges and failover (0 = default 3)")
+	healthInterval := fs.Duration("health-interval",
+		envDuration("VBADETECTGW_HEALTH_INTERVAL", 0),
+		"backend health/identity probe period (0 = default 2s)")
+	probeTimeout := fs.Duration("probe-timeout",
+		envDuration("VBADETECTGW_PROBE_TIMEOUT", 0),
+		"per-probe timeout (0 = default 2s)")
+	scanTimeout := fs.Duration("scan-timeout",
+		envDuration("VBADETECTGW_SCAN_TIMEOUT", 0),
+		"end-to-end gateway scan deadline covering all hedged attempts (0 = default 60s)")
+	rolloutTimeout := fs.Duration("rollout-timeout",
+		envDuration("VBADETECTGW_ROLLOUT_TIMEOUT", 0),
+		"per-backend reload deadline during a staged rollout (0 = default 120s)")
+	maxBody := fs.Int64("max-body",
+		envInt64("VBADETECTGW_MAX_BODY", 0),
+		"max request body bytes (0 = default 32MiB)")
+	cacheEntries := fs.Int("cache-entries",
+		envInt("VBADETECTGW_CACHE_ENTRIES", 0),
+		"shared verdict cache entry capacity (0 = default 65536, negative = disable the shared tier)")
+	cacheBytes := fs.Int64("cache-bytes",
+		envInt64("VBADETECTGW_CACHE_BYTES", 0),
+		"shared verdict cache byte budget (0 = default 512MiB, negative = bound by entries alone)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pool []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			pool = append(pool, b)
+		}
+	}
+	if len(pool) == 0 {
+		return fmt.Errorf("no backends: set -backends or VBADETECTGW_BACKENDS")
+	}
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	gw, err := fleet.New(fleet.Config{
+		Backends:        pool,
+		VNodes:          *vnodes,
+		LoadBoundFactor: *loadBound,
+		HedgeAfter:      *hedgeAfter,
+		MaxAttempts:     *maxAttempts,
+		HealthInterval:  *healthInterval,
+		ProbeTimeout:    *probeTimeout,
+		ScanTimeout:     *scanTimeout,
+		RolloutTimeout:  *rolloutTimeout,
+		MaxBodyBytes:    *maxBody,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		Logger:          logger,
+	})
+	if err != nil {
+		return err
+	}
+	gw.Start()
+	defer gw.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("gateway listening", "addr", *addr, "backends", pool)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("gateway shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

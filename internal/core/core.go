@@ -11,7 +11,9 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -205,6 +207,30 @@ type Detector struct {
 	// mapping is the mmap'd model image backing clf, owned by the
 	// detector (see LoadModelFile and Close).
 	mapping *ml.Mapping
+
+	// modelSHA is the hex SHA-256 of the serialized model image this
+	// detector was loaded from — the fleet-wide model identity a gateway
+	// compares across backends before routing. Computed at load time;
+	// detectors trained in-process derive it lazily from SaveModel.
+	modelSHA   string
+	modelSHAMu sync.Mutex
+}
+
+// ModelSHA returns the hex SHA-256 of the detector's serialized model —
+// for a detector restored with LoadModel/LoadModelFile, the hash of the
+// exact bytes it was loaded from (container or plain JSON). A detector
+// trained in-process hashes its SaveModel serialization on first call and
+// memoizes the result. Empty for an untrained detector.
+func (d *Detector) ModelSHA() string {
+	d.modelSHAMu.Lock()
+	defer d.modelSHAMu.Unlock()
+	if d.modelSHA == "" && d.trained {
+		if blob, err := d.SaveModel(); err == nil {
+			sum := sha256.Sum256(blob)
+			d.modelSHA = hex.EncodeToString(sum[:])
+		}
+	}
+	return d.modelSHA
 }
 
 // SetMacroCache attaches a macro-level verdict cache consulted by
@@ -991,6 +1017,7 @@ func loadModel(data []byte, m *ml.Mapping) (*Detector, error) {
 	if err := validateModelChannels(fs, head.Channels); err != nil {
 		return nil, err
 	}
+	sum := sha256.Sum256(data)
 	return &Detector{
 		featureSet: fs,
 		algo:       Algorithm(head.Algorithm),
@@ -999,6 +1026,7 @@ func loadModel(data []byte, m *ml.Mapping) (*Detector, error) {
 		modelRaw:   append(json.RawMessage(nil), head.Model...),
 		baselines:  head.Baselines,
 		cacheSalt:  fs.CacheID(),
+		modelSHA:   hex.EncodeToString(sum[:]),
 	}, nil
 }
 

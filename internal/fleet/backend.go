@@ -1,0 +1,210 @@
+// Backend pool: one entry per vbadetectd node, health-checked via the
+// node's own /readyz and /v1/model endpoints. A backend is routable only
+// when it is reachable, ready, not backing off a Retry-After hint, and
+// its model identity matches the fleet target — a skewed backend keeps
+// serving its own traffic but the gateway refuses to route to it
+// (ErrFeatureSkew semantics, applied at the fleet boundary).
+
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ErrNoBackends is returned when no configured backend is routable.
+var ErrNoBackends = errors.New("fleet: no routable backends")
+
+// backendState is the gateway's view of one node.
+type backendState int
+
+const (
+	// stateUnknown: never probed successfully.
+	stateUnknown backendState = iota
+	// stateHealthy: ready and identity-matched; routable.
+	stateHealthy
+	// stateUnhealthy: unreachable or /readyz failed.
+	stateUnhealthy
+	// stateDraining: /readyz reports draining — the node is shutting
+	// down; stop routing but don't count it as failed.
+	stateDraining
+	// stateSkewed: model identity differs from the fleet target; refuse
+	// to route (a skewed backend would answer with a different model).
+	stateSkewed
+	// stateRolling: a staged rollout is reloading this node right now.
+	stateRolling
+)
+
+func (s backendState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateUnhealthy:
+		return "unhealthy"
+	case stateDraining:
+		return "draining"
+	case stateSkewed:
+		return "skewed"
+	case stateRolling:
+		return "rolling"
+	default:
+		return "unknown"
+	}
+}
+
+// backend is one pool entry. Mutable fields are guarded by mu; inflight
+// and routed are hot-path atomics.
+type backend struct {
+	name string // routing identity, e.g. "127.0.0.1:8081"
+	base string // base URL, e.g. "http://127.0.0.1:8081"
+
+	inflight atomic.Int64 // requests currently proxied to this backend
+	routed   atomic.Int64 // lifetime scans routed here
+
+	mu           sync.Mutex
+	state        backendState
+	reason       string // operator-facing cause for an unroutable state
+	identity     server.ModelResponse
+	hasIdentity  bool
+	backoffUntil time.Time // Retry-After honor: no routing until then
+}
+
+// newBackend normalizes an address ("host:port" or full URL) into a pool
+// entry.
+func newBackend(addr string) *backend {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	name := strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	name = strings.TrimSuffix(name, "/")
+	return &backend{name: name, base: strings.TrimSuffix(base, "/")}
+}
+
+// routable reports whether the gateway may send a scan here now.
+func (b *backend) routable(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == stateHealthy && !now.Before(b.backoffUntil)
+}
+
+// setState transitions the backend with a reason (kept for /healthz and
+// the runbook's fleet_backend_unhealthy alert).
+func (b *backend) setState(s backendState, reason string) {
+	b.mu.Lock()
+	b.state = s
+	b.reason = reason
+	b.mu.Unlock()
+}
+
+// snapshot reads the backend's state for health reporting.
+func (b *backend) snapshot() (state backendState, reason string, id server.ModelResponse, hasID bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.reason, b.identity, b.hasIdentity
+}
+
+// honorRetryAfter parses a Retry-After response header (seconds form) and
+// suspends routing to this backend for that long. Returns the applied
+// backoff (0 when the header was absent or unparsable).
+func (b *backend) honorRetryAfter(h http.Header, now time.Time) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	b.mu.Lock()
+	if until := now.Add(d); until.After(b.backoffUntil) {
+		b.backoffUntil = until
+	}
+	b.mu.Unlock()
+	return d
+}
+
+// probe refreshes the backend's health and model identity: GET /readyz
+// decides reachable/ready/draining, GET /v1/model (only when ready)
+// refreshes the identity used for skew detection. The caller applies skew
+// policy — probe only reports what the node says about itself.
+func (b *backend) probe(ctx context.Context, client *http.Client) error {
+	status, body, _, err := get(ctx, client, b.base+"/readyz")
+	switch {
+	case err != nil:
+		b.setState(stateUnhealthy, err.Error())
+		return err
+	case status == http.StatusOK:
+	default:
+		var st struct {
+			Status string `json:"status"`
+		}
+		_ = json.Unmarshal(body, &st)
+		if st.Status == "draining" {
+			b.setState(stateDraining, "backend draining")
+			return nil
+		}
+		b.setState(stateUnhealthy, fmt.Sprintf("readyz %d: %s", status, strings.TrimSpace(st.Status)))
+		return nil
+	}
+	status, body, _, err = get(ctx, client, b.base+"/v1/model")
+	if err != nil || status != http.StatusOK {
+		if err == nil {
+			err = fmt.Errorf("fleet: %s: /v1/model returned %d", b.name, status)
+		}
+		b.setState(stateUnhealthy, err.Error())
+		return err
+	}
+	var id server.ModelResponse
+	if err := json.Unmarshal(body, &id); err != nil {
+		b.setState(stateUnhealthy, "bad /v1/model payload: "+err.Error())
+		return err
+	}
+	b.mu.Lock()
+	b.identity = id
+	b.hasIdentity = true
+	// The caller (gateway health pass) decides healthy vs skewed against
+	// the fleet target; mark healthy here and let it demote.
+	b.state = stateHealthy
+	b.reason = ""
+	b.mu.Unlock()
+	return nil
+}
+
+// identityKey is the skew-comparison form of a model identity: the model
+// image hash plus the feature-set cache identity. Two backends with equal
+// keys produce byte-identical verdicts for the same document.
+func identityKey(id server.ModelResponse) string {
+	return id.FeatureSetID + "|" + id.ModelSHA256
+}
+
+// get issues a GET with the probe client and returns status, body and
+// headers. The body is capped — probe endpoints are small.
+func get(ctx context.Context, client *http.Client, url string) (int, []byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, body, resp.Header, nil
+}

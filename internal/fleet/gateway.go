@@ -1,0 +1,972 @@
+// The gateway: an HTTP coordinator fronting N vbadetectd backends.
+//
+// Request flow for POST /v1/scan:
+//
+//  1. Hash the document (the same SHA-256 that keys internal/cache).
+//  2. Shared verdict tier: a repeat document anywhere in the fleet is
+//     answered from the gateway's cache — zero backend work.
+//  3. Consistent-hash routing: the content hash picks the backend, so
+//     each backend's local doc/macro caches stay hot for its shard.
+//     Bounded-load: a backend far above the mean in-flight load is
+//     skipped for this request (the ring order is otherwise preserved).
+//  4. Hedged retry: if the primary hasn't answered within the hedge
+//     budget (p95 of recent fleet latency, or -hedge-after), the same
+//     request is sent to the next ring node; first good answer wins.
+//     Transport errors, 429/502/503 and Retry-After hints fail over the
+//     same way, so a killed or saturated backend costs latency, not
+//     availability.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// Config tunes the gateway. Zero values take production defaults.
+type Config struct {
+	// Backends are the vbadetectd nodes, as "host:port" or full URLs.
+	Backends []string
+	// VNodes is the virtual-node count per backend (0 = DefaultVNodes).
+	VNodes int
+	// LoadBoundFactor is the bounded-load multiplier c: a backend whose
+	// in-flight count exceeds ceil(c × mean) is skipped as primary for a
+	// request (ring order otherwise preserved). 0 applies 1.25; negative
+	// disables load bounding.
+	LoadBoundFactor float64
+	// HedgeAfter is the fixed hedge budget: how long the primary gets
+	// before the same request is fired at the next ring node. 0 adapts to
+	// the rolling p95 of fleet scan latency (clamped to [10ms, 2s]);
+	// negative disables hedging (failover on failure still applies).
+	HedgeAfter time.Duration
+	// MaxAttempts bounds how many distinct backends one request may try
+	// (primary + hedge + failover). 0 applies 3.
+	MaxAttempts int
+	// HealthInterval is the backend probe period. 0 applies 2s; negative
+	// disables the background loop (Probe can still be called directly).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health/identity probe. 0 applies 2s.
+	ProbeTimeout time.Duration
+	// ScanTimeout is the end-to-end deadline for one gateway scan,
+	// covering every hedged attempt. 0 applies 60s.
+	ScanTimeout time.Duration
+	// RolloutTimeout bounds one backend's admin reload during a staged
+	// rollout. 0 applies 120s.
+	RolloutTimeout time.Duration
+	// MaxBodyBytes caps a request body. 0 applies 32 MiB.
+	MaxBodyBytes int64
+	// CacheEntries / CacheBytes bound the shared verdict tier, exactly
+	// like the daemon's flags: entries 0 = 65536 default, negative
+	// disables the shared cache; bytes 0 = 512 MiB, negative unbounded.
+	CacheEntries int
+	CacheBytes   int64
+	// Logger receives structured logs. Default: JSON to stderr.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.LoadBoundFactor == 0 {
+		c.LoadBoundFactor = 1.25
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ScanTimeout <= 0 {
+		c.ScanTimeout = 60 * time.Second
+	}
+	if c.RolloutTimeout <= 0 {
+		c.RolloutTimeout = 120 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return c
+}
+
+// sharedVerdict is one shared-tier entry: the backend's report JSON kept
+// raw so a repeat answer is byte-identical to the original scan's report.
+type sharedVerdict struct {
+	report   json.RawMessage
+	noMacros bool
+	backend  string
+}
+
+// Gateway coordinates the fleet.
+type Gateway struct {
+	cfg      Config
+	log      *slog.Logger
+	ring     *Ring
+	backends []*backend
+	byName   map[string]*backend
+
+	// verdicts is the fleet-wide shared verdict tier, keyed by content
+	// hash salted with the fleet target identity (feature-set ID + model
+	// SHA) so a rollout invalidates by construction. Nil when disabled.
+	verdicts *cache.Cache[sharedVerdict]
+
+	// target is the fleet model identity every routable backend must
+	// match. Adopted from the backend majority by the health loop, or set
+	// explicitly by a completed rollout.
+	target atomic.Pointer[server.ModelResponse]
+
+	scanClient  *http.Client // hedged scan traffic (no client timeout; ctx-bound)
+	probeClient *http.Client // health/identity probes
+
+	lat     latencyTracker
+	metrics *gatewayMetrics
+	reqSeq  atomic.Uint64
+
+	rolloutMu sync.Mutex // one staged rollout at a time
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	loopDone chan struct{}
+}
+
+// New builds a gateway over the configured backends. The health loop is
+// not started yet — call Start (or drive Probe from tests).
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("fleet: no backends configured")
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		log:    cfg.Logger,
+		ring:   NewRing(cfg.VNodes),
+		byName: make(map[string]*backend, len(cfg.Backends)),
+		scanClient: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		stopCh:   make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	g.probeClient = &http.Client{Timeout: cfg.ProbeTimeout, Transport: g.scanClient.Transport}
+	names := make([]string, 0, len(cfg.Backends))
+	for _, addr := range cfg.Backends {
+		b := newBackend(addr)
+		if _, dup := g.byName[b.name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate backend %q", b.name)
+		}
+		g.backends = append(g.backends, b)
+		g.byName[b.name] = b
+		names = append(names, b.name)
+	}
+	g.ring.SetNodes(names)
+	entries, bytesBound, enabled := sharedCacheBounds(cfg.CacheEntries, cfg.CacheBytes)
+	if enabled {
+		g.verdicts = cache.New[sharedVerdict](entries, bytesBound)
+	}
+	g.metrics = newGatewayMetrics(g)
+	return g, nil
+}
+
+// sharedCacheBounds mirrors the daemon's cache flag semantics with
+// fleet-sized defaults (the shared tier covers every backend's traffic).
+func sharedCacheBounds(entries int, bytes int64) (int, int64, bool) {
+	if entries < 0 {
+		return 0, 0, false
+	}
+	if entries == 0 {
+		entries = 65536
+	}
+	if bytes == 0 {
+		bytes = 512 << 20
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	return entries, bytes, true
+}
+
+// Start launches the background health loop (no-op when disabled) after
+// one synchronous probe pass so the first request already sees backend
+// identities.
+func (g *Gateway) Start() {
+	g.Probe(context.Background())
+	if g.cfg.HealthInterval < 0 {
+		close(g.loopDone)
+		return
+	}
+	go func() {
+		defer close(g.loopDone)
+		t := time.NewTicker(g.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-g.stopCh:
+				return
+			case <-t.C:
+				g.Probe(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the health loop.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stopCh) })
+	<-g.loopDone
+}
+
+// Probe refreshes every backend's health and identity concurrently, then
+// re-applies fleet skew policy.
+func (g *Gateway) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+			defer cancel()
+			_ = b.probe(pctx, g.probeClient)
+		}(b)
+	}
+	wg.Wait()
+	g.applySkewPolicy()
+}
+
+// applySkewPolicy resolves the fleet target identity and demotes any
+// healthy backend whose identity differs: the gateway refuses to route to
+// a skewed backend, because it would answer with a different model than
+// the rest of the fleet (ErrFeatureSkew semantics at the fleet boundary).
+// Without an explicit target (set by rollout), the majority identity among
+// probed backends wins; ties break toward the first backend in config
+// order, so the outcome is deterministic.
+func (g *Gateway) applySkewPolicy() {
+	type bucket struct {
+		id    server.ModelResponse
+		count int
+		first int
+	}
+	buckets := map[string]*bucket{}
+	for i, b := range g.backends {
+		_, _, id, has := b.snapshot()
+		if !has {
+			continue
+		}
+		k := identityKey(id)
+		if bk, ok := buckets[k]; ok {
+			bk.count++
+		} else {
+			buckets[k] = &bucket{id: id, count: 1, first: i}
+		}
+	}
+	target := g.target.Load()
+	if target == nil {
+		var best *bucket
+		for _, bk := range buckets {
+			if best == nil || bk.count > best.count || (bk.count == best.count && bk.first < best.first) {
+				best = bk
+			}
+		}
+		if best == nil {
+			return // nothing probed yet
+		}
+		id := best.id
+		target = &id
+		g.target.Store(target)
+		g.log.Info("fleet target adopted",
+			"model", shortSHA(id.ModelSHA256), "feature_set", id.FeatureSet)
+	}
+	want := identityKey(*target)
+	for _, b := range g.backends {
+		st, _, id, has := b.snapshot()
+		if !has {
+			continue
+		}
+		if identityKey(id) != want {
+			if st != stateSkewed {
+				g.log.Warn("backend skewed from fleet target", "backend", b.name,
+					"backend_model", shortSHA(id.ModelSHA256), "target_model", shortSHA(target.ModelSHA256))
+				g.metrics.SkewRefusals.Add(1)
+			}
+			b.setState(stateSkewed, fmt.Sprintf("model %s != fleet target %s",
+				shortSHA(id.ModelSHA256), shortSHA(target.ModelSHA256)))
+		} else if st == stateSkewed {
+			// Identity converged (e.g. operator reloaded it by hand).
+			b.setState(stateHealthy, "")
+		}
+	}
+}
+
+func shortSHA(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}
+
+// Target returns the fleet model identity, nil before the first probe.
+func (g *Gateway) Target() *server.ModelResponse { return g.target.Load() }
+
+// Handler builds the gateway's routing table wrapped in request logging.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scan", g.handleScan)
+	mux.HandleFunc("GET /v1/model", g.handleModel)
+	mux.HandleFunc("POST /v1/admin/rollout", g.handleRollout)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return g.withRequestLog(mux)
+}
+
+// withRequestLog mirrors the daemon's middleware: request IDs, W3C trace
+// propagation (the gateway's span parents the backend's), structured logs
+// and status metrics.
+func (g *Gateway) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("gw-%06d", g.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		tc, _ := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		if tc.IsValid() {
+			tc = tc.Child()
+		} else {
+			tc = telemetry.NewTraceContext()
+		}
+		w.Header().Set("traceparent", tc.Traceparent())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ctx := context.WithValue(r.Context(), gwRequestIDKey{}, id)
+		ctx = context.WithValue(ctx, gwTraceKey{}, tc)
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		g.metrics.Requests.Add(r.Method+" "+r.URL.Path, 1)
+		g.metrics.Responses.Add(statusClass(sw.status), 1)
+		g.log.Info("request",
+			"id", id,
+			"trace_id", tc.TraceID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"elapsed_ms", float64(elapsed.Nanoseconds())/1e6,
+			"remote", r.RemoteAddr)
+	})
+}
+
+type gwRequestIDKey struct{}
+type gwTraceKey struct{}
+
+func gwRequestID(ctx context.Context) string {
+	id, _ := ctx.Value(gwRequestIDKey{}).(string)
+	return id
+}
+
+func gwTrace(ctx context.Context) telemetry.TraceContext {
+	tc, _ := ctx.Value(gwTraceKey{}).(telemetry.TraceContext)
+	return tc
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func statusClass(code int) string {
+	switch code / 100 {
+	case 1:
+		return "1xx"
+	case 2:
+		return "2xx"
+	case 3:
+		return "3xx"
+	case 4:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// gatewayScanResponse is the gateway's scan wire format: the daemon's
+// ScanResponse with the report kept as raw JSON, so a proxied or cached
+// answer carries the backend's report bytes verbatim (no re-marshal
+// drift — the e2e identity check depends on this).
+type gatewayScanResponse struct {
+	RequestID   string          `json:"request_id,omitempty"`
+	TraceID     string          `json:"trace_id,omitempty"`
+	File        string          `json:"file"`
+	NoMacros    bool            `json:"no_macros,omitempty"`
+	Report      json.RawMessage `json:"report,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	ErrorClass  string          `json:"error_class,omitempty"`
+	Stages      json.RawMessage `json:"stage_ms,omitempty"`
+	Cached      bool            `json:"cached,omitempty"`
+	Backend     string          `json:"backend,omitempty"`
+	SharedCache bool            `json:"shared_cache,omitempty"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+}
+
+func (g *Gateway) handleScan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	g.metrics.Scans.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("body exceeds %d byte limit", g.cfg.MaxBodyBytes)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	name := r.Header.Get("X-Filename")
+	if name == "" {
+		name = "document"
+	}
+
+	// Shared verdict tier: key = content hash salted with the fleet model
+	// identity, so entries from a previous model can never answer. A hit
+	// costs one hash and one lookup — no backend is touched at all.
+	routeKey := cache.KeyOf(body)
+	target := g.target.Load()
+	var cacheKey cache.Key
+	haveCacheKey := false
+	if target != nil && g.verdicts != nil {
+		cacheKey = cache.KeyOfSalted(identityKey(*target), body)
+		haveCacheKey = true
+		if v, ok := g.verdicts.Get(cacheKey); ok {
+			resp := gatewayScanResponse{
+				RequestID:   gwRequestID(r.Context()),
+				TraceID:     gwTrace(r.Context()).TraceID,
+				File:        name,
+				NoMacros:    v.noMacros,
+				Report:      v.report,
+				Cached:      true,
+				SharedCache: true,
+				Backend:     v.backend,
+				ElapsedMS:   float64(time.Since(start).Nanoseconds()) / 1e6,
+			}
+			g.metrics.RequestLatency.Observe(time.Since(start))
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ScanTimeout)
+	defer cancel()
+	res, err := g.scanFleet(ctx, r, routeKey, name, body)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrNoBackends):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	case ctx.Err() != nil:
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "fleet scan deadline exceeded"})
+		return
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+		return
+	}
+
+	if res.resp.status != http.StatusOK {
+		// Definitive non-OK (422 malformed, 504 pipeline deadline, ...):
+		// pass the backend's answer through untouched.
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(res.resp.status)
+		_, _ = w.Write(res.resp.body)
+		return
+	}
+	var resp gatewayScanResponse
+	if err := json.Unmarshal(res.resp.body, &resp); err != nil {
+		writeJSON(w, http.StatusBadGateway,
+			map[string]string{"error": "bad backend response: " + err.Error()})
+		return
+	}
+	resp.RequestID = gwRequestID(r.Context())
+	resp.TraceID = gwTrace(r.Context()).TraceID
+	resp.Backend = res.backend.name
+	if haveCacheKey && resp.Error == "" && len(resp.Report) > 0 && !reportDegraded(resp.Report) {
+		// Only populate the shared tier while the serving backend matches
+		// the fleet target — mid-rollout, a not-yet-reloaded backend's
+		// verdict must not be cached under the new identity's salt.
+		if _, _, id, has := res.backend.snapshot(); has && target != nil && identityKey(id) == identityKey(*target) {
+			g.verdicts.Put(cacheKey, sharedVerdict{
+				report:   append(json.RawMessage(nil), resp.Report...),
+				noMacros: resp.NoMacros,
+				backend:  res.backend.name,
+			}, int64(len(resp.Report))+64)
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	g.metrics.RequestLatency.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reportDegraded peeks at the raw report for "degraded": degraded
+// verdicts are never cached (same poisoning guard as the daemon's
+// DocCache).
+func reportDegraded(raw json.RawMessage) bool {
+	var probe struct {
+		Degraded bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return true // unparsable: don't cache
+	}
+	return probe.Degraded
+}
+
+// backendResponse is one fully-read upstream answer.
+type backendResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// attemptResult is one backend attempt's outcome.
+type attemptResult struct {
+	backend *backend
+	resp    *backendResponse
+	err     error // transport-level failure
+	hedged  bool  // launched by the hedge timer, not as primary
+	elapsed time.Duration
+}
+
+// retryable reports whether another backend should be tried: transport
+// errors and upstream saturation/unavailability (429, 500, 502, 503) fail
+// over; everything else — including 422 document faults and 504 pipeline
+// deadlines — is a property of the document, not the node, and passes
+// through.
+func (a attemptResult) retryable() bool {
+	if a.err != nil {
+		return true
+	}
+	switch a.resp.status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// scanFleet routes one document: primary by ring order (bounded-load),
+// hedged to the next ring node after the hedge budget, failing over on
+// retryable outcomes until MaxAttempts distinct backends have been tried.
+func (g *Gateway) scanFleet(ctx context.Context, r *http.Request, routeKey cache.Key,
+	name string, body []byte) (attemptResult, error) {
+	order := g.routeOrder(routeKey)
+	if len(order) == 0 {
+		return attemptResult{}, ErrNoBackends
+	}
+	if len(order) > g.cfg.MaxAttempts {
+		order = order[:g.cfg.MaxAttempts]
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan attemptResult, len(order))
+	launch := func(b *backend, hedged bool) {
+		b.inflight.Add(1)
+		b.routed.Add(1)
+		g.metrics.Routed.Add(b.name, 1)
+		go func() {
+			defer b.inflight.Add(-1)
+			started := time.Now()
+			resp, err := g.forwardScan(actx, r, b, name, body)
+			results <- attemptResult{backend: b, resp: resp, err: err,
+				hedged: hedged, elapsed: time.Since(started)}
+		}()
+	}
+	launch(order[0], false)
+	next := 1
+	var hedgeC <-chan time.Time
+	if d := g.hedgeDelay(); d >= 0 && next < len(order) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	pending := 1
+	var last attemptResult
+	for {
+		select {
+		case res := <-results:
+			pending--
+			if res.err == nil && !res.retryable() {
+				g.lat.observe(res.elapsed)
+				g.metrics.UpstreamLatency.Observe(res.elapsed)
+				if res.hedged {
+					g.metrics.HedgeWins.Add(1)
+				}
+				return res, nil
+			}
+			g.noteFailure(res)
+			last = res
+			if next < len(order) {
+				g.metrics.Failovers.Add(1)
+				launch(order[next], false)
+				next++
+				pending++
+			} else if pending == 0 {
+				if last.err != nil {
+					return attemptResult{}, fmt.Errorf("fleet: all backends failed: %w", last.err)
+				}
+				// Saturation everywhere: surface the last upstream answer
+				// (429/503 with its Retry-After) rather than inventing one.
+				return last, nil
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(order) {
+				g.metrics.Hedges.Add(1)
+				launch(order[next], true)
+				next++
+				pending++
+			}
+		case <-ctx.Done():
+			return attemptResult{}, ctx.Err()
+		}
+	}
+}
+
+// noteFailure applies a failed attempt's side effects: Retry-After honor
+// and failure accounting.
+func (g *Gateway) noteFailure(res attemptResult) {
+	if res.err != nil {
+		g.log.Warn("backend attempt failed", "backend", res.backend.name, "error", res.err.Error())
+		res.backend.setState(stateUnhealthy, res.err.Error())
+		return
+	}
+	if d := res.backend.honorRetryAfter(res.resp.header, time.Now()); d > 0 {
+		g.metrics.RetryAfterBackoffs.Add(1)
+		g.log.Info("honoring Retry-After", "backend", res.backend.name, "backoff", d.String())
+	}
+}
+
+// forwardScan proxies one scan to one backend, propagating the gateway's
+// trace context (the backend's span becomes a child of the gateway's) and
+// the caller's filename and content type.
+func (g *Gateway) forwardScan(ctx context.Context, r *http.Request, b *backend,
+	name string, body []byte) (*backendResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/scan", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		ct = "application/octet-stream"
+	}
+	req.Header.Set("Content-Type", ct)
+	req.Header.Set("X-Filename", name)
+	req.Header.Set("X-Request-ID", gwRequestID(r.Context()))
+	if tc := gwTrace(r.Context()); tc.IsValid() {
+		req.Header.Set("traceparent", tc.Traceparent())
+	}
+	resp, err := g.scanClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	return &backendResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// routeOrder resolves the attempt order for a key: ring candidates
+// filtered to routable backends first (with the bounded-load rotation),
+// then unprobed/unhealthy backends as a last resort. Skewed, rolling and
+// draining backends are never candidates — routing to them would produce
+// wrong-model verdicts or guaranteed 503s.
+func (g *Gateway) routeOrder(key cache.Key) []*backend {
+	names := g.ring.Candidates(key, len(g.backends))
+	now := time.Now()
+	routable := make([]*backend, 0, len(names))
+	var fallback []*backend
+	for _, n := range names {
+		b := g.byName[n]
+		if b.routable(now) {
+			routable = append(routable, b)
+			continue
+		}
+		switch st, _, _, _ := b.snapshot(); st {
+		case stateUnknown, stateUnhealthy:
+			fallback = append(fallback, b)
+		}
+	}
+	if g.cfg.LoadBoundFactor > 0 && len(routable) > 1 {
+		var total int64
+		for _, b := range routable {
+			total += b.inflight.Load()
+		}
+		bound := int64(math.Ceil(g.cfg.LoadBoundFactor * float64(total+1) / float64(len(routable))))
+		for i, b := range routable {
+			if b.inflight.Load() < bound {
+				if i > 0 {
+					// Rotate the first under-bound candidate to the front;
+					// the rest keep ring order for hedging/failover.
+					head := routable[i]
+					copy(routable[1:i+1], routable[:i])
+					routable[0] = head
+					g.metrics.LoadSkips.Add(1)
+				}
+				break
+			}
+		}
+	}
+	return append(routable, fallback...)
+}
+
+// hedgeDelay resolves the hedge budget: the configured fixed value, or
+// the rolling p95 of recent successful upstream latencies clamped to
+// [10ms, 2s] (100ms until enough samples). Negative disables hedging.
+func (g *Gateway) hedgeDelay() time.Duration {
+	if g.cfg.HedgeAfter != 0 {
+		return g.cfg.HedgeAfter
+	}
+	return g.lat.p95()
+}
+
+// latencyTracker keeps a small ring of recent upstream latencies for the
+// adaptive hedge budget.
+type latencyTracker struct {
+	mu  sync.Mutex
+	buf [256]time.Duration
+	n   int
+}
+
+func (l *latencyTracker) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.n%len(l.buf)] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+func (l *latencyTracker) p95() time.Duration {
+	l.mu.Lock()
+	filled := l.n
+	if filled > len(l.buf) {
+		filled = len(l.buf)
+	}
+	if filled < 20 {
+		l.mu.Unlock()
+		return 100 * time.Millisecond
+	}
+	tmp := make([]time.Duration, filled)
+	copy(tmp, l.buf[:filled])
+	l.mu.Unlock()
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	p := tmp[(filled*95)/100]
+	if p < 10*time.Millisecond {
+		p = 10 * time.Millisecond
+	}
+	if p > 2*time.Second {
+		p = 2 * time.Second
+	}
+	return p
+}
+
+// handleModel reports the fleet target identity — the same shape as a
+// backend's /v1/model, so gateways compose.
+func (g *Gateway) handleModel(w http.ResponseWriter, r *http.Request) {
+	target := g.target.Load()
+	if target == nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "fleet target not resolved yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, *target)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	backends := map[string]any{}
+	routableCount := 0
+	now := time.Now()
+	for _, b := range g.backends {
+		st, reason, id, has := b.snapshot()
+		entry := map[string]any{
+			"state":    st.String(),
+			"inflight": b.inflight.Load(),
+			"routed":   b.routed.Load(),
+		}
+		if reason != "" {
+			entry["reason"] = reason
+		}
+		if has {
+			entry["model"] = shortSHA(id.ModelSHA256)
+			entry["feature_set"] = id.FeatureSet
+		}
+		if b.routable(now) {
+			routableCount++
+		}
+		backends[b.name] = entry
+	}
+	status := "ok"
+	if routableCount == 0 {
+		status = "no routable backends"
+	}
+	resp := map[string]any{
+		"status":   status,
+		"backends": backends,
+		"routable": routableCount,
+	}
+	if t := g.target.Load(); t != nil {
+		resp["target"] = map[string]string{
+			"model_sha256": t.ModelSHA256,
+			"feature_set":  t.FeatureSet,
+		}
+	}
+	if g.verdicts != nil {
+		st := g.verdicts.Stats()
+		resp["shared_cache"] = map[string]any{
+			"hits": st.Hits, "misses": st.Misses, "entries": st.Entries,
+			"hit_ratio": gatewayHitRatio(st),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	for _, b := range g.backends {
+		if b.routable(now) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no routable backends"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// gatewayHitRatio mirrors the daemon's hit-ratio derivation.
+func gatewayHitRatio(st cache.Stats) float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// gatewayMetrics is the gateway's own instrument tree (backend families
+// are merged in by handleMetrics with a backend label).
+type gatewayMetrics struct {
+	reg *telemetry.Registry
+
+	Requests  *telemetry.LabeledCounter
+	Responses *telemetry.LabeledCounter
+	Scans     *telemetry.Counter
+	Routed    *telemetry.LabeledCounter
+
+	Hedges             *telemetry.Counter
+	HedgeWins          *telemetry.Counter
+	Failovers          *telemetry.Counter
+	RetryAfterBackoffs *telemetry.Counter
+	LoadSkips          *telemetry.Counter
+	SkewRefusals       *telemetry.Counter
+	ScrapeErrors       *telemetry.Counter
+
+	RequestLatency  *telemetry.Histogram
+	UpstreamLatency *telemetry.Histogram
+}
+
+func newGatewayMetrics(g *Gateway) *gatewayMetrics {
+	r := telemetry.NewRegistry()
+	m := &gatewayMetrics{reg: r}
+	m.Requests = r.LabeledCounter("fleet_requests", "Gateway HTTP requests by endpoint.", "endpoint")
+	m.Responses = r.LabeledCounter("fleet_responses", "Gateway HTTP responses by status class.", "class")
+	m.Scans = r.Counter("fleet_scans", "Scan requests accepted by the gateway.")
+	m.Routed = r.LabeledCounter("fleet_backend_routed", "Scan attempts routed per backend.", "backend")
+	m.Hedges = r.Counter("fleet_hedges", "Hedged second requests fired after the hedge budget.")
+	m.HedgeWins = r.Counter("fleet_hedge_wins", "Scans won by the hedged request instead of the primary.")
+	m.Failovers = r.Counter("fleet_failovers", "Attempts moved to the next ring node after a retryable failure.")
+	m.RetryAfterBackoffs = r.Counter("fleet_retry_after_backoffs", "Backend backoffs honored from Retry-After hints.")
+	m.LoadSkips = r.Counter("fleet_load_skips", "Primary selections moved past an over-bound backend (bounded-load).")
+	m.SkewRefusals = r.Counter("fleet_skew_refusals", "Backends demoted for model/feature-set skew against the fleet target.")
+	m.ScrapeErrors = r.Counter("fleet_scrape_errors", "Backend metric scrapes that failed during aggregation.")
+	m.RequestLatency = r.Histogram("fleet_request_seconds", "Whole-request gateway scan latency.", nil)
+	m.UpstreamLatency = r.Histogram("fleet_upstream_seconds", "Winning backend attempt latency.", nil)
+	r.LabeledGaugeFunc("fleet_backend_healthy",
+		"Backend routability (1 = routable, 0 = not), per backend.",
+		"backend", func() ([]string, []float64) {
+			now := time.Now()
+			names := make([]string, len(g.backends))
+			vals := make([]float64, len(g.backends))
+			for i, b := range g.backends {
+				names[i] = b.name
+				if b.routable(now) {
+					vals[i] = 1
+				}
+			}
+			return names, vals
+		})
+	r.LabeledGaugeFunc("fleet_backend_inflight",
+		"Requests currently proxied to each backend.",
+		"backend", func() ([]string, []float64) {
+			names := make([]string, len(g.backends))
+			vals := make([]float64, len(g.backends))
+			for i, b := range g.backends {
+				names[i] = b.name
+				vals[i] = float64(b.inflight.Load())
+			}
+			return names, vals
+		})
+	if g.verdicts != nil {
+		g.verdicts.RegisterMetrics(r, "fleet_verdict_cache")
+		r.GaugeFunc("fleet_verdict_cache_hit_ratio",
+			"Lifetime shared verdict tier hit ratio (hits / lookups).",
+			func() float64 { return gatewayHitRatio(g.verdicts.Stats()) })
+	}
+	r.InfoFunc("vbadetectgw_build_info",
+		"Gateway build identity as labels; value is always 1.",
+		func() map[string]string {
+			info := map[string]string{"go_version": runtime.Version()}
+			if t := g.target.Load(); t != nil {
+				info["fleet_model"] = t.ModelSHA256
+				info["fleet_feature_set"] = t.FeatureSet
+			}
+			return info
+		})
+	r.RegisterGoRuntime()
+	return m
+}
+
+// Metrics exposes the gateway's registry (tests and embedders).
+func (g *Gateway) Metrics() *telemetry.Registry { return g.metrics.reg }

@@ -1,0 +1,515 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/telemetry"
+)
+
+// routeKeyOf mirrors the gateway's routing key derivation for tests that
+// need to know which backend owns a document.
+func routeKeyOf(body []byte) [32]byte { return cache.KeyOf(body) }
+
+// fakeBackend emulates just enough of vbadetectd for gateway unit tests:
+// /readyz, /v1/model, /v1/scan, /v1/admin/reload and /metrics, with
+// adjustable identity, latency and failure mode. (The e2e test uses the
+// real server.Server; these fakes isolate gateway behavior.)
+type fakeBackend struct {
+	ts       *httptest.Server
+	scans    atomic.Int64
+	reloads  atomic.Int64
+	modelSHA atomic.Pointer[string]
+	// nextModelSHA is what a reload flips modelSHA to.
+	nextModelSHA string
+	scanDelay    time.Duration
+	// failScans < 0: refuse all scans with failStatus. > 0: fail that many
+	// then recover.
+	failScans  atomic.Int64
+	failStatus int
+	retryAfter string
+	verdict    string // raw report JSON returned by /v1/scan
+}
+
+func newFakeBackend(t *testing.T, modelSHA string) *fakeBackend {
+	t.Helper()
+	fb := &fakeBackend{
+		failStatus: http.StatusServiceUnavailable,
+		verdict:    `{"format":"docm","project":"p","obfuscated":true,"macros":[],"skipped":0,"storage_strings":0,"errors":0}`,
+	}
+	fb.modelSHA.Store(&modelSHA)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"status":"ready"}`)
+	})
+	mux.HandleFunc("GET /v1/model", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"model_sha256":   *fb.modelSHA.Load(),
+			"feature_set":    "v2",
+			"feature_set_id": "fsv2-test",
+			"algorithm":      "rf",
+		})
+	})
+	mux.HandleFunc("POST /v1/scan", func(w http.ResponseWriter, r *http.Request) {
+		if fb.scanDelay > 0 {
+			select {
+			case <-time.After(fb.scanDelay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if n := fb.failScans.Load(); n != 0 {
+			if n > 0 {
+				fb.failScans.Add(-1)
+			}
+			if fb.retryAfter != "" {
+				w.Header().Set("Retry-After", fb.retryAfter)
+			}
+			w.WriteHeader(fb.failStatus)
+			fmt.Fprint(w, `{"error":"injected failure"}`)
+			return
+		}
+		fb.scans.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"file":"doc","report":%s,"elapsed_ms":1}`, fb.verdict)
+	})
+	mux.HandleFunc("POST /v1/admin/reload", func(w http.ResponseWriter, r *http.Request) {
+		fb.reloads.Add(1)
+		if fb.nextModelSHA != "" {
+			sha := fb.nextModelSHA
+			fb.modelSHA.Store(&sha)
+		}
+		fmt.Fprint(w, `{"reloaded":true}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "# HELP vbadetect_scans Total scans.\n# TYPE vbadetect_scans counter\nvbadetect_scans %d\n", fb.scans.Load())
+	})
+	fb.ts = httptest.NewServer(mux)
+	t.Cleanup(fb.ts.Close)
+	return fb
+}
+
+func (fb *fakeBackend) addr() string {
+	return strings.TrimPrefix(fb.ts.URL, "http://")
+}
+
+func quietGatewayConfig(backends ...*fakeBackend) Config {
+	addrs := make([]string, len(backends))
+	for i, b := range backends {
+		addrs[i] = b.addr()
+	}
+	return Config{
+		Backends:       addrs,
+		HealthInterval: -1, // probe manually from tests
+		HedgeAfter:     -1, // hedging off unless a test enables it
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+}
+
+func newTestGateway(t *testing.T, cfg Config) (*Gateway, *httptest.Server) {
+	t.Helper()
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	t.Cleanup(gw.Close)
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(ts.Close)
+	return gw, ts
+}
+
+func gwScan(t *testing.T, url string, body []byte) (*http.Response, gatewayScanResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/scan", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr gatewayScanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decoding scan response: %v", err)
+	}
+	return resp, sr
+}
+
+// TestGatewaySharedCache: the second scan of the same document is served
+// from the shared verdict tier — backend scan counters do not move, the
+// report bytes are identical, and the response is marked shared_cache.
+func TestGatewaySharedCache(t *testing.T) {
+	b1 := newFakeBackend(t, "aaa1")
+	b2 := newFakeBackend(t, "aaa1")
+	gw, ts := newTestGateway(t, quietGatewayConfig(b1, b2))
+
+	if gw.Target() == nil {
+		t.Fatal("fleet target unresolved after Start's probe pass")
+	}
+	doc := []byte("shared-cache-document")
+	resp, first := gwScan(t, ts.URL, doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first scan = %d", resp.StatusCode)
+	}
+	if first.SharedCache {
+		t.Fatal("first scan claims a shared-cache hit")
+	}
+	scansBefore := b1.scans.Load() + b2.scans.Load()
+	if scansBefore != 1 {
+		t.Fatalf("first scan touched %d backends, want 1", scansBefore)
+	}
+	resp, second := gwScan(t, ts.URL, doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second scan = %d", resp.StatusCode)
+	}
+	if !second.SharedCache || !second.Cached {
+		t.Errorf("second scan not from shared tier: shared=%v cached=%v", second.SharedCache, second.Cached)
+	}
+	if got := b1.scans.Load() + b2.scans.Load(); got != scansBefore {
+		t.Errorf("shared-cache hit touched a backend: scans %d -> %d", scansBefore, got)
+	}
+	if !bytes.Equal(first.Report, second.Report) {
+		t.Errorf("cached report differs:\n first=%s\nsecond=%s", first.Report, second.Report)
+	}
+	if second.Backend != first.Backend {
+		t.Errorf("cached response attributes backend %q, original %q", second.Backend, first.Backend)
+	}
+}
+
+// TestGatewayRouteAffinity: the same document always routes to the same
+// backend (with the cache disabled so every request actually routes).
+func TestGatewayRouteAffinity(t *testing.T) {
+	b1 := newFakeBackend(t, "aaa1")
+	b2 := newFakeBackend(t, "aaa1")
+	cfg := quietGatewayConfig(b1, b2)
+	cfg.CacheEntries = -1
+	cfg.LoadBoundFactor = -1
+	_, ts := newTestGateway(t, cfg)
+
+	doc := []byte("affinity-document")
+	for i := 0; i < 5; i++ {
+		if resp, _ := gwScan(t, ts.URL, doc); resp.StatusCode != http.StatusOK {
+			t.Fatalf("scan %d = %d", i, resp.StatusCode)
+		}
+	}
+	s1, s2 := b1.scans.Load(), b2.scans.Load()
+	if s1+s2 != 5 || (s1 != 0 && s2 != 0) {
+		t.Errorf("affinity broken: backend scans %d/%d, want 5/0 or 0/5", s1, s2)
+	}
+}
+
+// TestGatewayFailover: the primary refuses every scan with 503; the
+// request transparently fails over to the next ring node and succeeds.
+func TestGatewayFailover(t *testing.T) {
+	b1 := newFakeBackend(t, "aaa1")
+	b2 := newFakeBackend(t, "aaa1")
+	cfg := quietGatewayConfig(b1, b2)
+	cfg.CacheEntries = -1
+	gw, ts := newTestGateway(t, cfg)
+
+	doc := []byte("failover-document")
+	primary := gw.ring.Owner(routeKeyOf(doc))
+	for _, b := range []*fakeBackend{b1, b2} {
+		if b.addr() == primary {
+			b.failScans.Store(-1)
+		}
+	}
+	resp, sr := gwScan(t, ts.URL, doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan with dead primary = %d", resp.StatusCode)
+	}
+	if sr.Backend == primary {
+		t.Errorf("response served by the failing primary %s", primary)
+	}
+	if got := gw.metrics.Failovers.Value(); got == 0 {
+		t.Error("fleet_failovers did not increment")
+	}
+}
+
+// TestGatewayHedge: a slow primary is hedged to the next ring node after
+// the fixed hedge budget; the fast secondary's answer wins.
+func TestGatewayHedge(t *testing.T) {
+	b1 := newFakeBackend(t, "aaa1")
+	b2 := newFakeBackend(t, "aaa1")
+	cfg := quietGatewayConfig(b1, b2)
+	cfg.CacheEntries = -1
+	cfg.HedgeAfter = 20 * time.Millisecond
+	gw, ts := newTestGateway(t, cfg)
+
+	doc := []byte("hedge-document")
+	primary := gw.ring.Owner(routeKeyOf(doc))
+	var slow, fast *fakeBackend
+	if b1.addr() == primary {
+		slow, fast = b1, b2
+	} else {
+		slow, fast = b2, b1
+	}
+	slow.scanDelay = 2 * time.Second
+
+	start := time.Now()
+	resp, sr := gwScan(t, ts.URL, doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged scan = %d", resp.StatusCode)
+	}
+	if sr.Backend != fast.addr() {
+		t.Errorf("winner = %q, want the hedged backend %q", sr.Backend, fast.addr())
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("hedged scan took %v — waited out the slow primary", elapsed)
+	}
+	if gw.metrics.Hedges.Value() == 0 || gw.metrics.HedgeWins.Value() == 0 {
+		t.Errorf("hedge metrics: hedges=%d wins=%d, want both > 0",
+			gw.metrics.Hedges.Value(), gw.metrics.HedgeWins.Value())
+	}
+}
+
+// TestGatewayRetryAfterHonored: a backend answering 429 with Retry-After
+// is benched for that long — subsequent scans route elsewhere without
+// waiting for a health probe.
+func TestGatewayRetryAfterHonored(t *testing.T) {
+	b1 := newFakeBackend(t, "aaa1")
+	b2 := newFakeBackend(t, "aaa1")
+	cfg := quietGatewayConfig(b1, b2)
+	cfg.CacheEntries = -1
+	gw, ts := newTestGateway(t, cfg)
+
+	doc := []byte("retry-after-document")
+	primary := gw.ring.Owner(routeKeyOf(doc))
+	var sat *fakeBackend
+	for _, b := range []*fakeBackend{b1, b2} {
+		if b.addr() == primary {
+			sat = b
+		}
+	}
+	sat.failStatus = http.StatusTooManyRequests
+	sat.retryAfter = "30"
+	sat.failScans.Store(1) // one 429, then healthy again
+
+	resp, sr := gwScan(t, ts.URL, doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan = %d", resp.StatusCode)
+	}
+	if sr.Backend == primary {
+		t.Errorf("served by the saturated primary")
+	}
+	if gw.metrics.RetryAfterBackoffs.Value() == 0 {
+		t.Error("fleet_retry_after_backoffs did not increment")
+	}
+	// The bench outlasts the failure: the primary is healthy again but
+	// still not routable until the 30s Retry-After window passes.
+	if gw.byName[primary].routable(time.Now()) {
+		t.Error("primary routable before its Retry-After window elapsed")
+	}
+	resp2, sr2 := gwScan(t, ts.URL, doc)
+	if resp2.StatusCode != http.StatusOK || sr2.Backend == primary {
+		t.Errorf("second scan status=%d backend=%q, want 200 from the other node",
+			resp2.StatusCode, sr2.Backend)
+	}
+}
+
+// TestGatewaySkewRefusal: a backend whose model identity differs from the
+// fleet majority is demoted to skewed and receives no traffic.
+func TestGatewaySkewRefusal(t *testing.T) {
+	b1 := newFakeBackend(t, "aaa1")
+	b2 := newFakeBackend(t, "aaa1")
+	b3 := newFakeBackend(t, "bbb2") // skewed minority
+	cfg := quietGatewayConfig(b1, b2, b3)
+	cfg.CacheEntries = -1
+	gw, ts := newTestGateway(t, cfg)
+
+	st, reason, _, _ := gw.byName[b3.addr()].snapshot()
+	if st != stateSkewed {
+		t.Fatalf("minority backend state = %s (%s), want skewed", st, reason)
+	}
+	if gw.metrics.SkewRefusals.Value() == 0 {
+		t.Error("fleet_skew_refusals did not increment")
+	}
+	for i := 0; i < 20; i++ {
+		doc := []byte(fmt.Sprintf("skew-doc-%d", i))
+		if resp, _ := gwScan(t, ts.URL, doc); resp.StatusCode != http.StatusOK {
+			t.Fatalf("scan %d = %d", i, resp.StatusCode)
+		}
+	}
+	if got := b3.scans.Load(); got != 0 {
+		t.Errorf("skewed backend served %d scans, want 0", got)
+	}
+}
+
+// TestGatewayRollout: a staged rollout reloads every backend in order,
+// promotes the new identity as the fleet target, and the shared tier's
+// salt flips so pre-rollout verdicts no longer answer.
+func TestGatewayRollout(t *testing.T) {
+	b1 := newFakeBackend(t, "old1")
+	b2 := newFakeBackend(t, "old1")
+	b1.nextModelSHA, b2.nextModelSHA = "new2", "new2"
+	gw, ts := newTestGateway(t, quietGatewayConfig(b1, b2))
+
+	doc := []byte("rollout-document")
+	gwScan(t, ts.URL, doc)
+	gwScan(t, ts.URL, doc) // populate shared tier under the old identity
+
+	resp, err := http.Post(ts.URL+"/v1/admin/rollout", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr rolloutResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rr.Status != "complete" {
+		t.Fatalf("rollout = %d %q (%s)", resp.StatusCode, rr.Status, rr.Error)
+	}
+	if b1.reloads.Load() != 1 || b2.reloads.Load() != 1 {
+		t.Errorf("reloads = %d/%d, want 1/1", b1.reloads.Load(), b2.reloads.Load())
+	}
+	if target := gw.Target(); target == nil || target.ModelSHA256 != "new2" {
+		t.Fatalf("fleet target after rollout = %+v, want model new2", target)
+	}
+	// The same document must re-scan: its pre-rollout verdict was keyed
+	// under the old identity's salt.
+	scansBefore := b1.scans.Load() + b2.scans.Load()
+	_, sr := gwScan(t, ts.URL, doc)
+	if sr.SharedCache {
+		t.Error("post-rollout scan answered from the pre-rollout shared tier")
+	}
+	if got := b1.scans.Load() + b2.scans.Load(); got != scansBefore+1 {
+		t.Errorf("post-rollout scan did not reach a backend (scans %d -> %d)", scansBefore, got)
+	}
+}
+
+// TestGatewayRolloutSkewAbort: a backend that reloads to the wrong model
+// aborts the rollout with 409 and is refused traffic afterward.
+func TestGatewayRolloutSkewAbort(t *testing.T) {
+	b1 := newFakeBackend(t, "old1")
+	b2 := newFakeBackend(t, "old1")
+	b1.nextModelSHA = "new2"
+	b2.nextModelSHA = "wrong3" // stale model file on this node
+	gw, ts := newTestGateway(t, quietGatewayConfig(b1, b2))
+
+	resp, err := http.Post(ts.URL+"/v1/admin/rollout", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr rolloutResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("skewed rollout = %d, want 409", resp.StatusCode)
+	}
+	if rr.Status != "aborted" {
+		t.Errorf("rollout status = %q, want aborted", rr.Status)
+	}
+	var skewedStep *rolloutStep
+	for i := range rr.Steps {
+		if rr.Steps[i].Status == "skewed" {
+			skewedStep = &rr.Steps[i]
+		}
+	}
+	if skewedStep == nil {
+		t.Fatalf("no skewed step in report: %+v", rr.Steps)
+	}
+	st, _, _, _ := gw.byName[b2.addr()].snapshot()
+	if st != stateSkewed {
+		t.Errorf("skew-reloaded backend state = %s, want skewed", st)
+	}
+	// Traffic continues on the promoted node only.
+	for i := 0; i < 10; i++ {
+		doc := []byte(fmt.Sprintf("post-abort-%d", i))
+		if resp, sr := gwScan(t, ts.URL, doc); resp.StatusCode != http.StatusOK || sr.Backend != b1.addr() {
+			t.Fatalf("scan %d: status=%d backend=%q, want 200 from %q",
+				i, resp.StatusCode, sr.Backend, b1.addr())
+		}
+	}
+}
+
+// TestGatewayMergedMetrics: the Prometheus view of /metrics merges every
+// backend's families under a backend label and stays structurally valid
+// per the repo's own exposition parser (the promlint contract).
+func TestGatewayMergedMetrics(t *testing.T) {
+	b1 := newFakeBackend(t, "aaa1")
+	b2 := newFakeBackend(t, "aaa1")
+	_, ts := newTestGateway(t, quietGatewayConfig(b1, b2))
+
+	gwScan(t, ts.URL, []byte("metrics-document"))
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	sum, err := telemetry.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("merged exposition does not parse: %v\n%s", err, body)
+	}
+	if sum.Families["vbadetect_scans"] != "counter" {
+		t.Error("backend family vbadetect_scans missing from merged exposition")
+	}
+	if sum.Families["fleet_scans"] != "counter" {
+		t.Error("gateway family fleet_scans missing from merged exposition")
+	}
+	backendsSeen := sum.LabelValues["vbadetect_scans"]["backend"]
+	if len(backendsSeen) != 2 {
+		t.Errorf("vbadetect_scans carries %d backend label values, want 2: %v",
+			len(backendsSeen), backendsSeen)
+	}
+	// The exposition text must declare each family once, even though two
+	// backends contributed samples.
+	if n := bytes.Count(body, []byte("# TYPE vbadetect_scans ")); n != 1 {
+		t.Errorf("TYPE vbadetect_scans declared %d times, want 1", n)
+	}
+	// JSON default view still works.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("JSON metrics: %v", err)
+	}
+	resp.Body.Close()
+	if _, ok := m["fleet_verdict_cache_hit_ratio"]; !ok {
+		t.Error("JSON metrics missing fleet_verdict_cache_hit_ratio")
+	}
+}
+
+// TestGatewayReadyz: ready with one routable backend, 503 with none.
+func TestGatewayReadyz(t *testing.T) {
+	b1 := newFakeBackend(t, "aaa1")
+	gw, ts := newTestGateway(t, quietGatewayConfig(b1))
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d with a healthy backend", resp.StatusCode)
+	}
+	b1.ts.Close()
+	gw.Probe(t.Context())
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d with no routable backends, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("unready gateway /readyz missing Retry-After")
+	}
+}

@@ -1,0 +1,185 @@
+// Fleet-wide /metrics: one scrape of the gateway yields the gateway's own
+// families plus every backend's families, relabeled with backend="name".
+// A single Prometheus target therefore observes the whole fleet — the
+// per-backend scan counters, cache hit ratios and queue depths keep their
+// daemon names, distinguished by the backend label.
+
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") != "prometheus" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = g.metrics.reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(g.mergedExposition(r))
+}
+
+// promFamily accumulates one merged family: the first-seen HELP/TYPE
+// comments and every sample line from every source, in source order
+// (gateway first, then backends sorted by name).
+type promFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples []string
+}
+
+// mergedExposition renders the gateway registry and concurrently scrapes
+// each backend's Prometheus exposition, merging families by name. Backend
+// sample lines gain a backend="name" label; HELP and TYPE are emitted
+// once per family (identical across backends by construction — they run
+// the same binary; on skew the first-seen declaration wins). A backend
+// that fails to scrape is skipped and counted in fleet_scrape_errors, so
+// one dead node can't take down fleet observability.
+func (g *Gateway) mergedExposition(r *http.Request) []byte {
+	type scrape struct {
+		name string
+		body []byte
+		err  error
+	}
+	scrapes := make([]scrape, len(g.backends))
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ProbeTimeout)
+			defer cancel()
+			status, body, _, err := get(ctx, g.scanClient, b.base+"/metrics?format=prometheus")
+			if err == nil && status != http.StatusOK {
+				err = fmt.Errorf("metrics scrape returned %d", status)
+			}
+			scrapes[i] = scrape{name: b.name, body: body, err: err}
+		}(i, b)
+	}
+	var own bytes.Buffer
+	_ = g.metrics.reg.WritePrometheus(&own)
+	wg.Wait()
+
+	order := []string{}
+	fams := map[string]*promFamily{}
+	ingest := func(src []byte, backendName string) {
+		for _, line := range strings.Split(string(src), "\n") {
+			line = strings.TrimRight(line, "\r")
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				fields := strings.Fields(line)
+				if len(fields) < 3 {
+					continue
+				}
+				fam := getFamily(fams, &order, fields[2])
+				switch fields[1] {
+				case "HELP":
+					if fam.help == "" {
+						fam.help = line
+					}
+				case "TYPE":
+					if fam.typ == "" {
+						fam.typ = line
+					}
+				}
+				continue
+			}
+			name := sampleFamilyName(line)
+			if name == "" {
+				continue
+			}
+			fam := getFamily(fams, &order, name)
+			if backendName != "" {
+				line = injectLabel(line, "backend", backendName)
+			}
+			fam.samples = append(fam.samples, line)
+		}
+	}
+	ingest(own.Bytes(), "")
+	idx := make([]int, len(scrapes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scrapes[idx[a]].name < scrapes[idx[b]].name })
+	for _, i := range idx {
+		s := scrapes[i]
+		if s.err != nil {
+			g.metrics.ScrapeErrors.Add(1)
+			g.log.Warn("backend metrics scrape failed", "backend", s.name, "error", s.err.Error())
+			continue
+		}
+		ingest(s.body, s.name)
+	}
+
+	var out bytes.Buffer
+	for _, name := range order {
+		fam := fams[name]
+		if len(fam.samples) == 0 {
+			continue
+		}
+		if fam.help != "" {
+			out.WriteString(fam.help)
+			out.WriteByte('\n')
+		}
+		if fam.typ != "" {
+			out.WriteString(fam.typ)
+			out.WriteByte('\n')
+		}
+		for _, s := range fam.samples {
+			out.WriteString(s)
+			out.WriteByte('\n')
+		}
+	}
+	return out.Bytes()
+}
+
+func getFamily(fams map[string]*promFamily, order *[]string, name string) *promFamily {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	f := &promFamily{name: name}
+	fams[name] = f
+	*order = append(*order, name)
+	return f
+}
+
+// sampleFamilyName extracts the family a sample line belongs to: the
+// metric name up to '{' or the value separator, with the histogram
+// _bucket/_sum/_count suffixes folded into their base family so all three
+// group under one TYPE declaration.
+func sampleFamilyName(line string) string {
+	end := strings.IndexAny(line, "{ ")
+	if end <= 0 {
+		return ""
+	}
+	name := line[:end]
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		name = strings.TrimSuffix(name, suffix)
+	}
+	return name
+}
+
+// injectLabel adds key="value" to a sample line, merging into an existing
+// label set or creating one. Label values are escaped per the exposition
+// format (backslash, quote, newline).
+func injectLabel(line, key, value string) string {
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	if i := strings.Index(line, "{"); i >= 0 {
+		return line[:i+1] + key + `="` + esc + `",` + line[i+1:]
+	}
+	i := strings.Index(line, " ")
+	if i < 0 {
+		return line
+	}
+	return line[:i] + "{" + key + `="` + esc + `"}` + line[i:]
+}

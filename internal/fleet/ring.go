@@ -1,0 +1,140 @@
+// Package fleet is the horizontal-scale layer: an HTTP gateway that
+// fronts N vbadetectd backends behind a consistent-hash ring, with a
+// fleet-wide shared verdict cache, hedged retries, health-checked backend
+// pools and staged model rollout.
+//
+// Routing is content-addressed: the document SHA-256 that already keys
+// the per-node verdict caches (internal/cache) also picks the backend, so
+// each backend's local doc/macro caches stay hot for its shard of the
+// content space. Repeat documents — the dominant traffic in attachment
+// scanning (MEADE; Casino et al. on campaign re-sends) — are answered
+// from the gateway's shared verdict tier without touching any backend.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// DefaultVNodes is the virtual-node count per backend. 128 vnodes keeps
+// the worst-case key imbalance across 2–16 nodes within ~25% of the mean
+// (see TestRingDistribution) while membership changes stay O(vnodes·log).
+const DefaultVNodes = 128
+
+// Ring is a consistent-hash ring over named nodes with virtual nodes.
+// Lookups walk clockwise from the key's hash; membership updates swap an
+// immutable state snapshot, so routing never blocks on (or races with) a
+// concurrent SetNodes — a reader sees either the old ring or the new one,
+// both internally consistent.
+type Ring struct {
+	vnodes int
+	state  atomic.Pointer[ringState]
+}
+
+// ringState is one immutable ring snapshot.
+type ringState struct {
+	nodes  []string
+	hashes []uint64 // sorted vnode positions
+	owner  []int32  // hashes[i] belongs to nodes[owner[i]]
+}
+
+// NewRing builds an empty ring with the given virtual-node count per node
+// (<= 0 applies DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes}
+	r.state.Store(&ringState{})
+	return r
+}
+
+// SetNodes replaces the ring membership. The vnode positions of a node
+// depend only on its name, so nodes that stay keep their arcs: adding or
+// removing one node moves only the ~K/n keys adjacent to its vnodes
+// (TestRingMovement pins this bound).
+func (r *Ring) SetNodes(nodes []string) {
+	st := &ringState{nodes: append([]string(nil), nodes...)}
+	n := len(st.nodes) * r.vnodes
+	st.hashes = make([]uint64, 0, n)
+	st.owner = make([]int32, 0, n)
+	type point struct {
+		hash  uint64
+		owner int32
+	}
+	points := make([]point, 0, n)
+	for i, node := range st.nodes {
+		for v := 0; v < r.vnodes; v++ {
+			points = append(points, point{vnodeHash(node, v), int32(i)})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].hash != points[b].hash {
+			return points[a].hash < points[b].hash
+		}
+		// Identical vnode positions (astronomically unlikely with SHA-256,
+		// but possible with duplicate node names): lower index wins, so the
+		// order is deterministic.
+		return points[a].owner < points[b].owner
+	})
+	for _, p := range points {
+		st.hashes = append(st.hashes, p.hash)
+		st.owner = append(st.owner, p.owner)
+	}
+	r.state.Store(st)
+}
+
+// Nodes returns the current membership (shared slice; do not mutate).
+func (r *Ring) Nodes() []string { return r.state.Load().nodes }
+
+// vnodeHash places one virtual node: SHA-256 of "name#index", truncated.
+// SHA-256 keeps placement uniform and identical across processes, so a
+// gateway restart (or a second gateway) routes the same keys to the same
+// backends.
+func vnodeHash(node string, v int) uint64 {
+	sum := sha256.Sum256([]byte(node + "#" + strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash positions a content key on the ring. The key is already a
+// SHA-256 (the document hash), so its leading bytes are uniform.
+func keyHash(key [32]byte) uint64 { return binary.BigEndian.Uint64(key[:8]) }
+
+// Owner returns the key's primary node, or "" on an empty ring.
+func (r *Ring) Owner(key [32]byte) string {
+	c := r.Candidates(key, 1)
+	if len(c) == 0 {
+		return ""
+	}
+	return c[0]
+}
+
+// Candidates returns up to max distinct nodes in ring order starting at
+// the key's successor: the primary owner first, then each next-distinct
+// node clockwise. The caller uses the tail for hedged retries and
+// failover — the second candidate is "the next ring node" the hedge
+// budget fires against.
+func (r *Ring) Candidates(key [32]byte, max int) []string {
+	st := r.state.Load()
+	if len(st.hashes) == 0 || max <= 0 {
+		return nil
+	}
+	if max > len(st.nodes) {
+		max = len(st.nodes)
+	}
+	h := keyHash(key)
+	i := sort.Search(len(st.hashes), func(j int) bool { return st.hashes[j] >= h })
+	out := make([]string, 0, max)
+	seen := make(map[int32]bool, max)
+	for n := 0; n < len(st.hashes) && len(out) < max; n++ {
+		p := st.owner[(i+n)%len(st.hashes)]
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, st.nodes[p])
+		}
+	}
+	return out
+}

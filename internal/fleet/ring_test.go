@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// testKey derives a deterministic content key: real route keys are
+// document SHA-256s, so hashing a counter reproduces their distribution.
+func testKey(i int) [32]byte {
+	var seed [8]byte
+	binary.BigEndian.PutUint64(seed[:], uint64(i))
+	return sha256.Sum256(seed[:])
+}
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return names
+}
+
+// TestRingDistribution pins the load-balance quality of the vnode layout:
+// for every fleet size from 2 to 16 nodes, the busiest node must stay
+// within 30% of the mean and the idlest within 30% below it. This is the
+// bound the bounded-load factor (1.25) is calibrated against — if vnode
+// count or the hash changes and skew grows, routing hot-spots before
+// load-bounding kicks in.
+func TestRingDistribution(t *testing.T) {
+	const keys = 20000
+	for n := 2; n <= 16; n++ {
+		r := NewRing(DefaultVNodes)
+		r.SetNodes(nodeNames(n))
+		counts := map[string]int{}
+		for i := 0; i < keys; i++ {
+			owner := r.Owner(testKey(i))
+			if owner == "" {
+				t.Fatalf("n=%d: empty owner", n)
+			}
+			counts[owner]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d nodes received keys", n, len(counts))
+		}
+		mean := float64(keys) / float64(n)
+		for node, c := range counts {
+			ratio := float64(c) / mean
+			if ratio > 1.30 || ratio < 0.70 {
+				t.Errorf("n=%d: node %s holds %.2f× the mean (%d keys), want within [0.70, 1.30]",
+					n, node, ratio, c)
+			}
+		}
+	}
+}
+
+// TestRingMovement pins the consistency property: adding one node to an
+// n-node ring may move at most ~K/(n+1) keys (2× slack for vnode
+// variance), and every moved key must land on the new node — a key moving
+// between two surviving nodes would invalidate both nodes' warm caches
+// for no reason.
+func TestRingMovement(t *testing.T) {
+	const keys = 20000
+	for n := 2; n <= 8; n++ {
+		before := NewRing(DefaultVNodes)
+		before.SetNodes(nodeNames(n))
+		after := NewRing(DefaultVNodes)
+		names := nodeNames(n + 1)
+		after.SetNodes(names)
+		newNode := names[n]
+
+		moved := 0
+		for i := 0; i < keys; i++ {
+			k := testKey(i)
+			a, b := before.Owner(k), after.Owner(k)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != newNode {
+				t.Fatalf("n=%d: key %d moved %s -> %s, but the added node is %s",
+					n, i, a, b, newNode)
+			}
+		}
+		bound := 2 * keys / (n + 1)
+		if moved > bound {
+			t.Errorf("n=%d->%d: %d keys moved, want <= %d (~K/(n+1) with 2x slack)",
+				n, n+1, moved, bound)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d->%d: no keys moved to the new node", n, n+1)
+		}
+	}
+}
+
+// TestRingRemovalMovement is the inverse: removing a node moves exactly
+// that node's keys, each to a surviving node, and no key between
+// survivors.
+func TestRingRemovalMovement(t *testing.T) {
+	const keys = 10000
+	names := nodeNames(5)
+	before := NewRing(DefaultVNodes)
+	before.SetNodes(names)
+	after := NewRing(DefaultVNodes)
+	after.SetNodes(names[:4]) // drop the last node
+	removed := names[4]
+
+	for i := 0; i < keys; i++ {
+		k := testKey(i)
+		a, b := before.Owner(k), after.Owner(k)
+		if a == removed {
+			if b == removed || b == "" {
+				t.Fatalf("key %d still maps to removed node", i)
+			}
+			continue
+		}
+		if a != b {
+			t.Fatalf("key %d moved %s -> %s though neither is the removed node", i, a, b)
+		}
+	}
+}
+
+// TestRingDeterminism: two independently built rings with the same
+// membership route every key identically — a gateway restart (or a second
+// gateway instance) must not reshuffle the fleet.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(DefaultVNodes)
+	b := NewRing(DefaultVNodes)
+	// Same set, different insertion order.
+	a.SetNodes([]string{"n1:1", "n2:1", "n3:1"})
+	b.SetNodes([]string{"n3:1", "n1:1", "n2:1"})
+	for i := 0; i < 5000; i++ {
+		k := testKey(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: ring A says %s, ring B says %s", i, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingCandidates checks the failover order: distinct nodes, primary
+// first, and at most the full membership.
+func TestRingCandidates(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	r.SetNodes(nodeNames(4))
+	for i := 0; i < 1000; i++ {
+		k := testKey(i)
+		cands := r.Candidates(k, 10)
+		if len(cands) != 4 {
+			t.Fatalf("key %d: %d candidates, want 4", i, len(cands))
+		}
+		if cands[0] != r.Owner(k) {
+			t.Fatalf("key %d: first candidate %s != owner %s", i, cands[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("key %d: duplicate candidate %s", i, c)
+			}
+			seen[c] = true
+		}
+	}
+	if got := r.Candidates(testKey(0), 2); len(got) != 2 {
+		t.Fatalf("max=2 returned %d candidates", len(got))
+	}
+	empty := NewRing(DefaultVNodes)
+	if got := empty.Candidates(testKey(0), 3); got != nil {
+		t.Fatalf("empty ring returned candidates %v", got)
+	}
+}
+
+// TestRingConcurrentUpdates drives lookups concurrently with membership
+// churn under the race detector: the atomic snapshot swap must never let
+// a reader observe a half-built ring (empty or inconsistent results).
+func TestRingConcurrentUpdates(t *testing.T) {
+	r := NewRing(32)
+	r.SetNodes(nodeNames(4))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := testKey(w*100000 + i)
+				cands := r.Candidates(k, 3)
+				if len(cands) == 0 {
+					t.Error("lookup observed an empty ring during update")
+					return
+				}
+				seen := map[string]bool{}
+				for _, c := range cands {
+					if seen[c] {
+						t.Errorf("duplicate candidate %s during update", c)
+						return
+					}
+					seen[c] = true
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		// Alternate between 3 and 5 nodes: every swap both adds and removes.
+		if i%2 == 0 {
+			r.SetNodes(nodeNames(5))
+		} else {
+			r.SetNodes(nodeNames(3))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,180 @@
+// Staged model rollout: POST /v1/admin/rollout walks the backends one at
+// a time — reload, verify identity, promote — so the fleet never serves a
+// mix of models silently. The operator ships the new model file to every
+// node's -model path first (the daemon reload re-reads it from disk);
+// the gateway then sequences the reloads and the identity checks.
+//
+// The first successfully reloaded backend defines the new fleet target.
+// Every later backend must come back with the same identity; one that
+// does not is marked skewed — the gateway refuses to route to it — and
+// the rollout aborts with 409 so the operator sees the divergence instead
+// of a half-upgraded fleet.
+
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// rolloutStep is one backend's outcome in the rollout report.
+type rolloutStep struct {
+	Backend     string `json:"backend"`
+	Status      string `json:"status"` // reloaded | skipped | failed | skewed
+	ModelSHA256 string `json:"model_sha256,omitempty"`
+	FeatureSet  string `json:"feature_set,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// rolloutResponse is the full staged-rollout report.
+type rolloutResponse struct {
+	Status string        `json:"status"` // complete | aborted
+	Target string        `json:"target_model_sha256,omitempty"`
+	Steps  []rolloutStep `json:"steps"`
+	Error  string        `json:"error,omitempty"`
+}
+
+func (g *Gateway) handleRollout(w http.ResponseWriter, r *http.Request) {
+	if !g.rolloutMu.TryLock() {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "a rollout is already in progress"})
+		return
+	}
+	defer g.rolloutMu.Unlock()
+
+	ctx := r.Context()
+	resp := rolloutResponse{Status: "complete"}
+	var newTarget *struct {
+		key string
+		id  string // short SHA for logs
+	}
+	var adopted string
+	for _, b := range g.backends {
+		step := g.rolloutOne(ctx, b, &newTarget)
+		resp.Steps = append(resp.Steps, step)
+		if newTarget != nil && adopted == "" && step.Status == "reloaded" {
+			adopted = step.ModelSHA256
+		}
+		if step.Status == "failed" || step.Status == "skewed" {
+			resp.Status = "aborted"
+			resp.Error = fmt.Sprintf("backend %s: %s", b.name, firstNonEmpty(step.Error, step.Status))
+			break
+		}
+	}
+	resp.Target = adopted
+	// Re-probe so routing state (healthy/skewed) reflects the new world
+	// before the response goes out — the caller can immediately trust
+	// /healthz.
+	g.Probe(ctx)
+	if resp.Status == "aborted" {
+		writeJSON(w, http.StatusConflict, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rolloutOne reloads one backend and verifies its post-reload identity
+// against the rollout target (set by the first reloaded backend).
+func (g *Gateway) rolloutOne(ctx context.Context, b *backend,
+	target **struct {
+		key string
+		id  string
+	}) rolloutStep {
+	step := rolloutStep{Backend: b.name}
+	st, _, _, _ := b.snapshot()
+	if st == stateUnhealthy || st == stateDraining {
+		// Don't wake an already-unroutable node; the rollout report says
+		// so and the operator reloads it by hand once it's back.
+		step.Status = "skipped"
+		step.Error = "backend " + st.String() + "; reload it manually when routable"
+		return step
+	}
+	b.setState(stateRolling, "staged rollout in progress")
+	rctx, cancel := context.WithTimeout(ctx, g.cfg.RolloutTimeout)
+	defer cancel()
+	if err := g.postReload(rctx, b); err != nil {
+		b.setState(stateUnhealthy, "rollout reload failed: "+err.Error())
+		step.Status = "failed"
+		step.Error = err.Error()
+		return step
+	}
+	pctx, pcancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+	defer pcancel()
+	if err := b.probe(pctx, g.probeClient); err != nil {
+		step.Status = "failed"
+		step.Error = "post-reload probe: " + err.Error()
+		return step
+	}
+	_, _, id, has := b.snapshot()
+	if !has {
+		step.Status = "failed"
+		step.Error = "post-reload identity unavailable"
+		return step
+	}
+	step.ModelSHA256 = id.ModelSHA256
+	step.FeatureSet = id.FeatureSet
+	key := identityKey(id)
+	if *target == nil {
+		*target = &struct {
+			key string
+			id  string
+		}{key: key, id: shortSHA(id.ModelSHA256)}
+		// Promote: the fleet target flips to the new identity now, so the
+		// shared verdict tier's salt changes and pre-rollout verdicts can
+		// no longer answer.
+		idCopy := id
+		g.target.Store(&idCopy)
+		g.log.Info("rollout promoted fleet target", "model", shortSHA(id.ModelSHA256),
+			"feature_set", id.FeatureSet, "backend", b.name)
+	} else if key != (*target).key {
+		b.setState(stateSkewed, fmt.Sprintf("post-rollout model %s != rollout target %s",
+			shortSHA(id.ModelSHA256), (*target).id))
+		g.metrics.SkewRefusals.Add(1)
+		step.Status = "skewed"
+		step.Error = fmt.Sprintf("reloaded to model %s, rollout target is %s — check the model file on this node",
+			shortSHA(id.ModelSHA256), (*target).id)
+		return step
+	}
+	step.Status = "reloaded"
+	return step
+}
+
+// postReload invokes the backend's own admin reload.
+func (g *Gateway) postReload(ctx context.Context, b *backend) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/admin/reload", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.scanClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("reload returned %d: %s", resp.StatusCode, strings.TrimSpace(e.Error))
+	}
+	// Give the node a beat to finish swapping before the identity probe;
+	// Reload itself is synchronous, this just avoids racing its readiness
+	// bookkeeping under load.
+	select {
+	case <-time.After(10 * time.Millisecond):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return nil
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestModelEndpoint checks GET /v1/model reports the loaded model's full
+// identity: SHA-256, feature-set name and cache identity, and the channel
+// layout — everything the fleet gateway's skew detection consumes.
+func TestModelEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, quietConfig())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/model = %d, want 200", resp.StatusCode)
+	}
+	var mr ModelResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	det := srv.detector()
+	if mr.ModelSHA256 == "" || len(mr.ModelSHA256) != 64 {
+		t.Errorf("model_sha256 = %q, want 64 hex chars", mr.ModelSHA256)
+	}
+	if mr.ModelSHA256 != det.ModelSHA() {
+		t.Errorf("model_sha256 = %q, detector reports %q", mr.ModelSHA256, det.ModelSHA())
+	}
+	if mr.FeatureSet != det.FeatureSet().String() {
+		t.Errorf("feature_set = %q, want %q", mr.FeatureSet, det.FeatureSet().String())
+	}
+	if mr.FeatureSetID != det.FeatureSetID() {
+		t.Errorf("feature_set_id = %q, want %q", mr.FeatureSetID, det.FeatureSetID())
+	}
+	if mr.Algorithm != string(det.Algorithm()) {
+		t.Errorf("algorithm = %q, want %q", mr.Algorithm, det.Algorithm())
+	}
+	want := det.FeatureSet().Channels()
+	if len(mr.Channels) != len(want) {
+		t.Fatalf("channels = %d entries, want %d", len(mr.Channels), len(want))
+	}
+	for i, c := range mr.Channels {
+		if c.Name != want[i].Name || c.Version != want[i].Version || c.Dim != want[i].Dim() {
+			t.Errorf("channel %d = %+v, want %s@%d:%d", i, c, want[i].Name, want[i].Version, want[i].Dim())
+		}
+	}
+	if mr.GoVersion == "" || mr.Version == "" {
+		t.Errorf("build identity incomplete: version=%q go_version=%q", mr.Version, mr.GoVersion)
+	}
+}
+
+// TestModelEndpointNoModel checks that a modelless server answers 503 with
+// a Retry-After hint, exactly like an unready backend.
+func TestModelEndpointNoModel(t *testing.T) {
+	srv := New(nil, quietConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /v1/model = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 /v1/model missing Retry-After")
+	}
+}
+
+// TestRetryAfterOnDrain checks that backpressure responses carry
+// Retry-After: the draining /readyz (long hint) and the not-ready scan
+// path, so the gateway's backoff can honor the server's own estimate.
+func TestRetryAfterOnDrain(t *testing.T) {
+	srv, ts := newTestServer(t, quietConfig())
+	defer ts.Close()
+
+	srv.BeginShutdown()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "10" {
+		t.Errorf("draining /readyz Retry-After = %q, want \"10\"", got)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/scan", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /v1/scan = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining /v1/scan missing Retry-After")
+	}
+}
+
+// TestCacheHitRatioGauge checks the first-class hit-ratio gauges derive
+// correctly from the monotonic counters.
+func TestCacheHitRatioGauge(t *testing.T) {
+	_, ts := newTestServer(t, quietConfig())
+	defer ts.Close()
+
+	doc := testFixture.macroDoc
+	for i := 0; i < 2; i++ { // miss then hit
+		resp, sr := postScan(t, ts.URL, doc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scan %d = %d", i, resp.StatusCode)
+		}
+		if i == 1 && !sr.Cached {
+			t.Fatal("second identical scan was not cached")
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	ratio, ok := m["cache_hit_ratio"].(float64)
+	if !ok {
+		t.Fatalf("metrics JSON missing cache_hit_ratio: %v", m["cache_hit_ratio"])
+	}
+	if ratio != 0.5 {
+		t.Errorf("cache_hit_ratio = %v, want 0.5 (1 hit / 2 lookups)", ratio)
+	}
+	if _, ok := m["macro_cache_hit_ratio"].(float64); !ok {
+		t.Error("metrics JSON missing macro_cache_hit_ratio")
+	}
+}

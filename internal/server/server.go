@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -445,6 +446,26 @@ func (s *Server) registerCacheMetrics() {
 	reg.GaugeFunc("macro_cache_bytes",
 		"Approximate bytes retained by the macro verdict cache.",
 		func() float64 { return float64(s.macroCacheStats().Bytes) })
+	// First-class hit ratios, computed from the monotonic counters so
+	// dashboards and the fleet gateway don't each re-derive them. Lifetime
+	// ratios (counters survive reloads via cacheBase); 0 until the first
+	// lookup.
+	reg.GaugeFunc("cache_hit_ratio",
+		"Lifetime document verdict cache hit ratio (hits / lookups).",
+		func() float64 { return hitRatio(s.docCacheStats()) })
+	reg.GaugeFunc("macro_cache_hit_ratio",
+		"Lifetime macro verdict cache hit ratio (hits / lookups).",
+		func() float64 { return hitRatio(s.macroCacheStats()) })
+}
+
+// hitRatio derives hits/(hits+misses) from a counter snapshot, 0 when the
+// cache has never been consulted.
+func hitRatio(st cache.Stats) float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
 }
 
 // Reload re-reads Config.ModelPath and swaps the detector in under the
@@ -539,6 +560,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scan", s.handleScan)
 	mux.HandleFunc("POST /v1/scan/batch", s.handleScanBatch)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	mux.HandleFunc("GET /v1/admin/debug/bundle", s.handleDebugBundle)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -679,14 +701,96 @@ func (s *Server) healthBody() map[string]any {
 	return resp
 }
 
+// ChannelInfo is one feature channel's identity in the /v1/model payload.
+type ChannelInfo struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Dim     int    `json:"dim"`
+}
+
+// ModelResponse is the GET /v1/model payload: the loaded model's full
+// identity. A fleet gateway compares ModelSHA256 and FeatureSetID across
+// backends to detect version skew before routing; operators previously had
+// to scrape vbadetect_build_info to recover the same facts.
+type ModelResponse struct {
+	// ModelSHA256 is the hex SHA-256 of the serialized model image.
+	ModelSHA256 string `json:"model_sha256"`
+	// FeatureSet is the human-readable feature-set name ("v", "stack", ...).
+	FeatureSet string `json:"feature_set"`
+	// FeatureSetID is the cache-salt identity (set name plus every
+	// channel's name@version:dim) — the same string salted into verdict
+	// cache keys.
+	FeatureSetID string        `json:"feature_set_id"`
+	Algorithm    string        `json:"algorithm"`
+	Channels     []ChannelInfo `json:"channels"`
+	// Version and GoVersion mirror the vbadetect_build_info labels.
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+}
+
+// handleModel reports the loaded model's identity as JSON. 503 until a
+// model is loaded — a gateway treats that exactly like an unready backend.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	det := s.detector()
+	if det == nil {
+		s.setRetryAfter(w, retryAfterNotReady)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no model loaded"})
+		return
+	}
+	fs := det.FeatureSet()
+	chans := fs.Channels()
+	info := make([]ChannelInfo, len(chans))
+	for i, c := range chans {
+		info[i] = ChannelInfo{Name: c.Name, Version: c.Version, Dim: c.Dim()}
+	}
+	writeJSON(w, http.StatusOK, ModelResponse{
+		ModelSHA256:  det.ModelSHA(),
+		FeatureSet:   fs.String(),
+		FeatureSetID: det.FeatureSetID(),
+		Algorithm:    string(det.Algorithm()),
+		Channels:     info,
+		Version:      buildVersion(),
+		GoVersion:    runtime.Version(),
+	})
+}
+
+// Retry-After hints on backpressure responses, in seconds. A draining
+// server is about to disappear behind its load balancer, so the hint is
+// longer than a transient not-ready blip.
+const (
+	retryAfterNotReady = 1
+	retryAfterDraining = 10
+)
+
+// setRetryAfter attaches a Retry-After hint so clients (and the fleet
+// gateway's hedging/backoff) know when a retry is worth sending instead of
+// guessing.
+func (s *Server) setRetryAfter(w http.ResponseWriter, seconds int) {
+	w.Header().Set("Retry-After", strconv.Itoa(seconds))
+}
+
+// writeNotReady answers a scan that arrived while the server is draining
+// or has no model, with a Retry-After matching the cause.
+func (s *Server) writeNotReady(w http.ResponseWriter) {
+	if s.draining.Load() {
+		s.setRetryAfter(w, retryAfterDraining)
+	} else {
+		s.setRetryAfter(w, retryAfterNotReady)
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "not ready"})
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
+		s.setRetryAfter(w, retryAfterDraining)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 	case s.detector() == nil:
+		s.setRetryAfter(w, retryAfterNotReady)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no model loaded"})
 	default:
 		if msg := s.intakeNotReady(); msg != "" {
+			s.setRetryAfter(w, retryAfterNotReady)
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": msg})
 			return
 		}
@@ -744,8 +848,14 @@ type ScanResponse struct {
 	// Cached marks a report served from the document verdict cache, or
 	// collapsed into a concurrent identical scan (stage timings then
 	// belong to the request that did the work, so stage_ms is omitted).
-	Cached    bool    `json:"cached,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Cached bool `json:"cached,omitempty"`
+	// Backend is filled by the fleet gateway: the backend that produced
+	// this verdict ("" when scanned directly on this daemon).
+	Backend string `json:"backend,omitempty"`
+	// SharedCache marks a verdict answered entirely from the gateway's
+	// fleet-wide shared verdict tier — no backend was contacted.
+	SharedCache bool    `json:"shared_cache,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
 	// Trace is the per-document span tree, present only when the request
 	// asked for it with ?trace=1.
 	Trace *telemetry.Trace `json:"trace,omitempty"`
@@ -786,7 +896,7 @@ func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	case <-timer.C:
 		s.metrics.Errors.Add("busy", 1)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w, retryAfterNotReady)
 		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server saturated, retry later"})
 		return false
 	case <-r.Context().Done():
@@ -991,7 +1101,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	det, docs, flight, release := s.pipeline()
 	if det == nil || s.draining.Load() {
 		release()
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "not ready"})
+		s.writeNotReady(w)
 		return
 	}
 	name, data, err := s.readDocument(w, r)
@@ -1097,7 +1207,7 @@ func (s *Server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 	det, dcache, _, release := s.pipeline()
 	if det == nil || s.draining.Load() {
 		release()
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "not ready"})
+		s.writeNotReady(w)
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deob"
 	"repro/internal/extract"
+	"repro/internal/fleet"
 	"repro/internal/hostile"
 	"repro/internal/ml"
 	"repro/internal/queue"
@@ -471,3 +472,31 @@ func Deobfuscate(src string) DeobResult {
 func Triage(src string) *TriageReport {
 	return analysis.Analyze(src)
 }
+
+// Horizontal scale — the fleet gateway (see cmd/vbadetectgw and
+// internal/fleet).
+
+type (
+	// Gateway coordinates a fleet of vbadetectd backends: consistent-hash
+	// routing on the document SHA-256, a shared verdict cache, hedged
+	// retries with transparent failover, and staged model rollout.
+	Gateway = fleet.Gateway
+	// GatewayConfig tunes a Gateway; zero values take production defaults.
+	GatewayConfig = fleet.Config
+	// Ring is the consistent-hash ring the gateway routes on, usable
+	// standalone for other sharding schemes.
+	Ring = fleet.Ring
+)
+
+// ErrNoBackends is returned by a gateway with no routable backend.
+var ErrNoBackends = fleet.ErrNoBackends
+
+// NewGateway builds a fleet gateway over the configured backends. Call
+// Start to begin health probing and Handler for its HTTP surface.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	return fleet.New(cfg)
+}
+
+// NewRing builds a consistent-hash ring with the given virtual-node count
+// per node (<= 0 applies the default, 128).
+func NewRing(vnodes int) *Ring { return fleet.NewRing(vnodes) }
